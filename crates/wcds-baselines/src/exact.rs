@@ -1,0 +1,245 @@
+//! Exact minimum dominating sets by bounded search, plus certified
+//! lower bounds.
+//!
+//! Finding a minimum WCDS is NP-hard (Dunbar et al., the paper's
+//! citation `[11]`), so approximation-ratio experiments need ground truth
+//! on small instances and certified lower bounds on large ones:
+//!
+//! * [`minimum_dominating_set`], [`minimum_cds`], [`minimum_wcds`] —
+//!   exact optima by increasing-cardinality combination search
+//!   (practical to `n ≈ 22`);
+//! * [`degree_lower_bound`] — `⌈n / (Δ+1)⌉ ≤ γ(G)` on any graph;
+//! * [`mis_lower_bound`] — `⌈|MIS| / 5⌉ ≤ |MWCDS|` on **unit-disk**
+//!   graphs (the Lemma 7 charging argument: every WCDS node dominates at
+//!   most 5 independent nodes).
+
+use wcds_core::mis::{greedy_mis, RankingMode};
+use wcds_graph::{domination, Graph, NodeId};
+
+/// Hard cap on exact-search instance size (`C(22, 11) ≈ 7·10⁵`
+/// subsets per cardinality keeps runs interactive).
+pub const EXACT_NODE_LIMIT: usize = 22;
+
+/// Iterates `k`-subsets of `0..n` in lexicographic order, invoking `f`
+/// until it returns `true`; returns that subset.
+fn first_subset_satisfying<F>(n: usize, k: usize, mut f: F) -> Option<Vec<NodeId>>
+where
+    F: FnMut(&[NodeId]) -> bool,
+{
+    if k > n {
+        return None;
+    }
+    let mut idx: Vec<NodeId> = (0..k).collect();
+    loop {
+        if f(&idx) {
+            return Some(idx);
+        }
+        // advance to next combination
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return None;
+            }
+        }
+        idx[i] += 1;
+        for j in (i + 1)..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+fn minimum_satisfying<F>(g: &Graph, mut pred: F) -> Vec<NodeId>
+where
+    F: FnMut(&Graph, &[NodeId]) -> bool,
+{
+    assert!(
+        g.node_count() <= EXACT_NODE_LIMIT,
+        "exact search limited to {EXACT_NODE_LIMIT} nodes (got {})",
+        g.node_count()
+    );
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    for k in 1..=n {
+        if let Some(s) = first_subset_satisfying(n, k, |s| pred(g, s)) {
+            return s;
+        }
+    }
+    unreachable!("the full vertex set satisfies every dominating predicate on a connected graph")
+}
+
+/// An exact minimum dominating set.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`EXACT_NODE_LIMIT`] nodes.
+pub fn minimum_dominating_set(g: &Graph) -> Vec<NodeId> {
+    minimum_satisfying(g, domination::is_dominating_set)
+}
+
+/// An exact minimum connected dominating set.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`EXACT_NODE_LIMIT`] nodes, or if `g` is
+/// disconnected (no CDS exists).
+pub fn minimum_cds(g: &Graph) -> Vec<NodeId> {
+    assert!(wcds_graph::traversal::is_connected(g), "CDS requires a connected graph");
+    minimum_satisfying(g, domination::is_connected_dominating_set)
+}
+
+/// An exact minimum weakly-connected dominating set — the paper's `opt`.
+///
+/// # Panics
+///
+/// Panics if `g` has more than [`EXACT_NODE_LIMIT`] nodes, or if `g` is
+/// disconnected.
+pub fn minimum_wcds(g: &Graph) -> Vec<NodeId> {
+    assert!(wcds_graph::traversal::is_connected(g), "WCDS requires a connected graph");
+    minimum_satisfying(g, domination::is_weakly_connected_dominating_set)
+}
+
+/// `⌈n / (Δ+1)⌉` — a lower bound on the domination number of any graph
+/// (each chosen node covers at most `Δ+1` nodes), hence on `|MWCDS|`.
+pub fn degree_lower_bound(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        0
+    } else {
+        n.div_ceil(g.max_degree() + 1)
+    }
+}
+
+/// `⌈|MIS| / 5⌉` — Lemma 7's charging bound, valid on **unit-disk**
+/// graphs only: every node of a UDG has at most 5 mutually independent
+/// neighbors, so any dominating set (a fortiori any MWCDS) has at least
+/// `|MIS|/5` nodes.
+///
+/// Calling this on a non-UDG yields an invalid bound; callers are
+/// responsible for the geometry.
+pub fn mis_lower_bound(g: &Graph) -> usize {
+    greedy_mis(g, RankingMode::StaticId).len().div_ceil(5)
+}
+
+/// The best available lower bound on `|MWCDS|` for a UDG.
+pub fn wcds_lower_bound_udg(g: &Graph) -> usize {
+    degree_lower_bound(g).max(mis_lower_bound(g)).max(usize::from(g.node_count() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_core::algo1::AlgorithmOne;
+    use wcds_core::algo2::AlgorithmTwo;
+    use wcds_core::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, traversal, UnitDiskGraph};
+
+    #[test]
+    fn star_optima_are_the_center() {
+        let g = generators::star(6);
+        assert_eq!(minimum_dominating_set(&g), vec![0]);
+        assert_eq!(minimum_cds(&g), vec![0]);
+        assert_eq!(minimum_wcds(&g), vec![0]);
+    }
+
+    #[test]
+    fn path_optima_have_known_sizes() {
+        // P7: γ = ⌈7/3⌉ = 3; MCDS = n−2 leaves... = 5; MWCDS known = 3
+        let g = generators::path(7);
+        assert_eq!(minimum_dominating_set(&g).len(), 3);
+        assert_eq!(minimum_cds(&g).len(), 5);
+        assert_eq!(minimum_wcds(&g).len(), 3);
+    }
+
+    #[test]
+    fn wcds_opt_between_ds_and_cds() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(12, 0.2, seed);
+            let ds = minimum_dominating_set(&g).len();
+            let wcds = minimum_wcds(&g).len();
+            let cds = minimum_cds(&g).len();
+            assert!(ds <= wcds, "seed {seed}: γ = {ds} > MWCDS = {wcds}");
+            assert!(wcds <= cds, "seed {seed}: MWCDS = {wcds} > MCDS = {cds}");
+        }
+    }
+
+    #[test]
+    fn returned_sets_actually_satisfy_their_predicates() {
+        let g = generators::connected_gnp(14, 0.18, 3);
+        assert!(domination::is_dominating_set(&g, &minimum_dominating_set(&g)));
+        assert!(domination::is_connected_dominating_set(&g, &minimum_cds(&g)));
+        assert!(domination::is_weakly_connected_dominating_set(&g, &minimum_wcds(&g)));
+    }
+
+    #[test]
+    fn lemma7_ratio_holds_against_exact_optimum() {
+        // |Algorithm I WCDS| ≤ 5·opt on small UDGs, checked exactly
+        for seed in 0..8 {
+            let udg = UnitDiskGraph::build(deploy::uniform(14, 2.5, 2.5, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let opt = minimum_wcds(udg.graph()).len();
+            let a1 = AlgorithmOne::new().construct(udg.graph()).wcds.len();
+            assert!(a1 <= 5 * opt, "seed {seed}: {a1} > 5·{opt}");
+            let a2 = AlgorithmTwo::new().construct(udg.graph()).wcds.len();
+            assert!(a2 <= 123 * opt, "seed {seed}: {a2} > 122.5·{opt}");
+        }
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_optimum() {
+        for seed in 0..8 {
+            let udg = UnitDiskGraph::build(deploy::uniform(13, 2.5, 2.5, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let opt = minimum_wcds(udg.graph()).len();
+            assert!(degree_lower_bound(udg.graph()) <= opt, "seed {seed}");
+            assert!(mis_lower_bound(udg.graph()) <= opt, "seed {seed}");
+            assert!(wcds_lower_bound_udg(udg.graph()) <= opt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degree_bound_on_known_graphs() {
+        assert_eq!(degree_lower_bound(&generators::star(5)), 1);
+        assert_eq!(degree_lower_bound(&generators::path(9)), 3);
+        assert_eq!(degree_lower_bound(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact search limited")]
+    fn oversized_instance_panics() {
+        let g = generators::path(40);
+        let _ = minimum_dominating_set(&g);
+    }
+
+    #[test]
+    fn combination_iterator_visits_everything() {
+        // count subsets of size 3 from 6 elements by a never-satisfied
+        // predicate wrapped to count
+        let mut count = 0;
+        let res = first_subset_satisfying(6, 3, |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(res, None);
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn combination_iterator_finds_last() {
+        let res = first_subset_satisfying(5, 2, |s| s == [3, 4]);
+        assert_eq!(res, Some(vec![3, 4]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Plain greedy dominating set — the connectivity-free floor.
+//!
+//! The classic `(1 + ln Δ)` set-cover greedy for **domination only**.
+//! It is not a WCDS construction (its output usually fails weak
+//! connectivity); experiments use it as the lower reference point of
+//! the DS ⊆ WCDS ⊆ CDS size hierarchy the paper leans on ("the size of
+//! the MWCDS is trivially smaller than or equal to the size of the
+//! MCDS").
+
+use wcds_graph::{domination, Graph, NodeId};
+
+/// Greedy minimum dominating set (not necessarily weakly connected).
+///
+/// At each step picks the node covering the most still-uncovered nodes
+/// (lowest ID on ties) until everything is covered.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_baselines::greedy_ds::greedy_dominating_set;
+/// use wcds_graph::{domination, generators};
+///
+/// let g = generators::star(6);
+/// let ds = greedy_dominating_set(&g);
+/// assert_eq!(ds, vec![0]);
+/// assert!(domination::is_dominating_set(&g, &ds));
+/// ```
+pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    let mut remaining = n;
+    let mut ds = Vec::new();
+    while remaining > 0 {
+        // gain of u = uncovered nodes in N[u]
+        let (best, gain) = g
+            .nodes()
+            .map(|u| {
+                let mut gain = usize::from(!covered[u]);
+                gain += g.neighbors(u).iter().filter(|&&v| !covered[v]).count();
+                (u, gain)
+            })
+            .max_by_key(|&(u, gain)| (gain, std::cmp::Reverse(u)))
+            .expect("remaining > 0 implies nodes exist");
+        debug_assert!(gain > 0, "greedy stalled with uncovered nodes");
+        ds.push(best);
+        if !covered[best] {
+            covered[best] = true;
+            remaining -= 1;
+        }
+        for &v in g.neighbors(best) {
+            if !covered[v] {
+                covered[v] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    ds.sort_unstable();
+    debug_assert!(domination::is_dominating_set(g, &ds));
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_graph::generators;
+
+    #[test]
+    fn star_needs_only_center() {
+        assert_eq!(greedy_dominating_set(&generators::star(9)), vec![0]);
+    }
+
+    #[test]
+    fn path_greedy_is_near_optimal() {
+        // γ(P9) = 3; greedy achieves it
+        let ds = greedy_dominating_set(&generators::path(9));
+        assert!(domination::is_dominating_set(&generators::path(9), &ds));
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn dominates_random_graphs() {
+        for seed in 0..8 {
+            let g = generators::connected_gnp(50, 0.08, seed);
+            let ds = greedy_dominating_set(&g);
+            assert!(domination::is_dominating_set(&g, &ds), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ds_is_never_larger_than_wcds() {
+        use wcds_core::algo2::AlgorithmTwo;
+        use wcds_core::WcdsConstruction;
+        for seed in 0..5 {
+            let g = generators::connected_gnp(60, 0.08, seed);
+            let ds = greedy_dominating_set(&g).len();
+            let wcds = AlgorithmTwo::new().construct(&g).wcds.len();
+            // not a theorem for the *greedy* sizes, but the hierarchy
+            // should show through with generous slack
+            assert!(ds <= wcds + 5, "seed {seed}: greedy DS {ds} vs WCDS {wcds}");
+        }
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let g = Graph::empty(4);
+        assert_eq!(greedy_dominating_set(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(greedy_dominating_set(&Graph::empty(0)).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline dominating-set algorithms for comparison against the
+//! paper's constructions.
+//!
+//! The paper positions its two algorithms against two families of prior
+//! work, all of which are implemented here so the experiment harness can
+//! reproduce the comparisons:
+//!
+//! * [`greedy_wcds`] — the Chen–Liestman piece-merging greedy for
+//!   **WCDS** (the `O(ln Δ)`-approximation the paper cites as `[8]`);
+//! * [`greedy_cds`] — the Guha–Khuller-style greedy for **CDS** (the
+//!   spine construction behind `[6]` and `[14]`);
+//! * [`wu_li`] — the Wu–Li marking + pruning CDS heuristic (`[16]`);
+//! * [`mis_tree_cds`] — the MIS-plus-connectors CDS of Alzoubi, Wan and
+//!   Frieder's companion papers (`[2]`–`[5]`);
+//! * [`exact`] — exact minimum DS / CDS / WCDS by bounded subset search,
+//!   plus certified lower bounds, so approximation ratios can be
+//!   *measured* rather than estimated;
+//! * [`proximity`] — the position-BASED sparse spanners of the related
+//!   work (`[12]`, `[15]`): RNG and Gabriel graphs, for the position-less
+//!   vs position-based comparison.
+//!
+//! Every baseline implements
+//! [`WcdsConstruction`](wcds_core::WcdsConstruction) (a CDS is in
+//! particular a WCDS), so experiments can sweep algorithms uniformly.
+
+pub mod exact;
+pub mod greedy_cds;
+pub mod greedy_ds;
+pub mod greedy_wcds;
+pub mod mis_tree_cds;
+pub mod proximity;
+pub mod wu_li;
+
+pub use greedy_cds::GreedyCds;
+pub use greedy_wcds::GreedyWcds;
+pub use mis_tree_cds::MisTreeCds;
+pub use wu_li::WuLiCds;

@@ -1,0 +1,192 @@
+//! MIS-plus-connectors CDS (Alzoubi–Wan–Frieder's companion
+//! construction, the paper's citations `[2]`–`[5]`).
+//!
+//! Compute an MIS `S` (an independent dominating set), then connect it:
+//! build the auxiliary graph `H` over `S` with an edge between MIS nodes
+//! at hop distance 2 or 3 (Lemma 3 guarantees `H` is connected), take a
+//! spanning tree of `H`, and for each tree edge add the 1–2 intermediate
+//! relay nodes of a shortest path. `S` plus the relays is a **connected**
+//! dominating set with constant approximation ratio on UDGs — the
+//! stronger (and larger) cousin of the paper's WCDS constructions.
+
+use wcds_core::mis::{greedy_mis, RankingMode};
+use wcds_core::{ConstructionResult, Wcds, WcdsConstruction};
+use wcds_graph::{domination, traversal, Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// The MIS + spanning-tree-connectors CDS construction.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_baselines::MisTreeCds;
+/// use wcds_core::WcdsConstruction;
+/// use wcds_graph::generators;
+///
+/// let g = generators::path(9);
+/// let result = MisTreeCds::new().construct(&g);
+/// assert!(result.wcds.is_valid(&g));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisTreeCds {
+    _priv: (),
+}
+
+impl MisTreeCds {
+    /// Creates the construction.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+
+    /// Returns `(mis, connectors)` separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn construct_parts(&self, g: &Graph) -> (Vec<NodeId>, Vec<NodeId>) {
+        assert!(traversal::is_connected(g), "MIS-tree CDS requires a connected graph");
+        let mis = greedy_mis(g, RankingMode::StaticId);
+        if mis.len() <= 1 {
+            return (mis, Vec::new());
+        }
+
+        // auxiliary graph H over MIS indices: edge iff hop distance ≤ 3
+        let dist_from: Vec<Vec<Option<u32>>> =
+            mis.iter().map(|&u| traversal::bfs_distances(g, u)).collect();
+        let k = mis.len();
+        // Prim over H, collecting the connector path of each tree edge
+        let mut in_tree = vec![false; k];
+        in_tree[0] = true;
+        let mut connectors: BTreeSet<NodeId> = BTreeSet::new();
+        for _ in 1..k {
+            // smallest-hop H-edge leaving the tree (ties: smallest ids)
+            let mut pick: Option<(u32, usize, usize)> = None;
+            for a in 0..k {
+                if !in_tree[a] {
+                    continue;
+                }
+                for b in 0..k {
+                    if in_tree[b] {
+                        continue;
+                    }
+                    if let Some(d) = dist_from[a][mis[b]] {
+                        if d <= 3 && pick.is_none_or(|(pd, pa, pb)| (d, a, b) < (pd, pa, pb)) {
+                            pick = Some((d, a, b));
+                        }
+                    }
+                }
+            }
+            let (_, a, b) = pick.expect(
+                "Lemma 3: the ≤3-hop auxiliary graph over an MIS of a connected graph is connected",
+            );
+            in_tree[b] = true;
+            // add the interior nodes of one shortest path mis[a] → mis[b]
+            let (_, parents) = traversal::bfs_tree(g, mis[a]);
+            let path = traversal::path_from_parents(&parents, mis[a], mis[b])
+                .expect("connected graph");
+            for &x in &path[1..path.len() - 1] {
+                connectors.insert(x);
+            }
+        }
+        let connectors: Vec<NodeId> =
+            connectors.into_iter().filter(|c| !mis.contains(c)).collect();
+        (mis, connectors)
+    }
+}
+
+impl WcdsConstruction for MisTreeCds {
+    fn construct(&self, g: &Graph) -> ConstructionResult {
+        let (mis, connectors) = self.construct_parts(g);
+        debug_assert!(
+            {
+                let mut all = mis.clone();
+                all.extend(&connectors);
+                all.sort_unstable();
+                g.node_count() == 0 || domination::is_connected_dominating_set(g, &all)
+            },
+            "MIS-tree output is not a CDS"
+        );
+        let wcds = Wcds::new(mis, connectors);
+        let spanner = wcds.weakly_induced_subgraph(g);
+        ConstructionResult { wcds, spanner }
+    }
+
+    fn name(&self) -> &'static str {
+        "mis-tree-cds"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    #[test]
+    fn path_gets_connected() {
+        let g = generators::path(7);
+        let (mis, connectors) = MisTreeCds::new().construct_parts(&g);
+        assert_eq!(mis, vec![0, 2, 4, 6]);
+        // each adjacent MIS pair is 2 apart: connectors {1, 3, 5}
+        assert_eq!(connectors, vec![1, 3, 5]);
+        let result = MisTreeCds::new().construct(&g);
+        assert!(domination::is_connected_dominating_set(&g, result.wcds.nodes()));
+    }
+
+    #[test]
+    fn output_is_cds_on_random_graphs() {
+        for seed in 0..8 {
+            let g = generators::connected_gnp(45, 0.09, seed);
+            let result = MisTreeCds::new().construct(&g);
+            assert!(
+                domination::is_connected_dominating_set(&g, result.wcds.nodes()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_cds_on_udgs() {
+        for seed in 0..5 {
+            let udg = UnitDiskGraph::build(deploy::uniform(120, 6.0, 6.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let result = MisTreeCds::new().construct(udg.graph());
+            assert!(
+                domination::is_connected_dominating_set(udg.graph(), result.wcds.nodes()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cds_is_larger_than_wcds_on_average() {
+        // |MWCDS| ≤ |MCDS|: the WCDS relaxations should generally win
+        use wcds_core::algo2::AlgorithmTwo;
+        let mut cds_total = 0usize;
+        let mut wcds_total = 0usize;
+        for seed in 0..5 {
+            let udg = UnitDiskGraph::build(deploy::uniform(150, 7.0, 7.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            cds_total += MisTreeCds::new().construct(udg.graph()).wcds.len();
+            wcds_total += AlgorithmTwo::new().construct(udg.graph()).wcds.len();
+        }
+        assert!(
+            wcds_total <= cds_total + 5,
+            "WCDS total {wcds_total} should not exceed CDS total {cds_total} by much"
+        );
+    }
+
+    #[test]
+    fn star_and_singleton() {
+        let g = generators::star(5);
+        let result = MisTreeCds::new().construct(&g);
+        assert_eq!(result.wcds.nodes(), &[0]);
+
+        let g1 = Graph::empty(1);
+        assert_eq!(MisTreeCds::new().construct(&g1).wcds.nodes(), &[0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Position-**based** proximity spanners: RNG and Gabriel graphs.
+//!
+//! The paper's pitch is a *position-less* sparse spanner; its related
+//! work (`[12]` GPSR, `[15]` RNG broadcasting) builds spanners **from node
+//! coordinates**. These classic constructions are implemented here so
+//! the evaluation can put the WCDS spanner side by side with what
+//! position information buys:
+//!
+//! * **Relative Neighborhood Graph** — keep edge `(u, v)` iff no
+//!   witness `w` satisfies `max(d(u,w), d(w,v)) < d(u,v)`;
+//! * **Gabriel Graph** — keep `(u, v)` iff no witness lies strictly
+//!   inside the disk with diameter `uv`
+//!   (`d(u,w)² + d(w,v)² < d(u,v)²`).
+//!
+//! Both are connected subgraphs of a connected UDG with `O(n)` edges
+//! (`RNG ⊆ Gabriel`); neither is a *dominating-set* backbone — they
+//! sparsify edges, not nodes, which is exactly the contrast the
+//! comparison experiment draws.
+
+use wcds_graph::{Graph, GraphBuilder, UnitDiskGraph};
+
+/// The relative neighborhood graph restricted to UDG edges.
+///
+/// `O(n · Δ²)`: witnesses for an edge are sought among the endpoints'
+/// UDG neighbors (any eliminating witness is within range of both
+/// endpoints, hence a common neighbor).
+///
+/// # Examples
+///
+/// ```
+/// use wcds_baselines::proximity::relative_neighborhood_graph;
+/// use wcds_geom::deploy;
+/// use wcds_graph::UnitDiskGraph;
+///
+/// let udg = UnitDiskGraph::build(deploy::uniform(100, 5.0, 5.0, 1), 1.0);
+/// let rng = relative_neighborhood_graph(&udg);
+/// assert!(rng.edge_count() <= udg.graph().edge_count());
+/// ```
+pub fn relative_neighborhood_graph(udg: &UnitDiskGraph) -> Graph {
+    proximity_filter(udg, |duv2, duw2, dwv2| duw2 < duv2 && dwv2 < duv2)
+}
+
+/// The Gabriel graph restricted to UDG edges.
+pub fn gabriel_graph(udg: &UnitDiskGraph) -> Graph {
+    proximity_filter(udg, |duv2, duw2, dwv2| duw2 + dwv2 < duv2)
+}
+
+/// Shared edge filter: drop `(u, v)` when some common UDG neighbor `w`
+/// satisfies `eliminates(d(u,v)², d(u,w)², d(w,v)²)`.
+fn proximity_filter<F>(udg: &UnitDiskGraph, eliminates: F) -> Graph
+where
+    F: Fn(f64, f64, f64) -> bool,
+{
+    let g = udg.graph();
+    let pts = udg.points();
+    let mut b = GraphBuilder::new(g.node_count());
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        let duv2 = pts[u].distance_squared(pts[v]);
+        // witnesses must be adjacent to both endpoints in the UDG
+        // (they are within d(u,v) ≤ 1 of each)
+        let killed = g.neighbors(u).iter().any(|&w| {
+            w != v
+                && g.has_edge(w, v)
+                && eliminates(duv2, pts[u].distance_squared(pts[w]), pts[w].distance_squared(pts[v]))
+        });
+        if !killed {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_geom::{deploy, Point};
+    use wcds_graph::traversal;
+
+    fn dense_udg(seed: u64) -> UnitDiskGraph {
+        UnitDiskGraph::build(deploy::uniform(200, 6.0, 6.0, seed), 1.0)
+    }
+
+    #[test]
+    fn rng_is_subgraph_of_gabriel_is_subgraph_of_udg() {
+        let udg = dense_udg(1);
+        let rng = relative_neighborhood_graph(&udg);
+        let gabriel = gabriel_graph(&udg);
+        assert!(udg.graph().contains_subgraph(&gabriel));
+        assert!(gabriel.contains_subgraph(&rng));
+    }
+
+    #[test]
+    fn both_preserve_connectivity() {
+        for seed in 0..6 {
+            let udg = dense_udg(seed);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            assert!(
+                traversal::is_connected(&relative_neighborhood_graph(&udg)),
+                "RNG disconnected (seed {seed})"
+            );
+            assert!(
+                traversal::is_connected(&gabriel_graph(&udg)),
+                "Gabriel disconnected (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn rng_of_dense_clique_is_sparse() {
+        // many points in a small disk: the UDG is complete, the RNG is
+        // nearly a tree
+        let udg = UnitDiskGraph::build(deploy::gaussian_blob(40, 1.0, 1.0, 0.15, 3), 1.0);
+        let rng = relative_neighborhood_graph(&udg);
+        assert!(udg.graph().edge_count() > 5 * rng.edge_count());
+        assert!(rng.edge_count() < 3 * 40, "RNG must have O(n) edges");
+    }
+
+    #[test]
+    fn triangle_loses_its_longest_edge_in_rng() {
+        // isoceles triangle: the long edge has the apex as witness
+        let pts = vec![Point::new(0.0, 0.0), Point::new(0.9, 0.0), Point::new(0.45, 0.2)];
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        assert_eq!(udg.graph().edge_count(), 3);
+        let rng = relative_neighborhood_graph(&udg);
+        assert!(!rng.has_edge(0, 1), "long edge must be eliminated");
+        assert!(rng.has_edge(0, 2) && rng.has_edge(2, 1));
+    }
+
+    #[test]
+    fn right_angle_witness_splits_gabriel_but_not_rng() {
+        // w on the circle with diameter uv (right angle at w):
+        // Gabriel keeps uv (strict inequality), RNG also keeps it
+        // (max(duw, dwv) == duv/√2·… < duv though!) — pick w so that
+        // it eliminates in Gabriel but not in RNG:
+        // RNG eliminates iff max(duw, dwv) < duv; Gabriel iff
+        // duw² + dwv² < duv². Take duv = 1, duw = 0.9, dwv = 0.3:
+        // max = 0.9 < 1 → RNG eliminates too. Take duw = 0.8,
+        // dwv = 0.55: 0.64+0.3025 = 0.9425 < 1 → Gabriel kills;
+        // max = 0.8 < 1 → RNG kills as well (RNG ⊆ Gabriel). So just
+        // assert the inclusion on a concrete instance instead:
+        let udg = dense_udg(7);
+        let rng = relative_neighborhood_graph(&udg);
+        let gabriel = gabriel_graph(&udg);
+        assert!(gabriel.edge_count() >= rng.edge_count());
+    }
+
+    #[test]
+    fn edges_per_node_is_constant_at_scale() {
+        for n in [100usize, 400] {
+            let side = (n as f64 * std::f64::consts::PI / 14.0).sqrt();
+            let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, 5), 1.0);
+            let rng = relative_neighborhood_graph(&udg);
+            let per_node = rng.edge_count() as f64 / n as f64;
+            assert!(per_node < 3.0, "RNG edges/node = {per_node} at n = {n}");
+        }
+    }
+}

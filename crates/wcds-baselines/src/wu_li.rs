@@ -1,0 +1,181 @@
+//! Wu–Li marking + pruning CDS heuristic (the paper's citation `[16]`).
+//!
+//! *Marking*: a node is marked iff it has two neighbors that are not
+//! adjacent to each other. On a connected, non-complete graph the marked
+//! set is a connected dominating set.
+//!
+//! *Pruning* (Rules 1 and 2): a marked node `u` is unmarked when its
+//! closed neighborhood is covered by one marked neighbor with larger ID
+//! (Rule 1), or by two adjacent marked neighbors both with larger IDs
+//! (Rule 2). Pruning preserves the CDS property while shrinking the set.
+//!
+//! Complete graphs have no marked nodes; the construction falls back to
+//! the single node 0 (any single node dominates and trivially connects).
+
+use wcds_core::{ConstructionResult, Wcds, WcdsConstruction};
+use wcds_graph::{domination, traversal, Graph, NodeId};
+
+/// The Wu–Li marking construction with both pruning rules.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_baselines::WuLiCds;
+/// use wcds_core::WcdsConstruction;
+/// use wcds_graph::generators;
+///
+/// let g = generators::cycle(8);
+/// let result = WuLiCds::new().construct(&g);
+/// assert!(result.wcds.is_valid(&g));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WuLiCds {
+    _priv: (),
+}
+
+impl WuLiCds {
+    /// Creates the construction.
+    pub fn new() -> Self {
+        Self { _priv: () }
+    }
+
+    /// The marking step alone (before pruning), exposed for the
+    /// ablation experiment comparing backbone sizes with and without
+    /// the pruning rules.
+    pub fn marked_set(&self, g: &Graph) -> Vec<NodeId> {
+        g.nodes()
+            .filter(|&u| {
+                let nb = g.neighbors(u);
+                nb.iter().enumerate().any(|(i, &a)| {
+                    nb[i + 1..].iter().any(|&b| !g.has_edge(a, b))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Whether `cover` (closed neighborhoods of the given nodes) covers all
+/// of `u`'s neighbors.
+fn neighborhood_covered(g: &Graph, u: NodeId, cover: &[NodeId]) -> bool {
+    g.neighbors(u).iter().all(|&x| {
+        cover.iter().any(|&c| x == c || g.has_edge(c, x))
+    })
+}
+
+impl WcdsConstruction for WuLiCds {
+    fn construct(&self, g: &Graph) -> ConstructionResult {
+        assert!(traversal::is_connected(g), "Wu–Li requires a connected graph");
+        let mut marked: Vec<bool> = vec![false; g.node_count()];
+        for u in self.marked_set(g) {
+            marked[u] = true;
+        }
+
+        // Rule 1: unmark u if a single marked neighbor v with v > u
+        // covers N(u).
+        // Rule 2: unmark u if two adjacent marked neighbors v, w with
+        // v, w > u cover N(u).
+        // Applied in ascending id order; each node is unmarked at most
+        // once and the rules only consult still-marked nodes, matching
+        // the distributed formulation where coverage claims reference
+        // current marker status.
+        for u in g.nodes() {
+            if !marked[u] {
+                continue;
+            }
+            let higher_marked: Vec<NodeId> =
+                g.neighbors(u).iter().copied().filter(|&v| marked[v] && v > u).collect();
+            let rule1 = higher_marked.iter().any(|&v| neighborhood_covered(g, u, &[v]));
+            let rule2 = !rule1
+                && higher_marked.iter().enumerate().any(|(i, &v)| {
+                    higher_marked[i + 1..]
+                        .iter()
+                        .any(|&w| g.has_edge(v, w) && neighborhood_covered(g, u, &[v, w]))
+                });
+            if rule1 || rule2 {
+                marked[u] = false;
+            }
+        }
+
+        let mut set: Vec<NodeId> = g.nodes().filter(|&u| marked[u]).collect();
+        if set.is_empty() && g.node_count() > 0 {
+            // complete graph (or single node): one node suffices
+            set.push(0);
+        }
+        debug_assert!(
+            g.node_count() == 0 || domination::is_connected_dominating_set(g, &set),
+            "Wu–Li output is not a CDS"
+        );
+        let wcds = Wcds::from_mis(set);
+        let spanner = wcds.weakly_induced_subgraph(g);
+        ConstructionResult { wcds, spanner }
+    }
+
+    fn name(&self) -> &'static str {
+        "wu-li"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    #[test]
+    fn path_marks_interior_nodes() {
+        let g = generators::path(6);
+        let marked = WuLiCds::new().marked_set(&g);
+        assert_eq!(marked, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn complete_graph_marks_nothing_but_falls_back() {
+        let g = generators::complete(5);
+        assert!(WuLiCds::new().marked_set(&g).is_empty());
+        let result = WuLiCds::new().construct(&g);
+        assert_eq!(result.wcds.nodes(), &[0]);
+        assert!(result.wcds.is_valid(&g));
+    }
+
+    #[test]
+    fn output_is_cds_on_random_graphs() {
+        for seed in 0..10 {
+            let g = generators::connected_gnp(40, 0.12, seed);
+            let result = WuLiCds::new().construct(&g);
+            assert!(
+                domination::is_connected_dominating_set(&g, result.wcds.nodes()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_never_grows_the_set() {
+        for seed in 0..6 {
+            let udg = UnitDiskGraph::build(deploy::uniform(100, 5.0, 5.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let algo = WuLiCds::new();
+            let marked = algo.marked_set(udg.graph());
+            let pruned = algo.construct(udg.graph());
+            assert!(pruned.wcds.len() <= marked.len().max(1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cycle_keeps_enough_nodes() {
+        let g = generators::cycle(8);
+        let result = WuLiCds::new().construct(&g);
+        // a CDS of C8 needs at least 6 nodes... no: C8 CDS needs n-2 = 6
+        assert!(result.wcds.len() >= 6);
+        assert!(domination::is_connected_dominating_set(&g, result.wcds.nodes()));
+    }
+
+    #[test]
+    fn grid_output_validates() {
+        let g = generators::grid(5, 5);
+        let result = WuLiCds::new().construct(&g);
+        assert!(domination::is_connected_dominating_set(&g, result.wcds.nodes()));
+    }
+}

@@ -1,0 +1,60 @@
+//! B1–B3: construction-time microbenchmarks — UDG build, MIS, the two
+//! WCDS algorithms (centralized), and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcds_baselines::GreedyWcds;
+use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree};
+use wcds_core::algo1::AlgorithmOne;
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::mis::{greedy_mis, RankingMode};
+use wcds_core::WcdsConstruction;
+use wcds_geom::deploy;
+use wcds_graph::UnitDiskGraph;
+
+fn bench_udg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udg_build");
+    for n in [250usize, 1000, 4000] {
+        let side = side_for_avg_degree(n, 12.0);
+        let pts = deploy::uniform(n, side, side, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| UnitDiskGraph::build(pts.clone(), 1.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_mis");
+    for n in [250usize, 1000, 4000] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 2);
+        group.bench_with_input(BenchmarkId::new("static_id", n), &n, |b, _| {
+            b.iter(|| greedy_mis(udg.graph(), RankingMode::StaticId));
+        });
+        group.bench_with_input(BenchmarkId::new("degree_id", n), &n, |b, _| {
+            b.iter(|| greedy_mis(udg.graph(), RankingMode::DegreeId));
+        });
+    }
+    group.finish();
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wcds_construction");
+    for n in [250usize, 1000] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 3);
+        group.bench_with_input(BenchmarkId::new("algorithm_1", n), &n, |b, _| {
+            b.iter(|| AlgorithmOne::new().construct(udg.graph()));
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm_2", n), &n, |b, _| {
+            b.iter(|| AlgorithmTwo::new().construct(udg.graph()));
+        });
+    }
+    // the O(n³) greedy baseline only at a small size
+    let udg = connected_uniform_udg(120, side_for_avg_degree(120, 12.0), 4);
+    group.bench_function("greedy_wcds/120", |b| {
+        b.iter(|| GreedyWcds::new().construct(udg.graph()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_udg_build, bench_mis, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! B5: analysis-side microbenchmarks — all-pairs dilation measurement
+//! and the subset-distance minimax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree};
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::dilation::DilationReport;
+use wcds_core::mis::{greedy_mis, RankingMode};
+use wcds_core::properties;
+use wcds_core::WcdsConstruction;
+
+fn bench_dilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dilation_measure");
+    group.sample_size(10);
+    for n in [100usize, 200] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 7);
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DilationReport::measure(udg.graph(), &result.spanner, udg.points()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subset_distance_minimax");
+    for n in [200usize, 800] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 8);
+        let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| properties::max_complementary_subset_distance(udg.graph(), &mis));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dilation, bench_subset_distance);
+criterion_main!(benches);

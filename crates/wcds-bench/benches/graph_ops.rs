@@ -1,0 +1,39 @@
+//! B4: substrate microbenchmarks — BFS, Dijkstra, components, and the
+//! distributed simulator's round loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree};
+use wcds_core::algo2;
+use wcds_graph::{shortest_path, traversal};
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    for n in [1000usize, 4000] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 5);
+        let g = udg.graph();
+        group.bench_with_input(BenchmarkId::new("bfs", n), &n, |b, _| {
+            b.iter(|| traversal::bfs_distances(g, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra_geom", n), &n, |b, _| {
+            b.iter(|| shortest_path::geometric_distances(g, udg.points(), 0));
+        });
+        group.bench_with_input(BenchmarkId::new("components", n), &n, |b, _| {
+            b.iter(|| traversal::connected_components(g));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [250usize, 1000] {
+        let udg = connected_uniform_udg(n, side_for_avg_degree(n, 12.0), 6);
+        group.bench_with_input(BenchmarkId::new("algo2_distributed_sync", n), &n, |b, _| {
+            b.iter(|| algo2::distributed::run_synchronous(udg.graph()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traversals, bench_simulator);
+criterion_main!(benches);

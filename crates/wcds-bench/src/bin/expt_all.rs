@@ -1,0 +1,13 @@
+//! Prints the entire reproduced evaluation (DESIGN.md §5 order).
+//! Pass `--quick` for a fast smoke run.
+
+use wcds_bench::experiments;
+use wcds_bench::util::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("# WCDS paper evaluation — full reproduction ({scale:?} scale)\n");
+    for table in experiments::run_all(scale) {
+        println!("{table}");
+    }
+}

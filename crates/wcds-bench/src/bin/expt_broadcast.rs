@@ -1,0 +1,11 @@
+//! Experiment binary; see DESIGN.md §5. Pass `--quick` for a smoke run.
+
+use wcds_bench::experiments;
+use wcds_bench::util::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    for table in experiments::routing::run_broadcast(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Experiment binary; see DESIGN.md §5.
+
+use wcds_bench::experiments;
+
+fn main() {
+    for table in experiments::figures::run_fig2() {
+        println!("{table}");
+    }
+}

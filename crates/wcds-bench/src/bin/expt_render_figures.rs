@@ -1,0 +1,18 @@
+//! Writes the paper-style figures as SVG artifacts into ./artifacts.
+
+use wcds_bench::experiments::figures;
+
+fn main() {
+    let dir = std::path::Path::new("artifacts");
+    match figures::write_figure_svgs(dir) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

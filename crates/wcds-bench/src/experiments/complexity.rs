@@ -1,0 +1,119 @@
+//! T5/T6 — message and time complexity of the distributed protocols
+//! (§4.1's `O(n log n)` vs Theorem 12's `O(n)`).
+
+use crate::util::{connected_uniform_udg, f2, side_for_avg_degree, Scale, Table};
+use wcds_core::{algo1, algo2};
+use wcds_graph::generators;
+
+/// T5: messages — Algorithm I (dominated by leader election) vs
+/// Algorithm II (strictly `O(n)`).
+pub fn run_messages(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[64, 128][..], &[125, 250, 500, 1000, 2000][..]);
+    let mut t = Table::new(
+        "T5 · distributed message complexity (paper: O(n log n) vs O(n))",
+        &[
+            "n",
+            "algo-1 total",
+            "  election",
+            "  levels",
+            "  marking",
+            "per-node /log n",
+            "algo-2 total",
+            "algo-2 per-node",
+        ],
+    );
+    for &n in sizes {
+        let side = side_for_avg_degree(n, 12.0);
+        let udg = connected_uniform_udg(n, side, 5);
+        let g = udg.graph();
+        let run1 = algo1::distributed::run_synchronous(g);
+        let run2 = algo2::distributed::run_synchronous(g);
+        let m1 = run1.total_messages();
+        let m2 = run2.report.messages.total();
+        t.row(vec![
+            n.to_string(),
+            m1.to_string(),
+            run1.election_report.messages.total().to_string(),
+            run1.level_report.messages.total().to_string(),
+            run1.marking_report.messages.total().to_string(),
+            f2(m1 as f64 / n as f64 / (n as f64).ln()),
+            m2.to_string(),
+            f2(m2 as f64 / n as f64),
+        ]);
+    }
+    t.note("expected: algo-1's budget is dominated by election; its per-node/log n column");
+    t.note("stays roughly flat (Θ(n log n)); algo-2's per-node count is a flat constant (Θ(n)).");
+    vec![t]
+}
+
+/// T6: time (synchronous rounds) — `O(n)` worst case, realised by the
+/// ascending-ID chain; random UDGs finish much faster.
+pub fn run_time(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[64, 128][..], &[125, 250, 500, 1000][..]);
+    let mut t = Table::new(
+        "T6 · distributed time in synchronous rounds (Theorem 12: O(n))",
+        &["topology", "n", "algo-1 rounds", "algo-2 rounds", "rounds / n"],
+    );
+    for &n in sizes {
+        // adversarial chain: ascending IDs force sequential MIS decisions
+        let chain = generators::path(n);
+        let r1 = algo1::distributed::run_synchronous(&chain);
+        let r2 = algo2::distributed::run_synchronous(&chain);
+        t.row(vec![
+            "chain (worst case)".into(),
+            n.to_string(),
+            r1.total_time().to_string(),
+            r2.report.rounds.to_string(),
+            f2(r2.report.rounds as f64 / n as f64),
+        ]);
+        let side = side_for_avg_degree(n, 12.0);
+        let udg = connected_uniform_udg(n, side, 3);
+        let r1 = algo1::distributed::run_synchronous(udg.graph());
+        let r2 = algo2::distributed::run_synchronous(udg.graph());
+        t.row(vec![
+            "random UDG".into(),
+            n.to_string(),
+            r1.total_time().to_string(),
+            r2.report.rounds.to_string(),
+            f2(r2.report.rounds as f64 / n as f64),
+        ]);
+    }
+    t.note("expected: chain rounds grow linearly in n (rounds/n ≈ constant), realising the");
+    t.note("Theorem 12 worst case; random UDGs finish in far fewer (diameter-driven) rounds.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo2_messages_are_linear() {
+        let t = &run_messages(Scale::Quick)[0];
+        for row in &t.rows {
+            let per_node: f64 = row[7].parse().unwrap();
+            assert!(per_node < 12.0, "algo-2 per-node messages too high: {row:?}");
+        }
+    }
+
+    #[test]
+    fn algo1_sends_more_than_algo2() {
+        let t = &run_messages(Scale::Quick)[0];
+        for row in &t.rows {
+            let m1: f64 = row[1].parse().unwrap();
+            let m2: f64 = row[6].parse().unwrap();
+            assert!(m1 > m2, "election overhead should dominate: {row:?}");
+        }
+    }
+
+    #[test]
+    fn chain_time_is_linear() {
+        let t = &run_time(Scale::Quick)[0];
+        for row in t.rows.iter().filter(|r| r[0].contains("chain")) {
+            let n: f64 = row[1].parse().unwrap();
+            let rounds: f64 = row[3].parse().unwrap();
+            assert!(rounds >= n / 3.0, "chain should be Θ(n) rounds: {row:?}");
+            assert!(rounds <= 4.0 * n, "chain rounds super-linear: {row:?}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! F1, F2, F6 — the paper's illustrative figures as checkable
+//! artifacts.
+
+use crate::util::{f2, Scale, Table};
+use wcds_core::ranking::{level_based_ranks, rank_order};
+use wcds_core::Wcds;
+use wcds_geom::deploy;
+use wcds_graph::spanning::SpanningTree;
+use wcds_graph::{domination, Graph, UnitDiskGraph};
+
+/// F1 (Figure 1): unit-disk graph density.
+///
+/// At a fixed region, `|E|` grows quadratically with `n` — the
+/// scalability problem (§1) that motivates running protocols over a
+/// sparse spanner instead of `G` itself.
+pub fn run_fig1(scale: Scale) -> Vec<Table> {
+    let sizes: &[usize] = scale.pick(&[50, 100, 200][..], &[100, 200, 400, 800, 1600][..]);
+    let side = 8.0;
+    let mut t = Table::new(
+        "F1 · UDG density at fixed area (Figure 1 / §1 motivation)",
+        &["n", "|E|", "avg deg", "|E| / n", "|E| / n^2"],
+    );
+    for &n in sizes {
+        let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, 42), 1.0);
+        let m = udg.graph().edge_count();
+        t.row(vec![
+            n.to_string(),
+            m.to_string(),
+            f2(udg.graph().avg_degree()),
+            f2(m as f64 / n as f64),
+            format!("{:.5}", m as f64 / (n * n) as f64),
+        ]);
+    }
+    t.note("expected: |E|/n grows linearly with n (dense UDG has Θ(n²) edges),");
+    t.note("while |E|/n² approaches the constant π/side² ≈ 0.049 — Θ(n²) confirmed.");
+    vec![t]
+}
+
+/// F2 (Figure 2): the paper's 9-node WCDS example.
+///
+/// Nodes "1" and "2" (our ids 0 and 1) form a WCDS whose weakly induced
+/// black-edge subgraph spans the graph, even though the two dominators
+/// are not adjacent (so the set is *not* a CDS).
+pub fn run_fig2() -> Vec<Table> {
+    let udg = UnitDiskGraph::build(deploy::figure2(), 1.0);
+    let g = udg.graph();
+    let wcds = Wcds::from_mis(vec![0, 1]);
+    let spanner = wcds.weakly_induced_subgraph(g);
+    let mut t = Table::new(
+        "F2 · the paper's Figure 2 example, reconstructed geometrically",
+        &["property", "value"],
+    );
+    t.row(vec!["nodes / edges of G".into(), format!("{} / {}", g.node_count(), g.edge_count())]);
+    t.row(vec!["candidate set {1, 2} (ids 0, 1)".into(), "checked below".into()]);
+    t.row(vec![
+        "is dominating".into(),
+        domination::is_dominating_set(g, wcds.nodes()).to_string(),
+    ]);
+    t.row(vec![
+        "is weakly-connected dominating".into(),
+        wcds.is_valid(g).to_string(),
+    ]);
+    t.row(vec![
+        "is CONNECTED dominating".into(),
+        domination::is_connected_dominating_set(g, wcds.nodes()).to_string(),
+    ]);
+    t.row(vec!["black (weakly induced) edges".into(), spanner.edge_count().to_string()]);
+    t.row(vec![
+        "black subgraph connected".into(),
+        wcds_graph::traversal::is_connected(&spanner).to_string(),
+    ]);
+    t.note("expected: dominating ✓, weakly connected ✓, NOT a CDS — matching Figure 2.");
+    vec![t]
+}
+
+/// F6 (Figure 6): level-based ranking on the paper's example tree.
+///
+/// Reconstructs a tree with the figure's labelled nodes — root `0` at
+/// level 0, node `10` at level 1, node `7` at level 3 — and prints the
+/// lexicographic rank order.
+pub fn run_fig6() -> Vec<Table> {
+    // a small tree realising the figure's levels:
+    //   0 ── 10 ── 5 ── 7        (root 0; 10 at L1; 5 at L2; 7 at L3)
+    //   0 ── 3                    (3 at L1)
+    let g = Graph::from_edges(11, [(0, 10), (10, 5), (5, 7), (0, 3)]);
+    // restrict to the nodes used (others isolated; BFS tree needs
+    // connected graph, so build the tree over the component instead)
+    let used = [0usize, 3, 5, 7, 10];
+    let sub = g.induced(&used);
+    // SpanningTree requires full connectivity; work on a compacted copy
+    let mut t = Table::new(
+        "F6 · level-based ranking (Figure 6): rank = (level, id)",
+        &["node", "level", "rank", "position in rank order"],
+    );
+    // compact relabel: map used nodes to 0..5 preserving ids via table
+    let ids: Vec<u64> = used.iter().map(|&u| u as u64).collect();
+    let mut edges = Vec::new();
+    for e in sub.edges() {
+        let (a, b) = e.endpoints();
+        let ai = used.iter().position(|&u| u == a).expect("edge endpoints are used nodes");
+        let bi = used.iter().position(|&u| u == b).expect("edge endpoints are used nodes");
+        edges.push((ai, bi));
+    }
+    let compact = Graph::from_edges(used.len(), edges);
+    let tree = SpanningTree::bfs(&compact, 0).expect("figure tree is connected");
+    let ranks = wcds_core::ranking::level_based_ranks_with_ids(&tree, |u| ids[u]);
+    let order = rank_order(&ranks);
+    for (i, &u) in used.iter().enumerate() {
+        let pos = order.iter().position(|&x| x == i).expect("every node is ranked");
+        t.row(vec![
+            u.to_string(),
+            tree.level(i).to_string(),
+            format!("{}", ranks[i]),
+            pos.to_string(),
+        ]);
+    }
+    t.note("expected: root (0,0) first; (1,10) sorts after (1,3); (3,7) last —");
+    t.note("level dominates, id breaks ties, exactly as Figure 6 annotates.");
+
+    // also confirm the generic property on a random tree
+    let g2 = wcds_graph::generators::connected_gnp(40, 0.08, 4);
+    let tree2 = SpanningTree::bfs(&g2, 0).expect("connected");
+    let ranks2 = level_based_ranks(&tree2);
+    let order2 = rank_order(&ranks2);
+    let sorted_by_level =
+        order2.windows(2).all(|w| tree2.level(w[0]) <= tree2.level(w[1]));
+    t.note(format!("random-tree check (n=40): rank order sorted by level = {sorted_by_level}"));
+    vec![t]
+}
+
+/// Writes SVG renderings of the paper-style figures into `dir`,
+/// returning the written paths: the Figure 2 WCDS example, a dense UDG
+/// (Figure 1's motivation), and an Algorithm II backbone over it.
+///
+/// # Errors
+///
+/// Returns an I/O error if `dir` cannot be created or written.
+pub fn write_figure_svgs(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use wcds_core::algo2::AlgorithmTwo;
+    use wcds_core::WcdsConstruction;
+    use wcds_vis::SceneBuilder;
+
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+
+    // Figure 2: the paper's 9-node WCDS example
+    let udg = UnitDiskGraph::build(deploy::figure2(), 1.0);
+    let wcds = Wcds::from_mis(vec![0, 1]);
+    let spanner = wcds.weakly_induced_subgraph(udg.graph());
+    let svg = SceneBuilder::new(&udg)
+        .background_edges(udg.graph())
+        .highlight_edges(&spanner, "#111111", 1.8)
+        .wcds(&wcds)
+        .caption("Figure 2: WCDS {1, 2} and its weakly induced subgraph")
+        .render();
+    let p = dir.join("fig2_wcds_example.svg");
+    std::fs::write(&p, svg)?;
+    written.push(p);
+
+    // Figure 1 flavor: a dense UDG, then the same deployment with its
+    // Algorithm II backbone — the visual version of T3b's crossover
+    let udg = UnitDiskGraph::build(deploy::uniform(160, 6.0, 6.0, 42), 1.0);
+    let svg = SceneBuilder::new(&udg)
+        .background_edges(udg.graph())
+        .caption(format!(
+            "Figure 1: unit-disk graph, {} nodes / {} edges",
+            udg.node_count(),
+            udg.graph().edge_count()
+        ))
+        .render();
+    let p = dir.join("fig1_udg.svg");
+    std::fs::write(&p, svg)?;
+    written.push(p);
+
+    if wcds_graph::traversal::is_connected(udg.graph()) {
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let svg = SceneBuilder::new(&udg)
+            .background_edges(udg.graph())
+            .highlight_edges(&result.spanner, "#111111", 1.4)
+            .wcds(&result.wcds)
+            .caption(format!("Algorithm II backbone: {}", result.wcds))
+            .render();
+        let p = dir.join("backbone_algo2.svg");
+        std::fs::write(&p, svg)?;
+        written.push(p);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_svgs_are_written() {
+        let dir = std::env::temp_dir().join(format!("wcds-figs-{}", std::process::id()));
+        let written = write_figure_svgs(&dir).expect("writes");
+        assert!(written.len() >= 2);
+        for p in &written {
+            let content = std::fs::read_to_string(p).expect("readable");
+            assert!(content.starts_with("<svg"), "{p:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fig1_shows_superlinear_growth() {
+        let tables = run_fig1(Scale::Quick);
+        let t = &tables[0];
+        let first: f64 = t.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > 2.0 * first, "edges/node should grow with n at fixed area");
+    }
+
+    #[test]
+    fn fig2_validates_papers_claims() {
+        let t = &run_fig2()[0];
+        let find = |k: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0].contains(k))
+                .unwrap_or_else(|| panic!("missing row {k}"))[1]
+                .clone()
+        };
+        assert_eq!(find("is dominating"), "true");
+        assert_eq!(find("weakly-connected"), "true");
+        assert_eq!(find("CONNECTED"), "false");
+    }
+
+    #[test]
+    fn fig6_rank_order_matches_paper() {
+        let t = &run_fig6()[0];
+        let pos = |node: &str| -> usize {
+            t.rows.iter().find(|r| r[0] == node).expect("node row")[3].parse().unwrap()
+        };
+        assert_eq!(pos("0"), 0, "root first");
+        assert!(pos("3") < pos("10"), "(1,3) before (1,10)");
+        assert_eq!(pos("7"), 4, "(3,7) last");
+    }
+}

@@ -1,0 +1,44 @@
+//! One module per experiment family; see `DESIGN.md` §5 for the
+//! experiment-id ↔ paper-claim index.
+
+pub mod ablation;
+pub mod complexity;
+pub mod dilation;
+pub mod extensions;
+pub mod figures;
+pub mod lemmas;
+pub mod maintenance;
+pub mod position;
+pub mod ratio;
+pub mod routing;
+pub mod spanner;
+pub mod workloads;
+
+use crate::util::{Scale, Table};
+
+/// Runs the entire evaluation, in DESIGN.md order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(figures::run_fig1(scale));
+    out.extend(figures::run_fig2());
+    out.extend(lemmas::run_lemma1(scale));
+    out.extend(lemmas::run_lemma2(scale));
+    out.extend(lemmas::run_subset_distance(scale));
+    out.extend(figures::run_fig6());
+    out.extend(ratio::run(scale));
+    out.extend(spanner::run(scale));
+    out.extend(dilation::run(scale));
+    out.extend(complexity::run_messages(scale));
+    out.extend(complexity::run_time(scale));
+    out.extend(routing::run_unicast(scale));
+    out.extend(routing::run_distributed_unicast(scale));
+    out.extend(routing::run_broadcast(scale));
+    out.extend(maintenance::run(scale));
+    out.extend(maintenance::run_distributed(scale));
+    out.extend(ablation::run(scale));
+    out.extend(extensions::run_pruning(scale));
+    out.extend(extensions::run_robustness(scale));
+    out.extend(position::run(scale));
+    out.extend(workloads::run(scale));
+    out
+}

@@ -1,0 +1,108 @@
+//! T11 — position-less vs position-based spanners (our addition,
+//! drawing the contrast with the paper's related work `[12]`/`[15]`).
+//!
+//! RNG and Gabriel graphs need node coordinates; the WCDS spanner needs
+//! only neighbor IDs. This sweep shows what each pays and buys: edge
+//! budget, hop dilation, geometric dilation, and whether the
+//! construction also yields a routing backbone (a dominating set).
+
+use crate::util::{connected_uniform_udg, f2, f3, side_for_avg_degree, Scale, Table};
+use wcds_baselines::proximity::{gabriel_graph, relative_neighborhood_graph};
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::dilation::DilationReport;
+use wcds_core::WcdsConstruction;
+
+/// Runs the spanner comparison.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(100, 300);
+    let trials = scale.pick(2, 6);
+    let side = side_for_avg_degree(n, 13.0);
+    let mut t = Table::new(
+        "T11 · spanner shoot-out: position-less WCDS vs position-based RNG/Gabriel",
+        &[
+            "spanner",
+            "needs positions",
+            "E'/n",
+            "max h'/h",
+            "max ℓ'/ℓ",
+            "weight / MST",
+            "backbone (DS)?",
+        ],
+    );
+
+    let mut rows: Vec<(&str, bool, f64, f64, f64, f64, bool)> = vec![
+        ("algo-2 WCDS", false, 0.0, 0.0, 0.0, 0.0, true),
+        ("RNG", true, 0.0, 0.0, 0.0, 0.0, false),
+        ("Gabriel", true, 0.0, 0.0, 0.0, 0.0, false),
+    ];
+    for seed in 0..trials {
+        let udg = connected_uniform_udg(n, side, seed as u64 + 83);
+        let g = udg.graph();
+        // Euclidean MST weight — the lightest possible connected
+        // subgraph, the natural yardstick for total spanner weight
+        let mst = wcds_graph::spanning::minimum_spanning_tree(g, |u, v| {
+            udg.point(u).distance(udg.point(v))
+        })
+        .expect("connected");
+        let weight_of = |s: &wcds_graph::Graph| -> f64 {
+            s.edges()
+                .iter()
+                .map(|e| {
+                    let (u, v) = e.endpoints();
+                    udg.point(u).distance(udg.point(v))
+                })
+                .sum()
+        };
+        let mst_weight = weight_of(&mst);
+        let spanners = [
+            AlgorithmTwo::new().construct(g).spanner,
+            relative_neighborhood_graph(&udg),
+            gabriel_graph(&udg),
+        ];
+        for (row, spanner) in rows.iter_mut().zip(spanners) {
+            row.2 += spanner.edge_count() as f64 / n as f64 / trials as f64;
+            let d = DilationReport::measure(g, &spanner, udg.points());
+            row.3 = row.3.max(d.topological_ratio());
+            row.4 = row.4.max(d.geometric_ratio());
+            row.5 += weight_of(&spanner) / mst_weight / trials as f64;
+        }
+    }
+    for (name, positions, epn, topo, geo, weight, backbone) in rows {
+        t.row(vec![
+            name.into(),
+            positions.to_string(),
+            f2(epn),
+            f3(topo),
+            f3(geo),
+            f2(weight),
+            backbone.to_string(),
+        ]);
+    }
+    t.note("the trade: proximity graphs are sparser but pay large worst-case hop dilation");
+    t.note("(RNG famously has no constant hop-stretch bound), need coordinates, and provide no");
+    t.note("dominating backbone. The WCDS spanner keeps more edges but bounds dilation (3h+2,");
+    t.note("6ℓ+5) and doubles as the routing/broadcast backbone — without any positions.");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_shapes_hold() {
+        let t = &run(Scale::Quick)[0];
+        let get = |name: &str, col: usize| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).expect("row")[col].parse().unwrap()
+        };
+        // proximity graphs are sparser than the WCDS spanner
+        assert!(get("RNG", 2) <= get("algo-2 WCDS", 2) + 0.5);
+        // the MST lower-bounds every connected spanner's weight
+        for row in &t.rows {
+            assert!(row[5].parse::<f64>().unwrap() >= 1.0 - 1e-9, "{row:?}");
+            assert!(row[3].parse::<f64>().unwrap() >= 1.0);
+        }
+        // RNG weight is within a small factor of the MST (classic fact)
+        assert!(get("RNG", 5) < 3.0);
+    }
+}

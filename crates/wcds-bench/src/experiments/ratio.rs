@@ -1,0 +1,137 @@
+//! T1/T2 — approximation ratios (Lemma 7, Theorem 10).
+//!
+//! Small instances are compared against the **exact** minimum WCDS
+//! (branch search); large instances against the certified UDG lower
+//! bound `max(⌈|MIS|/5⌉, ⌈n/(Δ+1)⌉)`.
+
+use crate::util::{connected_uniform_udg, f2, side_for_avg_degree, Scale, Table};
+use wcds_baselines::exact;
+use wcds_baselines::{GreedyWcds, MisTreeCds};
+use wcds_core::algo1::AlgorithmOne;
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::WcdsConstruction;
+
+/// Runs both ratio tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![exact_ratio_table(scale), bound_ratio_table(scale)]
+}
+
+/// T1a: measured ratio against the exact optimum on small UDGs.
+fn exact_ratio_table(scale: Scale) -> Table {
+    let trials = scale.pick(5, 30);
+    let n = 14;
+    let mut t = Table::new(
+        "T1 · approximation ratio vs EXACT minimum WCDS (n = 14 UDGs)",
+        &["algorithm", "mean |WCDS|", "mean opt", "mean ratio", "worst ratio", "proven bound"],
+    );
+    let algos: Vec<(&'static str, Box<dyn WcdsConstruction>, &'static str)> = vec![
+        ("algorithm-1", Box::new(AlgorithmOne::new()), "5"),
+        ("algorithm-2", Box::new(AlgorithmTwo::new()), "122.5"),
+        ("greedy-wcds", Box::new(GreedyWcds::new()), "O(ln Δ)"),
+        ("mis-tree-cds", Box::new(MisTreeCds::new()), "(CDS)"),
+    ];
+    // precompute instances + optima once
+    let mut instances = Vec::new();
+    for seed in 0..trials {
+        let udg = connected_uniform_udg(n, 2.6, seed as u64);
+        let opt = exact::minimum_wcds(udg.graph()).len();
+        instances.push((udg, opt));
+    }
+    for (name, algo, bound) in &algos {
+        let mut sizes = 0.0;
+        let mut opts = 0.0;
+        let mut worst: f64 = 0.0;
+        let mut ratios = 0.0;
+        for (udg, opt) in &instances {
+            let size = algo.construct(udg.graph()).wcds.len();
+            let r = size as f64 / *opt as f64;
+            sizes += size as f64;
+            opts += *opt as f64;
+            ratios += r;
+            worst = worst.max(r);
+        }
+        let k = instances.len() as f64;
+        t.row(vec![
+            (*name).into(),
+            f2(sizes / k),
+            f2(opts / k),
+            f2(ratios / k),
+            f2(worst),
+            (*bound).into(),
+        ]);
+    }
+    t.note("expected: algorithm-1 worst ratio far below its proven 5 (typically ≤ 2.5);");
+    t.note("algorithm-2 close to algorithm-1 (the 122.5 constant is loose);");
+    t.note("CDS baselines ≥ WCDS algorithms (connectivity is the stronger requirement).");
+    t
+}
+
+/// T1b/T2: size against the certified lower bound on larger UDGs.
+fn bound_ratio_table(scale: Scale) -> Table {
+    let sizes: &[usize] = scale.pick(&[60, 120][..], &[100, 250, 500, 1000][..]);
+    let trials = scale.pick(3, 10);
+    let mut t = Table::new(
+        "T2 · size vs certified lower bound (avg degree ≈ 12 UDGs)",
+        &["n", "LB", "algo-1 (≤5·opt)", "algo-2 |S|+|C|", "|C|/|S| (≤23.5)", "greedy-wcds"],
+    );
+    for &n in sizes {
+        let side = side_for_avg_degree(n, 12.0);
+        let mut lb = 0.0;
+        let mut a1 = 0.0;
+        let mut s2 = 0.0;
+        let mut c2 = 0.0;
+        let mut gw = 0.0;
+        for seed in 0..trials {
+            let udg = connected_uniform_udg(n, side, seed as u64 + 7);
+            lb += exact::wcds_lower_bound_udg(udg.graph()) as f64;
+            a1 += AlgorithmOne::new().construct(udg.graph()).wcds.len() as f64;
+            let r2 = AlgorithmTwo::new().construct(udg.graph()).wcds;
+            s2 += r2.mis_dominators().len() as f64;
+            c2 += r2.additional_dominators().len() as f64;
+            if n <= 250 {
+                gw += GreedyWcds::new().construct(udg.graph()).wcds.len() as f64;
+            }
+        }
+        let k = trials as f64;
+        t.row(vec![
+            n.to_string(),
+            f2(lb / k),
+            f2(a1 / k),
+            format!("{} + {}", f2(s2 / k), f2(c2 / k)),
+            f2(if s2 > 0.0 { c2 / s2 } else { 0.0 }),
+            if n <= 250 { f2(gw / k) } else { "(skipped: O(n³) greedy)".into() },
+        ]);
+    }
+    t.note("LB ≤ opt, so size/LB upper-bounds the true ratio; expected: algo-1 within ~5·LB,");
+    t.note("|C|/|S| a small constant (≪ the 23.5 of Theorem 10); sizes grow linearly in n.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ratios_respect_proven_bounds() {
+        let t = exact_ratio_table(Scale::Quick);
+        let worst = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).expect("row")[4].parse().unwrap()
+        };
+        assert!(worst("algorithm-1") <= 5.0);
+        assert!(worst("algorithm-2") <= 122.5);
+        // every ratio is at least 1 (opt is optimal)
+        for row in &t.rows {
+            assert!(row[3].parse::<f64>().unwrap() >= 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_above_algorithms() {
+        let t = bound_ratio_table(Scale::Quick);
+        for row in &t.rows {
+            let lb: f64 = row[1].parse().unwrap();
+            let a1: f64 = row[2].parse().unwrap();
+            assert!(lb <= a1 + 1e-9, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every figure and quantitative claim
+//! of the ICDCS 2003 WCDS paper.
+//!
+//! The paper is pre-"artifact evaluation": it has no measured tables,
+//! only illustrative figures and proven bounds. "Reproducing the
+//! evaluation" therefore means regenerating each figure as a checkable
+//! artifact and measuring each bound (approximation ratios, spanner
+//! sparseness, dilation, message/time complexity) on synthetic
+//! deployments — the substitution policy recorded in `DESIGN.md`.
+//!
+//! Each experiment lives in [`experiments`] as a function returning
+//! printable [`util::Table`]s; the `expt_*` binaries in `src/bin` are
+//! thin wrappers, and `expt_all` prints the whole evaluation. Every
+//! experiment accepts a [`util::Scale`] so integration tests can
+//! smoke-run the full suite in seconds while the binaries default to
+//! paper-scale sweeps.
+
+pub mod experiments;
+pub mod util;

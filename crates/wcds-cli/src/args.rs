@@ -1,0 +1,373 @@
+//! Hand-rolled argument parsing (the approved dependency list has no
+//! CLI parser; the grammar is small enough that one is not missed).
+
+use std::error::Error;
+use std::fmt;
+
+/// A CLI failure: bad arguments, I/O, or command-level errors.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+/// Deployment models of `wcds generate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Uniform random in a square.
+    Uniform,
+    /// Gaussian clusters.
+    Clustered,
+    /// Jittered grid.
+    Grid,
+    /// A chain (the adversarial worst case).
+    Chain,
+}
+
+/// Construction algorithms selectable on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Algorithm I (level-ranked MIS).
+    Algo1,
+    /// Algorithm II (localized MIS + bridges).
+    Algo2,
+    /// Chen–Liestman greedy WCDS.
+    GreedyWcds,
+    /// Guha–Khuller-style greedy CDS.
+    GreedyCds,
+    /// Wu–Li marking CDS.
+    WuLi,
+    /// MIS + spanning-tree connectors CDS.
+    MisTree,
+}
+
+impl Algo {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "algo1" | "algorithm-1" => Ok(Algo::Algo1),
+            "algo2" | "algorithm-2" => Ok(Algo::Algo2),
+            "greedy-wcds" => Ok(Algo::GreedyWcds),
+            "greedy-cds" => Ok(Algo::GreedyCds),
+            "wu-li" => Ok(Algo::WuLi),
+            "mis-tree" | "mis-tree-cds" => Ok(Algo::MisTree),
+            other => Err(CliError(format!(
+                "unknown algorithm `{other}` (try algo1, algo2, greedy-wcds, greedy-cds, wu-li, mis-tree)"
+            ))),
+        }
+    }
+}
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `wcds generate` — create a deployment and write the graph file.
+    Generate {
+        /// Deployment model.
+        model: Model,
+        /// Node count.
+        n: usize,
+        /// Region side length.
+        side: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output path (`-` = stdout).
+        output: String,
+    },
+    /// `wcds stats` — topology metrics.
+    Stats {
+        /// Input graph file.
+        input: String,
+    },
+    /// `wcds construct` — run a WCDS construction.
+    Construct {
+        /// Input graph file.
+        input: String,
+        /// Algorithm choice.
+        algo: Algo,
+        /// Apply the minimality pruning pass.
+        prune: bool,
+    },
+    /// `wcds validate` — check DS/WCDS/CDS properties of a node set.
+    Validate {
+        /// Input graph file.
+        input: String,
+        /// The candidate node set.
+        set: Vec<usize>,
+    },
+    /// `wcds route` — clusterhead-route one packet.
+    Route {
+        /// Input graph file.
+        input: String,
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// `wcds compare` — run every construction on one input and print
+    /// a comparison table.
+    Compare {
+        /// Input graph file.
+        input: String,
+    },
+    /// `wcds render` — draw the network (and optionally a backbone) as
+    /// SVG.
+    Render {
+        /// Input graph file (must contain `point` lines).
+        input: String,
+        /// Construction whose backbone to overlay (`None` = plain UDG).
+        algo: Option<Algo>,
+        /// Output SVG path (`-` = stdout).
+        output: String,
+    },
+    /// `wcds simulate` — run a distributed construction, with reports.
+    Simulate {
+        /// Input graph file.
+        input: String,
+        /// `algo1` or `algo2` (the distributed protocols).
+        algo: Algo,
+        /// Asynchronous schedule seed (synchronous when absent).
+        async_seed: Option<u64>,
+    },
+    /// `wcds help` / no arguments.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+wcds — weakly-connected dominating sets and sparse spanners (ICDCS 2003)
+
+USAGE:
+  wcds generate  --model uniform|clustered|grid|chain --n N [--side S] [--seed K] -o FILE
+  wcds stats     -i FILE
+  wcds construct -i FILE --algo algo1|algo2|greedy-wcds|greedy-cds|wu-li|mis-tree [--prune]
+  wcds validate  -i FILE --set 0,5,9
+  wcds route     -i FILE --from A --to B
+  wcds compare   -i FILE
+  wcds render    -i FILE [--algo ALGO] -o FILE.svg
+  wcds simulate  -i FILE --algo algo1|algo2 [--async-seed K]
+  wcds help
+";
+
+struct ArgScanner<'a> {
+    argv: &'a [String],
+    i: usize,
+}
+
+impl<'a> ArgScanner<'a> {
+    fn new(argv: &'a [String]) -> Self {
+        Self { argv, i: 0 }
+    }
+
+    fn value_of(&mut self, flag: &str) -> Option<&'a str> {
+        self.argv
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|p| self.argv.get(p + 1))
+            .map(String::as_str)
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.argv.iter().any(|a| a == flag)
+    }
+}
+
+fn required<'a>(s: &mut ArgScanner<'a>, flag: &str) -> Result<&'a str, CliError> {
+    s.value_of(flag).ok_or_else(|| CliError(format!("missing required argument {flag}")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.parse().map_err(|_| CliError(format!("invalid value `{raw}` for {flag}")))
+}
+
+/// Parses an argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage-style message on malformed input.
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &argv[1..];
+    let mut s = ArgScanner::new(rest);
+    let _ = s.i;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let model = match required(&mut s, "--model")? {
+                "uniform" => Model::Uniform,
+                "clustered" => Model::Clustered,
+                "grid" => Model::Grid,
+                "chain" => Model::Chain,
+                other => return Err(CliError(format!("unknown model `{other}`"))),
+            };
+            let n = parse_num(required(&mut s, "--n")?, "--n")?;
+            let side = match s.value_of("--side") {
+                Some(v) => parse_num(v, "--side")?,
+                None => 8.0,
+            };
+            let seed = match s.value_of("--seed") {
+                Some(v) => parse_num(v, "--seed")?,
+                None => 0,
+            };
+            let output = required(&mut s, "-o")?.to_string();
+            Ok(Command::Generate { model, n, side, seed, output })
+        }
+        "stats" => Ok(Command::Stats { input: required(&mut s, "-i")?.to_string() }),
+        "construct" => Ok(Command::Construct {
+            input: required(&mut s, "-i")?.to_string(),
+            algo: Algo::parse(required(&mut s, "--algo")?)?,
+            prune: s.has_flag("--prune"),
+        }),
+        "validate" => {
+            let input = required(&mut s, "-i")?.to_string();
+            let raw = required(&mut s, "--set")?;
+            let set = raw
+                .split(',')
+                .filter(|t| !t.is_empty())
+                .map(|t| parse_num(t.trim(), "--set"))
+                .collect::<Result<Vec<usize>, _>>()?;
+            if set.is_empty() {
+                return Err(CliError("--set must list at least one node".into()));
+            }
+            Ok(Command::Validate { input, set })
+        }
+        "route" => Ok(Command::Route {
+            input: required(&mut s, "-i")?.to_string(),
+            from: parse_num(required(&mut s, "--from")?, "--from")?,
+            to: parse_num(required(&mut s, "--to")?, "--to")?,
+        }),
+        "compare" => Ok(Command::Compare { input: required(&mut s, "-i")?.to_string() }),
+        "render" => {
+            let input = required(&mut s, "-i")?.to_string();
+            let algo = match s.value_of("--algo") {
+                Some(v) => Some(Algo::parse(v)?),
+                None => None,
+            };
+            let output = required(&mut s, "-o")?.to_string();
+            Ok(Command::Render { input, algo, output })
+        }
+        "simulate" => {
+            let input = required(&mut s, "-i")?.to_string();
+            let algo = Algo::parse(required(&mut s, "--algo")?)?;
+            if !matches!(algo, Algo::Algo1 | Algo::Algo2) {
+                return Err(CliError("simulate supports only algo1 and algo2".into()));
+            }
+            let async_seed = match s.value_of("--async-seed") {
+                Some(v) => Some(parse_num(v, "--async-seed")?),
+                None => None,
+            };
+            Ok(Command::Simulate { input, algo, async_seed })
+        }
+        other => Err(CliError(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_with_defaults() {
+        let cmd = parse(&argv("generate --model uniform --n 50 -o out.graph")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                model: Model::Uniform,
+                n: 50,
+                side: 8.0,
+                seed: 0,
+                output: "out.graph".into()
+            }
+        );
+    }
+
+    #[test]
+    fn generate_with_all_flags() {
+        let cmd =
+            parse(&argv("generate --model chain --n 9 --side 3.5 --seed 7 -o -")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                model: Model::Chain,
+                n: 9,
+                side: 3.5,
+                seed: 7,
+                output: "-".into()
+            }
+        );
+    }
+
+    #[test]
+    fn construct_parses_algos_and_prune() {
+        let cmd = parse(&argv("construct -i x.graph --algo algo2 --prune")).unwrap();
+        assert_eq!(cmd, Command::Construct { input: "x.graph".into(), algo: Algo::Algo2, prune: true });
+        for (name, want) in [
+            ("algo1", Algo::Algo1),
+            ("greedy-wcds", Algo::GreedyWcds),
+            ("greedy-cds", Algo::GreedyCds),
+            ("wu-li", Algo::WuLi),
+            ("mis-tree", Algo::MisTree),
+        ] {
+            let cmd = parse(&argv(&format!("construct -i x --algo {name}"))).unwrap();
+            match cmd {
+                Command::Construct { algo, prune, .. } => {
+                    assert_eq!(algo, want);
+                    assert!(!prune);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_parses_comma_set() {
+        let cmd = parse(&argv("validate -i x --set 1,2,9")).unwrap();
+        assert_eq!(cmd, Command::Validate { input: "x".into(), set: vec![1, 2, 9] });
+    }
+
+    #[test]
+    fn route_and_simulate() {
+        assert_eq!(
+            parse(&argv("route -i x --from 3 --to 8")).unwrap(),
+            Command::Route { input: "x".into(), from: 3, to: 8 }
+        );
+        assert_eq!(
+            parse(&argv("simulate -i x --algo algo1 --async-seed 5")).unwrap(),
+            Command::Simulate { input: "x".into(), algo: Algo::Algo1, async_seed: Some(5) }
+        );
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&argv("generate --model nope --n 5 -o x")).unwrap_err().0.contains("nope"));
+        assert!(parse(&argv("construct -i x --algo bogus")).unwrap_err().0.contains("bogus"));
+        assert!(parse(&argv("frobnicate")).unwrap_err().0.contains("frobnicate"));
+        assert!(parse(&argv("generate --model uniform -o x")).unwrap_err().0.contains("--n"));
+        assert!(parse(&argv("simulate -i x --algo wu-li")).unwrap_err().0.contains("algo1"));
+        assert!(parse(&argv("validate -i x --set ,")).is_err());
+        assert!(parse(&argv("route -i x --from a --to 2")).unwrap_err().0.contains("--from"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Subcommand implementations: parsed [`Command`] → output string.
+
+use crate::args::{Algo, CliError, Command, Model, USAGE};
+use std::fmt::Write as _;
+use wcds_baselines::{GreedyCds, GreedyWcds, MisTreeCds, WuLiCds};
+use wcds_core::algo1::AlgorithmOne;
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::postprocess::{prune, PruneOrder};
+use wcds_core::spanner::SpannerStats;
+use wcds_core::{algo1, algo2, WcdsConstruction};
+use wcds_geom::deploy;
+use wcds_graph::io::GraphDocument;
+use wcds_graph::metrics::GraphMetrics;
+use wcds_graph::{domination, io, traversal, UnitDiskGraph};
+use wcds_routing::BackboneRouter;
+use wcds_sim::Schedule;
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for I/O failures or command-level problems
+/// (disconnected inputs, out-of-range nodes, …).
+pub fn execute(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate { model, n, side, seed, output } => generate(model, n, side, seed, &output),
+        Command::Stats { input } => stats(&load(&input)?),
+        Command::Construct { input, algo, prune } => construct(&load(&input)?, algo, prune),
+        Command::Validate { input, set } => validate(&load(&input)?, &set),
+        Command::Route { input, from, to } => route(&load(&input)?, from, to),
+        Command::Compare { input } => compare(&load(&input)?),
+        Command::Render { input, algo, output } => render(&load(&input)?, algo, &output),
+        Command::Simulate { input, algo, async_seed } => simulate(&load(&input)?, algo, async_seed),
+    }
+}
+
+fn load(path: &str) -> Result<GraphDocument, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read `{path}`: {e}")))?;
+    io::from_text(&text).map_err(|e| CliError(format!("cannot parse `{path}`: {e}")))
+}
+
+fn generate(model: Model, n: usize, side: f64, seed: u64, output: &str) -> Result<String, CliError> {
+    let points = match model {
+        Model::Uniform => deploy::uniform(n, side, side, seed),
+        Model::Clustered => deploy::clustered(n, side, side, (n / 40).max(1), side / 12.0, seed),
+        Model::Grid => {
+            let cols = (n as f64).sqrt().ceil() as usize;
+            let rows = n.div_ceil(cols.max(1));
+            let pitch = side / cols.max(1) as f64;
+            let mut pts = deploy::grid_jitter(cols, rows, pitch, pitch / 4.0, seed);
+            pts.truncate(n);
+            pts
+        }
+        Model::Chain => deploy::chain(n, 0.9),
+    };
+    let udg = UnitDiskGraph::build(points, 1.0);
+    let text = io::to_text(udg.graph(), Some(udg.points()));
+    if output == "-" {
+        return Ok(text);
+    }
+    std::fs::write(output, &text)?;
+    Ok(format!(
+        "wrote {} nodes / {} edges to {output} (connected: {})\n",
+        udg.node_count(),
+        udg.graph().edge_count(),
+        traversal::is_connected(udg.graph())
+    ))
+}
+
+fn stats(doc: &GraphDocument) -> Result<String, CliError> {
+    let m = GraphMetrics::compute(&doc.graph, doc.graph.node_count() <= 2000);
+    let mut out = format!("{m}\n");
+    if let Some(points) = &doc.points {
+        let udg = UnitDiskGraph::build(points.clone(), 1.0);
+        let _ = writeln!(out, "total link length: {:.2}", udg.total_edge_length());
+    }
+    Ok(out)
+}
+
+fn build_algo(algo: Algo) -> Box<dyn WcdsConstruction> {
+    match algo {
+        Algo::Algo1 => Box::new(AlgorithmOne::new()),
+        Algo::Algo2 => Box::new(AlgorithmTwo::new()),
+        Algo::GreedyWcds => Box::new(GreedyWcds::new()),
+        Algo::GreedyCds => Box::new(GreedyCds::new()),
+        Algo::WuLi => Box::new(WuLiCds::new()),
+        Algo::MisTree => Box::new(MisTreeCds::new()),
+    }
+}
+
+fn require_connected(doc: &GraphDocument) -> Result<(), CliError> {
+    if traversal::is_connected(&doc.graph) {
+        Ok(())
+    } else {
+        Err(CliError("input graph is not connected; constructions require connectivity".into()))
+    }
+}
+
+fn construct(doc: &GraphDocument, algo: Algo, do_prune: bool) -> Result<String, CliError> {
+    require_connected(doc)?;
+    let construction = build_algo(algo);
+    let result = construction.construct(&doc.graph);
+    let wcds = if do_prune {
+        prune(&doc.graph, &result.wcds, PruneOrder::BridgesFirst)
+    } else {
+        result.wcds
+    };
+    let stats = SpannerStats::compute(&doc.graph, &wcds);
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm : {}{}", construction.name(), if do_prune { " + prune" } else { "" });
+    let _ = writeln!(out, "result    : {wcds}");
+    let _ = writeln!(out, "valid     : {}", wcds.is_valid(&doc.graph));
+    let _ = writeln!(out, "{stats}");
+    let _ = writeln!(out, "dominators: {:?}", wcds.nodes());
+    Ok(out)
+}
+
+fn validate(doc: &GraphDocument, set: &[usize]) -> Result<String, CliError> {
+    let g = &doc.graph;
+    if let Some(&bad) = set.iter().find(|&&u| u >= g.node_count()) {
+        return Err(CliError(format!("node {bad} out of range (n = {})", g.node_count())));
+    }
+    let mut sorted = set.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = String::new();
+    let _ = writeln!(out, "set                 : {sorted:?}");
+    let _ = writeln!(out, "dominating          : {}", domination::is_dominating_set(g, &sorted));
+    let _ = writeln!(out, "independent         : {}", domination::is_independent_set(g, &sorted));
+    let _ = writeln!(out, "maximal independent : {}", domination::is_maximal_independent_set(g, &sorted));
+    let _ = writeln!(out, "weakly-connected DS : {}", domination::is_weakly_connected_dominating_set(g, &sorted));
+    let _ = writeln!(out, "connected DS        : {}", domination::is_connected_dominating_set(g, &sorted));
+    let undominated = domination::undominated_nodes(g, &sorted);
+    if !undominated.is_empty() {
+        let _ = writeln!(out, "undominated nodes   : {undominated:?}");
+    }
+    Ok(out)
+}
+
+fn route(doc: &GraphDocument, from: usize, to: usize) -> Result<String, CliError> {
+    require_connected(doc)?;
+    let g = &doc.graph;
+    if from >= g.node_count() || to >= g.node_count() {
+        return Err(CliError(format!("endpoint out of range (n = {})", g.node_count())));
+    }
+    let result = AlgorithmTwo::new().construct(g);
+    let router = BackboneRouter::build(g, &result.wcds);
+    let path = router
+        .route(from, to)
+        .ok_or_else(|| CliError("no backbone route (disconnected?)".into()))?;
+    let shortest = traversal::hop_distance(g, from, to)
+        .ok_or_else(|| CliError("endpoints disconnected".into()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "route   : {path:?}");
+    let _ = writeln!(out, "hops    : {} (shortest in G: {shortest})", path.len() - 1);
+    if shortest > 0 {
+        let _ = writeln!(out, "stretch : {:.2}", (path.len() - 1) as f64 / shortest as f64);
+    }
+    let _ = writeln!(out, "clusterheads: {} -> {}", router.clusterhead(from), router.clusterhead(to));
+    Ok(out)
+}
+
+fn compare(doc: &GraphDocument) -> Result<String, CliError> {
+    require_connected(doc)?;
+    let g = &doc.graph;
+    let mut out = format!(
+        "{:<14} {:>6} {:>6} {:>8} {:>12} {:>9} {:>7}\n",
+        "algorithm", "|U|", "MIS", "bridges", "spanner |E'|", "E'/n", "valid"
+    );
+    for algo in [
+        Algo::Algo1,
+        Algo::Algo2,
+        Algo::GreedyWcds,
+        Algo::GreedyCds,
+        Algo::WuLi,
+        Algo::MisTree,
+    ] {
+        let construction = build_algo(algo);
+        let result = construction.construct(g);
+        let stats = SpannerStats::compute(g, &result.wcds);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>6} {:>6} {:>8} {:>12} {:>9.2} {:>7}",
+            construction.name(),
+            result.wcds.len(),
+            result.wcds.mis_dominators().len(),
+            result.wcds.additional_dominators().len(),
+            stats.spanner_edges,
+            stats.edges_per_node(),
+            result.wcds.is_valid(g)
+        );
+    }
+    if g.node_count() <= wcds_baselines::exact::EXACT_NODE_LIMIT {
+        let opt = wcds_baselines::exact::minimum_wcds(g).len();
+        let _ = writeln!(out, "\nexact minimum WCDS: {opt}");
+    } else {
+        let lb = wcds_baselines::exact::wcds_lower_bound_udg(g);
+        let _ = writeln!(out, "\ncertified lower bound (UDG inputs only): {lb}");
+    }
+    Ok(out)
+}
+
+fn render(doc: &GraphDocument, algo: Option<Algo>, output: &str) -> Result<String, CliError> {
+    let points = doc
+        .points
+        .clone()
+        .ok_or_else(|| CliError("render needs node positions (`point` lines) in the input".into()))?;
+    let udg = UnitDiskGraph::build(points, 1.0);
+    let mut scene = wcds_vis::SceneBuilder::new(&udg).background_edges(&doc.graph);
+    let caption = match algo {
+        Some(a) => {
+            require_connected(doc)?;
+            let construction = build_algo(a);
+            let result = construction.construct(&doc.graph);
+            let spanner = result.wcds.weakly_induced_subgraph(&doc.graph);
+            scene = scene.highlight_edges(&spanner, "#111111", 1.6).wcds(&result.wcds);
+            format!("{} backbone: {}", construction.name(), result.wcds)
+        }
+        None => format!("unit-disk graph: {} nodes, {} edges", udg.node_count(), doc.graph.edge_count()),
+    };
+    let svg = scene.caption(caption).render();
+    if output == "-" {
+        return Ok(svg);
+    }
+    std::fs::write(output, &svg)?;
+    Ok(format!("wrote {output} ({} bytes)\n", svg.len()))
+}
+
+fn simulate(doc: &GraphDocument, algo: Algo, async_seed: Option<u64>) -> Result<String, CliError> {
+    require_connected(doc)?;
+    let g = &doc.graph;
+    let mut out = String::new();
+    match algo {
+        Algo::Algo1 => {
+            let run = match async_seed {
+                None => algo1::distributed::run_synchronous(g),
+                Some(seed) => algo1::distributed::run_asynchronous(g, seed),
+            };
+            let _ = writeln!(out, "algorithm-1 distributed (leader = {})", run.leader);
+            let _ = writeln!(out, "  election : {}", run.election_report);
+            let _ = writeln!(out, "  levels   : {}", run.level_report);
+            let _ = writeln!(out, "  marking  : {}", run.marking_report);
+            let _ = writeln!(out, "  total    : {} messages, time {}", run.total_messages(), run.total_time());
+            let _ = writeln!(out, "  result   : {}", run.result.wcds);
+            let _ = writeln!(out, "  valid    : {}", run.result.wcds.is_valid(g));
+        }
+        Algo::Algo2 => {
+            let run = match async_seed {
+                None => algo2::distributed::run_synchronous(g),
+                Some(seed) => algo2::distributed::run(g, Schedule::asynchronous(seed)),
+            };
+            let _ = writeln!(out, "algorithm-2 distributed");
+            let _ = writeln!(out, "  report : {}", run.report);
+            let _ = writeln!(out, "  result : {}", run.result.wcds);
+            let _ = writeln!(out, "  valid  : {}", run.result.wcds.is_valid(g));
+        }
+        _ => unreachable!("parser restricts simulate to algo1/algo2"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wcds-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn run(s: &str) -> Result<String, CliError> {
+        execute(parse(&argv(s)).expect("parses"))
+    }
+
+    #[test]
+    fn generate_then_stats_then_construct() {
+        let path = temp_path("pipeline.graph");
+        let msg =
+            run(&format!("generate --model uniform --n 80 --side 5 --seed 3 -o {path}")).unwrap();
+        assert!(msg.contains("80 nodes"));
+
+        let stats = run(&format!("stats -i {path}")).unwrap();
+        assert!(stats.contains("n=80"));
+        assert!(stats.contains("total link length"));
+
+        let built = run(&format!("construct -i {path} --algo algo2")).unwrap();
+        assert!(built.contains("algorithm-2"));
+        assert!(built.contains("valid     : true"));
+
+        let pruned = run(&format!("construct -i {path} --algo algo2 --prune")).unwrap();
+        assert!(pruned.contains("+ prune"));
+        assert!(pruned.contains("valid     : true"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let text = run("generate --model chain --n 5 -o -").unwrap();
+        assert!(text.starts_with("nodes 5"));
+        assert!(text.contains("edge 0 1"));
+        assert!(text.contains("point 4"));
+    }
+
+    #[test]
+    fn validate_reports_all_predicates() {
+        let path = temp_path("validate.graph");
+        run(&format!("generate --model chain --n 5 -o {path}")).unwrap();
+        let out = run(&format!("validate -i {path} --set 0,2,4")).unwrap();
+        assert!(out.contains("dominating          : true"));
+        assert!(out.contains("maximal independent : true"));
+        assert!(out.contains("weakly-connected DS : true"));
+        assert!(out.contains("connected DS        : false"));
+
+        let bad = run(&format!("validate -i {path} --set 0")).unwrap();
+        assert!(bad.contains("dominating          : false"));
+        assert!(bad.contains("undominated nodes"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn route_prints_stretch() {
+        let path = temp_path("route.graph");
+        run(&format!("generate --model chain --n 9 -o {path}")).unwrap();
+        let out = run(&format!("route -i {path} --from 0 --to 8")).unwrap();
+        assert!(out.contains("route"));
+        assert!(out.contains("stretch"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_both_protocols() {
+        let path = temp_path("simulate.graph");
+        run(&format!("generate --model uniform --n 40 --side 3 --seed 1 -o {path}")).unwrap();
+        let a1 = run(&format!("simulate -i {path} --algo algo1")).unwrap();
+        assert!(a1.contains("election"));
+        assert!(a1.contains("valid    : true"));
+        let a2 = run(&format!("simulate -i {path} --algo algo2 --async-seed 4")).unwrap();
+        assert!(a2.contains("valid  : true"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn useful_errors() {
+        assert!(run("stats -i /nonexistent/file.graph").unwrap_err().0.contains("cannot read"));
+        let path = temp_path("err.graph");
+        run(&format!("generate --model uniform --n 30 --side 50 --seed 1 -o {path}")).unwrap();
+        // side 50 with 30 nodes is almost surely disconnected
+        let err = run(&format!("construct -i {path} --algo algo1")).unwrap_err();
+        assert!(err.0.contains("not connected"));
+        let err = run(&format!("validate -i {path} --set 999")).unwrap_err();
+        assert!(err.0.contains("out of range"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_lists_all_algorithms_and_optimum() {
+        let path = temp_path("compare.graph");
+        run(&format!("generate --model uniform --n 16 --side 2.2 --seed 6 -o {path}")).unwrap();
+        // resample until connected (tiny instances can split)
+        let mut seed = 6;
+        loop {
+            let out = run(&format!("construct -i {path} --algo algo2"));
+            if out.is_ok() {
+                break;
+            }
+            seed += 1;
+            run(&format!("generate --model uniform --n 16 --side 2.2 --seed {seed} -o {path}"))
+                .unwrap();
+        }
+        let out = run(&format!("compare -i {path}")).unwrap();
+        for name in ["algorithm-1", "algorithm-2", "greedy-wcds", "greedy-cds", "wu-li", "mis-tree-cds"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+        assert!(out.contains("exact minimum WCDS"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn render_produces_svg() {
+        let path = temp_path("render.graph");
+        run(&format!("generate --model uniform --n 40 --side 3 --seed 1 -o {path}")).unwrap();
+        let svg = run(&format!("render -i {path} -o -")).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("unit-disk graph"));
+        let with_backbone = run(&format!("render -i {path} --algo algo2 -o -")).unwrap();
+        assert!(with_backbone.contains("algorithm-2 backbone"));
+        // graph files without points cannot be rendered
+        let bare = temp_path("render-bare.graph");
+        std::fs::write(&bare, "nodes 2\nedge 0 1\n").unwrap();
+        let err = run(&format!("render -i {bare} -o -")).unwrap_err();
+        assert!(err.0.contains("positions"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bare);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn every_algorithm_constructs_via_cli() {
+        let path = temp_path("algos.graph");
+        run(&format!("generate --model uniform --n 60 --side 4 --seed 2 -o {path}")).unwrap();
+        for algo in ["algo1", "algo2", "greedy-wcds", "greedy-cds", "wu-li", "mis-tree"] {
+            let out = run(&format!("construct -i {path} --algo {algo}")).unwrap();
+            assert!(out.contains("valid     : true"), "{algo}: {out}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

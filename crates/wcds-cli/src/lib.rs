@@ -1,0 +1,31 @@
+//! Library backing the `wcds` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to an
+//! output string, so the whole CLI is unit-testable without spawning
+//! processes; `main.rs` only does I/O.
+//!
+//! ```text
+//! wcds generate --model uniform --n 200 --side 8 --seed 1 -o net.graph
+//! wcds stats    -i net.graph
+//! wcds construct --algo algo2 -i net.graph --prune
+//! wcds validate -i net.graph --set 0,5,9
+//! wcds route    -i net.graph --from 0 --to 42
+//! wcds simulate -i net.graph --algo algo1
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, Command};
+
+/// Parses an argument list (without the program name) and executes it,
+/// reading/writing files as the command requires.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed arguments, unreadable input, or a
+/// failed command (e.g. a disconnected graph handed to a construction).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let cmd = args::parse(argv)?;
+    commands::execute(cmd)
+}

@@ -1,0 +1,18 @@
+//! The `wcds` command-line tool; all logic lives in the library so it
+//! can be unit-tested (see `wcds_cli::run`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match wcds_cli::run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! **Algorithm I** (§4.1): level-ranked MIS as a WCDS with ratio 5.
+//!
+//! Three phases:
+//!
+//! 1. **Leader election** — elect a leader and build a spanning tree `T`
+//!    (see [`crate::election`]); `O(n)` time, `O(n log n)` messages.
+//! 2. **Level calculation** — each node learns its level (hop distance
+//!    from the root in `T`) and its neighbors' levels; completion is
+//!    reported up the tree with `COMPLETE` messages. `O(n)` messages.
+//! 3. **Color marking** — grow the MIS greedily in `(level, id)` rank
+//!    order using `BLACK`/`GRAY` messages. Every node sends exactly one
+//!    message, so `O(n)` messages.
+//!
+//! By Theorem 4 the resulting MIS has all complementary subsets exactly
+//! two hops apart, so by Theorem 5 it is a WCDS; by Lemma 7 its size is
+//! at most `5·opt`; by Theorem 8 the black edges form a sparse spanner.
+//!
+//! [`AlgorithmOne`] is the centralized reference (identical output,
+//! useful for analysis); [`distributed`] runs the real protocol stack on
+//! the simulator and, under the synchronous schedule, produces the same
+//! MIS.
+
+use crate::mis::greedy_mis_ranked;
+use crate::ranking::level_based_ranks;
+use crate::{ConstructionResult, Wcds, WcdsConstruction};
+use wcds_graph::spanning::SpanningTree;
+use wcds_graph::{Graph, NodeId};
+
+/// Centralized Algorithm I.
+///
+/// Builds a BFS spanning tree from the root (default: node 0, which is
+/// what the distributed election elects under index IDs), ranks nodes by
+/// `(level, id)`, and greedily grows the MIS in rank order.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::algo1::AlgorithmOne;
+/// use wcds_core::WcdsConstruction;
+/// use wcds_graph::generators;
+///
+/// let g = generators::cycle(9);
+/// let result = AlgorithmOne::new().construct(&g);
+/// assert!(result.wcds.is_valid(&g));
+/// assert!(result.wcds.additional_dominators().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AlgorithmOne {
+    root: Option<NodeId>,
+}
+
+impl AlgorithmOne {
+    /// Algorithm I rooted at node 0.
+    pub fn new() -> Self {
+        Self { root: None }
+    }
+
+    /// Overrides the root (leader) node.
+    pub fn with_root(root: NodeId) -> Self {
+        Self { root: Some(root) }
+    }
+
+    /// The spanning tree, ranks, and MIS — exposed for experiments that
+    /// need the intermediates (e.g. the Theorem 4 subset-distance check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn construct_detailed(&self, g: &Graph) -> (SpanningTree, Vec<NodeId>) {
+        let root = self.root.unwrap_or(0);
+        let tree = SpanningTree::bfs(g, root)
+            .expect("Algorithm I requires a connected graph");
+        let ranks = level_based_ranks(&tree);
+        let mis = greedy_mis_ranked(g, &ranks);
+        (tree, mis)
+    }
+}
+
+impl WcdsConstruction for AlgorithmOne {
+    fn construct(&self, g: &Graph) -> ConstructionResult {
+        let (_, mis) = self.construct_detailed(g);
+        let wcds = Wcds::from_mis(mis);
+        let spanner = wcds.weakly_induced_subgraph(g);
+        ConstructionResult { wcds, spanner }
+    }
+
+    fn name(&self) -> &'static str {
+        "algorithm-1"
+    }
+}
+
+pub mod distributed {
+    //! The full distributed protocol stack for Algorithm I.
+    //!
+    //! Phases are run back-to-back on the simulator; the harness
+    //! sequences them (in a deployment the root's receipt of all
+    //! `COMPLETE` messages triggers the next phase — those messages are
+    //! part of the level phase here, so the message accounting is
+    //! faithful).
+
+    use super::*;
+    use crate::election::{self, ElectionOutcome};
+    use crate::ranking::Rank;
+    use wcds_sim::{Context, ProcId, Protocol, Schedule, SimReport, Simulator};
+
+    /// Messages of the level-calculation phase.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum LevelMsg {
+        /// "My level is `level`." Broadcast once per node.
+        Level { level: u32 },
+        /// "My subtree has finished computing levels." Sent up the tree.
+        Complete,
+    }
+
+    /// Per-node state for the level-calculation phase.
+    #[derive(Debug)]
+    pub struct LevelNode {
+        parent: Option<ProcId>,
+        children: Vec<ProcId>,
+        level: Option<u32>,
+        neighbor_levels: Vec<(ProcId, u32)>,
+        pending_children: usize,
+        completed: bool,
+    }
+
+    impl LevelNode {
+        /// A node that knows its tree parent and children (from the
+        /// election phase).
+        pub fn new(parent: Option<ProcId>, children: Vec<ProcId>) -> Self {
+            let pending_children = children.len();
+            Self {
+                parent,
+                children,
+                level: None,
+                neighbor_levels: Vec::new(),
+                pending_children,
+                completed: false,
+            }
+        }
+
+        /// This node's level, once computed.
+        pub fn level(&self) -> Option<u32> {
+            self.level
+        }
+
+        /// The levels this node heard from its neighbors.
+        pub fn neighbor_levels(&self) -> &[(ProcId, u32)] {
+            &self.neighbor_levels
+        }
+
+        fn maybe_complete(&mut self, ctx: &mut Context<'_, LevelMsg>) {
+            if !self.completed && self.level.is_some() && self.pending_children == 0 {
+                self.completed = true;
+                if let Some(p) = self.parent {
+                    ctx.send(p, LevelMsg::Complete);
+                }
+            }
+        }
+
+        fn announce(&mut self, level: u32, ctx: &mut Context<'_, LevelMsg>) {
+            self.level = Some(level);
+            ctx.broadcast(LevelMsg::Level { level });
+            self.maybe_complete(ctx);
+        }
+    }
+
+    impl Protocol for LevelNode {
+        type Message = LevelMsg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, LevelMsg>) {
+            if self.parent.is_none() {
+                self.announce(0, ctx);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcId, msg: LevelMsg, ctx: &mut Context<'_, LevelMsg>) {
+            match msg {
+                LevelMsg::Level { level } => {
+                    self.neighbor_levels.push((from, level));
+                    if self.level.is_none() && self.parent == Some(from) {
+                        self.announce(level + 1, ctx);
+                    }
+                }
+                LevelMsg::Complete => {
+                    debug_assert!(self.children.contains(&from), "COMPLETE from non-child");
+                    self.pending_children -= 1;
+                    self.maybe_complete(ctx);
+                }
+            }
+        }
+
+        fn message_kind(msg: &LevelMsg) -> &'static str {
+            match msg {
+                LevelMsg::Level { .. } => "LEVEL",
+                LevelMsg::Complete => "COMPLETE",
+            }
+        }
+    }
+
+    /// Messages of the color-marking phase.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum MarkMsg {
+        /// "I am black (an MIS dominator)."
+        Black,
+        /// "I am gray (dominated)."
+        Gray,
+    }
+
+    /// Node colors in the marking phase.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum MarkColor {
+        /// Undecided.
+        White,
+        /// MIS dominator.
+        Black,
+        /// Dominated.
+        Gray,
+    }
+
+    /// Per-node state for the color-marking phase.
+    #[derive(Debug)]
+    pub struct MarkingNode {
+        rank: Rank,
+        lower_rank_neighbors: Vec<ProcId>,
+        gray_heard: Vec<ProcId>,
+        color: MarkColor,
+    }
+
+    impl MarkingNode {
+        /// A node that knows its own rank and its neighbors' ranks (from
+        /// the level phase).
+        pub fn new(rank: Rank, neighbor_ranks: &[(ProcId, Rank)]) -> Self {
+            let lower_rank_neighbors = neighbor_ranks
+                .iter()
+                .filter(|&&(_, r)| r < rank)
+                .map(|&(p, _)| p)
+                .collect();
+            Self { rank, lower_rank_neighbors, gray_heard: Vec::new(), color: MarkColor::White }
+        }
+
+        /// Final color of the node.
+        pub fn color(&self) -> MarkColor {
+            self.color
+        }
+
+        /// This node's `(level, id)` rank.
+        pub fn rank(&self) -> Rank {
+            self.rank
+        }
+
+        fn maybe_blacken(&mut self, ctx: &mut Context<'_, MarkMsg>) {
+            if self.color == MarkColor::White
+                && self.lower_rank_neighbors.iter().all(|p| self.gray_heard.contains(p))
+            {
+                self.color = MarkColor::Black;
+                ctx.broadcast(MarkMsg::Black);
+            }
+        }
+    }
+
+    impl Protocol for MarkingNode {
+        type Message = MarkMsg;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, MarkMsg>) {
+            // the root — and only the root — has no lower-rank neighbor
+            self.maybe_blacken(ctx);
+        }
+
+        fn on_message(&mut self, from: ProcId, msg: MarkMsg, ctx: &mut Context<'_, MarkMsg>) {
+            match msg {
+                MarkMsg::Black => {
+                    if self.color == MarkColor::White {
+                        self.color = MarkColor::Gray;
+                        ctx.broadcast(MarkMsg::Gray);
+                    }
+                }
+                MarkMsg::Gray => {
+                    self.gray_heard.push(from);
+                    self.maybe_blacken(ctx);
+                }
+            }
+        }
+
+        fn message_kind(msg: &MarkMsg) -> &'static str {
+            match msg {
+                MarkMsg::Black => "BLACK",
+                MarkMsg::Gray => "GRAY",
+            }
+        }
+    }
+
+    /// A complete distributed Algorithm I run.
+    #[derive(Debug, Clone)]
+    pub struct DistributedRun {
+        /// The constructed WCDS and spanner.
+        pub result: ConstructionResult,
+        /// The elected leader (tree root).
+        pub leader: NodeId,
+        /// The election spanning tree.
+        pub tree: SpanningTree,
+        /// Phase 1 accounting.
+        pub election_report: SimReport,
+        /// Phase 2 accounting.
+        pub level_report: SimReport,
+        /// Phase 3 accounting.
+        pub marking_report: SimReport,
+    }
+
+    impl DistributedRun {
+        /// Total messages across all three phases.
+        pub fn total_messages(&self) -> u64 {
+            self.election_report.messages.total()
+                + self.level_report.messages.total()
+                + self.marking_report.messages.total()
+        }
+
+        /// Total virtual time across all three phases (phases run
+        /// back-to-back).
+        pub fn total_time(&self) -> u64 {
+            self.election_report.time + self.level_report.time + self.marking_report.time
+        }
+    }
+
+    /// Runs the three-phase distributed Algorithm I.
+    ///
+    /// `make_schedule` is invoked once per phase, so asynchronous runs
+    /// can give each phase its own seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected or a protocol invariant is violated.
+    pub fn run_with<F>(g: &Graph, mut make_schedule: F) -> DistributedRun
+    where
+        F: FnMut() -> Schedule,
+    {
+        // Phase 1: leader election + spanning tree.
+        let ElectionOutcome { leader, tree, report: election_report } =
+            election::elect(g, make_schedule());
+
+        // Phase 2: level calculation.
+        let mut level_sim = Simulator::new(g, |u| {
+            LevelNode::new(tree.parent(u), tree.children(u).to_vec())
+        });
+        let level_report = level_sim.run(make_schedule()).expect("level phase quiesces");
+        let levels: Vec<u32> = g
+            .nodes()
+            .map(|u| level_sim.node(u).level().expect("every node is leveled"))
+            .collect();
+        for u in g.nodes() {
+            debug_assert_eq!(levels[u], tree.level(u), "protocol level disagrees with tree");
+        }
+
+        // Phase 3: color marking by (level, id) rank.
+        let ranks: Vec<Rank> = g.nodes().map(|u| Rank::new(levels[u], u as u64)).collect();
+        let mut mark_sim = Simulator::new(g, |u| {
+            let neighbor_ranks: Vec<(ProcId, Rank)> = level_sim
+                .node(u)
+                .neighbor_levels()
+                .iter()
+                .map(|&(p, l)| (p, Rank::new(l, p as u64)))
+                .collect();
+            debug_assert_eq!(neighbor_ranks.len(), g.degree(u), "missing neighbor levels");
+            MarkingNode::new(ranks[u], &neighbor_ranks)
+        });
+        let marking_report = mark_sim.run(make_schedule()).expect("marking phase quiesces");
+        let mis: Vec<NodeId> =
+            g.nodes().filter(|&u| mark_sim.node(u).color() == MarkColor::Black).collect();
+        assert!(
+            g.nodes().all(|u| mark_sim.node(u).color() != MarkColor::White),
+            "marking phase left undecided nodes"
+        );
+
+        let wcds = Wcds::from_mis(mis);
+        let spanner = wcds.weakly_induced_subgraph(g);
+        DistributedRun {
+            result: ConstructionResult { wcds, spanner },
+            leader,
+            tree,
+            election_report,
+            level_report,
+            marking_report,
+        }
+    }
+
+    /// Synchronous distributed Algorithm I.
+    pub fn run_synchronous(g: &Graph) -> DistributedRun {
+        run_with(g, Schedule::synchronous)
+    }
+
+    /// Asynchronous distributed Algorithm I (per-phase seeds derived
+    /// from `seed`).
+    pub fn run_asynchronous(g: &Graph, seed: u64) -> DistributedRun {
+        let mut phase = 0u64;
+        run_with(g, move || {
+            phase += 1;
+            Schedule::asynchronous(seed.wrapping_mul(31).wrapping_add(phase))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use wcds_geom::deploy;
+    use wcds_graph::{domination, generators, traversal, UnitDiskGraph};
+
+    #[test]
+    fn centralized_output_is_mis_and_wcds() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(60, 0.07, seed);
+            let result = AlgorithmOne::new().construct(&g);
+            assert!(domination::is_maximal_independent_set(&g, result.wcds.nodes()));
+            assert!(result.wcds.is_valid(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn centralized_on_udgs() {
+        for seed in 0..6 {
+            let udg = UnitDiskGraph::build(deploy::uniform(150, 6.0, 6.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let result = AlgorithmOne::new().construct(udg.graph());
+            assert!(result.wcds.is_valid(udg.graph()));
+        }
+    }
+
+    #[test]
+    fn theorem4_complementary_subsets_exactly_two_hops() {
+        for seed in 0..4 {
+            let g = generators::connected_gnp(24, 0.12, seed);
+            let (_, mis) = AlgorithmOne::new().construct_detailed(&g);
+            if mis.len() < 2 {
+                continue;
+            }
+            assert_eq!(
+                properties::max_complementary_subset_distance(&g, &mis),
+                Some(2),
+                "seed {seed}: Theorem 4 violated for MIS {mis:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_root_is_in_the_mis() {
+        let g = generators::cycle(9);
+        let (tree, mis) = AlgorithmOne::with_root(4).construct_detailed(&g);
+        assert_eq!(tree.root(), 4);
+        assert!(mis.contains(&4), "the root has the minimum rank, so it must be black");
+    }
+
+    #[test]
+    fn distributed_matches_centralized_synchronously() {
+        for seed in 0..5 {
+            let g = generators::connected_gnp(40, 0.1, seed);
+            let dist = distributed::run_synchronous(&g);
+            let cent = AlgorithmOne::with_root(dist.leader).construct(&g);
+            // same root and BFS levels ⇒ same ranks ⇒ same MIS
+            assert_eq!(dist.result.wcds.mis_dominators(), cent.wcds.mis_dominators(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distributed_async_builds_a_valid_wcds() {
+        for seed in 0..5 {
+            let g = generators::connected_gnp(35, 0.1, seed);
+            let run = distributed::run_asynchronous(&g, seed);
+            assert!(run.result.wcds.is_valid(&g), "seed {seed}");
+            assert!(domination::is_maximal_independent_set(&g, run.result.wcds.nodes()));
+        }
+    }
+
+    #[test]
+    fn marking_phase_sends_exactly_one_message_per_node() {
+        let g = generators::connected_gnp(50, 0.08, 2);
+        let run = distributed::run_synchronous(&g);
+        // every node broadcasts exactly one BLACK or GRAY
+        assert_eq!(run.marking_report.messages.total(), 50);
+        assert_eq!(run.marking_report.messages.max_per_node(), 1);
+    }
+
+    #[test]
+    fn level_phase_message_count_is_linear() {
+        let g = generators::connected_gnp(50, 0.08, 4);
+        let run = distributed::run_synchronous(&g);
+        // one LEVEL broadcast per node + one COMPLETE per non-root node
+        assert_eq!(run.level_report.messages.of_kind("LEVEL"), 50);
+        assert_eq!(run.level_report.messages.of_kind("COMPLETE"), 49);
+    }
+
+    #[test]
+    fn chain_worst_case_runs_in_linear_rounds() {
+        let g = generators::path(60);
+        let run = distributed::run_synchronous(&g);
+        assert!(run.result.wcds.is_valid(&g));
+        // phases are each O(n) rounds on the chain
+        assert!(run.total_time() <= 6 * 60, "time {} not O(n)", run.total_time());
+    }
+
+    #[test]
+    fn singleton_and_edge_graphs() {
+        let g1 = wcds_graph::Graph::empty(1);
+        let r1 = AlgorithmOne::new().construct(&g1);
+        assert_eq!(r1.wcds.nodes(), &[0]);
+
+        let g2 = generators::path(2);
+        let r2 = AlgorithmOne::new().construct(&g2);
+        assert_eq!(r2.wcds.nodes(), &[0]);
+        assert!(r2.wcds.is_valid(&g2));
+
+        let d2 = distributed::run_synchronous(&g2);
+        assert_eq!(d2.result.wcds.nodes(), &[0]);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-stop backbone quality audit.
+//!
+//! Combines every analysis in the crate — validity, sparseness
+//! accounting (Theorems 8/10), dilation (Theorem 11), and fragility —
+//! into a single report with a human-readable rendering, so examples,
+//! the CLI, and downstream users get the full picture in one call.
+
+use crate::dilation::DilationReport;
+use crate::spanner::SpannerStats;
+use crate::Wcds;
+use wcds_geom::Point;
+use wcds_graph::{connectivity, Graph};
+
+/// A complete quality audit of a WCDS backbone over a deployment.
+#[derive(Debug, Clone)]
+pub struct BackboneAudit {
+    /// Whether the set is a valid WCDS of the graph.
+    pub valid: bool,
+    /// Dominator count `|U|`.
+    pub size: usize,
+    /// Sparseness accounting of the weakly induced spanner.
+    pub spanner: SpannerStats,
+    /// Dilation of the spanner against the full graph.
+    pub dilation: DilationReport,
+    /// Articulation points of the spanner (single-node failure risks).
+    pub spanner_cut_vertices: usize,
+    /// How many of those cut vertices are dominators.
+    pub cut_vertices_in_backbone: usize,
+}
+
+impl BackboneAudit {
+    /// Runs the full audit. Costs `O(n·(n+|E|))` (dominated by the
+    /// all-pairs dilation measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` does not match the graph's node count, or if
+    /// the spanner disconnects a pair `g` connects (i.e. the WCDS is
+    /// not valid — check [`BackboneAudit::valid`]-style preconditions
+    /// with [`Wcds::is_valid`] first when unsure).
+    pub fn measure(g: &Graph, points: &[Point], wcds: &Wcds) -> Self {
+        let spanner_graph = wcds.weakly_induced_subgraph(g);
+        let spanner = SpannerStats::compute(g, wcds);
+        let dilation = DilationReport::measure(g, &spanner_graph, points);
+        let cuts = connectivity::articulation_points(&spanner_graph);
+        let in_backbone = cuts.iter().filter(|&&u| wcds.contains(u)).count();
+        Self {
+            valid: wcds.is_valid(g),
+            size: wcds.len(),
+            spanner,
+            dilation,
+            spanner_cut_vertices: cuts.len(),
+            cut_vertices_in_backbone: in_backbone,
+        }
+    }
+
+    /// Whether every proven bound (validity, Theorem 10 sparseness,
+    /// Theorem 11 dilations) holds.
+    ///
+    /// Only meaningful for Algorithm II backbones on unit-disk graphs —
+    /// other constructions never promised these bounds.
+    pub fn all_bounds_hold(&self) -> bool {
+        self.valid
+            && self.spanner.satisfies_theorem10_bound()
+            && self.dilation.satisfies_topological_bound()
+            && self.dilation.satisfies_geometric_bound()
+    }
+}
+
+impl std::fmt::Display for BackboneAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "backbone audit")?;
+        writeln!(f, "  valid WCDS        : {}", self.valid)?;
+        writeln!(f, "  dominators        : {}", self.size)?;
+        writeln!(f, "  {}", self.spanner)?;
+        writeln!(
+            f,
+            "  hop dilation      : {:.3} (3h+2 bound holds: {})",
+            self.dilation.topological_ratio(),
+            self.dilation.satisfies_topological_bound()
+        )?;
+        writeln!(
+            f,
+            "  length dilation   : {:.3} (6ℓ+5 bound holds: {})",
+            self.dilation.geometric_ratio(),
+            self.dilation.satisfies_geometric_bound()
+        )?;
+        write!(
+            f,
+            "  fragility         : {} spanner cut vertices ({} in backbone)",
+            self.spanner_cut_vertices, self.cut_vertices_in_backbone
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo2::AlgorithmTwo;
+    use crate::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{traversal, UnitDiskGraph};
+
+    fn audited() -> (UnitDiskGraph, BackboneAudit) {
+        let mut seed = 0;
+        let udg = loop {
+            let udg = UnitDiskGraph::build(deploy::uniform(120, 6.0, 6.0, seed), 1.0);
+            if traversal::is_connected(udg.graph()) {
+                break udg;
+            }
+            seed += 1;
+        };
+        let wcds = AlgorithmTwo::new().construct(udg.graph()).wcds;
+        let audit = BackboneAudit::measure(udg.graph(), udg.points(), &wcds);
+        (udg, audit)
+    }
+
+    #[test]
+    fn algorithm2_audit_passes_all_bounds() {
+        let (_, audit) = audited();
+        assert!(audit.valid);
+        assert!(audit.all_bounds_hold(), "{audit}");
+        assert!(audit.size > 0);
+    }
+
+    #[test]
+    fn display_covers_every_section() {
+        let (_, audit) = audited();
+        let s = format!("{audit}");
+        for needle in ["valid WCDS", "dominators", "spanner:", "hop dilation", "fragility"] {
+            assert!(s.contains(needle), "missing `{needle}` in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn cut_vertices_are_counted_consistently() {
+        let (_, audit) = audited();
+        assert!(audit.cut_vertices_in_backbone <= audit.spanner_cut_vertices);
+    }
+}

@@ -1,0 +1,246 @@
+//! Topological and geometric dilation of a spanner (§3, Theorem 11).
+//!
+//! For a spanner `G'` of `G` and non-adjacent `u, v`:
+//!
+//! * **topological dilation** compares minimum hop counts:
+//!   `h'(u, v)` vs `h(u, v)`; Theorem 11 proves `h' ≤ 3h + 2` for
+//!   Algorithm II's spanner;
+//! * **geometric dilation** compares the worst-case Euclidean length of
+//!   a *minimum-hop* path in `G'` against the length of a
+//!   minimum-distance path in `G`; Lemma 6 turns the affine hop bound
+//!   `h' ≤ αh + β` into `ℓ' < 2αℓ + 2α + β`, giving `ℓ' ≤ 6ℓ + 5`.
+//!
+//! [`DilationReport::measure`] computes the exact maxima over all
+//! non-adjacent connected pairs (an `O(n·(n+|E|))` sweep of BFS /
+//! Dijkstra / shortest-path-DAG passes), plus the affine-bound checks
+//! with their worst witnesses.
+
+use wcds_graph::{shortest_path, traversal, Graph, NodeId};
+use wcds_geom::Point;
+
+/// Worst-case pair evidence for one dilation metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstPair {
+    /// One endpoint.
+    pub u: NodeId,
+    /// Other endpoint.
+    pub v: NodeId,
+    /// Metric value in the base graph `G`.
+    pub in_graph: f64,
+    /// Metric value in the spanner `G'`.
+    pub in_spanner: f64,
+}
+
+/// Dilation measurements of a spanner against its base graph.
+#[derive(Debug, Clone)]
+pub struct DilationReport {
+    /// Maximum of `h'(u,v) / h(u,v)` over non-adjacent pairs, with its
+    /// witness. `None` when no non-adjacent pair exists.
+    pub topological: Option<WorstPair>,
+    /// Maximum of `ℓ'(u,v) / ℓ(u,v)` (worst min-hop path length in `G'`
+    /// vs min-distance path in `G`), with witness.
+    pub geometric: Option<WorstPair>,
+    /// Maximum slack of `3h + 2 − h'` — nonnegative iff Theorem 11's
+    /// topological bound holds; the stored pair minimises the slack.
+    pub topo_bound_slack: Option<f64>,
+    /// Maximum slack of `6ℓ + 5 − ℓ'` — nonnegative iff Theorem 11's
+    /// geometric bound holds.
+    pub geo_bound_slack: Option<f64>,
+}
+
+impl DilationReport {
+    /// Measures dilation of `spanner` over `g` with node positions
+    /// `points` (used for the geometric metric).
+    ///
+    /// Only pairs that are **non-adjacent in `g`** and connected in both
+    /// graphs participate, per the paper's definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graphs differ in node count, `points` is the wrong
+    /// length, or the spanner disconnects a pair `g` connects (a spanner
+    /// must preserve connectivity).
+    pub fn measure(g: &Graph, spanner: &Graph, points: &[Point]) -> Self {
+        assert_eq!(g.node_count(), spanner.node_count(), "node count mismatch");
+        assert_eq!(points.len(), g.node_count(), "one point per node required");
+        let n = g.node_count();
+        let mut topological: Option<WorstPair> = None;
+        let mut geometric: Option<WorstPair> = None;
+        let mut topo_slack: Option<f64> = None;
+        let mut geo_slack: Option<f64> = None;
+
+        for u in 0..n {
+            let h_g = traversal::bfs_distances(g, u);
+            let h_s = traversal::bfs_distances(spanner, u);
+            let l_g = shortest_path::geometric_distances(g, points, u);
+            let l_s = shortest_path::min_hop_max_length(spanner, points, u);
+            for v in (u + 1)..n {
+                let Some(hg) = h_g[v] else { continue };
+                if hg <= 1 {
+                    continue; // adjacent or identical: dilation undefined
+                }
+                let hs = h_s[v].unwrap_or_else(|| {
+                    panic!("spanner disconnects pair ({u}, {v}) that G connects")
+                });
+                let lg = l_g[v].expect("hop-connected implies length-connected");
+                let ls = l_s[v].expect("hop-connected in spanner");
+
+                let topo_ratio = hs as f64 / hg as f64;
+                if topological.is_none_or(|w| topo_ratio > w.in_spanner / w.in_graph) {
+                    topological =
+                        Some(WorstPair { u, v, in_graph: hg as f64, in_spanner: hs as f64 });
+                }
+                let slack_t = (3 * hg + 2) as f64 - hs as f64;
+                if topo_slack.is_none_or(|s| slack_t < s) {
+                    topo_slack = Some(slack_t);
+                }
+
+                let geo_ratio = ls / lg;
+                if geometric.is_none_or(|w| geo_ratio > w.in_spanner / w.in_graph) {
+                    geometric = Some(WorstPair { u, v, in_graph: lg, in_spanner: ls });
+                }
+                let slack_g = 6.0 * lg + 5.0 - ls;
+                if geo_slack.is_none_or(|s| slack_g < s) {
+                    geo_slack = Some(slack_g);
+                }
+            }
+        }
+        Self { topological, geometric, topo_bound_slack: topo_slack, geo_bound_slack: geo_slack }
+    }
+
+    /// The maximum topological dilation ratio (1.0 when no pair
+    /// qualifies).
+    pub fn topological_ratio(&self) -> f64 {
+        self.topological.map_or(1.0, |w| w.in_spanner / w.in_graph)
+    }
+
+    /// The maximum geometric dilation ratio (1.0 when no pair
+    /// qualifies).
+    pub fn geometric_ratio(&self) -> f64 {
+        self.geometric.map_or(1.0, |w| w.in_spanner / w.in_graph)
+    }
+
+    /// Whether Theorem 11's affine bound `h' ≤ 3h + 2` held for every
+    /// measured pair.
+    pub fn satisfies_topological_bound(&self) -> bool {
+        self.topo_bound_slack.map_or(true, |s| s >= 0.0)
+    }
+
+    /// Whether Theorem 11's affine bound `ℓ' ≤ 6ℓ + 5` held for every
+    /// measured pair.
+    pub fn satisfies_geometric_bound(&self) -> bool {
+        self.geo_bound_slack.map_or(true, |s| s >= -1e-9)
+    }
+}
+
+/// Lemma 6 as a checkable statement: if `h'(u,v) ≤ α·h(u,v) + β` for all
+/// non-adjacent pairs, then `ℓ'(u,v) < 2α·ℓ(u,v) + 2α + β`.
+///
+/// Returns the worst observed `ℓ' − (2α·ℓ + 2α + β)` (negative means the
+/// implication held with room to spare), or `None` if no pair qualified.
+pub fn lemma6_worst_slack(
+    g: &Graph,
+    spanner: &Graph,
+    points: &[Point],
+    alpha: f64,
+    beta: f64,
+) -> Option<f64> {
+    let n = g.node_count();
+    let mut worst: Option<f64> = None;
+    for u in 0..n {
+        let h_g = traversal::bfs_distances(g, u);
+        let l_g = shortest_path::geometric_distances(g, points, u);
+        let l_s = shortest_path::min_hop_max_length(spanner, points, u);
+        for v in (u + 1)..n {
+            let Some(hg) = h_g[v] else { continue };
+            if hg <= 1 {
+                continue;
+            }
+            let (Some(lg), Some(ls)) = (l_g[v], l_s[v]) else { continue };
+            let excess = ls - (2.0 * alpha * lg + 2.0 * alpha + beta);
+            if worst.is_none_or(|w| excess > w) {
+                worst = Some(excess);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo2::AlgorithmTwo;
+    use crate::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::UnitDiskGraph;
+
+    fn connected_udg(n: usize, side: f64, seed: u64) -> Option<UnitDiskGraph> {
+        let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed), 1.0);
+        traversal::is_connected(udg.graph()).then_some(udg)
+    }
+
+    #[test]
+    fn identity_spanner_has_dilation_one() {
+        let udg = connected_udg(80, 4.0, 2).expect("dense deployment connects");
+        let r = DilationReport::measure(udg.graph(), udg.graph(), udg.points());
+        assert_eq!(r.topological_ratio(), 1.0);
+        assert!(r.geometric_ratio() >= 1.0); // max-length min-hop path can exceed ℓ_G
+        assert!(r.satisfies_topological_bound());
+        assert!(r.satisfies_geometric_bound());
+    }
+
+    #[test]
+    fn theorem11_bounds_hold_for_algorithm2_spanner() {
+        for seed in 0..6 {
+            let Some(udg) = connected_udg(120, 6.0, seed) else { continue };
+            let result = AlgorithmTwo::new().construct(udg.graph());
+            let r = DilationReport::measure(udg.graph(), &result.spanner, udg.points());
+            assert!(r.satisfies_topological_bound(), "seed {seed}: {:?}", r.topo_bound_slack);
+            assert!(r.satisfies_geometric_bound(), "seed {seed}: {:?}", r.geo_bound_slack);
+        }
+    }
+
+    #[test]
+    fn lemma6_implication_holds_with_measured_alpha_beta() {
+        let Some(udg) = connected_udg(100, 5.0, 3) else { return };
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        // with (α, β) = (3, 2) the paper's geometric bound must hold
+        let slack = lemma6_worst_slack(udg.graph(), &result.spanner, udg.points(), 3.0, 2.0);
+        if let Some(s) = slack {
+            assert!(s < 0.0, "Lemma 6 violated: excess {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnects")]
+    fn disconnected_spanner_panics() {
+        let udg = UnitDiskGraph::build(deploy::chain(4, 0.9), 1.0);
+        let empty = Graph::empty(4);
+        let _ = DilationReport::measure(udg.graph(), &empty, udg.points());
+    }
+
+    #[test]
+    fn no_qualifying_pairs_yields_trivial_report() {
+        // a triangle: every pair adjacent
+        let pts = deploy::gaussian_blob(3, 1.0, 1.0, 0.01, 1);
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        assert_eq!(udg.graph().edge_count(), 3);
+        let r = DilationReport::measure(udg.graph(), udg.graph(), udg.points());
+        assert!(r.topological.is_none());
+        assert!(r.satisfies_topological_bound());
+    }
+
+    #[test]
+    fn worst_pair_witnesses_are_consistent() {
+        let Some(udg) = connected_udg(90, 5.0, 7) else { return };
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let r = DilationReport::measure(udg.graph(), &result.spanner, udg.points());
+        if let Some(w) = r.topological {
+            let hg = traversal::hop_distance(udg.graph(), w.u, w.v).unwrap();
+            let hs = traversal::hop_distance(&result.spanner, w.u, w.v).unwrap();
+            assert_eq!(w.in_graph, hg as f64);
+            assert_eq!(w.in_spanner, hs as f64);
+            assert!(hg >= 2);
+        }
+    }
+}

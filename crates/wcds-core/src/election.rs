@@ -1,0 +1,306 @@
+//! Distributed leader election with spanning-tree construction.
+//!
+//! Algorithm I's first phase "elects a leader v and constructs a
+//! spanning tree T rooted at the leader" (the paper adopts Cidon–Mokryn
+//! `[9]`; any election with `O(n)` time and `O(n log n)` messages fits).
+//! We implement the classic **extinction of echo waves**: every node
+//! starts a propagate-information-with-feedback wave carrying its ID;
+//! inferior waves are extinguished by superior (smaller-ID) ones; the
+//! minimum-ID wave alone completes its echo, at which point its initiator
+//! knows it is the leader and announces itself. The surviving wave's
+//! propagation edges form the spanning tree.
+//!
+//! Message complexity is `O(|E|)` per surviving wave prefix; with
+//! distinct random IDs the expected total is `O(|E| log n)` =
+//! `O(n log n)` on a unit-disk graph with linear edges — the budget the
+//! paper assumes. (Worst case, adversarially ordered IDs on a path, is
+//! `O(n·|E|)`, the same worst case Cidon–Mokryn avoids; the experiments
+//! in `wcds-bench` measure the realised count.)
+
+use std::collections::BTreeSet;
+use wcds_graph::spanning::SpanningTree;
+use wcds_graph::{Graph, NodeId};
+use wcds_sim::{Context, ProcId, Protocol, Schedule, SimReport, Simulator};
+
+/// Messages of the election protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionMsg {
+    /// "Join my wave for candidate `c`."
+    Propose { candidate: u64 },
+    /// "I will not be your child in wave `c`"; carries the responder's
+    /// own current candidate so the receiver learns about better waves
+    /// it has not seen yet (without this, a locally-minimal node can
+    /// complete its echo and wrongly declare victory before the global
+    /// minimum's wave reaches it).
+    Nack { candidate: u64, best: u64 },
+    /// "My whole subtree has joined wave `c`."
+    Done { candidate: u64 },
+    /// "The election is over; `leader` won."
+    Leader { leader: u64 },
+}
+
+/// Per-node election state machine.
+#[derive(Debug)]
+pub struct ElectionNode {
+    id: u64,
+    best: u64,
+    /// The smallest candidate this node has ever seen in any message.
+    /// While `smallest_heard < best`, a superior `Propose` is in flight
+    /// (its sender already broadcast it), so the echo is withheld.
+    smallest_heard: u64,
+    parent: Option<ProcId>,
+    children: BTreeSet<ProcId>,
+    awaiting: BTreeSet<ProcId>,
+    leader: Option<u64>,
+    announced: bool,
+    echoed: bool,
+}
+
+impl ElectionNode {
+    /// A node whose protocol-level ID equals its topology index.
+    pub fn new(id: ProcId) -> Self {
+        Self::with_id(id as u64)
+    }
+
+    /// A node with an explicit protocol-level ID.
+    pub fn with_id(id: u64) -> Self {
+        Self {
+            id,
+            best: id,
+            smallest_heard: id,
+            parent: None,
+            children: BTreeSet::new(),
+            awaiting: BTreeSet::new(),
+            leader: None,
+            announced: false,
+            echoed: false,
+        }
+    }
+
+    /// The elected leader's ID, once known at this node.
+    pub fn leader(&self) -> Option<u64> {
+        self.leader
+    }
+
+    /// This node's parent in the winner's spanning tree (`None` at the
+    /// leader).
+    pub fn parent(&self) -> Option<ProcId> {
+        self.parent
+    }
+
+    /// This node's children in the winner's spanning tree.
+    pub fn children(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.children.iter().copied()
+    }
+
+    /// Checks whether the current wave's echo is complete and if so
+    /// propagates it (or, at the initiator, declares victory).
+    ///
+    /// The echo is withheld while this node knows of a candidate smaller
+    /// than its current wave: the superior wave's `Propose` is
+    /// guaranteed to arrive (its sender already broadcast it), and
+    /// echoing early would let a doomed wave complete.
+    fn try_finish_wave(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        if !self.awaiting.is_empty() || self.smallest_heard < self.best || self.echoed {
+            return;
+        }
+        match self.parent {
+            Some(p) => {
+                self.echoed = true;
+                ctx.send(p, ElectionMsg::Done { candidate: self.best });
+            }
+            None if self.best == self.id && !self.announced => {
+                // our own wave completed: we are the leader
+                self.leader = Some(self.id);
+                self.announced = true;
+                self.echoed = true;
+                ctx.broadcast(ElectionMsg::Leader { leader: self.id });
+            }
+            None => {}
+        }
+    }
+
+    /// Adopts wave `candidate` learned from `via` (or our own wave when
+    /// `via` is `None`) and re-propagates it.
+    fn adopt(&mut self, candidate: u64, via: Option<ProcId>, ctx: &mut Context<'_, ElectionMsg>) {
+        self.best = candidate;
+        self.smallest_heard = self.smallest_heard.min(candidate);
+        self.parent = via;
+        self.children.clear();
+        self.echoed = false;
+        self.awaiting = ctx.neighbors().iter().copied().filter(|&n| Some(n) != via).collect();
+        ctx.broadcast(ElectionMsg::Propose { candidate });
+        self.try_finish_wave(ctx);
+    }
+}
+
+impl Protocol for ElectionNode {
+    type Message = ElectionMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        let id = self.id;
+        self.adopt(id, None, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: ElectionMsg, ctx: &mut Context<'_, ElectionMsg>) {
+        match msg {
+            ElectionMsg::Propose { candidate } => {
+                self.smallest_heard = self.smallest_heard.min(candidate);
+                if candidate < self.best {
+                    self.adopt(candidate, Some(from), ctx);
+                } else {
+                    // refuse membership; the sender stops waiting for us
+                    // and learns our candidate in case it is smaller
+                    ctx.send(from, ElectionMsg::Nack { candidate, best: self.best });
+                }
+            }
+            ElectionMsg::Nack { candidate, best } => {
+                self.smallest_heard = self.smallest_heard.min(best);
+                if candidate == self.best && self.awaiting.remove(&from) {
+                    self.try_finish_wave(ctx);
+                }
+            }
+            ElectionMsg::Done { candidate } => {
+                if candidate == self.best && self.awaiting.remove(&from) {
+                    self.children.insert(from);
+                    self.try_finish_wave(ctx);
+                }
+            }
+            ElectionMsg::Leader { leader } => {
+                if self.leader.is_none() {
+                    self.leader = Some(leader);
+                    ctx.broadcast(ElectionMsg::Leader { leader });
+                }
+            }
+        }
+    }
+
+    fn message_kind(msg: &ElectionMsg) -> &'static str {
+        match msg {
+            ElectionMsg::Propose { .. } => "PROPOSE",
+            ElectionMsg::Nack { .. } => "NACK",
+            ElectionMsg::Done { .. } => "DONE",
+            ElectionMsg::Leader { .. } => "LEADER",
+        }
+    }
+}
+
+/// The outcome of a distributed election.
+#[derive(Debug, Clone)]
+pub struct ElectionOutcome {
+    /// The winning node (topology index; equals the minimum protocol ID
+    /// under the default ID assignment).
+    pub leader: NodeId,
+    /// The spanning tree rooted at the leader, built from the winning
+    /// wave's propagation edges.
+    pub tree: SpanningTree,
+    /// Message/time accounting for the run.
+    pub report: SimReport,
+}
+
+/// Runs the election protocol on a connected graph.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected (no spanning tree exists), or if the
+/// protocol produced an inconsistent tree (a bug, guarded by
+/// assertions).
+pub fn elect(g: &Graph, schedule: Schedule) -> ElectionOutcome {
+    assert!(wcds_graph::traversal::is_connected(g), "election requires a connected graph");
+    let mut sim = Simulator::new(g, ElectionNode::new);
+    let report = sim.run(schedule).expect("election protocol quiesces");
+    let leader_id = sim.node(0).leader().expect("leader known after quiescence");
+    // default IDs are topology indices, so the winner's index is its ID
+    let leader = leader_id as NodeId;
+    for u in g.nodes() {
+        assert_eq!(sim.node(u).leader(), Some(leader_id), "node {u} disagrees on the leader");
+    }
+    let parents: Vec<Option<ProcId>> = g.nodes().map(|u| sim.node(u).parent()).collect();
+    let tree = SpanningTree::from_parents(leader, &parents)
+        .expect("winning wave edges form a spanning tree");
+    assert!(tree.spans(g));
+    ElectionOutcome { leader, tree, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_graph::generators;
+
+    #[test]
+    fn path_elects_node_zero() {
+        let g = generators::path(10);
+        let out = elect(&g, Schedule::synchronous());
+        assert_eq!(out.leader, 0);
+        assert_eq!(out.tree.root(), 0);
+        assert_eq!(out.tree.level(9), 9);
+    }
+
+    #[test]
+    fn election_works_on_random_graphs_sync_and_async() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(40, 0.08, seed);
+            let sync = elect(&g, Schedule::synchronous());
+            assert_eq!(sync.leader, 0);
+            let asy = elect(&g, Schedule::asynchronous(seed * 7 + 1));
+            assert_eq!(asy.leader, 0);
+            assert!(asy.tree.spans(&g));
+        }
+    }
+
+    #[test]
+    fn async_tree_may_differ_but_always_spans() {
+        let g = generators::connected_gnp(30, 0.15, 3);
+        for seed in 0..5 {
+            let out = elect(&g, Schedule::asynchronous(seed));
+            assert!(out.tree.spans(&g));
+            assert_eq!(out.tree.root(), 0);
+        }
+    }
+
+    #[test]
+    fn singleton_graph_elects_itself() {
+        let g = Graph::empty(1);
+        let out = elect(&g, Schedule::synchronous());
+        assert_eq!(out.leader, 0);
+        assert_eq!(out.tree.height(), 0);
+    }
+
+    #[test]
+    fn complete_graph_tree_is_a_star() {
+        let g = generators::complete(8);
+        let out = elect(&g, Schedule::synchronous());
+        assert_eq!(out.leader, 0);
+        assert_eq!(out.tree.height(), 1);
+        assert_eq!(out.tree.children(0).len(), 7);
+    }
+
+    #[test]
+    fn message_kinds_are_reported() {
+        let g = generators::path(6);
+        let out = elect(&g, Schedule::synchronous());
+        assert!(out.report.messages.of_kind("PROPOSE") > 0);
+        assert!(out.report.messages.of_kind("LEADER") > 0);
+        assert!(out.report.messages.of_kind("DONE") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let _ = elect(&g, Schedule::synchronous());
+    }
+
+    #[test]
+    fn custom_ids_change_the_winner() {
+        let g = generators::path(5);
+        // give node 3 the smallest protocol ID
+        let ids = [50u64, 40, 30, 10, 20];
+        let mut sim = Simulator::new(&g, |u| ElectionNode::with_id(ids[u]));
+        sim.run(Schedule::synchronous()).unwrap();
+        for u in g.nodes() {
+            assert_eq!(sim.node(u).leader(), Some(10));
+        }
+        assert_eq!(sim.node(3).parent(), None);
+    }
+}

@@ -1,0 +1,174 @@
+//! WCDS post-processing: redundant-dominator pruning.
+//!
+//! The paper closes Theorem 10 with "the bound on the size of `U` may
+//! be improved by tighter analysis". This module implements the
+//! engineering counterpart: a **pruning pass** that removes dominators
+//! one at a time whenever the remainder is still a valid WCDS. The
+//! result is a *minimal* WCDS (no proper subset works), typically
+//! noticeably smaller than the raw construction — at the price of the
+//! structural guarantees the MIS layout provided (the 3-hop bridges may
+//! go, and with them Theorem 11's dilation constants; the A2 ablation
+//! in `wcds-bench` quantifies that trade).
+
+use crate::Wcds;
+use wcds_graph::{domination, Graph, NodeId};
+
+/// How pruning candidates are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneOrder {
+    /// Try highest IDs first (deterministic, matches the ID-based
+    /// symmetry breaking used everywhere else).
+    #[default]
+    DescendingId,
+    /// Try additional dominators before MIS dominators, highest degree
+    /// first — bridges are the most frequently redundant nodes.
+    BridgesFirst,
+}
+
+/// Removes redundant dominators from a valid WCDS until it is minimal.
+///
+/// Runs in `O(|U| · (n + |E|))`: each removal candidate is re-validated
+/// with one BFS over the weakly induced subgraph.
+///
+/// Returns the pruned set; the MIS/additional partition of surviving
+/// nodes is preserved (pruning never *adds* nodes).
+///
+/// # Panics
+///
+/// Panics if `wcds` is not a valid WCDS of `g` to begin with.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::postprocess::{prune, PruneOrder};
+/// use wcds_core::Wcds;
+/// use wcds_graph::generators;
+///
+/// // on a star, {center, leaf} is valid but the leaf is redundant
+/// let g = generators::star(4);
+/// let w = Wcds::new(vec![0], vec![1]);
+/// let pruned = prune(&g, &w, PruneOrder::DescendingId);
+/// assert_eq!(pruned.nodes(), &[0]);
+/// ```
+pub fn prune(g: &Graph, wcds: &Wcds, order: PruneOrder) -> Wcds {
+    assert!(wcds.is_valid(g), "pruning requires a valid WCDS");
+    let mut members: Vec<NodeId> = wcds.nodes().to_vec();
+    let is_additional = |u: NodeId| wcds.additional_dominators().binary_search(&u).is_ok();
+
+    let mut candidates = members.clone();
+    match order {
+        PruneOrder::DescendingId => candidates.sort_unstable_by(|a, b| b.cmp(a)),
+        PruneOrder::BridgesFirst => candidates.sort_unstable_by_key(|&u| {
+            (!is_additional(u), std::cmp::Reverse(g.degree(u)), u)
+        }),
+    }
+
+    for &candidate in &candidates {
+        let trial: Vec<NodeId> = members.iter().copied().filter(|&u| u != candidate).collect();
+        if domination::is_weakly_connected_dominating_set(g, &trial) {
+            members = trial;
+        }
+    }
+
+    let mis: Vec<NodeId> = members.iter().copied().filter(|&u| !is_additional(u)).collect();
+    let additional: Vec<NodeId> = members.into_iter().filter(|&u| is_additional(u)).collect();
+    Wcds::new(mis, additional)
+}
+
+/// Whether a WCDS is minimal: removing any single member breaks it.
+pub fn is_minimal(g: &Graph, wcds: &Wcds) -> bool {
+    wcds.is_valid(g)
+        && wcds.nodes().iter().all(|&u| {
+            let trial: Vec<NodeId> =
+                wcds.nodes().iter().copied().filter(|&v| v != u).collect();
+            !domination::is_weakly_connected_dominating_set(g, &trial)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo1::AlgorithmOne;
+    use crate::algo2::AlgorithmTwo;
+    use crate::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, traversal, UnitDiskGraph};
+
+    #[test]
+    fn pruned_sets_are_minimal_and_valid() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(40, 0.1, seed);
+            let raw = AlgorithmTwo::new().construct(&g).wcds;
+            for order in [PruneOrder::DescendingId, PruneOrder::BridgesFirst] {
+                let pruned = prune(&g, &raw, order);
+                assert!(pruned.is_valid(&g), "seed {seed}");
+                assert!(pruned.len() <= raw.len());
+                assert!(is_minimal(&g, &pruned), "seed {seed} order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_respects_partition() {
+        let udg = UnitDiskGraph::build(deploy::uniform(120, 6.0, 6.0, 3), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            return;
+        }
+        let raw = AlgorithmTwo::new().construct(udg.graph()).wcds;
+        let pruned = prune(udg.graph(), &raw, PruneOrder::BridgesFirst);
+        for &u in pruned.mis_dominators() {
+            assert!(raw.mis_dominators().contains(&u));
+        }
+        for &u in pruned.additional_dominators() {
+            assert!(raw.additional_dominators().contains(&u));
+        }
+    }
+
+    #[test]
+    fn bridges_first_removes_more_bridges() {
+        let udg = UnitDiskGraph::build(deploy::uniform(200, 7.0, 7.0, 5), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            return;
+        }
+        let raw = AlgorithmTwo::new().construct(udg.graph()).wcds;
+        let by_bridge = prune(udg.graph(), &raw, PruneOrder::BridgesFirst);
+        assert!(by_bridge.additional_dominators().len() <= raw.additional_dominators().len());
+    }
+
+    #[test]
+    fn already_minimal_sets_are_untouched() {
+        // a path's optimum-style WCDS {1, 3} is minimal on P5
+        let g = generators::path(5);
+        let w = Wcds::from_mis(vec![1, 3]);
+        assert!(is_minimal(&g, &w));
+        let pruned = prune(&g, &w, PruneOrder::DescendingId);
+        assert_eq!(pruned.nodes(), w.nodes());
+    }
+
+    #[test]
+    fn algorithm1_output_often_shrinks() {
+        let udg = UnitDiskGraph::build(deploy::uniform(150, 6.0, 6.0, 7), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            return;
+        }
+        let raw = AlgorithmOne::new().construct(udg.graph()).wcds;
+        let pruned = prune(udg.graph(), &raw, PruneOrder::DescendingId);
+        assert!(pruned.len() <= raw.len());
+        assert!(pruned.is_valid(udg.graph()));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid WCDS")]
+    fn pruning_invalid_set_panics() {
+        let g = generators::path(5);
+        let _ = prune(&g, &Wcds::from_mis(vec![0]), PruneOrder::DescendingId);
+    }
+
+    #[test]
+    fn singleton_wcds_is_minimal() {
+        let g = generators::star(4);
+        let w = Wcds::from_mis(vec![0]);
+        assert!(is_minimal(&g, &w));
+        assert_eq!(prune(&g, &w, PruneOrder::DescendingId).nodes(), &[0]);
+    }
+}

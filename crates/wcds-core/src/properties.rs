@@ -1,0 +1,253 @@
+//! Checkable forms of the paper's structural lemmas (§2).
+//!
+//! Each function turns a proof obligation into a measurement, so the
+//! test suite and the experiment harness can *observe* the bounds
+//! instead of trusting them:
+//!
+//! * Lemma 1 — on a UDG, a node outside an MIS has ≤ 5 MIS neighbors;
+//! * Lemma 2 — an MIS node has ≤ 23 MIS nodes exactly two hops away and
+//!   ≤ 47 within three hops (annulus packing; the provided paper text
+//!   garbles the numerals — the bounds re-derived from its own area
+//!   argument are `π·2.5²−π·0.5²)/(π·0.5²) = 24` exclusive and
+//!   `(π·3.5²−π·0.5²)/(π·0.5²) = 48` exclusive);
+//! * Lemma 3 — complementary subsets of any MIS are 2 or 3 hops apart;
+//! * Theorem 4 — with level-based ranking, exactly 2.
+
+use wcds_graph::{traversal, Graph, NodeId};
+
+/// Lemma 1 measurement: the maximum number of MIS members adjacent to
+/// any single non-member. On a unit-disk graph this is at most 5.
+///
+/// Returns 0 when every node is in `mis` or the graph is empty.
+pub fn max_mis_neighbors(g: &Graph, mis: &[NodeId]) -> usize {
+    let in_mis = g.membership(mis);
+    g.nodes()
+        .filter(|&u| !in_mis[u])
+        .map(|u| g.neighbors(u).iter().filter(|&&v| in_mis[v]).count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lemma 2 measurement for one MIS node `u`: the number of MIS members
+/// at hop distance exactly `k` from `u`.
+pub fn mis_nodes_at_exact_distance(g: &Graph, mis: &[NodeId], u: NodeId, k: u32) -> usize {
+    let dist = traversal::bfs_distances(g, u);
+    mis.iter().filter(|&&v| v != u && dist[v] == Some(k)).count()
+}
+
+/// Lemma 2 measurement for one MIS node `u`: the number of MIS members
+/// within hop distance `k` (excluding `u`).
+pub fn mis_nodes_within_distance(g: &Graph, mis: &[NodeId], u: NodeId, k: u32) -> usize {
+    let dist = traversal::bfs_distances(g, u);
+    mis.iter().filter(|&&v| v != u && matches!(dist[v], Some(d) if d <= k)).count()
+}
+
+/// Lemma 2 summary over every MIS node: `(max #exactly-2-hops,
+/// max #within-3-hops)`. On a UDG the paper bounds these by 23 and 47.
+pub fn lemma2_maxima(g: &Graph, mis: &[NodeId]) -> (usize, usize) {
+    let mut max2 = 0;
+    let mut max3 = 0;
+    for &u in mis {
+        let dist = traversal::bfs_distances(g, u);
+        let mut at2 = 0;
+        let mut within3 = 0;
+        for &v in mis {
+            if v == u {
+                continue;
+            }
+            match dist[v] {
+                Some(2) => {
+                    at2 += 1;
+                    within3 += 1;
+                }
+                Some(3) => within3 += 1,
+                _ => {}
+            }
+        }
+        max2 = max2.max(at2);
+        max3 = max3.max(within3);
+    }
+    (max2, max3)
+}
+
+/// The exact worst-case distance between complementary subsets of `s`:
+/// `max over bipartitions (A, S∖A) of min_{a∈A, b∈S∖A} hop(a, b)`.
+///
+/// Computed as the bottleneck (maximum edge) of a minimum spanning tree
+/// over the complete graph on `s` weighted by pairwise hop distance —
+/// the classic minimax-path identity — so it is exact without
+/// enumerating `2^|s|` bipartitions.
+///
+/// Returns `None` if `|s| < 2` or some pair of `s` is disconnected in
+/// `g`.
+///
+/// * Lemma 3: for any MIS of a connected graph this is 2 or 3.
+/// * Theorem 4: for a level-ranked MIS it is exactly 2.
+pub fn max_complementary_subset_distance(g: &Graph, s: &[NodeId]) -> Option<u32> {
+    if s.len() < 2 {
+        return None;
+    }
+    // Prim's algorithm on the implicit complete graph over `s`.
+    let dist_from: Vec<Vec<Option<u32>>> =
+        s.iter().map(|&u| traversal::bfs_distances(g, u)).collect();
+    let k = s.len();
+    let mut in_tree = vec![false; k];
+    let mut best = vec![u32::MAX; k];
+    in_tree[0] = true;
+    for j in 1..k {
+        best[j] = dist_from[0][s[j]]?;
+    }
+    let mut bottleneck = 0;
+    for _ in 1..k {
+        let (next, &w) = best
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !in_tree[j])
+            .min_by_key(|&(_, &w)| w)
+            .expect("non-tree node remains");
+        if w == u32::MAX {
+            return None; // disconnected pair
+        }
+        bottleneck = bottleneck.max(w);
+        in_tree[next] = true;
+        for j in 0..k {
+            if !in_tree[j] {
+                let d = dist_from[next][s[j]]?;
+                best[j] = best[j].min(d);
+            }
+        }
+    }
+    Some(bottleneck)
+}
+
+/// Brute-force reference for [`max_complementary_subset_distance`]:
+/// enumerates every bipartition. Exponential — test use only.
+///
+/// # Panics
+///
+/// Panics if `|s| > 20`.
+pub fn max_complementary_subset_distance_exhaustive(g: &Graph, s: &[NodeId]) -> Option<u32> {
+    assert!(s.len() <= 20, "exhaustive check limited to 20 nodes");
+    if s.len() < 2 {
+        return None;
+    }
+    let mut worst = 0;
+    for mask in 1..(1u32 << (s.len() - 1)) {
+        // fix s[last] on the B side to halve the enumeration
+        let a: Vec<NodeId> =
+            (0..s.len() - 1).filter(|&i| mask >> i & 1 == 1).map(|i| s[i]).collect();
+        if a.is_empty() {
+            continue;
+        }
+        let b: Vec<NodeId> = s.iter().copied().filter(|u| !a.contains(u)).collect();
+        worst = worst.max(traversal::set_distance(g, &a, &b)?);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::{greedy_mis, RankingMode};
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    #[test]
+    fn lemma1_holds_on_random_udgs() {
+        for seed in 0..10 {
+            let udg = UnitDiskGraph::build(deploy::uniform(200, 5.0, 5.0, seed), 1.0);
+            let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+            let m = max_mis_neighbors(udg.graph(), &mis);
+            assert!(m <= 5, "seed {seed}: node with {m} MIS neighbors violates Lemma 1");
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_is_tight_on_the_five_petal_configuration() {
+        // the adversarial geometry achieves exactly 5 MIS neighbors
+        let udg = UnitDiskGraph::build(deploy::five_petal(), 1.0);
+        let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+        assert_eq!(mis, vec![0, 1, 2, 3, 4], "all petals join the MIS");
+        assert_eq!(max_mis_neighbors(udg.graph(), &mis), 5, "the center sees all five");
+    }
+
+    #[test]
+    fn lemma1_can_be_violated_off_udg() {
+        // a star is not (necessarily) a UDG: the center has 6 MIS
+        // neighbors, showing the bound is UDG-specific
+        let g = generators::star(6);
+        let leaves: Vec<NodeId> = (1..=6).collect();
+        assert_eq!(max_mis_neighbors(&g, &leaves), 6);
+    }
+
+    #[test]
+    fn lemma2_bounds_hold_on_dense_udgs() {
+        for seed in 0..6 {
+            let udg = UnitDiskGraph::build(deploy::uniform(400, 5.0, 5.0, seed), 1.0);
+            let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+            let (max2, max3) = lemma2_maxima(udg.graph(), &mis);
+            assert!(max2 <= 23, "seed {seed}: {max2} MIS nodes at exactly 2 hops");
+            assert!(max3 <= 47, "seed {seed}: {max3} MIS nodes within 3 hops");
+        }
+    }
+
+    #[test]
+    fn exact_distance_helpers_agree() {
+        let udg = UnitDiskGraph::build(deploy::uniform(150, 5.0, 5.0, 3), 1.0);
+        let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+        let u = mis[0];
+        let at2 = mis_nodes_at_exact_distance(udg.graph(), &mis, u, 2);
+        let at3 = mis_nodes_at_exact_distance(udg.graph(), &mis, u, 3);
+        let within3 = mis_nodes_within_distance(udg.graph(), &mis, u, 3);
+        // MIS nodes are never at distance 0 or 1 from u
+        assert_eq!(at2 + at3, within3);
+    }
+
+    #[test]
+    fn lemma3_arbitrary_mis_subset_distance_is_2_or_3() {
+        for seed in 0..8 {
+            let g = generators::connected_gnp(40, 0.08, seed);
+            let mis = greedy_mis(&g, RankingMode::StaticId);
+            if mis.len() < 2 {
+                continue;
+            }
+            let d = max_complementary_subset_distance(&g, &mis).unwrap();
+            assert!((2..=3).contains(&d), "seed {seed}: distance {d}");
+        }
+    }
+
+    #[test]
+    fn minimax_matches_exhaustive_enumeration() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(26, 0.1, seed);
+            let mis = greedy_mis(&g, RankingMode::StaticId);
+            if !(2..=14).contains(&mis.len()) {
+                continue;
+            }
+            assert_eq!(
+                max_complementary_subset_distance(&g, &mis),
+                max_complementary_subset_distance_exhaustive(&g, &mis),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn subset_distance_none_for_small_or_split_sets() {
+        let g = generators::path(4);
+        assert_eq!(max_complementary_subset_distance(&g, &[0]), None);
+        let split = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(max_complementary_subset_distance(&split, &[0, 2]), None);
+    }
+
+    #[test]
+    fn subset_distance_on_known_topology() {
+        // path 0-1-2-3-4-5-6 with MIS {0, 3, 6}: all gaps are 3 hops
+        let g = generators::path(7);
+        assert_eq!(max_complementary_subset_distance(&g, &[0, 3, 6]), Some(3));
+        // MIS {0, 2, 4, 6}: all gaps are 2 hops
+        assert_eq!(max_complementary_subset_distance(&g, &[0, 2, 4, 6]), Some(2));
+    }
+
+    use wcds_graph::Graph;
+}

@@ -1,0 +1,158 @@
+//! Node ranking (§2.2 of the paper).
+//!
+//! A *rank* is a unique, totally ordered identifier used to break
+//! symmetry while growing an MIS. The paper distinguishes:
+//!
+//! * **static ranking** — the rank never changes; e.g. the node ID;
+//! * **dynamic ranking** — the rank may change during construction;
+//!   e.g. `(white-degree, id)`;
+//! * **level-based ranking** — the static pair `(tree level, id)` where
+//!   the level is the node's hop distance from the root of a spanning
+//!   tree. This is the rank that makes the greedy MIS a WCDS
+//!   (Theorems 4 and 5).
+
+use wcds_graph::spanning::SpanningTree;
+use wcds_graph::NodeId;
+
+/// A level-based rank: the lexicographically ordered pair `(level, id)`.
+///
+/// The root (level 0) has the lowest rank; within a level, IDs break
+/// ties. Ranks are unique as long as IDs are.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::ranking::Rank;
+///
+/// let root = Rank::new(0, 0);
+/// let a = Rank::new(1, 10);
+/// let b = Rank::new(3, 7);
+/// assert!(root < a && a < b);
+/// assert_eq!(format!("{a}"), "(1, 10)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank {
+    level: u32,
+    id: u64,
+}
+
+impl Rank {
+    /// Creates a rank from a level and an ID.
+    pub fn new(level: u32, id: u64) -> Self {
+        Self { level, id }
+    }
+
+    /// The level component (hop distance from the spanning-tree root).
+    pub fn level(self) -> u32 {
+        self.level
+    }
+
+    /// The ID component (tie-breaker).
+    pub fn id(self) -> u64 {
+        self.id
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.level, self.id)
+    }
+}
+
+/// Assigns every node its level-based rank from a spanning tree,
+/// using node indices as IDs.
+///
+/// This is the centralized form of Algorithm I's first two phases: any
+/// spanning tree works; BFS trees are what the distributed protocol
+/// produces.
+pub fn level_based_ranks(tree: &SpanningTree) -> Vec<Rank> {
+    level_based_ranks_with_ids(tree, |u| u as u64)
+}
+
+/// Assigns level-based ranks with custom protocol-level IDs.
+///
+/// IDs must be unique or ranks will collide (checked in debug builds).
+pub fn level_based_ranks_with_ids<F>(tree: &SpanningTree, mut id_of: F) -> Vec<Rank>
+where
+    F: FnMut(NodeId) -> u64,
+{
+    let ranks: Vec<Rank> =
+        (0..tree.node_count()).map(|u| Rank::new(tree.level(u), id_of(u))).collect();
+    debug_assert!(
+        {
+            let mut sorted = ranks.clone();
+            sorted.sort_unstable();
+            sorted.windows(2).all(|w| w[0] < w[1])
+        },
+        "ranks must be unique"
+    );
+    ranks
+}
+
+/// The permutation of nodes in ascending rank order.
+pub fn rank_order(ranks: &[Rank]) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..ranks.len()).collect();
+    order.sort_by_key(|&u| ranks[u]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_graph::generators;
+
+    #[test]
+    fn lexicographic_order_level_first() {
+        assert!(Rank::new(0, 99) < Rank::new(1, 0));
+        assert!(Rank::new(2, 3) < Rank::new(2, 4));
+        assert_eq!(Rank::new(1, 1), Rank::new(1, 1));
+    }
+
+    #[test]
+    fn paper_figure6_examples() {
+        // the paper's Figure 6: root (0, 0); node 10 at level 1 → (1, 10);
+        // node 7 at level 3 → (3, 7)
+        let root = Rank::new(0, 0);
+        let n10 = Rank::new(1, 10);
+        let n7 = Rank::new(3, 7);
+        assert!(root < n10);
+        assert!(n10 < n7);
+        assert_eq!(format!("{n7}"), "(3, 7)");
+    }
+
+    #[test]
+    fn tree_ranks_follow_levels() {
+        let g = generators::grid(3, 3);
+        let tree = SpanningTree::bfs(&g, 4).unwrap();
+        let ranks = level_based_ranks(&tree);
+        for u in 0..9 {
+            assert_eq!(ranks[u].level(), tree.level(u));
+            assert_eq!(ranks[u].id(), u as u64);
+        }
+        // root has the unique minimum rank
+        let min = *ranks.iter().min().unwrap();
+        assert_eq!(min, ranks[4]);
+    }
+
+    #[test]
+    fn rank_order_starts_at_root() {
+        let g = generators::connected_gnp(30, 0.1, 7);
+        let tree = SpanningTree::bfs(&g, 12).unwrap();
+        let ranks = level_based_ranks(&tree);
+        let order = rank_order(&ranks);
+        assert_eq!(order[0], 12);
+        for w in order.windows(2) {
+            assert!(ranks[w[0]] < ranks[w[1]]);
+        }
+    }
+
+    #[test]
+    fn custom_ids_break_ties_differently() {
+        let g = generators::star(3);
+        let tree = SpanningTree::bfs(&g, 0).unwrap();
+        // reverse the ids of the three leaves
+        let ranks = level_based_ranks_with_ids(&tree, |u| 100 - u as u64);
+        let order = rank_order(&ranks);
+        assert_eq!(order, vec![0, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Sparse-spanner extraction and sparseness accounting.
+//!
+//! Coloring every edge incident to a dominator black yields the weakly
+//! induced subgraph `G'`. The paper proves `G'` has `Θ(n)` edges:
+//!
+//! * **Theorem 8** (Algorithm I): every black edge joins a gray node to a
+//!   black node, and a gray node has at most 5 black neighbors (Lemma 1),
+//!   so `|E'| ≤ 5 · #gray`.
+//! * **Theorem 10** (Algorithm II): counting the three edge types —
+//!   gray↔MIS (≤ 5·#gray), MIS↔additional (≤ 47·|S|/2, via the 3-hop
+//!   pair bound of Lemma 2), gray↔additional (≤ 4·#gray) — gives
+//!   `|E'| ≤ 9·#gray + 23.5·|S| = Θ(n)`.
+
+use crate::Wcds;
+use wcds_graph::{Graph, NodeId};
+
+/// Sparseness accounting for a WCDS-induced spanner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannerStats {
+    /// Nodes in the underlying graph.
+    pub nodes: usize,
+    /// Edges in the underlying graph `G`.
+    pub graph_edges: usize,
+    /// Edges in the spanner `G'` (black edges).
+    pub spanner_edges: usize,
+    /// Gray (non-dominator) node count.
+    pub gray_nodes: usize,
+    /// MIS dominator count `|S|`.
+    pub mis_dominators: usize,
+    /// Additional dominator count `|C|`.
+    pub additional_dominators: usize,
+    /// Edges between a gray node and an MIS dominator.
+    pub gray_mis_edges: usize,
+    /// Edges between an MIS dominator and an additional dominator.
+    pub mis_additional_edges: usize,
+    /// Edges between a gray node and an additional dominator.
+    pub gray_additional_edges: usize,
+    /// Edges between two additional dominators.
+    pub additional_additional_edges: usize,
+    /// Edges between two "MIS" dominators — zero for the paper's
+    /// algorithms (an MIS is independent) but possible for baselines
+    /// whose dominator set is not independent.
+    pub mis_mis_edges: usize,
+}
+
+impl SpannerStats {
+    /// Computes the accounting for `wcds` over `g`.
+    pub fn compute(g: &Graph, wcds: &Wcds) -> Self {
+        let is_mis = g.membership(wcds.mis_dominators());
+        let is_add = g.membership(wcds.additional_dominators());
+        let spanner = wcds.weakly_induced_subgraph(g);
+        let mut gray_mis = 0;
+        let mut mis_add = 0;
+        let mut gray_add = 0;
+        let mut add_add = 0;
+        let mut mis_mis = 0;
+        for e in spanner.edges() {
+            let (u, v) = e.endpoints();
+            let class = |x: NodeId| -> u8 {
+                if is_mis[x] {
+                    0
+                } else if is_add[x] {
+                    1
+                } else {
+                    2
+                }
+            };
+            match (class(u).min(class(v)), class(u).max(class(v))) {
+                (0, 2) => gray_mis += 1,
+                (0, 1) => mis_add += 1,
+                (1, 2) => gray_add += 1,
+                (1, 1) => add_add += 1,
+                (0, 0) => mis_mis += 1,
+                // (2, 2) impossible: a black edge touches a dominator.
+                other => unreachable!("impossible black-edge class {other:?}"),
+            }
+        }
+        Self {
+            nodes: g.node_count(),
+            graph_edges: g.edge_count(),
+            spanner_edges: spanner.edge_count(),
+            gray_nodes: g.node_count() - wcds.len(),
+            mis_dominators: wcds.mis_dominators().len(),
+            additional_dominators: wcds.additional_dominators().len(),
+            gray_mis_edges: gray_mis,
+            mis_additional_edges: mis_add,
+            gray_additional_edges: gray_add,
+            additional_additional_edges: add_add,
+            mis_mis_edges: mis_mis,
+        }
+    }
+
+    /// Spanner edges per node — the "linear edges" constant. Returns 0
+    /// for the empty graph.
+    pub fn edges_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.spanner_edges as f64 / self.nodes as f64
+        }
+    }
+
+    /// Theorem 8's bound for a pure-MIS WCDS on a **unit-disk** graph:
+    /// `|E'| ≤ 5 · #gray`.
+    ///
+    /// Only meaningful when there are no additional dominators and `g`
+    /// was a UDG.
+    pub fn satisfies_theorem8_bound(&self) -> bool {
+        self.spanner_edges <= 5 * self.gray_nodes
+    }
+
+    /// Theorem 10's bound for an Algorithm II WCDS on a UDG:
+    /// `|E'| ≤ 9·#gray + ⌈47/2⌉·|S|` (the 47/2 comes from Lemma 2's
+    /// 3-hop pair count; we round up to stay integral).
+    pub fn satisfies_theorem10_bound(&self) -> bool {
+        self.spanner_edges <= 9 * self.gray_nodes + 24 * self.mis_dominators
+    }
+
+    /// Fraction of `G`'s edges kept by the spanner (1.0 for empty `G`).
+    pub fn retention(&self) -> f64 {
+        if self.graph_edges == 0 {
+            1.0
+        } else {
+            self.spanner_edges as f64 / self.graph_edges as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SpannerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spanner: {}/{} edges over {} nodes ({:.2} edges/node, {:.1}% kept)",
+            self.spanner_edges,
+            self.graph_edges,
+            self.nodes,
+            self.edges_per_node(),
+            100.0 * self.retention()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo1::AlgorithmOne;
+    use crate::algo2::AlgorithmTwo;
+    use crate::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    #[test]
+    fn edge_classes_sum_to_spanner_edges() {
+        let udg = UnitDiskGraph::build(deploy::uniform(150, 6.0, 6.0, 5), 1.0);
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let s = SpannerStats::compute(udg.graph(), &result.wcds);
+        assert_eq!(
+            s.gray_mis_edges
+                + s.mis_additional_edges
+                + s.gray_additional_edges
+                + s.additional_additional_edges
+                + s.mis_mis_edges,
+            s.spanner_edges
+        );
+        assert_eq!(s.mis_mis_edges, 0, "an MIS is independent");
+        assert_eq!(s.nodes, 150);
+    }
+
+    #[test]
+    fn theorem8_bound_holds_for_algorithm1_on_udgs() {
+        for seed in 0..8 {
+            let udg = UnitDiskGraph::build(deploy::uniform(180, 6.0, 6.0, seed), 1.0);
+            if !wcds_graph::traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let result = AlgorithmOne::new().construct(udg.graph());
+            let s = SpannerStats::compute(udg.graph(), &result.wcds);
+            assert!(s.satisfies_theorem8_bound(), "seed {seed}: {s}");
+        }
+    }
+
+    #[test]
+    fn theorem10_bound_holds_for_algorithm2_on_udgs() {
+        for seed in 0..8 {
+            let udg = UnitDiskGraph::build(deploy::uniform(180, 6.0, 6.0, seed), 1.0);
+            if !wcds_graph::traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let result = AlgorithmTwo::new().construct(udg.graph());
+            let s = SpannerStats::compute(udg.graph(), &result.wcds);
+            assert!(s.satisfies_theorem10_bound(), "seed {seed}: {s}");
+        }
+    }
+
+    #[test]
+    fn spanner_is_subgraph_and_retention_sane() {
+        let g = generators::connected_gnp(60, 0.2, 3);
+        let result = AlgorithmTwo::new().construct(&g);
+        assert!(g.contains_subgraph(&result.spanner));
+        let s = SpannerStats::compute(&g, &result.wcds);
+        assert!(s.retention() <= 1.0 + 1e-12);
+        assert!(s.retention() > 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let g = generators::path(4);
+        let result = AlgorithmTwo::new().construct(&g);
+        let s = SpannerStats::compute(&g, &result.wcds);
+        assert!(format!("{s}").contains("edges/node"));
+    }
+}

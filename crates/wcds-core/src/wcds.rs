@@ -1,0 +1,180 @@
+//! The verified WCDS output type.
+
+use std::fmt;
+use wcds_graph::{domination, Graph, NodeId};
+
+/// A weakly-connected dominating set, partitioned the way the paper's
+/// algorithms produce it: MIS dominators plus (for Algorithm II)
+/// additional dominators bridging 3-hop MIS gaps.
+///
+/// The type does not *enforce* validity — constructions are verified by
+/// calling [`Wcds::is_valid`] (and the test suites do, exhaustively) —
+/// but it does enforce the structural basics: sorted, disjoint, in-range
+/// member lists.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::Wcds;
+/// use wcds_graph::generators;
+///
+/// let g = generators::path(5);
+/// let w = Wcds::new(vec![0, 2, 4], vec![]);
+/// assert!(w.is_valid(&g));
+/// assert_eq!(w.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wcds {
+    mis: Vec<NodeId>,
+    additional: Vec<NodeId>,
+    all: Vec<NodeId>,
+}
+
+impl Wcds {
+    /// Builds a WCDS from its MIS-dominator and additional-dominator
+    /// parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two lists overlap or contain duplicates.
+    pub fn new(mut mis: Vec<NodeId>, mut additional: Vec<NodeId>) -> Self {
+        mis.sort_unstable();
+        additional.sort_unstable();
+        assert!(mis.windows(2).all(|w| w[0] < w[1]), "duplicate MIS dominators");
+        assert!(additional.windows(2).all(|w| w[0] < w[1]), "duplicate additional dominators");
+        let mut all = Vec::with_capacity(mis.len() + additional.len());
+        all.extend_from_slice(&mis);
+        all.extend_from_slice(&additional);
+        all.sort_unstable();
+        assert!(
+            all.windows(2).all(|w| w[0] < w[1]),
+            "MIS and additional dominator sets overlap"
+        );
+        Self { mis, additional, all }
+    }
+
+    /// A WCDS that is just an MIS (Algorithm I's shape).
+    pub fn from_mis(mis: Vec<NodeId>) -> Self {
+        Self::new(mis, Vec::new())
+    }
+
+    /// All dominators, sorted ascending.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.all
+    }
+
+    /// The MIS dominators (clusterheads), sorted.
+    pub fn mis_dominators(&self) -> &[NodeId] {
+        &self.mis
+    }
+
+    /// The additional dominators (3-hop bridges), sorted.
+    pub fn additional_dominators(&self) -> &[NodeId] {
+        &self.additional
+    }
+
+    /// Total dominator count `|U|`.
+    pub fn len(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Whether `u` is a dominator of either kind.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.all.binary_search(&u).is_ok()
+    }
+
+    /// Checks the full WCDS definition against `g`: the set dominates
+    /// `g` and its weakly induced subgraph is connected.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        domination::is_weakly_connected_dominating_set(g, &self.all)
+    }
+
+    /// The weakly induced subgraph `G'` — all edges of `g` with at least
+    /// one endpoint in this set. This *is* the paper's sparse spanner.
+    pub fn weakly_induced_subgraph(&self, g: &Graph) -> Graph {
+        g.weakly_induced(&self.all)
+    }
+
+    /// Membership bitmap over `g`'s nodes.
+    pub fn membership(&self, g: &Graph) -> Vec<bool> {
+        g.membership(&self.all)
+    }
+}
+
+impl fmt::Display for Wcds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WCDS {{ {} dominators: {} MIS + {} additional }}",
+            self.all.len(),
+            self.mis.len(),
+            self.additional.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_graph::generators;
+
+    #[test]
+    fn partition_is_preserved() {
+        let w = Wcds::new(vec![4, 1], vec![3]);
+        assert_eq!(w.mis_dominators(), &[1, 4]);
+        assert_eq!(w.additional_dominators(), &[3]);
+        assert_eq!(w.nodes(), &[1, 3, 4]);
+        assert_eq!(w.len(), 3);
+        assert!(w.contains(3));
+        assert!(!w.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_parts_panic() {
+        let _ = Wcds::new(vec![1, 2], vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate MIS")]
+    fn duplicate_mis_panics() {
+        let _ = Wcds::new(vec![1, 1], vec![]);
+    }
+
+    #[test]
+    fn validity_on_path() {
+        let g = generators::path(5);
+        assert!(Wcds::from_mis(vec![0, 2, 4]).is_valid(&g));
+        assert!(Wcds::from_mis(vec![1, 3]).is_valid(&g));
+        // {0, 4} leaves node 2 undominated
+        assert!(!Wcds::from_mis(vec![0, 4]).is_valid(&g));
+    }
+
+    #[test]
+    fn weakly_induced_subgraph_matches_graph_method() {
+        let g = generators::connected_gnp(30, 0.1, 9);
+        let w = Wcds::new(vec![0, 5, 9], vec![12]);
+        assert_eq!(w.weakly_induced_subgraph(&g), g.weakly_induced(&[0, 5, 9, 12]));
+    }
+
+    #[test]
+    fn empty_wcds() {
+        let w = Wcds::from_mis(vec![]);
+        assert!(w.is_empty());
+        assert!(w.is_valid(&Graph::empty(0)));
+        assert!(!w.is_valid(&generators::path(2)));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let w = Wcds::new(vec![0, 1], vec![2]);
+        let s = format!("{w}");
+        assert!(s.contains("3 dominators"));
+        assert!(s.contains("2 MIS"));
+    }
+}

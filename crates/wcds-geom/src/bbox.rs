@@ -1,0 +1,170 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangular deployment region.
+///
+/// Regions are half-open nowhere: both boundaries are inclusive, matching
+/// the convention of the deployment generators which may place nodes
+/// exactly on the border.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_geom::{BoundingBox, Point};
+///
+/// let region = BoundingBox::new(0.0, 0.0, 10.0, 5.0);
+/// assert!(region.contains(Point::new(10.0, 5.0)));
+/// assert_eq!(region.area(), 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    min: Point,
+    max: Point,
+}
+
+impl BoundingBox {
+    /// Creates a region from its min/max corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_x > max_x` or `min_y > max_y`.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(min_x <= max_x && min_y <= max_y, "degenerate bounding box");
+        Self { min: Point::new(min_x, min_y), max: Point::new(max_x, max_y) }
+    }
+
+    /// A `width × height` region anchored at the origin.
+    pub fn with_size(width: f64, height: f64) -> Self {
+        Self::new(0.0, 0.0, width, height)
+    }
+
+    /// The smallest region containing every point in `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn enclosing(points: &[Point]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut min = first;
+        let mut max = first;
+        for p in &points[1..] {
+            min = Point::new(min.x.min(p.x), min.y.min(p.y));
+            max = Point::new(max.x.max(p.x), max.y.max(p.y));
+        }
+        Some(Self { min, max })
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width of the region.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the region.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the region.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center of the region.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside the region (boundary inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` onto the region.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Expands the region by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the box.
+    pub fn expanded(&self, margin: f64) -> Self {
+        Self::new(self.min.x - margin, self.min.y - margin, self.max.x + margin, self.max.y + margin)
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_size_anchors_at_origin() {
+        let b = BoundingBox::with_size(4.0, 3.0);
+        assert_eq!(b.min(), Point::origin());
+        assert_eq!(b.max(), Point::new(4.0, 3.0));
+        assert_eq!(b.area(), 12.0);
+    }
+
+    #[test]
+    fn contains_is_boundary_inclusive() {
+        let b = BoundingBox::with_size(1.0, 1.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(1.0, 1.0)));
+        assert!(!b.contains(Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn enclosing_covers_all_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)];
+        let b = BoundingBox::enclosing(&pts).unwrap();
+        assert!(pts.iter().all(|&p| b.contains(p)));
+        assert_eq!(b.min(), Point::new(-2.0, 0.0));
+        assert_eq!(b.max(), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(BoundingBox::enclosing(&[]).is_none());
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let b = BoundingBox::with_size(2.0, 2.0);
+        assert_eq!(b.clamp(Point::new(-1.0, 3.0)), Point::new(0.0, 2.0));
+        assert_eq!(b.clamp(Point::new(1.0, 1.0)), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let b = BoundingBox::with_size(1.0, 1.0).expanded(0.5);
+        assert_eq!(b.min(), Point::new(-0.5, -0.5));
+        assert_eq!(b.max(), Point::new(1.5, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_box_panics() {
+        let _ = BoundingBox::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        let b = BoundingBox::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(b.center(), Point::new(2.0, 1.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Seeded node-deployment generators.
+//!
+//! The paper evaluates nothing empirically — it reasons over arbitrary
+//! node distributions in the plane. These generators stand in for real
+//! wireless deployments: every experiment in the workspace draws its
+//! topology from one of them (or from an adversarial construction) with an
+//! explicit seed, so results are reproducible bit-for-bit.
+//!
+//! All generators use [`rand_chacha::ChaCha12Rng`] seeded from a `u64`, not
+//! thread-local entropy, and are deterministic across platforms.
+
+use crate::{BoundingBox, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+
+/// Creates the deterministic RNG used by every generator in this module.
+fn rng(seed: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(seed)
+}
+
+/// `n` points uniformly at random in `[0, width] × [0, height]`.
+///
+/// This is the classic random-deployment model for ad hoc networks.
+///
+/// # Examples
+///
+/// ```
+/// let pts = wcds_geom::deploy::uniform(50, 10.0, 10.0, 1);
+/// assert_eq!(pts.len(), 50);
+/// assert!(pts.iter().all(|p| p.x >= 0.0 && p.x <= 10.0));
+/// ```
+pub fn uniform(n: usize, width: f64, height: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    (0..n).map(|_| Point::new(r.gen::<f64>() * width, r.gen::<f64>() * height)).collect()
+}
+
+/// `n` points drawn from `clusters` Gaussian blobs whose centers are
+/// themselves uniform in the region.
+///
+/// Models hotspot deployments (vehicles at intersections, sensors around
+/// phenomena). `spread` is the per-cluster standard deviation; points are
+/// clamped into the region.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0` while `n > 0`.
+pub fn clustered(n: usize, width: f64, height: f64, clusters: usize, spread: f64, seed: u64) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(clusters > 0, "need at least one cluster for a non-empty deployment");
+    let mut r = rng(seed);
+    let centers: Vec<Point> =
+        (0..clusters).map(|_| Point::new(r.gen::<f64>() * width, r.gen::<f64>() * height)).collect();
+    (0..n)
+        .map(|_| {
+            let c = centers[r.gen_range(0..clusters)];
+            let p = c + Point::new(gaussian(&mut r) * spread, gaussian(&mut r) * spread);
+            p.clamped(width, height)
+        })
+        .collect()
+}
+
+/// Points on a `cols × rows` grid with per-point uniform jitter.
+///
+/// `pitch` is the grid spacing; `jitter` the maximum absolute displacement
+/// per axis. With `jitter = 0` this is an exact lattice — useful for
+/// predictable, dense worst cases.
+pub fn grid_jitter(cols: usize, rows: usize, pitch: f64, jitter: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(cols * rows);
+    for gy in 0..rows {
+        for gx in 0..cols {
+            let dx = if jitter > 0.0 { r.gen_range(-jitter..=jitter) } else { 0.0 };
+            let dy = if jitter > 0.0 { r.gen_range(-jitter..=jitter) } else { 0.0 };
+            out.push(Point::new(gx as f64 * pitch + dx, gy as f64 * pitch + dy));
+        }
+    }
+    out
+}
+
+/// `n` points from an isotropic Gaussian centered in the region
+/// (standard deviation `sigma`), clamped to the region.
+///
+/// Models deployments concentrated around a base station.
+pub fn gaussian_blob(n: usize, width: f64, height: f64, sigma: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    let c = Point::new(width / 2.0, height / 2.0);
+    (0..n)
+        .map(|_| (c + Point::new(gaussian(&mut r) * sigma, gaussian(&mut r) * sigma)).clamped(width, height))
+        .collect()
+}
+
+/// `n` points on a horizontal line with spacing `spacing`.
+///
+/// With `spacing < 1` consecutive nodes are UDG-adjacent and the topology
+/// is a path — the adversarial input behind the paper's Theorem 12
+/// worst-case `Θ(n)` running-time argument.
+pub fn chain(n: usize, spacing: f64) -> Vec<Point> {
+    (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect()
+}
+
+/// `n` points evenly spaced on a circle of radius `radius` centered at
+/// `(radius, radius)`.
+///
+/// With chord length under one unit the topology is a cycle; a symmetric
+/// input useful for tie-breaking tests (every node looks locally alike, so
+/// only ranks break symmetry).
+pub fn ring(n: usize, radius: f64) -> Vec<Point> {
+    let c = Point::new(radius, radius);
+    (0..n)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            c + Point::new(radius * theta.cos(), radius * theta.sin())
+        })
+        .collect()
+}
+
+/// The nine-node topology of the paper's Figure 2 (a WCDS of two nodes
+/// whose weakly-induced subgraph spans the graph).
+///
+/// Node 1 sits at the center of a left star, node 2 at the center of a
+/// right star, with one shared gray neighbor linking the two stars at
+/// two hops. Returned positions are scaled so every drawn edge has length
+/// ≤ 1 and every non-edge is longer than 1.
+pub fn figure2() -> Vec<Point> {
+    vec![
+        Point::new(1.0, 1.0),   // 0: dominator "1" of the figure
+        Point::new(2.6, 1.0),   // 1: dominator "2" of the figure
+        Point::new(1.8, 1.0),   // 2: shared gray node between the stars
+        Point::new(0.2, 1.0),   // 3: left leaf
+        Point::new(1.0, 1.9),   // 4: top-left leaf
+        Point::new(1.0, 0.1),   // 5: bottom-left leaf
+        Point::new(3.4, 1.0),   // 6: right leaf
+        Point::new(2.6, 1.9),   // 7: top-right leaf
+        Point::new(2.6, 0.1),   // 8: bottom-right leaf
+    ]
+}
+
+/// `n` points uniform over an **L-shaped** region: the `side × side`
+/// square minus its upper-right `side/2 × side/2` quadrant.
+///
+/// A non-convex deployment: shortest paths must bend around the
+/// missing corner, stressing spanner dilation and backbone shape in a
+/// way convex regions cannot.
+pub fn l_shape(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    let half = side / 2.0;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = Point::new(r.gen::<f64>() * side, r.gen::<f64>() * side);
+        if !(p.x > half && p.y > half) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// `n` points uniform over a thin `length × width` corridor.
+///
+/// With `width ≪ length` the topology is nearly one-dimensional:
+/// large diameter, long dominator chains — the opposite regime from a
+/// dense square, and close to the paper's chain worst case while
+/// remaining random.
+pub fn corridor(n: usize, length: f64, width: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    (0..n).map(|_| Point::new(r.gen::<f64>() * length, r.gen::<f64>() * width)).collect()
+}
+
+/// The tight configuration for Lemma 1: a center node with exactly
+/// **five** mutually independent neighbors.
+///
+/// Five "petals" sit at distance 0.999 from the center at 72° spacing
+/// (a hair under the unit range so floating-point rounding can never
+/// drop the edge); adjacent petals are `2·0.999·sin 36° ≈ 1.174 > 1`
+/// apart, so they are pairwise non-adjacent. The center is listed
+/// **last** (highest ID), which makes every lowest-ID-first MIS pick
+/// all five petals and leave the center gray with five MIS neighbors —
+/// the Lemma 1 bound achieved exactly.
+pub fn five_petal() -> Vec<Point> {
+    let c = Point::new(2.0, 2.0);
+    let r = 0.999;
+    let mut pts: Vec<Point> = (0..5)
+        .map(|i| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / 5.0;
+            c + Point::new(r * theta.cos(), r * theta.sin())
+        })
+        .collect();
+    pts.push(c);
+    pts
+}
+
+/// A random-waypoint-style single step: moves every point by at most
+/// `max_step` in a uniform random direction, clamped to the region.
+///
+/// Used by the mobility/maintenance experiments; calling it repeatedly
+/// with increasing `seed` values yields a deterministic motion trace.
+pub fn perturb(points: &[Point], region: BoundingBox, max_step: f64, seed: u64) -> Vec<Point> {
+    let mut r = rng(seed);
+    points
+        .iter()
+        .map(|&p| {
+            let theta = r.gen::<f64>() * 2.0 * std::f64::consts::PI;
+            let step = r.gen::<f64>() * max_step;
+            region.clamp(p + Point::new(step * theta.cos(), step * theta.sin()))
+        })
+        .collect()
+}
+
+/// Standard normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`, which is not on the approved crate list).
+fn gaussian<R: Rng>(r: &mut R) -> f64 {
+    let u1: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = r.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        assert_eq!(uniform(20, 5.0, 5.0, 9), uniform(20, 5.0, 5.0, 9));
+        assert_ne!(uniform(20, 5.0, 5.0, 9), uniform(20, 5.0, 5.0, 10));
+    }
+
+    #[test]
+    fn uniform_respects_region() {
+        let pts = uniform(500, 3.0, 7.0, 1);
+        assert!(pts.iter().all(|p| (0.0..=3.0).contains(&p.x) && (0.0..=7.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn clustered_respects_region_and_count() {
+        let pts = clustered(200, 10.0, 10.0, 4, 0.5, 2);
+        assert_eq!(pts.len(), 200);
+        assert!(pts.iter().all(|p| (0.0..=10.0).contains(&p.x) && (0.0..=10.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn clustered_zero_n_allows_zero_clusters() {
+        assert!(clustered(0, 1.0, 1.0, 0, 0.1, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn clustered_zero_clusters_panics() {
+        let _ = clustered(5, 1.0, 1.0, 0, 0.1, 0);
+    }
+
+    #[test]
+    fn grid_without_jitter_is_exact_lattice() {
+        let pts = grid_jitter(3, 2, 1.5, 0.0, 0);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        assert_eq!(pts[5], Point::new(3.0, 1.5));
+    }
+
+    #[test]
+    fn grid_jitter_bounded() {
+        let pts = grid_jitter(4, 4, 2.0, 0.25, 5);
+        for (i, p) in pts.iter().enumerate() {
+            let gx = (i % 4) as f64 * 2.0;
+            let gy = (i / 4) as f64 * 2.0;
+            assert!((p.x - gx).abs() <= 0.25 + 1e-12);
+            assert!((p.y - gy).abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn chain_spacing_is_exact() {
+        let pts = chain(5, 0.9);
+        for w in pts.windows(2) {
+            assert!((w[0].distance(w[1]) - 0.9).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_chord_is_uniform() {
+        let pts = ring(12, 2.0);
+        let chord = pts[0].distance(pts[1]);
+        for i in 0..12 {
+            let d = pts[i].distance(pts[(i + 1) % 12]);
+            assert!((d - chord).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure2_adjacency_matches_paper() {
+        let pts = figure2();
+        // the two dominators are NOT adjacent (they are independent)...
+        assert!(pts[0].distance(pts[1]) > 1.0);
+        // ...but both are adjacent to the shared gray node 2,
+        assert!(pts[0].distance(pts[2]) <= 1.0);
+        assert!(pts[1].distance(pts[2]) <= 1.0);
+        // and each leaf touches exactly its own star center.
+        for leaf in [3, 4, 5] {
+            assert!(pts[0].distance(pts[leaf]) <= 1.0);
+            assert!(pts[1].distance(pts[leaf]) > 1.0);
+        }
+        for leaf in [6, 7, 8] {
+            assert!(pts[1].distance(pts[leaf]) <= 1.0);
+            assert!(pts[0].distance(pts[leaf]) > 1.0);
+        }
+    }
+
+    #[test]
+    fn l_shape_avoids_the_missing_quadrant() {
+        let pts = l_shape(300, 8.0, 3);
+        assert_eq!(pts.len(), 300);
+        for p in &pts {
+            assert!(!(p.x > 4.0 && p.y > 4.0), "point {p} in the cut-out quadrant");
+            assert!((0.0..=8.0).contains(&p.x) && (0.0..=8.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn corridor_is_thin() {
+        let pts = corridor(100, 20.0, 1.5, 4);
+        assert!(pts.iter().all(|p| (0.0..=20.0).contains(&p.x) && (0.0..=1.5).contains(&p.y)));
+    }
+
+    #[test]
+    fn five_petal_geometry_is_tight() {
+        let pts = five_petal();
+        let center = pts[5];
+        for i in 0..5 {
+            // each petal adjacent to the center...
+            assert!(pts[i].distance(center) <= 1.0);
+            assert!(pts[i].distance(center) > 0.99);
+            for j in (i + 1)..5 {
+                // ...and to no other petal
+                assert!(pts[i].distance(pts[j]) > 1.0 + 1e-9, "petals {i},{j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_moves_at_most_max_step() {
+        let region = BoundingBox::with_size(10.0, 10.0);
+        let pts = uniform(100, 10.0, 10.0, 3);
+        let moved = perturb(&pts, region, 0.3, 4);
+        for (a, b) in pts.iter().zip(&moved) {
+            assert!(a.distance(*b) <= 0.3 + 1e-12);
+            assert!(region.contains(*b));
+        }
+    }
+
+    #[test]
+    fn gaussian_blob_centers_mass() {
+        let pts = gaussian_blob(2000, 10.0, 10.0, 1.0, 6);
+        let mean_x: f64 = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let mean_y: f64 = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - 5.0).abs() < 0.2, "mean_x = {mean_x}");
+        assert!((mean_y - 5.0).abs() < 0.2, "mean_y = {mean_y}");
+    }
+}

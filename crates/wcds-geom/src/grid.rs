@@ -1,0 +1,196 @@
+use crate::Point;
+use std::collections::HashMap;
+
+/// A uniform spatial hash over a point set for radius queries.
+///
+/// Cells have side length equal to the query radius, so a query only has
+/// to inspect the 3×3 block of cells around the query point. Building the
+/// index is `O(n)`; each query is `O(k)` in the number of candidates in
+/// those nine cells. Constructing a unit-disk graph with it is
+/// `O(n + |E|)` expected instead of the naive `O(n²)`.
+///
+/// The index stores point *indices* into the slice it was built from; the
+/// caller keeps ownership of the coordinates and passes the same slice to
+/// the query methods (checked by length in debug builds).
+///
+/// # Examples
+///
+/// ```
+/// use wcds_geom::{GridIndex, Point};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(3.0, 3.0)];
+/// let idx = GridIndex::build(&pts, 1.0);
+/// let mut near = idx.neighbors_within(&pts, pts[0], 1.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    len: usize,
+    cells: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with cell size `cell`.
+    ///
+    /// `cell` should equal the largest radius you intend to query with;
+    /// larger radii still return correct results only via
+    /// [`GridIndex::neighbors_within`]'s fallback scan, which is slower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell size must be positive and finite");
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(cell, *p)).or_default().push(i);
+        }
+        Self { cell, len: points.len(), cells }
+    }
+
+    /// The cell size this index was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn key(cell: f64, p: Point) -> (i64, i64) {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+
+    /// Indices of all points within distance `r` of `center` (inclusive),
+    /// including `center` itself if it is one of the indexed points.
+    ///
+    /// `points` must be the slice the index was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `points.len()` differs from the build-time
+    /// length.
+    pub fn neighbors_within(&self, points: &[Point], center: Point, r: f64) -> Vec<usize> {
+        debug_assert_eq!(points.len(), self.len, "index/point-set mismatch");
+        let mut out = Vec::new();
+        self.for_each_within(points, center, r, |i| out.push(i));
+        out
+    }
+
+    /// Visits the index of every point within distance `r` of `center`.
+    ///
+    /// Visit order is deterministic for a fixed build (cells are scanned in
+    /// row-major block order, points in insertion order within a cell).
+    pub fn for_each_within<F: FnMut(usize)>(&self, points: &[Point], center: Point, r: f64, mut f: F) {
+        debug_assert_eq!(points.len(), self.len, "index/point-set mismatch");
+        let reach = (r / self.cell).ceil() as i64;
+        let (cx, cy) = Self::key(self.cell, center);
+        let r2 = r * r;
+        for gx in (cx - reach)..=(cx + reach) {
+            for gy in (cy - reach)..=(cy + reach) {
+                if let Some(bucket) = self.cells.get(&(gx, gy)) {
+                    for &i in bucket {
+                        if points[i].distance_squared(center) <= r2 {
+                            f(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts the points within distance `r` of `center`.
+    pub fn count_within(&self, points: &[Point], center: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(points, center, r, |_| n += 1);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy;
+
+    fn brute_force(points: &[Point], center: Point, r: f64) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            (0..points.len()).filter(|&i| points[i].within(center, r)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let pts = deploy::uniform(300, 8.0, 8.0, 7);
+        let idx = GridIndex::build(&pts, 1.0);
+        for probe in 0..pts.len() {
+            let mut got = idx.neighbors_within(&pts, pts[probe], 1.0);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, pts[probe], 1.0), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn larger_radius_than_cell_still_correct() {
+        let pts = deploy::uniform(200, 5.0, 5.0, 11);
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.neighbors_within(&pts, pts[0], 2.5);
+        got.sort_unstable();
+        assert_eq!(got, brute_force(&pts, pts[0], 2.5));
+    }
+
+    #[test]
+    fn query_point_not_in_set() {
+        let pts = vec![Point::new(0.2, 0.2), Point::new(5.0, 5.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.neighbors_within(&pts, Point::origin(), 1.0), vec![0]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let pts: Vec<Point> = vec![];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert!(idx.is_empty());
+        assert!(idx.neighbors_within(&pts, Point::origin(), 1.0).is_empty());
+    }
+
+    #[test]
+    fn count_matches_list_length() {
+        let pts = deploy::uniform(150, 4.0, 4.0, 3);
+        let idx = GridIndex::build(&pts, 1.0);
+        for &p in pts.iter().take(20) {
+            assert_eq!(idx.count_within(&pts, p, 1.0), idx.neighbors_within(&pts, p, 1.0).len());
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_supported() {
+        let pts = vec![Point::new(-0.5, -0.5), Point::new(-1.2, -0.6), Point::new(2.0, 2.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.neighbors_within(&pts, pts[0], 1.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_panics() {
+        let _ = GridIndex::build(&[], 0.0);
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let idx = GridIndex::build(&pts, 1.0);
+        assert_eq!(idx.count_within(&pts, pts[0], 1.0), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! 2-D geometry substrate for wireless ad hoc network modelling.
+//!
+//! The ICDCS 2003 WCDS paper assumes "all nodes are distributed in a
+//! two-dimensional plane and have an equal maximum transmission range of
+//! one unit", so the only geometry the rest of the workspace needs is:
+//!
+//! * [`Point`] — a position in the plane with exact, total ordering helpers;
+//! * [`BoundingBox`] — deployment regions;
+//! * [`deploy`] — seeded point-process generators (uniform, clustered,
+//!   grid-with-jitter, Gaussian, chain/adversarial) standing in for real
+//!   deployments;
+//! * [`GridIndex`] — an `O(1)`-per-query spatial hash used to build
+//!   unit-disk graphs in `O(n + |E|)` instead of `O(n²)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use wcds_geom::{deploy, GridIndex, Point};
+//!
+//! let pts = deploy::uniform(100, 10.0, 10.0, 42);
+//! let index = GridIndex::build(&pts, 1.0);
+//! let near_origin = index.neighbors_within(&pts, Point::new(0.0, 0.0), 1.0);
+//! assert!(near_origin.iter().all(|&i| pts[i].distance(Point::new(0.0, 0.0)) <= 1.0));
+//! ```
+
+mod bbox;
+pub mod deploy;
+mod grid;
+mod point;
+
+pub use bbox::BoundingBox;
+pub use grid::GridIndex;
+pub use point::Point;
+
+/// Default unit-disk transmission radius used throughout the workspace.
+///
+/// The paper normalises the maximum transmission range to one unit; keeping
+/// the constant here makes that normalisation explicit at call sites.
+pub const UNIT_RADIUS: f64 = 1.0;

@@ -1,0 +1,245 @@
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the Euclidean plane.
+///
+/// Coordinates are finite `f64`s. Construction through [`Point::new`]
+/// asserts finiteness in debug builds so NaNs cannot silently poison
+/// distance comparisons downstream.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either coordinate is not finite.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        debug_assert!(x.is_finite() && y.is_finite(), "non-finite coordinate ({x}, {y})");
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { x: 0.0, y: 0.0 }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for threshold tests
+    /// (`d² ≤ r²` avoids the square root entirely).
+    #[inline]
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Whether `other` lies within (or exactly on) radius `r` of `self`.
+    ///
+    /// This is the unit-disk adjacency predicate: the paper's edge rule is
+    /// "distance at most one".
+    #[inline]
+    pub fn within(self, other: Point, r: f64) -> bool {
+        self.distance_squared(other) <= r * r
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Clamps the point into the axis-aligned rectangle
+    /// `[0, width] × [0, height]`.
+    #[inline]
+    pub fn clamped(self, width: f64, height: f64) -> Point {
+        Point::new(self.x.clamp(0.0, width), self.y.clamp(0.0, height))
+    }
+
+    /// Total lexicographic ordering `(x, then y)`.
+    ///
+    /// `f64` is only `PartialOrd`; deployments never contain NaNs (enforced
+    /// at construction), so a total order is safe and lets point sets be
+    /// sorted deterministically.
+    #[inline]
+    pub fn lex_cmp(self, other: Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .expect("finite coordinates")
+            .then(self.y.partial_cmp(&other.y).expect("finite coordinates"))
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 0.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_345_triangle() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point::new(0.3, 0.7);
+        let b = Point::new(1.9, -2.2);
+        let d = a.distance(b);
+        assert!((a.distance_squared(b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_boundary() {
+        let a = Point::origin();
+        let b = Point::new(1.0, 0.0);
+        assert!(a.within(b, 1.0));
+        assert!(!a.within(Point::new(1.0 + 1e-9, 0.0), 1.0));
+    }
+
+    #[test]
+    fn midpoint_halves_segment() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point::new(1.0, 3.0));
+        assert!((a.distance(m) - b.distance(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(5.0, -3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), a.midpoint(b));
+    }
+
+    #[test]
+    fn clamped_stays_in_region() {
+        let p = Point::new(-1.0, 20.0).clamped(10.0, 10.0);
+        assert_eq!(p, Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(0.5, -1.0);
+        assert_eq!(a + b, Point::new(1.5, 1.0));
+        assert_eq!(a - b, Point::new(0.5, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering;
+        assert_eq!(Point::new(0.0, 9.0).lex_cmp(Point::new(1.0, 0.0)), Ordering::Less);
+        assert_eq!(Point::new(1.0, 0.0).lex_cmp(Point::new(1.0, 2.0)), Ordering::Less);
+        assert_eq!(Point::new(1.0, 2.0).lex_cmp(Point::new(1.0, 2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p: Point = (2.5, -1.5).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.5, -1.5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::origin()).is_empty());
+    }
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        assert!((Point::new(1.0, 0.0).norm() - 1.0).abs() < 1e-12);
+        assert!((Point::new(0.0, -1.0).norm() - 1.0).abs() < 1e-12);
+    }
+}

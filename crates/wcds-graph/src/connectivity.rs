@@ -1,0 +1,227 @@
+//! Cut vertices, bridges, and robustness metrics.
+//!
+//! A virtual backbone is only as good as its weakest dominator: these
+//! utilities find the **articulation points** and **bridges** of a graph
+//! (Hopcroft–Tarjan lowpoint algorithm, iterative) so experiments can
+//! quantify how fragile a constructed backbone is to single-node
+//! failures.
+
+use crate::{Edge, Graph, NodeId};
+
+/// The articulation points (cut vertices) of `g`, sorted ascending.
+///
+/// Removing an articulation point increases the number of connected
+/// components. Computed per component; isolated vertices are never
+/// articulation points.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{connectivity, generators};
+///
+/// // path 0-1-2-3: the interior nodes are cut vertices
+/// let g = generators::path(4);
+/// assert_eq!(connectivity::articulation_points(&g), vec![1, 2]);
+/// ```
+pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
+    let state = lowpoint_dfs(g);
+    let mut out: Vec<NodeId> = g.nodes().filter(|&u| state.is_cut[u]).collect();
+    out.sort_unstable();
+    out
+}
+
+/// The bridges (cut edges) of `g`, sorted.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{connectivity, generators, Edge};
+///
+/// let g = generators::path(3);
+/// assert_eq!(connectivity::bridges(&g), vec![Edge::new(0, 1), Edge::new(1, 2)]);
+/// assert!(connectivity::bridges(&generators::cycle(4)).is_empty());
+/// ```
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let state = lowpoint_dfs(g);
+    let mut out = state.bridges;
+    out.sort_unstable();
+    out
+}
+
+/// Whether `g` stays connected after deleting node `u` (`u` itself is
+/// ignored in the connectivity check).
+///
+/// The empty and singleton graphs survive trivially.
+pub fn survives_node_removal(g: &Graph, u: NodeId) -> bool {
+    let n = g.node_count();
+    if n <= 2 {
+        return true;
+    }
+    // BFS from any other node, skipping u
+    let start = if u == 0 { 1 } else { 0 };
+    let mut seen = vec![false; n];
+    seen[u] = true; // pretend visited so BFS never enters
+    seen[start] = true;
+    let mut queue = std::collections::VecDeque::from([start]);
+    let mut count = 1;
+    while let Some(x) = queue.pop_front() {
+        for &y in g.neighbors(x) {
+            if !seen[y] {
+                seen[y] = true;
+                count += 1;
+                queue.push_back(y);
+            }
+        }
+    }
+    count == n - 1
+}
+
+struct LowpointState {
+    is_cut: Vec<bool>,
+    bridges: Vec<Edge>,
+}
+
+/// Iterative Hopcroft–Tarjan DFS computing articulation points and
+/// bridges in one pass, safe for deep graphs (no recursion).
+fn lowpoint_dfs(g: &Graph) -> LowpointState {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut is_cut = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut timer = 0;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // stack entries: (node, index into neighbor list)
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0;
+
+        while let Some(&(u, i)) = stack.last() {
+            if i < g.degree(u) {
+                stack.last_mut().expect("just peeked").1 += 1;
+                let v = g.neighbors(u)[i];
+                if disc[v] == usize::MAX {
+                    parent[v] = Some(u);
+                    if u == root {
+                        root_children += 1;
+                    }
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    stack.push((v, 0));
+                } else if parent[u] != Some(v) {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(p) = parent[u] {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] >= disc[p] && p != root {
+                        is_cut[p] = true;
+                    }
+                    if low[u] > disc[p] {
+                        bridges.push(Edge::new(p, u));
+                    }
+                }
+            }
+        }
+        is_cut[root] = root_children >= 2;
+    }
+    LowpointState { is_cut, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, traversal};
+
+    #[test]
+    fn path_interiors_are_cut_vertices() {
+        let g = generators::path(6);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3, 4]);
+        assert_eq!(bridges(&g).len(), 5);
+    }
+
+    #[test]
+    fn cycle_has_no_cuts() {
+        let g = generators::cycle(7);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_the_only_cut() {
+        let g = generators::star(5);
+        assert_eq!(articulation_points(&g), vec![0]);
+        assert_eq!(bridges(&g).len(), 5);
+    }
+
+    #[test]
+    fn complete_graph_is_robust() {
+        let g = generators::complete(6);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // triangles 0-1-2 and 2-3-4 share vertex 2
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn bridge_with_triangle() {
+        // triangle 0-1-2 plus pendant edge 2-3: bridge (2,3), cut {2}
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(articulation_points(&g), vec![2]);
+        assert_eq!(bridges(&g), vec![Edge::new(2, 3)]);
+    }
+
+    #[test]
+    fn disconnected_graphs_handled_per_component() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        assert_eq!(articulation_points(&g), vec![1, 4]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn survives_removal_agrees_with_cut_vertices() {
+        for seed in 0..8 {
+            let g = generators::connected_gnp(30, 0.1, seed);
+            let cuts = articulation_points(&g);
+            for u in g.nodes() {
+                assert_eq!(
+                    !survives_node_removal(&g, u),
+                    cuts.contains(&u),
+                    "seed {seed}, node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // the iterative DFS must handle 50k-node paths
+        let g = generators::path(50_000);
+        let cuts = articulation_points(&g);
+        assert_eq!(cuts.len(), 49_998);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        assert!(articulation_points(&Graph::empty(0)).is_empty());
+        assert!(articulation_points(&Graph::empty(1)).is_empty());
+        assert!(articulation_points(&generators::path(2)).is_empty());
+        assert!(survives_node_removal(&generators::path(2), 0));
+    }
+}

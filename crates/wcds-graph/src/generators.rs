@@ -1,0 +1,195 @@
+//! Abstract (non-geometric) graph families.
+//!
+//! Unit-disk topologies come from [`crate::UnitDiskGraph`]; these
+//! generators produce classic families for unit tests, adversarial
+//! inputs, and property-test shrinking. Note that most of these are *not*
+//! unit-disk graphs — MIS/UDG-specific lemmas (e.g. the "at most five MIS
+//! neighbors" bound) do not apply to them, and tests that exercise those
+//! lemmas must use geometric inputs.
+
+use crate::{Graph, GraphBuilder};
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+
+/// A path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// A cycle on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A star with center `0` and `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    Graph::from_edges(leaves + 1, (1..=leaves).map(|i| (0, i)))
+}
+
+/// A complete `rows × cols` grid graph (4-neighborhood).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// An Erdős–Rényi `G(n, p)` random graph with a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A connected `G(n, p)`-flavored graph: a random spanning tree (random
+/// Prüfer-style attachment) plus `G(n, p)` extra edges.
+///
+/// Guaranteed connected for all `n`, useful when a test needs "some
+/// connected graph" without retry loops.
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n.max(1));
+    // random attachment tree: node i links to a uniform earlier node
+    for i in 1..n {
+        b.add_edge(i, rng.gen_range(0..i));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A "caterpillar": a spine path of length `spine` with `legs` pendant
+/// leaves per spine node. Stresses dominating-set algorithms (every leaf
+/// must be dominated).
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n.max(1));
+    for i in 1..spine {
+        b.add_edge(i - 1, i);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(6).edge_count(), 15);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 7);
+        assert!((1..=7).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical
+        assert_eq!(g.edge_count(), 9 + 8);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_deterministic() {
+        assert_eq!(gnp(20, 0.3, 5), gnp(20, 0.3, 5));
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..10 {
+            assert!(traversal::is_connected(&connected_gnp(30, 0.05, seed)));
+        }
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+        assert!(traversal::is_connected(&g));
+    }
+}

@@ -1,0 +1,421 @@
+use crate::{Edge, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A compact undirected simple graph over nodes `0..n`.
+///
+/// Adjacency lists are kept **sorted**, which gives deterministic
+/// iteration everywhere (important: distributed runs must be replayable)
+/// and `O(log d)` adjacency tests.
+///
+/// `Graph` is immutable once built; construct one with [`GraphBuilder`],
+/// [`Graph::from_edges`], or a generator from [`crate::generators`].
+/// Mutation under churn (mobility) is handled by rebuilding — UDG
+/// construction is `O(n + |E|)`, so rebuild cost never dominates.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1));
+/// assert_eq!(g.neighbors(2), &[1, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Builds a graph on `n` nodes from an edge iterator.
+    ///
+    /// Duplicate edges (in either orientation) are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.adj.len()
+    }
+
+    /// The sorted neighbor list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree `Δ` over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E|/n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// All edges, each reported once with `u < v`, in ascending order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in self.nodes() {
+            for &v in &self.adj[u] {
+                if u < v {
+                    out.push(Edge::new(u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The subgraph containing only the given edges, on the same node set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is not present in `self`.
+    pub fn edge_subgraph<I>(&self, edges: I) -> Graph
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let mut b = GraphBuilder::new(self.node_count());
+        for e in edges {
+            let (u, v) = e.endpoints();
+            assert!(self.has_edge(u, v), "edge ({u}, {v}) not in graph");
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// The *weakly induced* subgraph of a node set `s`: same nodes, but
+    /// only the edges with **at least one endpoint in `s`** (the paper's
+    /// `G' = (V, E')`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wcds_graph::Graph;
+    ///
+    /// // path 0-1-2-3; weakly inducing on {1} keeps edges 0-1 and 1-2.
+    /// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+    /// let w = g.weakly_induced(&[1]);
+    /// assert_eq!(w.edge_count(), 2);
+    /// assert!(!w.has_edge(2, 3));
+    /// ```
+    pub fn weakly_induced(&self, s: &[NodeId]) -> Graph {
+        let in_s = self.membership(s);
+        let mut b = GraphBuilder::new(self.node_count());
+        for u in self.nodes() {
+            for &v in &self.adj[u] {
+                if u < v && (in_s[u] || in_s[v]) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// The subgraph *induced* by node set `s`: edges with **both**
+    /// endpoints in `s`. The node set is unchanged (non-members become
+    /// isolated), so ids remain comparable across graphs.
+    pub fn induced(&self, s: &[NodeId]) -> Graph {
+        let in_s = self.membership(s);
+        let mut b = GraphBuilder::new(self.node_count());
+        for u in self.nodes() {
+            for &v in &self.adj[u] {
+                if u < v && in_s[u] && in_s[v] {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// A membership bitmap for a node list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed node is out of range.
+    pub fn membership(&self, s: &[NodeId]) -> Vec<bool> {
+        let mut m = vec![false; self.node_count()];
+        for &u in s {
+            m[u] = true;
+        }
+        m
+    }
+
+    /// The union of this graph's edges with `other`'s (same node count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if node counts differ.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(self.node_count(), other.node_count(), "node count mismatch");
+        let mut set: BTreeSet<Edge> = self.edges().into_iter().collect();
+        set.extend(other.edges());
+        let mut b = GraphBuilder::new(self.node_count());
+        for e in set {
+            let (u, v) = e.endpoints();
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Whether `sub`'s edge set is a subset of this graph's.
+    pub fn contains_subgraph(&self, sub: &Graph) -> bool {
+        sub.node_count() == self.node_count()
+            && sub.edges().iter().all(|e| {
+                let (u, v) = e.endpoints();
+                self.has_edge(u, v)
+            })
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count)
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and keeps adjacency sorted on
+/// [`GraphBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, collapsed
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Adds an undirected edge; duplicates are collapsed at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge ({u}, {v}) out of range for n = {}", self.n);
+        assert_ne!(u, v, "self-loop ({u}, {u})");
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Finalises the graph.
+    pub fn build(&self) -> Graph {
+        let mut sorted = self.edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in &sorted {
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        Graph { adj, edge_count: sorted.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = path4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric_and_irreflexive() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn edges_listed_once_ascending() {
+        let g = path4();
+        let es = g.edges();
+        assert_eq!(es.len(), 3);
+        assert_eq!(es[0].endpoints(), (0, 1));
+        assert_eq!(es[2].endpoints(), (2, 3));
+    }
+
+    #[test]
+    fn weakly_induced_keeps_incident_edges_only() {
+        // star center 0 with leaves 1..4 plus leaf-leaf edge (3,4)
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (3, 4)]);
+        let w = g.weakly_induced(&[0]);
+        assert_eq!(w.edge_count(), 4);
+        assert!(!w.has_edge(3, 4));
+        assert_eq!(w.node_count(), 5);
+    }
+
+    #[test]
+    fn weakly_induced_of_all_nodes_is_identity() {
+        let g = path4();
+        let all: Vec<_> = g.nodes().collect();
+        assert_eq!(g.weakly_induced(&all), g);
+    }
+
+    #[test]
+    fn induced_requires_both_endpoints() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let h = g.induced(&[0, 1, 2]);
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(0, 1) && h.has_edge(1, 2));
+        assert!(!h.has_edge(2, 3) && !h.has_edge(3, 0));
+    }
+
+    #[test]
+    fn union_merges_edge_sets() {
+        let a = Graph::from_edges(3, [(0, 1)]);
+        let b = Graph::from_edges(3, [(1, 2), (0, 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.edge_count(), 2);
+    }
+
+    #[test]
+    fn contains_subgraph_checks_edges() {
+        let g = path4();
+        let sub = Graph::from_edges(4, [(0, 1)]);
+        assert!(g.contains_subgraph(&sub));
+        let not_sub = Graph::from_edges(4, [(0, 3)]);
+        assert!(!g.contains_subgraph(&not_sub));
+    }
+
+    #[test]
+    fn edge_subgraph_roundtrip() {
+        let g = path4();
+        let same = g.edge_subgraph(g.edges());
+        assert_eq!(same, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn edge_subgraph_rejects_foreign_edges() {
+        let _ = path4().edge_subgraph([Edge::new(0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", path4()).is_empty());
+    }
+}

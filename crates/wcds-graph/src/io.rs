@@ -1,0 +1,253 @@
+//! Plain-text graph serialization.
+//!
+//! A minimal, diff-friendly format for persisting experiment topologies
+//! and debugging failures:
+//!
+//! ```text
+//! # optional comments
+//! nodes 5
+//! edge 0 1
+//! edge 1 2
+//! point 0 0.25 1.5      # optional positions, one per node
+//! ```
+//!
+//! Everything is line-oriented; unknown lines are an error (fail fast
+//! rather than silently dropping data).
+
+use crate::{Graph, GraphBuilder, NodeId};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+use wcds_geom::Point;
+
+/// Error parsing the text graph format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseGraphError {
+    line: usize,
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ParseErrorKind {
+    MissingHeader,
+    UnknownDirective(String),
+    Malformed(String),
+    OutOfRange(NodeId),
+    DuplicatePoint(NodeId),
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::MissingHeader => {
+                write!(f, "line {}: expected `nodes <n>` header", self.line)
+            }
+            ParseErrorKind::UnknownDirective(d) => {
+                write!(f, "line {}: unknown directive `{d}`", self.line)
+            }
+            ParseErrorKind::Malformed(s) => write!(f, "line {}: malformed line `{s}`", self.line),
+            ParseErrorKind::OutOfRange(u) => {
+                write!(f, "line {}: node {u} out of declared range", self.line)
+            }
+            ParseErrorKind::DuplicatePoint(u) => {
+                write!(f, "line {}: duplicate point for node {u}", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseGraphError {}
+
+/// A parsed document: the graph plus optional node positions.
+#[derive(Debug, Clone)]
+pub struct GraphDocument {
+    /// The adjacency structure.
+    pub graph: Graph,
+    /// Node positions, if every node had a `point` line.
+    pub points: Option<Vec<Point>>,
+}
+
+/// Serialises a graph (and optional positions) to the text format.
+///
+/// # Panics
+///
+/// Panics if `points` is `Some` with a length different from the node
+/// count.
+pub fn to_text(graph: &Graph, points: Option<&[Point]>) -> String {
+    if let Some(p) = points {
+        assert_eq!(p.len(), graph.node_count(), "points/nodes length mismatch");
+    }
+    let mut out = String::new();
+    out.push_str(&format!("nodes {}\n", graph.node_count()));
+    for e in graph.edges() {
+        let (u, v) = e.endpoints();
+        out.push_str(&format!("edge {u} {v}\n"));
+    }
+    if let Some(pts) = points {
+        for (i, p) in pts.iter().enumerate() {
+            out.push_str(&format!("point {i} {} {}\n", p.x, p.y));
+        }
+    }
+    out
+}
+
+/// Parses the text format produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on any malformed, out-of-range, or unknown
+/// line, with the 1-based line number.
+pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
+    let mut n: Option<usize> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    let mut points: Vec<Option<Point>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().expect("non-empty line has a first token");
+        let err = |kind| ParseGraphError { line: line_no, kind };
+        match directive {
+            "nodes" => {
+                let count = parse_token::<usize>(parts.next(), line, line_no)?;
+                n = Some(count);
+                builder = Some(GraphBuilder::new(count));
+                points = vec![None; count];
+            }
+            "edge" => {
+                let b = builder.as_mut().ok_or_else(|| err(ParseErrorKind::MissingHeader))?;
+                let u = parse_token::<NodeId>(parts.next(), line, line_no)?;
+                let v = parse_token::<NodeId>(parts.next(), line, line_no)?;
+                let n = n.expect("builder implies header");
+                for x in [u, v] {
+                    if x >= n {
+                        return Err(err(ParseErrorKind::OutOfRange(x)));
+                    }
+                }
+                if u == v {
+                    return Err(err(ParseErrorKind::Malformed(line.to_string())));
+                }
+                b.add_edge(u, v);
+            }
+            "point" => {
+                if builder.is_none() {
+                    return Err(err(ParseErrorKind::MissingHeader));
+                }
+                let u = parse_token::<NodeId>(parts.next(), line, line_no)?;
+                let x = parse_token::<f64>(parts.next(), line, line_no)?;
+                let y = parse_token::<f64>(parts.next(), line, line_no)?;
+                if u >= points.len() {
+                    return Err(err(ParseErrorKind::OutOfRange(u)));
+                }
+                if points[u].is_some() {
+                    return Err(err(ParseErrorKind::DuplicatePoint(u)));
+                }
+                points[u] = Some(Point::new(x, y));
+            }
+            other => return Err(err(ParseErrorKind::UnknownDirective(other.to_string()))),
+        }
+        if parts.next().is_some() {
+            return Err(ParseGraphError {
+                line: line_no,
+                kind: ParseErrorKind::Malformed(line.to_string()),
+            });
+        }
+    }
+    let builder = builder.ok_or(ParseGraphError { line: 0, kind: ParseErrorKind::MissingHeader })?;
+    let all_points: Option<Vec<Point>> = points.iter().copied().collect();
+    Ok(GraphDocument { graph: builder.build(), points: all_points })
+}
+
+fn parse_token<T: FromStr>(
+    token: Option<&str>,
+    line: &str,
+    line_no: usize,
+) -> Result<T, ParseGraphError> {
+    token
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ParseGraphError { line: line_no, kind: ParseErrorKind::Malformed(line.to_string()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::UnitDiskGraph;
+    use wcds_geom::deploy;
+
+    #[test]
+    fn roundtrip_graph_only() {
+        let g = generators::connected_gnp(20, 0.2, 4);
+        let doc = from_text(&to_text(&g, None)).unwrap();
+        assert_eq!(doc.graph, g);
+        assert!(doc.points.is_none());
+    }
+
+    #[test]
+    fn roundtrip_with_points() {
+        let udg = UnitDiskGraph::build(deploy::uniform(15, 3.0, 3.0, 1), 1.0);
+        let doc = from_text(&to_text(udg.graph(), Some(udg.points()))).unwrap();
+        assert_eq!(&doc.graph, udg.graph());
+        let pts = doc.points.unwrap();
+        for (a, b) in pts.iter().zip(udg.points()) {
+            assert!(a.distance(*b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = from_text("# hello\n\nnodes 2\nedge 0 1 # inline\n").unwrap();
+        assert_eq!(doc.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let e = from_text("edge 0 1\n").unwrap_err();
+        assert!(e.to_string().contains("nodes"));
+    }
+
+    #[test]
+    fn out_of_range_edge_is_error() {
+        let e = from_text("nodes 2\nedge 0 5\n").unwrap_err();
+        assert!(e.to_string().contains("out of declared range"));
+    }
+
+    #[test]
+    fn self_loop_is_error() {
+        assert!(from_text("nodes 2\nedge 1 1\n").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        let e = from_text("nodes 1\nvertex 0\n").unwrap_err();
+        assert!(e.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn trailing_tokens_are_error() {
+        assert!(from_text("nodes 2\nedge 0 1 9\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_point_is_error() {
+        let text = "nodes 1\npoint 0 0.0 0.0\npoint 0 1.0 1.0\n";
+        let e = from_text(text).unwrap_err();
+        assert!(e.to_string().contains("duplicate point"));
+    }
+
+    #[test]
+    fn partial_points_yield_none() {
+        let doc = from_text("nodes 2\nedge 0 1\npoint 0 0.0 0.0\n").unwrap();
+        assert!(doc.points.is_none());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let doc = from_text("nodes 0\n").unwrap();
+        assert_eq!(doc.graph.node_count(), 0);
+        assert_eq!(doc.points, None.filter(|_: &Vec<Point>| false).or(Some(vec![])));
+    }
+}

@@ -1,0 +1,167 @@
+//! Topology characterisation metrics.
+//!
+//! Experiments report these alongside results so a reader can judge
+//! what kind of network each row was measured on (the paper's implicit
+//! workload is "nodes in the plane"; density is the knob that matters).
+
+use crate::{traversal, Graph};
+
+/// Summary statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Global clustering coefficient (3 × triangles / open triads);
+    /// 0 for graphs with no triads.
+    pub clustering: f64,
+    /// Hop diameter (`None` when disconnected or empty).
+    pub diameter: Option<u32>,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphMetrics {
+    /// Computes all metrics. The diameter costs `O(n·(n+|E|))`; pass
+    /// `with_diameter = false` to skip it on large graphs.
+    pub fn compute(g: &Graph, with_diameter: bool) -> Self {
+        let n = g.node_count();
+        let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        let (triangles, triads) = triangle_census(g);
+        Self {
+            nodes: n,
+            edges: g.edge_count(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            clustering: if triads == 0 { 0.0 } else { 3.0 * triangles as f64 / triads as f64 },
+            diameter: if with_diameter { traversal::diameter(g) } else { None },
+            components: traversal::connected_components(g).len(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg[{}/{:.1}/{}] cc={:.3} diam={} comps={}",
+            self.nodes,
+            self.edges,
+            self.min_degree,
+            self.avg_degree,
+            self.max_degree,
+            self.clustering,
+            self.diameter.map_or_else(|| "∞".into(), |d| d.to_string()),
+            self.components
+        )
+    }
+}
+
+/// Returns `(#triangles, #open-or-closed triads)`.
+///
+/// Counts each triangle once (ordered `u < v < w`) and each path of
+/// length 2 once (centered at its middle vertex).
+fn triangle_census(g: &Graph) -> (u64, u64) {
+    let mut triangles = 0u64;
+    let mut triads = 0u64;
+    for u in g.nodes() {
+        let d = g.degree(u) as u64;
+        triads += d * d.saturating_sub(1) / 2;
+        // count triangles with u as the smallest vertex
+        let nb = g.neighbors(u);
+        for (i, &v) in nb.iter().enumerate() {
+            if v < u {
+                continue;
+            }
+            for &w in &nb[i + 1..] {
+                if g.has_edge(v, w) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    (triangles, triads)
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for u in g.nodes() {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_census_on_known_graphs() {
+        assert_eq!(triangle_census(&generators::complete(4)), (4, 12));
+        assert_eq!(triangle_census(&generators::cycle(5)).0, 0);
+        assert_eq!(triangle_census(&generators::path(4)).0, 0);
+        // one triangle: triads = 3 (one per corner), triangles = 1
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_census(&g), (1, 3));
+    }
+
+    #[test]
+    fn complete_graph_clusters_perfectly() {
+        let m = GraphMetrics::compute(&generators::complete(6), true);
+        assert!((m.clustering - 1.0).abs() < 1e-12);
+        assert_eq!(m.diameter, Some(1));
+        assert_eq!(m.components, 1);
+        assert_eq!(m.min_degree, 5);
+    }
+
+    #[test]
+    fn path_metrics() {
+        let m = GraphMetrics::compute(&generators::path(5), true);
+        assert_eq!(m.clustering, 0.0);
+        assert_eq!(m.diameter, Some(4));
+        assert_eq!(m.min_degree, 1);
+        assert_eq!(m.max_degree, 2);
+    }
+
+    #[test]
+    fn diameter_can_be_skipped() {
+        let m = GraphMetrics::compute(&generators::path(5), false);
+        assert_eq!(m.diameter, None);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let g = generators::connected_gnp(40, 0.1, 2);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 40);
+        let weighted: usize = h.iter().enumerate().map(|(d, &c)| d * c).sum();
+        assert_eq!(weighted, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = GraphMetrics::compute(&generators::star(4), true);
+        let s = format!("{m}");
+        assert!(s.contains("n=5"));
+        assert!(s.contains("diam=2"));
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let m = GraphMetrics::compute(&Graph::empty(0), true);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.clustering, 0.0);
+        assert_eq!(m.diameter, None);
+        assert_eq!(m.components, 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Rooted spanning trees with levels.
+//!
+//! Algorithm I's ranking (§2.2 of the paper) assigns each node the pair
+//! `(level, id)` where *level* is its hop distance from the root of an
+//! arbitrary spanning tree `T`. [`SpanningTree`] captures exactly that
+//! structure: root, parent pointers, levels, and children lists.
+
+use crate::{traversal, Graph, NodeId};
+
+/// A rooted spanning tree of (one connected component of) a graph.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{generators, spanning::SpanningTree};
+///
+/// let g = generators::cycle(5);
+/// let t = SpanningTree::bfs(&g, 0).expect("connected");
+/// assert_eq!(t.level(0), 0);
+/// assert_eq!(t.parent(0), None);
+/// assert!(t.level(2) <= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    level: Vec<u32>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl SpanningTree {
+    /// Builds a BFS spanning tree rooted at `root`.
+    ///
+    /// Returns `None` if the graph is not connected (a spanning tree of
+    /// the whole node set does not exist). BFS levels equal hop distances
+    /// from the root, which is precisely the paper's level definition.
+    pub fn bfs(g: &Graph, root: NodeId) -> Option<Self> {
+        let (dist, parent) = traversal::bfs_tree(g, root);
+        if dist.iter().any(Option::is_none) {
+            return None;
+        }
+        let level: Vec<u32> = dist.into_iter().map(|d| d.expect("checked connected")).collect();
+        let mut children = vec![Vec::new(); g.node_count()];
+        for v in g.nodes() {
+            if let Some(p) = parent[v] {
+                children[p].push(v);
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        Some(Self { root, parent, level, children })
+    }
+
+    /// Reconstructs a tree from explicit parent pointers (e.g. produced
+    /// by a distributed leader-election protocol).
+    ///
+    /// `parents[root]` must be `None` and every other node must reach the
+    /// root by following parents; returns `None` on malformed input
+    /// (cycles, disconnected nodes, multiple roots).
+    pub fn from_parents(root: NodeId, parents: &[Option<NodeId>]) -> Option<Self> {
+        let n = parents.len();
+        if root >= n || parents[root].is_some() {
+            return None;
+        }
+        let mut level = vec![u32::MAX; n];
+        level[root] = 0;
+        for start in 0..n {
+            if level[start] != u32::MAX {
+                continue;
+            }
+            // walk up to a resolved ancestor, bailing out after n steps (cycle)
+            let mut chain = Vec::new();
+            let mut cur = start;
+            loop {
+                if chain.len() > n {
+                    return None; // cycle
+                }
+                chain.push(cur);
+                match parents[cur] {
+                    None if cur == root => break,
+                    None => return None, // second root
+                    Some(p) => {
+                        if level[p] != u32::MAX {
+                            cur = p;
+                            break;
+                        }
+                        cur = p;
+                    }
+                }
+            }
+            // `cur` is resolved (or the root); unwind the chain
+            let mut l = level[cur];
+            if chain.last() == Some(&cur) {
+                chain.pop();
+            }
+            for &v in chain.iter().rev() {
+                l += 1;
+                level[v] = l;
+            }
+        }
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parents[v] {
+                children[p].push(v);
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        Some(Self { root, parent: parents.to_vec(), level, children })
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.level.len()
+    }
+
+    /// The parent of `u` (`None` for the root).
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u]
+    }
+
+    /// The level of `u` — its hop distance from the root **in the tree**.
+    pub fn level(&self, u: NodeId) -> u32 {
+        self.level[u]
+    }
+
+    /// All levels, indexed by node.
+    pub fn levels(&self) -> &[u32] {
+        &self.level
+    }
+
+    /// The children of `u`, sorted ascending.
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        &self.children[u]
+    }
+
+    /// Whether `u` is a leaf (no children; the root can be a leaf only in
+    /// a singleton tree).
+    pub fn is_leaf(&self, u: NodeId) -> bool {
+        self.children[u].is_empty()
+    }
+
+    /// Tree height: the maximum level.
+    pub fn height(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The path from `u` up to the root (inclusive of both).
+    pub fn path_to_root(&self, u: NodeId) -> Vec<NodeId> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// The tree's edge set as a [`Graph`] on the same node ids.
+    pub fn as_graph(&self) -> Graph {
+        Graph::from_edges(
+            self.node_count(),
+            (0..self.node_count()).filter_map(|v| self.parent[v].map(|p| (p, v))),
+        )
+    }
+
+    /// Checks this tree is a spanning tree of `g`: every tree edge exists
+    /// in `g` and the tree reaches all of `g`'s nodes.
+    pub fn spans(&self, g: &Graph) -> bool {
+        self.node_count() == g.node_count()
+            && (0..self.node_count())
+                .all(|v| self.parent[v].is_none_or(|p| g.has_edge(p, v)))
+            && traversal::is_connected(&self.as_graph())
+    }
+}
+
+/// A minimum spanning tree of `g` under the given edge weights
+/// (Prim's algorithm), returned as a [`Graph`] on the same node ids.
+///
+/// Returns `None` if `g` is disconnected or empty. Weights must be
+/// finite; ties break deterministically by endpoint ids.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{generators, spanning};
+///
+/// let g = generators::cycle(5);
+/// let mst = spanning::minimum_spanning_tree(&g, |_, _| 1.0).expect("connected");
+/// assert_eq!(mst.edge_count(), 4);
+/// ```
+pub fn minimum_spanning_tree<W>(g: &Graph, mut weight: W) -> Option<Graph>
+where
+    W: FnMut(NodeId, NodeId) -> f64,
+{
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    #[derive(PartialEq)]
+    struct Cand(f64, NodeId, NodeId); // (weight, to, from)
+    impl Eq for Cand {}
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .partial_cmp(&other.0)
+                .expect("finite weights")
+                .then(self.1.cmp(&other.1))
+                .then(self.2.cmp(&other.2))
+        }
+    }
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut in_tree = vec![false; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+    in_tree[0] = true;
+    for &v in g.neighbors(0) {
+        heap.push(Reverse(Cand(weight(0, v), v, 0)));
+    }
+    while let Some(Reverse(Cand(_, to, from))) = heap.pop() {
+        if in_tree[to] {
+            continue;
+        }
+        in_tree[to] = true;
+        edges.push((from, to));
+        for &v in g.neighbors(to) {
+            if !in_tree[v] {
+                heap.push(Reverse(Cand(weight(to, v), v, to)));
+            }
+        }
+    }
+    if edges.len() + 1 != n {
+        return None; // disconnected
+    }
+    Some(Graph::from_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_tree_levels_are_hop_distances() {
+        let g = generators::grid(4, 4);
+        let t = SpanningTree::bfs(&g, 0).unwrap();
+        let d = traversal::bfs_distances(&g, 0);
+        for u in g.nodes() {
+            assert_eq!(Some(t.level(u)), d[u]);
+        }
+    }
+
+    #[test]
+    fn bfs_on_disconnected_graph_is_none() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        assert!(SpanningTree::bfs(&g, 0).is_none());
+    }
+
+    #[test]
+    fn tree_has_n_minus_1_edges_and_spans() {
+        let g = generators::connected_gnp(40, 0.1, 6);
+        let t = SpanningTree::bfs(&g, 0).unwrap();
+        assert_eq!(t.as_graph().edge_count(), 39);
+        assert!(t.spans(&g));
+    }
+
+    #[test]
+    fn children_are_consistent_with_parents() {
+        let g = generators::cycle(7);
+        let t = SpanningTree::bfs(&g, 3).unwrap();
+        for u in g.nodes() {
+            for &c in t.children(u) {
+                assert_eq!(t.parent(c), Some(u));
+            }
+        }
+    }
+
+    #[test]
+    fn path_to_root_descends_levels() {
+        let g = generators::grid(3, 3);
+        let t = SpanningTree::bfs(&g, 0).unwrap();
+        let p = t.path_to_root(8);
+        assert_eq!(*p.first().unwrap(), 8);
+        assert_eq!(*p.last().unwrap(), 0);
+        for w in p.windows(2) {
+            assert_eq!(t.level(w[0]), t.level(w[1]) + 1);
+        }
+    }
+
+    #[test]
+    fn height_of_path_tree() {
+        let g = generators::path(6);
+        assert_eq!(SpanningTree::bfs(&g, 0).unwrap().height(), 5);
+        assert_eq!(SpanningTree::bfs(&g, 3).unwrap().height(), 3);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        let g = generators::connected_gnp(25, 0.12, 2);
+        let t = SpanningTree::bfs(&g, 0).unwrap();
+        let parents: Vec<Option<NodeId>> = (0..25).map(|u| t.parent(u)).collect();
+        let t2 = SpanningTree::from_parents(0, &parents).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn from_parents_rejects_cycles() {
+        // 0 is root; 1 and 2 point at each other
+        let parents = vec![None, Some(2), Some(1)];
+        assert!(SpanningTree::from_parents(0, &parents).is_none());
+    }
+
+    #[test]
+    fn from_parents_rejects_two_roots() {
+        let parents = vec![None, None, Some(0)];
+        assert!(SpanningTree::from_parents(0, &parents).is_none());
+    }
+
+    #[test]
+    fn from_parents_rejects_parented_root() {
+        let parents = vec![Some(1), None];
+        assert!(SpanningTree::from_parents(0, &parents).is_none());
+    }
+
+    #[test]
+    fn mst_has_n_minus_1_edges_and_spans() {
+        let g = generators::connected_gnp(35, 0.15, 4);
+        let mst =
+            minimum_spanning_tree(&g, |u, v| ((u.min(v) * 31 + u.max(v)) % 17) as f64).unwrap();
+        assert_eq!(mst.edge_count(), 34);
+        assert!(g.contains_subgraph(&mst));
+        assert!(traversal::is_connected(&mst));
+    }
+
+    #[test]
+    fn mst_picks_cheap_edges() {
+        // triangle with one heavy edge: MST avoids it
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let mst = minimum_spanning_tree(&g, |u, v| {
+            if (u.min(v), u.max(v)) == (0, 2) {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!(!mst.has_edge(0, 2));
+        assert_eq!(mst.edge_count(), 2);
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_vs_brute_force() {
+        use crate::Graph;
+        // exhaustively check a small weighted graph against all
+        // spanning trees (pick edges subsets of size n-1)
+        let g = generators::connected_gnp(6, 0.6, 2);
+        let w = |u: NodeId, v: NodeId| ((u.min(v) * 7 + u.max(v) * 13) % 23) as f64 + 1.0;
+        let mst = minimum_spanning_tree(&g, w).unwrap();
+        let mst_weight: f64 = mst.edges().iter().map(|e| {
+            let (u, v) = e.endpoints();
+            w(u, v)
+        }).sum();
+        // brute force over all subsets of 5 edges
+        let all = g.edges();
+        let k = all.len();
+        let mut best = f64::INFINITY;
+        for mask in 0u32..(1 << k) {
+            if mask.count_ones() as usize != 5 {
+                continue;
+            }
+            let chosen: Vec<(NodeId, NodeId)> = (0..k)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| all[i].endpoints())
+                .collect();
+            let t = Graph::from_edges(6, chosen.iter().copied());
+            if traversal::is_connected(&t) {
+                let tw: f64 = chosen.iter().map(|&(u, v)| w(u, v)).sum();
+                best = best.min(tw);
+            }
+        }
+        assert!((mst_weight - best).abs() < 1e-9, "Prim {mst_weight} vs brute {best}");
+    }
+
+    #[test]
+    fn mst_of_disconnected_graph_is_none() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(minimum_spanning_tree(&g, |_, _| 1.0).is_none());
+        assert!(minimum_spanning_tree(&Graph::empty(0), |_, _| 1.0).is_none());
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let g = Graph::empty(1);
+        let t = SpanningTree::bfs(&g, 0).unwrap();
+        assert!(t.is_leaf(0));
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.path_to_root(0), vec![0]);
+    }
+}

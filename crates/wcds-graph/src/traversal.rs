@@ -1,0 +1,331 @@
+//! Breadth-first / depth-first traversals and connectivity.
+//!
+//! Hop distances are the paper's `h_G(u, v)` ("minimum number of hops in
+//! `G`"); everything here is `O(n + |E|)`.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distance from `source` to every node.
+///
+/// Unreachable nodes get `None`.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{traversal, Graph};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2)]);
+/// let d = traversal::bfs_distances(&g, 0);
+/// assert_eq!(d[2], Some(2));
+/// assert_eq!(d[3], None);
+/// ```
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    multi_source_bfs(g, std::iter::once(source))
+}
+
+/// Hop distance from the *nearest* of several sources to every node.
+///
+/// Used for "distance between complementary subsets" checks (Lemma 3 /
+/// Theorem 4): run a multi-source BFS from subset `A` and inspect the
+/// distance at subset `B`'s nodes.
+pub fn multi_source_bfs<I>(g: &Graph, sources: I) -> Vec<Option<u32>>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut dist = vec![None; g.node_count()];
+    let mut q = VecDeque::new();
+    for s in sources {
+        if dist[s].is_none() {
+            dist[s] = Some(0);
+            q.push_back(s);
+        }
+    }
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS with parent pointers: returns `(distances, parents)`.
+///
+/// `parents[source]` is `None`; so is every unreachable node's.
+pub fn bfs_tree(g: &Graph, source: NodeId) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    let mut dist = vec![None; g.node_count()];
+    let mut parent = vec![None; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[source] = Some(0);
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                parent[v] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the path `source → target` from BFS parent pointers.
+///
+/// Returns `None` if `target` was unreachable.
+pub fn path_from_parents(
+    parents: &[Option<NodeId>],
+    source: NodeId,
+    target: NodeId,
+) -> Option<Vec<NodeId>> {
+    if source == target {
+        return Some(vec![source]);
+    }
+    parents[target]?;
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = parents[cur]?;
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Hop distance between two nodes, `None` if disconnected.
+pub fn hop_distance(g: &Graph, u: NodeId, v: NodeId) -> Option<u32> {
+    bfs_distances(g, u)[v]
+}
+
+/// Shortest hop distance between two *node sets* (the paper's
+/// complementary-subset distance). `None` if no path crosses.
+pub fn set_distance(g: &Graph, a: &[NodeId], b: &[NodeId]) -> Option<u32> {
+    let dist = multi_source_bfs(g, a.iter().copied());
+    b.iter().filter_map(|&v| dist[v]).min()
+}
+
+/// Connected components, each sorted ascending; components ordered by
+/// their smallest node.
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut seen = vec![false; g.node_count()];
+    let mut comps = Vec::new();
+    for start in g.nodes() {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut q = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = q.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether the whole graph is connected.
+///
+/// The empty graph and singletons count as connected, matching the usual
+/// convention (the paper implicitly assumes a connected network).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// Whether a node subset is connected *in the subgraph it induces*.
+pub fn is_connected_subset(g: &Graph, s: &[NodeId]) -> bool {
+    if s.len() <= 1 {
+        return true;
+    }
+    let induced = g.induced(s);
+    let dist = bfs_distances(&induced, s[0]);
+    s.iter().all(|&u| dist[u].is_some())
+}
+
+/// Graph eccentricity-based diameter in hops (`None` if disconnected or
+/// empty).
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for u in g.nodes() {
+        let d = bfs_distances(g, u);
+        let mut ecc = 0;
+        for x in &d {
+            ecc = ecc.max((*x)?);
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Iterative DFS preorder from `source` (deterministic: neighbors are
+/// visited in ascending id order).
+pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if seen[u] {
+            continue;
+        }
+        seen[u] = true;
+        order.push(u);
+        // push reversed so the smallest neighbor is popped first
+        for &v in g.neighbors(u).iter().rev() {
+            if !seen[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// All nodes within `k` hops of `u` (excluding `u` itself), sorted.
+pub fn k_hop_neighborhood(g: &Graph, u: NodeId, k: u32) -> Vec<NodeId> {
+    let dist = bfs_distances(g, u);
+    let mut out: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| v != u && matches!(dist[v], Some(d) if d <= k))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = generators::path(7);
+        let d = multi_source_bfs(&g, [0, 6]);
+        assert_eq!(d[3], Some(3));
+        assert_eq!(d[5], Some(1));
+    }
+
+    #[test]
+    fn bfs_tree_parents_reconstruct_shortest_paths() {
+        let g = generators::cycle(6);
+        let (dist, parents) = bfs_tree(&g, 0);
+        let p = path_from_parents(&parents, 0, 3).unwrap();
+        assert_eq!(p.len() as u32 - 1, dist[3].unwrap());
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&3));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_to_self_is_singleton() {
+        let g = generators::path(3);
+        let (_, parents) = bfs_tree(&g, 1);
+        assert_eq!(path_from_parents(&parents, 1, 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let (_, parents) = bfs_tree(&g, 0);
+        assert_eq!(path_from_parents(&parents, 0, 2), None);
+    }
+
+    #[test]
+    fn hop_distance_is_symmetric() {
+        let g = generators::cycle(8);
+        assert_eq!(hop_distance(&g, 1, 5), hop_distance(&g, 5, 1));
+        assert_eq!(hop_distance(&g, 1, 5), Some(4));
+    }
+
+    #[test]
+    fn set_distance_between_cut_halves() {
+        let g = generators::path(6);
+        assert_eq!(set_distance(&g, &[0, 1], &[4, 5]), Some(3));
+        assert_eq!(set_distance(&g, &[0], &[1]), Some(1));
+        assert_eq!(set_distance(&g, &[2], &[2]), Some(0));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let g = Graph::from_edges(6, [(0, 1), (2, 3), (3, 4)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn connectivity_predicates() {
+        assert!(is_connected(&generators::path(4)));
+        assert!(!is_connected(&Graph::from_edges(3, [(0, 1)])));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(is_connected(&Graph::empty(1)));
+    }
+
+    #[test]
+    fn connected_subset_uses_induced_edges_only() {
+        // path 0-1-2: {0,2} is not connected even though both touch node 1
+        let g = generators::path(3);
+        assert!(!is_connected_subset(&g, &[0, 2]));
+        assert!(is_connected_subset(&g, &[0, 1, 2]));
+        assert!(is_connected_subset(&g, &[1]));
+        assert!(is_connected_subset(&g, &[]));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+        assert_eq!(diameter(&Graph::from_edges(3, [(0, 1)])), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+        assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn dfs_preorder_visits_component_once() {
+        let g = generators::cycle(5);
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order.len(), 5);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_on_path() {
+        let g = generators::path(7);
+        assert_eq!(k_hop_neighborhood(&g, 3, 2), vec![1, 2, 4, 5]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 1), vec![1]);
+        assert!(k_hop_neighborhood(&g, 0, 0).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+use crate::{Graph, GraphBuilder, NodeId};
+use wcds_geom::{GridIndex, Point};
+
+/// A unit-disk graph: node positions plus the induced adjacency.
+///
+/// Two nodes are adjacent iff their Euclidean distance is at most the
+/// transmission `radius` (the paper normalises `radius = 1`). Positions
+/// are retained because *analysis* (geometric dilation, Lemma 2 packing
+/// checks) needs them — but the distributed protocols never see them: the
+/// paper's spanners are "position-less", and [`crate::Graph`] handed to a
+/// protocol carries adjacency only.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_geom::Point;
+/// use wcds_graph::UnitDiskGraph;
+///
+/// let udg = UnitDiskGraph::build(
+///     vec![Point::new(0.0, 0.0), Point::new(0.8, 0.0), Point::new(2.0, 0.0)],
+///     1.0,
+/// );
+/// assert!(udg.graph().has_edge(0, 1));
+/// assert!(!udg.graph().has_edge(0, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitDiskGraph {
+    points: Vec<Point>,
+    radius: f64,
+    graph: Graph,
+}
+
+impl UnitDiskGraph {
+    /// Builds the UDG over `points` with transmission range `radius`.
+    ///
+    /// Runs in `O(n + |E|)` expected time using a spatial hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn build(points: Vec<Point>, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "radius must be positive and finite");
+        let index = GridIndex::build(&points, radius);
+        let mut b = GraphBuilder::new(points.len());
+        for u in 0..points.len() {
+            index.for_each_within(&points, points[u], radius, |v| {
+                if u < v {
+                    b.add_edge(u, v);
+                }
+            });
+        }
+        Self { radius, graph: b.build(), points }
+    }
+
+    /// Builds a **toroidal** UDG: distances wrap around a
+    /// `width × height` torus, eliminating boundary effects.
+    ///
+    /// Useful for measuring packing constants (Lemmas 1–2) without the
+    /// thinner-at-the-border bias of a square region. Note that the
+    /// retained `points` remain plain plane coordinates, so *geometric*
+    /// analyses (edge lengths, dilation) are *not* torus-aware — use
+    /// this constructor for structural experiments only.
+    ///
+    /// Runs in `O(n²)`; fine at experiment scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius`, `width`, or `height` is not positive and
+    /// finite, or if `radius` exceeds half of either dimension (the
+    /// wrap metric would degenerate).
+    pub fn build_torus(points: Vec<Point>, radius: f64, width: f64, height: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "radius must be positive and finite");
+        assert!(width.is_finite() && width > 0.0 && height.is_finite() && height > 0.0);
+        assert!(
+            radius <= width / 2.0 && radius <= height / 2.0,
+            "radius must be at most half each torus dimension"
+        );
+        let torus_dist2 = |a: Point, b: Point| -> f64 {
+            let dx = (a.x - b.x).abs();
+            let dy = (a.y - b.y).abs();
+            let dx = dx.min(width - dx);
+            let dy = dy.min(height - dy);
+            dx * dx + dy * dy
+        };
+        let mut b = GraphBuilder::new(points.len());
+        for u in 0..points.len() {
+            for v in (u + 1)..points.len() {
+                if torus_dist2(points[u], points[v]) <= radius * radius {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        Self { radius, graph: b.build(), points }
+    }
+
+    /// The adjacency structure (what a distributed protocol may see).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node positions (analysis only).
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Position of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn point(&self, u: NodeId) -> Point {
+        self.points[u]
+    }
+
+    /// The transmission radius the graph was built with.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Euclidean length of edge `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(u, v)` is not an edge of the graph.
+    pub fn edge_length(&self, u: NodeId, v: NodeId) -> f64 {
+        assert!(self.graph.has_edge(u, v), "({u}, {v}) is not an edge");
+        self.points[u].distance(self.points[v])
+    }
+
+    /// Total Euclidean length of all edges.
+    pub fn total_edge_length(&self) -> f64 {
+        self.graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let (u, v) = e.endpoints();
+                self.points[u].distance(self.points[v])
+            })
+            .sum()
+    }
+
+    /// Rebuilds the UDG after nodes have moved (same radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new point count differs from the old one (node ids
+    /// must stay stable across a motion step; use [`UnitDiskGraph::build`]
+    /// for joins/leaves).
+    pub fn rebuilt_with(&self, points: Vec<Point>) -> Self {
+        assert_eq!(points.len(), self.points.len(), "motion step must preserve node count");
+        Self::build(points, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_geom::deploy;
+
+    #[test]
+    fn adjacency_matches_brute_force() {
+        let pts = deploy::uniform(200, 6.0, 6.0, 13);
+        let udg = UnitDiskGraph::build(pts.clone(), 1.0);
+        for u in 0..pts.len() {
+            for v in (u + 1)..pts.len() {
+                assert_eq!(
+                    udg.graph().has_edge(u, v),
+                    pts[u].within(pts[v], 1.0),
+                    "pair ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let udg =
+            UnitDiskGraph::build(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 1.0);
+        assert!(udg.graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn non_unit_radius_supported() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.5, 0.0)];
+        assert!(!UnitDiskGraph::build(pts.clone(), 1.0).graph().has_edge(0, 1));
+        assert!(UnitDiskGraph::build(pts, 2.0).graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn edge_length_is_euclidean() {
+        let udg =
+            UnitDiskGraph::build(vec![Point::new(0.0, 0.0), Point::new(0.6, 0.8)], 1.0);
+        assert!((udg.edge_length(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an edge")]
+    fn edge_length_panics_for_non_edge() {
+        let udg =
+            UnitDiskGraph::build(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0)], 1.0);
+        let _ = udg.edge_length(0, 1);
+    }
+
+    #[test]
+    fn chain_topology_is_a_path() {
+        let udg = UnitDiskGraph::build(deploy::chain(10, 0.9), 1.0);
+        assert_eq!(udg.graph().edge_count(), 9);
+        assert_eq!(udg.graph().degree(0), 1);
+        assert_eq!(udg.graph().degree(5), 2);
+    }
+
+    #[test]
+    fn dense_cluster_is_complete() {
+        // 8 points inside a disk of diameter < 1 form a clique.
+        let pts = deploy::gaussian_blob(8, 1.0, 1.0, 0.05, 21);
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        assert_eq!(udg.graph().edge_count(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn rebuild_preserves_radius_and_count() {
+        let pts = deploy::uniform(50, 4.0, 4.0, 2);
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        let moved = deploy::perturb(udg.points(), wcds_geom::BoundingBox::with_size(4.0, 4.0), 0.1, 3);
+        let udg2 = udg.rebuilt_with(moved);
+        assert_eq!(udg2.node_count(), 50);
+        assert_eq!(udg2.radius(), 1.0);
+    }
+
+    #[test]
+    fn torus_wraps_across_borders() {
+        // two points near opposite vertical borders of a 10-wide torus
+        let pts = vec![Point::new(0.2, 5.0), Point::new(9.9, 5.0)];
+        let flat = UnitDiskGraph::build(pts.clone(), 1.0);
+        assert!(!flat.graph().has_edge(0, 1));
+        let torus = UnitDiskGraph::build_torus(pts, 1.0, 10.0, 10.0);
+        assert!(torus.graph().has_edge(0, 1), "wrap distance 0.3 must connect");
+    }
+
+    #[test]
+    fn torus_is_superset_of_flat_adjacency() {
+        let pts = deploy::uniform(120, 6.0, 6.0, 8);
+        let flat = UnitDiskGraph::build(pts.clone(), 1.0);
+        let torus = UnitDiskGraph::build_torus(pts, 1.0, 6.0, 6.0);
+        for e in flat.graph().edges() {
+            let (u, v) = e.endpoints();
+            assert!(torus.graph().has_edge(u, v), "torus lost flat edge ({u},{v})");
+        }
+        assert!(torus.graph().edge_count() >= flat.graph().edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "half each torus dimension")]
+    fn torus_rejects_oversized_radius() {
+        let _ = UnitDiskGraph::build_torus(vec![Point::origin()], 2.0, 3.0, 3.0);
+    }
+
+    #[test]
+    fn total_edge_length_sums_edges() {
+        let udg = UnitDiskGraph::build(deploy::chain(4, 0.5), 1.0);
+        // chain(4, 0.5): edges 0-1,1-2,2-3 at 0.5 plus 0-2,1-3 at 1.0
+        assert!((udg.total_edge_length() - (3.0 * 0.5 + 2.0 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = UnitDiskGraph::build(vec![], 1.0);
+        assert_eq!(empty.node_count(), 0);
+        let single = UnitDiskGraph::build(vec![Point::origin()], 1.0);
+        assert_eq!(single.graph().edge_count(), 0);
+    }
+}

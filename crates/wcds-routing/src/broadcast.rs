@@ -1,0 +1,330 @@
+//! Backbone broadcast versus blind flooding.
+//!
+//! §1: "the number of nodes responsible for routing and broadcasting
+//! can be reduced to the number of nodes in the backbone". With a
+//! *weakly*-connected backbone the dominators alone cannot relay (two
+//! dominators may be two hops apart), so the forwarding set is the WCDS
+//! plus one gray gateway per dominator-graph spanning-tree edge that
+//! needs one — still `Θ(|U|)` nodes, far below the `n` transmissions of
+//! blind flooding.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wcds_core::Wcds;
+use wcds_graph::{traversal, Graph, NodeId};
+
+/// A precomputed broadcast forwarding set for a WCDS backbone.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::algo2::AlgorithmTwo;
+/// use wcds_core::WcdsConstruction;
+/// use wcds_graph::generators;
+/// use wcds_routing::BroadcastPlan;
+///
+/// // a star: the backbone is just the hub, so a broadcast costs two
+/// // transmissions (leaf + hub) instead of nine (flooding)
+/// let g = generators::star(8);
+/// let result = AlgorithmTwo::new().construct(&g);
+/// let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+/// let outcome = plan.simulate(&g, 1);
+/// assert!(outcome.full_coverage);
+/// assert_eq!(outcome.transmissions, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BroadcastPlan {
+    forwarders: BTreeSet<NodeId>,
+}
+
+/// The result of simulating one broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Whether every node of the graph received the message.
+    pub full_coverage: bool,
+    /// Number of transmissions performed (source + forwarding
+    /// retransmissions that were reached).
+    pub transmissions: usize,
+    /// Nodes that never received the message (empty on full coverage).
+    pub uncovered: Vec<NodeId>,
+}
+
+impl BroadcastPlan {
+    /// Every node forwards: blind flooding.
+    pub fn flooding(g: &Graph) -> Self {
+        Self { forwarders: g.nodes().collect() }
+    }
+
+    /// Backbone forwarding: the WCDS plus the gateways of one
+    /// dominator-graph spanning tree (dominator pairs at spanner
+    /// distance ≤ 3 — the paper's algorithms need only distance-2
+    /// links, but a general valid WCDS may need 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcds` is not a valid WCDS of `g`.
+    pub fn for_wcds(g: &Graph, wcds: &Wcds) -> Self {
+        assert!(wcds.is_valid(g), "broadcast plan requires a valid WCDS");
+        let mut forwarders: BTreeSet<NodeId> = wcds.nodes().iter().copied().collect();
+        if wcds.len() <= 1 {
+            return Self { forwarders };
+        }
+        let spanner = wcds.weakly_induced_subgraph(g);
+        let doms = wcds.nodes();
+
+        // spanning tree over the dominator graph, recording the interior
+        // gateway nodes of each multi-hop tree edge
+        let dist_maps: BTreeMap<NodeId, (Vec<Option<u32>>, Vec<Option<NodeId>>)> =
+            doms.iter().map(|&d| (d, traversal::bfs_tree(&spanner, d))).collect();
+        let mut in_tree: BTreeSet<NodeId> = [doms[0]].into();
+        let mut frontier = VecDeque::from([doms[0]]);
+        while let Some(cur) = frontier.pop_front() {
+            let (dist, parents) = &dist_maps[&cur];
+            for &next in doms {
+                if in_tree.contains(&next) {
+                    continue;
+                }
+                if let Some(d) = dist[next] {
+                    if d <= 3 {
+                        in_tree.insert(next);
+                        frontier.push_back(next);
+                        if d >= 2 {
+                            let path = traversal::path_from_parents(parents, cur, next)
+                                .expect("reachable");
+                            forwarders.extend(&path[1..path.len() - 1]);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            in_tree.len(),
+            doms.len(),
+            "dominator graph at radius 3 must be connected for a valid WCDS"
+        );
+        Self { forwarders }
+    }
+
+    /// The forwarding set.
+    pub fn forwarders(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.forwarders.iter().copied()
+    }
+
+    /// Size of the forwarding set.
+    pub fn forwarder_count(&self) -> usize {
+        self.forwarders.len()
+    }
+
+    /// Simulates a broadcast from `source`: the source transmits, then
+    /// every forwarder retransmits once upon first reception.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn simulate(&self, g: &Graph, source: NodeId) -> BroadcastOutcome {
+        let mut informed = vec![false; g.node_count()];
+        let mut transmissions = 0;
+        let mut queue = VecDeque::from([source]);
+        let mut transmitted = vec![false; g.node_count()];
+        informed[source] = true;
+        while let Some(u) = queue.pop_front() {
+            if transmitted[u] {
+                continue;
+            }
+            transmitted[u] = true;
+            transmissions += 1;
+            for &v in g.neighbors(u) {
+                if !informed[v] {
+                    informed[v] = true;
+                    if self.forwarders.contains(&v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        let uncovered: Vec<NodeId> = g.nodes().filter(|&u| !informed[u]).collect();
+        BroadcastOutcome { full_coverage: uncovered.is_empty(), transmissions, uncovered }
+    }
+}
+
+/// The broadcast as a real distributed protocol: the source transmits,
+/// and a node retransmits on first reception iff it is in the
+/// forwarding set. Equivalent to [`BroadcastPlan::simulate`] but run on
+/// the message-passing simulator, so schedules, faults, and message
+/// accounting all apply.
+#[derive(Debug)]
+pub struct BroadcastNode {
+    forwarder: bool,
+    source: bool,
+    informed: bool,
+}
+
+impl BroadcastNode {
+    /// A node of the broadcast protocol.
+    pub fn new(forwarder: bool, source: bool) -> Self {
+        Self { forwarder, source, informed: false }
+    }
+
+    /// Whether the message reached this node.
+    pub fn informed(&self) -> bool {
+        self.informed
+    }
+}
+
+impl wcds_sim::Protocol for BroadcastNode {
+    type Message = ();
+
+    fn on_start(&mut self, ctx: &mut wcds_sim::Context<'_, ()>) {
+        if self.source {
+            self.informed = true;
+            ctx.broadcast(());
+        }
+    }
+
+    fn on_message(&mut self, _from: usize, _msg: (), ctx: &mut wcds_sim::Context<'_, ()>) {
+        if !self.informed {
+            self.informed = true;
+            if self.forwarder {
+                ctx.broadcast(());
+            }
+        }
+    }
+
+    fn message_kind(_msg: &()) -> &'static str {
+        "DATA"
+    }
+}
+
+impl BroadcastPlan {
+    /// Runs the broadcast as a distributed protocol under `schedule`.
+    ///
+    /// Returns the outcome plus the simulator report (rounds, message
+    /// accounting). The transmission count equals
+    /// [`BroadcastPlan::simulate`]'s under a fault-free schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or the protocol fails to
+    /// quiesce.
+    pub fn run_distributed(
+        &self,
+        g: &Graph,
+        source: NodeId,
+        schedule: wcds_sim::Schedule,
+    ) -> (BroadcastOutcome, wcds_sim::SimReport) {
+        assert!(source < g.node_count(), "source out of range");
+        let mut sim = wcds_sim::Simulator::new(g, |u| {
+            BroadcastNode::new(self.forwarders.contains(&u), u == source)
+        });
+        let report = sim.run(schedule).expect("broadcast quiesces");
+        let uncovered: Vec<NodeId> =
+            g.nodes().filter(|&u| !sim.node(u).informed()).collect();
+        let outcome = BroadcastOutcome {
+            full_coverage: uncovered.is_empty(),
+            transmissions: report.messages.total() as usize,
+            uncovered,
+        };
+        (outcome, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_core::algo1::AlgorithmOne;
+    use wcds_core::algo2::AlgorithmTwo;
+    use wcds_core::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    #[test]
+    fn flooding_covers_with_n_transmissions() {
+        let g = generators::connected_gnp(30, 0.12, 1);
+        let out = BroadcastPlan::flooding(&g).simulate(&g, 0);
+        assert!(out.full_coverage);
+        assert_eq!(out.transmissions, 30);
+    }
+
+    #[test]
+    fn backbone_broadcast_covers_from_any_source() {
+        let g = generators::connected_gnp(40, 0.1, 3);
+        let result = AlgorithmTwo::new().construct(&g);
+        let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+        for source in [0, 13, 39] {
+            let out = plan.simulate(&g, source);
+            assert!(out.full_coverage, "source {source}: uncovered {:?}", out.uncovered);
+        }
+    }
+
+    #[test]
+    fn backbone_beats_flooding_on_dense_udgs() {
+        for seed in 0..4 {
+            let udg = UnitDiskGraph::build(deploy::uniform(250, 6.0, 6.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let result = AlgorithmTwo::new().construct(udg.graph());
+            let plan = BroadcastPlan::for_wcds(udg.graph(), &result.wcds);
+            let backbone = plan.simulate(udg.graph(), 0);
+            let flood = BroadcastPlan::flooding(udg.graph()).simulate(udg.graph(), 0);
+            assert!(backbone.full_coverage);
+            assert!(
+                backbone.transmissions * 2 < flood.transmissions,
+                "seed {seed}: backbone {} vs flood {}",
+                backbone.transmissions,
+                flood.transmissions
+            );
+        }
+    }
+
+    #[test]
+    fn works_for_algorithm1_backbones_too() {
+        let g = generators::connected_gnp(35, 0.12, 7);
+        let result = AlgorithmOne::new().construct(&g);
+        let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+        let out = plan.simulate(&g, 5);
+        assert!(out.full_coverage, "uncovered: {:?}", out.uncovered);
+    }
+
+    #[test]
+    fn transmissions_bounded_by_forwarders_plus_source() {
+        let g = generators::connected_gnp(45, 0.09, 9);
+        let result = AlgorithmTwo::new().construct(&g);
+        let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+        let out = plan.simulate(&g, 0);
+        assert!(out.transmissions <= plan.forwarder_count() + 1);
+    }
+
+    #[test]
+    fn distributed_broadcast_matches_analytic_simulation() {
+        let g = generators::connected_gnp(50, 0.09, 5);
+        let result = AlgorithmTwo::new().construct(&g);
+        let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+        let analytic = plan.simulate(&g, 3);
+        let (distributed, report) =
+            plan.run_distributed(&g, 3, wcds_sim::Schedule::synchronous());
+        assert!(distributed.full_coverage);
+        assert_eq!(distributed.transmissions, analytic.transmissions);
+        assert_eq!(report.messages.of_kind("DATA") as usize, analytic.transmissions);
+    }
+
+    #[test]
+    fn distributed_broadcast_covers_under_async_schedules() {
+        let g = generators::connected_gnp(40, 0.1, 8);
+        let result = AlgorithmTwo::new().construct(&g);
+        let plan = BroadcastPlan::for_wcds(&g, &result.wcds);
+        for seed in 0..6 {
+            let (out, _) = plan.run_distributed(&g, 0, wcds_sim::Schedule::asynchronous(seed));
+            assert!(out.full_coverage, "seed {seed}: {:?}", out.uncovered);
+        }
+    }
+
+    #[test]
+    fn singleton_broadcast() {
+        let g = Graph::empty(1);
+        let w = Wcds::from_mis(vec![0]);
+        let plan = BroadcastPlan::for_wcds(&g, &w);
+        let out = plan.simulate(&g, 0);
+        assert!(out.full_coverage);
+        assert_eq!(out.transmissions, 1);
+    }
+}

@@ -1,0 +1,546 @@
+//! The fully distributed routing stack of §4.2.
+//!
+//! The paper's narrative: *"The MIS-dominators (clusterheads) maintain
+//! the routing tables. If a non-MIS-dominator node needs to send a
+//! packet to a non-adjacent node, it sends the packet along with the
+//! destination's ID to its clusterhead. The clusterhead uses its
+//! routing tables to identify the next clusterhead on the path to the
+//! destination's clusterhead, and uses its 2HopDomList and 3HopDomList
+//! to identify the path to the next clusterhead."*
+//!
+//! Three message-driven phases, each a real protocol on the simulator
+//! (phases are sequenced by the harness, like Algorithm I's):
+//!
+//! 1. **Registration** — every non-MIS-dominator unicasts `REGISTER` to
+//!    its clusterhead (the smallest adjacent MIS dominator, known
+//!    locally from its `1HopDomList`). `O(n)` messages.
+//! 2. **Link-state dissemination** — each clusterhead floods one `LSA`
+//!    carrying its dominator-graph neighbors (from its own
+//!    `2HopDomList`/`3HopDomList`) and its member list; every node
+//!    forwards each distinct origin once. `O(n·|S|)` messages — the
+//!    table-building cost the paper leaves implicit.
+//! 3. **Forwarding** — packets travel source → clusterhead → dominator
+//!    chain (gateways source-routed from the sender clusterhead's own
+//!    lists) → destination. Each clusterhead computes next-dominator
+//!    hops by Dijkstra over its collected LSA database, weighting
+//!    2-hop links 2 and 3-hop links 3.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use wcds_core::algo2::distributed::{DistributedRun, NodeColor, NodeInfo};
+use wcds_graph::{Graph, NodeId};
+use wcds_sim::{Context, ProcId, Protocol, Schedule, SimReport, Simulator};
+
+/// A node's role in the routing stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// MIS dominator: clusterhead with routing tables.
+    Clusterhead,
+    /// Everything else (gray nodes and additional dominators): hosts
+    /// and gateways.
+    Host,
+}
+
+/// One dominator-graph link as advertised in an LSA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomLink {
+    /// The neighboring clusterhead.
+    pub to: ProcId,
+    /// Spanner hop count of the link (2 or 3).
+    pub hops: u8,
+}
+
+/// A link-state advertisement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lsa {
+    /// The advertising clusterhead.
+    pub origin: ProcId,
+    /// Its dominator-graph links.
+    pub links: Vec<DomLink>,
+    /// The hosts registered to it (its cluster members).
+    pub members: Vec<ProcId>,
+}
+
+/// Messages of the routing stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingMsg {
+    /// Host → clusterhead membership registration.
+    Register,
+    /// Flooded link-state advertisement.
+    LinkState(Lsa),
+    /// A routed data packet.
+    Packet {
+        /// Original source (for bookkeeping).
+        src: ProcId,
+        /// Final destination.
+        dst: ProcId,
+        /// Remaining source-routed relay hops to the next clusterhead.
+        relay: VecDeque<ProcId>,
+        /// Hops travelled so far.
+        hops: u32,
+    },
+}
+
+/// Per-node state of the combined routing protocol.
+///
+/// The same state machine runs all three phases; the harness triggers
+/// them via [`RoutingStack`].
+#[derive(Debug)]
+pub struct RoutingNode {
+    role: Role,
+    /// This node's clusterhead (itself for clusterheads).
+    clusterhead: ProcId,
+    /// The dominator lists inherited from the Algorithm II run.
+    info: NodeInfo,
+    /// Clusterheads only: registered members.
+    members: BTreeSet<ProcId>,
+    /// Collected LSA database (origin → LSA), at clusterheads.
+    lsa_db: BTreeMap<ProcId, Lsa>,
+    /// Flood dedup: origins already forwarded.
+    forwarded: BTreeSet<ProcId>,
+    /// Packets this node originated (dst list), injected at phase 3.
+    outbox: Vec<ProcId>,
+    /// Deliveries observed at this node: `(src, hops)`.
+    delivered: Vec<(ProcId, u32)>,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Register,
+    Flood,
+    Forward,
+}
+
+impl RoutingNode {
+    fn new(color: NodeColor, info: NodeInfo, id: ProcId) -> Self {
+        let role = if color == NodeColor::MisDominator { Role::Clusterhead } else { Role::Host };
+        let clusterhead = if role == Role::Clusterhead {
+            id
+        } else {
+            info.one_hop_doms.iter().copied().min().expect("every node is dominated")
+        };
+        Self {
+            role,
+            clusterhead,
+            info,
+            members: BTreeSet::new(),
+            lsa_db: BTreeMap::new(),
+            forwarded: BTreeSet::new(),
+            outbox: Vec::new(),
+            delivered: Vec::new(),
+            phase: Phase::Register,
+        }
+    }
+
+    /// Deliveries observed at this node.
+    pub fn delivered(&self) -> &[(ProcId, u32)] {
+        &self.delivered
+    }
+
+    /// The clusterhead this node registered with.
+    pub fn clusterhead(&self) -> ProcId {
+        self.clusterhead
+    }
+
+    /// Number of LSAs in this node's database.
+    pub fn lsa_count(&self) -> usize {
+        self.lsa_db.len()
+    }
+
+    /// This clusterhead's dominator-graph links, deduplicated with
+    /// 2-hop paths preferred over 3-hop ones.
+    fn own_links(&self) -> Vec<DomLink> {
+        let mut links: BTreeMap<ProcId, u8> = BTreeMap::new();
+        for &(d, _) in &self.info.two_hop_doms {
+            links.insert(d, 2);
+        }
+        for &(d, _, _) in &self.info.three_hop_doms {
+            links.entry(d).or_insert(3);
+        }
+        links.into_iter().map(|(to, hops)| DomLink { to, hops }).collect()
+    }
+
+    /// The gateway chain of this clusterhead's link to `next`
+    /// (terminating at `next` itself).
+    fn gateway_chain(&self, next: ProcId) -> VecDeque<ProcId> {
+        if let Some(&(_, v)) = self.info.two_hop_doms.iter().find(|&&(d, _)| d == next) {
+            return VecDeque::from([v, next]);
+        }
+        if let Some(&(_, v, x)) = self.info.three_hop_doms.iter().find(|&&(d, _, _)| d == next) {
+            return VecDeque::from([v, x, next]);
+        }
+        unreachable!("next clusterhead {next} is not a dominator-graph neighbor")
+    }
+
+    /// Dijkstra over the LSA database: the next clusterhead on a
+    /// cheapest path to `target_head`, or `None` if unknown.
+    fn next_clusterhead(&self, me: ProcId, target_head: ProcId) -> Option<ProcId> {
+        if target_head == me {
+            return None;
+        }
+        let mut dist: BTreeMap<ProcId, (u32, Option<ProcId>)> = BTreeMap::new();
+        dist.insert(me, (0, None));
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, ProcId)>> =
+            [std::cmp::Reverse((0, me))].into();
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if dist.get(&u).is_some_and(|&(best, _)| d > best) {
+                continue;
+            }
+            let links: Vec<DomLink> = if u == me {
+                self.own_links()
+            } else {
+                self.lsa_db.get(&u).map(|l| l.links.clone()).unwrap_or_default()
+            };
+            for link in links {
+                let nd = d + link.hops as u32;
+                let first = if u == me { Some(link.to) } else { dist[&u].1 };
+                if dist.get(&link.to).is_none_or(|&(best, _)| nd < best) {
+                    dist.insert(link.to, (nd, first));
+                    heap.push(std::cmp::Reverse((nd, link.to)));
+                }
+            }
+        }
+        dist.get(&target_head).and_then(|&(_, first)| first)
+    }
+
+    /// The clusterhead responsible for `node`, per the LSA database.
+    fn head_of(&self, me: ProcId, node: ProcId) -> Option<ProcId> {
+        if node == me || self.members.contains(&node) {
+            return Some(me);
+        }
+        if self.lsa_db.contains_key(&node) {
+            return Some(node); // destination is itself a clusterhead
+        }
+        self.lsa_db
+            .values()
+            .find(|lsa| lsa.members.binary_search(&node).is_ok())
+            .map(|lsa| lsa.origin)
+    }
+
+    /// Clusterhead forwarding decision for a packet addressed to `dst`.
+    fn forward_from_head(
+        &mut self,
+        dst: ProcId,
+        src: ProcId,
+        hops: u32,
+        ctx: &mut Context<'_, RoutingMsg>,
+    ) {
+        debug_assert_eq!(self.role, Role::Clusterhead);
+        let me = ctx.id();
+        if ctx.is_neighbor(dst) {
+            ctx.send(dst, RoutingMsg::Packet { src, dst, relay: VecDeque::new(), hops: hops + 1 });
+            return;
+        }
+        let Some(target_head) = self.head_of(me, dst) else {
+            return; // unknown destination: drop (counted by tests)
+        };
+        debug_assert_ne!(target_head, me, "own member would have been adjacent");
+        let Some(next) = self.next_clusterhead(me, target_head) else {
+            return; // no route in the LSA graph: drop
+        };
+        let mut relay = self.gateway_chain(next);
+        let first = relay.pop_front().expect("chains have at least the next head");
+        ctx.send(first, RoutingMsg::Packet { src, dst, relay, hops: hops + 1 });
+    }
+}
+
+impl Protocol for RoutingNode {
+    type Message = RoutingMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, RoutingMsg>) {
+        match self.phase {
+            Phase::Register => {
+                if self.role == Role::Host {
+                    ctx.send(self.clusterhead, RoutingMsg::Register);
+                }
+            }
+            Phase::Flood => {
+                if self.role == Role::Clusterhead {
+                    let lsa = Lsa {
+                        origin: ctx.id(),
+                        links: self.own_links(),
+                        members: self.members.iter().copied().collect(),
+                    };
+                    self.lsa_db.insert(lsa.origin, lsa.clone());
+                    self.forwarded.insert(lsa.origin);
+                    ctx.broadcast(RoutingMsg::LinkState(lsa));
+                }
+            }
+            Phase::Forward => {
+                let me = ctx.id();
+                for dst in std::mem::take(&mut self.outbox) {
+                    if dst == me {
+                        self.delivered.push((me, 0));
+                    } else if ctx.is_neighbor(dst) {
+                        // adjacent pairs route in a single hop (paper)
+                        ctx.send(
+                            dst,
+                            RoutingMsg::Packet { src: me, dst, relay: VecDeque::new(), hops: 1 },
+                        );
+                    } else if self.role == Role::Clusterhead {
+                        self.forward_from_head(dst, me, 0, ctx);
+                    } else {
+                        ctx.send(
+                            self.clusterhead,
+                            RoutingMsg::Packet { src: me, dst, relay: VecDeque::new(), hops: 1 },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcId, msg: RoutingMsg, ctx: &mut Context<'_, RoutingMsg>) {
+        match msg {
+            RoutingMsg::Register => {
+                debug_assert_eq!(self.role, Role::Clusterhead, "hosts never receive REGISTER");
+                self.members.insert(from);
+            }
+            RoutingMsg::LinkState(lsa) => {
+                if self.role == Role::Clusterhead {
+                    self.lsa_db.entry(lsa.origin).or_insert_with(|| lsa.clone());
+                }
+                if self.forwarded.insert(lsa.origin) {
+                    ctx.broadcast(RoutingMsg::LinkState(lsa));
+                }
+            }
+            RoutingMsg::Packet { src, dst, mut relay, hops } => {
+                let me = ctx.id();
+                if dst == me {
+                    self.delivered.push((src, hops));
+                    return;
+                }
+                if let Some(next) = relay.pop_front() {
+                    ctx.send(next, RoutingMsg::Packet { src, dst, relay, hops: hops + 1 });
+                    return;
+                }
+                if ctx.is_neighbor(dst) {
+                    ctx.send(
+                        dst,
+                        RoutingMsg::Packet { src, dst, relay: VecDeque::new(), hops: hops + 1 },
+                    );
+                    return;
+                }
+                debug_assert_eq!(
+                    self.role,
+                    Role::Clusterhead,
+                    "a relay chain must end at a clusterhead"
+                );
+                self.forward_from_head(dst, src, hops, ctx);
+            }
+        }
+    }
+
+    fn message_kind(msg: &RoutingMsg) -> &'static str {
+        match msg {
+            RoutingMsg::Register => "REGISTER",
+            RoutingMsg::LinkState(_) => "LSA",
+            RoutingMsg::Packet { .. } => "PACKET",
+        }
+    }
+
+    fn message_payload(msg: &RoutingMsg) -> u64 {
+        match msg {
+            RoutingMsg::Register => 1,
+            RoutingMsg::LinkState(lsa) => 1 + lsa.links.len() as u64 + lsa.members.len() as u64,
+            RoutingMsg::Packet { relay, .. } => 2 + relay.len() as u64,
+        }
+    }
+}
+
+/// A delivered-traffic record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Hops travelled.
+    pub hops: u32,
+}
+
+/// The harness driving the three routing phases over a completed
+/// Algorithm II distributed run.
+#[derive(Debug)]
+pub struct RoutingStack {
+    sim: Simulator<RoutingNode>,
+    /// Phase 1 + 2 accounting (table construction cost).
+    pub setup_reports: Vec<SimReport>,
+}
+
+impl RoutingStack {
+    /// Builds the stack from the per-node state of a distributed
+    /// Algorithm II run, then runs registration and LSA flooding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run left undominated nodes (impossible for a valid
+    /// run) or a phase fails to quiesce.
+    pub fn build(g: &Graph, run: &DistributedRun, schedule: impl Fn() -> Schedule) -> Self {
+        let mut sim = Simulator::new(g, |u| {
+            RoutingNode::new(run.colors[u], run.node_infos[u].clone(), u)
+        });
+        let r1 = sim.run(schedule()).expect("registration quiesces");
+        for u in g.nodes() {
+            // advance everyone to the flood phase
+            sim_mut(&mut sim, u).phase = Phase::Flood;
+        }
+        let r2 = sim.run(schedule()).expect("flood quiesces");
+        for u in g.nodes() {
+            sim_mut(&mut sim, u).phase = Phase::Forward;
+        }
+        Self { sim, setup_reports: vec![r1, r2] }
+    }
+
+    /// Sends one packet per `(src, dst)` pair and runs to quiescence;
+    /// returns the deliveries observed and the forwarding report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forwarding phase fails to quiesce.
+    pub fn send_packets(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+        schedule: Schedule,
+    ) -> (Vec<Delivery>, SimReport) {
+        for &(src, dst) in pairs {
+            sim_mut(&mut self.sim, src).outbox.push(dst);
+        }
+        let report = self.sim.run(schedule).expect("forwarding quiesces");
+        let mut out = Vec::new();
+        for dst in 0..self.sim.node_count() {
+            for &(src, hops) in self.sim.node(dst).delivered() {
+                out.push(Delivery { src, dst, hops });
+            }
+        }
+        // deliveries accumulate across send_packets calls; clear them
+        for u in 0..self.sim.node_count() {
+            sim_mut(&mut self.sim, u).delivered.clear();
+        }
+        (out, report)
+    }
+
+    /// The LSA database size at each clusterhead (should equal the
+    /// number of clusterheads everywhere).
+    pub fn lsa_counts(&self) -> Vec<(NodeId, usize)> {
+        (0..self.sim.node_count())
+            .filter(|&u| self.sim.node(u).role == Role::Clusterhead)
+            .map(|u| (u, self.sim.node(u).lsa_count()))
+            .collect()
+    }
+}
+
+/// Mutable access helper (the simulator only exposes shared access;
+/// the routing stack needs to flip phases and inject traffic between
+/// runs).
+fn sim_mut(sim: &mut Simulator<RoutingNode>, u: ProcId) -> &mut RoutingNode {
+    // SAFETY-free: plain mutable indexing through a small accessor the
+    // simulator provides for harness use.
+    sim.node_mut(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_core::algo2;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, traversal, UnitDiskGraph};
+
+    fn stack_for(g: &Graph) -> (RoutingStack, DistributedRun) {
+        let run = algo2::distributed::run_synchronous(g);
+        let stack = RoutingStack::build(g, &run, Schedule::synchronous);
+        (stack, run)
+    }
+
+    #[test]
+    fn every_clusterhead_learns_every_lsa() {
+        let g = generators::connected_gnp(50, 0.09, 3);
+        let (stack, run) = stack_for(&g);
+        let heads = run.result.wcds.mis_dominators().len();
+        for (u, count) in stack.lsa_counts() {
+            assert_eq!(count, heads, "clusterhead {u} has an incomplete LSA database");
+        }
+    }
+
+    #[test]
+    fn packets_reach_their_destinations() {
+        let g = generators::connected_gnp(60, 0.08, 7);
+        let (mut stack, _) = stack_for(&g);
+        let pairs: Vec<(NodeId, NodeId)> =
+            vec![(0, 59), (10, 45), (33, 2), (58, 20), (5, 5)];
+        let (deliveries, _) = stack.send_packets(&pairs, Schedule::synchronous());
+        for &(src, dst) in &pairs {
+            if src == dst {
+                continue; // self-delivery recorded locally at hops 0
+            }
+            assert!(
+                deliveries.iter().any(|d| d.src == src && d.dst == dst),
+                "packet {src} → {dst} lost; got {deliveries:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hop_counts_respect_the_clusterhead_bound() {
+        let udg = UnitDiskGraph::build(deploy::uniform(120, 6.0, 6.0, 4), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            return;
+        }
+        let g = udg.graph();
+        let (mut stack, _) = stack_for(g);
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..20).map(|i| (i * 3 % 120, (i * 7 + 60) % 120)).filter(|(a, b)| a != b).collect();
+        let (deliveries, _) = stack.send_packets(&pairs, Schedule::synchronous());
+        for d in &deliveries {
+            let h = traversal::hop_distance(g, d.src, d.dst).expect("connected") as u32;
+            assert!(d.hops <= 3 * h + 5, "{d:?} exceeds 3·{h}+5");
+            assert!(d.hops >= h, "{d:?} beat the shortest path?!");
+        }
+        assert_eq!(deliveries.len(), pairs.len());
+    }
+
+    #[test]
+    fn setup_message_complexity_is_bounded() {
+        let udg = UnitDiskGraph::build(deploy::uniform(150, 7.0, 7.0, 9), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            return;
+        }
+        let g = udg.graph();
+        let (stack, run) = stack_for(g);
+        let n = g.node_count() as u64;
+        let heads = run.result.wcds.mis_dominators().len() as u64;
+        let register = stack.setup_reports[0].messages.total();
+        let lsa = stack.setup_reports[1].messages.total();
+        assert_eq!(register, n - heads, "one REGISTER per host");
+        assert!(lsa <= n * heads, "LSA flood exceeds n·|S|: {lsa} > {n}·{heads}");
+    }
+
+    #[test]
+    fn async_forwarding_still_delivers() {
+        let g = generators::connected_gnp(40, 0.12, 11);
+        let run = algo2::distributed::run_synchronous(&g);
+        let mut stack = RoutingStack::build(&g, &run, Schedule::synchronous);
+        let pairs = vec![(0, 39), (17, 4)];
+        let (deliveries, _) = stack.send_packets(&pairs, Schedule::asynchronous(5));
+        assert_eq!(deliveries.len(), 2, "async schedule lost packets: {deliveries:?}");
+    }
+
+    #[test]
+    fn repeated_traffic_batches_work() {
+        let g = generators::connected_gnp(30, 0.15, 2);
+        let (mut stack, _) = stack_for(&g);
+        let (d1, _) = stack.send_packets(&[(0, 29)], Schedule::synchronous());
+        assert_eq!(d1.len(), 1);
+        let (d2, _) = stack.send_packets(&[(29, 0), (1, 28)], Schedule::synchronous());
+        assert_eq!(d2.len(), 2, "second batch: {d2:?}");
+    }
+
+    #[test]
+    fn star_topology_routes_through_hub() {
+        let g = generators::star(8);
+        let (mut stack, _) = stack_for(&g);
+        let (deliveries, report) = stack.send_packets(&[(1, 5)], Schedule::synchronous());
+        assert_eq!(deliveries, vec![Delivery { src: 1, dst: 5, hops: 2 }]);
+        assert_eq!(report.messages.of_kind("PACKET"), 2);
+    }
+}

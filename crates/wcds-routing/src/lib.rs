@@ -1,0 +1,24 @@
+//! Backbone routing and broadcast over WCDS-induced sparse spanners.
+//!
+//! §1 and §4.2 of the paper motivate the WCDS as a *virtual backbone*:
+//! "the number of nodes responsible for routing and broadcasting can be
+//! reduced to the number of nodes in the backbone". This crate builds
+//! that application layer:
+//!
+//! * [`router`] — clusterhead unicast routing: every node registers with
+//!   an adjacent MIS dominator (its clusterhead); dominators keep
+//!   routing tables over the dominator-adjacency graph (2-/3-hop
+//!   dominator pairs with their gateway nodes, exactly the
+//!   `2HopDomList`/`3HopDomList` state of §4.2); packets travel
+//!   source → clusterhead → dominator chain → destination;
+//! * [`broadcast`] — backbone broadcast: only dominators (plus the
+//!   spanning gateways the weak backbone needs) retransmit, versus
+//!   blind flooding where everyone does.
+
+pub mod broadcast;
+pub mod distributed;
+pub mod router;
+
+pub use broadcast::BroadcastPlan;
+pub use distributed::RoutingStack;
+pub use router::BackboneRouter;

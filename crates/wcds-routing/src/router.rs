@@ -1,0 +1,333 @@
+//! Clusterhead unicast routing over the weakly-induced spanner.
+
+use std::collections::BTreeMap;
+use wcds_core::Wcds;
+use wcds_graph::{traversal, Graph, NodeId};
+
+/// A clusterhead router built from a WCDS.
+///
+/// Structure (§4.2 of the paper):
+///
+/// * every node is assigned a **clusterhead** — its smallest-ID adjacent
+///   MIS dominator (MIS dominators are their own clusterheads);
+/// * the **dominator graph** links MIS dominators that are ≤ 3 hops
+///   apart *through the spanner*, remembering the gateway nodes of one
+///   shortest black path (the `2HopDomList` / `3HopDomList` state);
+/// * per-dominator **routing tables** give, for every destination
+///   dominator, the next dominator on a shortest dominator-level path.
+///
+/// A packet from `s` to `t` travels `s → head(s) ⇝ head(t) → t`, with
+/// each dominator-to-dominator leg expanded through its recorded
+/// gateways. Adjacent pairs short-circuit to the direct edge, as the
+/// paper prescribes.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_core::algo2::AlgorithmTwo;
+/// use wcds_core::WcdsConstruction;
+/// use wcds_graph::generators;
+/// use wcds_routing::BackboneRouter;
+///
+/// let g = generators::path(9);
+/// let result = AlgorithmTwo::new().construct(&g);
+/// let router = BackboneRouter::build(&g, &result.wcds);
+/// let path = router.route(0, 8).expect("connected");
+/// assert_eq!(path.first(), Some(&0));
+/// assert_eq!(path.last(), Some(&8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BackboneRouter {
+    spanner: Graph,
+    clusterhead: Vec<Option<NodeId>>,
+    /// dominator → (neighbor dominator → interior gateway nodes of one
+    /// shortest black path)
+    dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
+    /// dominator → (destination dominator → next dominator)
+    next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>>,
+    graph_edges: Graph,
+}
+
+impl BackboneRouter {
+    /// Builds the router state from a WCDS of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WCDS is invalid for `g` (every node must have an
+    /// adjacent MIS dominator or be one).
+    pub fn build(g: &Graph, wcds: &Wcds) -> Self {
+        let spanner = wcds.weakly_induced_subgraph(g);
+        let heads = wcds.mis_dominators();
+        let is_head = g.membership(heads);
+
+        // clusterhead assignment: self, else smallest adjacent head
+        let clusterhead: Vec<Option<NodeId>> = g
+            .nodes()
+            .map(|u| {
+                if is_head[u] {
+                    Some(u)
+                } else {
+                    g.neighbors(u).iter().copied().find(|&v| is_head[v])
+                }
+            })
+            .collect();
+        assert!(
+            g.nodes().all(|u| clusterhead[u].is_some()),
+            "WCDS does not dominate the graph"
+        );
+
+        // dominator adjacency through the spanner: BFS from each head,
+        // keeping heads at distance ≤ 3 with the path interior
+        let mut dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>> = BTreeMap::new();
+        for &h in heads {
+            let (dist, parents) = traversal::bfs_tree(&spanner, h);
+            let mut links = BTreeMap::new();
+            for &other in heads {
+                if other == h {
+                    continue;
+                }
+                if let Some(d) = dist[other] {
+                    if d <= 3 {
+                        let path = traversal::path_from_parents(&parents, h, other)
+                            .expect("reachable");
+                        links.insert(other, path[1..path.len() - 1].to_vec());
+                    }
+                }
+            }
+            dom_links.insert(h, links);
+        }
+
+        // dominator-level routing tables: BFS on the dominator graph
+        let mut next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> = BTreeMap::new();
+        for &h in heads {
+            let mut table = BTreeMap::new();
+            // BFS over dominator graph from h
+            let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+            let mut queue = std::collections::VecDeque::from([h]);
+            let mut seen: std::collections::BTreeSet<NodeId> = [h].into();
+            while let Some(cur) = queue.pop_front() {
+                for (&nb, _) in &dom_links[&cur] {
+                    if seen.insert(nb) {
+                        let via = if cur == h { nb } else { first_hop[&cur] };
+                        first_hop.insert(nb, via);
+                        table.insert(nb, via);
+                        queue.push_back(nb);
+                    }
+                }
+            }
+            next_dom.insert(h, table);
+        }
+
+        Self { spanner, clusterhead, dom_links, next_dom, graph_edges: g.clone() }
+    }
+
+    /// The clusterhead of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn clusterhead(&self, u: NodeId) -> NodeId {
+        self.clusterhead[u].expect("validated at build time")
+    }
+
+    /// Routing-table size (number of destination entries) at dominator
+    /// `h`, or `None` if `h` is not a dominator.
+    pub fn table_size(&self, h: NodeId) -> Option<usize> {
+        self.next_dom.get(&h).map(BTreeMap::len)
+    }
+
+    /// Total routing-state entries across all dominators.
+    pub fn total_state(&self) -> usize {
+        self.next_dom.values().map(BTreeMap::len).sum::<usize>()
+            + self.dom_links.values().map(|l| l.values().map(|g| g.len() + 1).sum::<usize>()).sum::<usize>()
+    }
+
+    /// Routes a packet from `s` to `t`, returning the node path
+    /// (inclusive of both ends).
+    ///
+    /// Returns `None` when the backbone has no dominator-level route
+    /// (disconnected network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn route(&self, s: NodeId, t: NodeId) -> Option<Vec<NodeId>> {
+        if s == t {
+            return Some(vec![s]);
+        }
+        // adjacent pairs use the direct edge (paper: "a single hop")
+        if self.graph_edges.has_edge(s, t) {
+            return Some(vec![s, t]);
+        }
+        let hs = self.clusterhead(s);
+        let ht = self.clusterhead(t);
+        let mut path = vec![s];
+        if hs != s {
+            path.push(hs);
+        }
+        // dominator chain hs ⇝ ht
+        let mut cur = hs;
+        while cur != ht {
+            let next = *self.next_dom.get(&cur)?.get(&ht)?;
+            for &gw in &self.dom_links[&cur][&next] {
+                path.push(gw);
+            }
+            path.push(next);
+            cur = next;
+        }
+        if ht != t {
+            path.push(t);
+        }
+        // collapse accidental duplicates (e.g. s adjacent to a gateway)
+        path.dedup();
+        // the destination can appear mid-path as a gateway of the
+        // dominator chain; deliver at the first visit
+        if let Some(pos) = path.iter().position(|&x| x == t) {
+            path.truncate(pos + 1);
+        }
+        Some(path)
+    }
+
+    /// Checks a route only uses spanner edges (except the permitted
+    /// direct first hop between adjacent endpoints).
+    pub fn route_uses_spanner(&self, path: &[NodeId]) -> bool {
+        if path.len() == 2 {
+            return self.graph_edges.has_edge(path[0], path[1]);
+        }
+        path.windows(2).all(|w| self.spanner.has_edge(w[0], w[1]))
+    }
+
+    /// Measures the stretch of routing between `s` and `t`: routed hops
+    /// divided by shortest-path hops in `G`. `None` if unroutable.
+    pub fn stretch(&self, g: &Graph, s: NodeId, t: NodeId) -> Option<f64> {
+        let routed = self.route(s, t)?.len() as f64 - 1.0;
+        let shortest = traversal::hop_distance(g, s, t)? as f64;
+        if shortest == 0.0 {
+            return Some(1.0);
+        }
+        Some(routed / shortest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_core::algo2::AlgorithmTwo;
+    use wcds_core::WcdsConstruction;
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, UnitDiskGraph};
+
+    fn router_for(g: &Graph) -> BackboneRouter {
+        let result = AlgorithmTwo::new().construct(g);
+        BackboneRouter::build(g, &result.wcds)
+    }
+
+    #[test]
+    fn clusterheads_are_adjacent_dominators() {
+        let g = generators::connected_gnp(40, 0.1, 1);
+        let result = AlgorithmTwo::new().construct(&g);
+        let router = BackboneRouter::build(&g, &result.wcds);
+        let heads = result.wcds.mis_dominators();
+        for u in g.nodes() {
+            let h = router.clusterhead(u);
+            assert!(heads.contains(&h));
+            assert!(h == u || g.has_edge(u, h));
+        }
+    }
+
+    #[test]
+    fn routes_exist_and_are_walks_in_g() {
+        let g = generators::connected_gnp(40, 0.1, 5);
+        let router = router_for(&g);
+        for s in 0..10 {
+            for t in 30..40 {
+                let path = router.route(s, t).expect("connected network routes");
+                assert_eq!(*path.first().unwrap(), s);
+                assert_eq!(*path.last().unwrap(), t);
+                for w in path.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]), "non-edge in route {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_use_spanner_edges() {
+        let g = generators::connected_gnp(50, 0.08, 9);
+        let router = router_for(&g);
+        for s in [0, 7, 13] {
+            for t in [44, 31, 22] {
+                let path = router.route(s, t).unwrap();
+                assert!(router.route_uses_spanner(&path), "route {path:?} leaves the spanner");
+            }
+        }
+    }
+
+    #[test]
+    fn self_and_neighbor_routes_are_trivial() {
+        let g = generators::path(5);
+        let router = router_for(&g);
+        assert_eq!(router.route(2, 2), Some(vec![2]));
+        assert_eq!(router.route(1, 2), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn stretch_is_bounded_on_udgs() {
+        for seed in 0..4 {
+            let udg = UnitDiskGraph::build(deploy::uniform(120, 6.0, 6.0, seed), 1.0);
+            if !traversal::is_connected(udg.graph()) {
+                continue;
+            }
+            let router = router_for(udg.graph());
+            let mut worst: f64 = 1.0;
+            for s in (0..120).step_by(17) {
+                for t in (0..120).step_by(13) {
+                    if s == t || udg.graph().has_edge(s, t) {
+                        continue;
+                    }
+                    let st = router.stretch(udg.graph(), s, t).expect("routable");
+                    worst = worst.max(st);
+                }
+            }
+            // clusterhead routing pays ≤ 3 spanner hops per graph hop
+            // plus the two end legs: hops ≤ 3h + 5, so stretch ≤ 5.5 at
+            // h = 2 and below 4 for longer routes
+            assert!(worst <= 5.5, "seed {seed}: worst stretch {worst}");
+        }
+    }
+
+    #[test]
+    fn table_sizes_scale_with_dominator_count() {
+        let g = generators::connected_gnp(60, 0.07, 2);
+        let result = AlgorithmTwo::new().construct(&g);
+        let router = BackboneRouter::build(&g, &result.wcds);
+        let heads = result.wcds.mis_dominators();
+        for &h in heads {
+            let size = router.table_size(h).unwrap();
+            assert!(size <= heads.len() - 1);
+        }
+        assert!(router.table_size(heads.len() + 1000).is_none() || heads.contains(&(heads.len() + 1000)));
+        assert!(router.total_state() > 0 || heads.len() <= 1);
+    }
+
+    #[test]
+    fn routes_visit_the_destination_exactly_once() {
+        let g = generators::connected_gnp(60, 0.08, 21);
+        let router = router_for(&g);
+        for s in 0..12 {
+            for t in 40..60 {
+                let path = router.route(s, t).unwrap();
+                assert_eq!(path.iter().filter(|&&x| x == t).count(), 1, "path {path:?}");
+                assert_eq!(*path.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn routing_on_star_goes_through_center() {
+        let g = generators::star(6);
+        let router = router_for(&g);
+        let path = router.route(1, 4).unwrap();
+        assert_eq!(path, vec![1, 0, 4]);
+    }
+}

@@ -1,0 +1,148 @@
+use crate::ProcId;
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeSet;
+
+/// Fault injection for robustness testing.
+///
+/// The paper's constructions assume a reliable network; the fault plan
+/// lets tests probe what that assumption buys. Faults are applied
+/// deterministically from a seed, so a failing fault test replays
+/// exactly.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_sim::FaultPlan;
+///
+/// let plan = FaultPlan::new(7).crash(3).drop_probability(0.1);
+/// assert!(plan.is_crashed(3));
+/// assert!(!plan.is_crashed(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    crashed: BTreeSet<ProcId>,
+    drop_p: f64,
+    duplicate_p: f64,
+    rng: ChaCha12Rng,
+}
+
+impl FaultPlan {
+    /// A fault plan with no faults and the given randomness seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            crashed: BTreeSet::new(),
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Marks `node` as crashed from the start: it never starts, never
+    /// sends, never receives.
+    pub fn crash(mut self, node: ProcId) -> Self {
+        self.crashed.insert(node);
+        self
+    }
+
+    /// Each delivery is independently dropped with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.drop_p = p;
+        self
+    }
+
+    /// Each delivery is independently duplicated with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn duplicate_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Whether `node` is crashed.
+    pub fn is_crashed(&self, node: ProcId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// The crashed node set.
+    pub fn crashed_nodes(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.crashed.iter().copied()
+    }
+
+    /// Decides the fate of one delivery: `0` = dropped, `1` = delivered,
+    /// `2` = delivered twice.
+    pub(crate) fn delivery_copies(&mut self) -> u8 {
+        if self.drop_p > 0.0 && self.rng.gen::<f64>() < self.drop_p {
+            0
+        } else if self.duplicate_p > 0.0 && self.rng.gen::<f64>() < self.duplicate_p {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_faultless() {
+        let mut p = FaultPlan::default();
+        assert!(!p.is_crashed(0));
+        for _ in 0..100 {
+            assert_eq!(p.delivery_copies(), 1);
+        }
+    }
+
+    #[test]
+    fn crash_set_is_queryable() {
+        let p = FaultPlan::new(1).crash(2).crash(5);
+        assert_eq!(p.crashed_nodes().collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let mut p = FaultPlan::new(1).drop_probability(1.0);
+        for _ in 0..50 {
+            assert_eq!(p.delivery_copies(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_probability_one_duplicates_everything() {
+        let mut p = FaultPlan::new(1).duplicate_probability(1.0);
+        for _ in 0..50 {
+            assert_eq!(p.delivery_copies(), 2);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mut a = FaultPlan::new(9).drop_probability(0.5);
+        let mut b = FaultPlan::new(9).drop_probability(0.5);
+        let fa: Vec<u8> = (0..200).map(|_| a.delivery_copies()).collect();
+        let fb: Vec<u8> = (0..200).map(|_| b.delivery_copies()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::new(0).drop_probability(1.5);
+    }
+}

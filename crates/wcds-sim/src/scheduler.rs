@@ -1,0 +1,593 @@
+use crate::context::{Context, Outgoing};
+use crate::{FaultPlan, MessageStats, ProcId, Protocol, SimReport, Time, TraceEvent, TraceLog};
+use rand::prelude::*;
+use rand_chacha::ChaCha12Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+use wcds_graph::Graph;
+
+/// How events are ordered in virtual time.
+#[derive(Debug, Clone)]
+enum ScheduleKind {
+    /// Lock-step rounds: a message sent in round `r` is delivered in
+    /// round `r + 1`; all deliveries of a round happen "simultaneously"
+    /// (processed in deterministic id order). This is the model behind
+    /// the paper's `O(n)` time-complexity claims.
+    Synchronous,
+    /// Per-message delivery with seeded pseudo-random delays in
+    /// `1..=max_delay`. Exercises protocols without the lock-step crutch.
+    Asynchronous { seed: u64, max_delay: Time },
+}
+
+/// Execution schedule plus run options.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_sim::{FaultPlan, Schedule};
+///
+/// let s = Schedule::asynchronous(42)
+///     .with_fault_plan(FaultPlan::new(1).crash(3))
+///     .with_trace(1000);
+/// let _ = s;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    kind: ScheduleKind,
+    fault: FaultPlan,
+    max_events: u64,
+    trace_capacity: usize,
+    sync_descending: bool,
+}
+
+impl Schedule {
+    /// The synchronous, lock-step-rounds schedule.
+    pub fn synchronous() -> Self {
+        Self {
+            kind: ScheduleKind::Synchronous,
+            fault: FaultPlan::default(),
+            max_events: 50_000_000,
+            trace_capacity: 0,
+            sync_descending: false,
+        }
+    }
+
+    /// An asynchronous schedule with per-message delays drawn
+    /// deterministically from `seed` (uniform in `1..=8`).
+    pub fn asynchronous(seed: u64) -> Self {
+        Self {
+            kind: ScheduleKind::Asynchronous { seed, max_delay: 8 },
+            fault: FaultPlan::default(),
+            max_events: 50_000_000,
+            trace_capacity: 0,
+            sync_descending: false,
+        }
+    }
+
+    /// Overrides the maximum per-message delay of an asynchronous
+    /// schedule (no effect on a synchronous one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delay` is zero.
+    pub fn with_max_delay(mut self, max_delay: Time) -> Self {
+        assert!(max_delay >= 1, "max_delay must be at least 1");
+        if let ScheduleKind::Asynchronous { max_delay: d, .. } = &mut self.kind {
+            *d = max_delay;
+        }
+        self
+    }
+
+    /// Attaches a fault plan.
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Caps the number of executed events (defence against non-quiescent
+    /// protocols). Default: 50 million.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Enables event tracing, retaining up to `capacity` events in the
+    /// report.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Processes each synchronous round's deliveries in **descending**
+    /// recipient/sender order instead of ascending — an adversarial
+    /// ordering for shaking out hidden order dependencies in protocols
+    /// that should be confluent. No effect on asynchronous schedules.
+    pub fn with_descending_order(mut self) -> Self {
+        self.sync_descending = true;
+        self
+    }
+}
+
+/// A simulation failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol was still generating events after the configured
+    /// event budget; it is likely non-quiescent (livelocked).
+    EventBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// An inspector attached via [`Simulator::run_inspected`] rejected
+    /// an intermediate state.
+    InvariantViolated {
+        /// Virtual time at which the invariant failed.
+        time: Time,
+        /// The inspector's explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EventBudgetExhausted { budget } => {
+                write!(f, "protocol still active after {budget} events; likely non-quiescent")
+            }
+            SimError::InvariantViolated { time, message } => {
+                write!(f, "invariant violated at time {time}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// A pending delivery or timer.
+#[derive(Debug)]
+enum PendingEvent<M> {
+    Deliver { from: ProcId, to: ProcId, msg: M },
+    Timer { node: ProcId },
+}
+
+/// Runs one [`Protocol`] instance per node of a topology graph.
+///
+/// The simulator owns the per-node protocol states; inspect them with
+/// [`Simulator::nodes`] / [`Simulator::node`] after a run to extract the
+/// protocol's output.
+#[derive(Debug)]
+pub struct Simulator<P: Protocol> {
+    adj: Vec<Vec<ProcId>>,
+    nodes: Vec<P>,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Instantiates the protocol on every node of `graph`.
+    ///
+    /// The factory receives each node id; use it to inject per-node
+    /// configuration (e.g. protocol-level IDs distinct from indices).
+    pub fn new<F>(graph: &Graph, mut factory: F) -> Self
+    where
+        F: FnMut(ProcId) -> P,
+    {
+        let adj: Vec<Vec<ProcId>> = graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        let nodes = graph.nodes().map(&mut factory).collect();
+        Self { adj, nodes }
+    }
+
+    /// The per-node protocol states.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// The protocol state of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn node(&self, u: ProcId) -> &P {
+        &self.nodes[u]
+    }
+
+    /// Mutable access to the protocol state of node `u`.
+    ///
+    /// Intended for harnesses that drive multi-phase protocols: between
+    /// `run` calls they may flip phase flags or inject work. Mutating
+    /// state *during* a run is impossible (the simulator holds the
+    /// borrow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn node_mut(&mut self, u: ProcId) -> &mut P {
+        &mut self.nodes[u]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Replaces the topology between runs (node motion): the next `run`
+    /// sees the new adjacency while every node keeps its protocol
+    /// state. This is how maintenance protocols are driven — change the
+    /// topology, re-run, and let nodes react to what their
+    /// [`Context::neighbors`] now reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count differs from the original topology's.
+    pub fn set_topology(&mut self, graph: &Graph) {
+        assert_eq!(
+            graph.node_count(),
+            self.nodes.len(),
+            "topology change must preserve the node count"
+        );
+        self.adj = graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+    }
+
+    /// Executes the protocol to quiescence under `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] if the protocol is
+    /// still producing events past the schedule's event budget.
+    pub fn run(&mut self, schedule: Schedule) -> Result<SimReport, SimError> {
+        self.run_inspected(schedule, |_, _| Ok(()))
+    }
+
+    /// Like [`Simulator::run`], but calls `inspector` on every
+    /// intermediate global state — after each round under the
+    /// synchronous schedule, after each delivered event under the
+    /// asynchronous one. Returning `Err` aborts the run.
+    ///
+    /// This is how tests check *safety* invariants (e.g. "no two
+    /// adjacent nodes are ever both MIS dominators") rather than only
+    /// the final state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EventBudgetExhausted`] as for `run`, or
+    /// [`SimError::InvariantViolated`] when the inspector rejects.
+    pub fn run_inspected<F>(
+        &mut self,
+        schedule: Schedule,
+        mut inspector: F,
+    ) -> Result<SimReport, SimError>
+    where
+        F: FnMut(Time, &[P]) -> Result<(), String>,
+    {
+        match schedule.kind {
+            ScheduleKind::Synchronous => self.run_synchronous(schedule, &mut inspector),
+            ScheduleKind::Asynchronous { seed, max_delay } => {
+                self.run_asynchronous(schedule, seed, max_delay, &mut inspector)
+            }
+        }
+    }
+
+    fn run_synchronous(
+        &mut self,
+        schedule: Schedule,
+        inspector: &mut dyn FnMut(Time, &[P]) -> Result<(), String>,
+    ) -> Result<SimReport, SimError> {
+        let Schedule { mut fault, max_events, trace_capacity, sync_descending, .. } = schedule;
+        let mut stats = MessageStats::new(self.nodes.len());
+        let mut trace = if trace_capacity > 0 {
+            TraceLog::with_capacity(trace_capacity)
+        } else {
+            TraceLog::disabled()
+        };
+        // (fire_round, node, from, payload) — timers carry no payload
+        let mut current: Vec<(ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
+        let mut future: Vec<(Time, ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
+        let mut events: u64 = 0;
+
+        // Round 0: starts.
+        for node in 0..self.nodes.len() {
+            if fault.is_crashed(node) {
+                continue;
+            }
+            trace.push(TraceEvent::Start { node, time: 0 });
+            events += 1;
+            let mut pending = Vec::new();
+            self.dispatch_sync(node, 0, &mut stats, &mut trace, &mut pending, StartOrEvent::Start);
+            future.extend(pending);
+        }
+        inspector(0, &self.nodes)
+            .map_err(|message| SimError::InvariantViolated { time: 0, message })?;
+
+        let mut round: Time = 0;
+        while !future.is_empty() {
+            round += 1;
+            // pull everything due this round, in deterministic order
+            let mut due: Vec<(ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
+            future.retain(|(t, node, payload)| {
+                if *t == round {
+                    due.push((*node, payload.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            // messages before timers; then by (recipient, sender) —
+            // ascending normally, descending under the adversarial order
+            due.sort_by_key(|(node, payload)| {
+                (payload.is_none(), *node, payload.as_ref().map(|(from, _)| *from))
+            });
+            if sync_descending {
+                // keep messages-before-timers, flip the id order
+                due.sort_by_key(|(node, payload)| {
+                    (
+                        payload.is_none(),
+                        std::cmp::Reverse(*node),
+                        payload.as_ref().map(|(from, _)| std::cmp::Reverse(*from)),
+                    )
+                });
+            }
+            current.clear();
+            current.extend(due);
+            for (node, payload) in current.drain(..) {
+                if fault.is_crashed(node) {
+                    continue;
+                }
+                events += 1;
+                if events > max_events {
+                    return Err(SimError::EventBudgetExhausted { budget: max_events });
+                }
+                match payload {
+                    Some((from, msg)) => {
+                        if fault.is_crashed(from) {
+                            continue;
+                        }
+                        let copies = fault.delivery_copies();
+                        if copies == 0 {
+                            trace.push(TraceEvent::Drop { from, to: node, time: round });
+                            continue;
+                        }
+                        for _ in 0..copies {
+                            stats.record_delivery();
+                            trace.push(TraceEvent::Deliver {
+                                from,
+                                to: node,
+                                kind: P::message_kind(&msg),
+                                time: round,
+                            });
+                            let mut pending = Vec::new();
+                            self.dispatch_sync(
+                                node,
+                                round,
+                                &mut stats,
+                                &mut trace,
+                                &mut pending,
+                                StartOrEvent::Message(from, msg.clone()),
+                            );
+                            future.extend(pending);
+                        }
+                    }
+                    None => {
+                        trace.push(TraceEvent::Timer { node, time: round });
+                        let mut pending = Vec::new();
+                        self.dispatch_sync(
+                            node,
+                            round,
+                            &mut stats,
+                            &mut trace,
+                            &mut pending,
+                            StartOrEvent::Timer,
+                        );
+                        future.extend(pending);
+                    }
+                }
+            }
+            inspector(round, &self.nodes)
+                .map_err(|message| SimError::InvariantViolated { time: round, message })?;
+        }
+        Ok(SimReport { rounds: round, time: round, messages: stats, events, trace })
+    }
+
+    /// Synchronous dispatch: buffered sends land in the *next* round,
+    /// timers at `now + delay`.
+    fn dispatch_sync(
+        &mut self,
+        node: ProcId,
+        now: Time,
+        stats: &mut MessageStats,
+        trace: &mut TraceLog,
+        pending: &mut Vec<(Time, ProcId, Option<(ProcId, P::Message)>)>,
+        what: StartOrEvent<P::Message>,
+    ) {
+        let mut ctx = Context::new(node, &self.adj[node], now);
+        match what {
+            StartOrEvent::Start => self.nodes[node].on_start(&mut ctx),
+            StartOrEvent::Message(from, msg) => self.nodes[node].on_message(from, msg, &mut ctx),
+            StartOrEvent::Timer => self.nodes[node].on_timer(&mut ctx),
+        }
+        let Context { outgoing, timers, .. } = ctx;
+        for out in outgoing {
+            match out {
+                Outgoing::Broadcast(msg) => {
+                    let kind = P::message_kind(&msg);
+                    stats.record_send(node, kind, P::message_payload(&msg));
+                    trace.push(TraceEvent::Send { from: node, kind, time: now });
+                    for &nb in &self.adj[node] {
+                        pending.push((now + 1, nb, Some((node, msg.clone()))));
+                    }
+                }
+                Outgoing::Unicast(to, msg) => {
+                    let kind = P::message_kind(&msg);
+                    stats.record_send(node, kind, P::message_payload(&msg));
+                    trace.push(TraceEvent::Send { from: node, kind, time: now });
+                    pending.push((now + 1, to, Some((node, msg))));
+                }
+            }
+        }
+        for fire_at in timers {
+            pending.push((fire_at, node, None));
+        }
+    }
+
+    fn run_asynchronous(
+        &mut self,
+        schedule: Schedule,
+        seed: u64,
+        max_delay: Time,
+        inspector: &mut dyn FnMut(Time, &[P]) -> Result<(), String>,
+    ) -> Result<SimReport, SimError> {
+        let Schedule { mut fault, max_events, trace_capacity, .. } = schedule;
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut stats = MessageStats::new(self.nodes.len());
+        let mut trace = if trace_capacity > 0 {
+            TraceLog::with_capacity(trace_capacity)
+        } else {
+            TraceLog::disabled()
+        };
+        // min-heap on (time, seq); seq makes ordering total and deterministic
+        let mut heap: BinaryHeap<Reverse<(Time, u64, usize)>> = BinaryHeap::new();
+        let mut slab: Vec<Option<PendingEvent<P::Message>>> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut events: u64 = 0;
+        let mut now: Time = 0;
+
+        let push =
+            |heap: &mut BinaryHeap<Reverse<(Time, u64, usize)>>,
+             slab: &mut Vec<Option<PendingEvent<P::Message>>>,
+             seq: &mut u64,
+             at: Time,
+             ev: PendingEvent<P::Message>| {
+                slab.push(Some(ev));
+                heap.push(Reverse((at, *seq, slab.len() - 1)));
+                *seq += 1;
+            };
+
+        for node in 0..self.nodes.len() {
+            if fault.is_crashed(node) {
+                continue;
+            }
+            trace.push(TraceEvent::Start { node, time: 0 });
+            events += 1;
+            let outs = self.collect_dispatch(node, 0, &mut stats, &mut trace, StartOrEvent::Start);
+            for (fire_at, ev) in outs {
+                let at = match &ev {
+                    PendingEvent::Deliver { .. } => rng.gen_range(1..=max_delay),
+                    PendingEvent::Timer { .. } => fire_at,
+                };
+                push(&mut heap, &mut slab, &mut seq, at, ev);
+            }
+        }
+
+        inspector(0, &self.nodes)
+            .map_err(|message| SimError::InvariantViolated { time: 0, message })?;
+        while let Some(Reverse((t, _, slot))) = heap.pop() {
+            let ev = slab[slot].take().expect("event scheduled once");
+            now = t;
+            events += 1;
+            if events > max_events {
+                return Err(SimError::EventBudgetExhausted { budget: max_events });
+            }
+            match ev {
+                PendingEvent::Deliver { from, to, msg } => {
+                    if fault.is_crashed(to) || fault.is_crashed(from) {
+                        continue;
+                    }
+                    let copies = fault.delivery_copies();
+                    if copies == 0 {
+                        trace.push(TraceEvent::Drop { from, to, time: now });
+                        continue;
+                    }
+                    for _ in 0..copies {
+                        stats.record_delivery();
+                        trace.push(TraceEvent::Deliver {
+                            from,
+                            to,
+                            kind: P::message_kind(&msg),
+                            time: now,
+                        });
+                        let outs = self.collect_dispatch(
+                            to,
+                            now,
+                            &mut stats,
+                            &mut trace,
+                            StartOrEvent::Message(from, msg.clone()),
+                        );
+                        for (fire_at, ev) in outs {
+                            let at = match &ev {
+                                PendingEvent::Deliver { .. } => now + rng.gen_range(1..=max_delay),
+                                PendingEvent::Timer { .. } => fire_at,
+                            };
+                            push(&mut heap, &mut slab, &mut seq, at, ev);
+                        }
+                    }
+                }
+                PendingEvent::Timer { node } => {
+                    if fault.is_crashed(node) {
+                        continue;
+                    }
+                    trace.push(TraceEvent::Timer { node, time: now });
+                    let outs =
+                        self.collect_dispatch(node, now, &mut stats, &mut trace, StartOrEvent::Timer);
+                    for (fire_at, ev) in outs {
+                        let at = match &ev {
+                            PendingEvent::Deliver { .. } => now + rng.gen_range(1..=max_delay),
+                            PendingEvent::Timer { .. } => fire_at,
+                        };
+                        push(&mut heap, &mut slab, &mut seq, at, ev);
+                    }
+                }
+            }
+            inspector(now, &self.nodes)
+                .map_err(|message| SimError::InvariantViolated { time: now, message })?;
+        }
+        Ok(SimReport { rounds: 0, time: now, messages: stats, events, trace })
+    }
+
+    /// Runs one callback and returns its produced events with their
+    /// *requested* fire instants (deliveries get a placeholder `0`;
+    /// the caller assigns delays).
+    fn collect_dispatch(
+        &mut self,
+        node: ProcId,
+        now: Time,
+        stats: &mut MessageStats,
+        trace: &mut TraceLog,
+        what: StartOrEvent<P::Message>,
+    ) -> Vec<(Time, PendingEvent<P::Message>)> {
+        let mut ctx = Context::new(node, &self.adj[node], now);
+        match what {
+            StartOrEvent::Start => self.nodes[node].on_start(&mut ctx),
+            StartOrEvent::Message(from, msg) => self.nodes[node].on_message(from, msg, &mut ctx),
+            StartOrEvent::Timer => self.nodes[node].on_timer(&mut ctx),
+        }
+        let Context { outgoing, timers, .. } = ctx;
+        let mut out = Vec::new();
+        for o in outgoing {
+            match o {
+                Outgoing::Broadcast(msg) => {
+                    let kind = P::message_kind(&msg);
+                    stats.record_send(node, kind, P::message_payload(&msg));
+                    trace.push(TraceEvent::Send { from: node, kind, time: now });
+                    for &nb in &self.adj[node] {
+                        out.push((0, PendingEvent::Deliver { from: node, to: nb, msg: msg.clone() }));
+                    }
+                }
+                Outgoing::Unicast(to, msg) => {
+                    let kind = P::message_kind(&msg);
+                    stats.record_send(node, kind, P::message_payload(&msg));
+                    trace.push(TraceEvent::Send { from: node, kind, time: now });
+                    out.push((0, PendingEvent::Deliver { from: node, to, msg }));
+                }
+            }
+        }
+        for fire_at in timers {
+            out.push((fire_at, PendingEvent::Timer { node }));
+        }
+        out
+    }
+}
+
+/// Which callback a dispatch runs.
+enum StartOrEvent<M> {
+    Start,
+    Message(ProcId, M),
+    Timer,
+}

@@ -1,0 +1,125 @@
+use crate::{ProcId, Time};
+use std::fmt;
+
+/// One observable event in a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node's `on_start` callback ran.
+    Start { node: ProcId, time: Time },
+    /// A message was transmitted (one entry per send primitive, not per
+    /// delivery).
+    Send { from: ProcId, kind: &'static str, time: Time },
+    /// A message was delivered to a node.
+    Deliver { from: ProcId, to: ProcId, kind: &'static str, time: Time },
+    /// A delivery was dropped by fault injection.
+    Drop { from: ProcId, to: ProcId, time: Time },
+    /// A timer fired.
+    Timer { node: ProcId, time: Time },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Start { node, time } => write!(f, "[{time}] start {node}"),
+            TraceEvent::Send { from, kind, time } => write!(f, "[{time}] send {from} {kind}"),
+            TraceEvent::Deliver { from, to, kind, time } => {
+                write!(f, "[{time}] deliver {from}->{to} {kind}")
+            }
+            TraceEvent::Drop { from, to, time } => write!(f, "[{time}] drop {from}->{to}"),
+            TraceEvent::Timer { node, time } => write!(f, "[{time}] timer {node}"),
+        }
+    }
+}
+
+/// A bounded event log.
+///
+/// Disabled by default (zero cost); enable with a capacity to debug a
+/// protocol run. When the capacity is reached, further events are counted
+/// but not stored.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    overflow: u64,
+}
+
+impl TraceLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A log retaining up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity, overflow: 0 }
+    }
+
+    /// Whether this log records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub(crate) fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else if self.capacity > 0 {
+            self.overflow += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// How many events were discarded after the log filled up.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for ev in &self.events {
+            writeln!(f, "{ev}")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "... {} more events dropped", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.push(TraceEvent::Start { node: 0, time: 0 });
+        assert!(log.events().is_empty());
+        assert_eq!(log.overflow(), 0);
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn bounded_log_counts_overflow() {
+        let mut log = TraceLog::with_capacity(2);
+        for t in 0..5 {
+            log.push(TraceEvent::Timer { node: 0, time: t });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.overflow(), 3);
+    }
+
+    #[test]
+    fn display_formats_events() {
+        let mut log = TraceLog::with_capacity(8);
+        log.push(TraceEvent::Send { from: 1, kind: "GRAY", time: 3 });
+        log.push(TraceEvent::Deliver { from: 1, to: 2, kind: "GRAY", time: 4 });
+        let s = format!("{log}");
+        assert!(s.contains("send 1 GRAY"));
+        assert!(s.contains("deliver 1->2"));
+    }
+}

@@ -1,0 +1,32 @@
+//! SVG rendering of deployments, backbones, and spanners.
+//!
+//! The paper communicates through figures (unit-disk graphs, WCDS
+//! examples, packing arguments); this crate regenerates that style of
+//! figure from live data structures, so every experiment can ship a
+//! visual artifact alongside its table. Pure string generation — no
+//! drawing dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use wcds_core::algo2::AlgorithmTwo;
+//! use wcds_core::WcdsConstruction;
+//! use wcds_geom::deploy;
+//! use wcds_graph::UnitDiskGraph;
+//! use wcds_vis::SceneBuilder;
+//!
+//! let udg = UnitDiskGraph::build(deploy::uniform(50, 4.0, 4.0, 1), 1.0);
+//! let result = AlgorithmTwo::new().construct(udg.graph());
+//! let svg = SceneBuilder::new(&udg)
+//!     .background_edges(udg.graph())
+//!     .highlight_edges(&result.spanner, "#111111", 1.6)
+//!     .wcds(&result.wcds)
+//!     .caption("Algorithm II backbone")
+//!     .render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.ends_with("</svg>\n"));
+//! ```
+
+mod scene;
+
+pub use scene::SceneBuilder;

@@ -1,0 +1,236 @@
+use std::fmt::Write as _;
+use wcds_core::Wcds;
+use wcds_graph::{Graph, NodeId, UnitDiskGraph};
+
+/// Pixels per geometry unit.
+const SCALE: f64 = 60.0;
+/// Canvas margin in pixels.
+const MARGIN: f64 = 24.0;
+
+/// Builds an SVG picture of a deployment layer by layer.
+///
+/// Layers are painted in insertion order: typically background edges
+/// first, then a highlighted subgraph (the spanner), then node glyphs
+/// (gray nodes as small circles, MIS dominators as filled black disks,
+/// additional dominators as squares), then an optional caption.
+#[derive(Debug)]
+pub struct SceneBuilder<'a> {
+    udg: &'a UnitDiskGraph,
+    body: String,
+    node_style: Vec<NodeGlyph>,
+    caption: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeGlyph {
+    Plain,
+    MisDominator,
+    AdditionalDominator,
+}
+
+impl<'a> SceneBuilder<'a> {
+    /// Starts a scene over a geometric deployment.
+    pub fn new(udg: &'a UnitDiskGraph) -> Self {
+        Self {
+            udg,
+            body: String::new(),
+            node_style: vec![NodeGlyph::Plain; udg.node_count()],
+            caption: None,
+        }
+    }
+
+    fn x(&self, u: NodeId) -> f64 {
+        MARGIN + self.udg.point(u).x * SCALE
+    }
+
+    fn y(&self, u: NodeId) -> f64 {
+        MARGIN + self.udg.point(u).y * SCALE
+    }
+
+    /// Paints every edge of `g` as a faint background line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the deployment's.
+    pub fn background_edges(mut self, g: &Graph) -> Self {
+        assert_eq!(g.node_count(), self.udg.node_count(), "graph/deployment mismatch");
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            let _ = writeln!(
+                self.body,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#c9c9c9" stroke-width="0.7"/>"##,
+                self.x(u),
+                self.y(u),
+                self.x(v),
+                self.y(v)
+            );
+        }
+        self
+    }
+
+    /// Paints the edges of a subgraph (e.g. the spanner) in a strong
+    /// color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s node count differs from the deployment's.
+    pub fn highlight_edges(mut self, g: &Graph, color: &str, width: f64) -> Self {
+        assert_eq!(g.node_count(), self.udg.node_count(), "graph/deployment mismatch");
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            let _ = writeln!(
+                self.body,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{color}" stroke-width="{width:.1}"/>"##,
+                self.x(u),
+                self.y(u),
+                self.x(v),
+                self.y(v)
+            );
+        }
+        self
+    }
+
+    /// Marks the dominators of a WCDS: MIS dominators as filled disks,
+    /// additional dominators as filled squares.
+    pub fn wcds(mut self, wcds: &Wcds) -> Self {
+        for &u in wcds.mis_dominators() {
+            self.node_style[u] = NodeGlyph::MisDominator;
+        }
+        for &u in wcds.additional_dominators() {
+            self.node_style[u] = NodeGlyph::AdditionalDominator;
+        }
+        self
+    }
+
+    /// Adds a caption under the picture.
+    pub fn caption<S: Into<String>>(mut self, text: S) -> Self {
+        self.caption = Some(text.into());
+        self
+    }
+
+    /// Produces the final SVG document.
+    pub fn render(mut self) -> String {
+        // node glyphs over the edges
+        for u in 0..self.udg.node_count() {
+            let (x, y) = (self.x(u), self.y(u));
+            match self.node_style[u] {
+                NodeGlyph::Plain => {
+                    let _ = writeln!(
+                        self.body,
+                        r##"<circle cx="{x:.1}" cy="{y:.1}" r="2.4" fill="#ffffff" stroke="#555555" stroke-width="1"/>"##
+                    );
+                }
+                NodeGlyph::MisDominator => {
+                    let _ = writeln!(
+                        self.body,
+                        r##"<circle cx="{x:.1}" cy="{y:.1}" r="4.2" fill="#111111"/>"##
+                    );
+                }
+                NodeGlyph::AdditionalDominator => {
+                    let _ = writeln!(
+                        self.body,
+                        r##"<rect x="{:.1}" y="{:.1}" width="7" height="7" fill="#b03030"/>"##,
+                        x - 3.5,
+                        y - 3.5
+                    );
+                }
+            }
+        }
+        let bbox = wcds_geom::BoundingBox::enclosing(self.udg.points())
+            .unwrap_or_else(|| wcds_geom::BoundingBox::with_size(1.0, 1.0));
+        let mut height = bbox.max().y * SCALE + 2.0 * MARGIN;
+        let width = bbox.max().x * SCALE + 2.0 * MARGIN;
+        let mut tail = String::new();
+        if let Some(caption) = &self.caption {
+            height += 22.0;
+            let _ = writeln!(
+                tail,
+                r##"<text x="{MARGIN}" y="{:.1}" font-family="sans-serif" font-size="14" fill="#222222">{}</text>"##,
+                height - 8.0,
+                escape(caption)
+            );
+        }
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+             viewBox=\"0 0 {width:.0} {height:.0}\">\n\
+             <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n{}{}</svg>\n",
+            self.body, tail
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_core::algo2::AlgorithmTwo;
+    use wcds_core::WcdsConstruction;
+    use wcds_geom::deploy;
+
+    fn small_udg() -> UnitDiskGraph {
+        UnitDiskGraph::build(deploy::uniform(30, 3.0, 3.0, 4), 1.0)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let udg = small_udg();
+        let svg = SceneBuilder::new(&udg).background_edges(udg.graph()).render();
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<line").count(), udg.graph().edge_count());
+        assert_eq!(svg.matches("<circle").count(), 30);
+    }
+
+    #[test]
+    fn wcds_glyphs_match_partition() {
+        let udg = small_udg();
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let svg = SceneBuilder::new(&udg).wcds(&result.wcds).render();
+        let mis = result.wcds.mis_dominators().len();
+        let add = result.wcds.additional_dominators().len();
+        // MIS dominators render as big filled disks, bridges as rects
+        assert_eq!(svg.matches(r##"fill="#111111""##).count(), mis);
+        assert_eq!(svg.matches("<rect x=").count(), add);
+    }
+
+    #[test]
+    fn caption_is_escaped_and_present() {
+        let udg = small_udg();
+        let svg = SceneBuilder::new(&udg).caption("a < b & c").render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn figure2_scene_renders_both_dominators() {
+        let udg = UnitDiskGraph::build(deploy::figure2(), 1.0);
+        let wcds = Wcds::from_mis(vec![0, 1]);
+        let spanner = wcds.weakly_induced_subgraph(udg.graph());
+        let svg = SceneBuilder::new(&udg)
+            .background_edges(udg.graph())
+            .highlight_edges(&spanner, "#111111", 1.6)
+            .wcds(&wcds)
+            .caption("Figure 2: WCDS {1, 2} and its weakly induced subgraph")
+            .render();
+        assert_eq!(svg.matches(r##"fill="#111111""##).count(), 2, "two dominator disks");
+        assert_eq!(svg.matches(r##"stroke="#111111""##).count(), 8, "eight black edges");
+        assert!(svg.contains("Figure 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_graph_panics() {
+        let udg = small_udg();
+        let other = wcds_graph::generators::path(5);
+        let _ = SceneBuilder::new(&udg).background_edges(&other);
+    }
+
+    #[test]
+    fn empty_deployment_renders() {
+        let udg = UnitDiskGraph::build(vec![], 1.0);
+        let svg = SceneBuilder::new(&udg).render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

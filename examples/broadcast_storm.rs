@@ -1,0 +1,50 @@
+//! Taming the broadcast storm with a WCDS backbone (§1 of the paper).
+//!
+//! Compares blind flooding (every node retransmits once) against
+//! backbone forwarding (only dominators and their spanning gateways
+//! retransmit) across increasing network density.
+//!
+//! ```text
+//! cargo run --example broadcast_storm
+//! ```
+
+use wcds::core::algo2::AlgorithmTwo;
+use wcds::core::WcdsConstruction;
+use wcds::geom::deploy;
+use wcds::graph::{traversal, UnitDiskGraph};
+use wcds::routing::BroadcastPlan;
+
+fn main() {
+    println!(
+        "{:>6}  {:>8}  {:>9}  {:>12}  {:>9}  coverage",
+        "n", "avg deg", "flood tx", "backbone tx", "savings"
+    );
+    for n in [100usize, 200, 400, 800] {
+        // fixed 7×7 field: density (and flooding waste) rises with n
+        let mut seed = 0;
+        let udg = loop {
+            let udg = UnitDiskGraph::build(deploy::uniform(n, 7.0, 7.0, seed), 1.0);
+            if traversal::is_connected(udg.graph()) {
+                break udg;
+            }
+            seed += 1;
+        };
+        let g = udg.graph();
+        let result = AlgorithmTwo::new().construct(g);
+
+        let flood = BroadcastPlan::flooding(g).simulate(g, 0);
+        let plan = BroadcastPlan::for_wcds(g, &result.wcds);
+        let backbone = plan.simulate(g, 0);
+
+        let savings = 100.0 * (1.0 - backbone.transmissions as f64 / flood.transmissions as f64);
+        println!(
+            "{n:>6}  {:>8.1}  {:>9}  {:>12}  {savings:>8.0}%  {}",
+            g.avg_degree(),
+            flood.transmissions,
+            backbone.transmissions,
+            if backbone.full_coverage { "full" } else { "PARTIAL!" }
+        );
+    }
+    println!("\nthe backbone is area-bound (packing argument), so its cost flattens while");
+    println!("flooding pays one transmission per node — exactly the paper's §1 motivation.");
+}

@@ -1,0 +1,81 @@
+//! Auditing spanner quality: sparseness (Theorems 8/10) and dilation
+//! (Theorem 11) on a concrete deployment — including the exact
+//! worst-case witness pairs.
+//!
+//! ```text
+//! cargo run --example spanner_quality
+//! ```
+
+use wcds::core::algo1::AlgorithmOne;
+use wcds::core::algo2::AlgorithmTwo;
+use wcds::core::dilation::DilationReport;
+use wcds::core::spanner::SpannerStats;
+use wcds::core::WcdsConstruction;
+use wcds::geom::deploy;
+use wcds::graph::{traversal, UnitDiskGraph};
+
+fn main() {
+    let mut seed = 15;
+    let udg = loop {
+        let udg = UnitDiskGraph::build(deploy::uniform(220, 7.0, 7.0, seed), 1.0);
+        if traversal::is_connected(udg.graph()) {
+            break udg;
+        }
+        seed += 1;
+    };
+    let g = udg.graph();
+    println!("G: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    for (name, result) in [
+        ("Algorithm I ", AlgorithmOne::new().construct(g)),
+        ("Algorithm II", AlgorithmTwo::new().construct(g)),
+    ] {
+        let stats = SpannerStats::compute(g, &result.wcds);
+        println!("\n{name}: {}", result.wcds);
+        println!("  {stats}");
+        println!(
+            "  edge classes: gray–MIS {}, MIS–bridge {}, gray–bridge {}, bridge–bridge {}",
+            stats.gray_mis_edges,
+            stats.mis_additional_edges,
+            stats.gray_additional_edges,
+            stats.additional_additional_edges
+        );
+    }
+
+    // dilation guarantees hold for Algorithm II's spanner
+    let r2 = AlgorithmTwo::new().construct(g);
+    let report = DilationReport::measure(g, &r2.spanner, udg.points());
+    println!("\ndilation of the Algorithm II spanner:");
+    if let Some(w) = report.topological {
+        println!(
+            "  worst hop pair   ({}, {}): {} hops in G, {} in G'  (bound 3·{}+2 = {})",
+            w.u,
+            w.v,
+            w.in_graph,
+            w.in_spanner,
+            w.in_graph,
+            3.0 * w.in_graph + 2.0
+        );
+    }
+    if let Some(w) = report.geometric {
+        println!(
+            "  worst length pair ({}, {}): {:.2} in G, {:.2} in G'  (bound 6·{:.2}+5 = {:.2})",
+            w.u,
+            w.v,
+            w.in_graph,
+            w.in_spanner,
+            w.in_graph,
+            6.0 * w.in_graph + 5.0
+        );
+    }
+    println!(
+        "  Theorem 11 bounds hold: topological = {}, geometric = {}",
+        report.satisfies_topological_bound(),
+        report.satisfies_geometric_bound()
+    );
+
+    // or get everything at once from the audit aggregator
+    let audit = wcds::core::audit::BackboneAudit::measure(g, udg.points(), &r2.wcds);
+    println!("\n{audit}");
+    println!("all proven bounds hold: {}", audit.all_bounds_hold());
+}

@@ -1,0 +1,43 @@
+//! # wcds — Weakly-Connected Dominating Sets and Sparse Spanners
+//!
+//! A faithful, from-scratch Rust reproduction of
+//! *Alzoubi, Wan, Frieder — "Weakly-Connected Dominating Sets and Sparse
+//! Spanners in Wireless Ad Hoc Networks" (ICDCS 2003)*.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geom`] — plane geometry, deployment generators, spatial indexing;
+//! * [`graph`] — unit-disk graphs and general graph machinery;
+//! * [`sim`] — a deterministic distributed message-passing simulator;
+//! * [`core`] — MIS ranking theory and the paper's two WCDS algorithms;
+//! * [`baselines`] — greedy/exact comparison algorithms;
+//! * [`routing`] — clusterhead routing and backbone broadcast over the
+//!   induced spanner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wcds::core::algo2::AlgorithmTwo;
+//! use wcds::core::WcdsConstruction;
+//! use wcds::geom::deploy;
+//! use wcds::graph::UnitDiskGraph;
+//!
+//! // 1. Deploy 200 nodes uniformly in a 7x7 region and build the UDG.
+//! let points = deploy::uniform(200, 7.0, 7.0, 42);
+//! let udg = UnitDiskGraph::build(points, 1.0);
+//!
+//! // 2. Run the paper's fully-localized Algorithm II.
+//! let result = AlgorithmTwo::new().construct(udg.graph());
+//!
+//! // 3. The output is a verified WCDS plus its weakly-induced spanner.
+//! assert!(result.wcds.is_valid(udg.graph()));
+//! assert!(result.spanner.edge_count() <= udg.graph().edge_count());
+//! ```
+
+pub use wcds_baselines as baselines;
+pub use wcds_core as core;
+pub use wcds_geom as geom;
+pub use wcds_graph as graph;
+pub use wcds_routing as routing;
+pub use wcds_sim as sim;
+pub use wcds_vis as vis;

@@ -1,0 +1,260 @@
+//! Distributed-protocol conformance: the simulator-run protocols must
+//! match their centralized references and survive adversarial
+//! schedules and fault plans.
+
+use wcds::core::election::{elect, ElectionNode};
+use wcds::core::{algo1, algo2};
+use wcds::geom::deploy;
+use wcds::graph::{generators, traversal, UnitDiskGraph};
+use wcds::sim::{FaultPlan, Schedule, Simulator};
+
+#[test]
+fn election_agrees_across_48_async_schedules() {
+    let g = generators::connected_gnp(30, 0.12, 4);
+    for seed in 0..48 {
+        let out = elect(&g, Schedule::asynchronous(seed).with_max_delay(1 + seed % 7));
+        assert_eq!(out.leader, 0, "seed {seed}");
+        assert!(out.tree.spans(&g), "seed {seed}");
+    }
+}
+
+#[test]
+fn algo2_mis_is_schedule_independent() {
+    // the lowest-ID MIS rule is confluent: any schedule yields the
+    // lexicographically-first MIS
+    let udg = UnitDiskGraph::build(deploy::uniform(60, 4.0, 4.0, 8), 1.0);
+    if !traversal::is_connected(udg.graph()) {
+        return;
+    }
+    let reference = algo2::distributed::run_synchronous(udg.graph());
+    for seed in 0..20 {
+        let run = algo2::distributed::run_asynchronous(udg.graph(), seed);
+        assert_eq!(
+            run.result.wcds.mis_dominators(),
+            reference.result.wcds.mis_dominators(),
+            "seed {seed}: MIS diverged under asynchrony"
+        );
+        assert!(run.result.wcds.is_valid(udg.graph()), "seed {seed}");
+    }
+}
+
+#[test]
+fn algo1_valid_under_varied_async_delays() {
+    let g = generators::connected_gnp(40, 0.1, 6);
+    for seed in 0..10 {
+        let run = algo1::distributed::run_asynchronous(&g, seed);
+        assert!(run.result.wcds.is_valid(&g), "seed {seed}");
+        assert_eq!(run.leader, 0);
+    }
+}
+
+#[test]
+fn election_stalls_rather_than_misbehaves_under_a_crash() {
+    // The paper's protocols assume a reliable network. A crashed
+    // neighbor never acknowledges the winner's wave, so the election
+    // must STALL (no leader declared anywhere) rather than elect
+    // inconsistently — fail-safe, not fail-wrong.
+    let g = generators::star(6); // center 0, leaves 1..=6
+    let mut sim = Simulator::new(&g, ElectionNode::new);
+    let schedule = Schedule::synchronous().with_fault_plan(FaultPlan::new(1).crash(3));
+    sim.run(schedule).expect("quiesces (stalled, not livelocked)");
+    for u in 0..7 {
+        assert_eq!(sim.node(u).leader(), None, "node {u} must not declare a leader");
+    }
+}
+
+#[test]
+fn election_stalls_safely_when_messages_are_dropped() {
+    // same fail-safe property under message loss: with every delivery
+    // dropped nothing completes, and crucially nobody elects wrongly
+    let g = generators::connected_gnp(12, 0.3, 2);
+    let mut sim = Simulator::new(&g, ElectionNode::new);
+    let schedule =
+        Schedule::synchronous().with_fault_plan(FaultPlan::new(5).drop_probability(1.0));
+    sim.run(schedule).expect("quiesces");
+    for u in g.nodes() {
+        // an isolated node (degree 0) would self-elect; connected_gnp
+        // guarantees degree ≥ 1, so everyone waits forever
+        assert_eq!(sim.node(u).leader(), None, "node {u} elected under total loss");
+    }
+}
+
+#[test]
+fn election_message_budget_matches_paper_assumption() {
+    // the paper budgets O(n log n) messages for the election phase; on
+    // random UDGs the echo-extinction election should stay within a
+    // small multiple of n·log2(n)
+    for &n in &[64usize, 256] {
+        let side = (n as f64 * std::f64::consts::PI / 12.0).sqrt();
+        let udg = (0..50)
+            .find_map(|s| {
+                let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, s), 1.0);
+                traversal::is_connected(udg.graph()).then_some(udg)
+            })
+            .expect("connected deployment");
+        let out = elect(udg.graph(), Schedule::synchronous());
+        let budget = 12.0 * n as f64 * (n as f64).log2();
+        assert!(
+            (out.report.messages.total() as f64) < budget,
+            "n = {n}: {} messages exceeds {budget}",
+            out.report.messages.total()
+        );
+    }
+}
+
+#[test]
+fn algo2_total_messages_scale_linearly() {
+    let mut per_node = Vec::new();
+    for &n in &[100usize, 400] {
+        let side = (n as f64 * std::f64::consts::PI / 12.0).sqrt();
+        let udg = (0..50)
+            .find_map(|s| {
+                let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, s), 1.0);
+                traversal::is_connected(udg.graph()).then_some(udg)
+            })
+            .expect("connected deployment");
+        let run = algo2::distributed::run_synchronous(udg.graph());
+        per_node.push(run.report.messages.total() as f64 / n as f64);
+    }
+    // Theorem 12: O(n) messages ⇒ the per-node constant must not grow
+    // appreciably when n quadruples
+    assert!(
+        per_node[1] < per_node[0] * 1.8 + 1.0,
+        "per-node messages grew from {} to {}",
+        per_node[0],
+        per_node[1]
+    );
+}
+
+#[test]
+fn algo2_tolerates_duplicated_messages() {
+    // every Algorithm II transition is idempotent (guarded inserts and
+    // color checks), so duplicated deliveries must not change the MIS
+    // or break validity
+    let udg = UnitDiskGraph::build(deploy::uniform(70, 4.2, 4.2, 6), 1.0);
+    if !traversal::is_connected(udg.graph()) {
+        return;
+    }
+    let reference = algo2::distributed::run_synchronous(udg.graph());
+    for seed in 0..5 {
+        let schedule = Schedule::synchronous()
+            .with_fault_plan(FaultPlan::new(seed).duplicate_probability(0.4));
+        let run = algo2::distributed::run(udg.graph(), schedule);
+        assert_eq!(
+            run.result.wcds.mis_dominators(),
+            reference.result.wcds.mis_dominators(),
+            "seed {seed}: duplication changed the MIS"
+        );
+        assert!(run.result.wcds.is_valid(udg.graph()), "seed {seed}");
+    }
+}
+
+#[test]
+fn election_tolerates_duplicated_messages() {
+    let g = generators::connected_gnp(25, 0.15, 3);
+    for seed in 0..5 {
+        let schedule = Schedule::synchronous()
+            .with_fault_plan(FaultPlan::new(seed).duplicate_probability(0.5));
+        let mut sim = Simulator::new(&g, ElectionNode::new);
+        sim.run(schedule).expect("quiesces");
+        for u in g.nodes() {
+            assert_eq!(sim.node(u).leader(), Some(0), "seed {seed}, node {u}");
+        }
+    }
+}
+
+#[test]
+fn protocols_are_confluent_under_adversarial_round_order() {
+    // descending-id round processing must not change any outcome: the
+    // MIS rule and the election are order-independent (confluent)
+    let g = generators::connected_gnp(40, 0.1, 19);
+    let normal = algo2::distributed::run(&g, Schedule::synchronous());
+    let reversed = algo2::distributed::run(&g, Schedule::synchronous().with_descending_order());
+    assert_eq!(
+        normal.result.wcds.mis_dominators(),
+        reversed.result.wcds.mis_dominators()
+    );
+    assert!(reversed.result.wcds.is_valid(&g));
+
+    let out_n = elect(&g, Schedule::synchronous());
+    let out_r = elect(&g, Schedule::synchronous().with_descending_order());
+    assert_eq!(out_n.leader, out_r.leader);
+    assert!(out_r.tree.spans(&g));
+}
+
+#[test]
+fn algo2_independence_is_a_safety_invariant_not_just_a_postcondition() {
+    // at NO point during the run may two adjacent nodes both be MIS
+    // dominators — checked after every round / every event
+    use wcds::core::algo2::distributed::{Algo2Node, NodeColor};
+
+    let g = generators::connected_gnp(45, 0.1, 13);
+    for schedule in [Schedule::synchronous(), Schedule::asynchronous(3)] {
+        let mut sim = Simulator::new(&g, |_| Algo2Node::new());
+        let g2 = g.clone();
+        sim.run_inspected(schedule, move |time, nodes| {
+            for u in g2.nodes() {
+                if nodes[u].color() != NodeColor::MisDominator {
+                    continue;
+                }
+                for &v in g2.neighbors(u) {
+                    if v > u && nodes[v].color() == NodeColor::MisDominator {
+                        return Err(format!("adjacent dominators {u},{v} at time {time}"));
+                    }
+                }
+            }
+            Ok(())
+        })
+        .expect("independence must hold throughout the run");
+    }
+}
+
+#[test]
+fn election_never_has_two_leaders_at_any_instant() {
+    let g = generators::connected_gnp(30, 0.12, 17);
+    for seed in 0..6 {
+        let mut sim = Simulator::new(&g, ElectionNode::new);
+        sim.run_inspected(Schedule::asynchronous(seed), |time, nodes| {
+            let leaders: Vec<u64> =
+                nodes.iter().filter_map(|n| n.leader()).collect();
+            if leaders.iter().any(|&l| l != 0) {
+                return Err(format!("wrong leader believed at time {time}: {leaders:?}"));
+            }
+            Ok(())
+        })
+        .expect("agreement must hold throughout");
+    }
+}
+
+#[test]
+fn inspector_abort_is_reported() {
+    use wcds::sim::SimError;
+    let g = generators::path(4);
+    let mut sim = Simulator::new(&g, ElectionNode::new);
+    let err = sim
+        .run_inspected(Schedule::synchronous(), |time, _| {
+            if time >= 2 {
+                Err("stop here".into())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+    assert!(matches!(err, SimError::InvariantViolated { time: 2, .. }), "{err:?}");
+}
+
+#[test]
+fn marking_phase_is_exactly_one_message_per_node_at_scale() {
+    let g = generators::connected_gnp(200, 0.025, 9);
+    let run = algo1::distributed::run_synchronous(&g);
+    assert_eq!(run.marking_report.messages.total(), 200);
+    assert_eq!(run.marking_report.messages.max_per_node(), 1);
+    assert_eq!(
+        run.marking_report.messages.of_kind("BLACK") as usize,
+        run.result.wcds.len()
+    );
+    assert_eq!(
+        run.marking_report.messages.of_kind("GRAY") as usize,
+        200 - run.result.wcds.len()
+    );
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: the full pipeline from deployment to
+//! routed packets, exercised through the public facade API only.
+
+use wcds::baselines::{exact, GreedyCds, GreedyWcds, MisTreeCds, WuLiCds};
+use wcds::core::algo1::AlgorithmOne;
+use wcds::core::algo2::AlgorithmTwo;
+use wcds::core::dilation::DilationReport;
+use wcds::core::spanner::SpannerStats;
+use wcds::core::{algo1, algo2, WcdsConstruction};
+use wcds::geom::deploy;
+use wcds::graph::{domination, traversal, UnitDiskGraph};
+use wcds::routing::{BackboneRouter, BroadcastPlan};
+
+fn connected_udg(n: usize, side: f64, seed: u64) -> UnitDiskGraph {
+    for attempt in 0..100 {
+        let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed + attempt), 1.0);
+        if traversal::is_connected(udg.graph()) {
+            return udg;
+        }
+    }
+    panic!("no connected deployment for n = {n}");
+}
+
+#[test]
+fn every_construction_yields_a_valid_wcds_on_the_same_instance() {
+    let udg = connected_udg(150, 6.0, 1);
+    let g = udg.graph();
+    let algos: Vec<Box<dyn WcdsConstruction>> = vec![
+        Box::new(AlgorithmOne::new()),
+        Box::new(AlgorithmTwo::new()),
+        Box::new(GreedyWcds::new()),
+        Box::new(GreedyCds::new()),
+        Box::new(WuLiCds::new()),
+        Box::new(MisTreeCds::new()),
+    ];
+    for algo in &algos {
+        let result = algo.construct(g);
+        assert!(result.wcds.is_valid(g), "{} produced an invalid WCDS", algo.name());
+        assert!(g.contains_subgraph(&result.spanner), "{}'s spanner is not a subgraph", algo.name());
+    }
+}
+
+#[test]
+fn distributed_and_centralized_algorithms_agree_end_to_end() {
+    let udg = connected_udg(80, 4.5, 3);
+    let g = udg.graph();
+
+    let dist2 = algo2::distributed::run_synchronous(g);
+    let cent2 = AlgorithmTwo::new().construct(g);
+    assert_eq!(dist2.result.wcds.mis_dominators(), cent2.wcds.mis_dominators());
+
+    let dist1 = algo1::distributed::run_synchronous(g);
+    let cent1 = AlgorithmOne::with_root(dist1.leader).construct(g);
+    assert_eq!(dist1.result.wcds.nodes(), cent1.wcds.nodes());
+}
+
+#[test]
+fn full_pipeline_deploy_construct_route_broadcast() {
+    let udg = connected_udg(200, 7.0, 5);
+    let g = udg.graph();
+    let result = AlgorithmTwo::new().construct(g);
+    assert!(result.wcds.is_valid(g));
+
+    // sparseness + dilation guarantees
+    let stats = SpannerStats::compute(g, &result.wcds);
+    assert!(stats.satisfies_theorem10_bound());
+    let dil = DilationReport::measure(g, &result.spanner, udg.points());
+    assert!(dil.satisfies_topological_bound());
+    assert!(dil.satisfies_geometric_bound());
+
+    // routing works for sampled pairs and stays on the spanner
+    let router = BackboneRouter::build(g, &result.wcds);
+    for (s, t) in [(0, 199), (17, 133), (44, 90)] {
+        let path = router.route(s, t).expect("connected");
+        assert_eq!(*path.first().unwrap(), s);
+        assert_eq!(*path.last().unwrap(), t);
+        assert!(router.route_uses_spanner(&path));
+    }
+
+    // backbone broadcast covers everyone cheaper than flooding
+    let plan = BroadcastPlan::for_wcds(g, &result.wcds);
+    let out = plan.simulate(g, 0);
+    assert!(out.full_coverage);
+    assert!(out.transmissions < 200);
+}
+
+#[test]
+fn exact_optimum_sandwiches_all_algorithms_on_small_instances() {
+    for seed in 0..5 {
+        let udg = connected_udg(13, 2.4, 100 + seed);
+        let g = udg.graph();
+        let opt = exact::minimum_wcds(g).len();
+        let lb = exact::wcds_lower_bound_udg(g);
+        assert!(lb <= opt);
+        for algo in [
+            &AlgorithmOne::new() as &dyn WcdsConstruction,
+            &AlgorithmTwo::new(),
+            &GreedyWcds::new(),
+        ] {
+            let size = algo.construct(g).wcds.len();
+            assert!(size >= opt, "{} beat the optimum?!", algo.name());
+            assert!(size <= 123 * opt, "{} exceeded every proven bound", algo.name());
+        }
+        // Lemma 7 specifically for Algorithm I
+        let a1 = AlgorithmOne::new().construct(g).wcds.len();
+        assert!(a1 <= 5 * opt, "Lemma 7 violated: {a1} > 5·{opt}");
+    }
+}
+
+#[test]
+fn paper_figure2_reproduced_through_the_facade() {
+    let udg = UnitDiskGraph::build(deploy::figure2(), 1.0);
+    let g = udg.graph();
+    let wcds = wcds::core::Wcds::from_mis(vec![0, 1]);
+    assert!(domination::is_dominating_set(g, wcds.nodes()));
+    assert!(wcds.is_valid(g));
+    assert!(!domination::is_connected_dominating_set(g, wcds.nodes()));
+}
+
+#[test]
+fn graph_io_roundtrips_an_experiment_topology() {
+    let udg = connected_udg(60, 4.0, 9);
+    let text = wcds::graph::io::to_text(udg.graph(), Some(udg.points()));
+    let doc = wcds::graph::io::from_text(&text).expect("roundtrip parses");
+    assert_eq!(&doc.graph, udg.graph());
+    // a WCDS of the original validates on the parsed copy
+    let result = AlgorithmTwo::new().construct(udg.graph());
+    assert!(result.wcds.is_valid(&doc.graph));
+}
+
+#[test]
+fn asynchronous_schedules_preserve_all_guarantees() {
+    let udg = connected_udg(70, 4.2, 11);
+    let g = udg.graph();
+    for seed in 0..6 {
+        let run = algo2::distributed::run_asynchronous(g, seed);
+        assert!(run.result.wcds.is_valid(g), "seed {seed}");
+        let stats = SpannerStats::compute(g, &run.result.wcds);
+        assert!(stats.satisfies_theorem10_bound(), "seed {seed}");
+        let dil = DilationReport::measure(g, &run.result.spanner, udg.points());
+        assert!(dil.satisfies_topological_bound(), "seed {seed}");
+    }
+}

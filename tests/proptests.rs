@@ -1,0 +1,242 @@
+//! Property-based tests over random deployments and random graphs:
+//! every invariant the paper proves, checked under proptest shrinking.
+
+use proptest::prelude::*;
+use wcds::core::algo1::AlgorithmOne;
+use wcds::core::algo2::AlgorithmTwo;
+use wcds::core::mis::{greedy_mis, RankingMode};
+use wcds::core::properties;
+use wcds::core::spanner::SpannerStats;
+use wcds::core::WcdsConstruction;
+use wcds::geom::{deploy, GridIndex, Point};
+use wcds::graph::{domination, generators, traversal, Graph, UnitDiskGraph};
+
+/// Strategy: a random uniform deployment dense enough to usually
+/// connect.
+fn deployment() -> impl Strategy<Value = Vec<Point>> {
+    (20usize..120, 0u64..5000).prop_map(|(n, seed)| {
+        let side = (n as f64 * std::f64::consts::PI / 14.0).sqrt();
+        deploy::uniform(n, side, side, seed)
+    })
+}
+
+/// Strategy: an arbitrary connected abstract graph.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (5usize..60, 0u64..5000, 0u32..20)
+        .prop_map(|(n, seed, p)| generators::connected_gnp(n, p as f64 / 100.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn udg_adjacency_is_symmetric_and_radius_consistent(pts in deployment()) {
+        let udg = UnitDiskGraph::build(pts.clone(), 1.0);
+        let g = udg.graph();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(pts[u].distance(pts[v]) <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_agrees_with_brute_force(pts in deployment(), probe in 0usize..20) {
+        prop_assume!(!pts.is_empty());
+        let probe = probe % pts.len();
+        let idx = GridIndex::build(&pts, 1.0);
+        let mut got = idx.neighbors_within(&pts, pts[probe], 1.0);
+        got.sort_unstable();
+        let want: Vec<usize> =
+            (0..pts.len()).filter(|&i| pts[i].within(pts[probe], 1.0)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn greedy_mis_is_always_maximal_independent(g in connected_graph()) {
+        for mode in [RankingMode::StaticId, RankingMode::DegreeId] {
+            let mis = greedy_mis(&g, mode);
+            prop_assert!(domination::is_maximal_independent_set(&g, &mis));
+        }
+    }
+
+    #[test]
+    fn lemma3_subset_distance_two_or_three(g in connected_graph()) {
+        let mis = greedy_mis(&g, RankingMode::StaticId);
+        prop_assume!(mis.len() >= 2);
+        let d = properties::max_complementary_subset_distance(&g, &mis)
+            .expect("connected graph");
+        prop_assert!((2..=3).contains(&d), "distance {} outside Lemma 3", d);
+    }
+
+    #[test]
+    fn theorem4_level_ranked_mis_distance_exactly_two(g in connected_graph()) {
+        let (_, mis) = AlgorithmOne::new().construct_detailed(&g);
+        prop_assume!(mis.len() >= 2);
+        let d = properties::max_complementary_subset_distance(&g, &mis)
+            .expect("connected graph");
+        prop_assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn both_algorithms_always_produce_valid_wcds(g in connected_graph()) {
+        let r1 = AlgorithmOne::new().construct(&g);
+        prop_assert!(r1.wcds.is_valid(&g));
+        let r2 = AlgorithmTwo::new().construct(&g);
+        prop_assert!(r2.wcds.is_valid(&g));
+        // Algorithm II's bridged set closes every gap to ≤ 2 hops
+        if r2.wcds.len() >= 2 {
+            let d = properties::max_complementary_subset_distance(&g, r2.wcds.nodes())
+                .expect("connected graph");
+            prop_assert!(d <= 2);
+        }
+    }
+
+    #[test]
+    fn lemma1_and_lemma2_on_random_udgs(pts in deployment()) {
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        let g = udg.graph();
+        let mis = greedy_mis(g, RankingMode::StaticId);
+        prop_assert!(properties::max_mis_neighbors(g, &mis) <= 5);
+        let (m2, m3) = properties::lemma2_maxima(g, &mis);
+        prop_assert!(m2 <= 23);
+        prop_assert!(m3 <= 47);
+    }
+
+    #[test]
+    fn spanner_bounds_on_random_udgs(pts in deployment()) {
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        let g = udg.graph();
+        prop_assume!(traversal::is_connected(g));
+        let r1 = AlgorithmOne::new().construct(g);
+        prop_assert!(SpannerStats::compute(g, &r1.wcds).satisfies_theorem8_bound());
+        let r2 = AlgorithmTwo::new().construct(g);
+        prop_assert!(SpannerStats::compute(g, &r2.wcds).satisfies_theorem10_bound());
+    }
+
+    #[test]
+    fn weakly_induced_subgraph_laws(g in connected_graph(), mask in 0u64..u64::MAX) {
+        // pick an arbitrary subset via the mask bits
+        let s: Vec<usize> = g.nodes().filter(|&u| mask >> (u % 64) & 1 == 1).collect();
+        let w = g.weakly_induced(&s);
+        // 1. it is a subgraph
+        prop_assert!(g.contains_subgraph(&w));
+        // 2. every kept edge touches the set
+        let member = g.membership(&s);
+        for e in w.edges() {
+            let (a, b) = e.endpoints();
+            prop_assert!(member[a] || member[b]);
+        }
+        // 3. every dropped edge touches no member
+        for e in g.edges() {
+            let (a, b) = e.endpoints();
+            if !w.has_edge(a, b) {
+                prop_assert!(!member[a] && !member[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in connected_graph()) {
+        let d = traversal::bfs_distances(&g, 0);
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                let du = d[u].expect("connected");
+                let dv = d[v].expect("connected");
+                prop_assert!(du.abs_diff(dv) <= 1, "BFS layers differ by >1 across an edge");
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_tree_levels_match_bfs(g in connected_graph(), root in 0usize..60) {
+        let root = root % g.node_count();
+        let tree = wcds::graph::spanning::SpanningTree::bfs(&g, root).expect("connected");
+        let d = traversal::bfs_distances(&g, root);
+        for u in g.nodes() {
+            prop_assert_eq!(Some(tree.level(u)), d[u]);
+        }
+        prop_assert!(tree.spans(&g));
+    }
+
+    #[test]
+    fn graph_io_roundtrip(g in connected_graph()) {
+        let doc = wcds::graph::io::from_text(&wcds::graph::io::to_text(&g, None))
+            .expect("roundtrip");
+        prop_assert_eq!(doc.graph, g);
+    }
+
+    #[test]
+    fn proximity_spanners_nest_and_preserve_connectivity(pts in deployment()) {
+        use wcds::baselines::proximity::{gabriel_graph, relative_neighborhood_graph};
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        let rng = relative_neighborhood_graph(&udg);
+        let gabriel = gabriel_graph(&udg);
+        prop_assert!(udg.graph().contains_subgraph(&gabriel));
+        prop_assert!(gabriel.contains_subgraph(&rng));
+        // RNG preserves connectivity component-wise: same components
+        prop_assert_eq!(
+            traversal::connected_components(udg.graph()),
+            traversal::connected_components(&rng)
+        );
+    }
+
+    #[test]
+    fn distributed_maintenance_survives_one_random_move(
+        pts in deployment(),
+        victim in 0usize..120,
+        dx in -0.5f64..0.5,
+        dy in -0.5f64..0.5,
+    ) {
+        use wcds::core::maintenance::distributed::DynamicBackbone;
+        let victim = victim % pts.len();
+        let mut net = DynamicBackbone::new(pts, 1.0);
+        prop_assert!(net.mis_is_valid());
+        let old = net.points()[victim];
+        let target = Point::new((old.x + dx).max(0.0), (old.y + dy).max(0.0));
+        net.apply_motion(&[(victim, target)]);
+        prop_assert!(net.mis_is_valid(), "repair left an invalid MIS");
+    }
+
+    #[test]
+    fn pruned_wcds_is_valid_and_minimal(g in connected_graph()) {
+        use wcds::core::postprocess::{is_minimal, prune, PruneOrder};
+        let raw = AlgorithmTwo::new().construct(&g).wcds;
+        let pruned = prune(&g, &raw, PruneOrder::DescendingId);
+        prop_assert!(pruned.is_valid(&g));
+        prop_assert!(pruned.len() <= raw.len());
+        prop_assert!(is_minimal(&g, &pruned));
+    }
+
+    #[test]
+    fn articulation_points_match_removal_check(g in connected_graph()) {
+        use wcds::graph::connectivity;
+        let cuts = connectivity::articulation_points(&g);
+        for u in g.nodes() {
+            prop_assert_eq!(
+                cuts.contains(&u),
+                !connectivity::survives_node_removal(&g, u),
+                "disagreement at node {}", u
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_stats_edge_classes_account_for_everything(pts in deployment()) {
+        let udg = UnitDiskGraph::build(pts, 1.0);
+        prop_assume!(traversal::is_connected(udg.graph()));
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let s = SpannerStats::compute(udg.graph(), &result.wcds);
+        prop_assert_eq!(
+            s.gray_mis_edges
+                + s.mis_additional_edges
+                + s.gray_additional_edges
+                + s.additional_additional_edges
+                + s.mis_mis_edges,
+            s.spanner_edges
+        );
+        prop_assert_eq!(s.mis_mis_edges, 0);
+        prop_assert_eq!(s.nodes - s.gray_nodes, result.wcds.len());
+    }
+}

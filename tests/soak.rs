@@ -1,0 +1,95 @@
+//! Large-scale soak tests — `#[ignore]`d by default; run with
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+//!
+//! These push the substrates well past the sizes the regular suite
+//! uses, to catch quadratic blowups and stack issues before a user
+//! does.
+
+use wcds::core::algo2;
+use wcds::core::spanner::SpannerStats;
+use wcds::core::WcdsConstruction;
+use wcds::geom::deploy;
+use wcds::graph::{traversal, UnitDiskGraph};
+
+fn big_udg(n: usize, avg_degree: f64, seed: u64) -> UnitDiskGraph {
+    let side = (n as f64 * std::f64::consts::PI / avg_degree).sqrt();
+    for attempt in 0..50 {
+        let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed + attempt), 1.0);
+        if traversal::is_connected(udg.graph()) {
+            return udg;
+        }
+    }
+    panic!("no connected deployment at n = {n}");
+}
+
+#[test]
+#[ignore = "soak: ~10s in release"]
+fn distributed_algo2_at_10k_nodes() {
+    let udg = big_udg(10_000, 12.0, 1);
+    let run = algo2::distributed::run_synchronous(udg.graph());
+    assert!(run.result.wcds.is_valid(udg.graph()));
+    let per_node = run.report.messages.total() as f64 / 10_000.0;
+    assert!(per_node < 12.0, "messages per node {per_node} at 10k");
+    let stats = SpannerStats::compute(udg.graph(), &run.result.wcds);
+    assert!(stats.satisfies_theorem10_bound());
+}
+
+#[test]
+#[ignore = "soak: centralized constructions at 50k nodes"]
+fn centralized_constructions_at_50k_nodes() {
+    use wcds::core::algo1::AlgorithmOne;
+    use wcds::core::algo2::AlgorithmTwo;
+    let udg = big_udg(50_000, 10.0, 2);
+    let r1 = AlgorithmOne::new().construct(udg.graph());
+    assert!(r1.wcds.is_valid(udg.graph()));
+    let r2 = AlgorithmTwo::new().construct(udg.graph());
+    assert!(r2.wcds.is_valid(udg.graph()));
+    // spanner stays linear at scale
+    let stats = SpannerStats::compute(udg.graph(), &r2.wcds);
+    assert!(stats.edges_per_node() < 6.0);
+}
+
+#[test]
+#[ignore = "soak: election on a 20k-node network"]
+fn election_at_20k_nodes() {
+    use wcds::core::election::elect;
+    use wcds::sim::Schedule;
+    let udg = big_udg(20_000, 10.0, 3);
+    let out = elect(udg.graph(), Schedule::synchronous());
+    assert_eq!(out.leader, 0);
+    assert!(out.tree.spans(udg.graph()));
+    // the O(n log n) claim with a generous constant
+    let budget = 16.0 * 20_000.0 * (20_000.0f64).log2();
+    assert!((out.report.messages.total() as f64) < budget);
+}
+
+#[test]
+#[ignore = "soak: the entire evaluation harness end-to-end at quick scale"]
+fn full_evaluation_harness_smoke() {
+    let tables = wcds_bench::experiments::run_all(wcds_bench::util::Scale::Quick);
+    assert!(tables.len() >= 20, "expected every experiment section, got {}", tables.len());
+    for t in &tables {
+        assert!(!t.rows.is_empty(), "empty table: {}", t.title);
+        // every table renders
+        assert!(!format!("{t}").is_empty());
+    }
+}
+
+#[test]
+#[ignore = "soak: mobility trace over 200 steps"]
+fn long_mobility_trace_stays_valid() {
+    use wcds::core::maintenance::distributed::DynamicBackbone;
+    use wcds::geom::{BoundingBox, Point};
+    let side = 10.0;
+    let region = BoundingBox::with_size(side, side);
+    let mut net = DynamicBackbone::new(deploy::uniform(800, side, side, 4), 1.0);
+    for step in 0..200u64 {
+        let moved = deploy::perturb(net.points(), region, 0.08, 9000 + step);
+        let moves: Vec<(usize, Point)> = moved.iter().copied().enumerate().collect();
+        net.apply_motion(&moves);
+        assert!(net.mis_is_valid(), "step {step}");
+    }
+}
