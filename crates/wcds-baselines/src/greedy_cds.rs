@@ -60,7 +60,7 @@ impl WcdsConstruction for GreedyCds {
                 color[v] = C::Gray;
             }
             // grow: blacken the gray node with the most white neighbors
-            while color.iter().any(|&c| c == C::White) {
+            while color.contains(&C::White) {
                 let pick = g
                     .nodes()
                     .filter(|&u| color[u] == C::Gray)

@@ -162,21 +162,27 @@ mod tests {
 
     #[test]
     fn cds_is_larger_than_wcds_on_average() {
-        // |MWCDS| ≤ |MCDS|: the WCDS relaxations should generally win
+        // |MWCDS| ≤ |MCDS|: weak connectivity is a relaxation, so the
+        // *minimal* WCDS (Algorithm II + pruning) must generally beat the
+        // CDS heuristic. Raw Algorithm II output carries redundant
+        // connectors and can run a few percent larger than the CDS — the
+        // relaxation's advantage shows once minimality is restored.
         use wcds_core::algo2::AlgorithmTwo;
+        use wcds_core::postprocess::{prune, PruneOrder};
         let mut cds_total = 0usize;
         let mut wcds_total = 0usize;
-        for seed in 0..5 {
+        for seed in 0..10 {
             let udg = UnitDiskGraph::build(deploy::uniform(150, 7.0, 7.0, seed), 1.0);
             if !traversal::is_connected(udg.graph()) {
                 continue;
             }
             cds_total += MisTreeCds::new().construct(udg.graph()).wcds.len();
-            wcds_total += AlgorithmTwo::new().construct(udg.graph()).wcds.len();
+            let raw = AlgorithmTwo::new().construct(udg.graph()).wcds;
+            wcds_total += prune(udg.graph(), &raw, PruneOrder::DescendingId).len();
         }
         assert!(
-            wcds_total <= cds_total + 5,
-            "WCDS total {wcds_total} should not exceed CDS total {cds_total} by much"
+            wcds_total <= cds_total,
+            "minimal WCDS total {wcds_total} should not exceed CDS total {cds_total}"
         );
     }
 

@@ -1,0 +1,74 @@
+//! Graph-construction benchmark → `BENCH_construction.json`.
+//!
+//! Fixed-seed instances; each engine is cross-checked against its
+//! pre-CSR baseline for equality before the timing is recorded. Pass
+//! `--quick` for the CI smoke size.
+
+use wcds_bench::perf::{
+    legacy_flat_edges, legacy_torus_edges, time_ms, write_bench_json, BenchRow,
+};
+use wcds_bench::util::{side_for_avg_degree, Scale};
+use wcds_geom::deploy;
+use wcds_graph::{GraphBuilder, UnitDiskGraph};
+
+const SEED: u64 = 42;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: &[usize] = scale.pick(&[300][..], &[500, 1000, 2000][..]);
+    let mut rows = Vec::new();
+    let mut checks = Vec::new();
+
+    for &n in sizes {
+        let side = side_for_avg_degree(n, 11.0);
+        let pts = deploy::uniform(n, side, side, SEED);
+
+        let (grid_ms, udg) = time_ms(|| UnitDiskGraph::build(pts.clone(), 1.0));
+        let m = udg.graph().edge_count();
+        rows.push(BenchRow::new("udg_grid_build", n, m, 1, grid_ms, m));
+
+        let (naive_ms, naive) = time_ms(|| legacy_flat_edges(&pts, 1.0));
+        assert_eq!(*udg.graph(), naive, "grid UDG diverged from naive at n={n}");
+        rows.push(BenchRow::new("udg_naive_build", n, m, 1, naive_ms, m));
+
+        let (torus_ms, torus) =
+            time_ms(|| UnitDiskGraph::build_torus(pts.clone(), 1.0, side, side));
+        let mt = torus.graph().edge_count();
+        rows.push(BenchRow::new("torus_grid_build", n, mt, 1, torus_ms, mt));
+
+        let (torus_naive_ms, torus_naive) =
+            time_ms(|| legacy_torus_edges(&pts, 1.0, side, side));
+        assert_eq!(*torus.graph(), torus_naive, "grid torus diverged from naive at n={n}");
+        rows.push(BenchRow::new("torus_naive_build", n, mt, 1, torus_naive_ms, mt));
+
+        // CSR assembly alone (edge list already known): the counting +
+        // prefix-sum + fill passes of GraphBuilder::build
+        let edges: Vec<_> = udg.graph().edges().iter().map(|e| e.endpoints()).collect();
+        let (csr_ms, rebuilt) = time_ms(|| {
+            let mut b = GraphBuilder::new(n);
+            for &(u, v) in &edges {
+                b.add_edge(u, v);
+            }
+            b.build()
+        });
+        assert_eq!(rebuilt, *udg.graph(), "CSR rebuild diverged at n={n}");
+        rows.push(BenchRow::new("csr_assemble", n, m, 1, csr_ms, m));
+
+        if n == *sizes.last().expect("non-empty sizes") {
+            checks.push((
+                "torus_speedup_vs_naive".to_string(),
+                format!("{:.2}", torus_naive_ms / torus_ms.max(1e-9)),
+            ));
+        }
+    }
+    checks.push(("engines_agree".to_string(), "true".to_string()));
+
+    write_bench_json("BENCH_construction.json", "construction", &rows, &checks);
+    for r in &rows {
+        println!(
+            "{:<20} n={:<5} m={:<6} {:>9.2} ms  {:>12.0} edges/s",
+            r.name, r.n, r.edges, r.wall_ms, r.throughput
+        );
+    }
+    println!("wrote BENCH_construction.json");
+}

@@ -16,4 +16,5 @@
 //! paper-scale sweeps.
 
 pub mod experiments;
+pub mod perf;
 pub mod util;

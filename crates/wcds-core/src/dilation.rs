@@ -14,8 +14,14 @@
 //! non-adjacent connected pairs (an `O(n·(n+|E|))` sweep of BFS /
 //! Dijkstra / shortest-path-DAG passes), plus the affine-bound checks
 //! with their worst witnesses.
+//!
+//! The sweep is per-source parallel (the `rayon` feature; see
+//! [`wcds_graph::parallel`]): each source yields an independent partial
+//! over its pairs, and the partials are folded **serially in source
+//! order** with the same strict-improvement comparisons a serial scan
+//! performs — so the report is byte-identical whatever the thread count.
 
-use wcds_graph::{shortest_path, traversal, Graph, NodeId};
+use wcds_graph::{parallel, CsrWeights, Graph, NodeId, SearchScratch};
 use wcds_geom::Point;
 
 /// Worst-case pair evidence for one dilation metric.
@@ -31,8 +37,153 @@ pub struct WorstPair {
     pub in_spanner: f64,
 }
 
+/// Per-source accumulator of one `measure` worker (pairs `(u, v > u)`
+/// for a single `u`).
+#[derive(Debug, Clone, Default)]
+struct SourcePartial {
+    topological: Option<WorstPair>,
+    geometric: Option<WorstPair>,
+    topo_slack: Option<f64>,
+    geo_slack: Option<f64>,
+    /// First `(u, v)` the spanner disconnects while `G` connects it —
+    /// reported by panic from the fold, on the caller's thread.
+    disconnected: Option<(NodeId, NodeId)>,
+}
+
+/// Sources measured exactly (full Dijkstra, no filtering) before the
+/// sweep, to seed [`GeoThresholds`] with achieved values.
+const GEO_PREPASS_SOURCES: usize = 8;
+
+/// Relative margin for the squared filter comparisons: a pair is only
+/// skipped when its bound holds with this much room, so float rounding
+/// in the squared test can never skip a pair whose real ratio/slack
+/// ties or beats the current extreme.
+const GEO_FILTER_MARGIN: f64 = 1e-6;
+
+/// Certified lower bound on the final worst geometric ratio and upper
+/// bound on the final worst geometric slack — values some earlier pair
+/// *achieved*, so the true extremes are at least this extreme.
+///
+/// They license skipping `ℓ_G(u, v)` for pairs that provably cannot
+/// improve either metric. Two facts make cheap per-pair bounds
+/// available *before* running Dijkstra in `G`:
+///
+/// * `ℓ_G(u, v) ≥ |uv|` — every `G`-path is at least the straight-line
+///   distance (triangle inequality);
+/// * `ℓ_G(u, v) ≤ ℓ_{G'}(u, v)` — `G' ⊆ G`, so the spanner's min-hop
+///   path is also a `G`-path, and the minimum over all `G`-paths can
+///   only be shorter.
+///
+/// Hence `ℓ'/ℓ_G ≤ ℓ'/|uv|`: if even that overestimate is strictly
+/// below the achieved ratio, the pair cannot set a new maximum. And
+/// `6ℓ_G + 5 − ℓ' ≥ 6|uv| + 5 − ℓ'`: if that underestimate is strictly
+/// above the achieved slack, the pair cannot set a new minimum. Both
+/// tests compare squares (no per-pair sqrt) with [`GEO_FILTER_MARGIN`]
+/// slop, so a skip implies the *strict* real inequality. Skipped pairs
+/// therefore change neither the extreme values nor their first-achiever
+/// witnesses, keeping the filtered report byte-identical to the
+/// unfiltered one. The thresholds are fixed before the parallel sweep
+/// starts, so the skip set is deterministic and thread-count
+/// independent.
+#[derive(Debug, Clone, Copy, Default)]
+struct GeoThresholds {
+    /// An achieved `ℓ'/ℓ_G` ratio (`None` until any pair qualifies).
+    ratio: Option<f64>,
+    /// An achieved `6ℓ_G + 5 − ℓ'` slack.
+    slack: Option<f64>,
+}
+
+/// One source's share of [`DilationReport::measure`]: hop metrics for
+/// all pairs `(u, v > u)`, geometric metrics via a radius-bounded
+/// Dijkstra restricted to the pairs [`GeoThresholds`] cannot rule out.
+///
+/// `needed` is caller-owned scratch (cleared here) listing `(v, ℓ')`
+/// for the surviving pairs.
+#[allow(clippy::too_many_arguments)] // private kernel; bundling into a struct would just rename the list
+fn measure_source(
+    g: &Graph,
+    spanner: &Graph,
+    points: &[Point],
+    len_g: &CsrWeights,
+    len_s: &CsrWeights,
+    sg: &mut SearchScratch,
+    ss: &mut SearchScratch,
+    needed: &mut Vec<(NodeId, f64)>,
+    u: NodeId,
+    thr: GeoThresholds,
+) -> SourcePartial {
+    let n = g.node_count();
+    // sg: hops + geometric lengths in G; ss: min-hop max lengths (and
+    // spanner hops) in G'. Only pairs (u, v>u) are consumed, so the hop
+    // sweeps stop once ids ≥ u are final.
+    sg.bfs_covering(g, u, u);
+    ss.min_hop_max_length_covering(spanner, len_s, u, u);
+
+    let mut p = SourcePartial::default();
+    needed.clear();
+    let mut radius = 0.0f64;
+    // ratio test `ℓ'² < t²·|uv|²·(1 − margin)` with the threshold square
+    // hoisted out of the pair loop.
+    let ratio_tt = thr.ratio.map(|t| t * t * (1.0 - GEO_FILTER_MARGIN));
+    for v in (u + 1)..n {
+        let Some(hg) = sg.hop(v) else { continue };
+        if hg <= 1 {
+            continue; // adjacent or identical: dilation undefined
+        }
+        let Some(hs) = ss.hop(v) else {
+            // record, don't panic: worker panics lose their message
+            // crossing the thread::scope join
+            if p.disconnected.is_none() {
+                p.disconnected = Some((u, v));
+            }
+            continue;
+        };
+        let ls = ss.len_of(v).expect("hop-connected in spanner");
+
+        let topo_ratio = hs as f64 / hg as f64;
+        if p.topological.is_none_or(|w| topo_ratio > w.in_spanner / w.in_graph) {
+            p.topological = Some(WorstPair { u, v, in_graph: hg as f64, in_spanner: hs as f64 });
+        }
+        let slack_t = (3 * hg + 2) as f64 - hs as f64;
+        if p.topo_slack.is_none_or(|s| slack_t < s) {
+            p.topo_slack = Some(slack_t);
+        }
+
+        // Can this pair move either geometric extreme? `d2 = |uv|²`;
+        // skip only when both metrics are strictly safe.
+        let d2 = points[u].distance_squared(points[v]);
+        let ratio_safe = ratio_tt.is_some_and(|tt| ls * ls < tt * d2);
+        let slack_safe = thr.slack.is_some_and(|t| {
+            // slack ≥ 6|uv| + 5 − ℓ' > t  ⟺  |uv| > q := (t − 5 + ℓ')/6
+            let q = (t - 5.0 + ls) / 6.0;
+            q < 0.0 || d2 > q * q * (1.0 + GEO_FILTER_MARGIN)
+        });
+        if !(ratio_safe && slack_safe) {
+            needed.push((v, ls));
+            // ℓ_G ≤ ℓ', so every needed distance is final within ℓ'.
+            if ls > radius {
+                radius = ls;
+            }
+        }
+    }
+
+    sg.dijkstra_weighted_radius(g, len_g, u, radius);
+    for &(v, ls) in needed.iter() {
+        let lg = sg.len_of(v).expect("hop-connected implies length-connected");
+        let geo_ratio = ls / lg;
+        if p.geometric.is_none_or(|w| geo_ratio > w.in_spanner / w.in_graph) {
+            p.geometric = Some(WorstPair { u, v, in_graph: lg, in_spanner: ls });
+        }
+        let slack_g = 6.0 * lg + 5.0 - ls;
+        if p.geo_slack.is_none_or(|s| slack_g < s) {
+            p.geo_slack = Some(slack_g);
+        }
+    }
+    p
+}
+
 /// Dilation measurements of a spanner against its base graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DilationReport {
     /// Maximum of `h'(u,v) / h(u,v)` over non-adjacent pairs, with its
     /// witness. `None` when no non-adjacent pair exists.
@@ -61,47 +212,108 @@ impl DilationReport {
     /// length, or the spanner disconnects a pair `g` connects (a spanner
     /// must preserve connectivity).
     pub fn measure(g: &Graph, spanner: &Graph, points: &[Point]) -> Self {
+        Self::measure_with_threads(g, spanner, points, parallel::threads())
+    }
+
+    /// [`DilationReport::measure`] with an explicit worker count.
+    ///
+    /// Exposed so determinism can be tested without feature flags: the
+    /// report is identical for every `nthreads`, because per-source
+    /// partials are folded serially in source order.
+    pub fn measure_with_threads(
+        g: &Graph,
+        spanner: &Graph,
+        points: &[Point],
+        nthreads: usize,
+    ) -> Self {
         assert_eq!(g.node_count(), spanner.node_count(), "node count mismatch");
         assert_eq!(points.len(), g.node_count(), "one point per node required");
         let n = g.node_count();
+        // Shared per-graph precomputation, read-only across workers:
+        // edge lengths aligned to CSR slots, so the relaxation loops
+        // run without sqrt or point loads.
+        let len_g = CsrWeights::euclidean(g, points);
+        let len_s = CsrWeights::euclidean(spanner, points);
+
+        // Exact pre-pass: the first few sources run unfiltered, and the
+        // worst ratio/slack they achieve become certified thresholds
+        // for every later source (see [`GeoThresholds`]). Its partials
+        // join the fold like any other source's.
+        let prepass = n.min(GEO_PREPASS_SOURCES);
+        let mut thr = GeoThresholds::default();
+        let mut partials = Vec::with_capacity(n);
+        {
+            let mut sg = SearchScratch::new(n);
+            let mut ss = SearchScratch::new(n);
+            let mut needed = Vec::new();
+            for u in 0..prepass {
+                let p = measure_source(
+                    g,
+                    spanner,
+                    points,
+                    &len_g,
+                    &len_s,
+                    &mut sg,
+                    &mut ss,
+                    &mut needed,
+                    u,
+                    GeoThresholds::default(),
+                );
+                if let Some(w) = p.geometric {
+                    let r = w.in_spanner / w.in_graph;
+                    if thr.ratio.is_none_or(|t| r > t) {
+                        thr.ratio = Some(r);
+                    }
+                }
+                if let Some(s) = p.geo_slack {
+                    if thr.slack.is_none_or(|t| s < t) {
+                        thr.slack = Some(s);
+                    }
+                }
+                partials.push(p);
+            }
+        }
+
+        partials.extend(parallel::map_indices(
+            nthreads,
+            n - prepass,
+            || (SearchScratch::new(n), SearchScratch::new(n), Vec::new()),
+            |(sg, ss, needed), i| {
+                measure_source(g, spanner, points, &len_g, &len_s, sg, ss, needed, prepass + i, thr)
+            },
+        ));
+
+        // Serial fold in source order: replicates exactly the decisions a
+        // single-threaded u-then-v scan would make (strict improvement
+        // only), so parallel and serial reports are byte-identical.
         let mut topological: Option<WorstPair> = None;
         let mut geometric: Option<WorstPair> = None;
         let mut topo_slack: Option<f64> = None;
         let mut geo_slack: Option<f64> = None;
-
-        for u in 0..n {
-            let h_g = traversal::bfs_distances(g, u);
-            let h_s = traversal::bfs_distances(spanner, u);
-            let l_g = shortest_path::geometric_distances(g, points, u);
-            let l_s = shortest_path::min_hop_max_length(spanner, points, u);
-            for v in (u + 1)..n {
-                let Some(hg) = h_g[v] else { continue };
-                if hg <= 1 {
-                    continue; // adjacent or identical: dilation undefined
+        for p in partials {
+            if let Some((u, v)) = p.disconnected {
+                panic!("spanner disconnects pair ({u}, {v}) that G connects");
+            }
+            if let Some(w) = p.topological {
+                let r = w.in_spanner / w.in_graph;
+                if topological.is_none_or(|b| r > b.in_spanner / b.in_graph) {
+                    topological = Some(w);
                 }
-                let hs = h_s[v].unwrap_or_else(|| {
-                    panic!("spanner disconnects pair ({u}, {v}) that G connects")
-                });
-                let lg = l_g[v].expect("hop-connected implies length-connected");
-                let ls = l_s[v].expect("hop-connected in spanner");
-
-                let topo_ratio = hs as f64 / hg as f64;
-                if topological.is_none_or(|w| topo_ratio > w.in_spanner / w.in_graph) {
-                    topological =
-                        Some(WorstPair { u, v, in_graph: hg as f64, in_spanner: hs as f64 });
+            }
+            if let Some(s) = p.topo_slack {
+                if topo_slack.is_none_or(|b| s < b) {
+                    topo_slack = Some(s);
                 }
-                let slack_t = (3 * hg + 2) as f64 - hs as f64;
-                if topo_slack.is_none_or(|s| slack_t < s) {
-                    topo_slack = Some(slack_t);
+            }
+            if let Some(w) = p.geometric {
+                let r = w.in_spanner / w.in_graph;
+                if geometric.is_none_or(|b| r > b.in_spanner / b.in_graph) {
+                    geometric = Some(w);
                 }
-
-                let geo_ratio = ls / lg;
-                if geometric.is_none_or(|w| geo_ratio > w.in_spanner / w.in_graph) {
-                    geometric = Some(WorstPair { u, v, in_graph: lg, in_spanner: ls });
-                }
-                let slack_g = 6.0 * lg + 5.0 - ls;
-                if geo_slack.is_none_or(|s| slack_g < s) {
-                    geo_slack = Some(slack_g);
+            }
+            if let Some(s) = p.geo_slack {
+                if geo_slack.is_none_or(|b| s < b) {
+                    geo_slack = Some(s);
                 }
             }
         }
@@ -123,13 +335,13 @@ impl DilationReport {
     /// Whether Theorem 11's affine bound `h' ≤ 3h + 2` held for every
     /// measured pair.
     pub fn satisfies_topological_bound(&self) -> bool {
-        self.topo_bound_slack.map_or(true, |s| s >= 0.0)
+        self.topo_bound_slack.is_none_or(|s| s >= 0.0)
     }
 
     /// Whether Theorem 11's affine bound `ℓ' ≤ 6ℓ + 5` held for every
     /// measured pair.
     pub fn satisfies_geometric_bound(&self) -> bool {
-        self.geo_bound_slack.map_or(true, |s| s >= -1e-9)
+        self.geo_bound_slack.is_none_or(|s| s >= -1e-9)
     }
 }
 
@@ -146,24 +358,37 @@ pub fn lemma6_worst_slack(
     beta: f64,
 ) -> Option<f64> {
     let n = g.node_count();
-    let mut worst: Option<f64> = None;
-    for u in 0..n {
-        let h_g = traversal::bfs_distances(g, u);
-        let l_g = shortest_path::geometric_distances(g, points, u);
-        let l_s = shortest_path::min_hop_max_length(spanner, points, u);
-        for v in (u + 1)..n {
-            let Some(hg) = h_g[v] else { continue };
-            if hg <= 1 {
-                continue;
+    let len_g = CsrWeights::euclidean(g, points);
+    let len_s = CsrWeights::euclidean(spanner, points);
+    let partials = parallel::map_indices(
+        parallel::threads(),
+        n,
+        || (SearchScratch::new(n), SearchScratch::new(n)),
+        |(sg, ss), u| {
+            sg.bfs_covering(g, u, u);
+            sg.dijkstra_weighted(g, &len_g, u);
+            ss.min_hop_max_length_covering(spanner, &len_s, u, u);
+            let mut worst: Option<f64> = None;
+            for v in (u + 1)..n {
+                let Some(hg) = sg.hop(v) else { continue };
+                if hg <= 1 {
+                    continue;
+                }
+                let (Some(lg), Some(ls)) = (sg.len_of(v), ss.len_of(v)) else { continue };
+                let excess = ls - (2.0 * alpha * lg + 2.0 * alpha + beta);
+                if worst.is_none_or(|w| excess > w) {
+                    worst = Some(excess);
+                }
             }
-            let (Some(lg), Some(ls)) = (l_g[v], l_s[v]) else { continue };
-            let excess = ls - (2.0 * alpha * lg + 2.0 * alpha + beta);
-            if worst.is_none_or(|w| excess > w) {
-                worst = Some(excess);
-            }
-        }
-    }
-    worst
+            worst
+        },
+    );
+    partials
+        .into_iter()
+        .flatten()
+        .fold(None, |acc: Option<f64>, e| {
+            Some(acc.map_or(e, |w| if e > w { e } else { w }))
+        })
 }
 
 #[cfg(test)]
@@ -172,7 +397,7 @@ mod tests {
     use crate::algo2::AlgorithmTwo;
     use crate::WcdsConstruction;
     use wcds_geom::deploy;
-    use wcds_graph::UnitDiskGraph;
+    use wcds_graph::{traversal, UnitDiskGraph};
 
     fn connected_udg(n: usize, side: f64, seed: u64) -> Option<UnitDiskGraph> {
         let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed), 1.0);
@@ -212,6 +437,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_never_changes_the_report() {
+        let Some(udg) = connected_udg(100, 5.0, 5) else { return };
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let serial =
+            DilationReport::measure_with_threads(udg.graph(), &result.spanner, udg.points(), 1);
+        for nthreads in [2, 3, 7, 100] {
+            let par = DilationReport::measure_with_threads(
+                udg.graph(),
+                &result.spanner,
+                udg.points(),
+                nthreads,
+            );
+            // bitwise equality, witnesses included — not approximate
+            assert_eq!(par, serial, "nthreads {nthreads}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "disconnects")]
     fn disconnected_spanner_panics() {
         let udg = UnitDiskGraph::build(deploy::chain(4, 0.9), 1.0);
@@ -228,6 +471,77 @@ mod tests {
         let r = DilationReport::measure(udg.graph(), udg.graph(), udg.points());
         assert!(r.topological.is_none());
         assert!(r.satisfies_topological_bound());
+    }
+
+    /// Unfiltered reference implementation: one-shot public searches per
+    /// source, no thresholds, no radius bound, no covering early-outs.
+    fn measure_reference(g: &Graph, spanner: &Graph, points: &[Point]) -> DilationReport {
+        use wcds_graph::shortest_path;
+        let n = g.node_count();
+        let mut topological: Option<WorstPair> = None;
+        let mut geometric: Option<WorstPair> = None;
+        let mut topo_slack: Option<f64> = None;
+        let mut geo_slack: Option<f64> = None;
+        for u in 0..n {
+            let hg_all = traversal::bfs_distances(g, u);
+            let hs_all = traversal::bfs_distances(spanner, u);
+            let lg_all = shortest_path::geometric_distances(g, points, u);
+            let ls_all = shortest_path::min_hop_max_length(spanner, points, u);
+            for v in (u + 1)..n {
+                let Some(hg) = hg_all[v] else { continue };
+                if hg <= 1 {
+                    continue;
+                }
+                let hs = hs_all[v].expect("spanner preserves connectivity");
+                let (lg, ls) = (lg_all[v].unwrap(), ls_all[v].unwrap());
+                let tr = hs as f64 / hg as f64;
+                if topological.is_none_or(|w| tr > w.in_spanner / w.in_graph) {
+                    topological =
+                        Some(WorstPair { u, v, in_graph: hg as f64, in_spanner: hs as f64 });
+                }
+                let st = (3 * hg + 2) as f64 - hs as f64;
+                if topo_slack.is_none_or(|s| st < s) {
+                    topo_slack = Some(st);
+                }
+                let gr = ls / lg;
+                if geometric.is_none_or(|w| gr > w.in_spanner / w.in_graph) {
+                    geometric = Some(WorstPair { u, v, in_graph: lg, in_spanner: ls });
+                }
+                let sg = 6.0 * lg + 5.0 - ls;
+                if geo_slack.is_none_or(|s| sg < s) {
+                    geo_slack = Some(sg);
+                }
+            }
+        }
+        DilationReport {
+            topological,
+            geometric,
+            topo_bound_slack: topo_slack,
+            geo_bound_slack: geo_slack,
+        }
+    }
+
+    #[test]
+    fn filtered_engine_matches_unfiltered_reference() {
+        // the threshold filter + radius-bounded Dijkstra must reproduce
+        // the naive sweep bit-for-bit, witnesses included — across
+        // instances large enough to exercise the prepass thresholds
+        for (n, side, seed) in [(150, 7.0, 1), (200, 8.0, 4), (250, 9.0, 11), (180, 7.5, 23)] {
+            let Some(udg) = connected_udg(n, side, seed) else { continue };
+            let result = AlgorithmTwo::new().construct(udg.graph());
+            let fast = DilationReport::measure(udg.graph(), &result.spanner, udg.points());
+            let want = measure_reference(udg.graph(), &result.spanner, udg.points());
+            assert_eq!(fast, want, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn filtered_engine_matches_reference_on_identity_spanner() {
+        // ratio-1 everywhere: thresholds are tight, maximal skipping
+        let udg = connected_udg(160, 7.0, 9).expect("dense deployment connects");
+        let fast = DilationReport::measure(udg.graph(), udg.graph(), udg.points());
+        let want = measure_reference(udg.graph(), udg.graph(), udg.points());
+        assert_eq!(fast, want);
     }
 
     #[test]

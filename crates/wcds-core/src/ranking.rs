@@ -125,9 +125,9 @@ mod tests {
         let g = generators::grid(3, 3);
         let tree = SpanningTree::bfs(&g, 4).unwrap();
         let ranks = level_based_ranks(&tree);
-        for u in 0..9 {
-            assert_eq!(ranks[u].level(), tree.level(u));
-            assert_eq!(ranks[u].id(), u as u64);
+        for (u, rank) in ranks.iter().enumerate() {
+            assert_eq!(rank.level(), tree.level(u));
+            assert_eq!(rank.id(), u as u64);
         }
         // root has the unique minimum rank
         let min = *ranks.iter().min().unwrap();

@@ -6,12 +6,11 @@
 //! topology from one of them (or from an adversarial construction) with an
 //! explicit seed, so results are reproducible bit-for-bit.
 //!
-//! All generators use [`rand_chacha::ChaCha12Rng`] seeded from a `u64`, not
+//! All generators use [`wcds_rng::ChaCha12Rng`] seeded from a `u64`, not
 //! thread-local entropy, and are deterministic across platforms.
 
 use crate::{BoundingBox, Point};
-use rand::prelude::*;
-use rand_chacha::ChaCha12Rng;
+use wcds_rng::{ChaCha12Rng, Rng};
 
 /// Creates the deterministic RNG used by every generator in this module.
 fn rng(seed: u64) -> ChaCha12Rng {
@@ -207,8 +206,8 @@ pub fn perturb(points: &[Point], region: BoundingBox, max_step: f64, seed: u64) 
         .collect()
 }
 
-/// Standard normal sample via Box–Muller (avoids a dependency on
-/// `rand_distr`, which is not on the approved crate list).
+/// Standard normal sample via Box–Muller (keeps the workspace free of
+/// any external distribution crate).
 fn gaussian<R: Rng>(r: &mut R) -> f64 {
     let u1: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = r.gen();

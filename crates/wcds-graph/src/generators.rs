@@ -8,8 +8,7 @@
 //! lemmas must use geometric inputs.
 
 use crate::{Graph, GraphBuilder};
-use rand::prelude::*;
-use rand_chacha::ChaCha12Rng;
+use wcds_rng::{ChaCha12Rng, Rng};
 
 /// A path `0 - 1 - … - (n-1)`.
 pub fn path(n: usize) -> Graph {

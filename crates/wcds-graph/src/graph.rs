@@ -4,6 +4,13 @@ use std::fmt;
 
 /// A compact undirected simple graph over nodes `0..n`.
 ///
+/// Adjacency is stored in **compressed sparse row** (CSR) form: one flat
+/// `targets` array holding every adjacency list back to back, and an
+/// `offsets` array marking where each node's slice begins. A node's
+/// neighbors are therefore a contiguous, cache-resident slice — the
+/// traversal kernels (BFS sweeps, Dijkstra, the dilation engine) walk
+/// memory linearly instead of chasing one heap allocation per node.
+///
 /// Adjacency lists are kept **sorted**, which gives deterministic
 /// iteration everywhere (important: distributed runs must be replayable)
 /// and `O(log d)` adjacency tests.
@@ -25,14 +32,24 @@ use std::fmt;
 /// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
-    adj: Vec<Vec<NodeId>>,
+    /// `offsets[u]..offsets[u + 1]` indexes `u`'s slice of `targets`;
+    /// length `n + 1`. `u32` keeps the row index half the width of a
+    /// pointer — the arrays must fit `2|E| ≤ u32::MAX` half-edges, which
+    /// the builder asserts.
+    offsets: Vec<u32>,
+    /// All adjacency lists concatenated, each sorted ascending.
+    targets: Vec<NodeId>,
+    /// `targets` narrowed to `u32`, kept in lockstep: the traversal
+    /// kernels scan this copy, halving adjacency bandwidth; the wide
+    /// copy serves the `&[NodeId]` public slice API.
+    targets32: Vec<u32>,
     edge_count: usize,
 }
 
 impl Graph {
     /// An edgeless graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edge_count: 0 }
+        Self { offsets: vec![0; n + 1], targets: Vec::new(), targets32: Vec::new(), edge_count: 0 }
     }
 
     /// Builds a graph on `n` nodes from an edge iterator.
@@ -56,7 +73,7 @@ impl Graph {
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges.
@@ -67,50 +84,68 @@ impl Graph {
 
     /// Iterator over all node ids `0..n`.
     pub fn nodes(&self) -> std::ops::Range<NodeId> {
-        0..self.adj.len()
+        0..self.node_count()
     }
 
-    /// The sorted neighbor list of `u`.
+    /// The sorted neighbor list of `u`, as one contiguous CSR slice.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     #[inline]
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.adj[u]
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[u].len()
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// The raw CSR arrays `(offsets, targets)`.
+    ///
+    /// `offsets` has `n + 1` entries; node `u`'s neighbors occupy
+    /// `targets[offsets[u] as usize..offsets[u + 1] as usize]`. Exposed
+    /// for benchmark introspection and bulk kernels; everything else
+    /// should go through [`Graph::neighbors`].
+    #[inline]
+    pub fn csr(&self) -> (&[u32], &[NodeId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// [`Graph::csr`] with the narrow `u32` target array — same edge
+    /// slots, half the scan bandwidth. Preferred by the search kernels.
+    #[inline]
+    pub fn csr32(&self) -> (&[u32], &[u32]) {
+        (&self.offsets, &self.targets32)
     }
 
     /// Maximum degree `Δ` over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
     }
 
     /// Average degree `2|E|/n` (0 for the empty graph).
     pub fn avg_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.node_count() == 0 {
             0.0
         } else {
-            2.0 * self.edge_count as f64 / self.adj.len() as f64
+            2.0 * self.edge_count as f64 / self.node_count() as f64
         }
     }
 
     /// Whether `u` and `v` are adjacent.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && self.adj[u].binary_search(&v).is_ok()
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// All edges, each reported once with `u < v`, in ascending order.
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(self.edge_count);
         for u in self.nodes() {
-            for &v in &self.adj[u] {
+            for &v in self.neighbors(u) {
                 if u < v {
                     out.push(Edge::new(u, v));
                 }
@@ -156,7 +191,7 @@ impl Graph {
         let in_s = self.membership(s);
         let mut b = GraphBuilder::new(self.node_count());
         for u in self.nodes() {
-            for &v in &self.adj[u] {
+            for &v in self.neighbors(u) {
                 if u < v && (in_s[u] || in_s[v]) {
                     b.add_edge(u, v);
                 }
@@ -172,7 +207,7 @@ impl Graph {
         let in_s = self.membership(s);
         let mut b = GraphBuilder::new(self.node_count());
         for u in self.nodes() {
-            for &v in &self.adj[u] {
+            for &v in self.neighbors(u) {
                 if u < v && in_s[u] && in_s[v] {
                     b.add_edge(u, v);
                 }
@@ -270,20 +305,42 @@ impl GraphBuilder {
         self
     }
 
-    /// Finalises the graph.
+    /// Finalises the graph into CSR form.
+    ///
+    /// One counting pass sizes the rows, one fill pass writes them. The
+    /// fill walks the `(u, v)`-sorted edge list once, appending `v` to
+    /// row `u` and `u` to row `v`; row `w` therefore receives first its
+    /// smaller neighbors (ascending, from edges `(y, w)`) and then its
+    /// larger ones (ascending, from edges `(w, x)`), so every row comes
+    /// out sorted without a per-row sort.
     pub fn build(&self) -> Graph {
         let mut sorted = self.edges.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        let mut adj = vec![Vec::new(); self.n];
+        assert!(
+            sorted.len() * 2 <= u32::MAX as usize,
+            "graph too large for u32 CSR offsets: {} edges",
+            sorted.len()
+        );
+        let mut offsets = vec![0u32; self.n + 1];
         for &(u, v) in &sorted {
-            adj[u].push(v);
-            adj[v].push(u);
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
         }
-        for a in &mut adj {
-            a.sort_unstable();
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
         }
-        Graph { adj, edge_count: sorted.len() }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut targets = vec![0 as NodeId; sorted.len() * 2];
+        for &(u, v) in &sorted {
+            targets[cursor[u] as usize] = v;
+            cursor[u] += 1;
+            targets[cursor[v] as usize] = u;
+            cursor[v] += 1;
+        }
+        assert!(self.n <= u32::MAX as usize, "node ids must fit u32: n = {}", self.n);
+        let targets32 = targets.iter().map(|&v| v as u32).collect();
+        Graph { offsets, targets, targets32, edge_count: sorted.len() }
     }
 }
 

@@ -6,11 +6,17 @@
 //! algorithms and proofs need on top of that is implemented here, from
 //! scratch:
 //!
-//! * [`Graph`] — a compact undirected simple graph (adjacency lists);
+//! * [`Graph`] — a compact undirected simple graph in CSR (compressed
+//!   sparse row) layout: one flat offset array plus one flat target
+//!   array, so a node's neighbor list is a contiguous sorted slice;
 //! * [`UnitDiskGraph`] — points + the induced [`Graph`], built in
 //!   `O(n + |E|)` with a spatial hash;
 //! * [`traversal`] — BFS/DFS, hop distances, connected components;
 //! * [`shortest_path`] — Dijkstra, hop-count and geometric-length APSP;
+//! * [`SearchScratch`] — reusable epoch-stamped search state so
+//!   all-sources sweeps run without per-source allocation;
+//! * [`parallel`] — a dependency-free per-source parallel engine behind
+//!   the opt-in `rayon` cargo feature;
 //! * [`spanning`] — rooted BFS spanning trees with levels (the paper's
 //!   level-based ranking substrate);
 //! * [`domination`] — dominating-set / independence / weak-connectivity
@@ -35,12 +41,15 @@ pub mod generators;
 pub mod metrics;
 mod graph;
 pub mod io;
+pub mod parallel;
+mod scratch;
 pub mod shortest_path;
 pub mod spanning;
 pub mod traversal;
 mod udg;
 
 pub use graph::{Graph, GraphBuilder};
+pub use scratch::{CsrWeights, SearchScratch};
 pub use udg::UnitDiskGraph;
 
 /// Index of a node within a [`Graph`].

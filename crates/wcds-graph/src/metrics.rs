@@ -4,7 +4,7 @@
 //! what kind of network each row was measured on (the paper's implicit
 //! workload is "nodes in the plane"; density is the knob that matters).
 
-use crate::{traversal, Graph};
+use crate::{parallel, traversal, Graph};
 
 /// Summary statistics of a topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,27 +68,34 @@ impl std::fmt::Display for GraphMetrics {
 /// Returns `(#triangles, #open-or-closed triads)`.
 ///
 /// Counts each triangle once (ordered `u < v < w`) and each path of
-/// length 2 once (centered at its middle vertex).
+/// length 2 once (centered at its middle vertex). Per-node counts run
+/// on the parallel engine and are summed in node order, so the census
+/// is thread-count independent.
 fn triangle_census(g: &Graph) -> (u64, u64) {
-    let mut triangles = 0u64;
-    let mut triads = 0u64;
-    for u in g.nodes() {
-        let d = g.degree(u) as u64;
-        triads += d * d.saturating_sub(1) / 2;
-        // count triangles with u as the smallest vertex
-        let nb = g.neighbors(u);
-        for (i, &v) in nb.iter().enumerate() {
-            if v < u {
-                continue;
-            }
-            for &w in &nb[i + 1..] {
-                if g.has_edge(v, w) {
-                    triangles += 1;
+    let per_node = parallel::map_indices(
+        parallel::threads(),
+        g.node_count(),
+        || (),
+        |(), u| {
+            let d = g.degree(u) as u64;
+            let triads = d * d.saturating_sub(1) / 2;
+            // count triangles with u as the smallest vertex
+            let nb = g.neighbors(u);
+            let mut triangles = 0u64;
+            for (i, &v) in nb.iter().enumerate() {
+                if v < u {
+                    continue;
+                }
+                for &w in &nb[i + 1..] {
+                    if g.has_edge(v, w) {
+                        triangles += 1;
+                    }
                 }
             }
-        }
-    }
-    (triangles, triads)
+            (triangles, triads)
+        },
+    );
+    per_node.into_iter().fold((0, 0), |(t, s), (dt, ds)| (t + dt, s + ds))
 }
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.

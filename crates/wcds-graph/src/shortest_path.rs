@@ -11,37 +11,8 @@
 //!   of `h` hops has length ≤ `h`; [`min_hop_max_length`] computes the
 //!   exact maximum over all minimum-hop paths for tight measurements.
 
-use crate::{Graph, NodeId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::{parallel, Graph, NodeId, SearchScratch};
 use wcds_geom::Point;
-
-/// A max-heap entry ordered so the smallest distance pops first.
-#[derive(Debug, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so BinaryHeap (a max-heap) yields the minimum distance;
-        // distances are finite (asserted at insertion).
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("finite distances")
-            .then_with(|| other.node.cmp(&self.node))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// Dijkstra over arbitrary non-negative edge weights.
 ///
@@ -52,29 +23,13 @@ impl PartialOrd for HeapEntry {
 /// # Panics
 ///
 /// Panics if a weight is negative or non-finite.
-pub fn dijkstra<W>(g: &Graph, source: NodeId, mut weight: W) -> Vec<Option<f64>>
+pub fn dijkstra<W>(g: &Graph, source: NodeId, weight: W) -> Vec<Option<f64>>
 where
     W: FnMut(NodeId, NodeId) -> f64,
 {
-    let mut dist: Vec<Option<f64>> = vec![None; g.node_count()];
-    let mut heap = BinaryHeap::new();
-    dist[source] = Some(0.0);
-    heap.push(HeapEntry { dist: 0.0, node: source });
-    while let Some(HeapEntry { dist: du, node: u }) = heap.pop() {
-        if dist[u].is_some_and(|best| du > best) {
-            continue; // stale entry
-        }
-        for &v in g.neighbors(u) {
-            let w = weight(u, v);
-            assert!(w.is_finite() && w >= 0.0, "invalid edge weight {w} on ({u}, {v})");
-            let cand = du + w;
-            if dist[v].is_none_or(|best| cand < best) {
-                dist[v] = Some(cand);
-                heap.push(HeapEntry { dist: cand, node: v });
-            }
-        }
-    }
-    dist
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.dijkstra(g, source, weight);
+    scratch.lens_to_vec(g.node_count())
 }
 
 /// Dijkstra over Euclidean edge lengths: the paper's `ℓ_G(u, ·)`.
@@ -91,40 +46,36 @@ pub fn geometric_distances(g: &Graph, points: &[Point], source: NodeId) -> Vec<O
 /// minimum-hop paths"): a routing layer that minimises hops may pick any
 /// minimum-hop path, so the guarantee must cover the longest one. Runs a
 /// BFS layering followed by a DAG longest-path pass over the shortest-path
-/// DAG — `O(n + |E|)`.
+/// DAG — `O(n + |E|)`. The BFS visit order *is* a topological order of
+/// that DAG, so no sort is needed.
 pub fn min_hop_max_length(g: &Graph, points: &[Point], source: NodeId) -> Vec<Option<f64>> {
-    let hops = crate::traversal::bfs_distances(g, source);
-    let mut len: Vec<Option<f64>> = vec![None; g.node_count()];
-    len[source] = Some(0.0);
-    // order nodes by BFS layer; edges of the shortest-path DAG go from
-    // layer d to layer d+1, so one pass in layer order suffices.
-    let mut order: Vec<NodeId> = g.nodes().filter(|&u| hops[u].is_some()).collect();
-    order.sort_unstable_by_key(|&u| hops[u].expect("filtered reachable"));
-    for &u in &order {
-        let Some(lu) = len[u] else { continue };
-        let hu = hops[u].expect("reachable");
-        for &v in g.neighbors(u) {
-            if hops[v] == Some(hu + 1) {
-                let cand = lu + points[u].distance(points[v]);
-                if len[v].is_none_or(|best| cand > best) {
-                    len[v] = Some(cand);
-                }
-            }
-        }
-    }
-    len
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.min_hop_max_length(g, points, source);
+    scratch.lens_to_vec(g.node_count())
 }
 
 /// All-pairs hop distances as a dense matrix (`n` BFS runs, `O(n·(n+|E|))`).
 ///
-/// Entry `[u][v]` is `None` when `v` is unreachable from `u`.
+/// Entry `[u][v]` is `None` when `v` is unreachable from `u`. The rows
+/// run on the parallel engine ([`parallel::threads`] workers when the
+/// `rayon` feature is on); each row is a pure per-source map, so thread
+/// count cannot affect the matrix.
 pub fn all_pairs_hops(g: &Graph) -> Vec<Vec<Option<u32>>> {
-    g.nodes().map(|u| crate::traversal::bfs_distances(g, u)).collect()
+    let n = g.node_count();
+    parallel::map_indices(parallel::threads(), n, || SearchScratch::new(n), |scratch, u| {
+        scratch.bfs(g, u);
+        scratch.hops_to_vec(n)
+    })
 }
 
-/// All-pairs geometric distances (`n` Dijkstra runs).
+/// All-pairs geometric distances (`n` Dijkstra runs, parallel like
+/// [`all_pairs_hops`]).
 pub fn all_pairs_geometric(g: &Graph, points: &[Point]) -> Vec<Vec<Option<f64>>> {
-    g.nodes().map(|u| geometric_distances(g, points, u)).collect()
+    let n = g.node_count();
+    parallel::map_indices(parallel::threads(), n, || SearchScratch::new(n), |scratch, u| {
+        scratch.geometric(g, points, u);
+        scratch.lens_to_vec(n)
+    })
 }
 
 #[cfg(test)]

@@ -100,8 +100,8 @@ impl SpanningTree {
             }
         }
         let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parents[v] {
+        for (v, p) in parents.iter().enumerate() {
+            if let Some(p) = *p {
                 children[p].push(v);
             }
         }

@@ -3,7 +3,7 @@
 //! Hop distances are the paper's `h_G(u, v)` ("minimum number of hops in
 //! `G`"); everything here is `O(n + |E|)`.
 
-use crate::{Graph, NodeId};
+use crate::{parallel, Graph, NodeId, SearchScratch};
 use std::collections::VecDeque;
 
 /// Hop distance from `source` to every node.
@@ -33,24 +33,9 @@ pub fn multi_source_bfs<I>(g: &Graph, sources: I) -> Vec<Option<u32>>
 where
     I: IntoIterator<Item = NodeId>,
 {
-    let mut dist = vec![None; g.node_count()];
-    let mut q = VecDeque::new();
-    for s in sources {
-        if dist[s].is_none() {
-            dist[s] = Some(0);
-            q.push_back(s);
-        }
-    }
-    while let Some(u) = q.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
-        for &v in g.neighbors(u) {
-            if dist[v].is_none() {
-                dist[v] = Some(du + 1);
-                q.push_back(v);
-            }
-        }
-    }
-    dist
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.multi_bfs(g, sources);
+    scratch.hops_to_vec(g.node_count())
 }
 
 /// BFS with parent pointers: returns `(distances, parents)`.
@@ -154,22 +139,36 @@ pub fn is_connected_subset(g: &Graph, s: &[NodeId]) -> bool {
     s.iter().all(|&u| dist[u].is_some())
 }
 
+/// Per-node hop eccentricities; `None` marks a node that cannot reach
+/// the whole graph.
+///
+/// Runs one BFS per node on the parallel engine ([`parallel::threads`]
+/// workers when the `rayon` feature is on). The result is a pure
+/// per-source map, so thread count cannot affect it.
+pub fn eccentricities(g: &Graph) -> Vec<Option<u32>> {
+    eccentricities_with_threads(g, parallel::threads())
+}
+
+/// [`eccentricities`] with an explicit worker count (testing hook; the
+/// result is identical for every `nthreads`).
+pub fn eccentricities_with_threads(g: &Graph, nthreads: usize) -> Vec<Option<u32>> {
+    let n = g.node_count();
+    parallel::map_indices(nthreads, n, || SearchScratch::new(n), |scratch, u| {
+        scratch.bfs(g, u);
+        if scratch.visit_order().len() < n {
+            return None;
+        }
+        g.nodes().map(|v| scratch.hop(v).expect("fully visited")).max()
+    })
+}
+
 /// Graph eccentricity-based diameter in hops (`None` if disconnected or
 /// empty).
 pub fn diameter(g: &Graph) -> Option<u32> {
     if g.node_count() == 0 {
         return None;
     }
-    let mut best = 0;
-    for u in g.nodes() {
-        let d = bfs_distances(g, u);
-        let mut ecc = 0;
-        for x in &d {
-            ecc = ecc.max((*x)?);
-        }
-        best = best.max(ecc);
-    }
-    Some(best)
+    eccentricities(g).into_iter().try_fold(0, |best, ecc| Some(best.max(ecc?)))
 }
 
 /// Iterative DFS preorder from `source` (deterministic: neighbors are
@@ -308,6 +307,26 @@ mod tests {
         assert_eq!(diameter(&Graph::from_edges(3, [(0, 1)])), None);
         assert_eq!(diameter(&Graph::empty(0)), None);
         assert_eq!(diameter(&Graph::empty(1)), Some(0));
+    }
+
+    #[test]
+    fn eccentricities_on_path_and_disconnected() {
+        let g = generators::path(5);
+        assert_eq!(
+            eccentricities(&g),
+            vec![Some(4), Some(3), Some(2), Some(3), Some(4)]
+        );
+        let split = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(eccentricities(&split), vec![None, None, None]);
+    }
+
+    #[test]
+    fn eccentricities_agree_across_thread_counts() {
+        let g = generators::connected_gnp(70, 0.07, 11);
+        let serial = eccentricities_with_threads(&g, 1);
+        for nthreads in [2, 4, 70] {
+            assert_eq!(eccentricities_with_threads(&g, nthreads), serial, "{nthreads}");
+        }
     }
 
     #[test]

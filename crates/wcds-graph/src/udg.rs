@@ -61,7 +61,11 @@ impl UnitDiskGraph {
     /// analyses (edge lengths, dilation) are *not* torus-aware — use
     /// this constructor for structural experiments only.
     ///
-    /// Runs in `O(n²)`; fine at experiment scales.
+    /// Runs in `O(n + |E|)` expected: coordinates are wrapped into the
+    /// fundamental domain `[0, width) × [0, height)` (torus adjacency is
+    /// translation-invariant), then the same spatial hash as
+    /// [`UnitDiskGraph::build`] answers each node's query from the 3×3
+    /// block of wrapped translates.
     ///
     /// # Panics
     ///
@@ -75,18 +79,48 @@ impl UnitDiskGraph {
             radius <= width / 2.0 && radius <= height / 2.0,
             "radius must be at most half each torus dimension"
         );
-        let torus_dist2 = |a: Point, b: Point| -> f64 {
-            let dx = (a.x - b.x).abs();
-            let dy = (a.y - b.y).abs();
-            let dx = dx.min(width - dx);
-            let dy = dy.min(height - dy);
-            dx * dx + dy * dy
-        };
+        let canon: Vec<Point> = points
+            .iter()
+            .map(|p| Point::new(p.x.rem_euclid(width), p.y.rem_euclid(height)))
+            .collect();
+        let index = GridIndex::build(&canon, radius);
         let mut b = GraphBuilder::new(points.len());
-        for u in 0..points.len() {
-            for v in (u + 1)..points.len() {
-                if torus_dist2(points[u], points[v]) <= radius * radius {
-                    b.add_edge(u, v);
+        for u in 0..canon.len() {
+            // radius ≤ min(width, height) / 2 ⇒ the nearest wrapped copy
+            // of any neighbor lies in one of nine translates of u — but a
+            // translate can only score a hit when u sits within `radius`
+            // of the corresponding border (a query at x − width reaches
+            // canonical coordinates ≤ x − width + radius, which is < 0
+            // unless x ≥ width − radius, and symmetrically for the other
+            // three). Interior nodes therefore issue a single query; the
+            // builder dedups hits that qualify under several translates.
+            let (x, y) = (canon[u].x, canon[u].y);
+            let mut dxs = [0.0; 2];
+            let mut nx = 1;
+            if x < radius {
+                dxs[1] = width;
+                nx = 2;
+            } else if x >= width - radius {
+                dxs[1] = -width;
+                nx = 2;
+            }
+            let mut dys = [0.0; 2];
+            let mut ny = 1;
+            if y < radius {
+                dys[1] = height;
+                ny = 2;
+            } else if y >= height - radius {
+                dys[1] = -height;
+                ny = 2;
+            }
+            for &dx in &dxs[..nx] {
+                for &dy in &dys[..ny] {
+                    let q = Point::new(x + dx, y + dy);
+                    index.for_each_within(&canon, q, radius, |v| {
+                        if u < v {
+                            b.add_edge(u, v);
+                        }
+                    });
                 }
             }
         }
@@ -257,6 +291,41 @@ mod tests {
             assert!(torus.graph().has_edge(u, v), "torus lost flat edge ({u},{v})");
         }
         assert!(torus.graph().edge_count() >= flat.graph().edge_count());
+    }
+
+    #[test]
+    fn torus_grid_matches_brute_force() {
+        // the pre-grid O(n²) reference: min-wrap metric, all pairs
+        let torus_dist2 = |a: Point, b: Point, w: f64, h: f64| -> f64 {
+            let dx = (a.x - b.x).abs();
+            let dy = (a.y - b.y).abs();
+            let dx = dx.min(w - dx);
+            let dy = dy.min(h - dy);
+            dx * dx + dy * dy
+        };
+        for seed in [1, 9, 42, 1234] {
+            let (w, h) = (5.0, 4.0);
+            let pts = deploy::uniform(160, w, h, seed);
+            let mut reference = GraphBuilder::new(pts.len());
+            for u in 0..pts.len() {
+                for v in (u + 1)..pts.len() {
+                    if torus_dist2(pts[u], pts[v], w, h) <= 1.0 {
+                        reference.add_edge(u, v);
+                    }
+                }
+            }
+            let torus = UnitDiskGraph::build_torus(pts, 1.0, w, h);
+            assert_eq!(*torus.graph(), reference.build(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn torus_radius_at_exactly_half_dimension() {
+        // r = width/2: a neighbor can qualify under two translates at
+        // once; the builder must dedup, not double-add
+        let pts = vec![Point::new(0.0, 1.0), Point::new(1.0, 1.0), Point::new(0.5, 1.0)];
+        let torus = UnitDiskGraph::build_torus(pts, 1.0, 2.0, 2.0);
+        assert_eq!(torus.graph().edge_count(), 3);
     }
 
     #[test]

@@ -73,7 +73,8 @@ impl BroadcastPlan {
 
         // spanning tree over the dominator graph, recording the interior
         // gateway nodes of each multi-hop tree edge
-        let dist_maps: BTreeMap<NodeId, (Vec<Option<u32>>, Vec<Option<NodeId>>)> =
+        type BfsTree = (Vec<Option<u32>>, Vec<Option<NodeId>>);
+        let dist_maps: BTreeMap<NodeId, BfsTree> =
             doms.iter().map(|&d| (d, traversal::bfs_tree(&spanner, d))).collect();
         let mut in_tree: BTreeSet<NodeId> = [doms[0]].into();
         let mut frontier = VecDeque::from([doms[0]]);

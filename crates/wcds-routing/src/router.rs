@@ -106,7 +106,7 @@ impl BackboneRouter {
             let mut queue = std::collections::VecDeque::from([h]);
             let mut seen: std::collections::BTreeSet<NodeId> = [h].into();
             while let Some(cur) = queue.pop_front() {
-                for (&nb, _) in &dom_links[&cur] {
+                for &nb in dom_links[&cur].keys() {
                     if seen.insert(nb) {
                         let via = if cur == h { nb } else { first_hop[&cur] };
                         first_hop.insert(nb, via);
@@ -304,7 +304,7 @@ mod tests {
         let heads = result.wcds.mis_dominators();
         for &h in heads {
             let size = router.table_size(h).unwrap();
-            assert!(size <= heads.len() - 1);
+            assert!(size < heads.len());
         }
         assert!(router.table_size(heads.len() + 1000).is_none() || heads.contains(&(heads.len() + 1000)));
         assert!(router.total_state() > 0 || heads.len() <= 1);

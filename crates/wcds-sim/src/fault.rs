@@ -1,6 +1,5 @@
 use crate::ProcId;
-use rand::prelude::*;
-use rand_chacha::ChaCha12Rng;
+use wcds_rng::{ChaCha12Rng, Rng};
 use std::collections::BTreeSet;
 
 /// Fault injection for robustness testing.

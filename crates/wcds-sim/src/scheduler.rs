@@ -1,12 +1,22 @@
 use crate::context::{Context, Outgoing};
 use crate::{FaultPlan, MessageStats, ProcId, Protocol, SimReport, Time, TraceEvent, TraceLog};
-use rand::prelude::*;
-use rand_chacha::ChaCha12Rng;
+use wcds_rng::{ChaCha12Rng, Rng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 use wcds_graph::Graph;
+
+/// An inbound event for one node: `Some((from, msg))` is a delivery,
+/// `None` a timer firing.
+type Inbound<M> = (ProcId, Option<(ProcId, M)>);
+
+/// An [`Inbound`] event scheduled for a future virtual time.
+type TimedInbound<M> = (Time, ProcId, Option<(ProcId, M)>);
+
+/// Per-step invariant inspector: receives the virtual time and every
+/// node's state, returns an error message to abort the run.
+type Inspector<'a, P> = &'a mut dyn FnMut(Time, &[P]) -> Result<(), String>;
 
 /// How events are ordered in virtual time.
 #[derive(Debug, Clone)]
@@ -269,7 +279,7 @@ impl<P: Protocol> Simulator<P> {
     fn run_synchronous(
         &mut self,
         schedule: Schedule,
-        inspector: &mut dyn FnMut(Time, &[P]) -> Result<(), String>,
+        inspector: Inspector<'_, P>,
     ) -> Result<SimReport, SimError> {
         let Schedule { mut fault, max_events, trace_capacity, sync_descending, .. } = schedule;
         let mut stats = MessageStats::new(self.nodes.len());
@@ -279,8 +289,8 @@ impl<P: Protocol> Simulator<P> {
             TraceLog::disabled()
         };
         // (fire_round, node, from, payload) — timers carry no payload
-        let mut current: Vec<(ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
-        let mut future: Vec<(Time, ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
+        let mut current: Vec<Inbound<P::Message>> = Vec::new();
+        let mut future: Vec<TimedInbound<P::Message>> = Vec::new();
         let mut events: u64 = 0;
 
         // Round 0: starts.
@@ -301,7 +311,7 @@ impl<P: Protocol> Simulator<P> {
         while !future.is_empty() {
             round += 1;
             // pull everything due this round, in deterministic order
-            let mut due: Vec<(ProcId, Option<(ProcId, P::Message)>)> = Vec::new();
+            let mut due: Vec<Inbound<P::Message>> = Vec::new();
             future.retain(|(t, node, payload)| {
                 if *t == round {
                     due.push((*node, payload.clone()));
@@ -394,7 +404,7 @@ impl<P: Protocol> Simulator<P> {
         now: Time,
         stats: &mut MessageStats,
         trace: &mut TraceLog,
-        pending: &mut Vec<(Time, ProcId, Option<(ProcId, P::Message)>)>,
+        pending: &mut Vec<TimedInbound<P::Message>>,
         what: StartOrEvent<P::Message>,
     ) {
         let mut ctx = Context::new(node, &self.adj[node], now);
@@ -432,7 +442,7 @@ impl<P: Protocol> Simulator<P> {
         schedule: Schedule,
         seed: u64,
         max_delay: Time,
-        inspector: &mut dyn FnMut(Time, &[P]) -> Result<(), String>,
+        inspector: Inspector<'_, P>,
     ) -> Result<SimReport, SimError> {
         let Schedule { mut fault, max_events, trace_capacity, .. } = schedule;
         let mut rng = ChaCha12Rng::seed_from_u64(seed);

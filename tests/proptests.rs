@@ -1,7 +1,11 @@
 //! Property-based tests over random deployments and random graphs:
-//! every invariant the paper proves, checked under proptest shrinking.
+//! every invariant the paper proves, checked over seeded random cases.
+//!
+//! The build environment has no access to crates.io, so `proptest` is
+//! unavailable; this harness trades shrinking for deterministic replay.
+//! Each property runs [`CASES`] seeded cases — a failure message names
+//! the case seed, and re-running that seed reproduces the input exactly.
 
-use proptest::prelude::*;
 use wcds::core::algo1::AlgorithmOne;
 use wcds::core::algo2::AlgorithmTwo;
 use wcds::core::mis::{greedy_mis, RankingMode};
@@ -10,233 +14,375 @@ use wcds::core::spanner::SpannerStats;
 use wcds::core::WcdsConstruction;
 use wcds::geom::{deploy, GridIndex, Point};
 use wcds::graph::{domination, generators, traversal, Graph, UnitDiskGraph};
+use wcds_rng::{ChaCha12Rng, Rng};
 
-/// Strategy: a random uniform deployment dense enough to usually
-/// connect.
-fn deployment() -> impl Strategy<Value = Vec<Point>> {
-    (20usize..120, 0u64..5000).prop_map(|(n, seed)| {
-        let side = (n as f64 * std::f64::consts::PI / 14.0).sqrt();
-        deploy::uniform(n, side, side, seed)
-    })
+/// Cases per property; each derives its input from its own seed.
+const CASES: u64 = 48;
+
+/// A random uniform deployment dense enough to usually connect.
+fn deployment(case: u64) -> Vec<Point> {
+    let mut r = ChaCha12Rng::seed_from_u64(case);
+    let n = r.gen_range(20usize..120);
+    let side = (n as f64 * std::f64::consts::PI / 14.0).sqrt();
+    deploy::uniform(n, side, side, r.gen::<u64>() % 5000)
 }
 
-/// Strategy: an arbitrary connected abstract graph.
-fn connected_graph() -> impl Strategy<Value = Graph> {
-    (5usize..60, 0u64..5000, 0u32..20)
-        .prop_map(|(n, seed, p)| generators::connected_gnp(n, p as f64 / 100.0, seed))
+/// An arbitrary connected abstract graph.
+fn connected_graph(case: u64) -> Graph {
+    let mut r = ChaCha12Rng::seed_from_u64(case.wrapping_mul(0x9E37_79B9) ^ 0x00C0_FFEE);
+    let n = r.gen_range(5usize..60);
+    let p = r.gen_range(0u32..20) as f64 / 100.0;
+    generators::connected_gnp(n, p, r.gen::<u64>() % 5000)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn udg_adjacency_is_symmetric_and_radius_consistent(pts in deployment()) {
+#[test]
+fn udg_adjacency_is_symmetric_and_radius_consistent() {
+    for case in 0..CASES {
+        let pts = deployment(case);
         let udg = UnitDiskGraph::build(pts.clone(), 1.0);
         let g = udg.graph();
         for u in g.nodes() {
             for &v in g.neighbors(u) {
-                prop_assert!(g.has_edge(v, u));
-                prop_assert!(pts[u].distance(pts[v]) <= 1.0 + 1e-12);
+                assert!(g.has_edge(v, u), "case {case}: asymmetric edge ({u}, {v})");
+                assert!(pts[u].distance(pts[v]) <= 1.0 + 1e-12, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn grid_index_agrees_with_brute_force(pts in deployment(), probe in 0usize..20) {
-        prop_assume!(!pts.is_empty());
-        let probe = probe % pts.len();
+#[test]
+fn grid_index_agrees_with_brute_force() {
+    for case in 0..CASES {
+        let pts = deployment(case);
+        let probe = case as usize % pts.len();
         let idx = GridIndex::build(&pts, 1.0);
         let mut got = idx.neighbors_within(&pts, pts[probe], 1.0);
         got.sort_unstable();
         let want: Vec<usize> =
             (0..pts.len()).filter(|&i| pts[i].within(pts[probe], 1.0)).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn greedy_mis_is_always_maximal_independent(g in connected_graph()) {
+#[test]
+fn greedy_mis_is_always_maximal_independent() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         for mode in [RankingMode::StaticId, RankingMode::DegreeId] {
             let mis = greedy_mis(&g, mode);
-            prop_assert!(domination::is_maximal_independent_set(&g, &mis));
+            assert!(
+                domination::is_maximal_independent_set(&g, &mis),
+                "case {case}, mode {mode:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn lemma3_subset_distance_two_or_three(g in connected_graph()) {
+#[test]
+fn lemma3_subset_distance_two_or_three() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         let mis = greedy_mis(&g, RankingMode::StaticId);
-        prop_assume!(mis.len() >= 2);
+        if mis.len() < 2 {
+            continue;
+        }
         let d = properties::max_complementary_subset_distance(&g, &mis)
             .expect("connected graph");
-        prop_assert!((2..=3).contains(&d), "distance {} outside Lemma 3", d);
+        assert!((2..=3).contains(&d), "case {case}: distance {d} outside Lemma 3");
     }
+}
 
-    #[test]
-    fn theorem4_level_ranked_mis_distance_exactly_two(g in connected_graph()) {
+#[test]
+fn theorem4_level_ranked_mis_distance_exactly_two() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         let (_, mis) = AlgorithmOne::new().construct_detailed(&g);
-        prop_assume!(mis.len() >= 2);
+        if mis.len() < 2 {
+            continue;
+        }
         let d = properties::max_complementary_subset_distance(&g, &mis)
             .expect("connected graph");
-        prop_assert_eq!(d, 2);
+        assert_eq!(d, 2, "case {case}");
     }
+}
 
-    #[test]
-    fn both_algorithms_always_produce_valid_wcds(g in connected_graph()) {
+#[test]
+fn both_algorithms_always_produce_valid_wcds() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         let r1 = AlgorithmOne::new().construct(&g);
-        prop_assert!(r1.wcds.is_valid(&g));
+        assert!(r1.wcds.is_valid(&g), "case {case}: Algorithm I");
         let r2 = AlgorithmTwo::new().construct(&g);
-        prop_assert!(r2.wcds.is_valid(&g));
+        assert!(r2.wcds.is_valid(&g), "case {case}: Algorithm II");
         // Algorithm II's bridged set closes every gap to ≤ 2 hops
         if r2.wcds.len() >= 2 {
             let d = properties::max_complementary_subset_distance(&g, r2.wcds.nodes())
                 .expect("connected graph");
-            prop_assert!(d <= 2);
+            assert!(d <= 2, "case {case}: distance {d}");
         }
     }
+}
 
-    #[test]
-    fn lemma1_and_lemma2_on_random_udgs(pts in deployment()) {
-        let udg = UnitDiskGraph::build(pts, 1.0);
+#[test]
+fn lemma1_and_lemma2_on_random_udgs() {
+    for case in 0..CASES {
+        let udg = UnitDiskGraph::build(deployment(case), 1.0);
         let g = udg.graph();
         let mis = greedy_mis(g, RankingMode::StaticId);
-        prop_assert!(properties::max_mis_neighbors(g, &mis) <= 5);
+        assert!(properties::max_mis_neighbors(g, &mis) <= 5, "case {case}");
         let (m2, m3) = properties::lemma2_maxima(g, &mis);
-        prop_assert!(m2 <= 23);
-        prop_assert!(m3 <= 47);
+        assert!(m2 <= 23, "case {case}: m2 = {m2}");
+        assert!(m3 <= 47, "case {case}: m3 = {m3}");
     }
+}
 
-    #[test]
-    fn spanner_bounds_on_random_udgs(pts in deployment()) {
-        let udg = UnitDiskGraph::build(pts, 1.0);
+#[test]
+fn spanner_bounds_on_random_udgs() {
+    for case in 0..CASES {
+        let udg = UnitDiskGraph::build(deployment(case), 1.0);
         let g = udg.graph();
-        prop_assume!(traversal::is_connected(g));
+        if !traversal::is_connected(g) {
+            continue;
+        }
         let r1 = AlgorithmOne::new().construct(g);
-        prop_assert!(SpannerStats::compute(g, &r1.wcds).satisfies_theorem8_bound());
+        assert!(
+            SpannerStats::compute(g, &r1.wcds).satisfies_theorem8_bound(),
+            "case {case}: Theorem 8"
+        );
         let r2 = AlgorithmTwo::new().construct(g);
-        prop_assert!(SpannerStats::compute(g, &r2.wcds).satisfies_theorem10_bound());
+        assert!(
+            SpannerStats::compute(g, &r2.wcds).satisfies_theorem10_bound(),
+            "case {case}: Theorem 10"
+        );
     }
+}
 
-    #[test]
-    fn weakly_induced_subgraph_laws(g in connected_graph(), mask in 0u64..u64::MAX) {
+#[test]
+fn weakly_induced_subgraph_laws() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
+        let mask = ChaCha12Rng::seed_from_u64(case).gen::<u64>();
         // pick an arbitrary subset via the mask bits
         let s: Vec<usize> = g.nodes().filter(|&u| mask >> (u % 64) & 1 == 1).collect();
         let w = g.weakly_induced(&s);
         // 1. it is a subgraph
-        prop_assert!(g.contains_subgraph(&w));
+        assert!(g.contains_subgraph(&w), "case {case}");
         // 2. every kept edge touches the set
         let member = g.membership(&s);
         for e in w.edges() {
             let (a, b) = e.endpoints();
-            prop_assert!(member[a] || member[b]);
+            assert!(member[a] || member[b], "case {case}: edge ({a}, {b})");
         }
         // 3. every dropped edge touches no member
         for e in g.edges() {
             let (a, b) = e.endpoints();
             if !w.has_edge(a, b) {
-                prop_assert!(!member[a] && !member[b]);
+                assert!(!member[a] && !member[b], "case {case}: edge ({a}, {b})");
             }
         }
     }
+}
 
-    #[test]
-    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in connected_graph()) {
+#[test]
+fn bfs_distances_satisfy_triangle_inequality_on_edges() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         let d = traversal::bfs_distances(&g, 0);
         for u in g.nodes() {
             for &v in g.neighbors(u) {
                 let du = d[u].expect("connected");
                 let dv = d[v].expect("connected");
-                prop_assert!(du.abs_diff(dv) <= 1, "BFS layers differ by >1 across an edge");
+                assert!(du.abs_diff(dv) <= 1, "case {case}: BFS layers differ by >1");
             }
         }
     }
+}
 
-    #[test]
-    fn spanning_tree_levels_match_bfs(g in connected_graph(), root in 0usize..60) {
-        let root = root % g.node_count();
+#[test]
+fn spanning_tree_levels_match_bfs() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
+        let root = case as usize % g.node_count();
         let tree = wcds::graph::spanning::SpanningTree::bfs(&g, root).expect("connected");
         let d = traversal::bfs_distances(&g, root);
         for u in g.nodes() {
-            prop_assert_eq!(Some(tree.level(u)), d[u]);
+            assert_eq!(Some(tree.level(u)), d[u], "case {case}: node {u}");
         }
-        prop_assert!(tree.spans(&g));
+        assert!(tree.spans(&g), "case {case}");
     }
+}
 
-    #[test]
-    fn graph_io_roundtrip(g in connected_graph()) {
+#[test]
+fn graph_io_roundtrip() {
+    for case in 0..CASES {
+        let g = connected_graph(case);
         let doc = wcds::graph::io::from_text(&wcds::graph::io::to_text(&g, None))
             .expect("roundtrip");
-        prop_assert_eq!(doc.graph, g);
+        assert_eq!(doc.graph, g, "case {case}");
     }
+}
 
-    #[test]
-    fn proximity_spanners_nest_and_preserve_connectivity(pts in deployment()) {
+#[test]
+fn proximity_spanners_nest_and_preserve_connectivity() {
+    for case in 0..CASES {
         use wcds::baselines::proximity::{gabriel_graph, relative_neighborhood_graph};
-        let udg = UnitDiskGraph::build(pts, 1.0);
+        let udg = UnitDiskGraph::build(deployment(case), 1.0);
         let rng = relative_neighborhood_graph(&udg);
         let gabriel = gabriel_graph(&udg);
-        prop_assert!(udg.graph().contains_subgraph(&gabriel));
-        prop_assert!(gabriel.contains_subgraph(&rng));
+        assert!(udg.graph().contains_subgraph(&gabriel), "case {case}");
+        assert!(gabriel.contains_subgraph(&rng), "case {case}");
         // RNG preserves connectivity component-wise: same components
-        prop_assert_eq!(
+        assert_eq!(
             traversal::connected_components(udg.graph()),
-            traversal::connected_components(&rng)
+            traversal::connected_components(&rng),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn distributed_maintenance_survives_one_random_move(
-        pts in deployment(),
-        victim in 0usize..120,
-        dx in -0.5f64..0.5,
-        dy in -0.5f64..0.5,
-    ) {
+#[test]
+fn distributed_maintenance_survives_one_random_move() {
+    for case in 0..CASES {
         use wcds::core::maintenance::distributed::DynamicBackbone;
-        let victim = victim % pts.len();
+        let pts = deployment(case);
+        let mut r = ChaCha12Rng::seed_from_u64(case ^ 0xDEAD);
+        let victim = r.gen_range(0..pts.len());
+        let (dx, dy) = (r.gen_range(-0.5f64..=0.5), r.gen_range(-0.5f64..=0.5));
         let mut net = DynamicBackbone::new(pts, 1.0);
-        prop_assert!(net.mis_is_valid());
+        assert!(net.mis_is_valid(), "case {case}: initial MIS invalid");
         let old = net.points()[victim];
         let target = Point::new((old.x + dx).max(0.0), (old.y + dy).max(0.0));
         net.apply_motion(&[(victim, target)]);
-        prop_assert!(net.mis_is_valid(), "repair left an invalid MIS");
+        assert!(net.mis_is_valid(), "case {case}: repair left an invalid MIS");
     }
+}
 
-    #[test]
-    fn pruned_wcds_is_valid_and_minimal(g in connected_graph()) {
+#[test]
+fn pruned_wcds_is_valid_and_minimal() {
+    for case in 0..CASES {
         use wcds::core::postprocess::{is_minimal, prune, PruneOrder};
+        let g = connected_graph(case);
         let raw = AlgorithmTwo::new().construct(&g).wcds;
         let pruned = prune(&g, &raw, PruneOrder::DescendingId);
-        prop_assert!(pruned.is_valid(&g));
-        prop_assert!(pruned.len() <= raw.len());
-        prop_assert!(is_minimal(&g, &pruned));
+        assert!(pruned.is_valid(&g), "case {case}");
+        assert!(pruned.len() <= raw.len(), "case {case}");
+        assert!(is_minimal(&g, &pruned), "case {case}");
     }
+}
 
-    #[test]
-    fn articulation_points_match_removal_check(g in connected_graph()) {
+#[test]
+fn articulation_points_match_removal_check() {
+    for case in 0..CASES {
         use wcds::graph::connectivity;
+        let g = connected_graph(case);
         let cuts = connectivity::articulation_points(&g);
         for u in g.nodes() {
-            prop_assert_eq!(
+            assert_eq!(
                 cuts.contains(&u),
                 !connectivity::survives_node_removal(&g, u),
-                "disagreement at node {}", u
+                "case {case}: disagreement at node {u}"
             );
         }
     }
+}
 
-    #[test]
-    fn spanner_stats_edge_classes_account_for_everything(pts in deployment()) {
-        let udg = UnitDiskGraph::build(pts, 1.0);
-        prop_assume!(traversal::is_connected(udg.graph()));
+#[test]
+fn csr_graph_matches_reference_adjacency_build() {
+    // the CSR storage must be observationally identical to the obvious
+    // Vec<Vec<NodeId>> adjacency structure it replaced
+    for case in 0..CASES {
+        let mut r = ChaCha12Rng::seed_from_u64(case ^ 0x5EED);
+        let n = r.gen_range(1usize..80);
+        let mut edges = Vec::new();
+        let m = r.gen_range(0usize..(n * 3));
+        for _ in 0..m {
+            let a = r.gen_range(0..n);
+            let b = r.gen_range(0..n);
+            if a != b {
+                edges.push((a, b));
+            }
+        }
+        // reference build: dedup + sort per row
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+        let g = Graph::from_edges(n, edges.iter().copied());
+        assert_eq!(g.node_count(), n, "case {case}");
+        let m_ref: usize = adj.iter().map(Vec::len).sum::<usize>() / 2;
+        assert_eq!(g.edge_count(), m_ref, "case {case}");
+        for (u, row) in adj.iter().enumerate() {
+            assert_eq!(g.neighbors(u), &row[..], "case {case}, node {u}");
+            assert_eq!(g.degree(u), row.len(), "case {case}, node {u}");
+            for v in 0..n {
+                let want = row.contains(&v);
+                assert_eq!(g.has_edge(u, v), want, "case {case}, pair ({u}, {v})");
+                assert_eq!(g.has_edge(v, u), want, "case {case}, pair ({v}, {u})");
+            }
+        }
+        // the u32 shadow must mirror the usize targets slot for slot
+        let (offsets, targets) = g.csr();
+        let (offsets32, targets32) = g.csr32();
+        assert_eq!(offsets, offsets32, "case {case}");
+        assert_eq!(targets.len(), targets32.len(), "case {case}");
+        for (a, b) in targets.iter().zip(targets32) {
+            assert_eq!(*a, *b as usize, "case {case}");
+        }
+    }
+}
+
+#[test]
+fn dilation_report_identical_for_any_thread_count() {
+    use wcds::core::dilation::DilationReport;
+    for case in 0..CASES / 4 {
+        let udg = UnitDiskGraph::build(deployment(case), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            continue;
+        }
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let serial = DilationReport::measure_with_threads(
+            udg.graph(),
+            &result.spanner,
+            udg.points(),
+            1,
+        );
+        for nthreads in [2, 5, 16] {
+            let par = DilationReport::measure_with_threads(
+                udg.graph(),
+                &result.spanner,
+                udg.points(),
+                nthreads,
+            );
+            assert_eq!(par, serial, "case {case}, nthreads {nthreads}");
+        }
+    }
+}
+
+#[test]
+fn spanner_stats_edge_classes_account_for_everything() {
+    for case in 0..CASES {
+        let udg = UnitDiskGraph::build(deployment(case), 1.0);
+        if !traversal::is_connected(udg.graph()) {
+            continue;
+        }
         let result = AlgorithmTwo::new().construct(udg.graph());
         let s = SpannerStats::compute(udg.graph(), &result.wcds);
-        prop_assert_eq!(
+        assert_eq!(
             s.gray_mis_edges
                 + s.mis_additional_edges
                 + s.gray_additional_edges
                 + s.additional_additional_edges
                 + s.mis_mis_edges,
-            s.spanner_edges
+            s.spanner_edges,
+            "case {case}"
         );
-        prop_assert_eq!(s.mis_mis_edges, 0);
-        prop_assert_eq!(s.nodes - s.gray_nodes, result.wcds.len());
+        assert_eq!(s.mis_mis_edges, 0, "case {case}");
+        assert_eq!(s.nodes - s.gray_nodes, result.wcds.len(), "case {case}");
     }
 }
