@@ -1,0 +1,182 @@
+//! Service load generator → `BENCH_service.json`.
+//!
+//! Runs an in-process `wcds-service` server on a loopback port and
+//! hammers it with concurrent client threads over real TCP, measuring
+//! per-request latency (p50/p95/p99), aggregate throughput, and the
+//! topology store's cache hit rate under two workload mixes:
+//!
+//! * **read-heavy** — 1 mutation per 32 requests: the epoch cache
+//!   should absorb almost everything;
+//! * **mutation-heavy** — 1 mutation per 4 requests: every mutation
+//!   invalidates the artifact bundle, so rebuilds dominate.
+//!
+//! Mutations are joins/moves only (never leaves), so route endpoints
+//! sampled from the initial node range stay valid throughout. Pass
+//! `--quick` for the CI smoke size.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use wcds_bench::perf::{write_bench_json, BenchRow};
+use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree, Scale};
+use wcds_graph::io;
+use wcds_rng::{ChaCha12Rng, Rng};
+use wcds_service::{Client, Mutation, Server, ServerConfig, Store};
+
+const SEED: u64 = 42;
+
+struct MixResult {
+    wall_ms: f64,
+    latencies_us: Vec<f64>,
+    mutations: u64,
+    hit_rate: f64,
+    final_epoch: u64,
+}
+
+/// Runs one workload mix against a fresh topology on `addr`:
+/// `threads` clients, each issuing `ops` requests, mutating once every
+/// `mutation_period` requests.
+fn run_mix(
+    addr: std::net::SocketAddr,
+    mix: &str,
+    payload: &str,
+    side: f64,
+    n: usize,
+    threads: usize,
+    ops: usize,
+    mutation_period: usize,
+) -> MixResult {
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin.create(mix, payload).expect("create topology");
+    // warm the cache so the steady state, not the first build, is measured
+    admin.construct(mix).expect("initial construct");
+
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(threads * ops));
+    let mutations = std::sync::atomic::AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let latencies = &latencies;
+            let mutations = &mutations;
+            scope.spawn(move || {
+                let mut rng = ChaCha12Rng::seed_from_u64(SEED + 7 * t as u64);
+                let mut c = Client::connect_with_timeout(addr, Duration::from_secs(60))
+                    .expect("load client connect");
+                let mut local = Vec::with_capacity(ops);
+                for i in 0..ops {
+                    let tick = Instant::now();
+                    if (i + t) % mutation_period == 0 {
+                        let mutation = if rng.gen_range(0..2usize) == 0 {
+                            Mutation::Join {
+                                x: rng.gen::<f64>() * side,
+                                y: rng.gen::<f64>() * side,
+                            }
+                        } else {
+                            Mutation::Move {
+                                node: rng.gen_range(0..n),
+                                x: rng.gen::<f64>() * side,
+                                y: rng.gen::<f64>() * side,
+                            }
+                        };
+                        c.mutate(mix, mutation).expect("mutate");
+                        mutations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        match rng.gen_range(0..8usize) {
+                            0 => {
+                                c.stats(mix).expect("stats");
+                            }
+                            _ => {
+                                let s = rng.gen_range(0..n);
+                                let d = rng.gen_range(0..n);
+                                // Unroutable is impossible here: the
+                                // deployment is connected and joins/moves
+                                // into the region keep route() total only
+                                // up to pathological moves, so tolerate it
+                                let _ = c.route(mix, s, d);
+                            }
+                        }
+                    }
+                    local.push(tick.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let stats = admin.stats(mix).expect("final stats");
+    let queries = stats.cache_hits + stats.cache_misses;
+    admin.drop_topology(mix).expect("drop topology");
+    MixResult {
+        wall_ms,
+        latencies_us: latencies.into_inner().unwrap(),
+        mutations: mutations.into_inner(),
+        hit_rate: if queries > 0 { stats.cache_hits as f64 / queries as f64 } else { 0.0 },
+        final_epoch: stats.epoch,
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.pick(80, 300);
+    let threads = scale.pick(4, 8);
+    let ops = scale.pick(100, 800);
+    let side = side_for_avg_degree(n, 10.0);
+
+    let udg = connected_uniform_udg(n, side, SEED);
+    let payload = io::to_text(udg.graph(), Some(udg.points()));
+    let edges = udg.graph().edge_count();
+
+    // workers > client threads + the admin connection, so the pool
+    // never serializes the load generator
+    let config = ServerConfig { workers: threads + 2, ..ServerConfig::default() };
+    let handle =
+        Server::bind("127.0.0.1:0", Store::new(), config).expect("bind loopback server");
+    let addr = handle.local_addr();
+
+    let mut rows = Vec::new();
+    let mut checks = Vec::new();
+    for (mix, mutation_period) in [("read_heavy", 32usize), ("mutation_heavy", 4usize)] {
+        let result = run_mix(addr, mix, &payload, side, n, threads, ops, mutation_period);
+        let total = result.latencies_us.len();
+        assert_eq!(total, threads * ops, "{mix}: lost requests");
+        assert_eq!(
+            result.final_epoch, result.mutations,
+            "{mix}: epoch must count exactly the applied mutations"
+        );
+
+        let mut sorted = result.latencies_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        rows.push(BenchRow::new(mix, n, edges, threads, result.wall_ms, total));
+        checks.push((format!("{mix}_p50_us"), format!("{:.1}", percentile(&sorted, 0.50))));
+        checks.push((format!("{mix}_p95_us"), format!("{:.1}", percentile(&sorted, 0.95))));
+        checks.push((format!("{mix}_p99_us"), format!("{:.1}", percentile(&sorted, 0.99))));
+        checks.push((format!("{mix}_cache_hit_rate"), format!("{:.4}", result.hit_rate)));
+        checks.push((format!("{mix}_mutations"), format!("{}", result.mutations)));
+    }
+    checks.push(("epochs_match_mutations".to_string(), "true".to_string()));
+
+    let mut shutdown = Client::connect(addr).expect("shutdown connect");
+    shutdown.shutdown_server().expect("graceful shutdown");
+    let served = handle.join();
+    checks.push(("requests_served".to_string(), format!("{served}")));
+
+    write_bench_json("BENCH_service.json", "service", &rows, &checks);
+    for r in &rows {
+        println!(
+            "{:<16} n={:<4} threads={:<2} {:>9.1} ms  {:>10.0} req/s",
+            r.name, r.n, r.threads, r.wall_ms, r.throughput
+        );
+    }
+    for (k, v) in &checks {
+        println!("  {k} = {v}");
+    }
+    println!("wrote BENCH_service.json");
+}

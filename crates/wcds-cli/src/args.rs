@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use wcds_service::Mutation;
 
 /// A CLI failure: bad arguments, I/O, or command-level errors.
 #[derive(Debug)]
@@ -139,8 +140,85 @@ pub enum Command {
         /// Asynchronous schedule seed (synchronous when absent).
         async_seed: Option<u64>,
     },
+    /// `wcds serve` — run the backbone service until a wire shutdown.
+    Serve {
+        /// Listen address (`host:port`; port 0 picks a free port).
+        addr: String,
+        /// Worker-pool size.
+        workers: usize,
+    },
+    /// `wcds query` — one request against a running server.
+    Query {
+        /// Server address.
+        addr: String,
+        /// The action to perform.
+        action: QueryAction,
+    },
     /// `wcds help` / no arguments.
     Help,
+}
+
+/// One `wcds query` action (one request/response round trip).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAction {
+    /// Liveness probe.
+    Ping,
+    /// Ingest a topology from a graph file.
+    Create {
+        /// Topology name.
+        name: String,
+        /// Graph file to upload.
+        input: String,
+    },
+    /// Download the current topology as graph text.
+    Export {
+        /// Topology name.
+        name: String,
+        /// Output path (`-` = stdout).
+        output: String,
+    },
+    /// Force the WCDS/spanner/routing bundle to be built.
+    Construct {
+        /// Topology name.
+        name: String,
+    },
+    /// Clusterhead-route one packet.
+    Route {
+        /// Topology name.
+        name: String,
+        /// Source node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+    },
+    /// Simulate a backbone broadcast.
+    Broadcast {
+        /// Topology name.
+        name: String,
+        /// Broadcast source.
+        source: usize,
+    },
+    /// Topology + cache statistics.
+    Stats {
+        /// Topology name.
+        name: String,
+    },
+    /// Apply one maintenance mutation.
+    Mutate {
+        /// Topology name.
+        name: String,
+        /// The mutation (`--join X,Y`, `--leave N`, or `--move N,X,Y`).
+        mutation: Mutation,
+    },
+    /// List stored topologies.
+    List,
+    /// Remove a topology.
+    Drop {
+        /// Topology name.
+        name: String,
+    },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
 }
 
 /// Usage text.
@@ -156,7 +234,19 @@ USAGE:
   wcds compare   -i FILE
   wcds render    -i FILE [--algo ALGO] -o FILE.svg
   wcds simulate  -i FILE --algo algo1|algo2 [--async-seed K]
+  wcds serve     [--addr HOST:PORT] [--workers N]
+  wcds query     ACTION --addr HOST:PORT [action flags]
   wcds help
+
+QUERY ACTIONS:
+  ping | list | shutdown
+  create    --name T -i FILE
+  export    --name T [-o FILE]
+  construct --name T
+  route     --name T --from A --to B
+  broadcast --name T --source S
+  stats     --name T
+  mutate    --name T  --join X,Y | --leave N | --move N,X,Y
 ";
 
 struct ArgScanner<'a> {
@@ -270,7 +360,101 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             };
             Ok(Command::Simulate { input, algo, async_seed })
         }
+        "serve" => {
+            let addr = s.value_of("--addr").unwrap_or("127.0.0.1:7700").to_string();
+            let workers = match s.value_of("--workers") {
+                Some(v) => parse_num(v, "--workers")?,
+                None => 4,
+            };
+            if workers == 0 {
+                return Err(CliError("--workers must be at least 1".into()));
+            }
+            Ok(Command::Serve { addr, workers })
+        }
+        "query" => {
+            let action_name = rest
+                .first()
+                .ok_or_else(|| CliError(format!("query needs an action\n\n{USAGE}")))?;
+            let addr = s.value_of("--addr").unwrap_or("127.0.0.1:7700").to_string();
+            let action = parse_query_action(action_name, &mut s)?;
+            Ok(Command::Query { addr, action })
+        }
         other => Err(CliError(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
+    }
+}
+
+/// Parses the numbers of `--join X,Y` / `--move N,X,Y` style values.
+fn parse_csv<T: std::str::FromStr>(raw: &str, flag: &str, want: usize) -> Result<Vec<T>, CliError> {
+    let parts: Vec<&str> = raw.split(',').map(str::trim).collect();
+    if parts.len() != want {
+        return Err(CliError(format!(
+            "{flag} expects {want} comma-separated values, got `{raw}`"
+        )));
+    }
+    parts.iter().map(|p| parse_num(p, flag)).collect()
+}
+
+fn parse_query_action(name: &str, s: &mut ArgScanner<'_>) -> Result<QueryAction, CliError> {
+    let named = |s: &mut ArgScanner<'_>| -> Result<String, CliError> {
+        Ok(required(s, "--name")?.to_string())
+    };
+    match name {
+        "ping" => Ok(QueryAction::Ping),
+        "list" => Ok(QueryAction::List),
+        "shutdown" => Ok(QueryAction::Shutdown),
+        "create" => Ok(QueryAction::Create {
+            name: named(s)?,
+            input: required(s, "-i")?.to_string(),
+        }),
+        "export" => Ok(QueryAction::Export {
+            name: named(s)?,
+            output: s.value_of("-o").unwrap_or("-").to_string(),
+        }),
+        "construct" => Ok(QueryAction::Construct { name: named(s)? }),
+        "route" => Ok(QueryAction::Route {
+            name: named(s)?,
+            from: parse_num(required(s, "--from")?, "--from")?,
+            to: parse_num(required(s, "--to")?, "--to")?,
+        }),
+        "broadcast" => Ok(QueryAction::Broadcast {
+            name: named(s)?,
+            source: parse_num(required(s, "--source")?, "--source")?,
+        }),
+        "stats" => Ok(QueryAction::Stats { name: named(s)? }),
+        "drop" => Ok(QueryAction::Drop { name: named(s)? }),
+        "mutate" => {
+            let name = named(s)?;
+            let mutation = if let Some(raw) = s.value_of("--join") {
+                let xy: Vec<f64> = parse_csv(raw, "--join", 2)?;
+                Mutation::Join { x: xy[0], y: xy[1] }
+            } else if let Some(raw) = s.value_of("--leave") {
+                Mutation::Leave { node: parse_num(raw, "--leave")? }
+            } else if let Some(raw) = s.value_of("--move") {
+                let node: usize = parse_num(
+                    raw.split(',').next().unwrap_or_default().trim(),
+                    "--move",
+                )?;
+                let rest: Vec<&str> = raw.split(',').skip(1).map(str::trim).collect();
+                if rest.len() != 2 {
+                    return Err(CliError(format!(
+                        "--move expects N,X,Y, got `{raw}`"
+                    )));
+                }
+                Mutation::Move {
+                    node,
+                    x: parse_num(rest[0], "--move")?,
+                    y: parse_num(rest[1], "--move")?,
+                }
+            } else {
+                return Err(CliError(
+                    "mutate needs one of --join X,Y / --leave N / --move N,X,Y".into(),
+                ));
+            };
+            Ok(QueryAction::Mutate { name, mutation })
+        }
+        other => Err(CliError(format!(
+            "unknown query action `{other}` (try ping, create, export, construct, route, broadcast, stats, mutate, list, drop, shutdown)"
+        ))),
     }
 }
 
@@ -358,6 +542,77 @@ mod tests {
             parse(&argv("simulate -i x --algo algo1 --async-seed 5")).unwrap(),
             Command::Simulate { input: "x".into(), algo: Algo::Algo1, async_seed: Some(5) }
         );
+    }
+
+    #[test]
+    fn serve_and_query_parse() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve { addr: "127.0.0.1:7700".into(), workers: 4 }
+        );
+        assert_eq!(
+            parse(&argv("serve --addr 0.0.0.0:9000 --workers 8")).unwrap(),
+            Command::Serve { addr: "0.0.0.0:9000".into(), workers: 8 }
+        );
+        assert_eq!(
+            parse(&argv("query ping --addr 127.0.0.1:7701")).unwrap(),
+            Command::Query { addr: "127.0.0.1:7701".into(), action: QueryAction::Ping }
+        );
+        assert_eq!(
+            parse(&argv("query create --addr h:1 --name net -i f.graph")).unwrap(),
+            Command::Query {
+                addr: "h:1".into(),
+                action: QueryAction::Create { name: "net".into(), input: "f.graph".into() }
+            }
+        );
+        assert_eq!(
+            parse(&argv("query route --name net --from 0 --to 9")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7700".into(),
+                action: QueryAction::Route { name: "net".into(), from: 0, to: 9 }
+            }
+        );
+        assert_eq!(
+            parse(&argv("query mutate --name net --join 1.5,2.5")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7700".into(),
+                action: QueryAction::Mutate {
+                    name: "net".into(),
+                    mutation: Mutation::Join { x: 1.5, y: 2.5 }
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("query mutate --name net --move 4,0.5,0.25")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7700".into(),
+                action: QueryAction::Mutate {
+                    name: "net".into(),
+                    mutation: Mutation::Move { node: 4, x: 0.5, y: 0.25 }
+                }
+            }
+        );
+        assert_eq!(
+            parse(&argv("query mutate --name net --leave 7")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7700".into(),
+                action: QueryAction::Mutate {
+                    name: "net".into(),
+                    mutation: Mutation::Leave { node: 7 }
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn serve_and_query_errors() {
+        assert!(parse(&argv("serve --workers 0")).unwrap_err().0.contains("--workers"));
+        assert!(parse(&argv("query")).unwrap_err().0.contains("action"));
+        assert!(parse(&argv("query frob")).unwrap_err().0.contains("frob"));
+        assert!(parse(&argv("query mutate --name n")).unwrap_err().0.contains("--join"));
+        assert!(parse(&argv("query mutate --name n --join 1")).unwrap_err().0.contains("--join"));
+        assert!(parse(&argv("query mutate --name n --move 1,2")).unwrap_err().0.contains("--move"));
+        assert!(parse(&argv("query route --name n --from 0")).unwrap_err().0.contains("--to"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Subcommand implementations: parsed [`Command`] → output string.
 
-use crate::args::{Algo, CliError, Command, Model, USAGE};
+use crate::args::{Algo, CliError, Command, Model, QueryAction, USAGE};
 use std::fmt::Write as _;
 use wcds_baselines::{GreedyCds, GreedyWcds, MisTreeCds, WuLiCds};
 use wcds_core::algo1::AlgorithmOne;
@@ -13,7 +13,14 @@ use wcds_graph::io::GraphDocument;
 use wcds_graph::metrics::GraphMetrics;
 use wcds_graph::{domination, io, traversal, UnitDiskGraph};
 use wcds_routing::BackboneRouter;
+use wcds_service::{Client, ClientError, Server, ServerConfig, Store};
 use wcds_sim::Schedule;
+
+impl From<ClientError> for CliError {
+    fn from(e: ClientError) -> Self {
+        CliError(format!("service: {e}"))
+    }
+}
 
 /// Executes a parsed command.
 ///
@@ -32,6 +39,8 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Compare { input } => compare(&load(&input)?),
         Command::Render { input, algo, output } => render(&load(&input)?, algo, &output),
         Command::Simulate { input, algo, async_seed } => simulate(&load(&input)?, algo, async_seed),
+        Command::Serve { addr, workers } => serve(&addr, workers),
+        Command::Query { addr, action } => query(&addr, action),
     }
 }
 
@@ -261,6 +270,93 @@ fn simulate(doc: &GraphDocument, algo: Algo, async_seed: Option<u64>) -> Result<
     Ok(out)
 }
 
+fn serve(addr: &str, workers: usize) -> Result<String, CliError> {
+    let config = ServerConfig { workers, ..ServerConfig::default() };
+    let handle = Server::bind(addr, Store::new(), config)
+        .map_err(|e| CliError(format!("cannot bind `{addr}`: {e}")))?;
+    // announced before blocking so scripts know the server is up (and,
+    // with port 0, which port it got)
+    println!("wcds-service listening on {} ({workers} workers)", handle.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let served = handle.join(); // blocks until a wire shutdown request
+    Ok(format!("server stopped after {served} requests\n"))
+}
+
+fn query(addr: &str, action: QueryAction) -> Result<String, CliError> {
+    let mut c = Client::connect(addr)
+        .map_err(|e| CliError(format!("cannot connect to `{addr}`: {e}")))?;
+    match action {
+        QueryAction::Ping => {
+            c.ping()?;
+            Ok("pong\n".to_string())
+        }
+        QueryAction::Create { name, input } => {
+            let payload = std::fs::read_to_string(&input)
+                .map_err(|e| CliError(format!("cannot read `{input}`: {e}")))?;
+            let (n, m, mobile) = c.create(&name, &payload)?;
+            Ok(format!(
+                "created `{name}`: {n} nodes, {m} edges, {}\n",
+                if mobile { "mobile" } else { "static" }
+            ))
+        }
+        QueryAction::Export { name, output } => {
+            let payload = c.export(&name)?;
+            if output == "-" {
+                return Ok(payload);
+            }
+            std::fs::write(&output, &payload)?;
+            Ok(format!("wrote {} bytes to {output}\n", payload.len()))
+        }
+        QueryAction::Construct { name } => {
+            let (mis, bridges, spanner_edges, epoch) = c.construct(&name)?;
+            Ok(format!(
+                "constructed `{name}` @ epoch {epoch}: |MIS| = {mis}, bridges = {bridges}, spanner |E'| = {spanner_edges}\n"
+            ))
+        }
+        QueryAction::Route { name, from, to } => {
+            let path = c.route(&name, from, to)?;
+            Ok(format!("route   : {path:?}\nhops    : {}\n", path.len().saturating_sub(1)))
+        }
+        QueryAction::Broadcast { name, source } => {
+            let (forwarders, informed) = c.broadcast(&name, source)?;
+            Ok(format!("broadcast from {source}: {forwarders} forwarders, {informed} informed\n"))
+        }
+        QueryAction::Stats { name } => {
+            let s = c.stats(&name)?;
+            let mut out = String::new();
+            let _ = writeln!(out, "topology     : {name} ({})", if s.mobile { "mobile" } else { "static" });
+            let _ = writeln!(out, "nodes/edges  : {} / {}", s.nodes, s.edges);
+            let _ = writeln!(out, "epoch        : {} (bundle cached: {})", s.epoch, s.cached);
+            let _ = writeln!(out, "backbone     : |MIS| = {}, bridges = {}, spanner |E'| = {}", s.mis, s.bridges, s.spanner_edges);
+            let _ = writeln!(out, "cache        : {} hits, {} misses, {} rebuilds", s.cache_hits, s.cache_misses, s.rebuilds);
+            Ok(out)
+        }
+        QueryAction::Mutate { name, mutation } => {
+            let (epoch, promoted, demoted) = c.mutate(&name, mutation)?;
+            Ok(format!(
+                "mutated `{name}` → epoch {epoch} (promoted {promoted:?}, demoted {demoted:?})\n"
+            ))
+        }
+        QueryAction::List => {
+            let names = c.list()?;
+            if names.is_empty() {
+                Ok("(no topologies)\n".to_string())
+            } else {
+                Ok(names.join("\n") + "\n")
+            }
+        }
+        QueryAction::Drop { name } => {
+            c.drop_topology(&name)?;
+            Ok(format!("dropped `{name}`\n"))
+        }
+        QueryAction::Shutdown => {
+            c.shutdown_server()?;
+            Ok("server shutting down\n".to_string())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +501,83 @@ mod tests {
     fn help_prints_usage() {
         let out = execute(Command::Help).unwrap();
         assert!(out.contains("USAGE"));
+        assert!(out.contains("serve"));
+        assert!(out.contains("query"));
+    }
+
+    /// The full serve/query session the CI smoke job scripts, run
+    /// in-process: serve in a thread, drive it with `wcds query`
+    /// invocations, shut it down over the wire, and check the serve
+    /// command returns.
+    #[test]
+    fn serve_and_query_session() {
+        // reserve a free port, then hand it to `wcds serve` (the gap is
+        // a benign race: nothing else in this test suite binds ports)
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+
+        let server = {
+            let addr = addr.clone();
+            std::thread::spawn(move || run(&format!("serve --addr {addr} --workers 2")))
+        };
+        // wait for the listener to come up
+        let mut up = false;
+        for _ in 0..100 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(up, "server never started listening on {addr}");
+
+        let graph = temp_path("serve-session.graph");
+        run(&format!("generate --model uniform --n 50 --side 3.5 --seed 11 -o {graph}")).unwrap();
+
+        assert_eq!(run(&format!("query ping --addr {addr}")).unwrap(), "pong\n");
+        let created =
+            run(&format!("query create --addr {addr} --name net -i {graph}")).unwrap();
+        assert!(created.contains("50 nodes"), "{created}");
+        assert!(created.contains("mobile"), "{created}");
+
+        let constructed = run(&format!("query construct --addr {addr} --name net")).unwrap();
+        assert!(constructed.contains("epoch 0"), "{constructed}");
+
+        let routed =
+            run(&format!("query route --addr {addr} --name net --from 0 --to 49")).unwrap();
+        assert!(routed.contains("route"), "{routed}");
+
+        let mutated =
+            run(&format!("query mutate --addr {addr} --name net --join 1.0,1.0")).unwrap();
+        assert!(mutated.contains("epoch 1"), "{mutated}");
+
+        let rerouted =
+            run(&format!("query route --addr {addr} --name net --from 0 --to 50")).unwrap();
+        assert!(rerouted.contains("50"), "{rerouted}");
+
+        let stats = run(&format!("query stats --addr {addr} --name net")).unwrap();
+        assert!(stats.contains("epoch        : 1"), "{stats}");
+
+        let listed = run(&format!("query list --addr {addr}")).unwrap();
+        assert_eq!(listed, "net\n");
+
+        let exported = run(&format!("query export --addr {addr} --name net")).unwrap();
+        assert!(exported.starts_with("nodes 51"), "{exported}");
+
+        // errors come back typed, not as hangs or dropped connections
+        let err = run(&format!("query stats --addr {addr} --name ghost")).unwrap_err();
+        assert!(err.0.contains("not-found"), "{err}");
+
+        assert_eq!(
+            run(&format!("query shutdown --addr {addr}")).unwrap(),
+            "server shutting down\n"
+        );
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("server stopped"), "{summary}");
+        let _ = std::fs::remove_file(&graph);
     }
 
     #[test]

@@ -20,6 +20,15 @@ use std::fmt;
 use std::str::FromStr;
 use wcds_geom::Point;
 
+/// Hard cap on the declared node count.
+///
+/// The parser allocates per-node state up front, so an adversarial
+/// `nodes 99999999999999` line would otherwise abort the process with a
+/// failed allocation before a single edge is read. Wire payloads (the
+/// service layer reuses this format over TCP) must degrade to a typed
+/// error instead.
+pub const MAX_NODES: usize = 1 << 24;
+
 /// Error parsing the text graph format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseGraphError {
@@ -27,13 +36,42 @@ pub struct ParseGraphError {
     kind: ParseErrorKind,
 }
 
+impl ParseGraphError {
+    /// The 1-based line the error was detected on (0 for whole-document
+    /// errors such as a missing header or undecodable bytes).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// What went wrong.
+    pub fn kind(&self) -> &ParseErrorKind {
+        &self.kind
+    }
+}
+
+/// The specific defect [`from_text`] / [`from_bytes`] rejected.
 #[derive(Debug, Clone, PartialEq)]
-enum ParseErrorKind {
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// No `nodes <n>` header before the first data line (or at all).
     MissingHeader,
+    /// A second `nodes` header — accepting it would silently discard
+    /// every edge and point read so far.
+    DuplicateHeader,
+    /// A directive other than `nodes` / `edge` / `point`.
     UnknownDirective(String),
+    /// Wrong token count or an unparsable token (includes lines cut off
+    /// mid-way by truncation).
     Malformed(String),
+    /// A node id at or beyond the declared count.
     OutOfRange(NodeId),
+    /// Two `point` lines for one node.
     DuplicatePoint(NodeId),
+    /// Declared node count beyond [`MAX_NODES`].
+    TooManyNodes(usize),
+    /// Byte input that is not valid UTF-8 (e.g. a frame truncated in
+    /// the middle of a multi-byte character).
+    InvalidUtf8,
 }
 
 impl fmt::Display for ParseGraphError {
@@ -52,6 +90,13 @@ impl fmt::Display for ParseGraphError {
             ParseErrorKind::DuplicatePoint(u) => {
                 write!(f, "line {}: duplicate point for node {u}", self.line)
             }
+            ParseErrorKind::DuplicateHeader => {
+                write!(f, "line {}: duplicate `nodes` header", self.line)
+            }
+            ParseErrorKind::TooManyNodes(n) => {
+                write!(f, "line {}: node count {n} exceeds the {MAX_NODES} limit", self.line)
+            }
+            ParseErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
         }
     }
 }
@@ -112,7 +157,13 @@ pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
         let err = |kind| ParseGraphError { line: line_no, kind };
         match directive {
             "nodes" => {
+                if builder.is_some() {
+                    return Err(err(ParseErrorKind::DuplicateHeader));
+                }
                 let count = parse_token::<usize>(parts.next(), line, line_no)?;
+                if count > MAX_NODES {
+                    return Err(err(ParseErrorKind::TooManyNodes(count)));
+                }
                 n = Some(count);
                 builder = Some(GraphBuilder::new(count));
                 points = vec![None; count];
@@ -159,6 +210,23 @@ pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
     let builder = builder.ok_or(ParseGraphError { line: 0, kind: ParseErrorKind::MissingHeader })?;
     let all_points: Option<Vec<Point>> = points.iter().copied().collect();
     Ok(GraphDocument { graph: builder.build(), points: all_points })
+}
+
+/// Parses the text format from raw bytes (e.g. a network frame).
+///
+/// Identical to [`from_text`] except that undecodable bytes — a frame
+/// truncated inside a multi-byte character, or binary garbage — yield a
+/// typed [`ParseErrorKind::InvalidUtf8`] instead of requiring the
+/// caller to pre-validate.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on invalid UTF-8 or any defect
+/// [`from_text`] rejects.
+pub fn from_bytes(bytes: &[u8]) -> Result<GraphDocument, ParseGraphError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ParseGraphError { line: 0, kind: ParseErrorKind::InvalidUtf8 })?;
+    from_text(text)
 }
 
 fn parse_token<T: FromStr>(
@@ -242,6 +310,40 @@ mod tests {
     fn partial_points_yield_none() {
         let doc = from_text("nodes 2\nedge 0 1\npoint 0 0.0 0.0\n").unwrap();
         assert!(doc.points.is_none());
+    }
+
+    #[test]
+    fn duplicate_header_is_error() {
+        let e = from_text("nodes 3\nedge 0 1\nnodes 2\n").unwrap_err();
+        assert_eq!(e.kind(), &ParseErrorKind::DuplicateHeader);
+        assert_eq!(e.line(), 3);
+    }
+
+    #[test]
+    fn absurd_node_count_is_error_not_abort() {
+        let e = from_text("nodes 99999999999999\n").unwrap_err();
+        assert!(matches!(e.kind(), ParseErrorKind::TooManyNodes(99999999999999)));
+    }
+
+    #[test]
+    fn truncated_lines_are_typed_errors() {
+        for text in ["nodes", "nodes 2\nedge 0", "nodes 2\nedge", "nodes 1\npoint 0 0.5"] {
+            let e = from_text(text).unwrap_err();
+            assert!(matches!(e.kind(), ParseErrorKind::Malformed(_)), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_invalid_utf8() {
+        let g = generators::connected_gnp(12, 0.3, 8);
+        let doc = from_bytes(to_text(&g, None).as_bytes()).unwrap();
+        assert_eq!(doc.graph, g);
+        // a frame cut inside a multi-byte character must not panic
+        let mut bytes = "nodes 2\nedge 0 1\n# é".as_bytes().to_vec();
+        bytes.truncate(bytes.len() - 1);
+        let e = from_bytes(&bytes).unwrap_err();
+        assert_eq!(e.kind(), &ParseErrorKind::InvalidUtf8);
+        assert_eq!(from_bytes(&[0xff, 0xfe, 0x00]).unwrap_err().kind(), &ParseErrorKind::InvalidUtf8);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Blocking client for the backbone service.
+//!
+//! One [`Client`] wraps one TCP connection and issues synchronous
+//! request/response round trips. Connections are persistent — any
+//! number of requests may flow over one client — and every socket
+//! operation is bounded by a timeout so a dead server surfaces as a
+//! typed error instead of a hang.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameRead, Mutation, Request, Response, TopologyStats,
+    WireError,
+};
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use wcds_graph::NodeId;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// Undecodable response bytes.
+    Wire(WireError),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong kind, or closed
+    /// the connection instead of answering.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a backbone server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Default per-operation socket timeout.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects with [`Client::DEFAULT_TIMEOUT`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on resolution or connection failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        Self::connect_with_timeout(addr, Self::DEFAULT_TIMEOUT)
+    }
+
+    /// Connects with an explicit connect/read/write timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] on resolution or connection failure.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last: Option<io::Error> = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    stream.set_nodelay(true)?;
+                    return Ok(Self { stream });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no address resolved")
+        })))
+    }
+
+    /// One raw request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure (a quiet server beyond
+    /// the timeout included), [`ClientError::Wire`] on an undecodable
+    /// response, [`ClientError::Protocol`] if the server closes instead
+    /// of answering. Server-side error *responses* are returned as
+    /// `Ok(Response::Error { .. })` here; the typed helpers below remap
+    /// them to [`ClientError::Server`].
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            FrameRead::Frame(body) => Ok(Response::decode(&body)?),
+            FrameRead::Eof => Err(ClientError::Protocol("server closed before responding")),
+            FrameRead::IdleTimeout => {
+                Err(ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "response timeout")))
+            }
+        }
+    }
+
+    fn expect(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.request(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Protocol("expected Pong")),
+        }
+    }
+
+    /// Ingests a topology from `wcds_graph::io` text; returns
+    /// `(nodes, edges, mobile)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server errors include `already-exists`
+    /// and `bad-payload`.
+    pub fn create(&mut self, name: &str, payload: &str) -> Result<(u64, u64, bool), ClientError> {
+        let req = Request::Create { name: name.into(), payload: payload.into() };
+        match self.expect(&req)? {
+            Response::Created { nodes, edges, mobile } => Ok((nodes, edges, mobile)),
+            _ => Err(ClientError::Protocol("expected Created")),
+        }
+    }
+
+    /// Dumps the current topology as `wcds_graph::io` text.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn export(&mut self, name: &str) -> Result<String, ClientError> {
+        match self.expect(&Request::Export { name: name.into() })? {
+            Response::Exported { payload } => Ok(payload),
+            _ => Err(ClientError::Protocol("expected Exported")),
+        }
+    }
+
+    /// Forces the artifact bundle to exist; returns
+    /// `(mis, bridges, spanner_edges, epoch)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn construct(&mut self, name: &str) -> Result<(u64, u64, u64, u64), ClientError> {
+        match self.expect(&Request::Construct { name: name.into() })? {
+            Response::Constructed { mis, bridges, spanner_edges, epoch } => {
+                Ok((mis, bridges, spanner_edges, epoch))
+            }
+            _ => Err(ClientError::Protocol("expected Constructed")),
+        }
+    }
+
+    /// Routes `from → to` over the backbone.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server errors include `out-of-range`
+    /// and `unroutable`.
+    pub fn route(&mut self, name: &str, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, ClientError> {
+        match self.expect(&Request::Route { name: name.into(), from, to })? {
+            Response::Routed { path } => Ok(path),
+            _ => Err(ClientError::Protocol("expected Routed")),
+        }
+    }
+
+    /// Backbone broadcast from `source`; returns
+    /// `(forwarders, informed)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn broadcast(&mut self, name: &str, source: NodeId) -> Result<(u64, u64), ClientError> {
+        match self.expect(&Request::Broadcast { name: name.into(), source })? {
+            Response::Broadcasted { forwarders, informed } => Ok((forwarders, informed)),
+            _ => Err(ClientError::Protocol("expected Broadcasted")),
+        }
+    }
+
+    /// Topology + cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self, name: &str) -> Result<TopologyStats, ClientError> {
+        match self.expect(&Request::Stats { name: name.into() })? {
+            Response::StatsOk(stats) => Ok(stats),
+            _ => Err(ClientError::Protocol("expected StatsOk")),
+        }
+    }
+
+    /// Applies one maintenance mutation; returns
+    /// `(epoch, promoted, demoted)`. Epochs are serialized per
+    /// topology, so the returned epoch is this mutation's global
+    /// position in the topology's mutation log.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server errors include `unsupported`
+    /// (static topology) and `out-of-range`.
+    pub fn mutate(
+        &mut self,
+        name: &str,
+        mutation: Mutation,
+    ) -> Result<(u64, Vec<NodeId>, Vec<NodeId>), ClientError> {
+        match self.expect(&Request::Mutate { name: name.into(), mutation })? {
+            Response::Mutated { epoch, promoted, demoted } => Ok((epoch, promoted, demoted)),
+            _ => Err(ClientError::Protocol("expected Mutated")),
+        }
+    }
+
+    /// Sorted names of all stored topologies.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.expect(&Request::List)? {
+            Response::Topologies { names } => Ok(names),
+            _ => Err(ClientError::Protocol("expected Topologies")),
+        }
+    }
+
+    /// Removes a topology.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn drop_topology(&mut self, name: &str) -> Result<(), ClientError> {
+        match self.expect(&Request::Drop { name: name.into() })? {
+            Response::Dropped => Ok(()),
+            _ => Err(ClientError::Protocol("expected Dropped")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; the server acknowledges
+    /// and then closes this connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Protocol("expected ShuttingDown")),
+        }
+    }
+}

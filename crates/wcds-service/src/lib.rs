@@ -1,0 +1,49 @@
+//! Backbone-as-a-service: serve WCDS backbones over TCP.
+//!
+//! This crate turns the static pipeline (`wcds-core` construction,
+//! `wcds-routing` backbone routing, `wcds-core::maintenance` mobility)
+//! into a long-running concurrent service:
+//!
+//! * [`protocol`] — a versioned, length-prefixed binary wire protocol.
+//!   Every message decodes totally: malformed bytes produce a typed
+//!   [`protocol::WireError`], never a panic, and length prefixes are
+//!   validated before allocation.
+//! * [`store`] — a sharded, epoch-cached topology store. Named
+//!   topologies live behind striped `RwLock`s; each carries an epoch
+//!   counter bumped by every mutation and a lazily built artifact
+//!   bundle (Algorithm II WCDS + spanner + routing tables) stamped with
+//!   its build epoch. Reads hit the cache while the stamp matches;
+//!   mutations invalidate by bumping the epoch.
+//! * [`server`] — a multi-threaded TCP front end: one acceptor plus a
+//!   fixed worker pool, per-connection framing, socket timeouts so a
+//!   stalled client cannot wedge a worker, and graceful shutdown that
+//!   joins every thread.
+//! * [`client`] — a blocking client with one typed method per request.
+//!
+//! The crate is dependency-free beyond the workspace compute crates:
+//! `std::net` + `std::thread` only (DESIGN.md §7).
+//!
+//! # Quick start
+//!
+//! ```
+//! use wcds_service::{Client, Server, ServerConfig, Store};
+//!
+//! let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! client.create("demo", "nodes 3\nedge 0 1\nedge 1 2\n").unwrap();
+//! let path = client.route("demo", 0, 2).unwrap();
+//! assert_eq!(path.first(), Some(&0));
+//! assert_eq!(path.last(), Some(&2));
+//! client.shutdown_server().unwrap();
+//! handle.join(); // returns once every worker thread has exited
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorCode, Mutation, Request, Response, TopologyStats, WireError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use store::{Store, StoreError};

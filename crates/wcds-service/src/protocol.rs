@@ -1,0 +1,933 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message on the wire is one **frame**:
+//!
+//! ```text
+//! [len: u32 LE] [version: u8] [tag: u8] [body…]      (len counts from `version`)
+//! ```
+//!
+//! Bodies are flat sequences of little-endian scalars and
+//! length-prefixed strings — no self-description, no external codec.
+//! Graph payloads reuse the `wcds_graph::io` text format (already the
+//! repo's persistence format, so server and CLI round-trip the same
+//! bytes), carried as a length-prefixed string.
+//!
+//! Decoding is total: truncated frames, unknown tags, wrong versions,
+//! oversized lengths, and trailing bytes all come back as typed
+//! [`WireError`]s, never panics — the server feeds these buffers
+//! straight from untrusted sockets.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use wcds_graph::NodeId;
+
+/// Protocol revision carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame body; larger declared lengths are rejected
+/// before allocation so a hostile peer cannot trigger an OOM abort.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A decoding failure (always a peer-side defect, never a panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame or field ended before its declared length.
+    Truncated,
+    /// Frame version byte differs from [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown message/enum discriminant.
+    UnknownTag { what: &'static str, tag: u8 },
+    /// Declared frame length beyond [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
+    /// Bytes left over after a complete decode.
+    TrailingBytes(usize),
+    /// A length-prefixed string that is not UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadVersion(v) => {
+                write!(f, "protocol version {v} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN} limit")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A topology mutation, applied through `wcds_core::maintenance`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mutation {
+    /// A node joins at `(x, y)` (it receives the next free id).
+    Join { x: f64, y: f64 },
+    /// Node `node` leaves; higher ids shift down by one.
+    Leave { node: NodeId },
+    /// Node `node` moves to `(x, y)`.
+    Move { node: NodeId, x: f64, y: f64 },
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ingest a topology under `name`; `payload` is `wcds_graph::io`
+    /// text. Payloads with `point` lines become mobile (mutable)
+    /// topologies; edge-only payloads are static.
+    Create { name: String, payload: String },
+    /// Dump the current topology as `wcds_graph::io` text.
+    Export { name: String },
+    /// Force the artifact bundle (WCDS + spanner + routing tables) to
+    /// be built now and return its summary.
+    Construct { name: String },
+    /// Clusterhead-route a packet over the cached backbone.
+    Route { name: String, from: NodeId, to: NodeId },
+    /// Backbone-broadcast from `source`, returning forwarder counts.
+    Broadcast { name: String, source: NodeId },
+    /// Topology + cache statistics.
+    Stats { name: String },
+    /// Apply one maintenance mutation (bumps the topology epoch).
+    Mutate { name: String, mutation: Mutation },
+    /// Names of all stored topologies.
+    List,
+    /// Remove a topology.
+    Drop { name: String },
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// Machine-readable failure category in an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unknown topology name.
+    NotFound,
+    /// `Create` for a name already in the store.
+    AlreadyExists,
+    /// Unparsable graph payload.
+    BadPayload,
+    /// Operation the topology cannot do (mutating a static one).
+    Unsupported,
+    /// Node id outside the topology.
+    OutOfRange,
+    /// No backbone route between the endpoints.
+    Unroutable,
+    /// Anything else (server-side defect).
+    Internal,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::NotFound => "not-found",
+            ErrorCode::AlreadyExists => "already-exists",
+            ErrorCode::BadPayload => "bad-payload",
+            ErrorCode::Unsupported => "unsupported",
+            ErrorCode::OutOfRange => "out-of-range",
+            ErrorCode::Unroutable => "unroutable",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-topology statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TopologyStats {
+    /// Node count.
+    pub nodes: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// Mutation epoch (0 at ingest, +1 per applied mutation).
+    pub epoch: u64,
+    /// Whether the topology accepts mutations (was ingested with
+    /// positions).
+    pub mobile: bool,
+    /// Whether the artifact bundle was already fresh when this request
+    /// arrived (i.e. this very request was a cache hit).
+    pub cached: bool,
+    /// MIS dominator count of the current WCDS.
+    pub mis: u64,
+    /// Additional (bridge) dominator count.
+    pub bridges: u64,
+    /// Edge count of the weakly-induced spanner.
+    pub spanner_edges: u64,
+    /// Lifetime artifact-cache hits for this topology.
+    pub cache_hits: u64,
+    /// Lifetime artifact-cache misses.
+    pub cache_misses: u64,
+    /// Lifetime artifact rebuilds (≤ misses; a miss that finds the
+    /// bundle already rebuilt by a racing request does not rebuild).
+    pub rebuilds: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Topology ingested.
+    Created {
+        /// Node count.
+        nodes: u64,
+        /// Edge count.
+        edges: u64,
+        /// Whether it accepts mutations.
+        mobile: bool,
+    },
+    /// The topology as `wcds_graph::io` text.
+    Exported {
+        /// Text-format document (graph + points when mobile).
+        payload: String,
+    },
+    /// Artifact bundle summary.
+    Constructed {
+        /// MIS dominator count.
+        mis: u64,
+        /// Additional (bridge) dominator count.
+        bridges: u64,
+        /// Spanner edge count.
+        spanner_edges: u64,
+        /// Epoch the bundle was built at.
+        epoch: u64,
+    },
+    /// A backbone route.
+    Routed {
+        /// Node path, inclusive of both endpoints.
+        path: Vec<NodeId>,
+    },
+    /// Broadcast outcome.
+    Broadcasted {
+        /// Retransmitting nodes.
+        forwarders: u64,
+        /// Nodes reached.
+        informed: u64,
+    },
+    /// Reply to [`Request::Stats`].
+    StatsOk(TopologyStats),
+    /// Mutation applied.
+    Mutated {
+        /// Epoch after the mutation; mutations are serialized per
+        /// topology, so epoch `k` is the `k`-th applied mutation.
+        epoch: u64,
+        /// Nodes that became dominators.
+        promoted: Vec<NodeId>,
+        /// Nodes that stopped being dominators.
+        demoted: Vec<NodeId>,
+    },
+    /// Reply to [`Request::List`].
+    Topologies {
+        /// Sorted topology names.
+        names: Vec<String>,
+    },
+    /// Topology removed.
+    Dropped,
+    /// Acknowledgement of [`Request::Shutdown`]; the server stops
+    /// accepting connections after sending it.
+    ShuttingDown,
+    /// Request-level failure.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// encoding primitives
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_nodes(out: &mut Vec<u8>, nodes: &[NodeId]) {
+    put_u64(out, nodes.len() as u64);
+    for &u in nodes {
+        put_u64(out, u as u64);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn node(&mut self) -> Result<NodeId, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Truncated)
+    }
+
+    fn len(&mut self) -> Result<usize, WireError> {
+        let n = self.node()?;
+        // any honest length fits in what remains of the frame
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(left))
+        }
+    }
+}
+
+fn read_nodes(r: &mut Reader<'_>) -> Result<Vec<NodeId>, WireError> {
+    let count = r.node()?;
+    // each element is 8 bytes; bound before allocating
+    if count > r.buf.len().saturating_sub(r.pos) / 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(r.node()?);
+    }
+    Ok(out)
+}
+
+fn read_strings(r: &mut Reader<'_>) -> Result<Vec<String>, WireError> {
+    let count = r.node()?;
+    if count > r.buf.len().saturating_sub(r.pos) {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(r.string()?);
+    }
+    Ok(out)
+}
+
+fn put_strings(out: &mut Vec<u8>, strings: &[String]) {
+    put_u64(out, strings.len() as u64);
+    for s in strings {
+        put_str(out, s);
+    }
+}
+
+fn header(tag: u8) -> Vec<u8> {
+    vec![PROTOCOL_VERSION, tag]
+}
+
+fn open(buf: &[u8]) -> Result<(u8, Reader<'_>), WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    Ok((tag, r))
+}
+
+// ---------------------------------------------------------------------
+// message encodings
+
+impl Mutation {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Mutation::Join { x, y } => {
+                out.push(0);
+                put_f64(out, *x);
+                put_f64(out, *y);
+            }
+            Mutation::Leave { node } => {
+                out.push(1);
+                put_u64(out, *node as u64);
+            }
+            Mutation::Move { node, x, y } => {
+                out.push(2);
+                put_u64(out, *node as u64);
+                put_f64(out, *x);
+                put_f64(out, *y);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Mutation::Join { x: r.f64()?, y: r.f64()? }),
+            1 => Ok(Mutation::Leave { node: r.node()? }),
+            2 => Ok(Mutation::Move { node: r.node()?, x: r.f64()?, y: r.f64()? }),
+            tag => Err(WireError::UnknownTag { what: "mutation", tag }),
+        }
+    }
+}
+
+impl Request {
+    /// Serialises the request into a frame body (version + tag + body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => header(0),
+            Request::Create { name, payload } => {
+                let mut out = header(1);
+                put_str(&mut out, name);
+                put_str(&mut out, payload);
+                out
+            }
+            Request::Export { name } => {
+                let mut out = header(2);
+                put_str(&mut out, name);
+                out
+            }
+            Request::Construct { name } => {
+                let mut out = header(3);
+                put_str(&mut out, name);
+                out
+            }
+            Request::Route { name, from, to } => {
+                let mut out = header(4);
+                put_str(&mut out, name);
+                put_u64(&mut out, *from as u64);
+                put_u64(&mut out, *to as u64);
+                out
+            }
+            Request::Broadcast { name, source } => {
+                let mut out = header(5);
+                put_str(&mut out, name);
+                put_u64(&mut out, *source as u64);
+                out
+            }
+            Request::Stats { name } => {
+                let mut out = header(6);
+                put_str(&mut out, name);
+                out
+            }
+            Request::Mutate { name, mutation } => {
+                let mut out = header(7);
+                put_str(&mut out, name);
+                mutation.encode_into(&mut out);
+                out
+            }
+            Request::List => header(8),
+            Request::Drop { name } => {
+                let mut out = header(9);
+                put_str(&mut out, name);
+                out
+            }
+            Request::Shutdown => header(10),
+        }
+    }
+
+    /// Decodes a frame body produced by [`Request::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, version or tag mismatch,
+    /// bad UTF-8, or trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (tag, mut r) = open(buf)?;
+        let req = match tag {
+            0 => Request::Ping,
+            1 => Request::Create { name: r.string()?, payload: r.string()? },
+            2 => Request::Export { name: r.string()? },
+            3 => Request::Construct { name: r.string()? },
+            4 => Request::Route { name: r.string()?, from: r.node()?, to: r.node()? },
+            5 => Request::Broadcast { name: r.string()?, source: r.node()? },
+            6 => Request::Stats { name: r.string()? },
+            7 => Request::Mutate { name: r.string()?, mutation: Mutation::decode_from(&mut r)? },
+            8 => Request::List,
+            9 => Request::Drop { name: r.string()? },
+            10 => Request::Shutdown,
+            tag => return Err(WireError::UnknownTag { what: "request", tag }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl ErrorCode {
+    fn to_tag(self) -> u8 {
+        match self {
+            ErrorCode::NotFound => 0,
+            ErrorCode::AlreadyExists => 1,
+            ErrorCode::BadPayload => 2,
+            ErrorCode::Unsupported => 3,
+            ErrorCode::OutOfRange => 4,
+            ErrorCode::Unroutable => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => ErrorCode::NotFound,
+            1 => ErrorCode::AlreadyExists,
+            2 => ErrorCode::BadPayload,
+            3 => ErrorCode::Unsupported,
+            4 => ErrorCode::OutOfRange,
+            5 => ErrorCode::Unroutable,
+            6 => ErrorCode::Internal,
+            tag => return Err(WireError::UnknownTag { what: "error code", tag }),
+        })
+    }
+}
+
+impl TopologyStats {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.nodes,
+            self.edges,
+            self.epoch,
+            self.mis,
+            self.bridges,
+            self.spanner_edges,
+            self.cache_hits,
+            self.cache_misses,
+            self.rebuilds,
+        ] {
+            put_u64(out, v);
+        }
+        out.push(u8::from(self.mobile));
+        out.push(u8::from(self.cached));
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let mut s = TopologyStats {
+            nodes: r.u64()?,
+            edges: r.u64()?,
+            epoch: r.u64()?,
+            mis: r.u64()?,
+            bridges: r.u64()?,
+            spanner_edges: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            rebuilds: r.u64()?,
+            ..TopologyStats::default()
+        };
+        s.mobile = r.u8()? != 0;
+        s.cached = r.u8()? != 0;
+        Ok(s)
+    }
+}
+
+impl Response {
+    /// Serialises the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => header(0),
+            Response::Created { nodes, edges, mobile } => {
+                let mut out = header(1);
+                put_u64(&mut out, *nodes);
+                put_u64(&mut out, *edges);
+                out.push(u8::from(*mobile));
+                out
+            }
+            Response::Exported { payload } => {
+                let mut out = header(2);
+                put_str(&mut out, payload);
+                out
+            }
+            Response::Constructed { mis, bridges, spanner_edges, epoch } => {
+                let mut out = header(3);
+                put_u64(&mut out, *mis);
+                put_u64(&mut out, *bridges);
+                put_u64(&mut out, *spanner_edges);
+                put_u64(&mut out, *epoch);
+                out
+            }
+            Response::Routed { path } => {
+                let mut out = header(4);
+                put_nodes(&mut out, path);
+                out
+            }
+            Response::Broadcasted { forwarders, informed } => {
+                let mut out = header(5);
+                put_u64(&mut out, *forwarders);
+                put_u64(&mut out, *informed);
+                out
+            }
+            Response::StatsOk(stats) => {
+                let mut out = header(6);
+                stats.encode_into(&mut out);
+                out
+            }
+            Response::Mutated { epoch, promoted, demoted } => {
+                let mut out = header(7);
+                put_u64(&mut out, *epoch);
+                put_nodes(&mut out, promoted);
+                put_nodes(&mut out, demoted);
+                out
+            }
+            Response::Topologies { names } => {
+                let mut out = header(8);
+                put_strings(&mut out, names);
+                out
+            }
+            Response::Dropped => header(9),
+            Response::ShuttingDown => header(10),
+            Response::Error { code, message } => {
+                let mut out = header(11);
+                out.push(code.to_tag());
+                put_str(&mut out, message);
+                out
+            }
+        }
+    }
+
+    /// Decodes a frame body produced by [`Response::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, version or tag mismatch,
+    /// bad UTF-8, or trailing bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let (tag, mut r) = open(buf)?;
+        let resp = match tag {
+            0 => Response::Pong,
+            1 => Response::Created {
+                nodes: r.u64()?,
+                edges: r.u64()?,
+                mobile: r.u8()? != 0,
+            },
+            2 => Response::Exported { payload: r.string()? },
+            3 => Response::Constructed {
+                mis: r.u64()?,
+                bridges: r.u64()?,
+                spanner_edges: r.u64()?,
+                epoch: r.u64()?,
+            },
+            4 => Response::Routed { path: read_nodes(&mut r)? },
+            5 => Response::Broadcasted { forwarders: r.u64()?, informed: r.u64()? },
+            6 => Response::StatsOk(TopologyStats::decode_from(&mut r)?),
+            7 => Response::Mutated {
+                epoch: r.u64()?,
+                promoted: read_nodes(&mut r)?,
+                demoted: read_nodes(&mut r)?,
+            },
+            8 => Response::Topologies { names: read_strings(&mut r)? },
+            9 => Response::Dropped,
+            10 => Response::ShuttingDown,
+            11 => Response::Error {
+                code: ErrorCode::from_tag(r.u8()?)?,
+                message: r.string()?,
+            },
+            tag => return Err(WireError::UnknownTag { what: "response", tag }),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// framing
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    assert!(body.len() <= MAX_FRAME_LEN, "outgoing frame exceeds MAX_FRAME_LEN");
+    let len = u32::try_from(body.len()).expect("bounded by MAX_FRAME_LEN");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Outcome of [`read_frame`] on a timeout-capable stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame body.
+    Frame(Vec<u8>),
+    /// Clean EOF before any byte of a frame (peer closed between
+    /// messages).
+    Eof,
+    /// A read timeout fired before any byte of a frame arrived — the
+    /// peer is connected but idle. The stream is still in sync; the
+    /// caller may poll a flag and retry.
+    IdleTimeout,
+}
+
+/// Reads one length-prefixed frame.
+///
+/// A timeout **between** frames comes back as
+/// [`FrameRead::IdleTimeout`] (safe to retry); a timeout **inside** a
+/// frame is an error, because the stream position is unknowable and
+/// the connection must be dropped — this is how a stalled client is
+/// prevented from wedging a server worker. EOF inside a frame is an
+/// `UnexpectedEof` error; an oversized length prefix is `InvalidData`
+/// (wrapping [`WireError::FrameTooLarge`]) and is rejected before any
+/// allocation.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including mid-frame timeouts, as above).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf) {
+        FullRead::Eof => return Ok(FrameRead::Eof),
+        FullRead::Idle => return Ok(FrameRead::IdleTimeout),
+        FullRead::Err(e) => return Err(e),
+        FullRead::Ok => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, WireError::FrameTooLarge(len)));
+    }
+    let mut body = vec![0u8; len];
+    match read_full(r, &mut body) {
+        FullRead::Eof => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside frame")),
+        // the length prefix was consumed: a quiet peer here is stalled
+        // mid-frame, not idle
+        FullRead::Idle => Err(io::Error::new(io::ErrorKind::TimedOut, "stalled inside frame")),
+        FullRead::Err(e) => Err(e),
+        FullRead::Ok => Ok(FrameRead::Frame(body)),
+    }
+}
+
+enum FullRead {
+    Ok,
+    /// Clean EOF before the first byte.
+    Eof,
+    /// Timeout before the first byte.
+    Idle,
+    Err(io::Error),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FullRead {
+    let mut filled = 0;
+    if buf.is_empty() {
+        return FullRead::Ok;
+    }
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return FullRead::Eof,
+            Ok(0) => {
+                return FullRead::Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && filled == 0 => return FullRead::Idle,
+            // a timeout after partial progress means a stalled peer:
+            // surface it (the caller drops the connection) instead of
+            // spinning forever on a half-frame
+            Err(e) => return FullRead::Err(e),
+        }
+    }
+    FullRead::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let buf = req.encode();
+        assert_eq!(Request::decode(&buf).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let buf = resp.encode();
+        assert_eq!(Response::decode(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Create {
+            name: "net".into(),
+            payload: "nodes 2\nedge 0 1\n".into(),
+        });
+        roundtrip_request(Request::Export { name: "net".into() });
+        roundtrip_request(Request::Construct { name: "net".into() });
+        roundtrip_request(Request::Route { name: "net".into(), from: 3, to: 99 });
+        roundtrip_request(Request::Broadcast { name: "net".into(), source: 0 });
+        roundtrip_request(Request::Stats { name: "net".into() });
+        for mutation in [
+            Mutation::Join { x: 1.5, y: -2.25 },
+            Mutation::Leave { node: 7 },
+            Mutation::Move { node: 4, x: 0.0, y: 9.75 },
+        ] {
+            roundtrip_request(Request::Mutate { name: "n".into(), mutation });
+        }
+        roundtrip_request(Request::List);
+        roundtrip_request(Request::Drop { name: "n".into() });
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_roundtrips() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Created { nodes: 10, edges: 20, mobile: true });
+        roundtrip_response(Response::Exported { payload: "nodes 1\n".into() });
+        roundtrip_response(Response::Constructed { mis: 4, bridges: 2, spanner_edges: 31, epoch: 5 });
+        roundtrip_response(Response::Routed { path: vec![0, 4, 2, 9] });
+        roundtrip_response(Response::Routed { path: vec![] });
+        roundtrip_response(Response::Broadcasted { forwarders: 6, informed: 50 });
+        roundtrip_response(Response::StatsOk(TopologyStats {
+            nodes: 100,
+            edges: 400,
+            epoch: 3,
+            mobile: true,
+            cached: false,
+            mis: 12,
+            bridges: 5,
+            spanner_edges: 210,
+            cache_hits: 40,
+            cache_misses: 4,
+            rebuilds: 4,
+        }));
+        roundtrip_response(Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] });
+        roundtrip_response(Response::Topologies { names: vec!["a".into(), "b".into()] });
+        roundtrip_response(Response::Dropped);
+        roundtrip_response(Response::ShuttingDown);
+        for code in [
+            ErrorCode::NotFound,
+            ErrorCode::AlreadyExists,
+            ErrorCode::BadPayload,
+            ErrorCode::Unsupported,
+            ErrorCode::OutOfRange,
+            ErrorCode::Unroutable,
+            ErrorCode::Internal,
+        ] {
+            roundtrip_response(Response::Error { code, message: format!("{code}") });
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_typed_error() {
+        let buf = Request::Mutate {
+            name: "topology".into(),
+            mutation: Mutation::Move { node: 3, x: 1.0, y: 2.0 },
+        }
+        .encode();
+        for cut in 0..buf.len() {
+            let e = Request::decode(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(e, WireError::Truncated | WireError::InvalidUtf8),
+                "cut at {cut}: {e:?}"
+            );
+        }
+        let buf = Response::Mutated { epoch: 2, promoted: vec![1, 5], demoted: vec![0] }.encode();
+        for cut in 0..buf.len() {
+            assert!(Response::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_version_and_tags_rejected() {
+        let mut buf = Request::Ping.encode();
+        buf[0] = 77;
+        assert_eq!(Request::decode(&buf).unwrap_err(), WireError::BadVersion(77));
+        let buf = vec![PROTOCOL_VERSION, 250];
+        assert!(matches!(
+            Request::decode(&buf).unwrap_err(),
+            WireError::UnknownTag { what: "request", tag: 250 }
+        ));
+        assert!(matches!(
+            Response::decode(&buf).unwrap_err(),
+            WireError::UnknownTag { what: "response", tag: 250 }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Request::List.encode();
+        buf.push(0);
+        assert_eq!(Request::decode(&buf).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // Create with a declared string length of u64::MAX
+        let mut buf = vec![PROTOCOL_VERSION, 1];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&buf).unwrap_err(), WireError::Truncated);
+        // Routed with a declared element count far beyond the frame
+        let mut buf = vec![PROTOCOL_VERSION, 4];
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        assert_eq!(Response::decode(&buf).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        write_frame(&mut wire, &Request::List.encode()).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let FrameRead::Frame(a) = read_frame(&mut cursor).unwrap() else { panic!("frame") };
+        let FrameRead::Frame(b) = read_frame(&mut cursor).unwrap() else { panic!("frame") };
+        assert_eq!(Request::decode(&a).unwrap(), Request::Ping);
+        assert_eq!(Request::decode(&b).unwrap(), Request::List);
+        assert_eq!(read_frame(&mut cursor).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn eof_inside_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3, 4, 5]).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut cursor = std::io::Cursor::new(wire);
+        let e = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frame_length_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(wire);
+        let e = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+}

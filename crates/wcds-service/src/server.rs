@@ -1,0 +1,355 @@
+//! Multi-threaded TCP front end: one acceptor, a fixed worker pool,
+//! per-connection framing, graceful shutdown.
+//!
+//! Threading model:
+//!
+//! * the **acceptor** thread owns the listener and hands accepted
+//!   streams to a channel;
+//! * `workers` **worker** threads pull connections off the channel and
+//!   serve them to completion (a connection may carry any number of
+//!   request frames);
+//! * read/write **timeouts** bound every socket operation, so a stalled
+//!   client mid-frame is dropped instead of wedging its worker, and an
+//!   idle worker re-checks the shutdown flag every timeout tick;
+//! * **shutdown** (triggered by a [`Request::Shutdown`] frame or by
+//!   [`ServerHandle::shutdown`]) flips a shared flag, nudges the
+//!   acceptor awake with a loopback connection, and joins every thread;
+//!   the listener closes when the acceptor returns.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameRead, Request, Response, WireError,
+};
+use crate::store::{Store, StoreError};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Socket read/write timeout; also the shutdown-poll period.
+    pub io_timeout: Duration,
+    /// Consecutive idle timeout ticks before an open but silent
+    /// connection is dropped (frees its worker for queued peers).
+    pub idle_ticks: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, io_timeout: Duration::from_millis(100), idle_ticks: 300 }
+    }
+}
+
+struct Shared {
+    store: Store,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    config: ServerConfig,
+    served: AtomicU64,
+}
+
+impl Shared {
+    /// Flips the flag and nudges the blocked acceptor awake.
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // a throwaway loopback connection unblocks `accept()`; if it
+        // fails the acceptor still exits on its next successful accept
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// A handle to a running server: its address, a way to stop it, and
+/// the join point proving every thread exited.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The backbone service.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port) and starts the acceptor
+    /// and worker threads over `store`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        store: Store,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            store,
+            shutdown: AtomicBool::new(false),
+            addr: local,
+            config: config.clone(),
+            served: AtomicU64::new(0),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("wcds-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("wcds-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &tx, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle { shared, acceptor: Some(acceptor), workers })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Total request frames served so far.
+    pub fn requests_served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// The shared topology store (for in-process inspection in tests
+    /// and benchmarks).
+    pub fn store(&self) -> &Store {
+        &self.shared.store
+    }
+
+    /// Whether shutdown has been requested (by wire or locally).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and waits for every thread to exit.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+    }
+
+    /// Waits for the server to stop (a wire `Shutdown` request, or a
+    /// prior [`ServerHandle::shutdown`] from another handle clone —
+    /// there are none, so in practice: the wire). Joins every thread;
+    /// returning proves no worker leaked. Returns the total number of
+    /// request frames served over the server's lifetime.
+    pub fn join(mut self) -> u64 {
+        self.join_threads();
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // dropping the handle without join()/shutdown() still stops the
+        // server rather than leaking detached threads
+        if !self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.trigger_shutdown();
+        }
+        self.join_threads();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break; // the nudge connection, or a late arrival
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // tx drops here: workers drain the queue and exit
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue lock");
+            match guard.recv_timeout(shared.config.io_timeout) {
+                Ok(s) => Some(s),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match stream {
+            Some(s) => serve_connection(s, shared),
+            None if shared.shutdown.load(Ordering::SeqCst) => break,
+            None => {}
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let timeout = shared.config.io_timeout;
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let mut idle: u32 = 0;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(FrameRead::Frame(frame)) => frame,
+            Ok(FrameRead::Eof) => return, // clean EOF between frames
+            Ok(FrameRead::IdleTimeout) => {
+                idle += 1;
+                if idle > shared.config.idle_ticks {
+                    return; // silent connection: free the worker
+                }
+                continue;
+            }
+            Err(_) => return, // stalled mid-frame, reset, or garbage
+        };
+        idle = 0;
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        let (response, close) = match Request::decode(&frame) {
+            Ok(Request::Shutdown) => {
+                shared.trigger_shutdown();
+                (Response::ShuttingDown, true)
+            }
+            Ok(req) => (handle(&shared.store, &req), false),
+            Err(e) => (wire_error_response(&e), true),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return; // peer gone or write stalled
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+fn wire_error_response(e: &WireError) -> Response {
+    Response::Error { code: ErrorCode::BadPayload, message: format!("malformed request: {e}") }
+}
+
+impl From<StoreError> for Response {
+    fn from(e: StoreError) -> Self {
+        Response::Error { code: e.code, message: e.message }
+    }
+}
+
+/// Executes one decoded request against the store. Pure
+/// request→response; all transport concerns live in the caller.
+fn handle(store: &Store, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Create { name, payload } => match store.create(name, payload) {
+            Ok((nodes, edges, mobile)) => Response::Created { nodes, edges, mobile },
+            Err(e) => e.into(),
+        },
+        Request::Export { name } => match store.export(name) {
+            Ok(payload) => Response::Exported { payload },
+            Err(e) => e.into(),
+        },
+        Request::Construct { name } => match store.bundle(name) {
+            Ok((bundle, _)) => Response::Constructed {
+                mis: bundle.wcds.mis_dominators().len() as u64,
+                bridges: bundle.wcds.additional_dominators().len() as u64,
+                spanner_edges: bundle.spanner.edge_count() as u64,
+                epoch: bundle.epoch,
+            },
+            Err(e) => e.into(),
+        },
+        Request::Route { name, from, to } => match store.route(name, *from, *to) {
+            Ok(path) => Response::Routed { path },
+            Err(e) => e.into(),
+        },
+        Request::Broadcast { name, source } => match store.broadcast(name, *source) {
+            Ok((forwarders, informed)) => Response::Broadcasted { forwarders, informed },
+            Err(e) => e.into(),
+        },
+        Request::Stats { name } => match store.stats(name) {
+            Ok(stats) => Response::StatsOk(stats),
+            Err(e) => e.into(),
+        },
+        Request::Mutate { name, mutation } => match store.mutate(name, mutation) {
+            Ok((epoch, report)) => {
+                Response::Mutated { epoch, promoted: report.promoted, demoted: report.demoted }
+            }
+            Err(e) => e.into(),
+        },
+        Request::List => Response::Topologies { names: store.list() },
+        Request::Drop { name } => match store.drop_topology(name) {
+            Ok(()) => Response::Dropped,
+            Err(e) => e.into(),
+        },
+        Request::Shutdown => Response::ShuttingDown, // handled by the caller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_pure_request_to_response() {
+        let store = Store::new();
+        assert_eq!(handle(&store, &Request::Ping), Response::Pong);
+        assert_eq!(handle(&store, &Request::List), Response::Topologies { names: vec![] });
+        let resp = handle(&store, &Request::Stats { name: "ghost".into() });
+        assert!(matches!(resp, Response::Error { code: ErrorCode::NotFound, .. }));
+        let resp = handle(
+            &store,
+            &Request::Create { name: "t".into(), payload: "nodes 2\nedge 0 1\n".into() },
+        );
+        assert_eq!(resp, Response::Created { nodes: 2, edges: 1, mobile: false });
+        let resp = handle(&store, &Request::Route { name: "t".into(), from: 0, to: 1 });
+        assert_eq!(resp, Response::Routed { path: vec![0, 1] });
+    }
+
+    #[test]
+    fn bind_and_shutdown_without_traffic() {
+        let handle =
+            Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+        assert_ne!(addr.port(), 0);
+        handle.shutdown();
+        // listener is closed: a fresh bind to the same port succeeds
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port not released: {rebound:?}");
+    }
+}

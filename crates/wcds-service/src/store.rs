@@ -1,0 +1,563 @@
+//! Sharded, epoch-cached topology store.
+//!
+//! Named topologies live behind a fixed array of `RwLock` shards
+//! (selected by name hash), so requests for different topologies —
+//! and, for different names within one shard, everything except the
+//! brief map access — never contend. Each topology carries:
+//!
+//! * a **mutation epoch**: 0 at ingest, +1 per applied maintenance
+//!   mutation (join / leave / move, executed by
+//!   `wcds_core::maintenance::MaintainedWcds`);
+//! * a lazily built **artifact bundle** — Algorithm II WCDS, the
+//!   weakly-induced spanner, clusterhead routing tables, and the
+//!   backbone broadcast plan — stamped with the epoch it was built at.
+//!
+//! A query whose bundle stamp equals the current epoch is a **cache
+//! hit** and runs under the topology's read lock (queries on one
+//! topology proceed in parallel). A mutation bumps the epoch without
+//! touching the bundle; the next query observes the stale stamp,
+//! rebuilds under the write lock, and re-stamps. Hit / miss / rebuild
+//! counters are atomics so the read path never needs a write lock.
+
+use crate::protocol::{ErrorCode, Mutation, TopologyStats};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::maintenance::{MaintainedWcds, RepairReport};
+use wcds_core::Wcds;
+use wcds_geom::Point;
+use wcds_graph::{io, traversal, Graph, NodeId};
+use wcds_routing::{BackboneRouter, BroadcastPlan};
+
+/// Shard count (fixed; names hash onto shards).
+pub const SHARDS: usize = 16;
+
+/// Unit-disk radius used when a payload carries positions.
+pub const UDG_RADIUS: f64 = 1.0;
+
+/// A store-level failure, carrying the wire error category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreError {
+    /// Machine-readable category (maps onto the wire protocol).
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> StoreError {
+    StoreError { code, message: message.into() }
+}
+
+/// The cached artifact bundle: everything a query needs, derived from
+/// one topology snapshot.
+#[derive(Debug)]
+pub struct Bundle {
+    /// Epoch of the topology snapshot this bundle was built from.
+    pub epoch: u64,
+    /// The WCDS (Algorithm II construction, maintained under mutation).
+    pub wcds: Wcds,
+    /// The weakly-induced spanner.
+    pub spanner: Graph,
+    /// Clusterhead routing tables over the spanner.
+    pub router: BackboneRouter,
+    /// Backbone broadcast plan; `None` when the topology is currently
+    /// disconnected or the WCDS is not (weakly) valid for it — mobility
+    /// can legitimately partition a unit-disk graph.
+    pub plan: Option<BroadcastPlan>,
+}
+
+/// Adjacency plus (for mobile topologies) the maintenance state.
+#[derive(Debug)]
+enum Body {
+    /// Edge-only ingest: immutable, WCDS built from the graph alone.
+    Static(Graph),
+    /// Position-carrying ingest: mutable through §4.2 maintenance.
+    Mobile(MaintainedWcds),
+}
+
+impl Body {
+    fn graph(&self) -> &Graph {
+        match self {
+            Body::Static(g) => g,
+            Body::Mobile(m) => m.graph(),
+        }
+    }
+
+    fn wcds(&self) -> Wcds {
+        match self {
+            // same deterministic rule as MaintainedWcds::new, so static
+            // and mobile topologies answer identically at epoch 0
+            Body::Static(g) => {
+                let (mis, additional) = AlgorithmTwo::new().construct_parts(g);
+                Wcds::new(mis, additional)
+            }
+            Body::Mobile(m) => m.wcds(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Topology {
+    body: Body,
+    epoch: u64,
+    bundle: Option<Arc<Bundle>>,
+}
+
+impl Topology {
+    /// Builds the artifact bundle from the current snapshot, from
+    /// scratch (no reuse of the stale bundle).
+    fn build_bundle(&self) -> Arc<Bundle> {
+        let g = self.body.graph();
+        let wcds = self.body.wcds();
+        let spanner = wcds.weakly_induced_subgraph(g);
+        let router = BackboneRouter::build(g, &wcds);
+        let plan = (traversal::is_connected(g) && wcds.is_valid(g))
+            .then(|| BroadcastPlan::for_wcds(g, &wcds));
+        Arc::new(Bundle { epoch: self.epoch, wcds, spanner, router, plan })
+    }
+}
+
+/// One stored topology: state behind its own `RwLock`, counters
+/// outside it.
+#[derive(Debug)]
+struct Entry {
+    topo: RwLock<Topology>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+type Shard = RwLock<HashMap<String, Arc<Entry>>>;
+
+/// The sharded topology store. Cheap to clone (`Arc` inside); one
+/// instance is shared by every server worker.
+#[derive(Debug, Clone)]
+pub struct Store {
+    shards: Arc<[Shard; SHARDS]>,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self { shards: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))) }
+    }
+
+    fn shard(&self, name: &str) -> &Shard {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() % SHARDS as u64) as usize]
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<Entry>, StoreError> {
+        self.shard(name)
+            .read()
+            .expect("shard lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
+    }
+
+    /// Ingests a topology from `wcds_graph::io` text. Payloads with
+    /// positions become mobile; edge-only payloads are static.
+    ///
+    /// # Errors
+    ///
+    /// `BadPayload` on unparsable text, `AlreadyExists` on a name
+    /// collision.
+    pub fn create(&self, name: &str, payload: &str) -> Result<(u64, u64, bool), StoreError> {
+        let doc = io::from_text(payload)
+            .map_err(|e| err(ErrorCode::BadPayload, format!("payload: {e}")))?;
+        let body = match doc.points {
+            Some(points) => Body::Mobile(MaintainedWcds::new(points, UDG_RADIUS)),
+            None => Body::Static(doc.graph),
+        };
+        let (n, m) = (body.graph().node_count() as u64, body.graph().edge_count() as u64);
+        let mobile = matches!(body, Body::Mobile(_));
+        let entry = Arc::new(Entry {
+            topo: RwLock::new(Topology { body, epoch: 0, bundle: None }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        });
+        let mut shard = self.shard(name).write().expect("shard lock");
+        if shard.contains_key(name) {
+            return Err(err(ErrorCode::AlreadyExists, format!("topology `{name}` exists")));
+        }
+        shard.insert(name.to_string(), entry);
+        Ok((n, m, mobile))
+    }
+
+    /// The current topology as `wcds_graph::io` text (with positions
+    /// when mobile).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown name.
+    pub fn export(&self, name: &str) -> Result<String, StoreError> {
+        let entry = self.entry(name)?;
+        let topo = entry.topo.read().expect("topology lock");
+        Ok(match &topo.body {
+            Body::Static(g) => io::to_text(g, None),
+            Body::Mobile(m) => io::to_text(m.graph(), Some(m.points())),
+        })
+    }
+
+    /// Returns the artifact bundle for the topology's **current**
+    /// epoch, building it if the cached one is missing or stale, plus
+    /// whether this call was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown name.
+    pub fn bundle(&self, name: &str) -> Result<(Arc<Bundle>, bool), StoreError> {
+        let entry = self.entry(name)?;
+        {
+            let topo = entry.topo.read().expect("topology lock");
+            if let Some(b) = &topo.bundle {
+                if b.epoch == topo.epoch {
+                    entry.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(b), true));
+                }
+            }
+        }
+        let mut topo = entry.topo.write().expect("topology lock");
+        // double-check: a racing query may have rebuilt while we waited
+        if let Some(b) = &topo.bundle {
+            if b.epoch == topo.epoch {
+                entry.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(b), false));
+            }
+        }
+        entry.misses.fetch_add(1, Ordering::Relaxed);
+        entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let bundle = topo.build_bundle();
+        topo.bundle = Some(Arc::clone(&bundle));
+        Ok((bundle, false))
+    }
+
+    /// Applies one maintenance mutation, bumping the epoch. The stale
+    /// bundle is left in place — queries detect the epoch mismatch and
+    /// rebuild lazily.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `Unsupported` (static topology), or `OutOfRange`.
+    pub fn mutate(&self, name: &str, mutation: &Mutation) -> Result<(u64, RepairReport), StoreError> {
+        let entry = self.entry(name)?;
+        let mut topo = entry.topo.write().expect("topology lock");
+        let n = topo.body.graph().node_count();
+        let Body::Mobile(m) = &mut topo.body else {
+            return Err(err(
+                ErrorCode::Unsupported,
+                format!("topology `{name}` is static (ingested without positions)"),
+            ));
+        };
+        let report = match *mutation {
+            Mutation::Join { x, y } => m.apply_join(Point::new(x, y)),
+            Mutation::Leave { node } => {
+                if node >= n {
+                    return Err(err(ErrorCode::OutOfRange, format!("node {node} ≥ n = {n}")));
+                }
+                m.apply_leave(node)
+            }
+            Mutation::Move { node, x, y } => {
+                if node >= n {
+                    return Err(err(ErrorCode::OutOfRange, format!("node {node} ≥ n = {n}")));
+                }
+                m.apply_motion(&[(node, Point::new(x, y))])
+            }
+        };
+        topo.epoch += 1;
+        Ok((topo.epoch, report))
+    }
+
+    /// Full statistics for one topology. Builds the bundle if stale, so
+    /// the WCDS/spanner numbers always describe the current epoch;
+    /// `cached` reports whether the bundle was already fresh.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown name.
+    pub fn stats(&self, name: &str) -> Result<TopologyStats, StoreError> {
+        let (bundle, cached) = self.bundle(name)?;
+        let entry = self.entry(name)?;
+        let topo = entry.topo.read().expect("topology lock");
+        Ok(TopologyStats {
+            nodes: topo.body.graph().node_count() as u64,
+            edges: topo.body.graph().edge_count() as u64,
+            epoch: topo.epoch,
+            mobile: matches!(topo.body, Body::Mobile(_)),
+            cached,
+            mis: bundle.wcds.mis_dominators().len() as u64,
+            bridges: bundle.wcds.additional_dominators().len() as u64,
+            spanner_edges: bundle.spanner.edge_count() as u64,
+            cache_hits: entry.hits.load(Ordering::Relaxed),
+            cache_misses: entry.misses.load(Ordering::Relaxed),
+            rebuilds: entry.rebuilds.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Routes `from → to` over the (possibly rebuilt) cached backbone.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `OutOfRange`, or `Unroutable` (no dominator-level
+    /// path, e.g. a partitioned topology).
+    pub fn route(&self, name: &str, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, StoreError> {
+        let (bundle, _) = self.bundle(name)?;
+        let n = bundle.spanner.node_count();
+        for u in [from, to] {
+            if u >= n {
+                return Err(err(ErrorCode::OutOfRange, format!("node {u} ≥ n = {n}")));
+            }
+        }
+        bundle
+            .router
+            .route(from, to)
+            .ok_or_else(|| err(ErrorCode::Unroutable, format!("no backbone route {from} → {to}")))
+    }
+
+    /// Simulates a backbone broadcast from `source`, returning
+    /// `(forwarder count, informed count)`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `OutOfRange`, or `Unsupported` when the topology is
+    /// currently partitioned (no broadcast plan).
+    pub fn broadcast(&self, name: &str, source: NodeId) -> Result<(u64, u64), StoreError> {
+        let (bundle, _) = self.bundle(name)?;
+        let entry = self.entry(name)?;
+        let topo = entry.topo.read().expect("topology lock");
+        let g = topo.body.graph();
+        if source >= g.node_count() {
+            return Err(err(
+                ErrorCode::OutOfRange,
+                format!("node {source} ≥ n = {}", g.node_count()),
+            ));
+        }
+        let plan = bundle.plan.as_ref().ok_or_else(|| {
+            err(ErrorCode::Unsupported, format!("topology `{name}` is partitioned"))
+        })?;
+        let outcome = plan.simulate(g, source);
+        let informed = g.node_count() - outcome.uncovered.len();
+        Ok((plan.forwarder_count() as u64, informed as u64))
+    }
+
+    /// Sorted names of all stored topologies.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().expect("shard lock").keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Removes a topology.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` for an unknown name.
+    pub fn drop_topology(&self, name: &str) -> Result<(), StoreError> {
+        self.shard(name)
+            .write()
+            .expect("shard lock")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcds_geom::deploy;
+    use wcds_graph::UnitDiskGraph;
+
+    fn payload(n: usize, side: f64, seed: u64) -> String {
+        let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed), UDG_RADIUS);
+        io::to_text(udg.graph(), Some(udg.points()))
+    }
+
+    #[test]
+    fn create_query_drop_lifecycle() {
+        let store = Store::new();
+        let (n, m, mobile) = store.create("a", &payload(60, 4.0, 1)).unwrap();
+        assert_eq!(n, 60);
+        assert!(m > 0);
+        assert!(mobile);
+        assert_eq!(store.list(), vec!["a".to_string()]);
+        assert_eq!(store.create("a", &payload(10, 3.0, 2)).unwrap_err().code, ErrorCode::AlreadyExists);
+        let stats = store.stats("a").unwrap();
+        assert_eq!(stats.epoch, 0);
+        assert!(!stats.cached, "first stats call builds the bundle");
+        assert!(store.stats("a").unwrap().cached, "second call hits");
+        store.drop_topology("a").unwrap();
+        assert_eq!(store.stats("a").unwrap_err().code, ErrorCode::NotFound);
+        assert_eq!(store.drop_topology("a").unwrap_err().code, ErrorCode::NotFound);
+    }
+
+    #[test]
+    fn static_topologies_reject_mutation() {
+        let store = Store::new();
+        store.create("s", "nodes 3\nedge 0 1\nedge 1 2\n").unwrap();
+        assert!(!store.stats("s").unwrap().mobile);
+        let e = store.mutate("s", &Mutation::Join { x: 0.0, y: 0.0 }).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Unsupported);
+        // queries still work
+        assert_eq!(store.route("s", 0, 2).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bad_payload_and_range_errors() {
+        let store = Store::new();
+        assert_eq!(store.create("x", "bogus 1\n").unwrap_err().code, ErrorCode::BadPayload);
+        store.create("x", &payload(30, 3.0, 4)).unwrap();
+        assert_eq!(store.route("x", 0, 999).unwrap_err().code, ErrorCode::OutOfRange);
+        assert_eq!(
+            store.mutate("x", &Mutation::Leave { node: 999 }).unwrap_err().code,
+            ErrorCode::OutOfRange
+        );
+        assert_eq!(
+            store.broadcast("x", 999).unwrap_err().code,
+            ErrorCode::OutOfRange
+        );
+    }
+
+    /// Satellite: interleave mutations with cached route queries; every
+    /// post-mutation response must equal a from-scratch rebuild
+    /// byte-for-byte, and no rebuild may happen between mutations.
+    #[test]
+    fn epoch_invalidation_matches_from_scratch_rebuild() {
+        let store = Store::new();
+        let initial = payload(80, 4.0, 7);
+        store.create("net", &initial).unwrap();
+
+        // the from-scratch oracle replays the same mutation log through
+        // a private MaintainedWcds, fully outside the store and its
+        // cache, and rebuilds fresh artifacts at every step
+        let doc = io::from_text(&initial).unwrap();
+        let mut oracle = MaintainedWcds::new(doc.points.expect("mobile payload"), UDG_RADIUS);
+
+        let mutations = [
+            Mutation::Join { x: 2.0, y: 2.0 },
+            Mutation::Move { node: 5, x: 1.0, y: 1.0 },
+            Mutation::Leave { node: 11 },
+            Mutation::Join { x: 0.5, y: 3.5 },
+            Mutation::Move { node: 40, x: 3.9, y: 0.1 },
+        ];
+        let pairs: &[(NodeId, NodeId)] = &[(0, 70), (3, 55), (12, 66), (7, 33)];
+
+        for (step, mutation) in mutations.iter().enumerate() {
+            let (epoch, _) = store.mutate("net", mutation).unwrap();
+            assert_eq!(epoch, step as u64 + 1);
+            match *mutation {
+                Mutation::Join { x, y } => {
+                    oracle.apply_join(Point::new(x, y));
+                }
+                Mutation::Leave { node } => {
+                    oracle.apply_leave(node);
+                }
+                Mutation::Move { node, x, y } => {
+                    oracle.apply_motion(&[(node, Point::new(x, y))]);
+                }
+            }
+
+            // (a) byte-for-byte: exported topology and served routes
+            // equal the from-scratch rebuild
+            assert_eq!(
+                store.export("net").unwrap(),
+                io::to_text(oracle.graph(), Some(oracle.points())),
+                "step {step}: topology diverged from replay"
+            );
+            let oracle_router = BackboneRouter::build(oracle.graph(), &oracle.wcds());
+            let before = store.stats("net").unwrap().rebuilds;
+            for &(s, t) in pairs {
+                let n = oracle.graph().node_count();
+                if s >= n || t >= n {
+                    continue;
+                }
+                let served = store.route("net", s, t).ok();
+                let fresh = oracle_router.route(s, t);
+                assert_eq!(served, fresh, "step {step}: route {s}→{t} diverged from rebuild");
+            }
+
+            // (b) exactly one rebuild per mutation (triggered by the
+            // stats call above), then pure cache hits
+            let after = store.stats("net").unwrap();
+            assert!(
+                after.rebuilds <= before + 1,
+                "step {step}: {} rebuilds for one mutation",
+                after.rebuilds - before
+            );
+            let r0 = after.rebuilds;
+            for &(s, t) in pairs {
+                let _ = store.route("net", s, t);
+            }
+            assert_eq!(
+                store.stats("net").unwrap().rebuilds,
+                r0,
+                "step {step}: rebuild occurred with no intervening mutation"
+            );
+        }
+        let final_stats = store.stats("net").unwrap();
+        assert_eq!(final_stats.epoch, mutations.len() as u64);
+        assert!(final_stats.cache_hits > 0);
+    }
+
+    /// The maintained WCDS after a mutation sequence equals what a
+    /// serial replay of the same log produces (single-threaded sanity
+    /// half of the concurrency satellite; the threaded version lives in
+    /// the server tests).
+    #[test]
+    fn export_replay_reproduces_state() {
+        let store = Store::new();
+        let initial = payload(50, 3.5, 9);
+        store.create("net", &initial).unwrap();
+        let log = [
+            Mutation::Join { x: 1.0, y: 2.0 },
+            Mutation::Leave { node: 3 },
+            Mutation::Move { node: 20, x: 0.2, y: 0.3 },
+        ];
+        for m in &log {
+            store.mutate("net", m).unwrap();
+        }
+        let doc = io::from_text(&initial).unwrap();
+        let mut replay = MaintainedWcds::new(doc.points.unwrap(), UDG_RADIUS);
+        for m in &log {
+            match *m {
+                Mutation::Join { x, y } => {
+                    replay.apply_join(Point::new(x, y));
+                }
+                Mutation::Leave { node } => {
+                    replay.apply_leave(node);
+                }
+                Mutation::Move { node, x, y } => {
+                    replay.apply_motion(&[(node, Point::new(x, y))]);
+                }
+            }
+        }
+        assert_eq!(
+            store.export("net").unwrap(),
+            io::to_text(replay.graph(), Some(replay.points()))
+        );
+    }
+}

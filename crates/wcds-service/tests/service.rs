@@ -1,0 +1,260 @@
+//! End-to-end tests over real TCP: a full scripted session, and the
+//! concurrency stress satellite (≥ 8 client threads, mixed reads and
+//! mutations, serial-replay equivalence).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use wcds_core::maintenance::MaintainedWcds;
+use wcds_geom::{deploy, Point};
+use wcds_graph::{io, UnitDiskGraph};
+use wcds_rng::{ChaCha12Rng, Rng};
+use wcds_service::store::UDG_RADIUS;
+use wcds_service::{Client, ClientError, ErrorCode, Mutation, Server, ServerConfig, Store};
+
+fn payload(n: usize, side: f64, seed: u64) -> String {
+    let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed), UDG_RADIUS);
+    io::to_text(udg.graph(), Some(udg.points()))
+}
+
+/// One client walks the whole API over a real socket: ingest, query,
+/// mutate, re-query, administer, shut down. The post-join assertions
+/// are the graceful-shutdown acceptance check — `join()` returning
+/// proves no worker thread leaked, and a rebind proves the listener
+/// closed.
+#[test]
+fn tcp_session_end_to_end() {
+    let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut c = Client::connect_with_timeout(addr, Duration::from_secs(10)).unwrap();
+
+    c.ping().unwrap();
+    let initial = payload(70, 4.0, 21);
+    let (n, m, mobile) = c.create("net", &initial).unwrap();
+    assert_eq!(n, 70);
+    assert!(m > 0);
+    assert!(mobile);
+    assert!(matches!(
+        c.create("net", &initial),
+        Err(ClientError::Server { code: ErrorCode::AlreadyExists, .. })
+    ));
+
+    let (mis, _bridges, spanner_edges, epoch) = c.construct("net").unwrap();
+    assert!(mis > 0);
+    assert!(spanner_edges > 0);
+    assert_eq!(epoch, 0);
+
+    let path = c.route("net", 0, 69).unwrap();
+    assert_eq!(path.first(), Some(&0));
+    assert_eq!(path.last(), Some(&69));
+    let (forwarders, informed) = c.broadcast("net", 0).unwrap();
+    assert!(forwarders > 0);
+    assert_eq!(informed, 70, "connected deployment: broadcast reaches everyone");
+
+    let stats = c.stats("net").unwrap();
+    assert_eq!(stats.nodes, 70);
+    assert_eq!(stats.epoch, 0);
+    assert!(stats.cached, "route/broadcast left a fresh bundle behind");
+
+    // mutate, then check the next query observes the new epoch
+    let (epoch, _, _) = c.mutate("net", Mutation::Join { x: 2.0, y: 2.0 }).unwrap();
+    assert_eq!(epoch, 1);
+    let stats = c.stats("net").unwrap();
+    assert_eq!(stats.nodes, 71);
+    assert_eq!(stats.epoch, 1);
+    let path = c.route("net", 0, 70).unwrap();
+    assert_eq!(path.last(), Some(&70), "post-mutation route reaches the joined node");
+
+    // export equals a serial replay of the one-mutation log
+    let doc = io::from_text(&initial).unwrap();
+    let mut replay = MaintainedWcds::new(doc.points.unwrap(), UDG_RADIUS);
+    replay.apply_join(Point::new(2.0, 2.0));
+    assert_eq!(c.export("net").unwrap(), io::to_text(replay.graph(), Some(replay.points())));
+
+    assert_eq!(c.list().unwrap(), vec!["net".to_string()]);
+    c.drop_topology("net").unwrap();
+    assert!(matches!(
+        c.route("net", 0, 1),
+        Err(ClientError::Server { code: ErrorCode::NotFound, .. })
+    ));
+
+    assert!(handle.requests_served() > 10);
+    c.shutdown_server().unwrap();
+    handle.join(); // returns ⇒ acceptor and every worker exited
+    assert!(
+        std::net::TcpListener::bind(addr).is_ok(),
+        "listener not closed after graceful shutdown"
+    );
+}
+
+/// A second connection opened mid-session sees the same store, and a
+/// malformed frame gets a typed error without killing the server.
+#[test]
+fn tcp_concurrent_clients_share_state_and_survive_garbage() {
+    let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    a.create("shared", "nodes 3\nedge 0 1\nedge 1 2\n").unwrap();
+
+    let mut b = Client::connect(addr).unwrap();
+    assert_eq!(b.route("shared", 0, 2).unwrap(), vec![0, 1, 2]);
+
+    // hand-rolled garbage frame: valid length prefix, junk body — the
+    // server answers with a typed error and closes that connection only
+    {
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        raw.write_all(&3u32.to_le_bytes()).unwrap();
+        raw.write_all(&[0xFF, 0xFF, 0xFF]).unwrap();
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf).unwrap();
+        assert!(!buf.is_empty(), "expected an error frame before close");
+    }
+
+    // both real clients still work afterwards
+    a.ping().unwrap();
+    assert_eq!(b.route("shared", 0, 2).unwrap(), vec![0, 1, 2]);
+    handle.shutdown();
+}
+
+/// Stress satellite: ≥ 8 client threads hammer one mobile topology with
+/// a mixed read/mutation workload over TCP. Afterwards:
+///
+/// * no deadlock (the test finishes) and no poisoned lock (the server
+///   keeps answering);
+/// * the final exported state equals a **serial replay** of the applied
+///   mutation log. Mutations serialize per topology, so the epoch each
+///   `Mutated` response carries is that mutation's position in the
+///   global order — collecting (epoch, mutation) pairs across threads
+///   and sorting by epoch reconstructs the exact applied sequence.
+#[test]
+fn stress_mixed_readers_and_mutators_match_serial_replay() {
+    const CLIENTS: usize = 8;
+    const OPS_PER_CLIENT: usize = 40;
+
+    // workers ≥ client threads, so no client waits on a busy pool
+    let config = ServerConfig { workers: CLIENTS + 2, ..ServerConfig::default() };
+    let handle = Server::bind("127.0.0.1:0", Store::new(), config).unwrap();
+    let addr = handle.local_addr();
+
+    let initial = payload(60, 4.0, 33);
+    Client::connect(addr).unwrap().create("net", &initial).unwrap();
+
+    let log: Arc<Mutex<Vec<(u64, Mutation)>>> = Arc::new(Mutex::new(Vec::new()));
+    let failed = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            let log = Arc::clone(&log);
+            let failed = Arc::clone(&failed);
+            let initial_n = 60usize;
+            scope.spawn(move || {
+                let mut rng = ChaCha12Rng::seed_from_u64(1000 + t as u64);
+                let mut c = Client::connect_with_timeout(addr, Duration::from_secs(30))
+                    .expect("stress client connect");
+                for _ in 0..OPS_PER_CLIENT {
+                    // half the threads mutate 1-in-4 ops; the rest only read
+                    let mutator = t % 2 == 0;
+                    if mutator && rng.gen_range(0..4usize) == 0 {
+                        let mutation = match rng.gen_range(0..3usize) {
+                            0 => Mutation::Join {
+                                x: rng.gen::<f64>() * 4.0,
+                                y: rng.gen::<f64>() * 4.0,
+                            },
+                            // keep indices small so most leaves/moves
+                            // stay in range as concurrent leaves shrink n
+                            1 => Mutation::Leave { node: rng.gen_range(0..20usize) },
+                            _ => Mutation::Move {
+                                node: rng.gen_range(0..20usize),
+                                x: rng.gen::<f64>() * 4.0,
+                                y: rng.gen::<f64>() * 4.0,
+                            },
+                        };
+                        match c.mutate("net", mutation.clone()) {
+                            Ok((epoch, _, _)) => {
+                                log.lock().unwrap().push((epoch, mutation));
+                            }
+                            Err(ClientError::Server {
+                                code: ErrorCode::OutOfRange, ..
+                            }) => {} // racing leave shrank n first; not applied
+                            Err(e) => {
+                                eprintln!("mutate failed: {e}");
+                                failed.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                        }
+                    } else {
+                        let s = rng.gen_range(0..initial_n);
+                        let d = rng.gen_range(0..initial_n);
+                        match rng.gen_range(0..3usize) {
+                            0 => match c.route("net", s, d) {
+                                Ok(path) => {
+                                    assert_eq!(path.first(), Some(&s));
+                                    assert_eq!(path.last(), Some(&d));
+                                }
+                                Err(ClientError::Server {
+                                    code: ErrorCode::OutOfRange | ErrorCode::Unroutable,
+                                    ..
+                                }) => {} // shrunk or partitioned mid-flight
+                                Err(e) => {
+                                    eprintln!("route failed: {e}");
+                                    failed.store(true, Ordering::SeqCst);
+                                    return;
+                                }
+                            },
+                            1 => {
+                                let stats = c.stats("net").expect("stats");
+                                assert!(stats.mobile);
+                                assert!(stats.nodes > 0);
+                            }
+                            _ => {
+                                assert!(!c.export("net").expect("export").is_empty());
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(!failed.load(Ordering::SeqCst), "a stress client hit an unexpected error");
+
+    // server is still healthy: no poisoned lock, no wedged worker
+    let mut c = Client::connect(addr).unwrap();
+    c.ping().unwrap();
+    let final_export = c.export("net").unwrap();
+    let final_stats = c.stats("net").unwrap();
+
+    // reconstruct the applied order from the epochs and replay serially
+    let mut applied = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+    applied.sort_by_key(|&(epoch, _)| epoch);
+    let epochs: HashSet<u64> = applied.iter().map(|&(e, _)| e).collect();
+    assert_eq!(epochs.len(), applied.len(), "mutation epochs must be unique");
+    assert_eq!(final_stats.epoch, applied.len() as u64, "every applied mutation bumped once");
+
+    let doc = io::from_text(&initial).unwrap();
+    let mut replay = MaintainedWcds::new(doc.points.unwrap(), UDG_RADIUS);
+    for (_, mutation) in &applied {
+        match *mutation {
+            Mutation::Join { x, y } => {
+                replay.apply_join(Point::new(x, y));
+            }
+            Mutation::Leave { node } => {
+                replay.apply_leave(node);
+            }
+            Mutation::Move { node, x, y } => {
+                replay.apply_motion(&[(node, Point::new(x, y))]);
+            }
+        }
+    }
+    assert_eq!(
+        final_export,
+        io::to_text(replay.graph(), Some(replay.points())),
+        "concurrent final state diverged from serial replay of the mutation log"
+    );
+
+    c.shutdown_server().unwrap();
+    handle.join();
+}

@@ -12,7 +12,10 @@
 //! * [`core`] — MIS ranking theory and the paper's two WCDS algorithms;
 //! * [`baselines`] — greedy/exact comparison algorithms;
 //! * [`routing`] — clusterhead routing and backbone broadcast over the
-//!   induced spanner.
+//!   induced spanner;
+//! * [`service`] — backbone-as-a-service: a binary wire protocol, a
+//!   multi-threaded TCP server over an epoch-cached topology store, and
+//!   a blocking client.
 //!
 //! # Quickstart
 //!
@@ -39,5 +42,6 @@ pub use wcds_core as core;
 pub use wcds_geom as geom;
 pub use wcds_graph as graph;
 pub use wcds_routing as routing;
+pub use wcds_service as service;
 pub use wcds_sim as sim;
 pub use wcds_vis as vis;

@@ -1,0 +1,53 @@
+//! Facade-level integration test for the service layer: the whole
+//! stack — deployment generator → UDG → service ingest over TCP →
+//! cached backbone queries → mobility maintenance — driven through
+//! `wcds::service` re-exports only.
+
+use wcds::geom::deploy;
+use wcds::graph::{io, traversal, UnitDiskGraph};
+use wcds::routing::BackboneRouter;
+use wcds::service::{Client, Mutation, Server, ServerConfig, Store};
+
+#[test]
+fn service_answers_match_the_library_pipeline() {
+    // deployment the library way
+    let udg = {
+        let mut attempt = 0;
+        loop {
+            let udg = UnitDiskGraph::build(deploy::uniform(90, 4.5, 4.5, 100 + attempt), 1.0);
+            if traversal::is_connected(udg.graph()) {
+                break udg;
+            }
+            attempt += 1;
+            assert!(attempt < 100, "no connected deployment");
+        }
+    };
+    let payload = io::to_text(udg.graph(), Some(udg.points()));
+
+    let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.create("net", &payload).unwrap();
+
+    // the served backbone at epoch 0 equals the library construction:
+    // the store runs the same deterministic Algorithm II rule
+    let maintained =
+        wcds::core::maintenance::MaintainedWcds::new(udg.points().to_vec(), 1.0);
+    let (mis, bridges, _, epoch) = client.construct("net").unwrap();
+    assert_eq!(epoch, 0);
+    assert_eq!(mis, maintained.wcds().mis_dominators().len() as u64);
+    assert_eq!(bridges, maintained.wcds().additional_dominators().len() as u64);
+
+    let router = BackboneRouter::build(udg.graph(), &maintained.wcds());
+    for (s, t) in [(0, 89), (5, 41), (33, 7)] {
+        assert_eq!(client.route("net", s, t).unwrap(), router.route(s, t).unwrap());
+    }
+
+    // a mutation round-trips through §4.2 maintenance
+    let (epoch, _, _) = client.mutate("net", Mutation::Leave { node: 0 }).unwrap();
+    assert_eq!(epoch, 1);
+    let stats = client.stats("net").unwrap();
+    assert_eq!(stats.nodes, 89);
+
+    client.shutdown_server().unwrap();
+    handle.join();
+}
