@@ -1,0 +1,318 @@
+//! A small, comment- and string-aware Rust lexer.
+//!
+//! The lint engine must never flag a `unwrap()` that lives inside a
+//! string literal or a doc comment. Rather than parse Rust properly,
+//! this module produces a **masked** copy of a source file: identical
+//! length and line structure, but with every comment, string, char and
+//! byte literal blanked to spaces. Pattern scans then run on the mask,
+//! where every remaining character is real code.
+//!
+//! While masking, `// analyze: allow(<lint>, "<justification>")`
+//! pragmas are extracted from line comments with their line numbers —
+//! the one piece of comment content the lint engine *does* want.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings `r#"…"#` (any number of
+//! hashes), byte strings `b"…"` / `br#"…"#`, char and byte-char
+//! literals, and the char-vs-lifetime ambiguity (`'a'` vs `<'a>`).
+
+/// One `// analyze: allow(...)` pragma found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// Lint name inside `allow(...)` (not yet validated).
+    pub lint: String,
+    /// The quoted justification; empty if missing or empty — the lint
+    /// engine rejects such pragmas.
+    pub justification: String,
+}
+
+/// A lexed source file: the code-only mask plus extracted pragmas.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Same character count and newline positions as the input; every
+    /// comment/string/char-literal character replaced by a space.
+    pub masked: String,
+    /// Pragmas in source order.
+    pub pragmas: Vec<Pragma>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into its code mask and pragma list.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut masked = String::with_capacity(src.len());
+    let mut pragmas = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // pushes `n` blanks, preserving any newlines in the consumed range
+    let blank =
+        |masked: &mut String, line: &mut usize, chars: &[char], start: usize, end: usize| {
+            for &c in chars.iter().take(end).skip(start) {
+                if c == '\n' {
+                    masked.push('\n');
+                    *line += 1;
+                } else {
+                    masked.push(' ');
+                }
+            }
+        };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        let prev_ident = i > 0 && is_ident(chars[i - 1]);
+        match c {
+            '/' if next == Some('/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if let Some(p) = parse_pragma(&text, line) {
+                    pragmas.push(p);
+                }
+                blank(&mut masked, &mut line, &chars, start, i);
+            }
+            '/' if next == Some('*') => {
+                let start = i;
+                let mut depth = 1u32;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, &mut line, &chars, start, i);
+            }
+            '"' => {
+                let start = i;
+                i = skip_string(&chars, i);
+                blank(&mut masked, &mut line, &chars, start, i);
+            }
+            'r' | 'b' if !prev_ident => {
+                // maybe a raw/byte literal prefix: r", r#", b", br#", b'
+                if let Some(end) = skip_prefixed_literal(&chars, i) {
+                    blank(&mut masked, &mut line, &chars, i, end);
+                    i = end;
+                } else {
+                    masked.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // char literal or lifetime?
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(_) => chars.get(i + 2) == Some(&'\''),
+                    None => false,
+                };
+                if is_char {
+                    let start = i;
+                    i += 1; // opening quote
+                    if chars.get(i) == Some(&'\\') {
+                        i += 1; // the escape marker; skip the escaped char below
+                        if matches!(chars.get(i), Some('x')) {
+                            i += 2;
+                        } else if matches!(chars.get(i), Some('u')) {
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            i = i.saturating_sub(1);
+                        }
+                    }
+                    i += 1; // the char itself
+                    if chars.get(i) == Some(&'\'') {
+                        i += 1; // closing quote
+                    }
+                    blank(&mut masked, &mut line, &chars, start, i);
+                } else {
+                    // lifetime: keep the tick as code
+                    masked.push('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                masked.push('\n');
+                line += 1;
+                i += 1;
+            }
+            _ => {
+                masked.push(c);
+                i += 1;
+            }
+        }
+    }
+    Lexed { masked, pragmas }
+}
+
+/// Skips a plain (escaped) string starting at the opening `"` at `i`;
+/// returns the index one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// At an `r` or `b` that may start a raw/byte literal: returns the end
+/// index of the literal, or `None` if it is just an identifier.
+fn skip_prefixed_literal(chars: &[char], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    if chars.get(start) == Some(&'b') {
+        match chars.get(i) {
+            Some('\'') => {
+                // byte char b'x' or b'\n'
+                i += 1;
+                if chars.get(i) == Some(&'\\') {
+                    i += 1;
+                }
+                i += 1;
+                if chars.get(i) == Some(&'\'') {
+                    return Some(i + 1);
+                }
+                return None;
+            }
+            Some('"') => return Some(skip_string(chars, i)),
+            Some('r') => i += 1,
+            _ => return None,
+        }
+    }
+    // raw part: zero or more #, then "
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    // scan for `"` followed by `hashes` hashes
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Parses `analyze: allow(<lint>, "<justification>")` out of one line
+/// comment's text.
+fn parse_pragma(comment: &str, line: usize) -> Option<Pragma> {
+    let rest = comment.split_once("analyze:")?.1;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.rfind(')')?;
+    let inner = &inner[..close];
+    let (lint, justification) = match inner.split_once(',') {
+        Some((l, j)) => {
+            let j = j.trim();
+            let j = j.strip_prefix('"').and_then(|j| j.strip_suffix('"')).unwrap_or("");
+            (l.trim().to_string(), j.to_string())
+        }
+        None => (inner.trim().to_string(), String::new()),
+    };
+    Some(Pragma { line, lint, justification })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unwrap()\"; // unwrap()\nlet y = 1; /* unwrap() */ z();\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("let x ="));
+        assert!(lexed.masked.contains("z()"));
+        assert_eq!(lexed.masked.chars().filter(|&c| c == '\n').count(), 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let src = r####"let a = r#"x.unwrap()"#; let b = b"unwrap"; let c = br##"expect("q")"##;"####;
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(!lexed.masked.contains("expect"));
+        assert!(lexed.masked.contains("let a ="));
+        assert!(lexed.masked.contains("let c ="));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '\\''; let d = 'x'; c }";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("<'a>"));
+        assert!(lexed.masked.contains("&'a str"));
+        assert!(!lexed.masked.contains("'x'"));
+        assert_eq!(lexed.masked.len(), src.len());
+    }
+
+    #[test]
+    fn multiline_strings_preserve_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nnext();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.chars().filter(|&c| c == '\n').count(), 3);
+        // `next()` must still land on line 3
+        let lines: Vec<&str> = lexed.masked.lines().collect();
+        assert!(lines[2].contains("next()"));
+    }
+
+    #[test]
+    fn pragma_extraction() {
+        let src = "\nlet i = idx; // analyze: allow(slice-index, \"idx < N by construction\")\na[i];\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.pragmas,
+            vec![Pragma {
+                line: 2,
+                lint: "slice-index".into(),
+                justification: "idx < N by construction".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn pragma_without_justification_is_captured_empty() {
+        let src = "// analyze: allow(panic-site)\nx.unwrap();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.pragmas.len(), 1);
+        assert_eq!(lexed.pragmas[0].lint, "panic-site");
+        assert!(lexed.pragmas[0].justification.is_empty());
+    }
+
+    #[test]
+    fn identifier_starting_with_r_or_b_is_not_a_literal() {
+        let src = "let rng = r_value + b_flag; let raw = rbuf;";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked, src);
+    }
+}

@@ -1,0 +1,130 @@
+//! `wcds-analyze` — the repo's correctness gate.
+//!
+//! ```text
+//! wcds-analyze check            # all three engines (the CI gate)
+//! wcds-analyze lints [--root P] # source lints only
+//! wcds-analyze races            # interleaving checker only
+//! wcds-analyze totality         # decoder totality only
+//! ```
+//!
+//! Exit code 0 = clean, 1 = violations found, 2 = usage error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use wcds_analyze::{lints, races, totality};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wcds-analyze <check|lints|races|totality> [--root <repo-root>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "check" | "lints" | "races" | "totality" if command.is_none() => {
+                command = Some(arg.clone());
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(command) = command else { return usage() };
+
+    let mut clean = true;
+    if command == "check" || command == "lints" {
+        clean &= run_lints(&root);
+    }
+    if command == "check" || command == "races" {
+        clean &= run_races();
+    }
+    if command == "check" || command == "totality" {
+        clean &= run_totality();
+    }
+    if clean {
+        println!("wcds-analyze: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("wcds-analyze: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// Repo root when run via `cargo run -p wcds-analyze` from anywhere in
+/// the workspace.
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_lints(root: &Path) -> bool {
+    println!("== lints ({} strict files) ==", lints::STRICT_FILES.len());
+    let report = match lints::run(root) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("  error reading source tree under {}: {e}", root.display());
+            return false;
+        }
+    };
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    for s in &report.suppressed {
+        println!(
+            "  suppressed {}:{} [{}] — {}",
+            s.file, s.line, s.lint, s.justification
+        );
+    }
+    println!(
+        "  {} files scanned, {} violation(s), {} suppression(s), \
+         {} panic site(s) workspace-wide (informational)",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.workspace_panic_sites
+    );
+    report.is_clean()
+}
+
+fn run_races() -> bool {
+    println!("== races (store rebuild protocol) ==");
+    match races::run() {
+        Ok(report) => {
+            for s in &report.scenarios {
+                if s.schedules > 0 {
+                    println!("  {:<42} {:>6} schedules, {:>7} steps", s.name, s.schedules, s.steps);
+                } else {
+                    println!("  {:<42} seeded bug caught", s.name);
+                }
+            }
+            println!("  {} schedules explored, zero violations", report.total_schedules);
+            true
+        }
+        Err(e) => {
+            println!("  VIOLATION: {e}");
+            false
+        }
+    }
+}
+
+fn run_totality() -> bool {
+    println!("== totality (wire decoders) ==");
+    match totality::run() {
+        Ok(report) => {
+            println!(
+                "  {} frames, {} accepted (all round-tripped), {} rejected with typed errors, zero panics",
+                report.frames_tried, report.accepted, report.rejected
+            );
+            true
+        }
+        Err(e) => {
+            println!("  VIOLATION: {e}");
+            false
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Exhaustive interleaving checker for the store's rebuild protocol.
+//!
+//! The service store answers queries from an epoch-stamped artifact
+//! cache: read-lock + stamp check on the hot path, write-lock +
+//! double-check + rebuild on a miss, epoch bump under the write lock
+//! on mutation (`wcds-service/src/store.rs`). Its hit/miss decisions
+//! are factored into `wcds_service::rebuild::{read_check, write_check}`
+//! behind the [`EpochView`] shim — so this checker drives the **same
+//! decision code the production store runs**, not a re-implementation.
+//!
+//! [`run`] replays that protocol on a virtual scheduler
+//! ([`wcds_sim::interleave`]): every bounded interleaving of query and
+//! mutator threads is enumerated, and after every step two safety
+//! properties are asserted:
+//!
+//! 1. **Freshness** — a served bundle's stamp equals the topology
+//!    epoch at the moment of serving (no stale bundle for a newer
+//!    epoch);
+//! 2. **Single rebuild** — at most one rebuild happens per epoch (the
+//!    double-check under the write lock holds).
+//!
+//! Plus the lock discipline itself: never a writer concurrent with a
+//! reader. Two deliberately broken protocol variants (double-check
+//! skipped; stamp checked outside the lock) are also explored and
+//! **must** be caught — proving the checker can see the bugs it
+//! guards against.
+
+use std::fmt::Write as _;
+use wcds_service::rebuild::{read_check, write_check, EpochView, ReadDecision, WriteDecision};
+use wcds_sim::interleave::{explore, Explored, InterleaveError, Interleaved};
+
+/// Shared state of the model: the store's epoch/stamp cell, the
+/// RwLock occupancy, and the observation log the invariants read.
+#[derive(Debug, Clone)]
+pub struct ModelState {
+    /// Current mutation epoch.
+    pub epoch: u64,
+    /// Stamp of the cached bundle, `None` before the first build.
+    pub stamp: Option<u64>,
+    /// Readers currently inside the topology `RwLock`.
+    pub readers: usize,
+    /// Whether a writer holds the topology `RwLock`.
+    pub writer: bool,
+    /// Epoch at which each rebuild happened, in order.
+    pub rebuilds: Vec<u64>,
+    /// Every serve: `(bundle stamp, epoch at the serve instant)`.
+    pub served: Vec<(u64, u64)>,
+}
+
+impl ModelState {
+    fn cold() -> Self {
+        Self { epoch: 0, stamp: None, readers: 0, writer: false, rebuilds: Vec::new(), served: Vec::new() }
+    }
+
+    fn warm() -> Self {
+        Self { stamp: Some(0), ..Self::cold() }
+    }
+}
+
+/// The checker sees the model cell exactly as the store sees a locked
+/// `Topology`.
+impl EpochView for ModelState {
+    fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bundle_stamp(&self) -> Option<u64> {
+        self.stamp
+    }
+}
+
+/// Protocol variant a query thread runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The store's actual protocol.
+    Faithful,
+    /// Bug seed: skip `write_check` — always rebuild under the write
+    /// lock. Two cold queries then rebuild the same epoch twice.
+    NoDoubleCheck,
+    /// Bug seed: check the stamp *without* the read lock, serve later
+    /// (TOCTOU). A mutator between check and serve makes the serve
+    /// stale.
+    NoReadLock,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryPhase {
+    /// Before `entry.topo.read()`.
+    Start,
+    /// Holding the read lock; next step checks + serves or bails.
+    ReadLocked,
+    /// Read lock released on a miss; before `entry.topo.write()`.
+    WantWrite,
+    /// Holding the write lock; next step double-checks + rebuilds.
+    WriteLocked,
+    /// Served.
+    Done,
+    /// (`NoReadLock` only) checked the stamp unlocked, remembering it.
+    CheckedUnlocked(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutatorPhase {
+    /// Before `entry.topo.write()`.
+    Start,
+    /// Holding the write lock; next step bumps the epoch and releases.
+    WriteLocked,
+    /// Epoch bumped.
+    Done,
+}
+
+/// One thread of the model.
+#[derive(Debug, Clone)]
+enum Actor {
+    /// `Store::bundle` for one topology.
+    Query { phase: QueryPhase, mode: Mode },
+    /// `Store::mutate`: write-lock, `epoch += 1`, release.
+    Mutator { phase: MutatorPhase },
+    /// A lock-free thread of `n` no-op steps (scheduler coverage
+    /// probe: with no blocking, every interleaving must be explored).
+    Free { left: u8 },
+}
+
+fn query(mode: Mode) -> Actor {
+    Actor::Query { phase: QueryPhase::Start, mode }
+}
+
+fn mutator() -> Actor {
+    Actor::Mutator { phase: MutatorPhase::Start }
+}
+
+impl Interleaved for Actor {
+    type Shared = ModelState;
+
+    fn done(&self) -> bool {
+        match self {
+            Actor::Query { phase, .. } => *phase == QueryPhase::Done,
+            Actor::Mutator { phase } => *phase == MutatorPhase::Done,
+            Actor::Free { left } => *left == 0,
+        }
+    }
+
+    fn enabled(&self, s: &ModelState) -> bool {
+        match self {
+            // RwLock admission: readers need no writer; writers need
+            // the lock empty
+            Actor::Query { phase: QueryPhase::Start, mode: Mode::NoReadLock } => true,
+            Actor::Query { phase: QueryPhase::Start, .. } => !s.writer,
+            Actor::Query { phase: QueryPhase::WantWrite, .. } => !s.writer && s.readers == 0,
+            Actor::Mutator { phase: MutatorPhase::Start } => !s.writer && s.readers == 0,
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, s: &mut ModelState) {
+        match self {
+            Actor::Query { phase, mode } => *phase = query_step(*phase, *mode, s),
+            Actor::Mutator { phase } => {
+                *phase = match *phase {
+                    MutatorPhase::Start => {
+                        s.writer = true;
+                        MutatorPhase::WriteLocked
+                    }
+                    MutatorPhase::WriteLocked => {
+                        s.epoch += 1;
+                        s.writer = false;
+                        MutatorPhase::Done
+                    }
+                    MutatorPhase::Done => MutatorPhase::Done,
+                }
+            }
+            Actor::Free { left } => *left = left.saturating_sub(1),
+        }
+    }
+}
+
+/// One step of `Store::bundle`, mirroring store.rs line for line.
+fn query_step(phase: QueryPhase, mode: Mode, s: &mut ModelState) -> QueryPhase {
+    match (phase, mode) {
+        (QueryPhase::Start, Mode::NoReadLock) => {
+            // BUG variant: stamp check with no lock held
+            match read_check(s) {
+                ReadDecision::Hit => match s.stamp {
+                    Some(b) => QueryPhase::CheckedUnlocked(b),
+                    None => QueryPhase::WantWrite,
+                },
+                ReadDecision::Stale => QueryPhase::WantWrite,
+            }
+        }
+        (QueryPhase::CheckedUnlocked(b), _) => {
+            // ...and the serve happens a step later: stale if a
+            // mutator slipped in between
+            s.served.push((b, s.epoch));
+            QueryPhase::Done
+        }
+        (QueryPhase::Start, _) => {
+            s.readers += 1;
+            QueryPhase::ReadLocked
+        }
+        (QueryPhase::ReadLocked, _) => {
+            // store.rs: read_check under the read lock; serve on hit
+            let next = match (read_check(s), s.stamp) {
+                (ReadDecision::Hit, Some(b)) => {
+                    s.served.push((b, s.epoch));
+                    QueryPhase::Done
+                }
+                _ => QueryPhase::WantWrite,
+            };
+            s.readers -= 1;
+            next
+        }
+        (QueryPhase::WantWrite, _) => {
+            s.writer = true;
+            QueryPhase::WriteLocked
+        }
+        (QueryPhase::WriteLocked, m) => {
+            // store.rs: double-check under the write lock, rebuild if
+            // still stale
+            let fresh_already = m != Mode::NoDoubleCheck
+                && write_check(s) == WriteDecision::FreshAlready;
+            match (fresh_already, s.stamp) {
+                (true, Some(b)) => s.served.push((b, s.epoch)),
+                _ => {
+                    s.rebuilds.push(s.epoch);
+                    s.stamp = Some(s.epoch);
+                    s.served.push((s.epoch, s.epoch));
+                }
+            }
+            s.writer = false;
+            QueryPhase::Done
+        }
+        (QueryPhase::Done, _) => QueryPhase::Done,
+    }
+}
+
+/// The safety properties, checked after every step of every schedule.
+fn invariant(s: &ModelState, _actors: &[Actor], _schedule: &[usize]) -> Result<(), String> {
+    if s.writer && s.readers > 0 {
+        return Err(format!("writer concurrent with {} reader(s)", s.readers));
+    }
+    if let Some(&(stamp, epoch)) = s.served.iter().find(|&&(b, e)| b != e) {
+        return Err(format!("stale serve: bundle stamped {stamp} served at epoch {epoch}"));
+    }
+    for (i, &e) in s.rebuilds.iter().enumerate() {
+        if s.rebuilds[..i].contains(&e) {
+            return Err(format!("epoch {e} rebuilt more than once: {:?}", s.rebuilds));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of one explored scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: &'static str,
+    /// Distinct complete schedules explored.
+    pub schedules: u64,
+    /// Total steps executed across schedules.
+    pub steps: u64,
+}
+
+/// Outcome of the full race-checker run.
+#[derive(Debug, Default)]
+pub struct RaceReport {
+    /// Per-scenario exploration counts.
+    pub scenarios: Vec<Scenario>,
+    /// Sum of schedules across scenarios.
+    pub total_schedules: u64,
+}
+
+/// Runs every scenario. `Err` carries a violation report (schedule +
+/// property) — a clean tree returns `Ok`.
+///
+/// # Errors
+///
+/// The first scenario whose exploration finds a violated invariant,
+/// deadlock, or budget blow-up, rendered with its scheduling prefix —
+/// or a broken-variant scenario that the checker *fails* to catch.
+pub fn run() -> Result<RaceReport, String> {
+    let mut report = RaceReport::default();
+
+    // scheduler coverage probe: two independent 4-step threads have
+    // exactly C(8, 4) = 70 interleavings; all must be visited
+    let explored = check(
+        "coverage: 2 free threads × 4 steps",
+        &ModelState::cold(),
+        &[Actor::Free { left: 4 }, Actor::Free { left: 4 }],
+        &mut report,
+    )?;
+    if explored.schedules != 70 {
+        return Err(format!(
+            "coverage probe explored {} schedules, expected C(8,4) = 70 — \
+             the scheduler is not exhaustive",
+            explored.schedules
+        ));
+    }
+
+    let faithful: &[(&'static str, ModelState, Vec<Actor>)] = &[
+        ("2 queries, cold cache", ModelState::cold(), vec![query(Mode::Faithful); 2]),
+        ("2 queries, warm cache", ModelState::warm(), vec![query(Mode::Faithful); 2]),
+        ("3 queries, cold cache", ModelState::cold(), vec![query(Mode::Faithful); 3]),
+        (
+            "query vs mutator, cold",
+            ModelState::cold(),
+            vec![query(Mode::Faithful), mutator()],
+        ),
+        (
+            "2 queries vs mutator, cold",
+            ModelState::cold(),
+            vec![query(Mode::Faithful), query(Mode::Faithful), mutator()],
+        ),
+        (
+            "2 queries vs mutator, warm",
+            ModelState::warm(),
+            vec![query(Mode::Faithful), query(Mode::Faithful), mutator()],
+        ),
+        (
+            "2 queries vs 2 mutators, warm",
+            ModelState::warm(),
+            vec![query(Mode::Faithful), query(Mode::Faithful), mutator(), mutator()],
+        ),
+    ];
+    for (name, state, actors) in faithful {
+        check(name, state, actors, &mut report)?;
+    }
+
+    // a warm cache with no mutator must never rebuild
+    let mut no_rebuild = |s: &ModelState, a: &[Actor], sched: &[usize]| {
+        invariant(s, a, sched)?;
+        if s.rebuilds.is_empty() {
+            Ok(())
+        } else {
+            Err("warm cache rebuilt with no mutation".to_string())
+        }
+    };
+    explore(&ModelState::warm(), &[query(Mode::Faithful), query(Mode::Faithful)], &mut no_rebuild)
+        .map_err(|e| render("2 queries, warm cache (no-rebuild)", &e))
+        .map(|ex| {
+            report.total_schedules += ex.schedules;
+            report.scenarios.push(Scenario {
+                name: "2 queries, warm cache (no-rebuild)",
+                schedules: ex.schedules,
+                steps: ex.steps,
+            });
+        })?;
+
+    // sensitivity: the broken variants MUST be caught
+    expect_caught(
+        "broken: double-check skipped",
+        &ModelState::cold(),
+        &[query(Mode::NoDoubleCheck), query(Mode::NoDoubleCheck)],
+        "rebuilt more than once",
+        &mut report,
+    )?;
+    expect_caught(
+        "broken: stamp checked outside the lock",
+        &ModelState::warm(),
+        &[query(Mode::NoReadLock), mutator()],
+        "stale serve",
+        &mut report,
+    )?;
+
+    Ok(report)
+}
+
+fn check(
+    name: &'static str,
+    state: &ModelState,
+    actors: &[Actor],
+    report: &mut RaceReport,
+) -> Result<Explored, String> {
+    let explored =
+        explore(state, actors, &mut invariant).map_err(|e| render(name, &e))?;
+    report.total_schedules += explored.schedules;
+    report.scenarios.push(Scenario {
+        name,
+        schedules: explored.schedules,
+        steps: explored.steps,
+    });
+    Ok(explored)
+}
+
+/// Explores a deliberately broken variant and demands the checker
+/// catch it with a message containing `expect_in_message`.
+fn expect_caught(
+    name: &'static str,
+    state: &ModelState,
+    actors: &[Actor],
+    expect_in_message: &str,
+    report: &mut RaceReport,
+) -> Result<(), String> {
+    match explore(state, actors, &mut invariant) {
+        Err(InterleaveError::InvariantViolated { message, .. })
+            if message.contains(expect_in_message) =>
+        {
+            report.scenarios.push(Scenario { name, schedules: 0, steps: 0 });
+            Ok(())
+        }
+        Err(e) => Err(format!(
+            "{name}: caught the wrong failure (wanted `{expect_in_message}`): {}",
+            render(name, &e)
+        )),
+        Ok(_) => Err(format!(
+            "{name}: checker sensitivity failure — the seeded bug was NOT caught"
+        )),
+    }
+}
+
+fn render(name: &str, e: &InterleaveError) -> String {
+    let mut out = format!("scenario `{name}`: ");
+    match e {
+        InterleaveError::InvariantViolated { schedule, message } => {
+            let _ = write!(out, "invariant violated after schedule {schedule:?}: {message}");
+        }
+        InterleaveError::Deadlock { schedule, blocked } => {
+            let _ = write!(out, "deadlock after schedule {schedule:?}; blocked threads {blocked:?}");
+        }
+        InterleaveError::BudgetExhausted { budget } => {
+            let _ = write!(out, "step budget {budget} exhausted");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_pass_and_cover_at_least_70_schedules() {
+        let report = match run() {
+            Ok(r) => r,
+            Err(e) => panic!("race checker found a violation: {e}"),
+        };
+        assert!(
+            report.total_schedules >= 70,
+            "only {} schedules explored",
+            report.total_schedules
+        );
+        assert!(report.scenarios.len() >= 10);
+    }
+
+    #[test]
+    fn warm_single_query_is_one_hit_no_rebuild() {
+        let mut state = ModelState::warm();
+        let mut q = query(Mode::Faithful);
+        while !q.done() {
+            assert!(q.enabled(&state));
+            q.step(&mut state);
+        }
+        assert_eq!(state.served, vec![(0, 0)]);
+        assert!(state.rebuilds.is_empty());
+    }
+
+    #[test]
+    fn cold_single_query_rebuilds_once() {
+        let mut state = ModelState::cold();
+        let mut q = query(Mode::Faithful);
+        while !q.done() {
+            q.step(&mut state);
+        }
+        assert_eq!(state.rebuilds, vec![0]);
+        assert_eq!(state.stamp, Some(0));
+        assert_eq!(state.served, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn mutation_invalidates_the_stamp() {
+        let mut state = ModelState::warm();
+        let mut m = mutator();
+        while !m.done() {
+            m.step(&mut state);
+        }
+        assert_eq!(state.epoch, 1);
+        assert_eq!(state.stamp, Some(0), "mutation leaves the stale bundle in place");
+        let mut q = query(Mode::Faithful);
+        while !q.done() {
+            q.step(&mut state);
+        }
+        assert_eq!(state.rebuilds, vec![1], "next query rebuilds at the new epoch");
+        assert_eq!(state.served, vec![(1, 1)]);
+    }
+}

@@ -35,6 +35,7 @@ struct MixResult {
 /// Runs one workload mix against a fresh topology on `addr`:
 /// `threads` clients, each issuing `ops` requests, mutating once every
 /// `mutation_period` requests.
+#[allow(clippy::too_many_arguments)] // single call site, positional config
 fn run_mix(
     addr: std::net::SocketAddr,
     mix: &str,

@@ -153,7 +153,9 @@ pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let directive = parts.next().expect("non-empty line has a first token");
+        // a trimmed non-empty line always has a first token, but stay
+        // total: treat the impossible case as a blank line
+        let Some(directive) = parts.next() else { continue };
         let err = |kind| ParseGraphError { line: line_no, kind };
         match directive {
             "nodes" => {
@@ -172,7 +174,7 @@ pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
                 let b = builder.as_mut().ok_or_else(|| err(ParseErrorKind::MissingHeader))?;
                 let u = parse_token::<NodeId>(parts.next(), line, line_no)?;
                 let v = parse_token::<NodeId>(parts.next(), line, line_no)?;
-                let n = n.expect("builder implies header");
+                let n = n.ok_or_else(|| err(ParseErrorKind::MissingHeader))?;
                 for x in [u, v] {
                     if x >= n {
                         return Err(err(ParseErrorKind::OutOfRange(x)));
@@ -190,13 +192,11 @@ pub fn from_text(text: &str) -> Result<GraphDocument, ParseGraphError> {
                 let u = parse_token::<NodeId>(parts.next(), line, line_no)?;
                 let x = parse_token::<f64>(parts.next(), line, line_no)?;
                 let y = parse_token::<f64>(parts.next(), line, line_no)?;
-                if u >= points.len() {
-                    return Err(err(ParseErrorKind::OutOfRange(u)));
-                }
-                if points[u].is_some() {
+                let slot = points.get_mut(u).ok_or_else(|| err(ParseErrorKind::OutOfRange(u)))?;
+                if slot.is_some() {
                     return Err(err(ParseErrorKind::DuplicatePoint(u)));
                 }
-                points[u] = Some(Point::new(x, y));
+                *slot = Some(Point::new(x, y));
             }
             other => return Err(err(ParseErrorKind::UnknownDirective(other.to_string()))),
         }

@@ -42,6 +42,10 @@ pub mod metrics;
 mod graph;
 pub mod io;
 pub mod parallel;
+// the one sanctioned `unsafe` island in the workspace: bounds-check-free
+// CSR kernels whose index invariants are proved at construction
+// (workspace policy denies unsafe_code everywhere else — DESIGN.md §9)
+#[allow(unsafe_code)]
 mod scratch;
 pub mod shortest_path;
 pub mod spanning;

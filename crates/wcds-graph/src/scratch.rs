@@ -743,8 +743,9 @@ mod tests {
         let w = CsrWeights::from_fn(&g, |u, v| (u + v) as f64);
         let (offsets, targets) = g.csr();
         for u in g.nodes() {
-            for idx in offsets[u] as usize..offsets[u + 1] as usize {
-                assert_eq!(w.values()[idx], (u + targets[idx]) as f64);
+            let row = offsets[u] as usize..offsets[u + 1] as usize;
+            for (&weight, &v) in w.values()[row.clone()].iter().zip(&targets[row]) {
+                assert_eq!(weight, (u + v) as f64);
             }
         }
         assert_eq!(w.max_weight(), 3.0);

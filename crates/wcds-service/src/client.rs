@@ -127,7 +127,7 @@ impl Client {
         }
     }
 
-    fn expect(&mut self, req: &Request) -> Result<Response, ClientError> {
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         match self.request(req)? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             resp => Ok(resp),
@@ -140,7 +140,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        match self.expect(&Request::Ping)? {
+        match self.call(&Request::Ping)? {
             Response::Pong => Ok(()),
             _ => Err(ClientError::Protocol("expected Pong")),
         }
@@ -155,7 +155,7 @@ impl Client {
     /// and `bad-payload`.
     pub fn create(&mut self, name: &str, payload: &str) -> Result<(u64, u64, bool), ClientError> {
         let req = Request::Create { name: name.into(), payload: payload.into() };
-        match self.expect(&req)? {
+        match self.call(&req)? {
             Response::Created { nodes, edges, mobile } => Ok((nodes, edges, mobile)),
             _ => Err(ClientError::Protocol("expected Created")),
         }
@@ -167,7 +167,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn export(&mut self, name: &str) -> Result<String, ClientError> {
-        match self.expect(&Request::Export { name: name.into() })? {
+        match self.call(&Request::Export { name: name.into() })? {
             Response::Exported { payload } => Ok(payload),
             _ => Err(ClientError::Protocol("expected Exported")),
         }
@@ -180,7 +180,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn construct(&mut self, name: &str) -> Result<(u64, u64, u64, u64), ClientError> {
-        match self.expect(&Request::Construct { name: name.into() })? {
+        match self.call(&Request::Construct { name: name.into() })? {
             Response::Constructed { mis, bridges, spanner_edges, epoch } => {
                 Ok((mis, bridges, spanner_edges, epoch))
             }
@@ -195,7 +195,7 @@ impl Client {
     /// See [`Client::request`]; server errors include `out-of-range`
     /// and `unroutable`.
     pub fn route(&mut self, name: &str, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, ClientError> {
-        match self.expect(&Request::Route { name: name.into(), from, to })? {
+        match self.call(&Request::Route { name: name.into(), from, to })? {
             Response::Routed { path } => Ok(path),
             _ => Err(ClientError::Protocol("expected Routed")),
         }
@@ -208,7 +208,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn broadcast(&mut self, name: &str, source: NodeId) -> Result<(u64, u64), ClientError> {
-        match self.expect(&Request::Broadcast { name: name.into(), source })? {
+        match self.call(&Request::Broadcast { name: name.into(), source })? {
             Response::Broadcasted { forwarders, informed } => Ok((forwarders, informed)),
             _ => Err(ClientError::Protocol("expected Broadcasted")),
         }
@@ -220,7 +220,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn stats(&mut self, name: &str) -> Result<TopologyStats, ClientError> {
-        match self.expect(&Request::Stats { name: name.into() })? {
+        match self.call(&Request::Stats { name: name.into() })? {
             Response::StatsOk(stats) => Ok(stats),
             _ => Err(ClientError::Protocol("expected StatsOk")),
         }
@@ -240,7 +240,7 @@ impl Client {
         name: &str,
         mutation: Mutation,
     ) -> Result<(u64, Vec<NodeId>, Vec<NodeId>), ClientError> {
-        match self.expect(&Request::Mutate { name: name.into(), mutation })? {
+        match self.call(&Request::Mutate { name: name.into(), mutation })? {
             Response::Mutated { epoch, promoted, demoted } => Ok((epoch, promoted, demoted)),
             _ => Err(ClientError::Protocol("expected Mutated")),
         }
@@ -252,7 +252,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn list(&mut self) -> Result<Vec<String>, ClientError> {
-        match self.expect(&Request::List)? {
+        match self.call(&Request::List)? {
             Response::Topologies { names } => Ok(names),
             _ => Err(ClientError::Protocol("expected Topologies")),
         }
@@ -264,7 +264,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn drop_topology(&mut self, name: &str) -> Result<(), ClientError> {
-        match self.expect(&Request::Drop { name: name.into() })? {
+        match self.call(&Request::Drop { name: name.into() })? {
             Response::Dropped => Ok(()),
             _ => Err(ClientError::Protocol("expected Dropped")),
         }
@@ -277,7 +277,7 @@ impl Client {
     ///
     /// See [`Client::request`].
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
-        match self.expect(&Request::Shutdown)? {
+        match self.call(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             _ => Err(ClientError::Protocol("expected ShuttingDown")),
         }

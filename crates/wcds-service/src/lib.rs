@@ -19,6 +19,9 @@
 //!   stalled client cannot wedge a worker, and graceful shutdown that
 //!   joins every thread.
 //! * [`client`] — a blocking client with one typed method per request.
+//! * [`rebuild`] — the store's epoch / double-checked-rebuild decision
+//!   logic behind a shim trait, so the `wcds-analyze` race checker can
+//!   exhaustively model-check the exact code path the store runs.
 //!
 //! The crate is dependency-free beyond the workspace compute crates:
 //! `std::net` + `std::thread` only (DESIGN.md §7).
@@ -40,6 +43,7 @@
 
 pub mod client;
 pub mod protocol;
+pub mod rebuild;
 pub mod server;
 pub mod store;
 

@@ -277,20 +277,18 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..end];
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
 
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        self.take(1)?.first().copied().ok_or(WireError::Truncated)
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        let bytes: [u8; 8] = self.take(8)?.try_into().map_err(|_| WireError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -668,10 +666,17 @@ impl Response {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the underlying stream.
+/// `InvalidInput` (wrapping [`WireError::FrameTooLarge`]) if `body`
+/// exceeds [`MAX_FRAME_LEN`] — nothing is written in that case — plus
+/// any I/O error from the underlying stream.
 pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
-    assert!(body.len() <= MAX_FRAME_LEN, "outgoing frame exceeds MAX_FRAME_LEN");
-    let len = u32::try_from(body.len()).expect("bounded by MAX_FRAME_LEN");
+    // MAX_FRAME_LEN < u32::MAX, so the bound check also proves the cast
+    let len = u32::try_from(body.len())
+        .ok()
+        .filter(|_| body.len() <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, WireError::FrameTooLarge(body.len()))
+        })?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -743,11 +748,13 @@ fn is_timeout(e: &io::Error) -> bool {
 
 fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FullRead {
     let mut filled = 0;
-    if buf.is_empty() {
-        return FullRead::Ok;
-    }
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    loop {
+        let rest = match buf.get_mut(filled..) {
+            Some(rest) if !rest.is_empty() => rest,
+            _ => return FullRead::Ok, // filled the whole buffer
+        };
+        let capacity = rest.len();
+        match r.read(rest) {
             Ok(0) if filled == 0 => return FullRead::Eof,
             Ok(0) => {
                 return FullRead::Err(io::Error::new(
@@ -755,7 +762,15 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FullRead {
                     "EOF inside frame",
                 ))
             }
-            Ok(n) => filled += n,
+            Ok(n) if n <= capacity => filled += n,
+            // a Read impl reporting more bytes than the buffer holds is
+            // broken; fail the frame, never panic
+            Ok(_) => {
+                return FullRead::Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reader overran the frame buffer",
+                ))
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout(&e) && filled == 0 => return FullRead::Idle,
             // a timeout after partial progress means a stalled peer:
@@ -764,10 +779,10 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FullRead {
             Err(e) => return FullRead::Err(e),
         }
     }
-    FullRead::Ok
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -920,6 +935,15 @@ mod tests {
         let mut cursor = std::io::Cursor::new(wire);
         let e = read_frame(&mut cursor).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_outgoing_frame_is_an_error_not_a_panic() {
+        let body = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut out = Vec::new();
+        let e = write_frame(&mut out, &body).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing may reach the wire for an oversized frame");
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The epoch / double-checked-rebuild decision protocol, factored out
+//! of [`Store`](crate::Store) so it can be model-checked.
+//!
+//! [`Store::bundle`](crate::Store::bundle) promises two invariants:
+//!
+//! 1. **freshness** — a bundle is only ever served while its stamp
+//!    equals the topology's current epoch (no stale artifacts for a
+//!    newer epoch);
+//! 2. **≤ 1 rebuild per epoch** — when several queries race on a stale
+//!    bundle, exactly one of them rebuilds; the rest observe the fresh
+//!    stamp under the write lock and serve without rebuilding.
+//!
+//! Both hinge on two tiny decisions — "is the cached stamp current?"
+//! evaluated once under the read lock and once again (the double check)
+//! under the write lock. This module is that logic, behind the
+//! [`EpochView`] shim trait, with **no** locks or artifacts attached:
+//! the store implements `EpochView` over its real `Topology`, and the
+//! `wcds-analyze` race checker implements it over a model state whose
+//! every interleaving is enumerated exhaustively. The code path the
+//! checker proves is the code path the store runs.
+
+/// A view of one topology's cache-relevant state: its mutation epoch
+/// and the epoch stamped on the cached bundle (if any).
+pub trait EpochView {
+    /// The topology's current mutation epoch.
+    fn current_epoch(&self) -> u64;
+
+    /// The epoch the cached bundle was built at, or `None` before the
+    /// first build.
+    fn bundle_stamp(&self) -> Option<u64>;
+}
+
+/// What a query decides under the **read** lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDecision {
+    /// The cached bundle is stamped with the current epoch: serve it.
+    Hit,
+    /// Missing or stale bundle: release the read lock and take the
+    /// write lock.
+    Stale,
+}
+
+/// What a query decides under the **write** lock (the double check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteDecision {
+    /// A racing query rebuilt while this one waited for the write
+    /// lock: serve the (now fresh) bundle without rebuilding.
+    FreshAlready,
+    /// Still stale: rebuild, stamp with the current epoch, serve.
+    Rebuild,
+}
+
+/// The read-lock decision: hit iff the stamp equals the current epoch.
+pub fn read_check(view: &impl EpochView) -> ReadDecision {
+    if view.bundle_stamp() == Some(view.current_epoch()) {
+        ReadDecision::Hit
+    } else {
+        ReadDecision::Stale
+    }
+}
+
+/// The write-lock double check: rebuild iff the stamp (still) differs
+/// from the current epoch.
+pub fn write_check(view: &impl EpochView) -> WriteDecision {
+    if view.bundle_stamp() == Some(view.current_epoch()) {
+        WriteDecision::FreshAlready
+    } else {
+        WriteDecision::Rebuild
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    struct V(u64, Option<u64>);
+    impl EpochView for V {
+        fn current_epoch(&self) -> u64 {
+            self.0
+        }
+        fn bundle_stamp(&self) -> Option<u64> {
+            self.1
+        }
+    }
+
+    #[test]
+    fn decisions_follow_the_stamp() {
+        assert_eq!(read_check(&V(0, None)), ReadDecision::Stale);
+        assert_eq!(read_check(&V(3, Some(2))), ReadDecision::Stale);
+        assert_eq!(read_check(&V(3, Some(3))), ReadDecision::Hit);
+        assert_eq!(write_check(&V(0, None)), WriteDecision::Rebuild);
+        assert_eq!(write_check(&V(3, Some(2))), WriteDecision::Rebuild);
+        assert_eq!(write_check(&V(3, Some(3))), WriteDecision::FreshAlready);
+    }
+}

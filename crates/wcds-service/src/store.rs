@@ -20,11 +20,12 @@
 //! counters are atomics so the read path never needs a write lock.
 
 use crate::protocol::{ErrorCode, Mutation, TopologyStats};
+use crate::rebuild::{read_check, write_check, EpochView, ReadDecision, WriteDecision};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wcds_core::algo2::AlgorithmTwo;
 use wcds_core::maintenance::{MaintainedWcds, RepairReport};
 use wcds_core::Wcds;
@@ -57,6 +58,18 @@ impl std::error::Error for StoreError {}
 
 fn err(code: ErrorCode, message: impl Into<String>) -> StoreError {
     StoreError { code, message: message.into() }
+}
+
+/// Acquires a read lock, mapping poisoning (a thread panicked while
+/// holding the write lock, so the protected state may be torn) to a
+/// typed `Internal` error instead of propagating the panic.
+fn read_guard<T>(lock: &RwLock<T>) -> Result<RwLockReadGuard<'_, T>, StoreError> {
+    lock.read().map_err(|_| err(ErrorCode::Internal, "lock poisoned by a panicked writer"))
+}
+
+/// Write-lock counterpart of [`read_guard`].
+fn write_guard<T>(lock: &RwLock<T>) -> Result<RwLockWriteGuard<'_, T>, StoreError> {
+    lock.write().map_err(|_| err(ErrorCode::Internal, "lock poisoned by a panicked writer"))
 }
 
 /// The cached artifact bundle: everything a query needs, derived from
@@ -114,6 +127,19 @@ struct Topology {
     bundle: Option<Arc<Bundle>>,
 }
 
+/// The shim the `wcds-analyze` race checker model-checks: the store's
+/// cache decisions are exactly `rebuild::{read_check, write_check}`
+/// over this view.
+impl EpochView for Topology {
+    fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bundle_stamp(&self) -> Option<u64> {
+        self.bundle.as_ref().map(|b| b.epoch)
+    }
+}
+
 impl Topology {
     /// Builds the artifact bundle from the current snapshot, from
     /// scratch (no reuse of the stale bundle).
@@ -162,13 +188,13 @@ impl Store {
     fn shard(&self, name: &str) -> &Shard {
         let mut h = DefaultHasher::new();
         name.hash(&mut h);
-        &self.shards[(h.finish() % SHARDS as u64) as usize]
+        let idx = (h.finish() % SHARDS as u64) as usize;
+        // analyze: allow(slice-index, "idx = hash % SHARDS is < SHARDS by construction")
+        &self.shards[idx]
     }
 
     fn entry(&self, name: &str) -> Result<Arc<Entry>, StoreError> {
-        self.shard(name)
-            .read()
-            .expect("shard lock")
+        read_guard(self.shard(name))?
             .get(name)
             .cloned()
             .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
@@ -196,7 +222,7 @@ impl Store {
             misses: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
         });
-        let mut shard = self.shard(name).write().expect("shard lock");
+        let mut shard = write_guard(self.shard(name))?;
         if shard.contains_key(name) {
             return Err(err(ErrorCode::AlreadyExists, format!("topology `{name}` exists")));
         }
@@ -212,7 +238,7 @@ impl Store {
     /// `NotFound` for an unknown name.
     pub fn export(&self, name: &str) -> Result<String, StoreError> {
         let entry = self.entry(name)?;
-        let topo = entry.topo.read().expect("topology lock");
+        let topo = read_guard(&entry.topo)?;
         Ok(match &topo.body {
             Body::Static(g) => io::to_text(g, None),
             Body::Mobile(m) => io::to_text(m.graph(), Some(m.points())),
@@ -229,18 +255,18 @@ impl Store {
     pub fn bundle(&self, name: &str) -> Result<(Arc<Bundle>, bool), StoreError> {
         let entry = self.entry(name)?;
         {
-            let topo = entry.topo.read().expect("topology lock");
-            if let Some(b) = &topo.bundle {
-                if b.epoch == topo.epoch {
+            let topo = read_guard(&entry.topo)?;
+            if read_check(&*topo) == ReadDecision::Hit {
+                if let Some(b) = &topo.bundle {
                     entry.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((Arc::clone(b), true));
                 }
             }
         }
-        let mut topo = entry.topo.write().expect("topology lock");
+        let mut topo = write_guard(&entry.topo)?;
         // double-check: a racing query may have rebuilt while we waited
-        if let Some(b) = &topo.bundle {
-            if b.epoch == topo.epoch {
+        if write_check(&*topo) == WriteDecision::FreshAlready {
+            if let Some(b) = &topo.bundle {
                 entry.misses.fetch_add(1, Ordering::Relaxed);
                 return Ok((Arc::clone(b), false));
             }
@@ -261,7 +287,7 @@ impl Store {
     /// `NotFound`, `Unsupported` (static topology), or `OutOfRange`.
     pub fn mutate(&self, name: &str, mutation: &Mutation) -> Result<(u64, RepairReport), StoreError> {
         let entry = self.entry(name)?;
-        let mut topo = entry.topo.write().expect("topology lock");
+        let mut topo = write_guard(&entry.topo)?;
         let n = topo.body.graph().node_count();
         let Body::Mobile(m) = &mut topo.body else {
             return Err(err(
@@ -298,7 +324,7 @@ impl Store {
     pub fn stats(&self, name: &str) -> Result<TopologyStats, StoreError> {
         let (bundle, cached) = self.bundle(name)?;
         let entry = self.entry(name)?;
-        let topo = entry.topo.read().expect("topology lock");
+        let topo = read_guard(&entry.topo)?;
         Ok(TopologyStats {
             nodes: topo.body.graph().node_count() as u64,
             edges: topo.body.graph().edge_count() as u64,
@@ -344,7 +370,7 @@ impl Store {
     pub fn broadcast(&self, name: &str, source: NodeId) -> Result<(u64, u64), StoreError> {
         let (bundle, _) = self.bundle(name)?;
         let entry = self.entry(name)?;
-        let topo = entry.topo.read().expect("topology lock");
+        let topo = read_guard(&entry.topo)?;
         let g = topo.body.graph();
         if source >= g.node_count() {
             return Err(err(
@@ -361,14 +387,17 @@ impl Store {
     }
 
     /// Sorted names of all stored topologies.
-    pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.read().expect("shard lock").keys().cloned().collect::<Vec<_>>())
-            .collect();
+    ///
+    /// # Errors
+    ///
+    /// `Internal` if a shard lock is poisoned.
+    pub fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for s in self.shards.iter() {
+            names.extend(read_guard(s)?.keys().cloned());
+        }
         names.sort();
-        names
+        Ok(names)
     }
 
     /// Removes a topology.
@@ -377,9 +406,7 @@ impl Store {
     ///
     /// `NotFound` for an unknown name.
     pub fn drop_topology(&self, name: &str) -> Result<(), StoreError> {
-        self.shard(name)
-            .write()
-            .expect("shard lock")
+        write_guard(self.shard(name))?
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
@@ -387,6 +414,7 @@ impl Store {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use wcds_geom::deploy;
@@ -404,7 +432,7 @@ mod tests {
         assert_eq!(n, 60);
         assert!(m > 0);
         assert!(mobile);
-        assert_eq!(store.list(), vec!["a".to_string()]);
+        assert_eq!(store.list().unwrap(), vec!["a".to_string()]);
         assert_eq!(store.create("a", &payload(10, 3.0, 2)).unwrap_err().code, ErrorCode::AlreadyExists);
         let stats = store.stats("a").unwrap();
         assert_eq!(stats.epoch, 0);

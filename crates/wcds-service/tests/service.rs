@@ -2,6 +2,8 @@
 //! concurrency stress satellite (≥ 8 client threads, mixed reads and
 //! mutations, serial-replay equivalence).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};

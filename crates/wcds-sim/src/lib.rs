@@ -18,7 +18,11 @@
 //!   counts (one *local broadcast* = one charged message, matching the
 //!   paper's accounting), plus the virtual completion time;
 //! * [`FaultPlan`] — crash/drop/duplicate fault injection for robustness
-//!   tests.
+//!   tests;
+//! * [`interleave`] — a separate, exhaustive bounded-interleaving
+//!   explorer for small *shared-memory* step machines (used by the
+//!   `wcds-analyze` race checker to model-check the service store's
+//!   rebuild protocol).
 //!
 //! Runs are deterministic: same topology + same seed + same schedule ⇒
 //! identical traces, bit for bit.
@@ -63,6 +67,7 @@
 
 mod context;
 mod fault;
+pub mod interleave;
 mod scheduler;
 mod stats;
 mod trace;
