@@ -23,7 +23,15 @@ fn the_real_tree_is_lint_clean() {
     );
     assert_eq!(report.files_scanned, lints::STRICT_FILES.len());
     // the store's shard-index pragma is the one sanctioned suppression,
-    // and it must surface in the audit summary with its justification
+    // and it must surface in the audit summary with its justification;
+    // the count is pinned so a new pragma anywhere in the strict set
+    // forces this test (and the exemption audit) to be revisited
+    assert_eq!(
+        report.suppressed.len(),
+        1,
+        "suppression list changed — update the audit: {:?}",
+        report.suppressed
+    );
     assert!(
         report
             .suppressed

@@ -7,23 +7,47 @@
 //! applied locally, and the nodes that get affected are within three-hop
 //! distance."
 //!
-//! [`MaintainedWcds`] implements exactly that contract:
+//! [`MaintainedWcds`] implements exactly that contract, and does it
+//! incrementally end to end:
 //!
-//! * the MIS is repaired **locally** after each topology change —
-//!   independence violations drop the higher-ID dominator, domination
-//!   gaps promote the lowest-ID uncovered node;
-//! * additional dominators are re-derived with the same deterministic
-//!   per-3-hop-pair rule Algorithm II uses, so regions whose MIS did not
-//!   change keep their bridges;
+//! * the topology lives in a [`DynamicUdg`] — every move/join/leave
+//!   yields an `O(Δ)` [`TopoDelta`] and splices the CSR instead of
+//!   rebuilding it;
+//! * the MIS is repaired by the ascending-id cascade in [`region`],
+//!   seeded at the delta's disturbed nodes, which restores the exact
+//!   lexicographic-first MIS a from-scratch greedy run would build;
+//! * additional dominators are kept as per-MIS-node *contribution sets*
+//!   with bridge refcounts, so only MIS nodes inside the 3-hop ball
+//!   around the disturbance re-derive their bridges
+//!   ([`select_additional_dominators_in`]); the union stays equal to
+//!   Algorithm II's global selection at all times;
 //! * every repair returns a [`RepairReport`] whose *locality radius* —
-//!   the hop distance from a changed dominator to the nearest affected
-//!   node — lets experiments verify the paper's 3-hop locality claim.
+//!   the per-stage propagation distance of the repair (disturbed edges
+//!   → MIS flips, then disturbance ∪ flips → dominator-status changes)
+//!   — lets experiments verify the paper's 3-hop locality claim, plus
+//!   touched-node/edge counters sizing the repaired region.
+//!
+//! Why the 3-hop ball suffices for bridges: the disturbed set `D`
+//! (delta seeds ∪ MIS flips) contains every endpoint of every changed
+//! edge and every membership change, so any shortest path can be
+//! truncated at its first `D`-vertex — distances *from* `D` agree in
+//! the old and new graphs. An MIS node `u` with `hop(D, u) ≥ 4` has an
+//! identical radius-3 ball (members, distances, memberships) in both
+//! graphs, and Algorithm II's pair rule for `u` reads nothing else.
 
-use crate::algo2::select_additional_dominators;
 use crate::Wcds;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use wcds_geom::Point;
-use wcds_graph::{traversal, Graph, NodeId, UnitDiskGraph};
+use wcds_graph::{DynamicUdg, Graph, NodeId};
+
+mod region;
+pub use region::select_additional_dominators_in;
+
+/// How far the locality scan looks before calling a changed node
+/// unreachable from the disturbance (reported as `u32::MAX`). Repairs
+/// land within 3–4 hops; 8 leaves slack to *observe* a violation of the
+/// locality claim rather than mask it.
+const LOCALITY_SCAN_RADIUS: u32 = 8;
 
 /// A WCDS kept valid across node motion, joins, and departures.
 ///
@@ -41,12 +65,18 @@ use wcds_graph::{traversal, Graph, NodeId, UnitDiskGraph};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MaintainedWcds {
-    udg: UnitDiskGraph,
+    udg: DynamicUdg,
     mis: BTreeSet<NodeId>,
-    additional: BTreeSet<NodeId>,
+    /// MIS node → the bridges its 3-hop pairs selected (only non-empty
+    /// sets are stored).
+    contrib: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Bridge → number of MIS nodes whose contribution set contains it.
+    /// The key set *is* the additional-dominator set.
+    bridge_refs: BTreeMap<NodeId, u32>,
 }
 
-/// What one repair changed, and how far from the disturbance.
+/// What one repair changed, how far from the disturbance, and how much
+/// of the graph it had to look at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RepairReport {
     /// Nodes whose incident edge set changed (the disturbance).
@@ -55,10 +85,28 @@ pub struct RepairReport {
     pub promoted: Vec<NodeId>,
     /// Nodes that stopped being dominators.
     pub demoted: Vec<NodeId>,
-    /// Maximum hop distance (in the new graph) from any promoted or
-    /// demoted node to the nearest affected node; `None` when nothing
-    /// changed or nothing was affected.
+    /// How far the repair's effects propagated (hop distance in the new
+    /// graph), measured per repair stage: the farthest MIS flip from
+    /// the disturbed edge endpoints, and the farthest dominator
+    /// promotion/demotion from the disturbance *including* those flips
+    /// (a flipped MIS node is itself part of the disturbance the
+    /// bridge-selection layer reacts to). The maximum of the two is the
+    /// paper's §4.2 "affected within three-hop distance" quantity;
+    /// `None` when no membership or status changed, or nothing was
+    /// disturbed.
     pub locality_radius: Option<u32>,
+    /// Net edges the mutation created (canonical `(u, v)` with `u < v`,
+    /// ascending; intra-batch add/remove pairs cancel).
+    pub edges_added: Vec<(NodeId, NodeId)>,
+    /// Net edges the mutation destroyed. For a leave these are reported
+    /// in the pre-removal id space (the vanished node has no new id).
+    pub edges_removed: Vec<(NodeId, NodeId)>,
+    /// Nodes inside the repaired region (the 3-hop ball around the
+    /// disturbed set); every node the repair examined is counted.
+    pub touched_nodes: usize,
+    /// Total degree over the touched nodes — edge endpoints the repair
+    /// may have scanned.
+    pub touched_edges: usize,
 }
 
 impl RepairReport {
@@ -72,15 +120,26 @@ impl MaintainedWcds {
     /// Builds the initial WCDS (Algorithm II's construction) over a
     /// deployment.
     pub fn new(points: Vec<Point>, radius: f64) -> Self {
-        let udg = UnitDiskGraph::build(points, radius);
+        let udg = DynamicUdg::new(points, radius);
         let mis: BTreeSet<NodeId> =
             crate::mis::greedy_mis(udg.graph(), crate::mis::RankingMode::StaticId)
                 .into_iter()
                 .collect();
-        let mis_vec: Vec<NodeId> = mis.iter().copied().collect();
-        let additional: BTreeSet<NodeId> =
-            select_additional_dominators(udg.graph(), &mis_vec).into_iter().collect();
-        Self { udg, mis, additional }
+        let per_node = select_additional_dominators_in(udg.graph(), &mis, udg.graph().nodes());
+        let mut contrib = BTreeMap::new();
+        let mut bridge_refs: BTreeMap<NodeId, u32> = BTreeMap::new();
+        for (u, set) in per_node {
+            if set.is_empty() {
+                continue;
+            }
+            for &b in &set {
+                *bridge_refs.entry(b).or_insert(0) += 1;
+            }
+            contrib.insert(u, set);
+        }
+        let net = Self { udg, mis, contrib, bridge_refs };
+        net.debug_check_against_global();
+        net
     }
 
     /// The current topology.
@@ -95,128 +154,245 @@ impl MaintainedWcds {
 
     /// The current WCDS.
     pub fn wcds(&self) -> Wcds {
-        Wcds::new(self.mis.iter().copied().collect(), self.additional.iter().copied().collect())
+        Wcds::new(self.mis.iter().copied().collect(), self.bridge_refs.keys().copied().collect())
     }
 
-    /// Moves the listed nodes and repairs the WCDS.
+    /// Moves the listed nodes and repairs the WCDS. Each move splices
+    /// the CSR in `O(Δ)`; the repair is seeded with the endpoints of the
+    /// *net* edge delta (a later move undoing an earlier one cancels).
     ///
     /// # Panics
     ///
     /// Panics if a node id is out of range.
     pub fn apply_motion(&mut self, moves: &[(NodeId, Point)]) -> RepairReport {
-        let mut points = self.udg.points().to_vec();
+        let before = self.dominators();
+        let mut toggled: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         for &(u, p) in moves {
-            points[u] = p;
+            let delta = self.udg.move_node(u, p);
+            for &e in delta.added.iter().chain(&delta.removed) {
+                if !toggled.remove(&e) {
+                    toggled.insert(e);
+                }
+            }
         }
-        let new_udg = UnitDiskGraph::build(points, self.udg.radius());
-        let affected = edge_delta_endpoints(self.udg.graph(), new_udg.graph());
-        self.udg = new_udg;
-        self.repair(affected)
+        let mut edges_added = Vec::new();
+        let mut edges_removed = Vec::new();
+        let mut seeds: BTreeSet<NodeId> = BTreeSet::new();
+        for &(a, b) in &toggled {
+            if self.udg.graph().has_edge(a, b) {
+                edges_added.push((a, b));
+            } else {
+                edges_removed.push((a, b));
+            }
+            seeds.insert(a);
+            seeds.insert(b);
+        }
+        let seeds: Vec<NodeId> = seeds.into_iter().collect();
+        self.repair(&seeds, before, edges_added, edges_removed)
     }
 
     /// Adds a node (it receives the next id `n`) and repairs.
     pub fn apply_join(&mut self, p: Point) -> RepairReport {
-        let mut points = self.udg.points().to_vec();
-        let new_id = points.len();
-        points.push(p);
-        let new_udg = UnitDiskGraph::build(points, self.udg.radius());
-        let mut affected: BTreeSet<NodeId> =
-            new_udg.graph().neighbors(new_id).iter().copied().collect();
-        affected.insert(new_id);
-        self.udg = new_udg;
-        self.repair(affected)
+        let before = self.dominators();
+        let (_, delta) = self.udg.add_node(p);
+        self.repair(&delta.seeds, before, delta.added, Vec::new())
     }
 
     /// Removes node `u`. **Ids above `u` shift down by one** (positions
-    /// are compacted); dominator sets are remapped before repair.
+    /// are compacted); dominator sets are remapped before repair. The
+    /// remap is order-preserving, so it commutes with the id-ranked
+    /// greedy construction and the bridge rule.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn apply_leave(&mut self, u: NodeId) -> RepairReport {
-        let old_neighbors: Vec<NodeId> = self.udg.graph().neighbors(u).to_vec();
-        let mut points = self.udg.points().to_vec();
-        points.remove(u);
+        let dropped = self.contrib.remove(&u);
+        let delta = self.udg.remove_node(u);
         let remap = |x: NodeId| if x > u { x - 1 } else { x };
         self.mis = self.mis.iter().copied().filter(|&x| x != u).map(remap).collect();
-        self.additional = self.additional.iter().copied().filter(|&x| x != u).map(remap).collect();
-        self.udg = UnitDiskGraph::build(points, self.udg.radius());
-        let affected: BTreeSet<NodeId> = old_neighbors.into_iter().map(remap).collect();
-        self.repair(affected)
+        self.contrib = self
+            .contrib
+            .iter()
+            .map(|(&k, set)| {
+                let set: BTreeSet<NodeId> =
+                    set.iter().copied().filter(|&b| b != u).map(remap).collect();
+                (remap(k), set)
+            })
+            .filter(|(_, set)| !set.is_empty())
+            .collect();
+        self.bridge_refs = self
+            .bridge_refs
+            .iter()
+            .filter(|&(&b, _)| b != u)
+            .map(|(&b, &c)| (remap(b), c))
+            .collect();
+        // status baseline in the new id space, before the leaver's own
+        // contributions are released (mirrors what a reader saw last)
+        let before = self.dominators();
+        for b in dropped.into_iter().flatten() {
+            release_bridge(&mut self.bridge_refs, remap(b));
+        }
+        self.repair(&delta.seeds, before, Vec::new(), delta.removed)
     }
 
-    /// Local MIS repair + deterministic bridge re-selection.
-    fn repair<I: IntoIterator<Item = NodeId>>(&mut self, affected: I) -> RepairReport {
+    /// Delta-driven repair: cascade the MIS from the seeds, then refresh
+    /// contribution sets for MIS nodes inside the 3-hop ball around the
+    /// disturbance (seeds ∪ flips).
+    fn repair(
+        &mut self,
+        seeds: &[NodeId],
+        before: BTreeSet<NodeId>,
+        edges_added: Vec<(NodeId, NodeId)>,
+        edges_removed: Vec<(NodeId, NodeId)>,
+    ) -> RepairReport {
         let g = self.udg.graph();
-        let before: BTreeSet<NodeId> = self.mis.union(&self.additional).copied().collect();
-
-        // 1. Independence: adjacent dominator pairs keep the lower id.
-        let mut mis = self.mis.clone();
-        loop {
-            let mut drop: Option<NodeId> = None;
-            'scan: for &u in &mis {
-                for &v in g.neighbors(u) {
-                    if v > u && mis.contains(&v) {
-                        drop = Some(v);
-                        break 'scan;
-                    }
+        let flipped = region::cascade_mis(g, &mut self.mis, seeds);
+        let mut dirty: BTreeSet<NodeId> = seeds.iter().copied().collect();
+        dirty.extend(flipped.iter().copied());
+        let ball = region::bounded_ball(g, dirty.iter().copied(), 3);
+        // refresh every current-MIS node in the ball, plus every old
+        // contribution key in it (covers nodes that just left the MIS)
+        let keys: BTreeSet<NodeId> = ball
+            .keys()
+            .copied()
+            .filter(|k| self.mis.contains(k) || self.contrib.contains_key(k))
+            .collect();
+        let mut scratch = region::BallScratch::new(g.node_count());
+        for &k in &keys {
+            let new_set = if self.mis.contains(&k) {
+                region::contributions_for_with(&mut scratch, g, &self.mis, k)
+            } else {
+                BTreeSet::new()
+            };
+            let old_set = self.contrib.remove(&k).unwrap_or_default();
+            if new_set == old_set {
+                if !old_set.is_empty() {
+                    self.contrib.insert(k, old_set);
                 }
+                continue;
             }
-            match drop {
-                Some(v) => {
-                    mis.remove(&v);
-                }
-                None => break,
+            for &b in old_set.difference(&new_set) {
+                release_bridge(&mut self.bridge_refs, b);
+            }
+            for &b in new_set.difference(&old_set) {
+                *self.bridge_refs.entry(b).or_insert(0) += 1;
+            }
+            if !new_set.is_empty() {
+                self.contrib.insert(k, new_set);
             }
         }
-        // 2. Domination: promote the lowest-id uncovered node until the
-        //    set dominates. A newly promoted node has no MIS neighbor,
-        //    so independence is preserved.
-        loop {
-            let uncovered = g.nodes().find(|&u| {
-                !mis.contains(&u) && !g.neighbors(u).iter().any(|v| mis.contains(v))
-            });
-            match uncovered {
-                Some(u) => {
-                    mis.insert(u);
-                }
-                None => break,
-            }
-        }
-        self.mis = mis;
 
-        // 3. Bridges: re-derive with Algorithm II's deterministic rule.
-        let mis_vec: Vec<NodeId> = self.mis.iter().copied().collect();
-        self.additional = select_additional_dominators(g, &mis_vec).into_iter().collect();
-
-        let after: BTreeSet<NodeId> = self.mis.union(&self.additional).copied().collect();
+        let after = self.dominators();
         let promoted: Vec<NodeId> = after.difference(&before).copied().collect();
         let demoted: Vec<NodeId> = before.difference(&after).copied().collect();
-        let affected: Vec<NodeId> =
-            affected.into_iter().filter(|&u| u < g.node_count()).collect();
-
-        let locality_radius = if affected.is_empty() || (promoted.is_empty() && demoted.is_empty())
-        {
+        let affected: Vec<NodeId> = seeds.to_vec();
+        let locality_radius = if affected.is_empty() {
             None
         } else {
-            let dist = traversal::multi_source_bfs(g, affected.iter().copied());
-            promoted.iter().chain(&demoted).map(|&u| dist[u].unwrap_or(u32::MAX)).max()
+            let g = self.udg.graph();
+            // stage one: how far the MIS cascade ran from the disturbed
+            // edge endpoints (no flips → nothing to measure, no scan)
+            let cascade = if flipped.is_empty() {
+                None
+            } else {
+                let targets: BTreeSet<NodeId> = flipped.iter().copied().collect();
+                let from_seeds = region::distances_to_targets(
+                    g,
+                    affected.iter().copied(),
+                    &targets,
+                    LOCALITY_SCAN_RADIUS,
+                );
+                flipped
+                    .iter()
+                    .map(|u| from_seeds.get(u).copied().unwrap_or(u32::MAX))
+                    .max()
+            };
+            // stage two: how far dominator-status changes sit from the
+            // disturbance including those flips (a flipped MIS node is
+            // itself part of the disturbance the bridge layer sees)
+            let status = if promoted.is_empty() && demoted.is_empty() {
+                None
+            } else {
+                let targets: BTreeSet<NodeId> =
+                    promoted.iter().chain(&demoted).copied().collect();
+                let from_dirty = region::distances_to_targets(
+                    g,
+                    dirty.iter().copied(),
+                    &targets,
+                    LOCALITY_SCAN_RADIUS,
+                );
+                promoted
+                    .iter()
+                    .chain(&demoted)
+                    .map(|u| from_dirty.get(u).copied().unwrap_or(u32::MAX))
+                    .max()
+            };
+            cascade.max(status)
         };
-        RepairReport { affected, promoted, demoted, locality_radius }
+        let touched_nodes = ball.len();
+        let touched_edges = ball.keys().map(|&u| self.udg.graph().degree(u)).sum();
+        self.debug_check_against_global();
+        RepairReport {
+            affected,
+            promoted,
+            demoted,
+            locality_radius,
+            edges_added,
+            edges_removed,
+            touched_nodes,
+            touched_edges,
+        }
     }
+
+    /// Current dominator set: MIS ∪ referenced bridges.
+    fn dominators(&self) -> BTreeSet<NodeId> {
+        self.mis.iter().chain(self.bridge_refs.keys()).copied().collect()
+    }
+
+    /// Debug-build oracle: incremental state must equal a from-scratch
+    /// Algorithm II run after every mutation.
+    #[cfg(debug_assertions)]
+    fn debug_check_against_global(&self) {
+        let g = self.udg.graph();
+        let fresh_mis = crate::mis::greedy_mis(g, crate::mis::RankingMode::StaticId);
+        let mis: Vec<NodeId> = self.mis.iter().copied().collect();
+        debug_assert_eq!(mis, fresh_mis, "cascade diverged from greedy MIS");
+        let additional: Vec<NodeId> = self.bridge_refs.keys().copied().collect();
+        debug_assert_eq!(
+            additional,
+            crate::algo2::select_additional_dominators(g, &fresh_mis),
+            "bridge refcounts diverged from Algorithm II's selection"
+        );
+        let refs: BTreeMap<NodeId, u32> = self.contrib.values().flatten().fold(
+            BTreeMap::new(),
+            |mut acc, &b| {
+                *acc.entry(b).or_insert(0) += 1;
+                acc
+            },
+        );
+        debug_assert_eq!(refs, self.bridge_refs, "refcounts out of sync with contributions");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_against_global(&self) {}
 }
 
-/// Endpoints of edges present in exactly one of the two graphs.
-fn edge_delta_endpoints(old: &Graph, new: &Graph) -> BTreeSet<NodeId> {
-    let old_edges: BTreeSet<_> = old.edges().into_iter().collect();
-    let new_edges: BTreeSet<_> = new.edges().into_iter().collect();
-    let mut out = BTreeSet::new();
-    for e in old_edges.symmetric_difference(&new_edges) {
-        let (u, v) = e.endpoints();
-        out.insert(u);
-        out.insert(v);
+/// Drops one reference to bridge `b`, deleting the entry at zero.
+fn release_bridge(refs: &mut BTreeMap<NodeId, u32>, b: NodeId) {
+    let gone = match refs.get_mut(&b) {
+        Some(c) => {
+            *c -= 1;
+            *c == 0
+        }
+        None => {
+            debug_assert!(false, "released an unreferenced bridge {b}");
+            false
+        }
+    };
+    if gone {
+        refs.remove(&b);
     }
-    out
 }
 
 #[cfg(test)]
@@ -249,6 +425,16 @@ mod tests {
     }
 
     #[test]
+    fn initial_construction_matches_algorithm_two() {
+        let net = MaintainedWcds::new(deploy::uniform(140, 5.0, 5.0, 8), 1.0);
+        let (mis, additional) =
+            crate::algo2::AlgorithmTwo::new().construct_parts(net.graph());
+        let w = net.wcds();
+        assert_eq!(w.mis_dominators(), &mis[..]);
+        assert_eq!(w.additional_dominators(), &additional[..]);
+    }
+
+    #[test]
     fn noop_motion_changes_nothing() {
         let mut net = MaintainedWcds::new(deploy::uniform(60, 4.0, 4.0, 3), 1.0);
         let before = net.wcds();
@@ -256,6 +442,8 @@ mod tests {
         let report = net.apply_motion(&[(0, p0)]);
         assert!(!report.changed());
         assert!(report.affected.is_empty());
+        assert_eq!(report.touched_nodes, 0);
+        assert!(report.edges_added.is_empty() && report.edges_removed.is_empty());
         assert_eq!(net.wcds(), before);
     }
 
@@ -283,6 +471,12 @@ mod tests {
             assert_valid(&net);
             if let Some(r) = report.locality_radius {
                 max_radius = max_radius.max(r);
+            }
+            if report.affected.is_empty() {
+                assert_eq!(report.touched_nodes, 0);
+            } else {
+                assert!(report.touched_nodes > 0);
+                assert!(report.touched_nodes < 150, "repair touched the whole graph");
             }
         }
         // paper's claim: affected nodes are within three-hop distance;
@@ -359,6 +553,23 @@ mod tests {
                 }
             }
             assert_valid(&net);
+        }
+    }
+
+    #[test]
+    fn touched_region_is_a_small_fraction_on_big_graphs() {
+        let mut net = MaintainedWcds::new(deploy::uniform(800, 16.0, 16.0, 13), 1.0);
+        let n = net.graph().node_count();
+        for step in 0..10 {
+            let u = (step * 67) % n;
+            let old = net.points()[u];
+            let target = Point::new((old.x + 0.5).min(16.0), old.y);
+            let report = net.apply_motion(&[(u, target)]);
+            assert!(
+                report.touched_nodes * 4 < n,
+                "step {step}: touched {} of {n} nodes",
+                report.touched_nodes
+            );
         }
     }
 }

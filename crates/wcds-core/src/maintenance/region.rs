@@ -1,0 +1,385 @@
+//! Region-scoped repair primitives: the 3-hop-bounded machinery behind
+//! [`super::MaintainedWcds`].
+//!
+//! Everything here works on *sparse* node sets — hash maps keyed by the
+//! touched nodes — so a repair allocates proportionally to the disturbed
+//! region, never to the whole graph (the one exception is
+//! [`BallScratch`], a dense distance array allocated once per repair
+//! and reset in `O(|ball|)`, which the per-anchor searches share).
+//! Three building blocks:
+//!
+//! * [`bounded_ball`] — multi-source BFS truncated at a hop radius;
+//! * [`cascade_mis`] — restores the *lexicographic-first* MIS (the set
+//!   greedy `StaticId` construction produces) after an edge delta, via
+//!   an ascending-id worklist fixpoint seeded at the disturbed nodes;
+//! * [`contributions_for_with`] / [`select_additional_dominators_in`] — the
+//!   per-MIS-node share of Algorithm II's bridge rule, computed from
+//!   radius-bounded searches only.
+//!
+//! Why the worklist restores exactly the greedy MIS: under a static-id
+//! ranking, `u` is black iff no neighbor `v < u` is black — a unique
+//! fixpoint. The heap pops ascending ids and every push made while
+//! processing `u` targets an id above `u`, so pops are non-decreasing:
+//! when `u` is decided, every smaller id's membership is already final.
+//! A node's decision can only change if its own edge set changed (it is
+//! a seed) or a smaller neighbor flipped (the flip pushes it), so the
+//! fixpoint reached equals a from-scratch greedy run.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use wcds_graph::{Graph, NodeId};
+
+/// Multi-source BFS truncated at `radius` hops: hop distance from the
+/// nearest source for every node within `radius`, as a sparse map.
+/// Out-of-range sources are ignored.
+pub(crate) fn bounded_ball<I>(g: &Graph, sources: I, radius: u32) -> HashMap<NodeId, u32>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut dist: HashMap<NodeId, u32> = HashMap::new();
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    for s in sources {
+        if s < g.node_count() && !dist.contains_key(&s) {
+            dist.insert(s, 0);
+            queue.push_back((s, 0));
+        }
+    }
+    while let Some((u, du)) = queue.pop_front() {
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(du + 1);
+                queue.push_back((v, du + 1));
+            }
+        }
+    }
+    dist
+}
+
+/// Hop distances from `sources` to the nodes of `targets`, scanning no
+/// farther than `radius` — the BFS stops the moment the last target is
+/// assigned, so on dense graphs it touches a few hop layers instead of
+/// the whole `radius`-ball. Distances in the returned map are exact;
+/// targets beyond `radius` (or unreachable) are absent, exactly as
+/// they would be absent from [`bounded_ball`]'s map.
+pub(crate) fn distances_to_targets<I>(
+    g: &Graph,
+    sources: I,
+    targets: &BTreeSet<NodeId>,
+    radius: u32,
+) -> HashMap<NodeId, u32>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut dist: HashMap<NodeId, u32> = HashMap::new();
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    let mut remaining = targets.len();
+    for s in sources {
+        if s < g.node_count() {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(s) {
+                e.insert(0);
+                queue.push_back((s, 0));
+                if targets.contains(&s) {
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    while remaining > 0 {
+        let Some((u, du)) = queue.pop_front() else { break };
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(du + 1);
+                queue.push_back((v, du + 1));
+                if targets.contains(&v) {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Repairs `mis` to the lexicographic-first MIS of `g` after a topology
+/// delta, and returns the nodes whose membership flipped (ascending).
+///
+/// Caller contract: before the call, `mis` is the lex-first MIS of the
+/// pre-delta graph, and `seeds` contains every node whose incident edge
+/// set changed (both in the post-delta id space — when the delta renamed
+/// nodes, the caller has already applied the order-preserving remap to
+/// `mis`, which commutes with greedy construction).
+pub(crate) fn cascade_mis(g: &Graph, mis: &mut BTreeSet<NodeId>, seeds: &[NodeId]) -> Vec<NodeId> {
+    let mut heap: BinaryHeap<Reverse<NodeId>> = seeds.iter().copied().map(Reverse).collect();
+    let mut done: HashSet<NodeId> = HashSet::new();
+    let mut flipped = Vec::new();
+    while let Some(Reverse(u)) = heap.pop() {
+        if u >= g.node_count() || !done.insert(u) {
+            continue;
+        }
+        let desired = !g.neighbors(u).iter().any(|&v| v < u && mis.contains(&v));
+        if desired == mis.contains(&u) {
+            continue;
+        }
+        if desired {
+            mis.insert(u);
+        } else {
+            mis.remove(&u);
+        }
+        flipped.push(u);
+        for &v in g.neighbors(u) {
+            // pops are non-decreasing, so v > u has not been decided yet
+            if v > u {
+                heap.push(Reverse(v));
+            }
+        }
+    }
+    // pops were already ascending; flipped inherits the order
+    debug_assert!(flipped.windows(2).all(|w| w.first() < w.last()));
+    flipped
+}
+
+/// Algorithm II's bridge rule restricted to the pairs anchored at MIS
+/// node `u`: for every MIS node `w > u` at hop distance exactly 3, the
+/// smallest neighbor `v` of `u` with `hop(v, w) == 2`. Matches
+/// `crate::algo2::select_additional_dominators` pair for pair, but runs
+/// on radius-bounded searches (`O(|ball(u, 3)|)`, not `O(n + |E|)`).
+/// The caller-provided [`BallScratch`] lets a repair that refreshes
+/// many anchors amortize its allocation.
+pub(crate) fn contributions_for_with(
+    scratch: &mut BallScratch,
+    g: &Graph,
+    mis: &BTreeSet<NodeId>,
+    u: NodeId,
+) -> BTreeSet<NodeId> {
+    scratch.fill(g, u, 3);
+    let mut out = BTreeSet::new();
+    for &w in &scratch.visited {
+        if scratch.dist.get(w).copied() != Some(3) || w <= u || !mis.contains(&w) {
+            continue;
+        }
+        // the smallest v ∈ N(u) with hop(v, w) == 2; since hop(u, w) = 3
+        // forces w ∉ N(u) (so v ≠ w), that is exactly: v not adjacent to
+        // w but sharing a neighbor with it. The sorted-adjacency sweep
+        // replaces a radius-2 ball per pair, which on dense graphs
+        // re-walked most of the neighborhood for every pair.
+        let nw = g.neighbors(w);
+        let bridge = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .find(|&v| !g.has_edge(v, w) && sorted_intersects(g.neighbors(v), nw));
+        debug_assert!(bridge.is_some(), "a 3-hop pair has an intermediate at distance (1, 2)");
+        if let Some(v) = bridge {
+            out.insert(v);
+        }
+    }
+    out
+}
+
+/// Reusable dense scratch for the per-anchor radius-bounded searches of
+/// one repair: a distance array reset through the visited list, so each
+/// search costs `O(|ball|)` after a single `O(n)` allocation. The one
+/// deliberate exception to this module's sparse-map convention — a
+/// repair refreshes a few dozen anchors over heavily overlapping balls,
+/// where per-anchor hash maps dominated the repair's running time on
+/// dense graphs.
+pub(crate) struct BallScratch {
+    /// Hop distance per node; `u32::MAX` = not reached by the current
+    /// search.
+    dist: Vec<u32>,
+    /// Nodes reached by the current search, in BFS order.
+    visited: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BallScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        Self { dist: vec![u32::MAX; n], visited: Vec::new(), queue: VecDeque::new() }
+    }
+
+    /// Runs a BFS ball around `source` truncated at `radius` hops;
+    /// results stay readable in `dist` / `visited` until the next call.
+    fn fill(&mut self, g: &Graph, source: NodeId, radius: u32) {
+        debug_assert_eq!(self.dist.len(), g.node_count(), "scratch sized for this graph");
+        for &v in &self.visited {
+            if let Some(d) = self.dist.get_mut(v) {
+                *d = u32::MAX;
+            }
+        }
+        self.visited.clear();
+        self.queue.clear();
+        let Some(d0) = self.dist.get_mut(source) else { return };
+        *d0 = 0;
+        self.visited.push(source);
+        self.queue.push_back(source);
+        while let Some(u) = self.queue.pop_front() {
+            let du = self.dist.get(u).copied().unwrap_or(u32::MAX);
+            if du >= radius {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if let Some(dv) = self.dist.get_mut(v) {
+                    if *dv == u32::MAX {
+                        *dv = du + 1;
+                        self.visited.push(v);
+                        self.queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether two ascending slices share an element (two-pointer sweep).
+fn sorted_intersects(mut a: &[NodeId], mut b: &[NodeId]) -> bool {
+    debug_assert!(a.windows(2).all(|w| w.first() < w.last()));
+    debug_assert!(b.windows(2).all(|w| w.first() < w.last()));
+    while let (Some((&x, rest_a)), Some((&y, rest_b))) = (a.split_first(), b.split_first()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a = rest_a,
+            std::cmp::Ordering::Greater => b = rest_b,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// The per-node decomposition of Algorithm II's additional-dominator
+/// selection, restricted to the MIS nodes inside `region`: each MIS node
+/// `u` in `region` maps to the bridges its 3-hop pairs select (possibly
+/// empty). Non-MIS region nodes are skipped.
+///
+/// With `region` = all nodes, the union of the returned sets equals
+/// `crate::algo2::select_additional_dominators` exactly — Algorithm II's
+/// rule is per-pair-deterministic, so it decomposes over anchors.
+pub fn select_additional_dominators_in<I>(
+    g: &Graph,
+    mis: &BTreeSet<NodeId>,
+    region: I,
+) -> BTreeMap<NodeId, BTreeSet<NodeId>>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut out = BTreeMap::new();
+    let mut scratch = BallScratch::new(g.node_count());
+    for u in region {
+        if mis.contains(&u) {
+            out.insert(u, contributions_for_with(&mut scratch, g, mis, u));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo2::select_additional_dominators;
+    use crate::mis::{greedy_mis, RankingMode};
+    use wcds_geom::deploy;
+    use wcds_graph::{generators, traversal, UnitDiskGraph};
+    use wcds_rng::{ChaCha12Rng, Rng};
+
+    fn lex_mis(g: &Graph) -> BTreeSet<NodeId> {
+        greedy_mis(g, RankingMode::StaticId).into_iter().collect()
+    }
+
+    #[test]
+    fn bounded_ball_matches_full_bfs_within_radius() {
+        let udg = UnitDiskGraph::build(deploy::uniform(200, 6.0, 6.0, 9), 1.0);
+        let g = udg.graph();
+        for r in 0..4u32 {
+            let ball = bounded_ball(g, [0, 17, 91], r);
+            let full = traversal::multi_source_bfs(g, [0, 17, 91].into_iter());
+            for u in g.nodes() {
+                match full[u] {
+                    Some(d) if d <= r => assert_eq!(ball.get(&u), Some(&d)),
+                    _ => assert_eq!(ball.get(&u), None),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_reaches_the_greedy_fixpoint_from_scratch() {
+        // seeding every node must reproduce greedy construction exactly,
+        // even starting from an empty (wrong) membership
+        let g = generators::gnp(120, 0.06, 5);
+        let mut mis = BTreeSet::new();
+        let seeds: Vec<NodeId> = g.nodes().collect();
+        cascade_mis(&g, &mut mis, &seeds);
+        assert_eq!(mis, lex_mis(&g));
+    }
+
+    #[test]
+    fn cascade_tracks_greedy_across_random_moves() {
+        let mut udg = wcds_graph::DynamicUdg::new(deploy::uniform(180, 5.0, 5.0, 21), 1.0);
+        let mut mis = lex_mis(udg.graph());
+        let mut rng = ChaCha12Rng::seed_from_u64(77);
+        for _ in 0..80 {
+            let u = rng.gen_range(0..udg.node_count());
+            let p = wcds_geom::Point::new(rng.gen::<f64>() * 5.0, rng.gen::<f64>() * 5.0);
+            let delta = udg.move_node(u, p);
+            let flipped = cascade_mis(udg.graph(), &mut mis, &delta.seeds);
+            assert_eq!(mis, lex_mis(udg.graph()), "cascade diverged (flipped {flipped:?})");
+            for &f in &flipped {
+                // a flip is either a seed or reachable from one through
+                // the ascending chain — never an untouched far node
+                assert!(f >= delta.seeds.first().copied().unwrap_or(0));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_removal_promotes_the_freed_node() {
+        // path 0-1-2: lex MIS {0, 2}; drop edge (0, 1) and node 1 must
+        // join, which in turn evicts 2 — exactly what a fresh greedy run
+        // decides ({0, 1}), reached through the ascending chain
+        let g3 = generators::path(3);
+        let mut mis: BTreeSet<NodeId> = lex_mis(&g3);
+        let g2 = {
+            let mut b = wcds_graph::GraphBuilder::new(3);
+            b.add_edge(1, 2);
+            b.build()
+        };
+        let flipped = cascade_mis(&g2, &mut mis, &[0, 1]);
+        assert_eq!(flipped, vec![1, 2]);
+        assert_eq!(mis, lex_mis(&g2));
+        assert_eq!(mis.iter().copied().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn contributions_union_equals_the_global_selection() {
+        for seed in [3, 14, 60] {
+            let udg = UnitDiskGraph::build(deploy::uniform(160, 7.0, 7.0, seed), 1.0);
+            let g = udg.graph();
+            let mis_vec = greedy_mis(g, RankingMode::StaticId);
+            let mis: BTreeSet<NodeId> = mis_vec.iter().copied().collect();
+            let per_node = select_additional_dominators_in(g, &mis, g.nodes());
+            assert_eq!(per_node.len(), mis.len());
+            let union: Vec<NodeId> = per_node
+                .values()
+                .flatten()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            assert_eq!(union, select_additional_dominators(g, &mis_vec));
+        }
+    }
+
+    #[test]
+    fn contributions_skip_non_mis_region_nodes() {
+        let g = generators::path(7);
+        let mis = lex_mis(&g);
+        let per_node = select_additional_dominators_in(&g, &mis, [1, 3, 5]);
+        assert!(per_node.is_empty(), "path MIS is the even nodes only");
+    }
+}

@@ -114,6 +114,42 @@ impl GridIndex {
         self.for_each_within(points, center, r, |_| n += 1);
         n
     }
+
+    /// Appends the next point index (`len()`) at position `p`, returning it.
+    ///
+    /// The caller must push `p` onto its point slice at the same time so the
+    /// index and the coordinates stay in lockstep.
+    pub fn push(&mut self, p: Point) -> usize {
+        let i = self.len;
+        self.cells.entry(Self::key(self.cell, p)).or_default().push(i);
+        self.len += 1;
+        i
+    }
+
+    /// Moves indexed point `i` from `old` to `new`, rebucketing it.
+    ///
+    /// `old` must be the position `i` currently occupies in the caller's
+    /// slice; same-cell moves are free. Bucket order is not preserved
+    /// (callers that need determinism must canonicalize query results).
+    pub fn relocate(&mut self, i: usize, old: Point, new: Point) {
+        debug_assert!(i < self.len, "relocate of unindexed point {i}");
+        let from = Self::key(self.cell, old);
+        let to = Self::key(self.cell, new);
+        if from == to {
+            return;
+        }
+        let mut now_empty = false;
+        if let Some(bucket) = self.cells.get_mut(&from) {
+            if let Some(pos) = bucket.iter().position(|&j| j == i) {
+                bucket.swap_remove(pos);
+            }
+            now_empty = bucket.is_empty();
+        }
+        if now_empty {
+            self.cells.remove(&from);
+        }
+        self.cells.entry(to).or_default().push(i);
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +221,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_panics() {
         let _ = GridIndex::build(&[], 0.0);
+    }
+
+    #[test]
+    fn push_and_relocate_match_fresh_build() {
+        let mut pts = deploy::uniform(120, 5.0, 5.0, 19);
+        let mut idx = GridIndex::build(&pts, 1.0);
+        // append a few points, then shove some around (including cross-cell)
+        for k in 0..10 {
+            let p = Point::new(0.37 * k as f64, 4.9 - 0.41 * k as f64);
+            let i = idx.push(p);
+            pts.push(p);
+            assert_eq!(i, pts.len() - 1);
+        }
+        for k in 0..40 {
+            let i = (k * 7) % pts.len();
+            let old = pts[i];
+            let new = Point::new(old.y * 0.9 + 0.1, (old.x + 1.3) % 5.0);
+            idx.relocate(i, old, new);
+            pts[i] = new;
+        }
+        assert_eq!(idx.len(), pts.len());
+        let fresh = GridIndex::build(&pts, 1.0);
+        for probe in 0..pts.len() {
+            let mut got = idx.neighbors_within(&pts, pts[probe], 1.0);
+            got.sort_unstable();
+            let mut want = fresh.neighbors_within(&pts, pts[probe], 1.0);
+            want.sort_unstable();
+            assert_eq!(got, want, "probe {probe}");
+            assert_eq!(got, brute_force(&pts, pts[probe], 1.0), "probe {probe}");
+        }
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::{Edge, NodeId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A compact undirected simple graph over nodes `0..n`.
@@ -254,6 +254,145 @@ impl Graph {
                 self.has_edge(u, v)
             })
     }
+
+    /// Reassembles a graph from spliced CSR rows, recomputing the narrow
+    /// target copy and re-validating the row invariants in debug builds.
+    fn from_rows(offsets: Vec<u32>, targets: Vec<NodeId>, edge_count: usize) -> Graph {
+        debug_assert_eq!(offsets.last().map(|&o| o as usize), Some(targets.len()));
+        debug_assert_eq!(targets.len(), edge_count * 2);
+        debug_assert!(offsets.windows(2).all(|w| {
+            let row = &targets[w[0] as usize..w[1] as usize];
+            row.windows(2).all(|p| p[0] < p[1])
+        }));
+        let targets32 = targets.iter().map(|&v| v as u32).collect();
+        Graph { offsets, targets, targets32, edge_count }
+    }
+
+    /// A copy of `self` on `n_new` nodes with `added` edges inserted and
+    /// `removed` edges deleted — the incremental-mutation fast path.
+    ///
+    /// `n_new` is the old node count or one more (a splice can append one
+    /// node; dropping one is [`Graph::compacted_without`]'s job). Edge
+    /// lists are canonical `(u, v)` with `u < v`. Untouched adjacency
+    /// rows are copied as bulk spans; only rows incident to a delta edge
+    /// are re-merged, preserving the sorted-targets invariant, so the
+    /// cost is `O(n + |E|)` worth of `memcpy` plus `O(|Δ| log |Δ|)` of
+    /// actual merging — no hashing, no re-sorting of the edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_new` is out of the allowed range, an endpoint is out
+    /// of range, or an edge list is non-canonical. Debug builds also
+    /// verify each added edge was absent and each removed edge present.
+    pub fn spliced(
+        &self,
+        n_new: usize,
+        added: &[(NodeId, NodeId)],
+        removed: &[(NodeId, NodeId)],
+    ) -> Graph {
+        let n_old = self.node_count();
+        assert!(
+            n_old == n_new || n_old + 1 == n_new,
+            "splice may append at most one node ({n_old} -> {n_new})"
+        );
+        // group the delta per incident row, both orientations
+        let mut patch: BTreeMap<NodeId, (Vec<NodeId>, Vec<NodeId>)> = BTreeMap::new();
+        for &(u, v) in added {
+            assert!(u < v && v < n_new, "added edge ({u}, {v}) not canonical in-range");
+            patch.entry(u).or_default().0.push(v);
+            patch.entry(v).or_default().0.push(u);
+        }
+        for &(u, v) in removed {
+            assert!(u < v && v < n_old, "removed edge ({u}, {v}) not canonical in-range");
+            patch.entry(u).or_default().1.push(v);
+            patch.entry(v).or_default().1.push(u);
+        }
+        for (adds, dels) in patch.values_mut() {
+            adds.sort_unstable();
+            dels.sort_unstable();
+        }
+        let edge_count = self
+            .edge_count
+            .checked_add(added.len())
+            .and_then(|c| c.checked_sub(removed.len()))
+            .expect("removed edges exceed the edge count");
+        assert!(edge_count * 2 <= u32::MAX as usize, "graph too large for u32 CSR offsets");
+
+        let mut offsets = Vec::with_capacity(n_new + 1);
+        offsets.push(0u32);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(edge_count * 2);
+        let mut row_cursor = 0; // next row still to emit
+        let copy_span = |from: usize, to: usize, targets: &mut Vec<NodeId>, offsets: &mut Vec<u32>| {
+            if from >= to {
+                return;
+            }
+            let base = targets.len() as u32;
+            let old_base = self.offsets[from];
+            targets.extend_from_slice(
+                &self.targets[old_base as usize..self.offsets[to] as usize],
+            );
+            offsets.extend((from + 1..=to).map(|r| base + (self.offsets[r] - old_base)));
+        };
+        for (&w, (adds, dels)) in &patch {
+            copy_span(row_cursor, w.min(n_old), &mut targets, &mut offsets);
+            let old_row: &[NodeId] = if w < n_old { self.neighbors(w) } else { &[] };
+            merge_row(old_row, adds, dels, &mut targets);
+            offsets.push(targets.len() as u32);
+            row_cursor = w + 1;
+        }
+        copy_span(row_cursor, n_old, &mut targets, &mut offsets);
+        offsets.resize(n_new + 1, targets.len() as u32); // appended node with no patch
+        Self::from_rows(offsets, targets, edge_count)
+    }
+
+    /// A copy of `self` without node `u`: its incident edges vanish and
+    /// every id above `u` shifts down by one (the maintenance layer's
+    /// id-compaction rule for departures). Rows stay sorted because the
+    /// shift is monotone. `O(n + |E|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn compacted_without(&self, u: NodeId) -> Graph {
+        let n = self.node_count();
+        assert!(u < n, "compaction of out-of-range node {u} (n = {n})");
+        let deg_u = self.degree(u);
+        let mut offsets = Vec::with_capacity(n);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(self.targets.len() - 2 * deg_u);
+        for w in self.nodes() {
+            if w == u {
+                continue;
+            }
+            for &v in self.neighbors(w) {
+                if v != u {
+                    targets.push(if v > u { v - 1 } else { v });
+                }
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Self::from_rows(offsets, targets, self.edge_count - deg_u)
+    }
+}
+
+/// Merges one sorted adjacency row with its sorted add/remove deltas.
+fn merge_row(old: &[NodeId], adds: &[NodeId], dels: &[NodeId], out: &mut Vec<NodeId>) {
+    let mut ai = 0;
+    let mut di = 0;
+    for &v in old {
+        while ai < adds.len() && adds[ai] < v {
+            out.push(adds[ai]);
+            ai += 1;
+        }
+        debug_assert!(ai >= adds.len() || adds[ai] != v, "added edge already present at {v}");
+        if di < dels.len() && dels[di] == v {
+            di += 1;
+            continue;
+        }
+        out.push(v);
+    }
+    out.extend_from_slice(&adds[ai..]);
+    debug_assert_eq!(di, dels.len(), "removed edge missing from row");
 }
 
 impl fmt::Debug for Graph {
@@ -474,5 +613,90 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", path4()).is_empty());
+    }
+
+    /// Pseudo-random edge set over `n` nodes (deterministic LCG).
+    fn scrambled_edges(n: usize, count: usize, seed: u64) -> BTreeSet<(NodeId, NodeId)> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut edges = BTreeSet::new();
+        while edges.len() < count {
+            let u = next() % n;
+            let v = next() % n;
+            if u != v {
+                edges.insert((u.min(v), u.max(v)));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn spliced_matches_from_scratch_build() {
+        let n = 40;
+        let edges = scrambled_edges(n, 120, 7);
+        let g = Graph::from_edges(n, edges.iter().copied());
+        // remove every 5th existing edge, add fresh non-edges
+        let removed: Vec<_> = edges.iter().copied().step_by(5).collect();
+        let added: Vec<_> = scrambled_edges(n, 200, 8)
+            .into_iter()
+            .filter(|e| !edges.contains(e))
+            .take(25)
+            .collect();
+        let spliced = g.spliced(n, &added, &removed);
+        let mut want = edges.clone();
+        for e in &removed {
+            want.remove(e);
+        }
+        want.extend(added.iter().copied());
+        assert_eq!(spliced, Graph::from_edges(n, want.iter().copied()));
+        assert_eq!(spliced.edge_count(), want.len());
+        // narrow targets stay in lockstep
+        let (_, t) = spliced.csr();
+        let (_, t32) = spliced.csr32();
+        assert!(t.iter().zip(t32).all(|(&a, &b)| a == b as usize));
+    }
+
+    #[test]
+    fn spliced_can_append_a_node() {
+        let g = path4();
+        let joined = g.spliced(5, &[(1, 4), (3, 4)], &[]);
+        assert_eq!(joined, Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (1, 4), (3, 4)]));
+        let isolated = g.spliced(5, &[], &[]);
+        assert_eq!(isolated.node_count(), 5);
+        assert_eq!(isolated.degree(4), 0);
+        assert_eq!(isolated.edge_count(), 3);
+    }
+
+    #[test]
+    fn spliced_with_empty_delta_is_identity() {
+        let g = path4();
+        assert_eq!(g.spliced(4, &[], &[]), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one node")]
+    fn spliced_rejects_node_drops() {
+        let _ = path4().spliced(3, &[], &[]);
+    }
+
+    #[test]
+    fn compacted_without_shifts_ids_down() {
+        let n = 30;
+        let edges = scrambled_edges(n, 90, 3);
+        let g = Graph::from_edges(n, edges.iter().copied());
+        for victim in [0, 7, 29] {
+            let compacted = g.compacted_without(victim);
+            let remapped = edges
+                .iter()
+                .copied()
+                .filter(|&(u, v)| u != victim && v != victim)
+                .map(|(u, v)| {
+                    (if u > victim { u - 1 } else { u }, if v > victim { v - 1 } else { v })
+                });
+            assert_eq!(compacted, Graph::from_edges(n - 1, remapped), "victim {victim}");
+        }
     }
 }

@@ -10,7 +10,11 @@
 //!   sparse row) layout: one flat offset array plus one flat target
 //!   array, so a node's neighbor list is a contiguous sorted slice;
 //! * [`UnitDiskGraph`] — points + the induced [`Graph`], built in
-//!   `O(n + |E|)` with a spatial hash;
+//!   `O(n + |E|)` with a spatial hash (or a direct scan below the
+//!   occupancy crossover);
+//! * [`DynamicUdg`] — the same state kept mutable: moves/joins/leaves
+//!   produce `O(Δ)` edge deltas against a live spatial index and splice
+//!   the CSR instead of rebuilding it;
 //! * [`traversal`] — BFS/DFS, hop distances, connected components;
 //! * [`shortest_path`] — Dijkstra, hop-count and geometric-length APSP;
 //! * [`SearchScratch`] — reusable epoch-stamped search state so
@@ -37,6 +41,7 @@
 
 pub mod connectivity;
 pub mod domination;
+mod dynamic;
 pub mod generators;
 pub mod metrics;
 mod graph;
@@ -52,6 +57,7 @@ pub mod spanning;
 pub mod traversal;
 mod udg;
 
+pub use dynamic::{DynamicUdg, TopoDelta};
 pub use graph::{Graph, GraphBuilder};
 pub use scratch::{CsrWeights, SearchScratch};
 pub use udg::UnitDiskGraph;

@@ -60,6 +60,40 @@ pub fn bfs_tree(g: &Graph, source: NodeId) -> (Vec<Option<u32>>, Vec<Option<Node
     (dist, parent)
 }
 
+/// [`bfs_tree`] truncated at `radius` hops.
+///
+/// Distances and parents are **identical** to the full tree for every
+/// node within `radius` of `source` (the frontier is expanded in the
+/// same order, just not past the radius); nodes beyond stay `None`.
+/// Consumers that only inspect a bounded ball — the backbone router's
+/// 3-hop dominator links, the broadcast plan's spanning tree — get the
+/// same answer for `O(ball)` scan work instead of `O(n + |E|)`.
+pub fn bfs_tree_bounded(
+    g: &Graph,
+    source: NodeId,
+    radius: u32,
+) -> (Vec<Option<u32>>, Vec<Option<NodeId>>) {
+    let mut dist = vec![None; g.node_count()];
+    let mut parent = vec![None; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[source] = Some(0);
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                parent[v] = Some(u);
+                q.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
 /// Reconstructs the path `source → target` from BFS parent pointers.
 ///
 /// Returns `None` if `target` was unreachable.
@@ -242,6 +276,26 @@ mod tests {
         assert_eq!(p.last(), Some(&3));
         for w in p.windows(2) {
             assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn bounded_tree_matches_full_tree_inside_the_ball() {
+        let g = generators::connected_gnp(80, 0.06, 17);
+        for source in [0, 11, 42] {
+            let (full_d, full_p) = bfs_tree(&g, source);
+            for radius in 0..5 {
+                let (d, p) = bfs_tree_bounded(&g, source, radius);
+                for v in g.nodes() {
+                    match full_d[v] {
+                        Some(dv) if dv <= radius => {
+                            assert_eq!(d[v], Some(dv), "src {source} r {radius} node {v}");
+                            assert_eq!(p[v], full_p[v], "src {source} r {radius} node {v}");
+                        }
+                        _ => assert_eq!(d[v], None, "src {source} r {radius} node {v}"),
+                    }
+                }
+            }
         }
     }
 

@@ -40,16 +40,13 @@ impl UnitDiskGraph {
     /// Panics if `radius` is not strictly positive and finite.
     pub fn build(points: Vec<Point>, radius: f64) -> Self {
         assert!(radius.is_finite() && radius > 0.0, "radius must be positive and finite");
-        let index = GridIndex::build(&points, radius);
-        let mut b = GraphBuilder::new(points.len());
-        for u in 0..points.len() {
-            index.for_each_within(&points, points[u], radius, |v| {
-                if u < v {
-                    b.add_edge(u, v);
-                }
-            });
-        }
-        Self { radius, graph: b.build(), points }
+        let (w, h) = bounding_extent(&points);
+        let graph = if grid_is_overkill(points.len(), radius, w, h) {
+            direct_scan(&points, radius)
+        } else {
+            grid_scan(&points, radius)
+        };
+        Self { radius, graph, points }
     }
 
     /// Builds a **toroidal** UDG: distances wrap around a
@@ -83,48 +80,12 @@ impl UnitDiskGraph {
             .iter()
             .map(|p| Point::new(p.x.rem_euclid(width), p.y.rem_euclid(height)))
             .collect();
-        let index = GridIndex::build(&canon, radius);
-        let mut b = GraphBuilder::new(points.len());
-        for u in 0..canon.len() {
-            // radius ≤ min(width, height) / 2 ⇒ the nearest wrapped copy
-            // of any neighbor lies in one of nine translates of u — but a
-            // translate can only score a hit when u sits within `radius`
-            // of the corresponding border (a query at x − width reaches
-            // canonical coordinates ≤ x − width + radius, which is < 0
-            // unless x ≥ width − radius, and symmetrically for the other
-            // three). Interior nodes therefore issue a single query; the
-            // builder dedups hits that qualify under several translates.
-            let (x, y) = (canon[u].x, canon[u].y);
-            let mut dxs = [0.0; 2];
-            let mut nx = 1;
-            if x < radius {
-                dxs[1] = width;
-                nx = 2;
-            } else if x >= width - radius {
-                dxs[1] = -width;
-                nx = 2;
-            }
-            let mut dys = [0.0; 2];
-            let mut ny = 1;
-            if y < radius {
-                dys[1] = height;
-                ny = 2;
-            } else if y >= height - radius {
-                dys[1] = -height;
-                ny = 2;
-            }
-            for &dx in &dxs[..nx] {
-                for &dy in &dys[..ny] {
-                    let q = Point::new(x + dx, y + dy);
-                    index.for_each_within(&canon, q, radius, |v| {
-                        if u < v {
-                            b.add_edge(u, v);
-                        }
-                    });
-                }
-            }
-        }
-        Self { radius, graph: b.build(), points }
+        let graph = if grid_is_overkill(canon.len(), radius, width, height) {
+            torus_direct_scan(&canon, radius, width, height)
+        } else {
+            torus_grid_scan(&canon, radius, width, height)
+        };
+        Self { radius, graph, points }
     }
 
     /// The adjacency structure (what a distributed protocol may see).
@@ -183,6 +144,14 @@ impl UnitDiskGraph {
             .sum()
     }
 
+    /// Decomposes the UDG into `(points, radius, graph)`.
+    ///
+    /// Handoff for [`crate::DynamicUdg`], which owns the same state plus
+    /// a live spatial index.
+    pub fn into_parts(self) -> (Vec<Point>, f64, Graph) {
+        (self.points, self.radius, self.graph)
+    }
+
     /// Rebuilds the UDG after nodes have moved (same radius).
     ///
     /// # Panics
@@ -194,6 +163,131 @@ impl UnitDiskGraph {
         assert_eq!(points.len(), self.points.len(), "motion step must preserve node count");
         Self::build(points, self.radius)
     }
+}
+
+/// Tuning point of [`grid_is_overkill`]: the effective number of
+/// pairwise distance checks at which the direct scan stops paying off,
+/// calibrated on `BENCH_construction`'s measured grid/naive crossover
+/// (n ≈ 1–2k at the benchmark densities).
+const DIRECT_SCAN_BREAK_EVEN: f64 = 600.0;
+
+/// Occupancy heuristic: should a UDG build skip the spatial hash?
+///
+/// The grid pays one hash insertion plus a 3×3-block probe per node; the
+/// direct scan pays `n²/2` distance checks. When the region spans many
+/// cells (sparse occupancy, `n / cells` small) the grid's per-node hash
+/// overhead dominates until `n` is well into the thousands, and when it
+/// spans almost none (`cells ≤ 18`) the grid probes nearly all pairs
+/// anyway — in both regimes the branch-free direct scan wins. Comparing
+/// the direct cost against the grid's expected candidate work
+/// (`≈ 9n²/cells` pair checks) captures both ends with one inequality.
+fn grid_is_overkill(n: usize, radius: f64, width: f64, height: f64) -> bool {
+    let cells = (width / radius).ceil().max(1.0) * (height / radius).ceil().max(1.0);
+    (n as f64) * (0.5 - 9.0 / cells).max(0.0) < DIRECT_SCAN_BREAK_EVEN
+}
+
+/// Extent `(width, height)` of the bounding box of `points`.
+fn bounding_extent(points: &[Point]) -> (f64, f64) {
+    let mut min = (f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min = (min.0.min(p.x), min.1.min(p.y));
+        max = (max.0.max(p.x), max.1.max(p.y));
+    }
+    ((max.0 - min.0).max(0.0), (max.1 - min.1).max(0.0))
+}
+
+/// The spatial-hash UDG builder (`O(n + |E|)` expected).
+fn grid_scan(points: &[Point], radius: f64) -> Graph {
+    let index = GridIndex::build(points, radius);
+    let mut b = GraphBuilder::new(points.len());
+    for u in 0..points.len() {
+        index.for_each_within(points, points[u], radius, |v| {
+            if u < v {
+                b.add_edge(u, v);
+            }
+        });
+    }
+    b.build()
+}
+
+/// The pairwise UDG builder (`O(n²)`, but branch-predictable and
+/// allocation-free per pair — faster below the occupancy crossover).
+fn direct_scan(points: &[Point], radius: f64) -> Graph {
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(points.len());
+    for u in 0..points.len() {
+        for v in (u + 1)..points.len() {
+            if points[u].distance_squared(points[v]) <= r2 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The spatial-hash torus builder over canonicalised coordinates.
+fn torus_grid_scan(canon: &[Point], radius: f64, width: f64, height: f64) -> Graph {
+    let index = GridIndex::build(canon, radius);
+    let mut b = GraphBuilder::new(canon.len());
+    for u in 0..canon.len() {
+        // radius ≤ min(width, height) / 2 ⇒ the nearest wrapped copy
+        // of any neighbor lies in one of nine translates of u — but a
+        // translate can only score a hit when u sits within `radius`
+        // of the corresponding border (a query at x − width reaches
+        // canonical coordinates ≤ x − width + radius, which is < 0
+        // unless x ≥ width − radius, and symmetrically for the other
+        // three). Interior nodes therefore issue a single query; the
+        // builder dedups hits that qualify under several translates.
+        let (x, y) = (canon[u].x, canon[u].y);
+        let mut dxs = [0.0; 2];
+        let mut nx = 1;
+        if x < radius {
+            dxs[1] = width;
+            nx = 2;
+        } else if x >= width - radius {
+            dxs[1] = -width;
+            nx = 2;
+        }
+        let mut dys = [0.0; 2];
+        let mut ny = 1;
+        if y < radius {
+            dys[1] = height;
+            ny = 2;
+        } else if y >= height - radius {
+            dys[1] = -height;
+            ny = 2;
+        }
+        for &dx in &dxs[..nx] {
+            for &dy in &dys[..ny] {
+                let q = Point::new(x + dx, y + dy);
+                index.for_each_within(canon, q, radius, |v| {
+                    if u < v {
+                        b.add_edge(u, v);
+                    }
+                });
+            }
+        }
+    }
+    b.build()
+}
+
+/// The pairwise torus builder: min-wrap metric over all pairs.
+fn torus_direct_scan(canon: &[Point], radius: f64, width: f64, height: f64) -> Graph {
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(canon.len());
+    for u in 0..canon.len() {
+        for v in (u + 1)..canon.len() {
+            let dx = (canon[u].x - canon[v].x).abs();
+            let dy = (canon[u].y - canon[v].y).abs();
+            let dx = dx.min(width - dx);
+            let dy = dy.min(height - dy);
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
 }
 
 #[cfg(test)]
@@ -339,6 +433,37 @@ mod tests {
         let udg = UnitDiskGraph::build(deploy::chain(4, 0.5), 1.0);
         // chain(4, 0.5): edges 0-1,1-2,2-3 at 0.5 plus 0-2,1-3 at 1.0
         assert!((udg.total_edge_length() - (3.0 * 0.5 + 2.0 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_and_direct_builders_are_identical() {
+        // straddle the occupancy threshold on both sides: the two code
+        // paths must be observationally equivalent everywhere
+        for (n, side, seed) in [(150, 4.0, 5), (400, 12.0, 6), (900, 30.0, 7)] {
+            let pts = deploy::uniform(n, side, side, seed);
+            assert_eq!(
+                grid_scan(&pts, 1.0),
+                direct_scan(&pts, 1.0),
+                "flat n={n} side={side}"
+            );
+            assert_eq!(
+                torus_grid_scan(&pts, 1.0, side, side),
+                torus_direct_scan(&pts, 1.0, side, side),
+                "torus n={n} side={side}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_heuristic_tracks_both_regimes() {
+        // small or sparse deployments take the direct scan...
+        assert!(grid_is_overkill(500, 1.0, 10.0, 10.0));
+        assert!(grid_is_overkill(1000, 1.0, 200.0, 200.0));
+        // ...a dense blob occupying a handful of cells always does...
+        assert!(grid_is_overkill(100_000, 1.0, 2.0, 2.0));
+        // ...and big well-spread deployments keep the grid
+        assert!(!grid_is_overkill(5000, 1.0, 22.0, 22.0));
+        assert!(!grid_is_overkill(100_000, 1.0, 100.0, 100.0));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! needs one — still `Θ(|U|)` nodes, far below the `n` transmissions of
 //! blind flooding.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use wcds_core::Wcds;
 use wcds_graph::{traversal, Graph, NodeId};
 
@@ -31,7 +31,7 @@ use wcds_graph::{traversal, Graph, NodeId};
 /// assert!(outcome.full_coverage);
 /// assert_eq!(outcome.transmissions, 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BroadcastPlan {
     forwarders: BTreeSet<NodeId>,
 }
@@ -64,22 +64,41 @@ impl BroadcastPlan {
     /// Panics if `wcds` is not a valid WCDS of `g`.
     pub fn for_wcds(g: &Graph, wcds: &Wcds) -> Self {
         assert!(wcds.is_valid(g), "broadcast plan requires a valid WCDS");
+        Self::for_backbone(&wcds.weakly_induced_subgraph(g), wcds)
+    }
+
+    /// Same plan as [`Self::for_wcds`], built from a precomputed
+    /// weakly-induced spanner. Callers that already hold the spanner
+    /// (the service bundle caches it) skip its reconstruction and the
+    /// validity re-check; `spanner` must be
+    /// `wcds.weakly_induced_subgraph(g)` for a graph on which `wcds`
+    /// is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dominators are not mutually reachable within
+    /// spanner distance 3 — the case when `wcds` is not a valid WCDS
+    /// of the graph `spanner` came from.
+    pub fn for_backbone(spanner: &Graph, wcds: &Wcds) -> Self {
         let mut forwarders: BTreeSet<NodeId> = wcds.nodes().iter().copied().collect();
         if wcds.len() <= 1 {
             return Self { forwarders };
         }
-        let spanner = wcds.weakly_induced_subgraph(g);
         let doms = wcds.nodes();
 
         // spanning tree over the dominator graph, recording the interior
         // gateway nodes of each multi-hop tree edge
-        type BfsTree = (Vec<Option<u32>>, Vec<Option<NodeId>>);
-        let dist_maps: BTreeMap<NodeId, BfsTree> =
-            doms.iter().map(|&d| (d, traversal::bfs_tree(&spanner, d))).collect();
+        // only distance-≤3 links matter, so each per-dominator search is
+        // radius-bounded; identical trees within the ball (`bfs_tree_bounded`)
+        // — and a dominator's tree is computed only if it is dequeued
+        // while the spanning tree is still incomplete (later dequeues
+        // cannot add anything, so skipping their searches changes no
+        // output, and on a patch-heavy service path it skips most)
         let mut in_tree: BTreeSet<NodeId> = [doms[0]].into();
         let mut frontier = VecDeque::from([doms[0]]);
-        while let Some(cur) = frontier.pop_front() {
-            let (dist, parents) = &dist_maps[&cur];
+        while in_tree.len() < doms.len() {
+            let Some(cur) = frontier.pop_front() else { break };
+            let (dist, parents) = traversal::bfs_tree_bounded(spanner, cur, 3);
             for &next in doms {
                 if in_tree.contains(&next) {
                     continue;
@@ -89,7 +108,7 @@ impl BroadcastPlan {
                         in_tree.insert(next);
                         frontier.push_back(next);
                         if d >= 2 {
-                            let path = traversal::path_from_parents(parents, cur, next)
+                            let path = traversal::path_from_parents(&parents, cur, next)
                                 .expect("reachable");
                             forwarders.extend(&path[1..path.len() - 1]);
                         }

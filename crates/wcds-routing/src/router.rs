@@ -36,7 +36,7 @@ use wcds_graph::{traversal, Graph, NodeId};
 /// assert_eq!(path.first(), Some(&0));
 /// assert_eq!(path.last(), Some(&8));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackboneRouter {
     spanner: Graph,
     clusterhead: Vec<Option<NodeId>>,
@@ -76,49 +76,105 @@ impl BackboneRouter {
             "WCDS does not dominate the graph"
         );
 
-        // dominator adjacency through the spanner: BFS from each head,
-        // keeping heads at distance ≤ 3 with the path interior
-        let mut dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>> = BTreeMap::new();
-        for &h in heads {
-            let (dist, parents) = traversal::bfs_tree(&spanner, h);
-            let mut links = BTreeMap::new();
-            for &other in heads {
-                if other == h {
-                    continue;
-                }
-                if let Some(d) = dist[other] {
-                    if d <= 3 {
-                        let path = traversal::path_from_parents(&parents, h, other)
-                            .expect("reachable");
-                        links.insert(other, path[1..path.len() - 1].to_vec());
-                    }
-                }
-            }
-            dom_links.insert(h, links);
-        }
-
-        // dominator-level routing tables: BFS on the dominator graph
-        let mut next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> = BTreeMap::new();
-        for &h in heads {
-            let mut table = BTreeMap::new();
-            // BFS over dominator graph from h
-            let mut first_hop: BTreeMap<NodeId, NodeId> = BTreeMap::new();
-            let mut queue = std::collections::VecDeque::from([h]);
-            let mut seen: std::collections::BTreeSet<NodeId> = [h].into();
-            while let Some(cur) = queue.pop_front() {
-                for &nb in dom_links[&cur].keys() {
-                    if seen.insert(nb) {
-                        let via = if cur == h { nb } else { first_hop[&cur] };
-                        first_hop.insert(nb, via);
-                        table.insert(nb, via);
-                        queue.push_back(nb);
-                    }
-                }
-            }
-            next_dom.insert(h, table);
-        }
+        // dominator adjacency through the spanner: radius-3 BFS from
+        // each head, keeping heads at distance ≤ 3 with the path interior
+        let dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>> =
+            heads.iter().map(|&h| (h, head_links(&spanner, heads, h))).collect();
+        let next_dom = dominator_tables(&dom_links);
 
         Self { spanner, clusterhead, dom_links, next_dom, graph_edges: g.clone() }
+    }
+
+    /// Rebuilds the router after a topology delta that did **not**
+    /// change the dominator sets, reusing everything outside the
+    /// disturbed region. Byte-identical to `build(g, wcds)`
+    /// (debug-asserted here, release-asserted in tests):
+    ///
+    /// * the spanner CSR is spliced with the delta edges touching the
+    ///   (unchanged) WCDS;
+    /// * clusterheads are re-derived only for delta endpoints — every
+    ///   other node feeds the assignment rule identical inputs;
+    /// * dominator links are re-derived only for heads within spanner
+    ///   distance 3 of a spanner-delta endpoint: distances *from* the
+    ///   endpoint set agree across the splice (truncate any path at its
+    ///   first endpoint), so a farther head's radius-3 ball — and its
+    ///   deterministic bounded BFS tree — is unchanged;
+    /// * dominator-level tables are rebuilt from the links (global by
+    ///   nature, but they hold only `O(|heads|²)` ids).
+    ///
+    /// `added`/`removed` are the graph edge delta in the post-mutation
+    /// id space; `g` may have one more node than the router was built
+    /// for (a join), never fewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wcds` stopped dominating `g`, or if the delta
+    /// contradicts the recorded spanner (both mean the caller's
+    /// "dominators unchanged" promise was broken).
+    pub fn patched(
+        &self,
+        g: &Graph,
+        wcds: &Wcds,
+        added: &[(NodeId, NodeId)],
+        removed: &[(NodeId, NodeId)],
+    ) -> Self {
+        let heads = wcds.mis_dominators();
+        let is_head = g.membership(heads);
+        let in_wcds = g.membership(wcds.nodes());
+
+        let touches_wcds =
+            |&(a, b): &(NodeId, NodeId)| in_wcds[a] || in_wcds[b];
+        let s_added: Vec<(NodeId, NodeId)> =
+            added.iter().filter(|e| touches_wcds(e)).copied().collect();
+        let s_removed: Vec<(NodeId, NodeId)> =
+            removed.iter().filter(|e| touches_wcds(e)).copied().collect();
+        let spanner = self.spanner.spliced(g.node_count(), &s_added, &s_removed);
+        debug_assert_eq!(
+            spanner,
+            wcds.weakly_induced_subgraph(g),
+            "spliced spanner diverged from the weakly-induced subgraph"
+        );
+
+        let mut clusterhead = self.clusterhead.clone();
+        clusterhead.resize(g.node_count(), None);
+        let endpoints: std::collections::BTreeSet<NodeId> =
+            added.iter().chain(removed).flat_map(|&(a, b)| [a, b]).collect();
+        for &u in &endpoints {
+            clusterhead[u] = if is_head[u] {
+                Some(u)
+            } else {
+                g.neighbors(u).iter().copied().find(|&v| is_head[v])
+            };
+        }
+        assert!(
+            g.nodes().all(|u| clusterhead[u].is_some()),
+            "WCDS does not dominate the graph"
+        );
+
+        // heads beyond spanner distance 3 of the spanner delta keep
+        // their links verbatim
+        let mut dom_links = self.dom_links.clone();
+        if !s_added.is_empty() || !s_removed.is_empty() {
+            let s_endpoints =
+                s_added.iter().chain(&s_removed).flat_map(|&(a, b)| [a, b]);
+            let dist = traversal::multi_source_bfs(&spanner, s_endpoints);
+            for &h in heads {
+                if dist[h].is_some_and(|d| d <= 3) {
+                    dom_links.insert(h, head_links(&spanner, heads, h));
+                }
+            }
+        }
+        let next_dom = dominator_tables(&dom_links);
+
+        let patched =
+            Self { spanner, clusterhead, dom_links, next_dom, graph_edges: g.clone() };
+        debug_assert_eq!(patched, Self::build(g, wcds), "patched router diverged");
+        patched
+    }
+
+    /// The weakly-induced spanner the router routes over.
+    pub fn spanner(&self) -> &Graph {
+        &self.spanner
     }
 
     /// The clusterhead of node `u`.
@@ -207,6 +263,77 @@ impl BackboneRouter {
         }
         Some(routed / shortest)
     }
+}
+
+/// One head's spanner links: every other head at spanner distance ≤ 3,
+/// with the interior gateway nodes of the bounded-BFS shortest path.
+fn head_links(spanner: &Graph, heads: &[NodeId], h: NodeId) -> BTreeMap<NodeId, Vec<NodeId>> {
+    let (dist, parents) = traversal::bfs_tree_bounded(spanner, h, 3);
+    let mut links = BTreeMap::new();
+    for &other in heads {
+        if other == h {
+            continue;
+        }
+        if let Some(d) = dist[other] {
+            if d <= 3 {
+                let path =
+                    traversal::path_from_parents(&parents, h, other).expect("reachable");
+                links.insert(other, path[1..path.len() - 1].to_vec());
+            }
+        }
+    }
+    links
+}
+
+/// Dominator-level routing tables: BFS on the dominator graph from each
+/// head, recording the first dominator hop toward every destination.
+///
+/// The dominator graph is indexed into dense arrays once, so the
+/// `O(|heads|²)` all-pairs sweep runs over integer adjacency lists
+/// instead of allocating tree sets per BFS step — this sweep is the
+/// dominant cost of a router patch, so it has to stay allocation-light.
+/// Neighbor lists preserve the sorted key order of `dom_links`, which
+/// keeps the BFS tie-breaking (and therefore every table entry)
+/// identical to a map-based walk.
+fn dominator_tables(
+    dom_links: &BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
+) -> BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> {
+    let heads: Vec<NodeId> = dom_links.keys().copied().collect();
+    let index_of = |v: NodeId| -> usize {
+        heads.binary_search(&v).expect("link target is a head")
+    };
+    let adj: Vec<Vec<usize>> = heads
+        .iter()
+        .map(|h| dom_links[h].keys().map(|&nb| index_of(nb)).collect())
+        .collect();
+
+    let mut first_hop: Vec<Option<usize>> = vec![None; heads.len()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> = BTreeMap::new();
+    for (hi, &h) in heads.iter().enumerate() {
+        first_hop.iter_mut().for_each(|e| *e = None);
+        queue.clear();
+        queue.push_back(hi);
+        first_hop[hi] = Some(hi); // sentinel: the source is its own hop
+        while let Some(cur) = queue.pop_front() {
+            for &nb in &adj[cur] {
+                if first_hop[nb].is_none() {
+                    first_hop[nb] =
+                        Some(if cur == hi { nb } else { first_hop[cur].expect("visited") });
+                    queue.push_back(nb);
+                }
+            }
+        }
+        // heads[] is sorted, so this iteration feeds the map in order
+        let table: BTreeMap<NodeId, NodeId> = heads
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != hi)
+            .filter_map(|(j, &dst)| first_hop[j].map(|via| (dst, heads[via])))
+            .collect();
+        next_dom.insert(h, table);
+    }
+    next_dom
 }
 
 #[cfg(test)]
@@ -329,5 +456,58 @@ mod tests {
         let router = router_for(&g);
         let path = router.route(1, 4).unwrap();
         assert_eq!(path, vec![1, 0, 4]);
+    }
+
+    #[test]
+    fn patched_router_equals_a_fresh_build_across_moves() {
+        // drift nodes through a dynamic UDG; whenever the WCDS survives a
+        // move, patch the router and demand byte-identity with a rebuild
+        let mut udg = wcds_graph::DynamicUdg::new(deploy::uniform(150, 5.0, 5.0, 3), 1.0);
+        let mut result = AlgorithmTwo::new().construct(udg.graph());
+        let mut router = BackboneRouter::build(udg.graph(), &result.wcds);
+        let mut patches = 0;
+        for step in 0..40usize {
+            let u = (step * 13) % udg.node_count();
+            let p = udg.points()[u];
+            let dx = if step % 2 == 0 { 0.3 } else { -0.3 };
+            let delta =
+                udg.move_node(u, wcds_geom::Point::new((p.x + dx).clamp(0.0, 5.0), p.y));
+            let fresh = AlgorithmTwo::new().construct(udg.graph());
+            if fresh.wcds == result.wcds {
+                router = router.patched(udg.graph(), &result.wcds, &delta.added, &delta.removed);
+                // release-mode identity, not just the debug_assert inside
+                assert_eq!(router, BackboneRouter::build(udg.graph(), &result.wcds));
+                patches += 1;
+            } else {
+                result = fresh;
+                router = BackboneRouter::build(udg.graph(), &result.wcds);
+            }
+        }
+        assert!(patches >= 10, "only {patches} patchable moves in the trace");
+    }
+
+    #[test]
+    fn patched_router_handles_joins() {
+        let mut udg = wcds_graph::DynamicUdg::new(deploy::uniform(120, 4.0, 4.0, 11), 1.0);
+        let mut result = AlgorithmTwo::new().construct(udg.graph());
+        let mut router = BackboneRouter::build(udg.graph(), &result.wcds);
+        let mut patches = 0;
+        for step in 0..20usize {
+            let p = wcds_geom::Point::new(
+                (step as f64 * 0.61) % 4.0,
+                (step as f64 * 0.37) % 4.0,
+            );
+            let (_, delta) = udg.add_node(p);
+            let fresh = AlgorithmTwo::new().construct(udg.graph());
+            if fresh.wcds == result.wcds {
+                router = router.patched(udg.graph(), &result.wcds, &delta.added, &delta.removed);
+                assert_eq!(router, BackboneRouter::build(udg.graph(), &result.wcds));
+                patches += 1;
+            } else {
+                result = fresh;
+                router = BackboneRouter::build(udg.graph(), &result.wcds);
+            }
+        }
+        assert!(patches >= 5, "only {patches} patchable joins in the trace");
     }
 }

@@ -10,7 +10,8 @@
 //!   `wcds_core::maintenance::MaintainedWcds`);
 //! * a lazily built **artifact bundle** — Algorithm II WCDS, the
 //!   weakly-induced spanner, clusterhead routing tables, and the
-//!   backbone broadcast plan — stamped with the epoch it was built at.
+//!   backbone broadcast plan (itself derived only on the first
+//!   broadcast query) — stamped with the epoch it was built at.
 //!
 //! A query whose bundle stamp equals the current epoch is a **cache
 //! hit** and runs under the topology's read lock (queries on one
@@ -25,7 +26,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wcds_core::algo2::AlgorithmTwo;
 use wcds_core::maintenance::{MaintainedWcds, RepairReport};
 use wcds_core::Wcds;
@@ -84,10 +85,30 @@ pub struct Bundle {
     pub spanner: Graph,
     /// Clusterhead routing tables over the spanner.
     pub router: BackboneRouter,
-    /// Backbone broadcast plan; `None` when the topology is currently
-    /// disconnected or the WCDS is not (weakly) valid for it — mobility
-    /// can legitimately partition a unit-disk graph.
-    pub plan: Option<BroadcastPlan>,
+    /// Whether a broadcast plan exists at this epoch (the topology is
+    /// connected and the WCDS weakly valid) — mobility can legitimately
+    /// partition a unit-disk graph. Checked eagerly; the plan itself is
+    /// derived lazily (see [`Bundle::plan`]).
+    broadcastable: bool,
+    /// Lazily derived broadcast plan, cached after the first use.
+    plan: OnceLock<BroadcastPlan>,
+}
+
+impl Bundle {
+    /// The backbone broadcast plan for this epoch, or `None` when the
+    /// topology was disconnected (or the WCDS invalid) at build time.
+    ///
+    /// Derived from the bundle's own cached spanner on first call and
+    /// memoized, so mutations and route/stats queries never pay for
+    /// plan construction — only the first broadcast query after a
+    /// topology change does. The result is identical to building the
+    /// plan eagerly at bundle-construction time: the spanner and WCDS
+    /// it derives from are this epoch's.
+    pub fn plan(&self) -> Option<&BroadcastPlan> {
+        self.broadcastable.then(|| {
+            self.plan.get_or_init(|| BroadcastPlan::for_backbone(&self.spanner, &self.wcds))
+        })
+    }
 }
 
 /// Adjacency plus (for mobile topologies) the maintenance state.
@@ -148,9 +169,15 @@ impl Topology {
         let wcds = self.body.wcds();
         let spanner = wcds.weakly_induced_subgraph(g);
         let router = BackboneRouter::build(g, &wcds);
-        let plan = (traversal::is_connected(g) && wcds.is_valid(g))
-            .then(|| BroadcastPlan::for_wcds(g, &wcds));
-        Arc::new(Bundle { epoch: self.epoch, wcds, spanner, router, plan })
+        let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
+        Arc::new(Bundle {
+            epoch: self.epoch,
+            wcds,
+            spanner,
+            router,
+            broadcastable,
+            plan: OnceLock::new(),
+        })
     }
 }
 
@@ -278,9 +305,19 @@ impl Store {
         Ok((bundle, false))
     }
 
-    /// Applies one maintenance mutation, bumping the epoch. The stale
-    /// bundle is left in place — queries detect the epoch mismatch and
-    /// rebuild lazily.
+    /// Applies one maintenance mutation, bumping the epoch.
+    ///
+    /// When the repair left every dominator in place (the common case
+    /// for small motions and absorbed joins) and the cached bundle was
+    /// fresh, the bundle is **patched in place** under the same write
+    /// lock: the WCDS is carried over, the router is spliced through
+    /// [`BackboneRouter::patched`] from the repair's net edge delta, and
+    /// the broadcast plan resets to its lazy unset state. The next
+    /// query is then a cache hit with artifacts byte-identical to a
+    /// from-scratch
+    /// rebuild. Otherwise (dominator churn, a leave's id compaction, or
+    /// an already-stale bundle) the stale bundle is left in place and
+    /// queries rebuild lazily on the epoch mismatch.
     ///
     /// # Errors
     ///
@@ -311,6 +348,27 @@ impl Store {
             }
         };
         topo.epoch += 1;
+        let fresh = topo.bundle.as_ref().filter(|b| b.epoch + 1 == topo.epoch).map(Arc::clone);
+        if let Some(b) = fresh {
+            // a leave renames every id above the victim, which would
+            // invalidate all id-keyed router state — let it rebuild
+            if !report.changed() && !matches!(*mutation, Mutation::Leave { .. }) {
+                let g = topo.body.graph();
+                let wcds = b.wcds.clone();
+                let router =
+                    b.router.patched(g, &wcds, &report.edges_added, &report.edges_removed);
+                let spanner = router.spanner().clone();
+                let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
+                topo.bundle = Some(Arc::new(Bundle {
+                    epoch: topo.epoch,
+                    wcds,
+                    spanner,
+                    router,
+                    broadcastable,
+                    plan: OnceLock::new(),
+                }));
+            }
+        }
         Ok((topo.epoch, report))
     }
 
@@ -378,7 +436,7 @@ impl Store {
                 format!("node {source} ≥ n = {}", g.node_count()),
             ));
         }
-        let plan = bundle.plan.as_ref().ok_or_else(|| {
+        let plan = bundle.plan().ok_or_else(|| {
             err(ErrorCode::Unsupported, format!("topology `{name}` is partitioned"))
         })?;
         let outcome = plan.simulate(g, source);
@@ -549,6 +607,92 @@ mod tests {
         let final_stats = store.stats("net").unwrap();
         assert_eq!(final_stats.epoch, mutations.len() as u64);
         assert!(final_stats.cache_hits > 0);
+    }
+
+    /// Tentpole: mutations that leave the dominator set intact must
+    /// patch the cached bundle in place — no rebuild ever fires, the
+    /// next query is a cache hit, and every patched artifact (WCDS,
+    /// router, spanner, broadcast plan) is byte-identical to a
+    /// from-scratch build on the post-mutation graph.
+    #[test]
+    fn stable_backbone_mutations_patch_without_rebuild() {
+        let store = Store::new();
+        let initial = payload(80, 4.0, 7);
+        store.create("net", &initial).unwrap();
+        let doc = io::from_text(&initial).unwrap();
+        let mut oracle = MaintainedWcds::new(doc.points.expect("mobile payload"), UDG_RADIUS);
+
+        // warm the cache
+        let mut expected_rebuilds = 1;
+        assert_eq!(store.stats("net").unwrap().rebuilds, expected_rebuilds);
+
+        let mut patched = 0;
+        for u in 0..oracle.graph().node_count() {
+            // a tiny nudge: usually disturbs no edges, and almost never
+            // the dominator set
+            let p = oracle.points()[u];
+            let q = Point::new((p.x + 0.02).min(4.0), p.y);
+            let report = oracle.apply_motion(&[(u, q)]);
+            store.mutate("net", &Mutation::Move { node: u, x: q.x, y: q.y }).unwrap();
+
+            let stats = store.stats("net").unwrap();
+            if report.changed() {
+                // dominator churn: lazy rebuild path (the stats call
+                // above performed it)
+                expected_rebuilds += 1;
+                assert_eq!(stats.rebuilds, expected_rebuilds, "move {u}: rebuild miscount");
+                continue;
+            }
+            patched += 1;
+            assert!(stats.cached, "move {u}: patched bundle should be a cache hit");
+            assert_eq!(stats.rebuilds, expected_rebuilds, "move {u}: patch must not rebuild");
+
+            // byte-identical to from-scratch artifacts
+            let (bundle, hit) = store.bundle("net").unwrap();
+            assert!(hit);
+            let g = oracle.graph();
+            let wcds = oracle.wcds();
+            assert_eq!(bundle.wcds, wcds, "move {u}: WCDS diverged");
+            assert_eq!(bundle.spanner, wcds.weakly_induced_subgraph(g), "move {u}: spanner");
+            assert_eq!(bundle.router, BackboneRouter::build(g, &wcds), "move {u}: router");
+            let fresh_plan = (traversal::is_connected(g) && wcds.is_valid(g))
+                .then(|| BroadcastPlan::for_wcds(g, &wcds));
+            assert_eq!(bundle.plan(), fresh_plan.as_ref(), "move {u}: broadcast plan");
+        }
+        assert!(patched >= 40, "only {patched} patched mutations — trace too churny");
+
+        // joins absorbed by an existing dominator also patch
+        let before = store.stats("net").unwrap().rebuilds;
+        let mut join_patches = 0;
+        for i in 0..10 {
+            let target = oracle.points()[i * 7 % oracle.graph().node_count()];
+            let q = Point::new((target.x + 0.05).min(4.0), target.y);
+            let report = oracle.apply_join(q);
+            store.mutate("net", &Mutation::Join { x: q.x, y: q.y }).unwrap();
+            if !report.changed() {
+                join_patches += 1;
+                let (bundle, hit) = store.bundle("net").unwrap();
+                assert!(hit, "join {i}: patched bundle should hit");
+                assert_eq!(bundle.wcds, oracle.wcds(), "join {i}: WCDS diverged");
+                assert_eq!(
+                    bundle.router,
+                    BackboneRouter::build(oracle.graph(), &oracle.wcds()),
+                    "join {i}: router"
+                );
+            } else {
+                let _ = store.stats("net").unwrap();
+            }
+        }
+        assert!(join_patches >= 5, "only {join_patches} absorbed joins");
+        // leaves always take the lazy-rebuild path (id compaction)
+        oracle.apply_leave(0);
+        store.mutate("net", &Mutation::Leave { node: 0 }).unwrap();
+        let stats = store.stats("net").unwrap();
+        assert!(!stats.cached || stats.rebuilds > before, "leave must not patch");
+        assert_eq!(
+            store.export("net").unwrap(),
+            io::to_text(oracle.graph(), Some(oracle.points()))
+        );
     }
 
     /// The maintained WCDS after a mutation sequence equals what a
