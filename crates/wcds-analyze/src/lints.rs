@@ -43,8 +43,11 @@ pub const LINT_NAMES: [&str; 4] =
 ///
 /// The dynamic-graph and region-repair modules are strict because the
 /// service mutation path runs them on every request: a panic there
-/// kills a store worker while it holds the topology write lock.
-pub const STRICT_FILES: [(&str, bool); 7] = [
+/// kills a store worker while it holds the topology write lock. The
+/// grid-partition module is strict for the same reason: the service's
+/// mobile-ingest path runs it on every `create`, and its worker
+/// closures execute on spawned threads where a panic poisons the join.
+pub const STRICT_FILES: [(&str, bool); 8] = [
     ("crates/wcds-service/src/protocol.rs", false),
     ("crates/wcds-service/src/server.rs", false),
     ("crates/wcds-service/src/store.rs", true),
@@ -52,6 +55,7 @@ pub const STRICT_FILES: [(&str, bool); 7] = [
     ("crates/wcds-graph/src/io.rs", false),
     ("crates/wcds-graph/src/dynamic.rs", false),
     ("crates/wcds-core/src/maintenance/region.rs", false),
+    ("crates/wcds-core/src/partition.rs", false),
 ];
 
 /// One lint violation.

@@ -22,13 +22,14 @@ fn the_real_tree_is_lint_clean() {
             .join("\n")
     );
     assert_eq!(report.files_scanned, lints::STRICT_FILES.len());
-    // the store's shard-index pragma is the one sanctioned suppression,
-    // and it must surface in the audit summary with its justification;
-    // the count is pinned so a new pragma anywhere in the strict set
-    // forces this test (and the exemption audit) to be revisited
+    // the sanctioned suppressions: the store's shard-index pragma plus
+    // the partition kernel's in-bounds-by-construction indexing. All
+    // must surface in the audit summary with justifications; the counts
+    // are pinned so a new pragma anywhere in the strict set forces this
+    // test (and the exemption audit) to be revisited
     assert_eq!(
         report.suppressed.len(),
-        1,
+        10,
         "suppression list changed — update the audit: {:?}",
         report.suppressed
     );
@@ -41,6 +42,20 @@ fn the_real_tree_is_lint_clean() {
                 && s.justification.contains("SHARDS")),
         "expected the store.rs slice-index suppression in the summary: {:?}",
         report.suppressed
+    );
+    let partition: Vec<_> = report
+        .suppressed
+        .iter()
+        .filter(|s| s.file.ends_with("partition.rs"))
+        .collect();
+    assert_eq!(
+        partition.len(),
+        9,
+        "partition.rs exemptions changed — re-audit: {partition:?}"
+    );
+    assert!(
+        partition.iter().all(|s| s.lint == "slice-index"),
+        "partition.rs may only suppress slice-index (kernel indexing): {partition:?}"
     );
 }
 

@@ -56,7 +56,7 @@ impl WcdsConstruction for GreedyCds {
             let seed = g.nodes().max_by_key(|&u| (g.degree(u), std::cmp::Reverse(u))).expect("n > 1");
             color[seed] = C::Black;
             black.push(seed);
-            for &v in g.neighbors(seed) {
+            for v in g.adj(seed) {
                 color[v] = C::Gray;
             }
             // grow: blacken the gray node with the most white neighbors
@@ -66,15 +66,15 @@ impl WcdsConstruction for GreedyCds {
                     .filter(|&u| color[u] == C::Gray)
                     .max_by_key(|&u| {
                         let whites =
-                            g.neighbors(u).iter().filter(|&&v| color[v] == C::White).count();
+                            g.adj(u).filter(|&v| color[v] == C::White).count();
                         (whites, std::cmp::Reverse(u))
                     })
                     .expect("whites remain, so a gray frontier exists in a connected graph");
-                let whites = g.neighbors(pick).iter().filter(|&&v| color[v] == C::White).count();
+                let whites = g.adj(pick).filter(|&v| color[v] == C::White).count();
                 assert!(whites > 0, "stalled: frontier node covers no white node");
                 color[pick] = C::Black;
                 black.push(pick);
-                for &v in g.neighbors(pick) {
+                for v in g.adj(pick) {
                     if color[v] == C::White {
                         color[v] = C::Gray;
                     }

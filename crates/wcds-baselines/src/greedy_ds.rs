@@ -36,7 +36,7 @@ pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
             .nodes()
             .map(|u| {
                 let mut gain = usize::from(!covered[u]);
-                gain += g.neighbors(u).iter().filter(|&&v| !covered[v]).count();
+                gain += g.adj(u).filter(|&v| !covered[v]).count();
                 (u, gain)
             })
             .max_by_key(|&(u, gain)| (gain, std::cmp::Reverse(u)))
@@ -47,7 +47,7 @@ pub fn greedy_dominating_set(g: &Graph) -> Vec<NodeId> {
             covered[best] = true;
             remaining -= 1;
         }
-        for &v in g.neighbors(best) {
+        for v in g.adj(best) {
             if !covered[v] {
                 covered[v] = true;
                 remaining -= 1;

@@ -80,7 +80,7 @@ fn piece_count(g: &Graph, in_s: &[bool]) -> (usize, usize) {
     let mut dsu = Dsu::new(n);
     let mut touched = vec![false; n];
     for u in g.nodes() {
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if u < v && (in_s[u] || in_s[v]) {
                 dsu.union(u, v);
                 touched[u] = true;

@@ -59,7 +59,7 @@ where
         let duv2 = pts[u].distance_squared(pts[v]);
         // witnesses must be adjacent to both endpoints in the UDG
         // (they are within d(u,v) ≤ 1 of each)
-        let killed = g.neighbors(u).iter().any(|&w| {
+        let killed = g.adj(u).any(|w| {
             w != v
                 && g.has_edge(w, v)
                 && eliminates(duv2, pts[u].distance_squared(pts[w]), pts[w].distance_squared(pts[v]))

@@ -45,7 +45,7 @@ impl WuLiCds {
     pub fn marked_set(&self, g: &Graph) -> Vec<NodeId> {
         g.nodes()
             .filter(|&u| {
-                let nb = g.neighbors(u);
+                let nb: Vec<NodeId> = g.adj(u).collect();
                 nb.iter().enumerate().any(|(i, &a)| {
                     nb[i + 1..].iter().any(|&b| !g.has_edge(a, b))
                 })
@@ -57,7 +57,7 @@ impl WuLiCds {
 /// Whether `cover` (closed neighborhoods of the given nodes) covers all
 /// of `u`'s neighbors.
 fn neighborhood_covered(g: &Graph, u: NodeId, cover: &[NodeId]) -> bool {
-    g.neighbors(u).iter().all(|&x| {
+    g.adj(u).all(|x| {
         cover.iter().any(|&c| x == c || g.has_edge(c, x))
     })
 }
@@ -83,7 +83,7 @@ impl WcdsConstruction for WuLiCds {
                 continue;
             }
             let higher_marked: Vec<NodeId> =
-                g.neighbors(u).iter().copied().filter(|&v| marked[v] && v > u).collect();
+                g.adj(u).filter(|&v| marked[v] && v > u).collect();
             let rule1 = higher_marked.iter().any(|&v| neighborhood_covered(g, u, &[v]));
             let rule2 = !rule1
                 && higher_marked.iter().enumerate().any(|(i, &v)| {

@@ -32,10 +32,16 @@ pub struct BenchRow {
     pub wall_ms: f64,
     /// Work items per second (sources for sweeps, edges for builds).
     pub throughput: f64,
+    /// Process peak resident set size (MiB) when the row was recorded —
+    /// the `VmHWM` high-water mark, so it is monotone across rows; the
+    /// *first* row to report a jump is the one that paid for it. `0.0`
+    /// where `/proc/self/status` is unavailable.
+    pub peak_rss_mb: f64,
 }
 
 impl BenchRow {
-    /// Builds a row from a measured duration and a work-item count.
+    /// Builds a row from a measured duration and a work-item count,
+    /// capturing the current peak RSS.
     pub fn new(
         name: &str,
         n: usize,
@@ -51,8 +57,30 @@ impl BenchRow {
             threads,
             wall_ms,
             throughput: if wall_ms > 0.0 { items as f64 / (wall_ms / 1000.0) } else { 0.0 },
+            peak_rss_mb: peak_rss_mb(),
         }
     }
+}
+
+/// This process's peak resident set size in MiB, read from the `VmHWM`
+/// line of `/proc/self/status`. Returns `0.0` on platforms without
+/// procfs rather than failing the benchmark.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
 }
 
 /// Times `f`, returning `(wall_ms, result)`.
@@ -78,13 +106,14 @@ pub fn write_bench_json(path: &str, bench: &str, rows: &[BenchRow], checks: &[(S
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"n\": {}, \"edges\": {}, \"threads\": {}, \
-             \"wall_ms\": {:.3}, \"throughput\": {:.1}}}{}\n",
+             \"wall_ms\": {:.3}, \"throughput\": {:.1}, \"peak_rss_mb\": {:.1}}}{}\n",
             r.name,
             r.n,
             r.edges,
             r.threads,
             r.wall_ms,
             r.throughput,
+            r.peak_rss_mb,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -101,7 +130,7 @@ pub fn write_bench_json(path: &str, bench: &str, rows: &[BenchRow], checks: &[(S
 
 /// The pre-CSR adjacency representation: one heap allocation per node.
 pub fn to_vec_adjacency(g: &Graph) -> Vec<Vec<NodeId>> {
-    g.nodes().map(|u| g.neighbors(u).to_vec()).collect()
+    g.nodes().map(|u| g.adj(u).collect()).collect()
 }
 
 /// Pre-CSR BFS: fresh `Vec<Option<u32>>` + `VecDeque` per source.
@@ -321,7 +350,20 @@ mod tests {
         let s = std::fs::read_to_string(path).unwrap();
         assert!(s.contains("\"bench\": \"demo\""));
         assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("\"peak_rss_mb\": "));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux_and_monotone() {
+        let before = peak_rss_mb();
+        if cfg!(target_os = "linux") {
+            assert!(before > 0.0, "VmHWM should be readable on Linux");
+        }
+        // touch a few MiB so the high-water mark can only grow
+        let ballast = vec![1u8; 8 << 20];
+        std::hint::black_box(&ballast);
+        assert!(peak_rss_mb() >= before);
     }
 }

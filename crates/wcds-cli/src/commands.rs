@@ -109,8 +109,26 @@ fn require_connected(doc: &GraphDocument) -> Result<(), CliError> {
 
 fn construct(doc: &GraphDocument, algo: Algo, do_prune: bool) -> Result<String, CliError> {
     require_connected(doc)?;
-    let construction = build_algo(algo);
-    let result = construction.construct(&doc.graph);
+    // Positioned Algorithm II inputs take the grid-partitioned parallel
+    // path (bit-identical output, city-scale speed); everything else —
+    // adjacency-only documents, positions inconsistent with the edge
+    // list, other algorithms — goes through the sequential engines.
+    let (name, result) = match (&doc.points, algo) {
+        (Some(points), Algo::Algo2) => {
+            let udg = UnitDiskGraph::build(points.clone(), 1.0);
+            if udg.graph() == &doc.graph {
+                let engine = wcds_core::partition::PartitionedTwo::new();
+                (engine.name(), engine.construct(&udg))
+            } else {
+                let construction = build_algo(algo);
+                (construction.name(), construction.construct(&doc.graph))
+            }
+        }
+        _ => {
+            let construction = build_algo(algo);
+            (construction.name(), construction.construct(&doc.graph))
+        }
+    };
     let wcds = if do_prune {
         prune(&doc.graph, &result.wcds, PruneOrder::BridgesFirst)
     } else {
@@ -118,7 +136,7 @@ fn construct(doc: &GraphDocument, algo: Algo, do_prune: bool) -> Result<String, 
     };
     let stats = SpannerStats::compute(&doc.graph, &wcds);
     let mut out = String::new();
-    let _ = writeln!(out, "algorithm : {}{}", construction.name(), if do_prune { " + prune" } else { "" });
+    let _ = writeln!(out, "algorithm : {}{}", name, if do_prune { " + prune" } else { "" });
     let _ = writeln!(out, "result    : {wcds}");
     let _ = writeln!(out, "valid     : {}", wcds.is_valid(&doc.graph));
     let _ = writeln!(out, "{stats}");

@@ -28,6 +28,7 @@
 //! `O(1)`-messages-per-node budget. This choice affects only `w`'s
 //! routing tables, not the WCDS itself.
 
+use crate::maintenance::region::{contributions_for_pred, BallScratch};
 use crate::mis::{greedy_mis, RankingMode};
 use crate::{ConstructionResult, Wcds, WcdsConstruction};
 use std::collections::BTreeSet;
@@ -103,7 +104,31 @@ impl WcdsConstruction for AlgorithmTwo {
 /// Panics if `mis` is not independent-dominating over the component
 /// containing its 3-hop pairs (an intermediate must exist for every
 /// 3-hop pair of a genuine MIS).
+///
+/// Runs in `O(Σ_u |ball(u, 3)|)` — each MIS anchor explores only its
+/// radius-3 neighborhood (the same per-anchor decomposition the
+/// maintenance engine repairs with), so total work is linear in the
+/// graph on bounded-growth topologies like UDGs. The quadratic
+/// full-BFS-per-pair formulation survives as
+/// [`select_additional_dominators_reference`], the oracle the tests
+/// compare against.
 pub fn select_additional_dominators(g: &Graph, mis: &[NodeId]) -> Vec<NodeId> {
+    let in_mis = g.membership(mis);
+    let mut scratch = BallScratch::new(g.node_count());
+    let mut additional = BTreeSet::new();
+    for &u in mis {
+        additional.extend(contributions_for_pred(&mut scratch, g, |w| in_mis[w], u));
+    }
+    debug_assert!(additional.iter().all(|&v| !in_mis[v]), "neighbors of a dominator are gray");
+    additional.into_iter().collect()
+}
+
+/// The textbook `O(|MIS| · (n + |E|))` formulation of the bridge rule:
+/// a full BFS per MIS anchor and per 3-hop pair. Semantically identical
+/// to [`select_additional_dominators`]; kept as the independently-derived
+/// oracle for equivalence tests (and release-asserted against the
+/// partitioned construction at small n).
+pub fn select_additional_dominators_reference(g: &Graph, mis: &[NodeId]) -> Vec<NodeId> {
     let in_mis = g.membership(mis);
     let mut additional = BTreeSet::new();
     for &u in mis {
@@ -114,9 +139,7 @@ pub fn select_additional_dominators(g: &Graph, mis: &[NodeId]) -> Vec<NodeId> {
             }
             let dist_w = traversal::bfs_distances(g, w);
             let v = g
-                .neighbors(u)
-                .iter()
-                .copied()
+                .adj(u)
                 .find(|&v| dist_w[v] == Some(2))
                 .expect("a 3-hop pair has an intermediate at distance (1, 2)");
             debug_assert!(!in_mis[v], "neighbors of a dominator are gray");
@@ -555,6 +578,28 @@ mod tests {
             let expected: Vec<NodeId> = (0..n).step_by(2).collect();
             assert_eq!(mis, expected);
             assert!(additional.is_empty(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bounded_local_selection_matches_full_bfs_reference() {
+        for seed in 0..10 {
+            let g = generators::connected_gnp(60, 0.07, seed);
+            let mis = greedy_mis(&g, RankingMode::StaticId);
+            assert_eq!(
+                select_additional_dominators(&g, &mis),
+                select_additional_dominators_reference(&g, &mis),
+                "gnp seed {seed}"
+            );
+        }
+        for seed in 0..6 {
+            let udg = UnitDiskGraph::build(deploy::uniform(250, 8.0, 8.0, seed), 1.0);
+            let mis = greedy_mis(udg.graph(), RankingMode::StaticId);
+            assert_eq!(
+                select_additional_dominators(udg.graph(), &mis),
+                select_additional_dominators_reference(udg.graph(), &mis),
+                "udg seed {seed}"
+            );
         }
     }
 

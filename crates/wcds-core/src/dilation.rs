@@ -93,9 +93,73 @@ struct GeoThresholds {
     slack: Option<f64>,
 }
 
+impl GeoThresholds {
+    /// Tightens the thresholds with the extremes a prepass source
+    /// achieved.
+    fn absorb(&mut self, p: &SourcePartial) {
+        if let Some(w) = p.geometric {
+            let r = w.in_spanner / w.in_graph;
+            if self.ratio.is_none_or(|t| r > t) {
+                self.ratio = Some(r);
+            }
+        }
+        if let Some(s) = p.geo_slack {
+            if self.slack.is_none_or(|t| s < t) {
+                self.slack = Some(s);
+            }
+        }
+    }
+}
+
+/// Serial fold of per-source partials in source order: replicates
+/// exactly the decisions a single-threaded u-then-v scan would make
+/// (strict improvement only), so parallel and serial reports are
+/// byte-identical.
+///
+/// # Panics
+///
+/// Panics if any partial recorded a pair the spanner disconnects.
+fn fold_partials(partials: Vec<SourcePartial>) -> DilationReport {
+    let mut topological: Option<WorstPair> = None;
+    let mut geometric: Option<WorstPair> = None;
+    let mut topo_slack: Option<f64> = None;
+    let mut geo_slack: Option<f64> = None;
+    for p in partials {
+        if let Some((u, v)) = p.disconnected {
+            panic!("spanner disconnects pair ({u}, {v}) that G connects");
+        }
+        if let Some(w) = p.topological {
+            let r = w.in_spanner / w.in_graph;
+            if topological.is_none_or(|b| r > b.in_spanner / b.in_graph) {
+                topological = Some(w);
+            }
+        }
+        if let Some(s) = p.topo_slack {
+            if topo_slack.is_none_or(|b| s < b) {
+                topo_slack = Some(s);
+            }
+        }
+        if let Some(w) = p.geometric {
+            let r = w.in_spanner / w.in_graph;
+            if geometric.is_none_or(|b| r > b.in_spanner / b.in_graph) {
+                geometric = Some(w);
+            }
+        }
+        if let Some(s) = p.geo_slack {
+            if geo_slack.is_none_or(|b| s < b) {
+                geo_slack = Some(s);
+            }
+        }
+    }
+    DilationReport { topological, geometric, topo_bound_slack: topo_slack, geo_bound_slack: geo_slack }
+}
+
 /// One source's share of [`DilationReport::measure`]: hop metrics for
-/// all pairs `(u, v > u)`, geometric metrics via a radius-bounded
-/// Dijkstra restricted to the pairs [`GeoThresholds`] cannot rule out.
+/// all pairs `(u, v > u)` — or all pairs `(u, v ≠ u)` when `all_pairs`
+/// is set (the sampled estimator, where `u`'s pairs with unsampled
+/// `v < u` would otherwise never be seen) — geometric metrics via a
+/// radius-bounded Dijkstra restricted to the pairs [`GeoThresholds`]
+/// cannot rule out.
 ///
 /// `needed` is caller-owned scratch (cleared here) listing `(v, ℓ')`
 /// for the surviving pairs.
@@ -111,13 +175,15 @@ fn measure_source(
     needed: &mut Vec<(NodeId, f64)>,
     u: NodeId,
     thr: GeoThresholds,
+    all_pairs: bool,
 ) -> SourcePartial {
     let n = g.node_count();
     // sg: hops + geometric lengths in G; ss: min-hop max lengths (and
-    // spanner hops) in G'. Only pairs (u, v>u) are consumed, so the hop
-    // sweeps stop once ids ≥ u are final.
-    sg.bfs_covering(g, u, u);
-    ss.min_hop_max_length_covering(spanner, len_s, u, u);
+    // spanner hops) in G'. Only pairs with id ≥ cover are consumed, so
+    // the hop sweeps may stop once those ids are final.
+    let cover = if all_pairs { 0 } else { u };
+    sg.bfs_covering(g, u, cover);
+    ss.min_hop_max_length_covering(spanner, len_s, u, cover);
 
     let mut p = SourcePartial::default();
     needed.clear();
@@ -125,7 +191,11 @@ fn measure_source(
     // ratio test `ℓ'² < t²·|uv|²·(1 − margin)` with the threshold square
     // hoisted out of the pair loop.
     let ratio_tt = thr.ratio.map(|t| t * t * (1.0 - GEO_FILTER_MARGIN));
-    for v in (u + 1)..n {
+    let start = if all_pairs { 0 } else { u + 1 };
+    for v in start..n {
+        if v == u {
+            continue;
+        }
         let Some(hg) = sg.hop(v) else { continue };
         if hg <= 1 {
             continue; // adjacent or identical: dilation undefined
@@ -258,18 +328,9 @@ impl DilationReport {
                     &mut needed,
                     u,
                     GeoThresholds::default(),
+                    false,
                 );
-                if let Some(w) = p.geometric {
-                    let r = w.in_spanner / w.in_graph;
-                    if thr.ratio.is_none_or(|t| r > t) {
-                        thr.ratio = Some(r);
-                    }
-                }
-                if let Some(s) = p.geo_slack {
-                    if thr.slack.is_none_or(|t| s < t) {
-                        thr.slack = Some(s);
-                    }
-                }
+                thr.absorb(&p);
                 partials.push(p);
             }
         }
@@ -279,45 +340,23 @@ impl DilationReport {
             n - prepass,
             || (SearchScratch::new(n), SearchScratch::new(n), Vec::new()),
             |(sg, ss, needed), i| {
-                measure_source(g, spanner, points, &len_g, &len_s, sg, ss, needed, prepass + i, thr)
+                measure_source(
+                    g,
+                    spanner,
+                    points,
+                    &len_g,
+                    &len_s,
+                    sg,
+                    ss,
+                    needed,
+                    prepass + i,
+                    thr,
+                    false,
+                )
             },
         ));
 
-        // Serial fold in source order: replicates exactly the decisions a
-        // single-threaded u-then-v scan would make (strict improvement
-        // only), so parallel and serial reports are byte-identical.
-        let mut topological: Option<WorstPair> = None;
-        let mut geometric: Option<WorstPair> = None;
-        let mut topo_slack: Option<f64> = None;
-        let mut geo_slack: Option<f64> = None;
-        for p in partials {
-            if let Some((u, v)) = p.disconnected {
-                panic!("spanner disconnects pair ({u}, {v}) that G connects");
-            }
-            if let Some(w) = p.topological {
-                let r = w.in_spanner / w.in_graph;
-                if topological.is_none_or(|b| r > b.in_spanner / b.in_graph) {
-                    topological = Some(w);
-                }
-            }
-            if let Some(s) = p.topo_slack {
-                if topo_slack.is_none_or(|b| s < b) {
-                    topo_slack = Some(s);
-                }
-            }
-            if let Some(w) = p.geometric {
-                let r = w.in_spanner / w.in_graph;
-                if geometric.is_none_or(|b| r > b.in_spanner / b.in_graph) {
-                    geometric = Some(w);
-                }
-            }
-            if let Some(s) = p.geo_slack {
-                if geo_slack.is_none_or(|b| s < b) {
-                    geo_slack = Some(s);
-                }
-            }
-        }
-        Self { topological, geometric, topo_bound_slack: topo_slack, geo_bound_slack: geo_slack }
+        fold_partials(partials)
     }
 
     /// The maximum topological dilation ratio (1.0 when no pair
@@ -342,6 +381,154 @@ impl DilationReport {
     /// measured pair.
     pub fn satisfies_geometric_bound(&self) -> bool {
         self.geo_bound_slack.is_none_or(|s| s >= -1e-9)
+    }
+}
+
+/// A **certified sampled** dilation estimate for instances too large for
+/// the exact `O(n·(n+|E|))` sweep (n = 100k–1M).
+///
+/// The estimator picks `sources_sampled` sources spread evenly over the
+/// id space (rotated by a seed) and measures each of their pairs
+/// **exactly** — the same per-source kernel as
+/// [`DilationReport::measure`], including the certified `ℓ_G ≥ |uv|`
+/// straight-line lower bound that lets a source skip the `G`-Dijkstra
+/// for pairs which provably cannot move the extremes (see
+/// [`GeoThresholds`]). No pair is ever approximated: a pair is either
+/// swept exactly or not covered at all. The result is therefore
+/// **one-sided certified**:
+///
+/// * `report.topological_ratio()` and `report.geometric_ratio()` are
+///   *achieved* values — lower bounds on the true maxima;
+/// * `report.topo_bound_slack` / `report.geo_bound_slack` are upper
+///   bounds on the true minimum slacks, so a *violation* of a Theorem 11
+///   bound found on the sample disproves the bound outright.
+///
+/// `exact` reports whether the sample covered every source (then the
+/// report equals the full measurement), and `pair_coverage` reports the
+/// fraction of unordered node pairs with at least one sampled endpoint
+/// — the measured share of the pair population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DilationEstimate {
+    /// Extremes over the covered pair set (exact on those pairs).
+    pub report: DilationReport,
+    /// Number of distinct sources swept.
+    pub sources_sampled: usize,
+    /// Node count of the instance.
+    pub node_count: usize,
+    /// Whether every source was swept (the estimate *is* the exact
+    /// measurement).
+    pub exact: bool,
+    /// Fraction of unordered node pairs with a sampled endpoint, in
+    /// `(0, 1]`.
+    pub pair_coverage: f64,
+}
+
+impl DilationEstimate {
+    /// Sampled dilation of `spanner` over `g` with at most `max_sources`
+    /// sources, using [`parallel::threads`] workers.
+    ///
+    /// `seed` rotates which sources are picked; the choice is otherwise
+    /// a deterministic even spread over the id space. When
+    /// `max_sources ≥ n` this is exactly [`DilationReport::measure`].
+    ///
+    /// # Panics
+    ///
+    /// As [`DilationReport::measure`].
+    pub fn sampled(
+        g: &Graph,
+        spanner: &Graph,
+        points: &[Point],
+        max_sources: usize,
+        seed: u64,
+    ) -> Self {
+        Self::sampled_with_threads(g, spanner, points, max_sources, seed, parallel::threads())
+    }
+
+    /// [`DilationEstimate::sampled`] with an explicit worker count.
+    ///
+    /// The estimate is byte-identical for every `nthreads`: the sampled
+    /// sources are fixed up front, per-source partials fold serially in
+    /// source order, and the skip thresholds are frozen before the
+    /// parallel stage — the same determinism argument as
+    /// [`DilationReport::measure_with_threads`].
+    pub fn sampled_with_threads(
+        g: &Graph,
+        spanner: &Graph,
+        points: &[Point],
+        max_sources: usize,
+        seed: u64,
+        nthreads: usize,
+    ) -> Self {
+        let n = g.node_count();
+        if max_sources >= n {
+            return Self {
+                report: DilationReport::measure_with_threads(g, spanner, points, nthreads),
+                sources_sampled: n,
+                node_count: n,
+                exact: true,
+                pair_coverage: 1.0,
+            };
+        }
+        assert_eq!(g.node_count(), spanner.node_count(), "node count mismatch");
+        assert_eq!(points.len(), g.node_count(), "one point per node required");
+        let k = max_sources.max(1);
+        // Even spread over the id space, rotated by the seed: `i·n/k`
+        // are k distinct ids (n > k), and adding a constant offset mod n
+        // stays injective. Sorted so the serial fold runs in source
+        // order, like the exact sweep.
+        let off = (seed % n as u64) as usize;
+        let mut sources: Vec<NodeId> = (0..k).map(|i| (off + i * n / k) % n).collect();
+        sources.sort_unstable();
+
+        let len_g = CsrWeights::euclidean(g, points);
+        let len_s = CsrWeights::euclidean(spanner, points);
+        let prepass = sources.len().min(GEO_PREPASS_SOURCES);
+        let mut thr = GeoThresholds::default();
+        let mut partials = Vec::with_capacity(sources.len());
+        {
+            let mut sg = SearchScratch::new(n);
+            let mut ss = SearchScratch::new(n);
+            let mut needed = Vec::new();
+            for &u in &sources[..prepass] {
+                let p = measure_source(
+                    g,
+                    spanner,
+                    points,
+                    &len_g,
+                    &len_s,
+                    &mut sg,
+                    &mut ss,
+                    &mut needed,
+                    u,
+                    GeoThresholds::default(),
+                    true,
+                );
+                thr.absorb(&p);
+                partials.push(p);
+            }
+        }
+        let rest = &sources[prepass..];
+        partials.extend(parallel::map_indices(
+            nthreads,
+            rest.len(),
+            || (SearchScratch::new(n), SearchScratch::new(n), Vec::new()),
+            |(sg, ss, needed), i| {
+                measure_source(
+                    g, spanner, points, &len_g, &len_s, sg, ss, needed, rest[i], thr, true,
+                )
+            },
+        ));
+
+        let pairs = |m: usize| m.saturating_sub(1) * m / 2;
+        let total = pairs(n);
+        let covered = total - pairs(n - k);
+        Self {
+            report: fold_partials(partials),
+            sources_sampled: k,
+            node_count: n,
+            exact: false,
+            pair_coverage: if total == 0 { 1.0 } else { covered as f64 / total as f64 },
+        }
     }
 }
 
@@ -542,6 +729,67 @@ mod tests {
         let fast = DilationReport::measure(udg.graph(), udg.graph(), udg.points());
         let want = measure_reference(udg.graph(), udg.graph(), udg.points());
         assert_eq!(fast, want);
+    }
+
+    #[test]
+    fn sampled_with_full_budget_is_the_exact_measurement() {
+        let Some(udg) = connected_udg(120, 6.0, 2) else { return };
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let est =
+            DilationEstimate::sampled(udg.graph(), &result.spanner, udg.points(), usize::MAX, 9);
+        assert!(est.exact);
+        assert_eq!(est.sources_sampled, 120);
+        assert_eq!(est.pair_coverage, 1.0);
+        let exact = DilationReport::measure(udg.graph(), &result.spanner, udg.points());
+        assert_eq!(est.report, exact);
+    }
+
+    #[test]
+    fn sampled_estimate_is_a_certified_one_sided_bound() {
+        // sampled extremes are achieved values: ratios can only be
+        // under-estimates, slacks only over-estimates, for any seed
+        for seed in [0u64, 7, 1234] {
+            let Some(udg) = connected_udg(180, 7.5, 4) else { return };
+            let result = AlgorithmTwo::new().construct(udg.graph());
+            let exact = DilationReport::measure(udg.graph(), &result.spanner, udg.points());
+            let est = DilationEstimate::sampled(udg.graph(), &result.spanner, udg.points(), 24, seed);
+            assert!(!est.exact);
+            assert_eq!(est.sources_sampled, 24);
+            assert!(est.pair_coverage > 0.0 && est.pair_coverage < 1.0);
+            assert!(est.report.topological_ratio() <= exact.topological_ratio(), "seed {seed}");
+            assert!(est.report.geometric_ratio() <= exact.geometric_ratio(), "seed {seed}");
+            if let (Some(e), Some(x)) = (est.report.topo_bound_slack, exact.topo_bound_slack) {
+                assert!(e >= x, "seed {seed}: sampled topo slack below exact minimum");
+            }
+            if let (Some(e), Some(x)) = (est.report.geo_bound_slack, exact.geo_bound_slack) {
+                assert!(e >= x - 1e-9, "seed {seed}: sampled geo slack below exact minimum");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_thread_count_never_changes_the_estimate() {
+        let Some(udg) = connected_udg(150, 7.0, 6) else { return };
+        let result = AlgorithmTwo::new().construct(udg.graph());
+        let serial = DilationEstimate::sampled_with_threads(
+            udg.graph(),
+            &result.spanner,
+            udg.points(),
+            20,
+            3,
+            1,
+        );
+        for nthreads in [2, 5, 16] {
+            let par = DilationEstimate::sampled_with_threads(
+                udg.graph(),
+                &result.spanner,
+                udg.points(),
+                20,
+                3,
+                nthreads,
+            );
+            assert_eq!(par, serial, "nthreads {nthreads}");
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   (Lemmas 1–3, Theorem 4);
 //! * [`maintenance`] — WCDS maintenance under mobility (the paper's
 //!   §4.2 extension), with 3-hop repair locality;
+//! * [`partition`] — grid-partitioned parallel Algorithm II for
+//!   city-scale inputs (n = 100k–1M), byte-identical to the sequential
+//!   construction;
 //! * [`postprocess`] — redundant-dominator pruning (the engineering
 //!   side of the paper's "the bound … may be improved" remark);
 //! * [`audit`] — one-stop backbone quality report combining all of the
@@ -57,6 +60,7 @@ pub mod dilation;
 pub mod election;
 pub mod maintenance;
 pub mod mis;
+pub mod partition;
 pub mod postprocess;
 pub mod properties;
 pub mod ranking;

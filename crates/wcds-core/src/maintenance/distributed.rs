@@ -324,9 +324,8 @@ impl DynamicBackbone {
                 .collect();
         let g = udg.graph();
         let sim = Simulator::new(g, |u| {
-            let adj_doms: BTreeSet<ProcId> =
-                g.neighbors(u).iter().copied().filter(|v| mis.contains(v)).collect();
-            MaintNode::new(mis.contains(&u), adj_doms, g.neighbors(u).to_vec())
+            let adj_doms: BTreeSet<ProcId> = g.adj(u).filter(|v| mis.contains(v)).collect();
+            MaintNode::new(mis.contains(&u), adj_doms, g.adj(u).collect())
         });
         Self { udg, sim }
     }
@@ -370,7 +369,7 @@ impl DynamicBackbone {
             .udg
             .graph()
             .nodes()
-            .map(|u| (u, self.udg.graph().neighbors(u).to_vec()))
+            .map(|u| (u, self.udg.graph().adj(u).collect()))
             .collect();
         self.udg = UnitDiskGraph::build(points, self.udg.radius());
         self.sim.set_topology(self.udg.graph());
@@ -386,7 +385,7 @@ impl DynamicBackbone {
             .udg
             .graph()
             .nodes()
-            .filter(|&u| old_edges[&u] != self.udg.graph().neighbors(u).to_vec())
+            .filter(|&u| !old_edges[&u].iter().copied().eq(self.udg.graph().adj(u)))
             .collect();
         let activity_radius = if active_nodes.is_empty() || changed.is_empty() {
             None

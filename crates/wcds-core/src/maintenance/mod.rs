@@ -40,7 +40,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use wcds_geom::Point;
 use wcds_graph::{DynamicUdg, Graph, NodeId};
 
-mod region;
+pub(crate) mod region;
 pub use region::select_additional_dominators_in;
 
 /// How far the locality scan looks before calling a changed node
@@ -118,17 +118,29 @@ impl RepairReport {
 
 impl MaintainedWcds {
     /// Builds the initial WCDS (Algorithm II's construction) over a
-    /// deployment.
+    /// deployment, using [`wcds_graph::parallel::threads()`] workers for
+    /// the from-scratch pass.
     pub fn new(points: Vec<Point>, radius: f64) -> Self {
+        Self::with_threads(points, radius, wcds_graph::parallel::threads())
+    }
+
+    /// [`MaintainedWcds::new`] with an explicit worker count for the
+    /// initial construction. The from-scratch pass runs the same
+    /// grid-partitioned MIS and per-anchor bridge selection as
+    /// [`crate::partition::PartitionedTwo`], so a 100k-node deployment
+    /// comes up in seconds instead of minutes; every subsequent repair
+    /// is incremental and single-threaded regardless of `nthreads`. The
+    /// resulting state is identical for every `nthreads`.
+    pub fn with_threads(points: Vec<Point>, radius: f64, nthreads: usize) -> Self {
         let udg = DynamicUdg::new(points, radius);
-        let mis: BTreeSet<NodeId> =
-            crate::mis::greedy_mis(udg.graph(), crate::mis::RankingMode::StaticId)
-                .into_iter()
-                .collect();
-        let per_node = select_additional_dominators_in(udg.graph(), &mis, udg.graph().nodes());
+        let mis_vec =
+            crate::partition::mis_over_points(udg.graph(), udg.points(), nthreads.max(1));
+        let per_anchor =
+            crate::partition::bridge_contributions(udg.graph(), &mis_vec, nthreads.max(1));
+        let mis: BTreeSet<NodeId> = mis_vec.into_iter().collect();
         let mut contrib = BTreeMap::new();
         let mut bridge_refs: BTreeMap<NodeId, u32> = BTreeMap::new();
-        for (u, set) in per_node {
+        for (u, set) in per_anchor {
             if set.is_empty() {
                 continue;
             }

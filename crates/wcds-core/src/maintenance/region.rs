@@ -48,7 +48,7 @@ where
         if du == radius {
             continue;
         }
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 queue.push_back((v, du + 1));
@@ -92,7 +92,7 @@ where
         if du == radius {
             continue;
         }
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
                 e.insert(du + 1);
                 queue.push_back((v, du + 1));
@@ -124,7 +124,7 @@ pub(crate) fn cascade_mis(g: &Graph, mis: &mut BTreeSet<NodeId>, seeds: &[NodeId
         if u >= g.node_count() || !done.insert(u) {
             continue;
         }
-        let desired = !g.neighbors(u).iter().any(|&v| v < u && mis.contains(&v));
+        let desired = !g.adj(u).any(|v| v < u && mis.contains(&v));
         if desired == mis.contains(&u) {
             continue;
         }
@@ -134,7 +134,7 @@ pub(crate) fn cascade_mis(g: &Graph, mis: &mut BTreeSet<NodeId>, seeds: &[NodeId
             mis.remove(&u);
         }
         flipped.push(u);
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             // pops are non-decreasing, so v > u has not been decided yet
             if v > u {
                 heap.push(Reverse(v));
@@ -159,10 +159,22 @@ pub(crate) fn contributions_for_with(
     mis: &BTreeSet<NodeId>,
     u: NodeId,
 ) -> BTreeSet<NodeId> {
+    contributions_for_pred(scratch, g, |w| mis.contains(&w), u)
+}
+
+/// [`contributions_for_with`] with MIS membership supplied as a
+/// predicate, so batch callers (`crate::algo2`, the partitioned
+/// construction) can pass an `O(1)` bitmap instead of a `BTreeSet`.
+pub(crate) fn contributions_for_pred(
+    scratch: &mut BallScratch,
+    g: &Graph,
+    in_mis: impl Fn(NodeId) -> bool,
+    u: NodeId,
+) -> BTreeSet<NodeId> {
     scratch.fill(g, u, 3);
     let mut out = BTreeSet::new();
     for &w in &scratch.visited {
-        if scratch.dist.get(w).copied() != Some(3) || w <= u || !mis.contains(&w) {
+        if scratch.dist.get(w).copied() != Some(3) || w <= u || !in_mis(w) {
             continue;
         }
         // the smallest v ∈ N(u) with hop(v, w) == 2; since hop(u, w) = 3
@@ -172,9 +184,7 @@ pub(crate) fn contributions_for_with(
         // re-walked most of the neighborhood for every pair.
         let nw = g.neighbors(w);
         let bridge = g
-            .neighbors(u)
-            .iter()
-            .copied()
+            .adj(u)
             .find(|&v| !g.has_edge(v, w) && sorted_intersects(g.neighbors(v), nw));
         debug_assert!(bridge.is_some(), "a 3-hop pair has an intermediate at distance (1, 2)");
         if let Some(v) = bridge {
@@ -225,7 +235,7 @@ impl BallScratch {
             if du >= radius {
                 continue;
             }
-            for &v in g.neighbors(u) {
+            for v in g.adj(u) {
                 if let Some(dv) = self.dist.get_mut(v) {
                     if *dv == u32::MAX {
                         *dv = du + 1;
@@ -239,7 +249,7 @@ impl BallScratch {
 }
 
 /// Whether two ascending slices share an element (two-pointer sweep).
-fn sorted_intersects(mut a: &[NodeId], mut b: &[NodeId]) -> bool {
+fn sorted_intersects(mut a: &[u32], mut b: &[u32]) -> bool {
     debug_assert!(a.windows(2).all(|w| w.first() < w.last()));
     debug_assert!(b.windows(2).all(|w| w.first() < w.last()));
     while let (Some((&x, rest_a)), Some((&y, rest_b))) = (a.split_first(), b.split_first()) {
@@ -281,7 +291,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algo2::select_additional_dominators;
+    use crate::algo2::{select_additional_dominators, select_additional_dominators_reference};
     use crate::mis::{greedy_mis, RankingMode};
     use wcds_geom::deploy;
     use wcds_graph::{generators, traversal, UnitDiskGraph};
@@ -371,6 +381,9 @@ mod tests {
                 .collect::<BTreeSet<_>>()
                 .into_iter()
                 .collect();
+            // against the full-BFS oracle (independent derivation) and
+            // the production bounded-local path (shared machinery)
+            assert_eq!(union, select_additional_dominators_reference(g, &mis_vec));
             assert_eq!(union, select_additional_dominators(g, &mis_vec));
         }
     }

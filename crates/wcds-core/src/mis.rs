@@ -82,7 +82,7 @@ pub fn greedy_mis_ranked(g: &Graph, ranks: &[Rank]) -> Vec<NodeId> {
         }
         color[u] = Color::Black;
         mis.push(u);
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if color[v] == Color::White {
                 color[v] = Color::Gray;
             }
@@ -118,11 +118,11 @@ fn greedy_mis_degree(g: &Graph) -> Vec<NodeId> {
         }
         color[u] = Color::Black;
         mis.push(u);
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if color[v] == Color::White {
                 color[v] = Color::Gray;
                 // v's white neighbors lose a white neighbor
-                for &w in g.neighbors(v) {
+                for w in g.adj(v) {
                     if color[w] == Color::White {
                         white_deg[w] -= 1;
                         heap.push((white_deg[w], Reverse(w)));

@@ -23,7 +23,7 @@ pub fn max_mis_neighbors(g: &Graph, mis: &[NodeId]) -> usize {
     let in_mis = g.membership(mis);
     g.nodes()
         .filter(|&u| !in_mis[u])
-        .map(|u| g.neighbors(u).iter().filter(|&&v| in_mis[v]).count())
+        .map(|u| g.adj(u).filter(|&v| in_mis[v]).count())
         .max()
         .unwrap_or(0)
 }

@@ -152,6 +152,179 @@ impl GridIndex {
     }
 }
 
+/// A batched, immutable spatial index: the counting-sort counterpart of
+/// [`GridIndex`].
+///
+/// Where `GridIndex` hashes each point into a `HashMap` bucket (one heap
+/// allocation per occupied cell, a hash probe per insert and per query
+/// cell), `DenseGrid` lays the same cells out flat: integer cell
+/// coordinates over the point set's bounding box, one counting pass, a
+/// prefix sum, and one fill pass into a single `slots` array. Building is
+/// two linear scans with zero hashing; a query walks the 3×3 block as
+/// contiguous slices. This is the index behind the large-`n` static UDG
+/// build — [`GridIndex`] remains the right structure when the point set
+/// mutates (`push`/`relocate`).
+///
+/// The cell array is dense over the bounding box, so memory is
+/// `O(cells)`, not `O(occupied cells)`: callers should prefer
+/// [`GridIndex`] when the deployment is a sparse scatter over a huge
+/// extent (see [`DenseGrid::cell_count`]).
+///
+/// # Examples
+///
+/// ```
+/// use wcds_geom::{DenseGrid, Point};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(3.0, 3.0)];
+/// let idx = DenseGrid::build(&pts, 1.0);
+/// let mut near = Vec::new();
+/// idx.for_each_within(&pts, pts[0], 1.0, |i| near.push(i));
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseGrid {
+    cell: f64,
+    min_x: f64,
+    min_y: f64,
+    /// Grid dimensions; `gx * gy` cells cover the bounding box.
+    gx: usize,
+    gy: usize,
+    /// CSR over cells: cell `c` owns `slots[offsets[c]..offsets[c + 1]]`.
+    offsets: Vec<u32>,
+    /// Point indices grouped by cell, in input order within each cell.
+    slots: Vec<u32>,
+}
+
+impl DenseGrid {
+    /// Builds the index over `points` with cell size `cell` (two linear
+    /// passes, no hashing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite, or if the
+    /// point count exceeds `u32::MAX`.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell.is_finite() && cell > 0.0, "cell size must be positive and finite");
+        assert!(points.len() <= u32::MAX as usize, "point indices must fit u32");
+        if points.is_empty() {
+            return Self {
+                cell,
+                min_x: 0.0,
+                min_y: 0.0,
+                gx: 0,
+                gy: 0,
+                offsets: vec![0],
+                slots: Vec::new(),
+            };
+        }
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let gx = ((max_x - min_x) / cell).floor() as usize + 1;
+        let gy = ((max_y - min_y) / cell).floor() as usize + 1;
+        let cell_of = |p: &Point| -> usize {
+            // points exactly on the max boundary clamp into the last
+            // row/column; queries over-scan by one cell, so clamped
+            // points are still always found
+            let cx = (((p.x - min_x) / cell) as usize).min(gx - 1);
+            let cy = (((p.y - min_y) / cell) as usize).min(gy - 1);
+            cx * gy + cy
+        };
+        let mut offsets = vec![0u32; gx * gy + 1];
+        for p in points {
+            offsets[cell_of(p) + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..gx * gy].to_vec();
+        let mut slots = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            slots[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        Self { cell, min_x, min_y, gx, gy, offsets, slots }
+    }
+
+    /// The cell size this index was built with.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of grid cells allocated (dense over the bounding box).
+    ///
+    /// Callers deciding between this index and [`GridIndex`] can compare
+    /// it against the point count: when `cell_count` dwarfs `len`, the
+    /// deployment is a sparse scatter and the hash index wastes less.
+    pub fn cell_count(&self) -> usize {
+        self.gx * self.gy
+    }
+
+    /// Visits the index of every point within distance `r` of `center`
+    /// (inclusive), including `center` itself if indexed.
+    ///
+    /// `points` must be the slice the index was built from (checked by
+    /// length in debug builds). Visit order is deterministic for a fixed
+    /// build: cells in row-major block order, points in input order
+    /// within a cell. `center` may lie outside the bounding box (the
+    /// scan window clamps to it).
+    pub fn for_each_within<F: FnMut(usize)>(
+        &self,
+        points: &[Point],
+        center: Point,
+        r: f64,
+        mut f: F,
+    ) {
+        debug_assert_eq!(points.len(), self.len(), "index/point-set mismatch");
+        if self.slots.is_empty() {
+            return;
+        }
+        let reach = (r / self.cell).ceil() as i64;
+        let cx = ((center.x - self.min_x) / self.cell).floor() as i64;
+        let cy = ((center.y - self.min_y) / self.cell).floor() as i64;
+        let x0 = (cx - reach).max(0);
+        let x1 = (cx + reach).min(self.gx as i64 - 1);
+        let y0 = (cy - reach).max(0);
+        let y1 = (cy + reach).min(self.gy as i64 - 1);
+        let r2 = r * r;
+        for bx in x0..=x1 {
+            for by in y0..=y1 {
+                let c = bx as usize * self.gy + by as usize;
+                let row = &self.slots[self.offsets[c] as usize..self.offsets[c + 1] as usize];
+                for &i in row {
+                    if points[i as usize].distance_squared(center) <= r2 {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts the points within distance `r` of `center`.
+    pub fn count_within(&self, points: &[Point], center: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_within(points, center, r, |_| n += 1);
+        n
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +431,108 @@ mod tests {
         let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
         let idx = GridIndex::build(&pts, 1.0);
         assert_eq!(idx.count_within(&pts, pts[0], 1.0), 2);
+    }
+
+    #[test]
+    fn dense_matches_brute_force_on_random_points() {
+        let pts = deploy::uniform(300, 8.0, 8.0, 7);
+        let idx = DenseGrid::build(&pts, 1.0);
+        for probe in 0..pts.len() {
+            let mut got = Vec::new();
+            idx.for_each_within(&pts, pts[probe], 1.0, |i| got.push(i));
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, pts[probe], 1.0), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn dense_and_hash_indices_agree_everywhere() {
+        // same candidate sets for every probe, including off-grid
+        // centers and radii exceeding the cell size
+        for seed in [3, 19, 57] {
+            let pts = deploy::uniform(250, 7.0, 5.0, seed);
+            let dense = DenseGrid::build(&pts, 1.0);
+            let hash = GridIndex::build(&pts, 1.0);
+            let probes = [
+                Point::new(-2.0, 3.0),
+                Point::new(8.5, -1.0),
+                Point::new(3.5, 2.5),
+                pts[0],
+                pts[249],
+            ];
+            for (k, &c) in probes.iter().enumerate() {
+                for r in [0.7, 1.0, 2.3] {
+                    let mut a = Vec::new();
+                    dense.for_each_within(&pts, c, r, |i| a.push(i));
+                    a.sort_unstable();
+                    let mut b = hash.neighbors_within(&pts, c, r);
+                    b.sort_unstable();
+                    assert_eq!(a, b, "seed {seed} probe {k} r {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_boundary_points_are_found() {
+        // points exactly on the bounding-box maxima clamp into the last
+        // cell; queries centered there must still see them
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 2.0), // max corner
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(1.5, 1.0),
+        ];
+        let idx = DenseGrid::build(&pts, 1.0);
+        for (i, &p) in pts.iter().enumerate() {
+            let mut got = Vec::new();
+            idx.for_each_within(&pts, p, 1.0, |j| got.push(j));
+            assert!(got.contains(&i), "point {i} not found at its own position");
+        }
+        assert_eq!(idx.count_within(&pts, Point::new(3.0, 2.0), 1.0), 1);
+    }
+
+    #[test]
+    fn dense_empty_and_degenerate() {
+        let empty = DenseGrid::build(&[], 1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.count_within(&[], Point::origin(), 5.0), 0);
+        // all points coincident: one cell, everything within any radius
+        let pts = vec![Point::new(2.0, 2.0); 17];
+        let idx = DenseGrid::build(&pts, 1.0);
+        assert_eq!(idx.cell_count(), 1);
+        assert_eq!(idx.count_within(&pts, pts[0], 0.5), 17);
+    }
+
+    #[test]
+    fn dense_negative_coordinates_supported() {
+        let pts = vec![Point::new(-0.5, -0.5), Point::new(-1.2, -0.6), Point::new(2.0, 2.0)];
+        let idx = DenseGrid::build(&pts, 1.0);
+        let mut got = Vec::new();
+        idx.for_each_within(&pts, pts[0], 1.0, |i| got.push(i));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn dense_zero_cell_panics() {
+        let _ = DenseGrid::build(&[], 0.0);
+    }
+
+    #[test]
+    fn dense_visit_order_is_stable() {
+        // two builds over the same input produce the same visit sequence
+        let pts = deploy::uniform(120, 5.0, 5.0, 23);
+        let a = DenseGrid::build(&pts, 1.0);
+        let b = DenseGrid::build(&pts, 1.0);
+        for probe in (0..pts.len()).step_by(11) {
+            let mut va = Vec::new();
+            a.for_each_within(&pts, pts[probe], 1.0, |i| va.push(i));
+            let mut vb = Vec::new();
+            b.for_each_within(&pts, pts[probe], 1.0, |i| vb.push(i));
+            assert_eq!(va, vb, "probe {probe}");
+        }
     }
 }

@@ -10,7 +10,10 @@
 //!   grid-with-jitter, Gaussian, chain/adversarial) standing in for real
 //!   deployments;
 //! * [`GridIndex`] — an `O(1)`-per-query spatial hash used to build
-//!   unit-disk graphs in `O(n + |E|)` instead of `O(n²)`.
+//!   unit-disk graphs in `O(n + |E|)` instead of `O(n²)`;
+//! * [`DenseGrid`] — the batched counting-sort sibling of `GridIndex`:
+//!   immutable, hash-free, built in two linear passes, used by the
+//!   large-`n` static UDG construction.
 //!
 //! # Examples
 //!
@@ -29,7 +32,7 @@ mod grid;
 mod point;
 
 pub use bbox::BoundingBox;
-pub use grid::GridIndex;
+pub use grid::{DenseGrid, GridIndex};
 pub use point::Point;
 
 /// Default unit-disk transmission radius used throughout the workspace.

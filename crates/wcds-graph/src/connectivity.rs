@@ -65,7 +65,7 @@ pub fn survives_node_removal(g: &Graph, u: NodeId) -> bool {
     let mut queue = std::collections::VecDeque::from([start]);
     let mut count = 1;
     while let Some(x) = queue.pop_front() {
-        for &y in g.neighbors(x) {
+        for y in g.adj(x) {
             if !seen[y] {
                 seen[y] = true;
                 count += 1;
@@ -106,7 +106,7 @@ fn lowpoint_dfs(g: &Graph) -> LowpointState {
         while let Some(&(u, i)) = stack.last() {
             if i < g.degree(u) {
                 stack.last_mut().expect("just peeked").1 += 1;
-                let v = g.neighbors(u)[i];
+                let v = g.neighbors(u)[i] as NodeId;
                 if disc[v] == usize::MAX {
                     parent[v] = Some(u);
                     if u == root {

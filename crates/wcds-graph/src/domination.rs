@@ -30,13 +30,13 @@ use crate::{traversal, Graph, NodeId};
 /// ```
 pub fn is_dominating_set(g: &Graph, s: &[NodeId]) -> bool {
     let in_s = g.membership(s);
-    g.nodes().all(|u| in_s[u] || g.neighbors(u).iter().any(|&v| in_s[v]))
+    g.nodes().all(|u| in_s[u] || g.adj(u).any(|v| in_s[v]))
 }
 
 /// Whether `s` is an independent set (pairwise non-adjacent).
 pub fn is_independent_set(g: &Graph, s: &[NodeId]) -> bool {
     let in_s = g.membership(s);
-    s.iter().all(|&u| g.neighbors(u).iter().all(|&v| !in_s[v]))
+    s.iter().all(|&u| g.adj(u).all(|v| !in_s[v]))
 }
 
 /// Whether `s` is a **maximal** independent set.
@@ -87,7 +87,7 @@ fn single_component_covers(dist: &[Option<u32>], s: &[NodeId]) -> bool {
 /// The number of nodes of `s` adjacent to `u` (not counting `u` itself).
 pub fn dominator_count(g: &Graph, s: &[NodeId], u: NodeId) -> usize {
     let in_s = g.membership(s);
-    g.neighbors(u).iter().filter(|&&v| in_s[v]).count()
+    g.adj(u).filter(|&v| in_s[v]).count()
 }
 
 /// Nodes not in `s` and with no neighbor in `s` (witnesses that `s` fails
@@ -95,7 +95,7 @@ pub fn dominator_count(g: &Graph, s: &[NodeId], u: NodeId) -> usize {
 pub fn undominated_nodes(g: &Graph, s: &[NodeId]) -> Vec<NodeId> {
     let in_s = g.membership(s);
     g.nodes()
-        .filter(|&u| !in_s[u] && !g.neighbors(u).iter().any(|&v| in_s[v]))
+        .filter(|&u| !in_s[u] && !g.adj(u).any(|v| in_s[v]))
         .collect()
 }
 

@@ -131,7 +131,7 @@ impl DynamicUdg {
         if let Some(slot) = self.points.get_mut(u) {
             *slot = p;
         }
-        let old_row: Vec<NodeId> = self.graph.neighbors(u).to_vec();
+        let old_row: Vec<NodeId> = self.graph.adj(u).collect();
         let new_row = self.probe(p, Some(u));
         let (gained, lost) = sorted_diff(&new_row, &old_row);
         if gained.is_empty() && lost.is_empty() {
@@ -183,7 +183,7 @@ impl DynamicUdg {
     /// Panics if `u` is out of range.
     pub fn remove_node(&mut self, u: NodeId) -> TopoDelta {
         assert!(u < self.points.len(), "removal of out-of-range node {u}");
-        let old_row: Vec<NodeId> = self.graph.neighbors(u).to_vec();
+        let old_row: Vec<NodeId> = self.graph.adj(u).collect();
         let mut removed: Vec<(NodeId, NodeId)> =
             old_row.iter().map(|&v| canonical(u, v)).collect();
         removed.sort_unstable();

@@ -11,6 +11,12 @@ use std::fmt;
 /// traversal kernels (BFS sweeps, Dijkstra, the dilation engine) walk
 /// memory linearly instead of chasing one heap allocation per node.
 ///
+/// Both arrays are `u32`: node ids and half-edge counts must fit
+/// `u32::MAX` (the builder asserts), which halves adjacency bandwidth
+/// versus pointer-width ids and keeps a one-million-node, average-degree
+/// eleven topology under 100 MB. Callers that index with a neighbor use
+/// [`Graph::adj`], which widens to [`NodeId`] on the fly.
+///
 /// Adjacency lists are kept **sorted**, which gives deterministic
 /// iteration everywhere (important: distributed runs must be replayable)
 /// and `O(log d)` adjacency tests.
@@ -37,19 +43,16 @@ pub struct Graph {
     /// pointer — the arrays must fit `2|E| ≤ u32::MAX` half-edges, which
     /// the builder asserts.
     offsets: Vec<u32>,
-    /// All adjacency lists concatenated, each sorted ascending.
-    targets: Vec<NodeId>,
-    /// `targets` narrowed to `u32`, kept in lockstep: the traversal
-    /// kernels scan this copy, halving adjacency bandwidth; the wide
-    /// copy serves the `&[NodeId]` public slice API.
-    targets32: Vec<u32>,
+    /// All adjacency lists concatenated, each sorted ascending. The sole
+    /// copy, narrow: ids fit `u32` by the builder's assert.
+    targets: Vec<u32>,
     edge_count: usize,
 }
 
 impl Graph {
     /// An edgeless graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], targets: Vec::new(), targets32: Vec::new(), edge_count: 0 }
+        Self { offsets: vec![0; n + 1], targets: Vec::new(), edge_count: 0 }
     }
 
     /// Builds a graph on `n` nodes from an edge iterator.
@@ -70,6 +73,37 @@ impl Graph {
         b.build()
     }
 
+    /// Assembles a graph directly from per-node sorted neighbor rows.
+    ///
+    /// `rows[u]` must be `u`'s complete neighbor list, sorted ascending,
+    /// duplicate-free, self-loop-free, and symmetric (`v ∈ rows[u]` iff
+    /// `u ∈ rows[v]`). This is the bulk path for builders that already
+    /// produce canonical rows (the parallel UDG construction): it skips
+    /// [`GraphBuilder`]'s global edge sort and yields the exact CSR the
+    /// builder would, byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the half-edge total is odd or overflows `u32`; row
+    /// invariants are checked in debug builds only.
+    pub(crate) fn from_sorted_rows(rows: Vec<Vec<u32>>) -> Self {
+        let n = rows.len();
+        assert!(n <= u32::MAX as usize, "node ids must fit u32: n = {n}");
+        let half_edges: usize = rows.iter().map(Vec::len).sum();
+        assert!(half_edges.is_multiple_of(2), "asymmetric rows: {half_edges} half-edges");
+        assert!(half_edges <= u32::MAX as usize, "graph too large for u32 CSR offsets");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(half_edges);
+        offsets.push(0u32);
+        for (u, row) in rows.iter().enumerate() {
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u} not sorted unique");
+            debug_assert!(!row.contains(&(u as u32)), "self-loop at {u}");
+            targets.extend_from_slice(row);
+            offsets.push(targets.len() as u32);
+        }
+        Self { offsets, targets, edge_count: half_edges / 2 }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -87,14 +121,25 @@ impl Graph {
         0..self.node_count()
     }
 
-    /// The sorted neighbor list of `u`, as one contiguous CSR slice.
+    /// The sorted neighbor list of `u`, as one contiguous CSR slice of
+    /// narrow `u32` ids.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     #[inline]
-    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+    pub fn neighbors(&self, u: NodeId) -> &[u32] {
         &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// The sorted neighbors of `u` widened to [`NodeId`], for call sites
+    /// that index arrays with them.
+    #[inline]
+    pub fn adj(
+        &self,
+        u: NodeId,
+    ) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        self.neighbors(u).iter().map(|&v| v as NodeId)
     }
 
     /// Degree of `u`.
@@ -103,22 +148,15 @@ impl Graph {
         (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
-    /// The raw CSR arrays `(offsets, targets)`.
+    /// The raw CSR arrays `(offsets, targets)`, both `u32`.
     ///
     /// `offsets` has `n + 1` entries; node `u`'s neighbors occupy
     /// `targets[offsets[u] as usize..offsets[u + 1] as usize]`. Exposed
     /// for benchmark introspection and bulk kernels; everything else
     /// should go through [`Graph::neighbors`].
     #[inline]
-    pub fn csr(&self) -> (&[u32], &[NodeId]) {
-        (&self.offsets, &self.targets)
-    }
-
-    /// [`Graph::csr`] with the narrow `u32` target array — same edge
-    /// slots, half the scan bandwidth. Preferred by the search kernels.
-    #[inline]
     pub fn csr32(&self) -> (&[u32], &[u32]) {
-        (&self.offsets, &self.targets32)
+        (&self.offsets, &self.targets)
     }
 
     /// Maximum degree `Δ` over all nodes (0 for the empty graph).
@@ -138,14 +176,14 @@ impl Graph {
     /// Whether `u` and `v` are adjacent.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && self.neighbors(u).binary_search(&v).is_ok()
+        u != v && self.neighbors(u).binary_search(&(v as u32)).is_ok()
     }
 
     /// All edges, each reported once with `u < v`, in ascending order.
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(self.edge_count);
         for u in self.nodes() {
-            for &v in self.neighbors(u) {
+            for v in self.adj(u) {
                 if u < v {
                     out.push(Edge::new(u, v));
                 }
@@ -189,15 +227,7 @@ impl Graph {
     /// ```
     pub fn weakly_induced(&self, s: &[NodeId]) -> Graph {
         let in_s = self.membership(s);
-        let mut b = GraphBuilder::new(self.node_count());
-        for u in self.nodes() {
-            for &v in self.neighbors(u) {
-                if u < v && (in_s[u] || in_s[v]) {
-                    b.add_edge(u, v);
-                }
-            }
-        }
-        b.build()
+        self.filtered_rows(|u, v| in_s[u] || in_s[v])
     }
 
     /// The subgraph *induced* by node set `s`: edges with **both**
@@ -205,15 +235,28 @@ impl Graph {
     /// isolated), so ids remain comparable across graphs.
     pub fn induced(&self, s: &[NodeId]) -> Graph {
         let in_s = self.membership(s);
-        let mut b = GraphBuilder::new(self.node_count());
-        for u in self.nodes() {
+        self.filtered_rows(|u, v| in_s[u] && in_s[v])
+    }
+
+    /// The subgraph keeping exactly the edges `(u, v)` with
+    /// `keep(u, v)` true. `keep` must be symmetric. Filters the CSR rows
+    /// directly — each output row is a subsequence of a sorted input
+    /// row, so no re-sort (and no intermediate edge list) is needed.
+    fn filtered_rows(&self, keep: impl Fn(NodeId, NodeId) -> bool) -> Graph {
+        let n = self.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::new();
+        for u in 0..n {
             for &v in self.neighbors(u) {
-                if u < v && in_s[u] && in_s[v] {
-                    b.add_edge(u, v);
+                if keep(u, v as NodeId) {
+                    targets.push(v);
                 }
             }
+            offsets.push(targets.len() as u32);
         }
-        b.build()
+        let edge_count = targets.len() / 2;
+        Graph { offsets, targets, edge_count }
     }
 
     /// A membership bitmap for a node list.
@@ -255,17 +298,16 @@ impl Graph {
             })
     }
 
-    /// Reassembles a graph from spliced CSR rows, recomputing the narrow
-    /// target copy and re-validating the row invariants in debug builds.
-    fn from_rows(offsets: Vec<u32>, targets: Vec<NodeId>, edge_count: usize) -> Graph {
+    /// Reassembles a graph from spliced CSR rows, re-validating the row
+    /// invariants in debug builds.
+    pub(crate) fn from_rows(offsets: Vec<u32>, targets: Vec<u32>, edge_count: usize) -> Graph {
         debug_assert_eq!(offsets.last().map(|&o| o as usize), Some(targets.len()));
         debug_assert_eq!(targets.len(), edge_count * 2);
         debug_assert!(offsets.windows(2).all(|w| {
             let row = &targets[w[0] as usize..w[1] as usize];
             row.windows(2).all(|p| p[0] < p[1])
         }));
-        let targets32 = targets.iter().map(|&v| v as u32).collect();
-        Graph { offsets, targets, targets32, edge_count }
+        Graph { offsets, targets, edge_count }
     }
 
     /// A copy of `self` on `n_new` nodes with `added` edges inserted and
@@ -296,16 +338,16 @@ impl Graph {
             "splice may append at most one node ({n_old} -> {n_new})"
         );
         // group the delta per incident row, both orientations
-        let mut patch: BTreeMap<NodeId, (Vec<NodeId>, Vec<NodeId>)> = BTreeMap::new();
+        let mut patch: BTreeMap<NodeId, (Vec<u32>, Vec<u32>)> = BTreeMap::new();
         for &(u, v) in added {
             assert!(u < v && v < n_new, "added edge ({u}, {v}) not canonical in-range");
-            patch.entry(u).or_default().0.push(v);
-            patch.entry(v).or_default().0.push(u);
+            patch.entry(u).or_default().0.push(v as u32);
+            patch.entry(v).or_default().0.push(u as u32);
         }
         for &(u, v) in removed {
             assert!(u < v && v < n_old, "removed edge ({u}, {v}) not canonical in-range");
-            patch.entry(u).or_default().1.push(v);
-            patch.entry(v).or_default().1.push(u);
+            patch.entry(u).or_default().1.push(v as u32);
+            patch.entry(v).or_default().1.push(u as u32);
         }
         for (adds, dels) in patch.values_mut() {
             adds.sort_unstable();
@@ -320,9 +362,9 @@ impl Graph {
 
         let mut offsets = Vec::with_capacity(n_new + 1);
         offsets.push(0u32);
-        let mut targets: Vec<NodeId> = Vec::with_capacity(edge_count * 2);
+        let mut targets: Vec<u32> = Vec::with_capacity(edge_count * 2);
         let mut row_cursor = 0; // next row still to emit
-        let copy_span = |from: usize, to: usize, targets: &mut Vec<NodeId>, offsets: &mut Vec<u32>| {
+        let copy_span = |from: usize, to: usize, targets: &mut Vec<u32>, offsets: &mut Vec<u32>| {
             if from >= to {
                 return;
             }
@@ -335,7 +377,7 @@ impl Graph {
         };
         for (&w, (adds, dels)) in &patch {
             copy_span(row_cursor, w.min(n_old), &mut targets, &mut offsets);
-            let old_row: &[NodeId] = if w < n_old { self.neighbors(w) } else { &[] };
+            let old_row: &[u32] = if w < n_old { self.neighbors(w) } else { &[] };
             merge_row(old_row, adds, dels, &mut targets);
             offsets.push(targets.len() as u32);
             row_cursor = w + 1;
@@ -356,6 +398,7 @@ impl Graph {
     pub fn compacted_without(&self, u: NodeId) -> Graph {
         let n = self.node_count();
         assert!(u < n, "compaction of out-of-range node {u} (n = {n})");
+        let victim = u as u32;
         let deg_u = self.degree(u);
         let mut offsets = Vec::with_capacity(n);
         offsets.push(0u32);
@@ -365,8 +408,8 @@ impl Graph {
                 continue;
             }
             for &v in self.neighbors(w) {
-                if v != u {
-                    targets.push(if v > u { v - 1 } else { v });
+                if v != victim {
+                    targets.push(if v > victim { v - 1 } else { v });
                 }
             }
             offsets.push(targets.len() as u32);
@@ -376,7 +419,7 @@ impl Graph {
 }
 
 /// Merges one sorted adjacency row with its sorted add/remove deltas.
-fn merge_row(old: &[NodeId], adds: &[NodeId], dels: &[NodeId], out: &mut Vec<NodeId>) {
+fn merge_row(old: &[u32], adds: &[u32], dels: &[u32], out: &mut Vec<u32>) {
     let mut ai = 0;
     let mut di = 0;
     for &v in old {
@@ -461,6 +504,7 @@ impl GraphBuilder {
             "graph too large for u32 CSR offsets: {} edges",
             sorted.len()
         );
+        assert!(self.n <= u32::MAX as usize, "node ids must fit u32: n = {}", self.n);
         let mut offsets = vec![0u32; self.n + 1];
         for &(u, v) in &sorted {
             offsets[u + 1] += 1;
@@ -470,16 +514,14 @@ impl GraphBuilder {
             offsets[i] += offsets[i - 1];
         }
         let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
-        let mut targets = vec![0 as NodeId; sorted.len() * 2];
+        let mut targets = vec![0u32; sorted.len() * 2];
         for &(u, v) in &sorted {
-            targets[cursor[u] as usize] = v;
+            targets[cursor[u] as usize] = v as u32;
             cursor[u] += 1;
-            targets[cursor[v] as usize] = u;
+            targets[cursor[v] as usize] = u as u32;
             cursor[v] += 1;
         }
-        assert!(self.n <= u32::MAX as usize, "node ids must fit u32: n = {}", self.n);
-        let targets32 = targets.iter().map(|&v| v as u32).collect();
-        Graph { offsets, targets, targets32, edge_count: sorted.len() }
+        Graph { offsets, targets, edge_count: sorted.len() }
     }
 }
 
@@ -540,6 +582,13 @@ mod tests {
     }
 
     #[test]
+    fn adj_widens_to_node_ids() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3)]);
+        let wide: Vec<NodeId> = g.adj(2).collect();
+        assert_eq!(wide, vec![0, 3, 4]);
+    }
+
+    #[test]
     fn edges_listed_once_ascending() {
         let g = path4();
         let es = g.edges();
@@ -563,6 +612,23 @@ mod tests {
         let g = path4();
         let all: Vec<_> = g.nodes().collect();
         assert_eq!(g.weakly_induced(&all), g);
+    }
+
+    #[test]
+    fn weakly_induced_matches_builder_reference() {
+        // the CSR row filter must reproduce the builder path bit for bit
+        let n = 30;
+        let edges = scrambled_edges(n, 80, 11);
+        let g = Graph::from_edges(n, edges.iter().copied());
+        let s: Vec<NodeId> = (0..n).step_by(3).collect();
+        let in_s = g.membership(&s);
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            if in_s[u] || in_s[v] {
+                b.add_edge(u, v);
+            }
+        }
+        assert_eq!(g.weakly_induced(&s), b.build());
     }
 
     #[test]
@@ -653,10 +719,6 @@ mod tests {
         want.extend(added.iter().copied());
         assert_eq!(spliced, Graph::from_edges(n, want.iter().copied()));
         assert_eq!(spliced.edge_count(), want.len());
-        // narrow targets stay in lockstep
-        let (_, t) = spliced.csr();
-        let (_, t32) = spliced.csr32();
-        assert!(t.iter().zip(t32).all(|(&a, &b)| a == b as usize));
     }
 
     #[test]

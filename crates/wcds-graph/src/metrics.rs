@@ -4,7 +4,7 @@
 //! what kind of network each row was measured on (the paper's implicit
 //! workload is "nodes in the plane"; density is the knob that matters).
 
-use crate::{parallel, traversal, Graph};
+use crate::{parallel, traversal, Graph, NodeId};
 
 /// Summary statistics of a topology.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,11 +83,11 @@ fn triangle_census(g: &Graph) -> (u64, u64) {
             let nb = g.neighbors(u);
             let mut triangles = 0u64;
             for (i, &v) in nb.iter().enumerate() {
-                if v < u {
+                if (v as NodeId) < u {
                     continue;
                 }
                 for &w in &nb[i + 1..] {
-                    if g.has_edge(v, w) {
+                    if g.has_edge(v as NodeId, w as NodeId) {
                         triangles += 1;
                     }
                 }

@@ -150,12 +150,12 @@ impl CsrWeights {
     ///
     /// Panics if any weight is negative or non-finite.
     pub fn from_fn(g: &Graph, mut weight: impl FnMut(NodeId, NodeId) -> f64) -> Self {
-        let (offsets, targets) = g.csr();
+        let (offsets, targets) = g.csr32();
         let mut values = Vec::with_capacity(targets.len());
         let mut max = 0.0f64;
         for u in 0..g.node_count() {
             for &v in &targets[offsets[u] as usize..offsets[u + 1] as usize] {
-                let w = weight(u, v);
+                let w = weight(u, v as NodeId);
                 assert!(w.is_finite() && w >= 0.0, "invalid edge weight {w} on ({u}, {v})");
                 max = max.max(w);
                 values.push(w);
@@ -393,7 +393,7 @@ impl SearchScratch {
             if self.lens[u] < du {
                 continue; // stale entry
             }
-            for &v in g.neighbors(u) {
+            for v in g.adj(u) {
                 let w = weight(u, v);
                 assert!(w.is_finite() && w >= 0.0, "invalid edge weight {w} on ({u}, {v})");
                 let cand = du + w;
@@ -438,7 +438,7 @@ impl SearchScratch {
         radius: f64,
     ) {
         assert!(g.node_count() <= self.lens.len(), "scratch too small");
-        assert_eq!(weights.values.len(), g.csr().1.len(), "weights/graph mismatch");
+        assert_eq!(weights.values.len(), g.csr32().1.len(), "weights/graph mismatch");
         assert!(!radius.is_nan(), "radius must not be NaN");
         self.lens.fill(f64::INFINITY);
         let (offsets, targets) = g.csr32();
@@ -576,7 +576,7 @@ impl SearchScratch {
 
     fn min_hop_core(&mut self, g: &Graph, weights: &CsrWeights, source: NodeId, min_id: usize) {
         assert!(g.node_count() <= self.hops.len(), "scratch too small");
-        assert_eq!(weights.values.len(), g.csr().1.len(), "weights/graph mismatch");
+        assert_eq!(weights.values.len(), g.csr32().1.len(), "weights/graph mismatch");
         let (offsets, targets) = g.csr32();
         let w = weights.values.as_slice();
         self.hops.reset();
@@ -741,11 +741,11 @@ mod tests {
     fn csr_weights_align_with_rows() {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3)]);
         let w = CsrWeights::from_fn(&g, |u, v| (u + v) as f64);
-        let (offsets, targets) = g.csr();
+        let (offsets, targets) = g.csr32();
         for u in g.nodes() {
             let row = offsets[u] as usize..offsets[u + 1] as usize;
             for (&weight, &v) in w.values()[row.clone()].iter().zip(&targets[row]) {
-                assert_eq!(weight, (u + v) as f64);
+                assert_eq!(weight, (u + v as usize) as f64);
             }
         }
         assert_eq!(w.max_weight(), 3.0);

@@ -229,7 +229,7 @@ where
     let mut edges = Vec::with_capacity(n.saturating_sub(1));
     let mut heap: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
     in_tree[0] = true;
-    for &v in g.neighbors(0) {
+    for v in g.adj(0) {
         heap.push(Reverse(Cand(weight(0, v), v, 0)));
     }
     while let Some(Reverse(Cand(_, to, from))) = heap.pop() {
@@ -238,7 +238,7 @@ where
         }
         in_tree[to] = true;
         edges.push((from, to));
-        for &v in g.neighbors(to) {
+        for v in g.adj(to) {
             if !in_tree[v] {
                 heap.push(Reverse(Cand(weight(to, v), v, to)));
             }

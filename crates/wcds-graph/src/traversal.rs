@@ -49,7 +49,7 @@ pub fn bfs_tree(g: &Graph, source: NodeId) -> (Vec<Option<u32>>, Vec<Option<Node
     q.push_back(source);
     while let Some(u) = q.pop_front() {
         let du = dist[u].expect("queued nodes have distances");
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
                 parent[v] = Some(u);
@@ -83,7 +83,7 @@ pub fn bfs_tree_bounded(
         if du == radius {
             continue;
         }
-        for &v in g.neighbors(u) {
+        for v in g.adj(u) {
             if dist[v].is_none() {
                 dist[v] = Some(du + 1);
                 parent[v] = Some(u);
@@ -142,7 +142,7 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
         seen[start] = true;
         while let Some(u) = q.pop_front() {
             comp.push(u);
-            for &v in g.neighbors(u) {
+            for v in g.adj(u) {
                 if !seen[v] {
                     seen[v] = true;
                     q.push_back(v);
@@ -218,7 +218,7 @@ pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
         seen[u] = true;
         order.push(u);
         // push reversed so the smallest neighbor is popped first
-        for &v in g.neighbors(u).iter().rev() {
+        for v in g.adj(u).rev() {
             if !seen[v] {
                 stack.push(v);
             }

@@ -1,5 +1,5 @@
-use crate::{Graph, GraphBuilder, NodeId};
-use wcds_geom::{GridIndex, Point};
+use crate::{parallel, Graph, GraphBuilder, NodeId};
+use wcds_geom::{DenseGrid, GridIndex, Point};
 
 /// A unit-disk graph: node positions plus the induced adjacency.
 ///
@@ -33,18 +33,39 @@ pub struct UnitDiskGraph {
 impl UnitDiskGraph {
     /// Builds the UDG over `points` with transmission range `radius`.
     ///
-    /// Runs in `O(n + |E|)` expected time using a spatial hash.
+    /// Runs in `O(n + |E|)` expected time using a spatial index, with
+    /// [`parallel::threads`] worker threads (1 unless the `rayon`
+    /// feature is enabled and `WCDS_THREADS` asks for more).
     ///
     /// # Panics
     ///
     /// Panics if `radius` is not strictly positive and finite.
     pub fn build(points: Vec<Point>, radius: f64) -> Self {
+        Self::build_with_threads(points, radius, parallel::threads())
+    }
+
+    /// [`UnitDiskGraph::build`] with an explicit worker count.
+    ///
+    /// The adjacency is **byte-identical for every `nthreads`**: workers
+    /// produce disjoint per-node neighbor rows (each sorted locally),
+    /// and the rows are concatenated in node order — no cross-thread
+    /// ordering can leak into the output. Small or sparse deployments
+    /// fall back to the serial scans regardless of `nthreads` (there the
+    /// thread spawn would cost more than the scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive and finite.
+    pub fn build_with_threads(points: Vec<Point>, radius: f64, nthreads: usize) -> Self {
         assert!(radius.is_finite() && radius > 0.0, "radius must be positive and finite");
         let (w, h) = bounding_extent(&points);
-        let graph = if grid_is_overkill(points.len(), radius, w, h) {
+        let n = points.len();
+        let graph = if grid_is_overkill(n, radius, w, h) {
             direct_scan(&points, radius)
-        } else {
+        } else if dense_grid_wasteful(n, radius, w, h) {
             grid_scan(&points, radius)
+        } else {
+            dense_scan(&points, radius, nthreads.max(1))
         };
         Self { radius, graph, points }
     }
@@ -182,8 +203,22 @@ const DIRECT_SCAN_BREAK_EVEN: f64 = 600.0;
 /// the direct cost against the grid's expected candidate work
 /// (`≈ 9n²/cells` pair checks) captures both ends with one inequality.
 fn grid_is_overkill(n: usize, radius: f64, width: f64, height: f64) -> bool {
-    let cells = (width / radius).ceil().max(1.0) * (height / radius).ceil().max(1.0);
-    (n as f64) * (0.5 - 9.0 / cells).max(0.0) < DIRECT_SCAN_BREAK_EVEN
+    (n as f64) * (0.5 - 9.0 / grid_cells(radius, width, height)).max(0.0) < DIRECT_SCAN_BREAK_EVEN
+}
+
+/// Number of radius-sized grid cells covering a `width × height` extent.
+fn grid_cells(radius: f64, width: f64, height: f64) -> f64 {
+    (width / radius).ceil().max(1.0) * (height / radius).ceil().max(1.0)
+}
+
+/// Should a static build avoid [`DenseGrid`]'s dense cell array?
+///
+/// The dense index allocates every bounding-box cell; a sparse scatter
+/// over a huge extent (cells ≫ points) would spend more on empty cells
+/// than the hash index spends on buckets. Past a few cells per point the
+/// hash wins on memory and loses nothing measurable on speed.
+fn dense_grid_wasteful(n: usize, radius: f64, width: f64, height: f64) -> bool {
+    grid_cells(radius, width, height) > 4.0 * n as f64 + 64.0
 }
 
 /// Extent `(width, height)` of the bounding box of `points`.
@@ -197,7 +232,9 @@ fn bounding_extent(points: &[Point]) -> (f64, f64) {
     ((max.0 - min.0).max(0.0), (max.1 - min.1).max(0.0))
 }
 
-/// The spatial-hash UDG builder (`O(n + |E|)` expected).
+/// The spatial-hash UDG builder (`O(n + |E|)` expected) — the fallback
+/// for sparse scatters where [`DenseGrid`]'s cell array would be mostly
+/// empty cells.
 fn grid_scan(points: &[Point], radius: f64) -> Graph {
     let index = GridIndex::build(points, radius);
     let mut b = GraphBuilder::new(points.len());
@@ -209,6 +246,32 @@ fn grid_scan(points: &[Point], radius: f64) -> Graph {
         });
     }
     b.build()
+}
+
+/// The batched UDG builder: one [`DenseGrid`] counting-sort index, then
+/// per-node neighbor rows — each node's row is an independent radius
+/// query, so rows are produced on [`parallel::map_indices`] workers and
+/// assembled in node order. Every row is sorted locally, which makes the
+/// CSR byte-identical to [`GraphBuilder`]'s output (and hence identical
+/// for every thread count).
+fn dense_scan(points: &[Point], radius: f64, nthreads: usize) -> Graph {
+    let index = DenseGrid::build(points, radius);
+    let rows = parallel::map_indices(
+        nthreads,
+        points.len(),
+        || (),
+        |_, u| {
+            let mut row: Vec<u32> = Vec::new();
+            index.for_each_within(points, points[u], radius, |v| {
+                if v != u {
+                    row.push(v as u32);
+                }
+            });
+            row.sort_unstable();
+            row
+        },
+    );
+    Graph::from_sorted_rows(rows)
 }
 
 /// The pairwise UDG builder (`O(n²)`, but branch-predictable and
@@ -226,11 +289,32 @@ fn direct_scan(points: &[Point], radius: f64) -> Graph {
     b.build()
 }
 
-/// The spatial-hash torus builder over canonicalised coordinates.
+/// The indexed torus builder over canonicalised coordinates: batched
+/// [`DenseGrid`] normally, spatial hash for sparse scatters.
 fn torus_grid_scan(canon: &[Point], radius: f64, width: f64, height: f64) -> Graph {
-    let index = GridIndex::build(canon, radius);
+    if dense_grid_wasteful(canon.len(), radius, width, height) {
+        let index = GridIndex::build(canon, radius);
+        torus_scan_impl(canon, radius, width, height, |q, f| {
+            index.for_each_within(canon, q, radius, f)
+        })
+    } else {
+        let index = DenseGrid::build(canon, radius);
+        torus_scan_impl(canon, radius, width, height, |q, f| {
+            index.for_each_within(canon, q, radius, f)
+        })
+    }
+}
+
+/// The translate-query torus scan, generic over the spatial index.
+fn torus_scan_impl(
+    canon: &[Point],
+    radius: f64,
+    width: f64,
+    height: f64,
+    query: impl Fn(Point, &mut dyn FnMut(usize)),
+) -> Graph {
     let mut b = GraphBuilder::new(canon.len());
-    for u in 0..canon.len() {
+    for (u, p) in canon.iter().enumerate() {
         // radius ≤ min(width, height) / 2 ⇒ the nearest wrapped copy
         // of any neighbor lies in one of nine translates of u — but a
         // translate can only score a hit when u sits within `radius`
@@ -239,7 +323,7 @@ fn torus_grid_scan(canon: &[Point], radius: f64, width: f64, height: f64) -> Gra
         // unless x ≥ width − radius, and symmetrically for the other
         // three). Interior nodes therefore issue a single query; the
         // builder dedups hits that qualify under several translates.
-        let (x, y) = (canon[u].x, canon[u].y);
+        let (x, y) = (p.x, p.y);
         let mut dxs = [0.0; 2];
         let mut nx = 1;
         if x < radius {
@@ -261,7 +345,7 @@ fn torus_grid_scan(canon: &[Point], radius: f64, width: f64, height: f64) -> Gra
         for &dx in &dxs[..nx] {
             for &dy in &dys[..ny] {
                 let q = Point::new(x + dx, y + dy);
-                index.for_each_within(canon, q, radius, |v| {
+                query(q, &mut |v| {
                     if u < v {
                         b.add_edge(u, v);
                     }
@@ -437,21 +521,51 @@ mod tests {
 
     #[test]
     fn grid_and_direct_builders_are_identical() {
-        // straddle the occupancy threshold on both sides: the two code
+        // straddle the occupancy threshold on both sides: the three code
         // paths must be observationally equivalent everywhere
         for (n, side, seed) in [(150, 4.0, 5), (400, 12.0, 6), (900, 30.0, 7)] {
             let pts = deploy::uniform(n, side, side, seed);
-            assert_eq!(
-                grid_scan(&pts, 1.0),
-                direct_scan(&pts, 1.0),
-                "flat n={n} side={side}"
-            );
+            let want = direct_scan(&pts, 1.0);
+            assert_eq!(grid_scan(&pts, 1.0), want, "flat hash n={n} side={side}");
+            assert_eq!(dense_scan(&pts, 1.0, 1), want, "flat dense n={n} side={side}");
             assert_eq!(
                 torus_grid_scan(&pts, 1.0, side, side),
                 torus_direct_scan(&pts, 1.0, side, side),
                 "torus n={n} side={side}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_serial() {
+        // thread count must never leak into the adjacency: rows are
+        // per-node, sorted locally, concatenated in node order
+        for (n, side, seed) in [(800, 9.0, 17), (2500, 16.0, 18)] {
+            let pts = deploy::uniform(n, side, side, seed);
+            let serial = UnitDiskGraph::build_with_threads(pts.clone(), 1.0, 1);
+            for nthreads in [2, 3, 8] {
+                let par = UnitDiskGraph::build_with_threads(pts.clone(), 1.0, nthreads);
+                assert_eq!(par.graph(), serial.graph(), "n={n} nthreads={nthreads}");
+            }
+            assert_eq!(*serial.graph(), legacy_reference(&pts, 1.0), "n={n}");
+        }
+    }
+
+    /// Quadratic reference used by the thread-identity test.
+    fn legacy_reference(points: &[Point], radius: f64) -> Graph {
+        direct_scan(points, radius)
+    }
+
+    #[test]
+    fn sparse_scatter_takes_the_hash_index() {
+        // huge extent, few points per cell: dense cell array would be
+        // ~99% empty — the heuristic must route to the hash fallback
+        assert!(dense_grid_wasteful(2000, 1.0, 400.0, 400.0));
+        assert!(!dense_grid_wasteful(100_000, 1.0, 170.0, 170.0));
+        // and the fallback stays correct
+        let pts = deploy::uniform(3000, 300.0, 300.0, 31);
+        let built = UnitDiskGraph::build(pts.clone(), 1.0);
+        assert_eq!(*built.graph(), grid_scan(&pts, 1.0));
     }
 
     #[test]

@@ -152,7 +152,7 @@ impl BroadcastPlan {
             }
             transmitted[u] = true;
             transmissions += 1;
-            for &v in g.neighbors(u) {
+            for v in g.adj(u) {
                 if !informed[v] {
                     informed[v] = true;
                     if self.forwarders.contains(&v) {

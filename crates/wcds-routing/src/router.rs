@@ -67,7 +67,7 @@ impl BackboneRouter {
                 if is_head[u] {
                     Some(u)
                 } else {
-                    g.neighbors(u).iter().copied().find(|&v| is_head[v])
+                    g.adj(u).find(|&v| is_head[v])
                 }
             })
             .collect();
@@ -143,7 +143,7 @@ impl BackboneRouter {
             clusterhead[u] = if is_head[u] {
                 Some(u)
             } else {
-                g.neighbors(u).iter().copied().find(|&v| is_head[v])
+                g.adj(u).find(|&v| is_head[v])
             };
         }
         assert!(

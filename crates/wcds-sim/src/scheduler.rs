@@ -181,7 +181,7 @@ impl<P: Protocol> Simulator<P> {
     where
         F: FnMut(ProcId) -> P,
     {
-        let adj: Vec<Vec<ProcId>> = graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        let adj: Vec<Vec<ProcId>> = graph.nodes().map(|u| graph.adj(u).collect()).collect();
         let nodes = graph.nodes().map(&mut factory).collect();
         Self { adj, nodes }
     }
@@ -234,7 +234,7 @@ impl<P: Protocol> Simulator<P> {
             self.nodes.len(),
             "topology change must preserve the node count"
         );
-        self.adj = graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        self.adj = graph.nodes().map(|u| graph.adj(u).collect()).collect();
     }
 
     /// Executes the protocol to quiescence under `schedule`.

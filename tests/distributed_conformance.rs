@@ -197,7 +197,7 @@ fn algo2_independence_is_a_safety_invariant_not_just_a_postcondition() {
                 if nodes[u].color() != NodeColor::MisDominator {
                     continue;
                 }
-                for &v in g2.neighbors(u) {
+                for v in g2.adj(u) {
                     if v > u && nodes[v].color() == NodeColor::MisDominator {
                         return Err(format!("adjacent dominators {u},{v} at time {time}"));
                     }
