@@ -54,6 +54,7 @@ fn request_seeds() -> Vec<Request> {
             name: "n".into(),
             mutation: Mutation::Move { node: 4, x: 0.0, y: 9.75 },
         },
+        Request::Harden { name: "net".into(), k: 2, m: 2 },
         Request::List,
         Request::Drop { name: "n".into() },
         Request::Shutdown,
@@ -82,9 +83,25 @@ fn response_seeds() -> Vec<Response> {
             cache_hits: 40,
             cache_misses: 4,
             rebuilds: 4,
+            hardened_k: 2,
+            hardened_m: 2,
+            achieved_k: 2,
+            routes_ok: 31,
+            routes_degraded: 3,
+            routes_unreachable: 1,
+            heals: 1,
         }),
         Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] },
         Response::Topologies { names: vec!["a".into(), "b".into()] },
+        Response::Hardened {
+            k: 2,
+            m: 2,
+            achieved_k: 2,
+            dominators: 40,
+            spanner_edges: 310,
+            epoch: 6,
+        },
+        Response::Degraded { unreachable: 17 },
         Response::Dropped,
         Response::ShuttingDown,
         Response::Error {

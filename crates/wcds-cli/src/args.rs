@@ -217,6 +217,15 @@ pub enum QueryAction {
         /// Topology name.
         name: String,
     },
+    /// Upgrade a topology to a (k, m)-resilient backbone.
+    Harden {
+        /// Topology name.
+        name: String,
+        /// Target core connectivity.
+        k: u64,
+        /// Target coverage multiplicity.
+        m: u64,
+    },
     /// Ask the server to shut down gracefully.
     Shutdown,
 }
@@ -247,6 +256,7 @@ QUERY ACTIONS:
   broadcast --name T --source S
   stats     --name T
   mutate    --name T  --join X,Y | --leave N | --move N,X,Y
+  harden    --name T --k K --m M
 ";
 
 struct ArgScanner<'a> {
@@ -422,6 +432,11 @@ fn parse_query_action(name: &str, s: &mut ArgScanner<'_>) -> Result<QueryAction,
         }),
         "stats" => Ok(QueryAction::Stats { name: named(s)? }),
         "drop" => Ok(QueryAction::Drop { name: named(s)? }),
+        "harden" => Ok(QueryAction::Harden {
+            name: named(s)?,
+            k: parse_num(required(s, "--k")?, "--k")?,
+            m: parse_num(required(s, "--m")?, "--m")?,
+        }),
         "mutate" => {
             let name = named(s)?;
             let mutation = if let Some(raw) = s.value_of("--join") {
@@ -453,7 +468,7 @@ fn parse_query_action(name: &str, s: &mut ArgScanner<'_>) -> Result<QueryAction,
             Ok(QueryAction::Mutate { name, mutation })
         }
         other => Err(CliError(format!(
-            "unknown query action `{other}` (try ping, create, export, construct, route, broadcast, stats, mutate, list, drop, shutdown)"
+            "unknown query action `{other}` (try ping, create, export, construct, route, broadcast, stats, mutate, harden, list, drop, shutdown)"
         ))),
     }
 }

@@ -13,7 +13,9 @@ use wcds_graph::io::GraphDocument;
 use wcds_graph::metrics::GraphMetrics;
 use wcds_graph::{domination, io, traversal, UnitDiskGraph};
 use wcds_routing::BackboneRouter;
-use wcds_service::{Client, ClientError, Server, ServerConfig, Store};
+use wcds_service::{
+    BroadcastOutcome, Client, ClientError, RouteOutcome, Server, ServerConfig, Store,
+};
 use wcds_sim::Schedule;
 
 impl From<ClientError> for CliError {
@@ -332,13 +334,28 @@ fn query(addr: &str, action: QueryAction) -> Result<String, CliError> {
                 "constructed `{name}` @ epoch {epoch}: |MIS| = {mis}, bridges = {bridges}, spanner |E'| = {spanner_edges}\n"
             ))
         }
-        QueryAction::Route { name, from, to } => {
-            let path = c.route(&name, from, to)?;
-            Ok(format!("route   : {path:?}\nhops    : {}\n", path.len().saturating_sub(1)))
-        }
-        QueryAction::Broadcast { name, source } => {
-            let (forwarders, informed) = c.broadcast(&name, source)?;
-            Ok(format!("broadcast from {source}: {forwarders} forwarders, {informed} informed\n"))
+        QueryAction::Route { name, from, to } => match c.route(&name, from, to)? {
+            RouteOutcome::Path(path) => {
+                Ok(format!("route   : {path:?}\nhops    : {}\n", path.len().saturating_sub(1)))
+            }
+            RouteOutcome::Degraded { unreachable } => Ok(format!(
+                "degraded: no surviving route {from} → {to} ({unreachable} nodes unreachable)\n"
+            )),
+        },
+        QueryAction::Broadcast { name, source } => match c.broadcast(&name, source)? {
+            BroadcastOutcome::Done { forwarders, informed } => Ok(format!(
+                "broadcast from {source}: {forwarders} forwarders, {informed} informed\n"
+            )),
+            BroadcastOutcome::Degraded { unreachable } => Ok(format!(
+                "degraded: topology partitioned ({unreachable} nodes unreachable from {source})\n"
+            )),
+        },
+        QueryAction::Harden { name, k, m } => {
+            let out = c.harden(&name, k, m)?;
+            Ok(format!(
+                "hardened `{name}` to ({}, {}): achieved k = {}, {} dominators, spanner |E'| = {} @ epoch {}\n",
+                out.k, out.m, out.achieved_k, out.dominators, out.spanner_edges, out.epoch
+            ))
         }
         QueryAction::Stats { name } => {
             let s = c.stats(&name)?;
@@ -348,6 +365,10 @@ fn query(addr: &str, action: QueryAction) -> Result<String, CliError> {
             let _ = writeln!(out, "epoch        : {} (bundle cached: {})", s.epoch, s.cached);
             let _ = writeln!(out, "backbone     : |MIS| = {}, bridges = {}, spanner |E'| = {}", s.mis, s.bridges, s.spanner_edges);
             let _ = writeln!(out, "cache        : {} hits, {} misses, {} rebuilds", s.cache_hits, s.cache_misses, s.rebuilds);
+            if s.hardened_k > 0 {
+                let _ = writeln!(out, "resilience   : target ({}, {}), achieved k = {}", s.hardened_k, s.hardened_m, s.achieved_k);
+                let _ = writeln!(out, "availability : {} ok, {} degraded, {} unreachable, {} heals", s.routes_ok, s.routes_degraded, s.routes_unreachable, s.heals);
+            }
             Ok(out)
         }
         QueryAction::Mutate { name, mutation } => {

@@ -29,6 +29,10 @@
 //! * [`partition`] — grid-partitioned parallel Algorithm II for
 //!   city-scale inputs (n = 100k–1M), byte-identical to the sequential
 //!   construction;
+//! * [`resilient`] — (k, m)-resilient backbones: layered residual
+//!   re-runs of the MIS/bridge machinery give m-fold coverage, and
+//!   connector augmentation raises the induced core to k-connectivity
+//!   (the fault-tolerance generalization of ROADMAP item 4);
 //! * [`postprocess`] — redundant-dominator pruning (the engineering
 //!   side of the paper's "the bound … may be improved" remark);
 //! * [`audit`] — one-stop backbone quality report combining all of the
@@ -64,6 +68,7 @@ pub mod partition;
 pub mod postprocess;
 pub mod properties;
 pub mod ranking;
+pub mod resilient;
 pub mod spanner;
 pub mod wcds;
 

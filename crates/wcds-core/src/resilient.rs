@@ -1,0 +1,685 @@
+//! (k, m)-resilient backbones: m-fold coverage, k-connected core.
+//!
+//! The paper's Algorithm II backbone is a single point of failure per
+//! dominator: one crash uncovers its cluster until the repair engine
+//! heals it. This module generalizes the construction along the two
+//! axes the fault-tolerance literature names (Zhang et al.,
+//! arXiv:1510.05886, connected m-fold dominating sets; Fukunaga,
+//! arXiv:1511.09156, k-connected m-dominating sets in UDGs):
+//!
+//! * **m-fold coverage** — every non-dominator has at least `m`
+//!   dominator neighbors, so `m − 1` dominator crashes cannot uncover
+//!   any node;
+//! * **k-connected core** — the subgraph *induced* by the dominators is
+//!   k-vertex-connected (per component of the host graph), so the
+//!   backbone itself survives any `k − 1` dominator crashes.
+//!
+//! The construction is **layered**: layer `i` re-runs the paper's
+//! lex-first greedy MIS + 3-hop bridge machinery
+//! ([`crate::mis::greedy_mis`], [`select_additional_dominators`]) on
+//! the *residual* graph induced by the nodes no earlier layer selected.
+//! Layers are pairwise disjoint, and greedy-MIS maximality gives every
+//! never-selected node one MIS neighbor **per layer** — m-fold coverage
+//! falls out of the layering with no extra bookkeeping. Layer 1 is
+//! byte-identical to [`AlgorithmTwo`](crate::algo2::AlgorithmTwo), so a
+//! `(1, 1)` backbone *is* the paper's backbone (plus the connectors
+//! that upgrade weak connectivity to induced connectivity).
+//!
+//! Connectivity is then raised to `k` by **connector augmentation**:
+//! first a deterministic sweep joins the induced components of the
+//! dominator set through one- and two-node gray bridges (the 3-hop MIS
+//! gap bound guarantees such bridges exist), then a repair loop finds a
+//! cut witness below `k` ([`connectivity::vertex_cut_below`]) and adds
+//! the interior of a lex-first bypass path that avoids the cut. The
+//! loop terminates with connectivity `k` whenever the host component is
+//! itself k-connected; otherwise it stops at the host's own limit and
+//! [`ResilientBackbone::achieved_connectivity`] reports what was
+//! reached — construction never panics on an unfavourable topology.
+//!
+//! Everything here is serial and deterministic: same graph, same
+//! params, same backbone, independent of thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use wcds_core::resilient::{ResilientBackbone, ResilientParams};
+//! use wcds_geom::deploy;
+//! use wcds_graph::{connectivity, domination, UnitDiskGraph};
+//!
+//! let udg = UnitDiskGraph::build(deploy::uniform(180, 6.0, 6.0, 11), 1.0);
+//! let params = ResilientParams::new(2, 2).unwrap();
+//! let b = ResilientBackbone::construct(udg.graph(), params);
+//! assert!(domination::m_fold_coverage(udg.graph(), b.dominators(), 2));
+//! assert!(connectivity::backbone_k_connectivity(
+//!     udg.graph(),
+//!     b.dominators(),
+//!     b.achieved_connectivity(),
+//! ));
+//! ```
+
+use crate::algo2::select_additional_dominators;
+use crate::mis::{greedy_mis, RankingMode};
+use crate::wcds::Wcds;
+use std::fmt;
+use wcds_graph::{connectivity, traversal, Graph, NodeId};
+
+/// Maximum supported redundancy on either axis.
+pub const MAX_FOLD: u32 = 3;
+
+/// Repair-loop round cap per connectivity level: each round adds at
+/// least one connector or stops, so this only bites on adversarial
+/// topologies where the host graph is not k-connected to begin with.
+const REPAIR_ROUNDS: usize = 64;
+
+/// Target redundancy of a resilient backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResilientParams {
+    /// Target vertex connectivity of the induced backbone (`1..=3`).
+    pub k: u32,
+    /// Coverage multiplicity for non-dominators (`1..=3`).
+    pub m: u32,
+}
+
+/// Rejected [`ResilientParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError {
+    axis: &'static str,
+    got: u32,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} must be in 1..={MAX_FOLD}, got {}", self.axis, self.got)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl ResilientParams {
+    /// Validated params: both axes in `1..=`[`MAX_FOLD`].
+    pub fn new(k: u32, m: u32) -> Result<Self, ParamError> {
+        if !(1..=MAX_FOLD).contains(&k) {
+            return Err(ParamError { axis: "connectivity k", got: k });
+        }
+        if !(1..=MAX_FOLD).contains(&m) {
+            return Err(ParamError { axis: "coverage m", got: m });
+        }
+        Ok(Self { k, m })
+    }
+
+    /// The paper's plain backbone shape: `(k, m) = (1, 1)`.
+    pub fn plain() -> Self {
+        Self { k: 1, m: 1 }
+    }
+}
+
+/// A constructed (k, m)-backbone: disjoint dominator layers plus the
+/// connectors that raise the induced core to the target connectivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilientBackbone {
+    params: ResilientParams,
+    layers: Vec<Wcds>,
+    connectors: Vec<NodeId>,
+    achieved_k: u32,
+    dominators: Vec<NodeId>,
+}
+
+impl ResilientBackbone {
+    /// Runs the layered construction on `g`.
+    ///
+    /// Handles disconnected hosts (each component is treated
+    /// independently) and never panics: if `g` itself cannot support
+    /// the requested connectivity, the backbone is still built and
+    /// [`achieved_connectivity`](Self::achieved_connectivity) reports
+    /// the level that was actually reached.
+    pub fn construct(g: &Graph, params: ResilientParams) -> Self {
+        let n = g.node_count();
+        let mut active = vec![true; n];
+        let mut layers = Vec::with_capacity(params.m as usize);
+        for _ in 0..params.m {
+            let alive: Vec<NodeId> = (0..n).filter(|&u| is_set(&active, u)).collect();
+            let residual = g.induced(&alive);
+            // inactive nodes are isolated in the residual graph, so the
+            // lex-first greedy admits them all; they are phantoms of
+            // earlier layers and are filtered out. Isolated *active*
+            // nodes correctly join: nobody else can cover them.
+            let mis_full = greedy_mis(&residual, RankingMode::StaticId);
+            let mis: Vec<NodeId> =
+                mis_full.iter().copied().filter(|&u| is_set(&active, u)).collect();
+            // bridge intermediates are residual-neighbors of MIS
+            // anchors, hence always active
+            let bridges = select_additional_dominators(&residual, &mis_full);
+            for &u in mis.iter().chain(bridges.iter()) {
+                clear(&mut active, u);
+            }
+            layers.push(Wcds::new(mis, bridges));
+        }
+
+        let mut in_d = vec![false; n];
+        for layer in &layers {
+            for &u in layer.nodes() {
+                mark(&mut in_d, u);
+            }
+        }
+        let mut connectors = Vec::new();
+        connect_core(g, &mut in_d, &mut connectors);
+        for level in 2..=params.k {
+            raise_connectivity(g, &mut in_d, &mut connectors, level);
+        }
+        connectors.sort_unstable();
+
+        let dominators: Vec<NodeId> = (0..n).filter(|&u| is_set(&in_d, u)).collect();
+        let mut achieved_k = 0;
+        for level in (1..=params.k).rev() {
+            if connectivity::backbone_k_connectivity(g, &dominators, level) {
+                achieved_k = level;
+                break;
+            }
+        }
+        Self { params, layers, connectors, achieved_k, dominators }
+    }
+
+    /// The requested redundancy.
+    pub fn params(&self) -> ResilientParams {
+        self.params
+    }
+
+    /// The `m` disjoint dominator layers; layer 0 is byte-identical to
+    /// [`AlgorithmTwo`](crate::algo2::AlgorithmTwo) on the same graph.
+    pub fn layers(&self) -> &[Wcds] {
+        &self.layers
+    }
+
+    /// Connector nodes added by the connectivity augmentation, sorted.
+    pub fn connectors(&self) -> &[NodeId] {
+        &self.connectors
+    }
+
+    /// The vertex connectivity actually verified for the induced core
+    /// (≤ `params.k`; lower only when the host graph itself is not
+    /// k-connected in some component).
+    pub fn achieved_connectivity(&self) -> u32 {
+        self.achieved_k
+    }
+
+    /// All dominators across layers and connectors, sorted ascending.
+    pub fn dominators(&self) -> &[NodeId] {
+        &self.dominators
+    }
+
+    /// Total backbone size.
+    pub fn len(&self) -> usize {
+        self.dominators.len()
+    }
+
+    /// Whether the backbone is empty (only for the empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.dominators.is_empty()
+    }
+
+    /// The whole backbone as one [`Wcds`]: clusterheads are the union
+    /// of the layer MISes (so every node keeps an adjacent head — layer
+    /// 1 already dominates), additional dominators are the bridges and
+    /// connectors. This is the shape the router and the service bundle
+    /// consume.
+    pub fn merged_wcds(&self) -> Wcds {
+        let mut mis = Vec::new();
+        let mut additional = self.connectors.clone();
+        for layer in &self.layers {
+            mis.extend_from_slice(layer.mis_dominators());
+            additional.extend_from_slice(layer.additional_dominators());
+        }
+        Wcds::new(mis, additional)
+    }
+
+    /// The weakly induced spanner of the merged backbone.
+    pub fn spanner(&self, g: &Graph) -> Graph {
+        g.weakly_induced(&self.dominators)
+    }
+}
+
+// ---------------------------------------------------------------------
+// connector augmentation
+
+/// Phase A: joins the induced components of the dominator set inside
+/// each host component, using single gray nodes first and then
+/// adjacent gray pairs. Because layer 1 is a maximal independent set,
+/// complementary dominator subsets sit at most 3 hops apart (the
+/// paper's Lemma 3), so the two sweeps always finish the job on a
+/// connected host.
+fn connect_core(g: &Graph, in_d: &mut [bool], connectors: &mut Vec<NodeId>) {
+    let n = g.node_count();
+    let mut dsu = Dsu::new(n);
+    for u in 0..n {
+        if !is_set(in_d, u) {
+            continue;
+        }
+        for v in g.adj(u) {
+            if is_set(in_d, v) {
+                dsu.union(u, v);
+            }
+        }
+    }
+    loop {
+        let mut progress = false;
+        // single gray nodes spanning two or more dominator components
+        for x in 0..n {
+            if is_set(in_d, x) {
+                continue;
+            }
+            let mut first = usize::MAX;
+            let mut joins = false;
+            for v in g.adj(x) {
+                if !is_set(in_d, v) {
+                    continue;
+                }
+                let r = dsu.find(v);
+                if first == usize::MAX {
+                    first = r;
+                } else if r != first {
+                    joins = true;
+                    break;
+                }
+            }
+            if joins {
+                mark(in_d, x);
+                connectors.push(x);
+                for v in g.adj(x) {
+                    if is_set(in_d, v) {
+                        dsu.union(x, v);
+                    }
+                }
+                progress = true;
+            }
+        }
+        // adjacent gray pairs bridging a 3-hop dominator gap
+        for x in 0..n {
+            if is_set(in_d, x) {
+                continue;
+            }
+            let rx = dominator_root(g, &mut dsu, in_d, x);
+            let Some(rx) = rx else { continue };
+            let mut partner = usize::MAX;
+            for y in g.adj(x) {
+                if is_set(in_d, y) {
+                    continue;
+                }
+                match dominator_root(g, &mut dsu, in_d, y) {
+                    Some(ry) if ry != rx => {
+                        partner = y;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if partner != usize::MAX {
+                for u in [x, partner] {
+                    mark(in_d, u);
+                    connectors.push(u);
+                    for v in g.adj(u) {
+                        if is_set(in_d, v) {
+                            dsu.union(u, v);
+                        }
+                    }
+                }
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+}
+
+/// The component root of `x`'s first dominator neighbor, if any.
+fn dominator_root(g: &Graph, dsu: &mut Dsu, in_d: &[bool], x: NodeId) -> Option<usize> {
+    g.adj(x).find(|&v| is_set(in_d, v)).map(|v| dsu.find(v))
+}
+
+/// Phase B: repairs vertex cuts below `level` by routing a lex-first
+/// bypass path around each cut witness and promoting its gray interior
+/// to connectors. Stops when the core verifies at `level` or when a
+/// witness admits no bypass (the host component is not that connected).
+fn raise_connectivity(
+    g: &Graph,
+    in_d: &mut [bool],
+    connectors: &mut Vec<NodeId>,
+    level: u32,
+) {
+    for _ in 0..REPAIR_ROUNDS {
+        let d: Vec<NodeId> = (0..g.node_count()).filter(|&u| is_set(in_d, u)).collect();
+        let Some((cut, u, w)) = cut_witness(g, &d, level) else { return };
+        let mut banned = vec![false; g.node_count()];
+        for &c in &cut {
+            mark(&mut banned, c);
+        }
+        let Some(path) = bfs_path_avoiding(g, u, w, &banned) else { return };
+        let mut added = false;
+        for &p in &path {
+            if !is_set(in_d, p) {
+                mark(in_d, p);
+                connectors.push(p);
+                added = true;
+            }
+        }
+        // a bypass with an all-dominator interior would contradict the
+        // cut witness, but stop rather than loop if it ever happens
+        if !added {
+            return;
+        }
+    }
+}
+
+/// A connectivity-`level` violation in the induced core: the offending
+/// cut (host ids) plus the lex-smallest separated dominator pair.
+/// `None` when every host-component group verifies at `level`.
+fn cut_witness(g: &Graph, d: &[NodeId], level: u32) -> Option<(Vec<NodeId>, NodeId, NodeId)> {
+    let mut comp = vec![usize::MAX; g.node_count()];
+    for (i, c) in traversal::connected_components(g).iter().enumerate() {
+        for &u in c {
+            set_val(&mut comp, u, i);
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for &u in d {
+        groups.entry(comp.get(u).copied().unwrap_or(usize::MAX)).or_default().push(u);
+    }
+    for grp in groups.values() {
+        if grp.len() <= 1 {
+            continue;
+        }
+        let sub = g.induced(grp);
+        let Some(cut) = subset_cut_below(&sub, grp, level) else { continue };
+        // lex-smallest separated pair: the two smallest group nodes in
+        // distinct components of the group minus the cut
+        let mut banned = vec![false; g.node_count()];
+        for &c in &cut {
+            mark(&mut banned, c);
+        }
+        let mut seen = vec![false; g.node_count()];
+        let mut u = usize::MAX;
+        let mut w = usize::MAX;
+        for &s in grp {
+            if is_set(&banned, s) || is_set(&seen, s) {
+                continue;
+            }
+            if u == usize::MAX {
+                u = s;
+            } else {
+                w = s;
+                break;
+            }
+            // flood s's component in the cut-free induced subgraph
+            let mut queue = std::collections::VecDeque::from([s]);
+            mark(&mut seen, s);
+            while let Some(x) = queue.pop_front() {
+                for y in sub.adj(x) {
+                    if !is_set(&banned, y) && !is_set(&seen, y) {
+                        mark(&mut seen, y);
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        if u != usize::MAX && w != usize::MAX {
+            return Some((cut, u, w));
+        }
+    }
+    None
+}
+
+/// A vertex cut of size `< level` for the dominator group `grp` inside
+/// its induced (host-id-space) subgraph `sub`, mapped back to host ids.
+fn subset_cut_below(sub: &Graph, grp: &[NodeId], level: u32) -> Option<Vec<NodeId>> {
+    let compact = compact_induced(sub, grp);
+    connectivity::vertex_cut_below(&compact, level)
+        .map(|cut| cut.iter().filter_map(|&i| grp.get(i).copied()).collect())
+}
+
+/// Re-numbers `grp` (sorted host ids) to `0..grp.len()` with the edges
+/// `sub` gives them.
+fn compact_induced(sub: &Graph, grp: &[NodeId]) -> Graph {
+    let mut idx = vec![usize::MAX; sub.node_count()];
+    for (i, &u) in grp.iter().enumerate() {
+        set_val(&mut idx, u, i);
+    }
+    let mut edges = Vec::new();
+    for (i, &u) in grp.iter().enumerate() {
+        for v in sub.adj(u) {
+            let j = idx.get(v).copied().unwrap_or(usize::MAX);
+            if j != usize::MAX && j > i {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::from_edges(grp.len(), edges)
+}
+
+/// Lex-first BFS path from `from` to `to` avoiding `banned` nodes.
+fn bfs_path_avoiding(
+    g: &Graph,
+    from: NodeId,
+    to: NodeId,
+    banned: &[bool],
+) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    if is_set(banned, from) || is_set(banned, to) {
+        return None;
+    }
+    let n = g.node_count();
+    let mut parent = vec![usize::MAX; n];
+    set_val(&mut parent, from, from);
+    let mut queue = std::collections::VecDeque::from([from]);
+    'bfs: while let Some(x) = queue.pop_front() {
+        for y in g.adj(x) {
+            if is_set(banned, y) || parent.get(y).copied().unwrap_or(0) != usize::MAX {
+                continue;
+            }
+            set_val(&mut parent, y, x);
+            if y == to {
+                break 'bfs;
+            }
+            queue.push_back(y);
+        }
+    }
+    if parent.get(to).copied().unwrap_or(usize::MAX) == usize::MAX {
+        return None;
+    }
+    let mut path = vec![to];
+    let mut x = to;
+    while x != from {
+        x = parent.get(x).copied().unwrap_or(from);
+        path.push(x);
+    }
+    path.reverse();
+    Some(path)
+}
+
+// ---------------------------------------------------------------------
+// small helpers (strict-file policy: no slice indexing, no narrow casts)
+
+fn is_set(bits: &[bool], u: usize) -> bool {
+    bits.get(u).copied().unwrap_or(false)
+}
+
+fn mark(bits: &mut [bool], u: usize) {
+    if let Some(b) = bits.get_mut(u) {
+        *b = true;
+    }
+}
+
+fn clear(bits: &mut [bool], u: usize) {
+    if let Some(b) = bits.get_mut(u) {
+        *b = false;
+    }
+}
+
+fn set_val(v: &mut [usize], at: usize, val: usize) {
+    if let Some(slot) = v.get_mut(at) {
+        *slot = val;
+    }
+}
+
+/// Path-halving union-find over host node ids.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent.get(x).copied().unwrap_or(x);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent.get(p).copied().unwrap_or(p);
+            set_val(&mut self.parent, x, gp);
+            x = gp;
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        // deterministic: smaller root wins
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        set_val(&mut self.parent, hi, lo);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo2::AlgorithmTwo;
+    use wcds_geom::deploy;
+    use wcds_graph::{domination, generators, UnitDiskGraph};
+
+    fn udg(n: usize, side: f64, seed: u64) -> UnitDiskGraph {
+        UnitDiskGraph::build(deploy::uniform(n, side, side, seed), 1.0)
+    }
+
+    #[test]
+    fn plain_layer_matches_algorithm_two_exactly() {
+        for seed in 0..8 {
+            let g = udg(150, 6.0, seed);
+            let b = ResilientBackbone::construct(
+                g.graph(),
+                ResilientParams::plain(),
+            );
+            let (mis, additional) = AlgorithmTwo::new().construct_parts(g.graph());
+            let layer = &b.layers()[0];
+            assert_eq!(layer.mis_dominators(), &mis[..], "seed {seed}");
+            assert_eq!(layer.additional_dominators(), &additional[..], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layers_are_disjoint_and_cover_m_fold() {
+        for seed in 0..6 {
+            let g = udg(200, 6.5, seed);
+            for m in 1..=3u32 {
+                let b = ResilientBackbone::construct(
+                    g.graph(),
+                    ResilientParams::new(1, m).unwrap(),
+                );
+                let mut seen = std::collections::BTreeSet::new();
+                for layer in b.layers() {
+                    for &u in layer.nodes() {
+                        assert!(seen.insert(u), "seed {seed} m {m}: layer overlap at {u}");
+                    }
+                }
+                assert!(
+                    domination::m_fold_coverage(g.graph(), b.dominators(), m as usize),
+                    "seed {seed} m {m}: coverage violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let g = udg(180, 6.0, 5);
+        let p = ResilientParams::new(2, 2).unwrap();
+        let a = ResilientBackbone::construct(g.graph(), p);
+        let b = ResilientBackbone::construct(g.graph(), p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merged_wcds_is_a_valid_wcds() {
+        for seed in 0..4 {
+            let g = udg(160, 6.0, seed);
+            for (k, m) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+                let b = ResilientBackbone::construct(
+                    g.graph(),
+                    ResilientParams::new(k, m).unwrap(),
+                );
+                assert!(
+                    b.merged_wcds().is_valid(g.graph()),
+                    "seed {seed} ({k},{m}): merged WCDS invalid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_hosts_are_handled_per_component() {
+        // two far-apart clusters
+        let mut pts = deploy::uniform(60, 3.0, 3.0, 9);
+        pts.extend(deploy::uniform(60, 3.0, 3.0, 10).iter().map(|p| {
+            wcds_geom::Point::new(p.x + 50.0, p.y + 50.0)
+        }));
+        let g = UnitDiskGraph::build(pts, 1.0);
+        let b = ResilientBackbone::construct(
+            g.graph(),
+            ResilientParams::new(2, 2).unwrap(),
+        );
+        assert!(domination::m_fold_coverage(g.graph(), b.dominators(), 2));
+        assert!(connectivity::backbone_k_connectivity(
+            g.graph(),
+            b.dominators(),
+            b.achieved_connectivity()
+        ));
+    }
+
+    #[test]
+    fn achieved_connectivity_is_honest_on_a_path() {
+        // a path can never yield a 2-connected core
+        let g = generators::path(9);
+        let b = ResilientBackbone::construct(&g, ResilientParams::new(2, 1).unwrap());
+        assert_eq!(b.achieved_connectivity(), 1);
+        assert!(connectivity::backbone_k_connectivity(&g, b.dominators(), 1));
+    }
+
+    #[test]
+    fn params_are_validated() {
+        assert!(ResilientParams::new(0, 1).is_err());
+        assert!(ResilientParams::new(1, 4).is_err());
+        assert!(ResilientParams::new(3, 3).is_ok());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let b = ResilientBackbone::construct(
+            &Graph::empty(0),
+            ResilientParams::new(2, 2).unwrap(),
+        );
+        assert!(b.is_empty());
+        let b = ResilientBackbone::construct(
+            &Graph::empty(1),
+            ResilientParams::new(2, 2).unwrap(),
+        );
+        assert_eq!(b.dominators(), &[0]);
+    }
+}

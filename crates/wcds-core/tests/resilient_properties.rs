@@ -1,0 +1,134 @@
+//! Property sweep for the (k, m)-resilient backbones (ISSUE 7
+//! acceptance: m-fold coverage and backbone k-connectivity for
+//! k, m ∈ {1, 2} across ≥ 20 seeds, plus the k = 3 flow checker on
+//! denser instances).
+
+use wcds_core::resilient::{ResilientBackbone, ResilientParams};
+use wcds_geom::deploy;
+use wcds_graph::{connectivity, domination, traversal, UnitDiskGraph};
+
+fn udg(n: usize, side: f64, seed: u64) -> UnitDiskGraph {
+    UnitDiskGraph::build(deploy::uniform(n, side, side, seed), 1.0)
+}
+
+#[test]
+fn coverage_and_connectivity_hold_across_twenty_seeds() {
+    for seed in 0..20u64 {
+        let g = udg(180, 6.0, seed);
+        for (k, m) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            let params = ResilientParams::new(k, m).unwrap();
+            let b = ResilientBackbone::construct(g.graph(), params);
+            assert!(
+                domination::m_fold_coverage(g.graph(), b.dominators(), m as usize),
+                "seed {seed} ({k},{m}): m-fold coverage violated"
+            );
+            // whenever the host supports level k, the construction must
+            // reach it; either way the reported level must verify
+            let host_k = (1..=k)
+                .rev()
+                .find(|&level| connectivity::is_k_connected(g.graph(), level))
+                .unwrap_or(0);
+            assert!(
+                b.achieved_connectivity() >= host_k.min(k),
+                "seed {seed} ({k},{m}): achieved {} < host-supported {host_k}",
+                b.achieved_connectivity()
+            );
+            assert!(
+                connectivity::backbone_k_connectivity(
+                    g.graph(),
+                    b.dominators(),
+                    b.achieved_connectivity()
+                ),
+                "seed {seed} ({k},{m}): reported connectivity does not verify"
+            );
+            // layers stay pairwise disjoint and each layer's MIS is
+            // independent in the host graph
+            let mut seen = std::collections::BTreeSet::new();
+            for layer in b.layers() {
+                assert!(
+                    domination::is_independent_set(g.graph(), layer.mis_dominators()),
+                    "seed {seed} ({k},{m}): layer MIS not independent"
+                );
+                for &u in layer.nodes() {
+                    assert!(seen.insert(u), "seed {seed} ({k},{m}): layers overlap");
+                }
+            }
+            for &c in b.connectors() {
+                assert!(seen.insert(c), "seed {seed} ({k},{m}): connector overlaps layer");
+            }
+        }
+    }
+}
+
+#[test]
+fn twenty_seeds_survive_any_single_dominator_loss_at_k2m2() {
+    // the semantic payoff: with (k, m) = (2, 2), deleting ANY single
+    // dominator leaves a backbone that still dominates and still has a
+    // connected core
+    for seed in 0..20u64 {
+        let g = udg(150, 5.0, seed);
+        if !traversal::is_connected(g.graph()) {
+            continue;
+        }
+        let b =
+            ResilientBackbone::construct(g.graph(), ResilientParams::new(2, 2).unwrap());
+        if b.achieved_connectivity() < 2 {
+            continue; // host graph itself had a cut vertex
+        }
+        for &dead in b.dominators() {
+            let survivors: Vec<usize> =
+                b.dominators().iter().copied().filter(|&u| u != dead).collect();
+            assert!(
+                domination::is_dominating_set(g.graph(), &survivors)
+                    || domination::m_fold_deficient_nodes(g.graph(), &survivors, 1)
+                        .iter()
+                        .all(|&u| u == dead),
+                "seed {seed}: killing dominator {dead} uncovered a third node"
+            );
+            assert!(
+                connectivity::backbone_k_connectivity(g.graph(), &survivors, 1),
+                "seed {seed}: killing dominator {dead} disconnected the core"
+            );
+        }
+    }
+}
+
+#[test]
+fn k3_backbone_on_dense_instances() {
+    // denser deployments support 3-connected cores; the flow-based
+    // checker must agree with the construction's report
+    for seed in 0..5u64 {
+        let g = udg(120, 3.4, seed);
+        let b =
+            ResilientBackbone::construct(g.graph(), ResilientParams::new(3, 1).unwrap());
+        assert!(
+            connectivity::backbone_k_connectivity(
+                g.graph(),
+                b.dominators(),
+                b.achieved_connectivity()
+            ),
+            "seed {seed}: reported k={} does not verify",
+            b.achieved_connectivity()
+        );
+        if connectivity::is_k_connected(g.graph(), 3) {
+            assert_eq!(
+                b.achieved_connectivity(),
+                3,
+                "seed {seed}: host is 3-connected but construction fell short"
+            );
+        }
+    }
+}
+
+#[test]
+fn m3_coverage_on_dense_instances() {
+    for seed in 0..5u64 {
+        let g = udg(150, 4.0, seed);
+        let b =
+            ResilientBackbone::construct(g.graph(), ResilientParams::new(1, 3).unwrap());
+        assert!(
+            domination::m_fold_coverage(g.graph(), b.dominators(), 3),
+            "seed {seed}: 3-fold coverage violated"
+        );
+    }
+}

@@ -76,6 +76,209 @@ pub fn survives_node_removal(g: &Graph, u: NodeId) -> bool {
     count == n - 1
 }
 
+/// A vertex cut of size `< k` whose removal disconnects `g`, or `None`
+/// if no such cut exists.
+///
+/// `None` means `g` is *k-resilient*: it stays connected after **any**
+/// `k − 1` node deletions. This is the standard k-vertex-connectivity
+/// condition relaxed at small orders — complete graphs pass for every
+/// `k` (removing nodes from a clique can never disconnect it), which is
+/// the convention a backbone-survivability check wants. An already
+/// disconnected graph yields the empty cut.
+///
+/// `k ≤ 1` reduces to connectivity; `k = 2` uses the Hopcroft–Tarjan
+/// articulation pass; larger `k` runs a Menger flow sweep (unit node
+/// capacities via node splitting) over the `k` smallest nodes — any cut
+/// `C` with `|C| < k` misses at least one probe `s`, and a node `t` cut
+/// off from `s` is necessarily non-adjacent to it, so the `s`–`t`
+/// max-flow exposes `C` (or a smaller cut).
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{connectivity, generators};
+///
+/// let path = generators::path(4);
+/// assert_eq!(connectivity::vertex_cut_below(&path, 2), Some(vec![1]));
+/// let cycle = generators::cycle(5);
+/// assert_eq!(connectivity::vertex_cut_below(&cycle, 2), None);
+/// assert!(connectivity::vertex_cut_below(&cycle, 3).is_some());
+/// assert_eq!(connectivity::vertex_cut_below(&generators::complete(4), 3), None);
+/// ```
+pub fn vertex_cut_below(g: &Graph, k: u32) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    if n <= 1 {
+        return None;
+    }
+    if !crate::traversal::is_connected(g) {
+        return Some(Vec::new());
+    }
+    if k <= 1 {
+        return None;
+    }
+    if k == 2 {
+        return articulation_points(g).first().map(|&a| vec![a]);
+    }
+    let probes = n.min(k as usize);
+    for s in 0..probes {
+        for t in 0..n {
+            if t == s || g.has_edge(s, t) {
+                continue;
+            }
+            let (flow, cut) = vertex_disjoint_paths(g, s, t, k);
+            if flow < k {
+                return Some(cut);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `g` stays connected after any `k − 1` node deletions
+/// (see [`vertex_cut_below`] for the exact convention at small orders).
+pub fn is_k_connected(g: &Graph, k: u32) -> bool {
+    vertex_cut_below(g, k).is_none()
+}
+
+/// Whether the backbone `s` induces a k-connected subgraph **within
+/// every connected component of `g`**.
+///
+/// The backbone nodes are grouped by the `g`-component containing
+/// them; each group's induced subgraph (edges of `g` with both
+/// endpoints in the group) must satisfy [`is_k_connected`]. Groups of
+/// size ≤ 1 pass vacuously. Grouping per component makes the check
+/// meaningful mid-storm, when `g` itself may already be partitioned.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{connectivity, generators};
+///
+/// // C6: opposite triangle {0, 2, 4} induces no edges — not connected
+/// let g = generators::cycle(6);
+/// assert!(!connectivity::backbone_k_connectivity(&g, &[0, 2, 4], 1));
+/// assert!(connectivity::backbone_k_connectivity(&g, &[0, 1, 2], 1));
+/// assert!(!connectivity::backbone_k_connectivity(&g, &[0, 1, 2], 2));
+/// ```
+pub fn backbone_k_connectivity(g: &Graph, s: &[NodeId], k: u32) -> bool {
+    let mut comp = vec![usize::MAX; g.node_count()];
+    for (i, c) in crate::traversal::connected_components(g).iter().enumerate() {
+        for &u in c {
+            comp[u] = i;
+        }
+    }
+    let mut sorted: Vec<NodeId> = s.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for &u in &sorted {
+        groups.entry(comp[u]).or_default().push(u);
+    }
+    groups.values().all(|grp| {
+        grp.len() <= 1 || is_k_connected(&compact_induced(g, grp), k)
+    })
+}
+
+/// The subgraph induced by the sorted node list `s`, re-numbered
+/// `0..s.len()` (unlike [`Graph::induced`], which keeps the host id
+/// space and leaves non-members isolated).
+fn compact_induced(g: &Graph, s_sorted: &[NodeId]) -> Graph {
+    let mut idx = vec![usize::MAX; g.node_count()];
+    for (i, &u) in s_sorted.iter().enumerate() {
+        idx[u] = i;
+    }
+    let mut edges = Vec::new();
+    for (i, &u) in s_sorted.iter().enumerate() {
+        for v in g.adj(u) {
+            let j = idx[v];
+            if j != usize::MAX && j > i {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::from_edges(s_sorted.len(), edges)
+}
+
+/// Unit-node-capacity max flow between `s` and `t` (node splitting:
+/// `in(v) = 2v`, `out(v) = 2v + 1`), stopped at `limit`. Returns the
+/// attained flow and, when it is below `limit`, the minimum `s`–`t`
+/// vertex cut read off the residual reachability frontier.
+fn vertex_disjoint_paths(g: &Graph, s: NodeId, t: NodeId, limit: u32) -> (u32, Vec<NodeId>) {
+    let n = g.node_count();
+    // edge arrays: edge i and its reverse i^1 are adjacent
+    let mut to: Vec<u32> = Vec::new();
+    let mut cap: Vec<u32> = Vec::new();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+    let push = |adj: &mut Vec<Vec<u32>>, to: &mut Vec<u32>, cap: &mut Vec<u32>,
+                    a: usize, b: usize, c: u32| {
+        adj[a].push(to.len() as u32);
+        to.push(b as u32);
+        cap.push(c);
+        adj[b].push(to.len() as u32);
+        to.push(a as u32);
+        cap.push(0);
+    };
+    for v in 0..n {
+        push(&mut adj, &mut to, &mut cap, 2 * v, 2 * v + 1, 1);
+        for w in g.adj(v) {
+            push(&mut adj, &mut to, &mut cap, 2 * v + 1, 2 * w, limit);
+        }
+    }
+    let src = 2 * s + 1;
+    let dst = 2 * t;
+
+    let mut flow = 0u32;
+    let mut parent: Vec<u32> = vec![u32::MAX; 2 * n];
+    let mut queue = std::collections::VecDeque::new();
+    while flow < limit {
+        parent.iter_mut().for_each(|p| *p = u32::MAX);
+        parent[src] = u32::MAX - 1; // visited marker with no incoming edge
+        queue.clear();
+        queue.push_back(src);
+        while let Some(x) = queue.pop_front() {
+            if x == dst {
+                break;
+            }
+            for &e in &adj[x] {
+                let y = to[e as usize] as usize;
+                if cap[e as usize] > 0 && parent[y] == u32::MAX {
+                    parent[y] = e;
+                    queue.push_back(y);
+                }
+            }
+        }
+        if parent[dst] == u32::MAX {
+            break; // no augmenting path
+        }
+        // bottleneck and augment (internal arcs make it 1 in practice)
+        let mut bottleneck = limit;
+        let mut x = dst;
+        while x != src {
+            let e = parent[x] as usize;
+            bottleneck = bottleneck.min(cap[e]);
+            x = to[e ^ 1] as usize;
+        }
+        let mut x = dst;
+        while x != src {
+            let e = parent[x] as usize;
+            cap[e] -= bottleneck;
+            cap[e ^ 1] += bottleneck;
+            x = to[e ^ 1] as usize;
+        }
+        flow += bottleneck;
+    }
+    if flow >= limit {
+        return (flow, Vec::new());
+    }
+    // min cut: nodes whose in-half is residual-reachable from src but
+    // whose out-half is not — the saturated internal arcs
+    let cut = (0..n)
+        .filter(|&v| parent[2 * v] != u32::MAX && parent[2 * v + 1] == u32::MAX)
+        .collect();
+    (flow, cut)
+}
+
 struct LowpointState {
     is_cut: Vec<bool>,
     bridges: Vec<Edge>,
@@ -223,5 +426,78 @@ mod tests {
         assert!(articulation_points(&Graph::empty(1)).is_empty());
         assert!(articulation_points(&generators::path(2)).is_empty());
         assert!(survives_node_removal(&generators::path(2), 0));
+    }
+
+    /// Connectivity of `g` after deleting the node set `kill`.
+    fn connected_without(g: &Graph, kill: &[NodeId]) -> bool {
+        let n = g.node_count();
+        let dead = g.membership(kill);
+        let Some(start) = (0..n).find(|&u| !dead[u]) else { return true };
+        let mut seen = dead.clone();
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        let mut count = 1;
+        while let Some(x) = queue.pop_front() {
+            for y in g.adj(x) {
+                if !seen[y] {
+                    seen[y] = true;
+                    count += 1;
+                    queue.push_back(y);
+                }
+            }
+        }
+        count == n - kill.len()
+    }
+
+    #[test]
+    fn vertex_cut_below_matches_brute_force_removal() {
+        for seed in 0..30u64 {
+            let g = generators::connected_gnp(12, 0.3, seed);
+            for k in 1..=3u32 {
+                let brute = match k {
+                    1 => true,
+                    2 => (0..12).all(|u| connected_without(&g, &[u])),
+                    _ => (0..12).all(|u| {
+                        (u + 1..12).all(|v| connected_without(&g, &[u, v]))
+                    }),
+                };
+                assert_eq!(
+                    is_k_connected(&g, k),
+                    brute,
+                    "seed {seed} k {k} disagrees with brute force"
+                );
+                if let Some(cut) = vertex_cut_below(&g, k) {
+                    assert!(cut.len() < k as usize, "seed {seed}: cut too large");
+                    assert!(
+                        !connected_without(&g, &cut),
+                        "seed {seed} k {k}: witness cut {cut:?} does not disconnect"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_connectivity_known_families() {
+        assert!(is_k_connected(&generators::cycle(8), 2));
+        assert!(!is_k_connected(&generators::cycle(8), 3));
+        assert!(!is_k_connected(&generators::path(5), 2));
+        // cliques are k-resilient for every k (no cut disconnects them)
+        for k in 1..=4 {
+            assert!(is_k_connected(&generators::complete(4), k));
+        }
+        assert!(is_k_connected(&Graph::empty(1), 3));
+        assert_eq!(vertex_cut_below(&Graph::empty(2), 1), Some(vec![]));
+    }
+
+    #[test]
+    fn backbone_groups_are_checked_per_component() {
+        // two disjoint triangles: each triangle's backbone is judged
+        // inside its own component
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert!(backbone_k_connectivity(&g, &[0, 1, 2, 3, 4, 5], 2));
+        assert!(backbone_k_connectivity(&g, &[0, 3], 2)); // singleton groups
+        assert!(backbone_k_connectivity(&g, &[0, 1, 3], 2)); // K2 group: clique convention
+        assert!(!backbone_k_connectivity(&generators::path(3), &[0, 1, 2], 2));
     }
 }

@@ -99,6 +99,34 @@ pub fn undominated_nodes(g: &Graph, s: &[NodeId]) -> Vec<NodeId> {
         .collect()
 }
 
+/// Whether every node **outside** `s` has at least `m` neighbors in
+/// `s` (the *m-fold domination* condition of Zhang et al.'s connected
+/// m-fold dominating sets). Members of `s` are exempt: a dominator
+/// covers itself by being in the backbone.
+///
+/// # Examples
+///
+/// ```
+/// use wcds_graph::{domination, generators};
+///
+/// // C4: each node has both neighbors in the opposite pair
+/// let g = generators::cycle(4);
+/// assert!(domination::m_fold_coverage(&g, &[0, 2], 2));
+/// assert!(!domination::m_fold_coverage(&g, &[0], 2));
+/// ```
+pub fn m_fold_coverage(g: &Graph, s: &[NodeId], m: usize) -> bool {
+    m_fold_deficient_nodes(g, s, m).is_empty()
+}
+
+/// Nodes outside `s` with fewer than `m` neighbors in `s` (witnesses
+/// that `s` fails m-fold coverage). Empty iff [`m_fold_coverage`] holds.
+pub fn m_fold_deficient_nodes(g: &Graph, s: &[NodeId], m: usize) -> Vec<NodeId> {
+    let in_s = g.membership(s);
+    g.nodes()
+        .filter(|&u| !in_s[u] && g.adj(u).filter(|&v| in_s[v]).count() < m)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,7 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, Mutation, Request, Response, TopologyStats,
     WireError,
 };
+use crate::store::{BroadcastOutcome, HardenOutcome, RouteOutcome};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -188,29 +189,61 @@ impl Client {
         }
     }
 
-    /// Routes `from → to` over the backbone.
+    /// Routes `from → to` over the backbone. An unreachable destination
+    /// comes back as `Ok(RouteOutcome::Degraded { unreachable })`, not
+    /// an error.
     ///
     /// # Errors
     ///
-    /// See [`Client::request`]; server errors include `out-of-range`
-    /// and `unroutable`.
-    pub fn route(&mut self, name: &str, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, ClientError> {
+    /// See [`Client::request`]; server errors include `out-of-range`.
+    pub fn route(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<RouteOutcome, ClientError> {
         match self.call(&Request::Route { name: name.into(), from, to })? {
-            Response::Routed { path } => Ok(path),
-            _ => Err(ClientError::Protocol("expected Routed")),
+            Response::Routed { path } => Ok(RouteOutcome::Path(path)),
+            Response::Degraded { unreachable } => Ok(RouteOutcome::Degraded { unreachable }),
+            _ => Err(ClientError::Protocol("expected Routed or Degraded")),
         }
     }
 
-    /// Backbone broadcast from `source`; returns
-    /// `(forwarders, informed)`.
+    /// Backbone broadcast from `source`. A partitioned topology comes
+    /// back as `Ok(BroadcastOutcome::Degraded { unreachable })`.
     ///
     /// # Errors
     ///
     /// See [`Client::request`].
-    pub fn broadcast(&mut self, name: &str, source: NodeId) -> Result<(u64, u64), ClientError> {
+    pub fn broadcast(
+        &mut self,
+        name: &str,
+        source: NodeId,
+    ) -> Result<BroadcastOutcome, ClientError> {
         match self.call(&Request::Broadcast { name: name.into(), source })? {
-            Response::Broadcasted { forwarders, informed } => Ok((forwarders, informed)),
-            _ => Err(ClientError::Protocol("expected Broadcasted")),
+            Response::Broadcasted { forwarders, informed } => {
+                Ok(BroadcastOutcome::Done { forwarders, informed })
+            }
+            Response::Degraded { unreachable } => {
+                Ok(BroadcastOutcome::Degraded { unreachable })
+            }
+            _ => Err(ClientError::Protocol("expected Broadcasted or Degraded")),
+        }
+    }
+
+    /// Upgrades the topology to a (k, m)-resilient backbone (degraded-
+    /// mode serving included).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server errors include `out-of-range`
+    /// for k or m outside the supported fold range.
+    pub fn harden(&mut self, name: &str, k: u64, m: u64) -> Result<HardenOutcome, ClientError> {
+        match self.call(&Request::Harden { name: name.into(), k, m })? {
+            Response::Hardened { k, m, achieved_k, dominators, spanner_edges, epoch } => {
+                Ok(HardenOutcome { k, m, achieved_k, dominators, spanner_edges, epoch })
+            }
+            _ => Err(ClientError::Protocol("expected Hardened")),
         }
     }
 

@@ -29,12 +29,14 @@
 //! # Quick start
 //!
 //! ```
-//! use wcds_service::{Client, Server, ServerConfig, Store};
+//! use wcds_service::{Client, RouteOutcome, Server, ServerConfig, Store};
 //!
 //! let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
 //! let mut client = Client::connect(handle.local_addr()).unwrap();
 //! client.create("demo", "nodes 3\nedge 0 1\nedge 1 2\n").unwrap();
-//! let path = client.route("demo", 0, 2).unwrap();
+//! let RouteOutcome::Path(path) = client.route("demo", 0, 2).unwrap() else {
+//!     panic!("connected topology must route");
+//! };
 //! assert_eq!(path.first(), Some(&0));
 //! assert_eq!(path.last(), Some(&2));
 //! client.shutdown_server().unwrap();
@@ -50,4 +52,6 @@ pub mod store;
 pub use client::{Client, ClientError};
 pub use protocol::{ErrorCode, Mutation, Request, Response, TopologyStats, WireError};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use store::{Store, StoreError};
+pub use store::{
+    BroadcastOutcome, HardenOutcome, ResilientSummary, RouteOutcome, Store, StoreError,
+};

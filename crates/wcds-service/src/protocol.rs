@@ -103,6 +103,10 @@ pub enum Request {
     Drop { name: String },
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Upgrade the topology to a (k, m)-resilient backbone: non-
+    /// dominators covered by ≥ m dominators, induced core k-connected.
+    /// Rebuilds the bundle eagerly and enables degraded-mode serving.
+    Harden { name: String, k: u64, m: u64 },
 }
 
 /// Machine-readable failure category in an error response.
@@ -167,6 +171,23 @@ pub struct TopologyStats {
     /// Lifetime artifact rebuilds (≤ misses; a miss that finds the
     /// bundle already rebuilt by a racing request does not rebuild).
     pub rebuilds: u64,
+    /// Resilience target `k` (0 when the topology is not hardened).
+    pub hardened_k: u64,
+    /// Resilience target `m` (0 when the topology is not hardened).
+    pub hardened_m: u64,
+    /// Core connectivity the last built backbone actually achieved
+    /// (≤ `hardened_k`; lower only when the host graph falls short).
+    pub achieved_k: u64,
+    /// Routes served from a fresh bundle.
+    pub routes_ok: u64,
+    /// Routes served over a stale resilient backbone while a heal was
+    /// pending (degraded mode).
+    pub routes_degraded: u64,
+    /// Route queries answered `Degraded { unreachable }` because no
+    /// surviving backbone path existed.
+    pub routes_unreachable: u64,
+    /// Background heals that installed a fresh bundle.
+    pub heals: u64,
 }
 
 /// A server response.
@@ -239,6 +260,30 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Reply to [`Request::Harden`].
+    Hardened {
+        /// Target connectivity.
+        k: u64,
+        /// Target coverage multiplicity.
+        m: u64,
+        /// Core connectivity actually achieved (≤ `k`).
+        achieved_k: u64,
+        /// Total dominator count of the resilient backbone.
+        dominators: u64,
+        /// Spanner edge count of the resilient backbone.
+        spanner_edges: u64,
+        /// Epoch the hardened bundle was built at.
+        epoch: u64,
+    },
+    /// The query was answered in **degraded mode**: the topology (or
+    /// its surviving backbone) is partitioned, so part of the network
+    /// is out of reach. For a route query this replaces the old
+    /// generic `Unroutable` error; for a broadcast it replaces the
+    /// generic "partitioned" error.
+    Degraded {
+        /// How many nodes the source cannot currently reach.
+        unreachable: u32,
     },
 }
 
@@ -456,6 +501,13 @@ impl Request {
                 out
             }
             Request::Shutdown => header(10),
+            Request::Harden { name, k, m } => {
+                let mut out = header(11);
+                put_str(&mut out, name);
+                put_u64(&mut out, *k);
+                put_u64(&mut out, *m);
+                out
+            }
         }
     }
 
@@ -479,6 +531,7 @@ impl Request {
             8 => Request::List,
             9 => Request::Drop { name: r.string()? },
             10 => Request::Shutdown,
+            11 => Request::Harden { name: r.string()?, k: r.u64()?, m: r.u64()? },
             tag => return Err(WireError::UnknownTag { what: "request", tag }),
         };
         r.finish()?;
@@ -525,6 +578,13 @@ impl TopologyStats {
             self.cache_hits,
             self.cache_misses,
             self.rebuilds,
+            self.hardened_k,
+            self.hardened_m,
+            self.achieved_k,
+            self.routes_ok,
+            self.routes_degraded,
+            self.routes_unreachable,
+            self.heals,
         ] {
             put_u64(out, v);
         }
@@ -543,6 +603,13 @@ impl TopologyStats {
             cache_hits: r.u64()?,
             cache_misses: r.u64()?,
             rebuilds: r.u64()?,
+            hardened_k: r.u64()?,
+            hardened_m: r.u64()?,
+            achieved_k: r.u64()?,
+            routes_ok: r.u64()?,
+            routes_degraded: r.u64()?,
+            routes_unreachable: r.u64()?,
+            heals: r.u64()?,
             ..TopologyStats::default()
         };
         s.mobile = r.u8()? != 0;
@@ -612,6 +679,18 @@ impl Response {
                 put_str(&mut out, message);
                 out
             }
+            Response::Hardened { k, m, achieved_k, dominators, spanner_edges, epoch } => {
+                let mut out = header(12);
+                for v in [k, m, achieved_k, dominators, spanner_edges, epoch] {
+                    put_u64(&mut out, *v);
+                }
+                out
+            }
+            Response::Degraded { unreachable } => {
+                let mut out = header(13);
+                put_u64(&mut out, u64::from(*unreachable));
+                out
+            }
         }
     }
 
@@ -651,6 +730,19 @@ impl Response {
             11 => Response::Error {
                 code: ErrorCode::from_tag(r.u8()?)?,
                 message: r.string()?,
+            },
+            12 => Response::Hardened {
+                k: r.u64()?,
+                m: r.u64()?,
+                achieved_k: r.u64()?,
+                dominators: r.u64()?,
+                spanner_edges: r.u64()?,
+                epoch: r.u64()?,
+            },
+            // decoding stays total: a count beyond u32 saturates rather
+            // than erroring (an honest peer never sends one)
+            13 => Response::Degraded {
+                unreachable: u32::try_from(r.u64()?).unwrap_or(u32::MAX),
             },
             tag => return Err(WireError::UnknownTag { what: "response", tag }),
         };
@@ -818,6 +910,7 @@ mod tests {
         roundtrip_request(Request::List);
         roundtrip_request(Request::Drop { name: "n".into() });
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Harden { name: "net".into(), k: 2, m: 2 });
     }
 
     #[test]
@@ -841,6 +934,13 @@ mod tests {
             cache_hits: 40,
             cache_misses: 4,
             rebuilds: 4,
+            hardened_k: 2,
+            hardened_m: 2,
+            achieved_k: 2,
+            routes_ok: 31,
+            routes_degraded: 7,
+            routes_unreachable: 1,
+            heals: 3,
         }));
         roundtrip_response(Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] });
         roundtrip_response(Response::Topologies { names: vec!["a".into(), "b".into()] });
@@ -857,6 +957,26 @@ mod tests {
         ] {
             roundtrip_response(Response::Error { code, message: format!("{code}") });
         }
+        roundtrip_response(Response::Hardened {
+            k: 2,
+            m: 3,
+            achieved_k: 2,
+            dominators: 44,
+            spanner_edges: 161,
+            epoch: 9,
+        });
+        roundtrip_response(Response::Degraded { unreachable: 17 });
+        roundtrip_response(Response::Degraded { unreachable: 0 });
+    }
+
+    #[test]
+    fn degraded_count_beyond_u32_saturates() {
+        let mut buf = vec![PROTOCOL_VERSION, 13];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Response::decode(&buf).unwrap(),
+            Response::Degraded { unreachable: u32::MAX }
+        );
     }
 
     #[test]

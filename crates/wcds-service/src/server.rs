@@ -19,7 +19,7 @@
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, Request, Response, WireError,
 };
-use crate::store::{Store, StoreError};
+use crate::store::{BroadcastOutcome, RouteOutcome, Store, StoreError};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -301,11 +301,17 @@ fn handle(store: &Store, req: &Request) -> Response {
             Err(e) => e.into(),
         },
         Request::Route { name, from, to } => match store.route(name, *from, *to) {
-            Ok(path) => Response::Routed { path },
+            Ok(RouteOutcome::Path(path)) => Response::Routed { path },
+            Ok(RouteOutcome::Degraded { unreachable }) => Response::Degraded { unreachable },
             Err(e) => e.into(),
         },
         Request::Broadcast { name, source } => match store.broadcast(name, *source) {
-            Ok((forwarders, informed)) => Response::Broadcasted { forwarders, informed },
+            Ok(BroadcastOutcome::Done { forwarders, informed }) => {
+                Response::Broadcasted { forwarders, informed }
+            }
+            Ok(BroadcastOutcome::Degraded { unreachable }) => {
+                Response::Degraded { unreachable }
+            }
             Err(e) => e.into(),
         },
         Request::Stats { name } => match store.stats(name) {
@@ -327,6 +333,17 @@ fn handle(store: &Store, req: &Request) -> Response {
             Err(e) => e.into(),
         },
         Request::Shutdown => Response::ShuttingDown, // handled by the caller
+        Request::Harden { name, k, m } => match store.harden(name, *k, *m) {
+            Ok(out) => Response::Hardened {
+                k: out.k,
+                m: out.m,
+                achieved_k: out.achieved_k,
+                dominators: out.dominators,
+                spanner_edges: out.spanner_edges,
+                epoch: out.epoch,
+            },
+            Err(e) => e.into(),
+        },
     }
 }
 

@@ -25,10 +25,12 @@ use crate::rebuild::{read_check, write_check, EpochView, ReadDecision, WriteDeci
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use wcds_core::algo2::AlgorithmTwo;
 use wcds_core::maintenance::{MaintainedWcds, RepairReport};
+use wcds_core::resilient::{ResilientBackbone, ResilientParams};
 use wcds_core::Wcds;
 use wcds_geom::Point;
 use wcds_graph::{io, traversal, Graph, NodeId};
@@ -90,8 +92,26 @@ pub struct Bundle {
     /// partition a unit-disk graph. Checked eagerly; the plan itself is
     /// derived lazily (see [`Bundle::plan`]).
     broadcastable: bool,
+    /// Present when the bundle holds a (k, m)-resilient backbone (the
+    /// topology was hardened): `wcds` is then the merged multi-layer
+    /// dominating set.
+    pub resilient: Option<ResilientSummary>,
     /// Lazily derived broadcast plan, cached after the first use.
     plan: OnceLock<BroadcastPlan>,
+}
+
+/// Summary of the resilient construction backing a hardened bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientSummary {
+    /// The (k, m) target the backbone was built for.
+    pub params: ResilientParams,
+    /// Core connectivity the construction actually achieved (≤ `k`;
+    /// lower only when the host graph falls short).
+    pub achieved_k: u32,
+    /// Number of disjoint coverage layers.
+    pub layers: u64,
+    /// Connector dominators added for k-connectivity.
+    pub connectors: u64,
 }
 
 impl Bundle {
@@ -146,6 +166,15 @@ struct Topology {
     body: Body,
     epoch: u64,
     bundle: Option<Arc<Bundle>>,
+    /// `Some` once the topology has been hardened: every bundle build
+    /// then produces a (k, m)-resilient backbone instead of the plain
+    /// Algorithm II construction.
+    resilience: Option<ResilientParams>,
+    /// Whether a `Leave` has been applied since the cached bundle was
+    /// built. A leave renames every id above the victim, so the stale
+    /// bundle's id-keyed state is meaningless and degraded serving
+    /// must not touch it.
+    leave_since_bundle: bool,
 }
 
 /// The shim the `wcds-analyze` race checker model-checks: the store's
@@ -161,23 +190,59 @@ impl EpochView for Topology {
     }
 }
 
+/// What a bundle build derives its dominating set from. Snapshotting
+/// this (plus a graph copy) under the read lock lets the expensive
+/// build itself run without holding any lock (see [`Store::heal`]).
+enum ArtifactSource {
+    /// The maintained / statically derived plain WCDS.
+    Plain(Wcds),
+    /// Rebuild the (k, m)-resilient backbone from scratch.
+    Resilient(ResilientParams),
+}
+
+/// Builds the full artifact bundle for one topology snapshot, from
+/// scratch (no reuse of any stale bundle). Free function on purpose:
+/// callable with or without a lock held.
+fn build_artifacts(g: &Graph, source: &ArtifactSource, epoch: u64) -> Arc<Bundle> {
+    let (wcds, resilient) = match source {
+        ArtifactSource::Plain(w) => (w.clone(), None),
+        ArtifactSource::Resilient(params) => {
+            let b = ResilientBackbone::construct(g, *params);
+            let summary = ResilientSummary {
+                params: *params,
+                achieved_k: b.achieved_connectivity(),
+                layers: b.layers().len() as u64,
+                connectors: b.connectors().len() as u64,
+            };
+            (b.merged_wcds(), Some(summary))
+        }
+    };
+    let spanner = wcds.weakly_induced_subgraph(g);
+    let router = BackboneRouter::build(g, &wcds);
+    let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
+    Arc::new(Bundle {
+        epoch,
+        wcds,
+        spanner,
+        router,
+        broadcastable,
+        resilient,
+        plan: OnceLock::new(),
+    })
+}
+
 impl Topology {
+    fn artifact_source(&self) -> ArtifactSource {
+        match self.resilience {
+            Some(params) => ArtifactSource::Resilient(params),
+            None => ArtifactSource::Plain(self.body.wcds()),
+        }
+    }
+
     /// Builds the artifact bundle from the current snapshot, from
     /// scratch (no reuse of the stale bundle).
     fn build_bundle(&self) -> Arc<Bundle> {
-        let g = self.body.graph();
-        let wcds = self.body.wcds();
-        let spanner = wcds.weakly_induced_subgraph(g);
-        let router = BackboneRouter::build(g, &wcds);
-        let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
-        Arc::new(Bundle {
-            epoch: self.epoch,
-            wcds,
-            spanner,
-            router,
-            broadcastable,
-            plan: OnceLock::new(),
-        })
+        build_artifacts(self.body.graph(), &self.artifact_source(), self.epoch)
     }
 }
 
@@ -189,6 +254,143 @@ struct Entry {
     hits: AtomicU64,
     misses: AtomicU64,
     rebuilds: AtomicU64,
+    /// Routes served from a fresh bundle.
+    routes_ok: AtomicU64,
+    /// Routes served over a stale resilient backbone (degraded mode).
+    routes_degraded: AtomicU64,
+    /// Route queries answered `Degraded` (no surviving path).
+    routes_unreachable: AtomicU64,
+    /// Background heals that installed a fresh bundle.
+    heals: AtomicU64,
+    /// Guards against stacking heal threads: only one in flight.
+    healing: AtomicBool,
+}
+
+impl Entry {
+    fn new(topo: Topology) -> Self {
+        Self {
+            topo: RwLock::new(topo),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            routes_ok: AtomicU64::new(0),
+            routes_degraded: AtomicU64::new(0),
+            routes_unreachable: AtomicU64::new(0),
+            heals: AtomicU64::new(0),
+            healing: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Outcome of a route query: a served path, or an honest account of a
+/// partitioned (sub)network instead of a generic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// A backbone route, inclusive of both endpoints; every hop is an
+    /// edge of the **current** graph even in degraded mode.
+    Path(Vec<NodeId>),
+    /// No surviving path; `unreachable` counts the nodes the source
+    /// cannot currently reach.
+    Degraded {
+        /// Nodes out of the source's reach.
+        unreachable: u32,
+    },
+}
+
+/// Outcome of a broadcast query (mirrors [`RouteOutcome`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastOutcome {
+    /// The broadcast covered the source's component.
+    Done {
+        /// Retransmitting nodes.
+        forwarders: u64,
+        /// Nodes reached.
+        informed: u64,
+    },
+    /// The topology is partitioned; no plan exists.
+    Degraded {
+        /// Nodes out of the source's reach.
+        unreachable: u32,
+    },
+}
+
+/// Summary returned by [`Store::harden`] (maps onto
+/// `Response::Hardened`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardenOutcome {
+    /// Target connectivity.
+    pub k: u64,
+    /// Target coverage multiplicity.
+    pub m: u64,
+    /// Core connectivity actually achieved (≤ `k`).
+    pub achieved_k: u64,
+    /// Total dominator count of the resilient backbone.
+    pub dominators: u64,
+    /// Spanner edge count of the resilient backbone.
+    pub spanner_edges: u64,
+    /// Epoch the hardened bundle was built at.
+    pub epoch: u64,
+}
+
+/// Saturating `usize → u32` for unreachable-node counts.
+fn narrow_count(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Serves a route over the **surviving backbone**: a BFS over the stale
+/// resilient spanner restricted to edges the live graph still has, so
+/// every hop of a returned path is valid *now*. Pure function of its
+/// arguments — the caller holds (only) the topology read lock.
+///
+/// Nodes that joined after the bundle was built have no spanner entry;
+/// they are served only by the direct-edge shortcut.
+fn surviving_backbone_route(
+    g: &Graph,
+    bundle: &Bundle,
+    from: NodeId,
+    to: NodeId,
+) -> RouteOutcome {
+    if from == to {
+        return RouteOutcome::Path(vec![from]);
+    }
+    if g.has_edge(from, to) {
+        return RouteOutcome::Path(vec![from, to]);
+    }
+    let n = bundle.spanner.node_count();
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut reached = 0usize;
+    if from < n {
+        if let Some(p) = parent.get_mut(from) {
+            *p = from;
+        }
+        queue.push_back(from);
+        reached = 1;
+    }
+    while let Some(u) = queue.pop_front() {
+        for v in bundle.spanner.adj(u) {
+            // out-of-range defaults to 0 ≠ MAX, i.e. "already visited"
+            if parent.get(v).copied().unwrap_or(0) != usize::MAX || !g.has_edge(u, v) {
+                continue;
+            }
+            if let Some(p) = parent.get_mut(v) {
+                *p = u;
+            }
+            reached += 1;
+            if v == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent.get(cur).copied().unwrap_or(from);
+                    path.push(cur);
+                }
+                path.reverse();
+                return RouteOutcome::Path(path);
+            }
+            queue.push_back(v);
+        }
+    }
+    RouteOutcome::Degraded { unreachable: narrow_count(g.node_count().saturating_sub(reached)) }
 }
 
 type Shard = RwLock<HashMap<String, Arc<Entry>>>;
@@ -243,12 +445,13 @@ impl Store {
         };
         let (n, m) = (body.graph().node_count() as u64, body.graph().edge_count() as u64);
         let mobile = matches!(body, Body::Mobile(_));
-        let entry = Arc::new(Entry {
-            topo: RwLock::new(Topology { body, epoch: 0, bundle: None }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            rebuilds: AtomicU64::new(0),
-        });
+        let entry = Arc::new(Entry::new(Topology {
+            body,
+            epoch: 0,
+            bundle: None,
+            resilience: None,
+            leave_since_bundle: false,
+        }));
         let mut shard = write_guard(self.shard(name))?;
         if shard.contains_key(name) {
             return Err(err(ErrorCode::AlreadyExists, format!("topology `{name}` exists")));
@@ -302,6 +505,7 @@ impl Store {
         entry.rebuilds.fetch_add(1, Ordering::Relaxed);
         let bundle = topo.build_bundle();
         topo.bundle = Some(Arc::clone(&bundle));
+        topo.leave_since_bundle = false;
         Ok((bundle, false))
     }
 
@@ -348,11 +552,19 @@ impl Store {
             }
         };
         topo.epoch += 1;
+        if matches!(*mutation, Mutation::Leave { .. }) {
+            topo.leave_since_bundle = true;
+        }
         let fresh = topo.bundle.as_ref().filter(|b| b.epoch + 1 == topo.epoch).map(Arc::clone);
         if let Some(b) = fresh {
             // a leave renames every id above the victim, which would
-            // invalidate all id-keyed router state — let it rebuild
-            if !report.changed() && !matches!(*mutation, Mutation::Leave { .. }) {
+            // invalidate all id-keyed router state — let it rebuild.
+            // Hardened bundles also rebuild: a plain repair report says
+            // nothing about the upper coverage layers or connectors.
+            if topo.resilience.is_none()
+                && !report.changed()
+                && !matches!(*mutation, Mutation::Leave { .. })
+            {
                 let g = topo.body.graph();
                 let wcds = b.wcds.clone();
                 let router =
@@ -365,6 +577,7 @@ impl Store {
                     spanner,
                     router,
                     broadcastable,
+                    resilient: None,
                     plan: OnceLock::new(),
                 }));
             }
@@ -395,16 +608,107 @@ impl Store {
             cache_hits: entry.hits.load(Ordering::Relaxed),
             cache_misses: entry.misses.load(Ordering::Relaxed),
             rebuilds: entry.rebuilds.load(Ordering::Relaxed),
+            hardened_k: topo.resilience.map_or(0, |p| u64::from(p.k)),
+            hardened_m: topo.resilience.map_or(0, |p| u64::from(p.m)),
+            achieved_k: bundle.resilient.map_or(0, |r| u64::from(r.achieved_k)),
+            routes_ok: entry.routes_ok.load(Ordering::Relaxed),
+            routes_degraded: entry.routes_degraded.load(Ordering::Relaxed),
+            routes_unreachable: entry.routes_unreachable.load(Ordering::Relaxed),
+            heals: entry.heals.load(Ordering::Relaxed),
         })
     }
 
-    /// Routes `from → to` over the (possibly rebuilt) cached backbone.
+    /// Upgrades the topology to a (k, m)-resilient backbone and builds
+    /// the hardened bundle eagerly. From here on every rebuild — lazy,
+    /// eager, or healing — reconstructs the resilient backbone, and
+    /// stale-bundle route queries are served in **degraded mode** over
+    /// the surviving layers instead of blocking on a rebuild.
     ///
     /// # Errors
     ///
-    /// `NotFound`, `OutOfRange`, or `Unroutable` (no dominator-level
-    /// path, e.g. a partitioned topology).
-    pub fn route(&self, name: &str, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, StoreError> {
+    /// `NotFound` for an unknown name, `OutOfRange` for k or m outside
+    /// `1..=wcds_core::resilient::MAX_FOLD`.
+    pub fn harden(&self, name: &str, k: u64, m: u64) -> Result<HardenOutcome, StoreError> {
+        let narrow = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+        let params = ResilientParams::new(narrow(k), narrow(m))
+            .map_err(|e| err(ErrorCode::OutOfRange, e.to_string()))?;
+        let entry = self.entry(name)?;
+        let mut topo = write_guard(&entry.topo)?;
+        topo.resilience = Some(params);
+        entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+        let bundle = topo.build_bundle();
+        topo.bundle = Some(Arc::clone(&bundle));
+        topo.leave_since_bundle = false;
+        match bundle.resilient {
+            Some(s) => Ok(HardenOutcome {
+                k: u64::from(params.k),
+                m: u64::from(params.m),
+                achieved_k: u64::from(s.achieved_k),
+                dominators: (bundle.wcds.mis_dominators().len()
+                    + bundle.wcds.additional_dominators().len()) as u64,
+                spanner_edges: bundle.spanner.edge_count() as u64,
+                epoch: bundle.epoch,
+            }),
+            None => Err(err(ErrorCode::Internal, "hardened bundle lost its summary")),
+        }
+    }
+
+    /// Routes `from → to` over the cached backbone.
+    ///
+    /// Freshness tiers:
+    ///
+    /// * **fresh bundle** — routed from the cached tables (cache hit);
+    /// * **stale bundle, hardened topology** — served **degraded**:
+    ///   a BFS over the stale resilient spanner restricted to edges the
+    ///   live graph still has. Runs entirely under the read lock (the
+    ///   read path never rebuilds, never blocks on the write lock) and
+    ///   kicks off a background heal;
+    /// * **stale bundle, plain topology** — synchronous rebuild, as
+    ///   before.
+    ///
+    /// An unreachable destination yields `Ok(RouteOutcome::Degraded)`
+    /// (with the count of nodes out of the source's reach), not an
+    /// error: a partitioned network is a state to report, not a request
+    /// defect.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` or `OutOfRange`.
+    pub fn route(
+        &self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<RouteOutcome, StoreError> {
+        let entry = self.entry(name)?;
+        let degraded = {
+            let topo = read_guard(&entry.topo)?;
+            let n = topo.body.graph().node_count();
+            for u in [from, to] {
+                if u >= n {
+                    return Err(err(ErrorCode::OutOfRange, format!("node {u} ≥ n = {n}")));
+                }
+            }
+            if read_check(&*topo) != ReadDecision::Hit
+                && topo.resilience.is_some()
+                && !topo.leave_since_bundle
+            {
+                topo.bundle
+                    .as_ref()
+                    .map(|b| surviving_backbone_route(topo.body.graph(), b, from, to))
+            } else {
+                None
+            }
+        };
+        if let Some(outcome) = degraded {
+            let counter = match outcome {
+                RouteOutcome::Path(_) => &entry.routes_degraded,
+                RouteOutcome::Degraded { .. } => &entry.routes_unreachable,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.spawn_heal(&entry, name);
+            return Ok(outcome);
+        }
         let (bundle, _) = self.bundle(name)?;
         let n = bundle.spanner.node_count();
         for u in [from, to] {
@@ -412,20 +716,39 @@ impl Store {
                 return Err(err(ErrorCode::OutOfRange, format!("node {u} ≥ n = {n}")));
             }
         }
-        bundle
-            .router
-            .route(from, to)
-            .ok_or_else(|| err(ErrorCode::Unroutable, format!("no backbone route {from} → {to}")))
+        match bundle.router.route(from, to) {
+            Some(path) => {
+                entry.routes_ok.fetch_add(1, Ordering::Relaxed);
+                Ok(RouteOutcome::Path(path))
+            }
+            None => {
+                // the spanner preserves component structure, so its
+                // component sizes are the graph's
+                let reached = traversal::bfs_distances(&bundle.spanner, from)
+                    .iter()
+                    .filter(|d| d.is_some())
+                    .count();
+                entry.routes_unreachable.fetch_add(1, Ordering::Relaxed);
+                Ok(RouteOutcome::Degraded { unreachable: narrow_count(n - reached) })
+            }
+        }
     }
 
-    /// Simulates a backbone broadcast from `source`, returning
-    /// `(forwarder count, informed count)`.
+    /// Simulates a backbone broadcast from `source`.
+    ///
+    /// A partitioned topology yields
+    /// `Ok(BroadcastOutcome::Degraded { unreachable })` — the number of
+    /// nodes outside the source's component — instead of the old
+    /// generic `Unsupported` "is partitioned" error.
     ///
     /// # Errors
     ///
-    /// `NotFound`, `OutOfRange`, or `Unsupported` when the topology is
-    /// currently partitioned (no broadcast plan).
-    pub fn broadcast(&self, name: &str, source: NodeId) -> Result<(u64, u64), StoreError> {
+    /// `NotFound` or `OutOfRange`.
+    pub fn broadcast(
+        &self,
+        name: &str,
+        source: NodeId,
+    ) -> Result<BroadcastOutcome, StoreError> {
         let (bundle, _) = self.bundle(name)?;
         let entry = self.entry(name)?;
         let topo = read_guard(&entry.topo)?;
@@ -436,12 +759,81 @@ impl Store {
                 format!("node {source} ≥ n = {}", g.node_count()),
             ));
         }
-        let plan = bundle.plan().ok_or_else(|| {
-            err(ErrorCode::Unsupported, format!("topology `{name}` is partitioned"))
-        })?;
-        let outcome = plan.simulate(g, source);
-        let informed = g.node_count() - outcome.uncovered.len();
-        Ok((plan.forwarder_count() as u64, informed as u64))
+        match bundle.plan() {
+            Some(plan) => {
+                let outcome = plan.simulate(g, source);
+                let informed = g.node_count() - outcome.uncovered.len();
+                Ok(BroadcastOutcome::Done {
+                    forwarders: plan.forwarder_count() as u64,
+                    informed: informed as u64,
+                })
+            }
+            None => {
+                let reached = traversal::bfs_distances(g, source)
+                    .iter()
+                    .filter(|d| d.is_some())
+                    .count();
+                Ok(BroadcastOutcome::Degraded {
+                    unreachable: narrow_count(g.node_count() - reached),
+                })
+            }
+        }
+    }
+
+    /// Spawns (at most one) background heal thread for `entry`.
+    fn spawn_heal(&self, entry: &Arc<Entry>, name: &str) {
+        if entry
+            .healing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // a heal is already in flight
+        }
+        let store = self.clone();
+        let entry = Arc::clone(entry);
+        let name = name.to_string();
+        std::thread::spawn(move || {
+            if store.heal(&name).unwrap_or(false) {
+                entry.heals.fetch_add(1, Ordering::Relaxed);
+            }
+            entry.healing.store(false, Ordering::Release);
+        });
+    }
+
+    /// One healing pass: snapshot the topology under the read lock,
+    /// build fresh artifacts **outside any lock**, then install them
+    /// under the write lock only if no mutation raced the build (the
+    /// epoch is re-checked). Retries a bounded number of times under
+    /// sustained mutation pressure; reads keep degrading meanwhile.
+    ///
+    /// Returns whether a fresh bundle was installed.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the topology was dropped mid-heal, `Internal` on a
+    /// poisoned lock.
+    pub fn heal(&self, name: &str) -> Result<bool, StoreError> {
+        for _ in 0..3 {
+            let entry = self.entry(name)?;
+            let (epoch, graph, source) = {
+                let topo = read_guard(&entry.topo)?;
+                if read_check(&*topo) == ReadDecision::Hit {
+                    return Ok(false); // someone else already rebuilt
+                }
+                (topo.epoch, topo.body.graph().clone(), topo.artifact_source())
+            };
+            let bundle = build_artifacts(&graph, &source, epoch);
+            {
+                let mut topo = write_guard(&entry.topo)?;
+                if topo.epoch == epoch {
+                    entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    topo.bundle = Some(bundle);
+                    topo.leave_since_bundle = false;
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
     }
 
     /// Sorted names of all stored topologies.
@@ -509,7 +901,7 @@ mod tests {
         let e = store.mutate("s", &Mutation::Join { x: 0.0, y: 0.0 }).unwrap_err();
         assert_eq!(e.code, ErrorCode::Unsupported);
         // queries still work
-        assert_eq!(store.route("s", 0, 2).unwrap(), vec![0, 1, 2]);
+        assert_eq!(store.route("s", 0, 2).unwrap(), RouteOutcome::Path(vec![0, 1, 2]));
     }
 
     #[test]
@@ -581,7 +973,10 @@ mod tests {
                 if s >= n || t >= n {
                     continue;
                 }
-                let served = store.route("net", s, t).ok();
+                let served = match store.route("net", s, t) {
+                    Ok(RouteOutcome::Path(p)) => Some(p),
+                    _ => None,
+                };
                 let fresh = oracle_router.route(s, t);
                 assert_eq!(served, fresh, "step {step}: route {s}→{t} diverged from rebuild");
             }
@@ -730,6 +1125,135 @@ mod tests {
         assert_eq!(
             store.export("net").unwrap(),
             io::to_text(replay.graph(), Some(replay.points()))
+        );
+    }
+
+    /// Satellite: a partitioned topology answers route/broadcast with a
+    /// typed `Degraded { unreachable }` outcome, not a generic error.
+    #[test]
+    fn partitioned_topologies_report_reach_deficit() {
+        let store = Store::new();
+        // two components: {0, 1} and {2, 3, 4}
+        store.create("p", "nodes 5\nedge 0 1\nedge 2 3\nedge 3 4\n").unwrap();
+        assert_eq!(
+            store.broadcast("p", 0).unwrap(),
+            BroadcastOutcome::Degraded { unreachable: 3 }
+        );
+        assert_eq!(
+            store.broadcast("p", 2).unwrap(),
+            BroadcastOutcome::Degraded { unreachable: 2 }
+        );
+        assert_eq!(
+            store.route("p", 0, 3).unwrap(),
+            RouteOutcome::Degraded { unreachable: 3 }
+        );
+        // same-component routes still work
+        assert_eq!(store.route("p", 2, 4).unwrap(), RouteOutcome::Path(vec![2, 3, 4]));
+        let stats = store.stats("p").unwrap();
+        assert_eq!(stats.routes_unreachable, 1);
+        assert_eq!(stats.routes_ok, 1);
+    }
+
+    #[test]
+    fn harden_validates_params() {
+        let store = Store::new();
+        store.create("h", &payload(40, 3.5, 2)).unwrap();
+        assert_eq!(store.harden("h", 0, 1).unwrap_err().code, ErrorCode::OutOfRange);
+        assert_eq!(store.harden("h", 1, 9).unwrap_err().code, ErrorCode::OutOfRange);
+        assert_eq!(store.harden("missing", 2, 2).unwrap_err().code, ErrorCode::NotFound);
+        let out = store.harden("h", 2, 2).unwrap();
+        assert_eq!((out.k, out.m), (2, 2));
+        assert!(out.achieved_k >= 1 && out.achieved_k <= 2);
+        assert!(out.dominators > 0);
+    }
+
+    /// Tentpole (service layer): hardening swaps the bundle to the
+    /// merged resilient backbone; killing a dominator is then served in
+    /// degraded mode under the read lock, and an explicit heal restores
+    /// artifacts byte-identical to a from-scratch resilient build.
+    #[test]
+    fn hardened_topology_serves_degraded_and_heals() {
+        let store = Store::new();
+        let initial = payload(80, 4.0, 7);
+        store.create("net", &initial).unwrap();
+        let plain_stats = store.stats("net").unwrap();
+        let out = store.harden("net", 2, 2).unwrap();
+        assert!(
+            out.dominators > plain_stats.mis + plain_stats.bridges,
+            "a (2,2) backbone must be strictly larger than the plain WCDS"
+        );
+        let stats = store.stats("net").unwrap();
+        assert!(stats.cached, "harden builds eagerly; stats must hit");
+        assert_eq!((stats.hardened_k, stats.hardened_m), (2, 2));
+        assert_eq!(stats.achieved_k, out.achieved_k);
+
+        // fresh routes come off the hardened tables
+        let RouteOutcome::Path(_) = store.route("net", 0, 70).unwrap() else {
+            panic!("fresh hardened route failed");
+        };
+
+        // kill a dominator: move it out of radio range of everyone
+        let (bundle, _) = store.bundle("net").unwrap();
+        let dead = bundle.wcds.mis_dominators()[0];
+        store
+            .mutate("net", &Mutation::Move { node: dead, x: 1000.0, y: 1000.0 })
+            .unwrap();
+
+        // stale + hardened ⇒ degraded serving off the old bundle. The
+        // background heal races the later route calls, so only the
+        // *first* post-kill route is deterministically degraded; later
+        // ones may already be fresh (both are valid service).
+        let doc = io::from_text(&store.export("net").unwrap()).unwrap();
+        let g = doc.graph;
+        let mut served = 0;
+        let mut first_seen = false;
+        for (s, t) in [(0, 70), (3, 55), (12, 66), (7, 33)] {
+            if s == dead || t == dead {
+                continue;
+            }
+            match store.route("net", s, t).unwrap() {
+                RouteOutcome::Path(path) => {
+                    served += 1;
+                    assert_eq!(path.first(), Some(&s));
+                    assert_eq!(path.last(), Some(&t));
+                    for w in path.windows(2) {
+                        assert!(
+                            g.has_edge(w[0], w[1]),
+                            "degraded hop {}→{} is not a live edge",
+                            w[0],
+                            w[1]
+                        );
+                    }
+                }
+                RouteOutcome::Degraded { unreachable } => {
+                    // the dead node itself is out of reach
+                    assert!(unreachable >= 1);
+                }
+            }
+            if !first_seen {
+                first_seen = true;
+                let entry = store.entry("net").unwrap();
+                let degraded = entry.routes_degraded.load(Ordering::Relaxed)
+                    + entry.routes_unreachable.load(Ordering::Relaxed);
+                assert!(
+                    degraded >= 1,
+                    "first post-kill route must be served degraded, not rebuilt inline"
+                );
+            }
+        }
+        assert!(served >= 3, "only {served} post-kill routes served");
+
+        // an explicit heal installs artifacts byte-identical to a
+        // from-scratch resilient build on the live graph
+        while store.heal("net").unwrap() {}
+        let (healed, hit) = store.bundle("net").unwrap();
+        assert!(hit, "healed bundle must be fresh");
+        let oracle = ResilientBackbone::construct(&g, ResilientParams::new(2, 2).unwrap());
+        assert_eq!(healed.wcds, oracle.merged_wcds(), "healed WCDS diverged from oracle");
+        assert_eq!(
+            healed.router,
+            BackboneRouter::build(&g, &oracle.merged_wcds()),
+            "healed router diverged from oracle"
         );
     }
 }

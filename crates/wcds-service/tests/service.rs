@@ -13,7 +13,19 @@ use wcds_geom::{deploy, Point};
 use wcds_graph::{io, UnitDiskGraph};
 use wcds_rng::{ChaCha12Rng, Rng};
 use wcds_service::store::UDG_RADIUS;
-use wcds_service::{Client, ClientError, ErrorCode, Mutation, Server, ServerConfig, Store};
+use wcds_service::{
+    BroadcastOutcome, Client, ClientError, ErrorCode, Mutation, RouteOutcome, Server,
+    ServerConfig, Store,
+};
+
+fn unwrap_path(outcome: RouteOutcome) -> Vec<usize> {
+    match outcome {
+        RouteOutcome::Path(p) => p,
+        RouteOutcome::Degraded { unreachable } => {
+            panic!("expected a route, got Degraded {{ unreachable: {unreachable} }}")
+        }
+    }
+}
 
 fn payload(n: usize, side: f64, seed: u64) -> String {
     let udg = UnitDiskGraph::build(deploy::uniform(n, side, side, seed), UDG_RADIUS);
@@ -47,10 +59,12 @@ fn tcp_session_end_to_end() {
     assert!(spanner_edges > 0);
     assert_eq!(epoch, 0);
 
-    let path = c.route("net", 0, 69).unwrap();
+    let path = unwrap_path(c.route("net", 0, 69).unwrap());
     assert_eq!(path.first(), Some(&0));
     assert_eq!(path.last(), Some(&69));
-    let (forwarders, informed) = c.broadcast("net", 0).unwrap();
+    let BroadcastOutcome::Done { forwarders, informed } = c.broadcast("net", 0).unwrap() else {
+        panic!("connected deployment must broadcast");
+    };
     assert!(forwarders > 0);
     assert_eq!(informed, 70, "connected deployment: broadcast reaches everyone");
 
@@ -65,8 +79,20 @@ fn tcp_session_end_to_end() {
     let stats = c.stats("net").unwrap();
     assert_eq!(stats.nodes, 71);
     assert_eq!(stats.epoch, 1);
-    let path = c.route("net", 0, 70).unwrap();
+    let path = unwrap_path(c.route("net", 0, 70).unwrap());
     assert_eq!(path.last(), Some(&70), "post-mutation route reaches the joined node");
+
+    // harden over the wire, then check the stats surface the target
+    let out = c.harden("net", 2, 2).unwrap();
+    assert_eq!((out.k, out.m), (2, 2));
+    assert!(out.achieved_k >= 1);
+    let stats = c.stats("net").unwrap();
+    assert_eq!((stats.hardened_k, stats.hardened_m), (2, 2));
+    assert_eq!(stats.achieved_k, out.achieved_k);
+    assert!(matches!(
+        c.harden("net", 0, 1),
+        Err(ClientError::Server { code: ErrorCode::OutOfRange, .. })
+    ));
 
     // export equals a serial replay of the one-mutation log
     let doc = io::from_text(&initial).unwrap();
@@ -101,7 +127,7 @@ fn tcp_concurrent_clients_share_state_and_survive_garbage() {
     a.create("shared", "nodes 3\nedge 0 1\nedge 1 2\n").unwrap();
 
     let mut b = Client::connect(addr).unwrap();
-    assert_eq!(b.route("shared", 0, 2).unwrap(), vec![0, 1, 2]);
+    assert_eq!(unwrap_path(b.route("shared", 0, 2).unwrap()), vec![0, 1, 2]);
 
     // hand-rolled garbage frame: valid length prefix, junk body — the
     // server answers with a typed error and closes that connection only
@@ -118,7 +144,7 @@ fn tcp_concurrent_clients_share_state_and_survive_garbage() {
 
     // both real clients still work afterwards
     a.ping().unwrap();
-    assert_eq!(b.route("shared", 0, 2).unwrap(), vec![0, 1, 2]);
+    assert_eq!(unwrap_path(b.route("shared", 0, 2).unwrap()), vec![0, 1, 2]);
     handle.shutdown();
 }
 
@@ -193,14 +219,15 @@ fn stress_mixed_readers_and_mutators_match_serial_replay() {
                         let d = rng.gen_range(0..initial_n);
                         match rng.gen_range(0..3usize) {
                             0 => match c.route("net", s, d) {
-                                Ok(path) => {
+                                Ok(RouteOutcome::Path(path)) => {
                                     assert_eq!(path.first(), Some(&s));
                                     assert_eq!(path.last(), Some(&d));
                                 }
+                                // partitioned mid-flight: typed outcome
+                                Ok(RouteOutcome::Degraded { .. }) => {}
                                 Err(ClientError::Server {
-                                    code: ErrorCode::OutOfRange | ErrorCode::Unroutable,
-                                    ..
-                                }) => {} // shrunk or partitioned mid-flight
+                                    code: ErrorCode::OutOfRange, ..
+                                }) => {} // a racing leave shrank n first
                                 Err(e) => {
                                     eprintln!("route failed: {e}");
                                     failed.store(true, Ordering::SeqCst);

@@ -20,6 +20,7 @@ use std::collections::BTreeSet;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
+    seed: u64,
     crashed: BTreeSet<ProcId>,
     drop_p: f64,
     duplicate_p: f64,
@@ -30,6 +31,7 @@ impl FaultPlan {
     /// A fault plan with no faults and the given randomness seed.
     pub fn new(seed: u64) -> Self {
         Self {
+            seed,
             crashed: BTreeSet::new(),
             drop_p: 0.0,
             duplicate_p: 0.0,
@@ -41,6 +43,57 @@ impl FaultPlan {
     /// sends, never receives.
     pub fn crash(mut self, node: ProcId) -> Self {
         self.crashed.insert(node);
+        self
+    }
+
+    /// A **targeted storm**: crashes `⌈fraction · targets.len()⌉` of
+    /// the given nodes (e.g. a backbone's dominators), chosen by a
+    /// dedicated RNG derived from the plan seed and `salt`.
+    ///
+    /// The storm draws from its own `ChaCha12` stream
+    /// (`seed ^ salt`-keyed), so adding or reordering storms never
+    /// perturbs the delivery fates of the base plan — a failing run
+    /// replays exactly. Duplicate targets are ignored; selection is a
+    /// partial Fisher–Yates over the deduplicated, sorted target list,
+    /// so the same `(seed, salt, targets, fraction)` always kills the
+    /// same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn crash_fraction_of(mut self, targets: &[ProcId], fraction: f64, salt: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range: {fraction}");
+        let mut pool: Vec<ProcId> = targets.to_vec();
+        pool.sort_unstable();
+        pool.dedup();
+        let kill = (fraction * pool.len() as f64).ceil() as usize;
+        let kill = kill.min(pool.len());
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ salt);
+        for i in 0..kill {
+            let j = i + rng.gen_range(0..pool.len() - i);
+            pool.swap(i, j);
+        }
+        self.crashed.extend(pool.iter().take(kill).copied());
+        self
+    }
+
+    /// A **region-kill storm**: crashes every node whose position falls
+    /// inside the axis-aligned rectangle `[x0, x1] × [y0, y1]`
+    /// (inclusive). `positions[i]` is node `i`'s coordinates — raw
+    /// tuples so the simulator stays geometry-crate-free.
+    ///
+    /// Deterministic by construction (no randomness involved).
+    pub fn crash_region(
+        mut self,
+        positions: &[(f64, f64)],
+        (x0, y0): (f64, f64),
+        (x1, y1): (f64, f64),
+    ) -> Self {
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            if (x0..=x1).contains(&x) && (y0..=y1).contains(&y) {
+                self.crashed.insert(i);
+            }
+        }
         self
     }
 
@@ -143,5 +196,52 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_probability_panics() {
         let _ = FaultPlan::new(0).drop_probability(1.5);
+    }
+
+    #[test]
+    fn targeted_storm_kills_the_requested_fraction_deterministically() {
+        let targets: Vec<ProcId> = (0..40).map(|i| i * 3).collect();
+        let a = FaultPlan::new(7).crash_fraction_of(&targets, 0.25, 1);
+        let b = FaultPlan::new(7).crash_fraction_of(&targets, 0.25, 1);
+        let ka: Vec<ProcId> = a.crashed_nodes().collect();
+        let kb: Vec<ProcId> = b.crashed_nodes().collect();
+        assert_eq!(ka, kb, "same (seed, salt) must kill the same set");
+        assert_eq!(ka.len(), 10, "⌈0.25 · 40⌉ = 10");
+        assert!(ka.iter().all(|k| targets.contains(k)), "kills outside target set");
+        // a different salt draws from a different stream
+        let c = FaultPlan::new(7).crash_fraction_of(&targets, 0.25, 2);
+        assert_ne!(ka, c.crashed_nodes().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn targeted_storm_handles_edge_fractions_and_duplicates() {
+        let p = FaultPlan::new(1).crash_fraction_of(&[5, 5, 5, 9], 1.0, 0);
+        assert_eq!(p.crashed_nodes().collect::<Vec<_>>(), vec![5, 9]);
+        let p = FaultPlan::new(1).crash_fraction_of(&[1, 2, 3], 0.0, 0);
+        assert_eq!(p.crashed_nodes().count(), 0);
+        let p = FaultPlan::new(1).crash_fraction_of(&[], 0.5, 0);
+        assert_eq!(p.crashed_nodes().count(), 0);
+    }
+
+    #[test]
+    fn storms_do_not_perturb_delivery_fates() {
+        // the replay guarantee: adding a storm must leave the base
+        // plan's drop/duplicate stream untouched
+        let mut base = FaultPlan::new(9).drop_probability(0.5);
+        let mut stormy = FaultPlan::new(9)
+            .drop_probability(0.5)
+            .crash_fraction_of(&[100, 101, 102, 103], 0.5, 77)
+            .crash_region(&[(0.0, 0.0), (5.0, 5.0)], (4.0, 4.0), (6.0, 6.0));
+        let fa: Vec<u8> = (0..200).map(|_| base.delivery_copies()).collect();
+        let fb: Vec<u8> = (0..200).map(|_| stormy.delivery_copies()).collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn region_kill_is_inclusive_and_deterministic() {
+        let positions = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 0.5)];
+        let p = FaultPlan::new(0).crash_region(&positions, (1.0, 0.0), (3.0, 1.0));
+        assert_eq!(p.crashed_nodes().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(!p.is_crashed(0) && !p.is_crashed(2));
     }
 }

@@ -246,3 +246,73 @@ fn isolated_nodes_start_but_cannot_send() {
     assert_eq!(report.messages.deliveries(), 0);
     assert!(!sim.node(1).informed);
 }
+
+// ---------------------------------------------------------------------
+// failure storms (ISSUE 7): targeted and region kills driving a
+// flood-under-storm scenario
+
+/// The paper's lex-first greedy MIS, inlined so the simulator crate
+/// stays independent of `wcds-core`: these are the clusterheads a
+/// dominator-targeted storm goes after.
+fn lex_first_mis(g: &Graph) -> Vec<usize> {
+    let mut covered = vec![false; g.node_count()];
+    let mut mis = Vec::new();
+    for u in 0..g.node_count() {
+        if !covered[u] {
+            mis.push(u);
+            covered[u] = true;
+            for v in g.adj(u) {
+                covered[v] = true;
+            }
+        }
+    }
+    mis
+}
+
+#[test]
+fn dominator_targeted_storm_replays_deterministically() {
+    let g = generators::connected_gnp(60, 0.08, 4);
+    let dominators = lex_first_mis(&g);
+    let run = |salt: u64| {
+        let plan = FaultPlan::new(11).crash_fraction_of(&dominators, 0.5, salt);
+        let killed: Vec<usize> = plan.crashed_nodes().collect();
+        let mut sim = Simulator::new(&g, |_| Flood::default());
+        let report = sim.run(Schedule::synchronous().with_fault_plan(plan)).unwrap();
+        let informed: Vec<bool> = sim.nodes().iter().map(|n| n.informed).collect();
+        (killed, informed, report.messages.total())
+    };
+    let (k1, i1, m1) = run(3);
+    let (k2, i2, m2) = run(3);
+    assert_eq!((&k1, &i1, m1), (&k2, &i2, m2), "storm replay diverged");
+    assert!(!k1.is_empty() && k1.iter().all(|k| dominators.contains(k)));
+    // crashed dominators never wake up; the flood is confined to the
+    // survivor component of the source
+    for &k in &k1 {
+        assert!(!i1[k], "crashed node {k} got informed");
+    }
+    // a different salt is a different storm
+    let (k3, _, _) = run(4);
+    assert_ne!(k1, k3);
+}
+
+#[test]
+fn region_kill_storm_partitions_a_grid_flood() {
+    // 6×6 grid, positions (col, row); killing the x ∈ [2.5, 3.5] strip
+    // removes column 3 and cuts the flood off from columns 4..6
+    let (rows, cols) = (6, 6);
+    let g = generators::grid(rows, cols);
+    let positions: Vec<(f64, f64)> =
+        (0..rows * cols).map(|i| ((i % cols) as f64, (i / cols) as f64)).collect();
+    let plan = FaultPlan::new(5).crash_region(&positions, (2.5, -1.0), (3.5, 7.0));
+    assert_eq!(plan.crashed_nodes().count(), rows, "one column dies");
+    let mut sim = Simulator::new(&g, |_| Flood::default());
+    sim.run(Schedule::synchronous().with_fault_plan(plan)).unwrap();
+    for i in 0..rows * cols {
+        let col = i % cols;
+        assert_eq!(
+            sim.node(i).informed,
+            col < 3,
+            "node {i} (column {col}) on the wrong side of the storm"
+        );
+    }
+}

@@ -41,6 +41,14 @@ wcds query mutate    --addr "${ADDR}" --name net --join 2.0,2.0
 wcds query route     --addr "${ADDR}" --name net --from 0 --to 60
 wcds query mutate    --addr "${ADDR}" --name net --move 5,1.5,1.5
 wcds query stats     --addr "${ADDR}" --name net
+
+# failure-storm smoke: harden to a (2,2)-resilient backbone, park a
+# node out of radio range (a crash through the mutation API), and
+# require routing + stats to keep answering in degraded mode
+wcds query harden    --addr "${ADDR}" --name net --k 2 --m 2
+wcds query mutate    --addr "${ADDR}" --name net --move 7,900.0,900.0
+wcds query route     --addr "${ADDR}" --name net --from 0 --to 59
+wcds query stats     --addr "${ADDR}" --name net
 wcds query export    --addr "${ADDR}" --name net | head -n 1
 wcds query shutdown  --addr "${ADDR}"
 
