@@ -1,0 +1,584 @@
+//! Exhaustive interleaving checker for the region-lease admission
+//! protocol behind concurrent mutations.
+//!
+//! The service store schedules mutations through
+//! `wcds_core::maintenance::lease::LeaseTable`: a mutation claims the
+//! grid cells covering its repair footprint, the table admits
+//! non-conflicting claims together (all-or-nothing, FIFO per cell),
+//! and the store wraps the table in a mutex + condvar
+//! (`wcds-service/src/store.rs::{acquire_lease, release_lease}`).
+//! The table itself is a pure state machine, so this checker drives
+//! the **actual production admission/commit code** — not a model of
+//! it — under every bounded interleaving of claimant threads
+//! ([`wcds_sim::interleave`]).
+//!
+//! After every step of every schedule, four safety properties are
+//! asserted:
+//!
+//! 1. **Isolation** — no two threads are inside critical sections
+//!    with conflicting scopes (the lost-update shape leases exist to
+//!    prevent);
+//! 2. **Grant backing** — a thread inside its critical section still
+//!    holds its grant (nothing revoked it mid-repair);
+//! 3. **FIFO** — conflicting claims commit in ticket (arrival) order:
+//!    no barging past an older waiter on a shared cell;
+//! 4. **Table consistency** — [`LeaseTable::check_invariants`] holds
+//!    (granted/waiting disjoint, no conflicting grants, queue in
+//!    ticket order).
+//!
+//! Liveness rides along for free: a schedule where unfinished threads
+//! are all blocked is reported as a deadlock by the explorer, so a
+//! clean run doubles as a proof that the all-or-nothing acquisition
+//! really is deadlock-free over these scenarios. Two witness
+//! scenarios pin the protocol's *intent*: disjoint claims must
+//! actually overlap in some schedule (no silent over-serialization),
+//! and conflicting claims must never overlap in any. Two deliberately
+//! broken claimant variants (entering the critical section without
+//! acquiring; releasing the lease before the critical section ends)
+//! **must** be caught — proving the checker can see the bugs it
+//! guards against.
+
+use std::fmt::Write as _;
+use wcds_core::maintenance::lease::{Admission, LeaseTable, Scope, Ticket};
+use wcds_sim::interleave::{explore, Explored, InterleaveError, Interleaved};
+
+/// A claim over one sorted cell list (test vocabulary: single cells
+/// are enough to express every conflict shape).
+fn cells(list: &[(i64, i64)]) -> Scope {
+    let mut v = list.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    Scope::Cells(v)
+}
+
+/// One thread currently inside its critical section.
+#[derive(Debug, Clone)]
+pub struct CsEntry {
+    /// Index of the actor in the scenario's thread list.
+    pub actor: usize,
+    /// The grant backing the entry — `None` only for the broken
+    /// variants that enter without (or after giving up) a grant.
+    pub ticket: Option<Ticket>,
+    /// What the repair inside claims to touch.
+    pub scope: Scope,
+}
+
+/// Shared state: the real lease table plus the observation log the
+/// invariants read.
+#[derive(Debug, Clone)]
+pub struct LeaseModel {
+    /// The production admission state machine, driven directly.
+    pub table: LeaseTable,
+    /// Threads currently inside critical sections.
+    pub in_cs: Vec<CsEntry>,
+    /// Commit log: `(ticket, scope)` in commit order.
+    pub commits: Vec<(Ticket, Scope)>,
+}
+
+impl LeaseModel {
+    fn new() -> Self {
+        Self { table: LeaseTable::new(), in_cs: Vec::new(), commits: Vec::new() }
+    }
+}
+
+/// Claimant variant a thread runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Acquire → wait for grant → critical section → release.
+    Faithful,
+    /// Bug seed: walk straight into the critical section without
+    /// touching the table (a mutation path that forgets the lease).
+    SkipAcquire,
+    /// Bug seed: release the lease *before* entering the critical
+    /// section (repair outliving its grant).
+    EarlyRelease,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Before `acquire`.
+    Start,
+    /// Queued; blocked until the table grants the ticket (the store's
+    /// condvar wait, modelled via [`Interleaved::enabled`]).
+    Waiting(Ticket),
+    /// Holding the grant; next step enters the critical section.
+    Granted(Ticket),
+    /// Inside the critical section; next step commits and releases.
+    InCs(Option<Ticket>),
+    Done,
+}
+
+/// One thread of the model.
+#[derive(Debug, Clone)]
+enum Actor {
+    /// A mutation: claim `scope`, repair, release.
+    Claimant { id: usize, scope: Scope, phase: Phase, mode: Mode },
+    /// A mutation that withdraws instead of repairing: releases a
+    /// grant unused, aborts a queued claim ([`LeaseTable::abort`]).
+    /// Never enters a critical section, so it carries no actor id.
+    Aborter { scope: Scope, phase: Phase },
+    /// A lock-free thread of `n` no-op steps (scheduler coverage
+    /// probe).
+    Free { left: u8 },
+}
+
+fn claimant(id: usize, scope: Scope) -> Actor {
+    Actor::Claimant { id, scope, phase: Phase::Start, mode: Mode::Faithful }
+}
+
+fn broken(id: usize, scope: Scope, mode: Mode) -> Actor {
+    Actor::Claimant { id, scope, phase: Phase::Start, mode }
+}
+
+fn aborter(scope: Scope) -> Actor {
+    Actor::Aborter { scope, phase: Phase::Start }
+}
+
+impl Interleaved for Actor {
+    type Shared = LeaseModel;
+
+    fn done(&self) -> bool {
+        match self {
+            Actor::Claimant { phase, .. } | Actor::Aborter { phase, .. } => {
+                *phase == Phase::Done
+            }
+            Actor::Free { left } => *left == 0,
+        }
+    }
+
+    fn enabled(&self, s: &LeaseModel) -> bool {
+        match self {
+            // the condvar wait: a queued claimant is runnable only
+            // once a release/abort promoted its ticket
+            Actor::Claimant { phase: Phase::Waiting(t), .. } => s.table.is_granted(*t),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, s: &mut LeaseModel) {
+        match self {
+            Actor::Claimant { id, scope, phase, mode } => {
+                *phase = claimant_step(*id, scope, phase.clone(), *mode, s);
+            }
+            Actor::Aborter { scope, phase } => {
+                *phase = match phase.clone() {
+                    Phase::Start => match s.table.acquire(scope.clone()) {
+                        (t, Admission::Granted) => Phase::Granted(t),
+                        (t, Admission::Queued) => Phase::Waiting(t),
+                    },
+                    // withdraw without repairing: release the unused
+                    // grant, or abort the queued claim — both must
+                    // promote whoever was blocked behind it
+                    Phase::Granted(t) => {
+                        s.table.release(t);
+                        Phase::Done
+                    }
+                    Phase::Waiting(t) => {
+                        s.table.abort(t);
+                        Phase::Done
+                    }
+                    p @ (Phase::InCs(_) | Phase::Done) => p,
+                }
+            }
+            Actor::Free { left } => *left = left.saturating_sub(1),
+        }
+    }
+}
+
+/// One step of a claimant, mirroring the store's
+/// `acquire_lease` → repair-under-exclusive-access → `release_lease`
+/// sequence.
+fn claimant_step(id: usize, scope: &Scope, phase: Phase, mode: Mode, s: &mut LeaseModel) -> Phase {
+    match (phase, mode) {
+        (Phase::Start, Mode::SkipAcquire) => {
+            // BUG variant: repair with no lease at all
+            s.in_cs.push(CsEntry { actor: id, ticket: None, scope: scope.clone() });
+            Phase::InCs(None)
+        }
+        (Phase::Start, _) => match s.table.acquire(scope.clone()) {
+            (t, Admission::Granted) => Phase::Granted(t),
+            (t, Admission::Queued) => Phase::Waiting(t),
+        },
+        // enabled() held this thread until the grant arrived
+        (Phase::Waiting(t), _) => Phase::Granted(t),
+        (Phase::Granted(t), Mode::EarlyRelease) => {
+            // BUG variant: give the lease back, then repair anyway
+            s.table.release(t);
+            s.in_cs.push(CsEntry { actor: id, ticket: None, scope: scope.clone() });
+            Phase::InCs(None)
+        }
+        (Phase::Granted(t), _) => {
+            s.in_cs.push(CsEntry { actor: id, ticket: Some(t), scope: scope.clone() });
+            Phase::InCs(Some(t))
+        }
+        (Phase::InCs(t), _) => {
+            s.in_cs.retain(|e| e.actor != id);
+            if let Some(t) = t {
+                s.commits.push((t, scope.clone()));
+                s.table.release(t);
+            }
+            Phase::Done
+        }
+        (Phase::Done, _) => Phase::Done,
+    }
+}
+
+/// The safety properties, checked after every step of every schedule.
+fn invariant(s: &LeaseModel, _actors: &[Actor], _schedule: &[usize]) -> Result<(), String> {
+    s.table.check_invariants()?;
+    for (i, a) in s.in_cs.iter().enumerate() {
+        for b in s.in_cs.iter().skip(i + 1) {
+            if a.scope.conflicts(&b.scope) {
+                return Err(format!(
+                    "isolation violated: threads {} and {} inside conflicting critical sections",
+                    a.actor, b.actor
+                ));
+            }
+        }
+        if let Some(t) = a.ticket {
+            if !s.table.is_granted(t) {
+                return Err(format!(
+                    "thread {} in its critical section but ticket {t} is not granted",
+                    a.actor
+                ));
+            }
+        }
+    }
+    for (i, (ta, sa)) in s.commits.iter().enumerate() {
+        for (tb, sb) in s.commits.iter().take(i) {
+            if sa.conflicts(sb) && ta < tb {
+                return Err(format!(
+                    "FIFO violated: ticket {ta} committed after conflicting younger ticket {tb}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of one explored scenario.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Human-readable scenario name.
+    pub name: &'static str,
+    /// Distinct complete schedules explored (0 for seeded-bug rows).
+    pub schedules: u64,
+    /// Total steps executed across schedules.
+    pub steps: u64,
+}
+
+/// Outcome of the full lease-checker run.
+#[derive(Debug, Default)]
+pub struct LeaseReport {
+    /// Per-scenario exploration counts.
+    pub scenarios: Vec<Scenario>,
+    /// Sum of schedules across scenarios.
+    pub total_schedules: u64,
+}
+
+/// Runs every scenario. `Err` carries a violation report (schedule +
+/// property) — a clean tree returns `Ok`.
+///
+/// # Errors
+///
+/// The first scenario whose exploration finds a violated invariant,
+/// deadlock, or budget blow-up, rendered with its scheduling prefix —
+/// a witness scenario that fails to reach (or exceed) its expected
+/// concurrency — or a broken-variant scenario that the checker
+/// *fails* to catch.
+pub fn run() -> Result<LeaseReport, String> {
+    let mut report = LeaseReport::default();
+
+    // scheduler coverage probe: two independent 4-step threads have
+    // exactly C(8, 4) = 70 interleavings; all must be visited
+    let explored = check(
+        "coverage: 2 free threads × 4 steps",
+        &[Actor::Free { left: 4 }, Actor::Free { left: 4 }],
+        &mut report,
+    )?;
+    if explored.schedules != 70 {
+        return Err(format!(
+            "coverage probe explored {} schedules, expected C(8,4) = 70 — \
+             the scheduler is not exhaustive",
+            explored.schedules
+        ));
+    }
+
+    // witness: disjoint claims MUST overlap in some schedule — the
+    // admission protocol may not silently serialize everything...
+    check_width(
+        "2 disjoint claimants (must overlap)",
+        &[claimant(0, cells(&[(0, 0)])), claimant(1, cells(&[(9, 9)]))],
+        Width::Reaches(2),
+        &mut report,
+    )?;
+    // ...and conflicting claims must NEVER overlap in any schedule
+    check_width(
+        "2 conflicting claimants (never overlap)",
+        &[claimant(0, cells(&[(0, 0), (1, 0)])), claimant(1, cells(&[(1, 0)]))],
+        Width::Caps(1),
+        &mut report,
+    )?;
+    // the same pair of witnesses for site-form claims (`Scope::Blocks`,
+    // the shape the store actually ships): sites beyond Chebyshev
+    // distance 2·CLAIM_RADIUS_CELLS = 16 must overlap, sites within it
+    // must serialize
+    check_width(
+        "2 disjoint block claimants (must overlap)",
+        &[
+            claimant(0, Scope::Blocks(vec![(0, 0)])),
+            claimant(1, Scope::Blocks(vec![(40, 40)])),
+        ],
+        Width::Reaches(2),
+        &mut report,
+    )?;
+    check_width(
+        "2 conflicting block claimants (never overlap)",
+        &[
+            claimant(0, Scope::Blocks(vec![(0, 0)])),
+            claimant(1, Scope::Blocks(vec![(10, 10)])),
+        ],
+        Width::Caps(1),
+        &mut report,
+    )?;
+
+    let scenarios: &[(&'static str, Vec<Actor>)] = &[
+        (
+            "3 claimants on one cell (total order)",
+            vec![
+                claimant(0, cells(&[(0, 0)])),
+                claimant(1, cells(&[(0, 0)])),
+                claimant(2, cells(&[(0, 0)])),
+            ],
+        ),
+        (
+            "conflict chain a–b, b–c; a, c disjoint",
+            vec![
+                claimant(0, cells(&[(0, 0)])),
+                claimant(1, cells(&[(0, 0), (5, 5)])),
+                claimant(2, cells(&[(5, 5)])),
+            ],
+        ),
+        (
+            "leave (Scope::All) vs 2 disjoint cell claims",
+            vec![
+                claimant(0, Scope::All),
+                claimant(1, cells(&[(0, 0)])),
+                claimant(2, cells(&[(9, 9)])),
+            ],
+        ),
+        (
+            "2 conflicting claimants vs a free thread",
+            vec![
+                claimant(0, cells(&[(2, 2)])),
+                claimant(1, cells(&[(2, 2)])),
+                Actor::Free { left: 3 },
+            ],
+        ),
+        (
+            "aborter between a holder and a waiter",
+            vec![
+                claimant(0, cells(&[(0, 0)])),
+                aborter(cells(&[(0, 0), (2, 2)])),
+                claimant(2, cells(&[(2, 2)])),
+            ],
+        ),
+        (
+            "4 claimants, two independent conflict pairs",
+            vec![
+                claimant(0, cells(&[(0, 0)])),
+                claimant(1, cells(&[(0, 0)])),
+                claimant(2, cells(&[(9, 9)])),
+                claimant(3, cells(&[(9, 9)])),
+            ],
+        ),
+    ];
+    for (name, actors) in scenarios {
+        check(name, actors, &mut report)?;
+    }
+
+    // sensitivity: the broken variants MUST be caught
+    expect_caught(
+        "broken: critical section without acquire",
+        &[
+            claimant(0, cells(&[(0, 0)])),
+            broken(1, cells(&[(0, 0)]), Mode::SkipAcquire),
+        ],
+        "isolation violated",
+        &mut report,
+    )?;
+    expect_caught(
+        "broken: lease released before the critical section",
+        &[
+            broken(0, cells(&[(0, 0)]), Mode::EarlyRelease),
+            claimant(1, cells(&[(0, 0)])),
+        ],
+        "isolation violated",
+        &mut report,
+    )?;
+
+    Ok(report)
+}
+
+fn check(
+    name: &'static str,
+    actors: &[Actor],
+    report: &mut LeaseReport,
+) -> Result<Explored, String> {
+    let explored = explore(&LeaseModel::new(), actors, &mut invariant)
+        .map_err(|e| render(name, &e))?;
+    report.total_schedules += explored.schedules;
+    report.scenarios.push(Scenario { name, schedules: explored.schedules, steps: explored.steps });
+    Ok(explored)
+}
+
+/// Expected critical-section width of a witness scenario.
+enum Width {
+    /// Some schedule must reach this many concurrent critical
+    /// sections (true concurrency).
+    Reaches(usize),
+    /// No schedule may exceed this width (full serialization).
+    Caps(usize),
+}
+
+/// Explores a scenario while tracking the widest critical-section
+/// overlap seen across all schedules, then checks it against `width`.
+fn check_width(
+    name: &'static str,
+    actors: &[Actor],
+    width: Width,
+    report: &mut LeaseReport,
+) -> Result<(), String> {
+    let mut widest = 0usize;
+    let mut watch = |s: &LeaseModel, a: &[Actor], sched: &[usize]| {
+        widest = widest.max(s.in_cs.len());
+        invariant(s, a, sched)
+    };
+    let explored =
+        explore(&LeaseModel::new(), actors, &mut watch).map_err(|e| render(name, &e))?;
+    match width {
+        Width::Reaches(n) if widest < n => {
+            return Err(format!(
+                "scenario `{name}`: expected some schedule to run {n} critical sections \
+                 concurrently, widest seen was {widest} — the protocol over-serializes"
+            ));
+        }
+        Width::Caps(n) if widest > n => {
+            return Err(format!(
+                "scenario `{name}`: expected at most {n} concurrent critical section(s), \
+                 some schedule reached {widest}"
+            ));
+        }
+        _ => {}
+    }
+    report.total_schedules += explored.schedules;
+    report.scenarios.push(Scenario { name, schedules: explored.schedules, steps: explored.steps });
+    Ok(())
+}
+
+/// Explores a deliberately broken variant and demands the checker
+/// catch it with a message containing `expect_in_message`.
+fn expect_caught(
+    name: &'static str,
+    actors: &[Actor],
+    expect_in_message: &str,
+    report: &mut LeaseReport,
+) -> Result<(), String> {
+    match explore(&LeaseModel::new(), actors, &mut invariant) {
+        Err(InterleaveError::InvariantViolated { message, .. })
+            if message.contains(expect_in_message) =>
+        {
+            report.scenarios.push(Scenario { name, schedules: 0, steps: 0 });
+            Ok(())
+        }
+        Err(e) => Err(format!(
+            "{name}: caught the wrong failure (wanted `{expect_in_message}`): {}",
+            render(name, &e)
+        )),
+        Ok(_) => Err(format!(
+            "{name}: checker sensitivity failure — the seeded bug was NOT caught"
+        )),
+    }
+}
+
+fn render(name: &str, e: &InterleaveError) -> String {
+    let mut out = format!("scenario `{name}`: ");
+    match e {
+        InterleaveError::InvariantViolated { schedule, message } => {
+            let _ = write!(out, "invariant violated after schedule {schedule:?}: {message}");
+        }
+        InterleaveError::Deadlock { schedule, blocked } => {
+            let _ = write!(out, "deadlock after schedule {schedule:?}; blocked threads {blocked:?}");
+        }
+        InterleaveError::BudgetExhausted { budget } => {
+            let _ = write!(out, "step budget {budget} exhausted");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_pass_and_cover_at_least_70_schedules() {
+        let report = match run() {
+            Ok(r) => r,
+            Err(e) => panic!("lease checker found a violation: {e}"),
+        };
+        assert!(
+            report.total_schedules >= 70,
+            "only {} schedules explored",
+            report.total_schedules
+        );
+        assert!(report.scenarios.len() >= 10, "only {} scenarios", report.scenarios.len());
+    }
+
+    #[test]
+    fn solo_claimant_acquires_repairs_releases() {
+        let mut s = LeaseModel::new();
+        let mut c = claimant(0, cells(&[(0, 0)]));
+        while !c.done() {
+            assert!(c.enabled(&s));
+            c.step(&mut s);
+            invariant(&s, &[], &[]).unwrap();
+        }
+        assert_eq!(s.table.in_flight(), 0);
+        assert_eq!(s.table.queued(), 0);
+        assert_eq!(s.commits.len(), 1);
+        assert!(s.in_cs.is_empty());
+    }
+
+    #[test]
+    fn queued_claimant_is_disabled_until_the_holder_releases() {
+        let mut s = LeaseModel::new();
+        let mut a = claimant(0, cells(&[(0, 0)]));
+        let mut b = claimant(1, cells(&[(0, 0)]));
+        a.step(&mut s); // a acquires (granted)
+        b.step(&mut s); // b acquires (queued)
+        assert!(!b.enabled(&s), "b must block while a holds the cell");
+        a.step(&mut s); // a enters its critical section
+        assert!(!b.enabled(&s));
+        a.step(&mut s); // a commits and releases → b promoted
+        assert!(b.enabled(&s), "release must wake b");
+        while !b.done() {
+            b.step(&mut s);
+            invariant(&s, &[], &[]).unwrap();
+        }
+        assert_eq!(s.commits.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_claimants_can_both_be_inside_their_critical_sections() {
+        let mut s = LeaseModel::new();
+        let mut a = claimant(0, cells(&[(0, 0)]));
+        let mut b = claimant(1, cells(&[(9, 9)]));
+        a.step(&mut s);
+        b.step(&mut s);
+        a.step(&mut s);
+        b.step(&mut s);
+        assert_eq!(s.in_cs.len(), 2, "disjoint scopes repair concurrently");
+        invariant(&s, &[], &[]).unwrap();
+    }
+}

@@ -1,9 +1,10 @@
 //! `wcds-analyze` — the repo's correctness gate.
 //!
 //! ```text
-//! wcds-analyze check            # all three engines (the CI gate)
+//! wcds-analyze check            # all four engines (the CI gate)
 //! wcds-analyze lints [--root P] # source lints only
-//! wcds-analyze races            # interleaving checker only
+//! wcds-analyze races            # store-rebuild interleaving checker
+//! wcds-analyze leases           # lease-admission interleaving checker
 //! wcds-analyze totality         # decoder totality only
 //! ```
 //!
@@ -11,10 +12,10 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use wcds_analyze::{lints, races, totality};
+use wcds_analyze::{leases, lints, races, totality};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wcds-analyze <check|lints|races|totality> [--root <repo-root>]");
+    eprintln!("usage: wcds-analyze <check|lints|races|leases|totality> [--root <repo-root>]");
     ExitCode::from(2)
 }
 
@@ -29,7 +30,7 @@ fn main() -> ExitCode {
                 Some(p) => root = PathBuf::from(p),
                 None => return usage(),
             },
-            "check" | "lints" | "races" | "totality" if command.is_none() => {
+            "check" | "lints" | "races" | "leases" | "totality" if command.is_none() => {
                 command = Some(arg.clone());
             }
             _ => return usage(),
@@ -43,6 +44,9 @@ fn main() -> ExitCode {
     }
     if command == "check" || command == "races" {
         clean &= run_races();
+    }
+    if command == "check" || command == "leases" {
+        clean &= run_leases();
     }
     if command == "check" || command == "totality" {
         clean &= run_totality();
@@ -94,6 +98,27 @@ fn run_lints(root: &Path) -> bool {
 fn run_races() -> bool {
     println!("== races (store rebuild protocol) ==");
     match races::run() {
+        Ok(report) => {
+            for s in &report.scenarios {
+                if s.schedules > 0 {
+                    println!("  {:<42} {:>6} schedules, {:>7} steps", s.name, s.schedules, s.steps);
+                } else {
+                    println!("  {:<42} seeded bug caught", s.name);
+                }
+            }
+            println!("  {} schedules explored, zero violations", report.total_schedules);
+            true
+        }
+        Err(e) => {
+            println!("  VIOLATION: {e}");
+            false
+        }
+    }
+}
+
+fn run_leases() -> bool {
+    println!("== leases (region-lease admission protocol) ==");
+    match leases::run() {
         Ok(report) => {
             for s in &report.scenarios {
                 if s.schedules > 0 {

@@ -55,6 +55,15 @@ fn request_seeds() -> Vec<Request> {
             mutation: Mutation::Move { node: 4, x: 0.0, y: 9.75 },
         },
         Request::Harden { name: "net".into(), k: 2, m: 2 },
+        Request::MutateBatch {
+            name: "n".into(),
+            mutations: vec![
+                Mutation::Move { node: 4, x: 0.5, y: 9.75 },
+                Mutation::Join { x: -1.0, y: 2.0 },
+                Mutation::Leave { node: 2 },
+            ],
+        },
+        Request::MutateBatch { name: "n".into(), mutations: vec![] },
         Request::List,
         Request::Drop { name: "n".into() },
         Request::Shutdown,
@@ -90,8 +99,19 @@ fn response_seeds() -> Vec<Response> {
             routes_degraded: 3,
             routes_unreachable: 1,
             heals: 1,
+            lease_waits: 6,
+            lease_conflicts: 9,
+            batched_mutations: 320,
+            concurrent_repairs_max: 4,
         }),
         Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] },
+        Response::BatchMutated {
+            epoch: 320,
+            applied: 16,
+            promoted: 2,
+            demoted: 1,
+            lease_wait_us: 350,
+        },
         Response::Topologies { names: vec!["a".into(), "b".into()] },
         Response::Hardened {
             k: 2,

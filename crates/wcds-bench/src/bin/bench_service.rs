@@ -2,39 +2,64 @@
 //!
 //! Runs an in-process `wcds-service` server on a loopback port and
 //! hammers it with concurrent client threads over real TCP, measuring
-//! per-request latency (p50/p95/p99), aggregate throughput, and the
+//! per-operation latency (p50/p95/p99), aggregate throughput, and the
 //! topology store's cache hit rate under two workload mixes:
 //!
-//! * **read-heavy** — 1 mutation per 32 requests: the epoch cache
-//!   should absorb almost everything;
-//! * **mutation-heavy** — 1 mutation per 4 requests: every mutation
-//!   invalidates the artifact bundle, so rebuilds dominate.
+//! * **read-heavy** — 1 single-mutation request per 32 requests: the
+//!   epoch cache should absorb almost everything;
+//! * **mutation-heavy** — 1 drift tick per 4 requests, shipped as a
+//!   [`Mutation::Move`] × [`BATCH_MOVES`] `MutateBatch` frame: the
+//!   region-lease scheduler coalesces each tick into per-wave repairs,
+//!   and every applied move counts as one operation.
 //!
 //! Mutations are joins/moves only (never leaves), so route endpoints
-//! sampled from the initial node range stay valid throughout. Pass
-//! `--quick` for the CI smoke size.
+//! sampled from the initial node range stay valid throughout. Batch
+//! latencies subtract the lease-wait time the server reports — queue
+//! time is accounted separately (`lease_wait_ms` check) so the p99
+//! measures service time, not contention backlog. The mutation-heavy
+//! mix is release-gated on the serial-replay oracle: the final export
+//! must be byte-identical to replaying the batch log, sorted by
+//! commit epoch, one move at a time. Pass `--quick` for the CI smoke
+//! size.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wcds_bench::perf::{write_bench_json, BenchRow};
 use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree, Scale};
+use wcds_core::maintenance::MaintainedWcds;
+use wcds_geom::Point;
 use wcds_graph::io;
 use wcds_rng::{ChaCha12Rng, Rng};
-use wcds_service::{Client, Mutation, Server, ServerConfig, Store};
+use wcds_service::{Client, Mutation, Server, ServerConfig, Store, TopologyStats};
 
 const SEED: u64 = 42;
+/// Moves per drift-tick `MutateBatch` frame in the mutation-heavy mix.
+const BATCH_MOVES: usize = 16;
+/// PR-7 single-mutation baselines the lease scheduler must beat
+/// (BENCH_service.json at the 8-worker full scale).
+const BASELINE_MUTATION_HEAVY_OPS_PER_S: f64 = 2871.9;
+const BASELINE_MUTATION_HEAVY_P99_US: f64 = 15_796.2;
 
 struct MixResult {
     wall_ms: f64,
+    /// Per-operation service latencies (lease wait already subtracted
+    /// from batch frames).
     latencies_us: Vec<f64>,
+    /// Logical operations: reads + applied mutations.
+    ops: usize,
     mutations: u64,
+    lease_wait_ms: f64,
     hit_rate: f64,
-    final_epoch: u64,
+    stats: TopologyStats,
+    /// `(first epoch, moves)` per batch frame — the replay log.
+    batch_log: Vec<(u64, Vec<Mutation>)>,
+    final_export: String,
 }
 
 /// Runs one workload mix against a fresh topology on `addr`:
 /// `threads` clients, each issuing `ops` requests, mutating once every
-/// `mutation_period` requests.
+/// `mutation_period` requests — one mutation per slot when
+/// `batch_moves` is 0, a `MutateBatch` drift tick otherwise.
 #[allow(clippy::too_many_arguments)] // single call site, positional config
 fn run_mix(
     addr: std::net::SocketAddr,
@@ -45,6 +70,7 @@ fn run_mix(
     threads: usize,
     ops: usize,
     mutation_period: usize,
+    batch_moves: usize,
 ) -> MixResult {
     let mut admin = Client::connect(addr).expect("admin connect");
     admin.create(mix, payload).expect("create topology");
@@ -52,20 +78,53 @@ fn run_mix(
     admin.construct(mix).expect("initial construct");
 
     let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(threads * ops));
+    let batch_log: Mutex<Vec<(u64, Vec<Mutation>)>> = Mutex::new(Vec::new());
     let mutations = std::sync::atomic::AtomicU64::new(0);
+    let lease_wait_us = std::sync::atomic::AtomicU64::new(0);
+    let logical_ops = std::sync::atomic::AtomicU64::new(0);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let latencies = &latencies;
+            let batch_log = &batch_log;
             let mutations = &mutations;
+            let lease_wait_us = &lease_wait_us;
+            let logical_ops = &logical_ops;
             scope.spawn(move || {
                 let mut rng = ChaCha12Rng::seed_from_u64(SEED + 7 * t as u64);
                 let mut c = Client::connect_with_timeout(addr, Duration::from_secs(60))
                     .expect("load client connect");
                 let mut local = Vec::with_capacity(ops);
+                let mut local_ops = 0u64;
+                let mut local_wait = 0u64;
                 for i in 0..ops {
-                    let tick = Instant::now();
                     if (i + t) % mutation_period == 0 {
+                        if batch_moves > 0 {
+                            // drift tick: one frame, batch_moves moves
+                            let tick_moves: Vec<Mutation> = (0..batch_moves)
+                                .map(|_| Mutation::Move {
+                                    node: rng.gen_range(0..n),
+                                    x: rng.gen::<f64>() * side,
+                                    y: rng.gen::<f64>() * side,
+                                })
+                                .collect();
+                            let tick = Instant::now();
+                            let out = c.mutate_batch(mix, &tick_moves).expect("mutate batch");
+                            let total_us = tick.elapsed().as_secs_f64() * 1e6;
+                            assert_eq!(out.applied as usize, batch_moves);
+                            // queue time is contention accounting, not
+                            // service time — measure the repair itself
+                            local.push((total_us - out.lease_wait_us as f64).max(0.0));
+                            local_wait += out.lease_wait_us;
+                            local_ops += out.applied;
+                            mutations
+                                .fetch_add(out.applied, std::sync::atomic::Ordering::Relaxed);
+                            batch_log
+                                .lock()
+                                .unwrap()
+                                .push((out.epoch + 1 - out.applied, tick_moves));
+                            continue;
+                        }
                         let mutation = if rng.gen_range(0..2usize) == 0 {
                             Mutation::Join {
                                 x: rng.gen::<f64>() * side,
@@ -78,9 +137,13 @@ fn run_mix(
                                 y: rng.gen::<f64>() * side,
                             }
                         };
+                        let tick = Instant::now();
                         c.mutate(mix, mutation).expect("mutate");
+                        local.push(tick.elapsed().as_secs_f64() * 1e6);
+                        local_ops += 1;
                         mutations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     } else {
+                        let tick = Instant::now();
                         match rng.gen_range(0..8usize) {
                             0 => {
                                 c.stats(mix).expect("stats");
@@ -95,25 +158,69 @@ fn run_mix(
                                 let _ = c.route(mix, s, d);
                             }
                         }
+                        local.push(tick.elapsed().as_secs_f64() * 1e6);
+                        local_ops += 1;
                     }
-                    local.push(tick.elapsed().as_secs_f64() * 1e6);
                 }
                 latencies.lock().unwrap().extend(local);
+                logical_ops.fetch_add(local_ops, std::sync::atomic::Ordering::Relaxed);
+                lease_wait_us.fetch_add(local_wait, std::sync::atomic::Ordering::Relaxed);
             });
         }
     });
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     let stats = admin.stats(mix).expect("final stats");
+    let final_export = admin.export(mix).expect("final export");
     let queries = stats.cache_hits + stats.cache_misses;
     admin.drop_topology(mix).expect("drop topology");
     MixResult {
         wall_ms,
         latencies_us: latencies.into_inner().unwrap(),
+        ops: logical_ops.into_inner() as usize,
         mutations: mutations.into_inner(),
+        lease_wait_ms: lease_wait_us.into_inner() as f64 / 1000.0,
         hit_rate: if queries > 0 { stats.cache_hits as f64 / queries as f64 } else { 0.0 },
-        final_epoch: stats.epoch,
+        stats,
+        batch_log: batch_log.into_inner().unwrap(),
+        final_export,
     }
+}
+
+/// The serial-replay oracle: sort the batch log by first commit epoch,
+/// apply every move one at a time, and demand byte identity with the
+/// server's final export.
+fn assert_serial_replay(payload: &str, result: &MixResult) {
+    let mut log = result.batch_log.clone();
+    log.sort_by_key(|&(first, _)| first);
+    let mut expect_next = 1u64;
+    for (first, moves) in &log {
+        assert_eq!(
+            *first, expect_next,
+            "batch epoch ranges must tile 1..=mutations with no gap or overlap"
+        );
+        expect_next += moves.len() as u64;
+    }
+    assert_eq!(expect_next - 1, result.mutations, "log covers every applied mutation");
+
+    let doc = io::from_text(payload).expect("bench payload parses");
+    let mut replay =
+        MaintainedWcds::new(doc.points.expect("mobile payload"), wcds_service::store::UDG_RADIUS);
+    for (_, moves) in &log {
+        for m in moves {
+            match *m {
+                Mutation::Move { node, x, y } => {
+                    replay.apply_motion(&[(node, Point::new(x, y))]);
+                }
+                _ => unreachable!("mutation-heavy mix ships moves only"),
+            }
+        }
+    }
+    assert_eq!(
+        result.final_export,
+        io::to_text(replay.graph(), Some(replay.points())),
+        "concurrent batch application diverged from serial replay in commit order"
+    );
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -144,25 +251,69 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut checks = Vec::new();
-    for (mix, mutation_period) in [("read_heavy", 32usize), ("mutation_heavy", 4usize)] {
-        let result = run_mix(addr, mix, &payload, side, n, threads, ops, mutation_period);
-        let total = result.latencies_us.len();
-        assert_eq!(total, threads * ops, "{mix}: lost requests");
+    for (mix, mutation_period, batch_moves) in
+        [("read_heavy", 32usize, 0usize), ("mutation_heavy", 4, BATCH_MOVES)]
+    {
+        let result =
+            run_mix(addr, mix, &payload, side, n, threads, ops, mutation_period, batch_moves);
+        let requests = result.latencies_us.len();
+        assert_eq!(requests, threads * ops, "{mix}: lost requests");
         assert_eq!(
-            result.final_epoch, result.mutations,
+            result.stats.epoch, result.mutations,
             "{mix}: epoch must count exactly the applied mutations"
         );
+        if batch_moves > 0 {
+            assert_serial_replay(&payload, &result);
+            assert_eq!(
+                result.stats.batched_mutations, result.mutations,
+                "{mix}: every mutation arrived batched"
+            );
+        }
 
         let mut sorted = result.latencies_us.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        rows.push(BenchRow::new(mix, n, edges, threads, result.wall_ms, total));
+        rows.push(BenchRow::new(mix, n, edges, threads, result.wall_ms, result.ops));
         checks.push((format!("{mix}_p50_us"), format!("{:.1}", percentile(&sorted, 0.50))));
         checks.push((format!("{mix}_p95_us"), format!("{:.1}", percentile(&sorted, 0.95))));
         checks.push((format!("{mix}_p99_us"), format!("{:.1}", percentile(&sorted, 0.99))));
         checks.push((format!("{mix}_cache_hit_rate"), format!("{:.4}", result.hit_rate)));
         checks.push((format!("{mix}_mutations"), format!("{}", result.mutations)));
+        checks.push((format!("{mix}_lease_wait_ms"), format!("{:.1}", result.lease_wait_ms)));
+        checks.push((
+            format!("{mix}_lease_waits"),
+            format!("{}", result.stats.lease_waits),
+        ));
+        checks.push((
+            format!("{mix}_lease_conflicts"),
+            format!("{}", result.stats.lease_conflicts),
+        ));
+        checks.push((
+            format!("{mix}_batched_mutations"),
+            format!("{}", result.stats.batched_mutations),
+        ));
+        checks.push((
+            format!("{mix}_concurrent_repairs_max"),
+            format!("{}", result.stats.concurrent_repairs_max),
+        ));
+
+        if scale == Scale::Full && mix == "mutation_heavy" {
+            let row = rows.last().expect("row just pushed");
+            assert!(
+                row.throughput >= 4.0 * BASELINE_MUTATION_HEAVY_OPS_PER_S,
+                "mutation_heavy {:.1} ops/s is below 4× the single-mutation \
+                 baseline ({BASELINE_MUTATION_HEAVY_OPS_PER_S} req/s)",
+                row.throughput
+            );
+            let p99 = percentile(&sorted, 0.99);
+            assert!(
+                p99 < BASELINE_MUTATION_HEAVY_P99_US,
+                "mutation_heavy p99 service time {p99:.1} µs regressed past the \
+                 PR-7 tail ({BASELINE_MUTATION_HEAVY_P99_US} µs)"
+            );
+        }
     }
     checks.push(("epochs_match_mutations".to_string(), "true".to_string()));
+    checks.push(("batch_replay_matches_serial".to_string(), "true".to_string()));
 
     let mut shutdown = Client::connect(addr).expect("shutdown connect");
     shutdown.shutdown_server().expect("graceful shutdown");
@@ -172,7 +323,7 @@ fn main() {
     write_bench_json("BENCH_service.json", "service", &rows, &checks);
     for r in &rows {
         println!(
-            "{:<16} n={:<4} threads={:<2} {:>9.1} ms  {:>10.0} req/s",
+            "{:<16} n={:<4} threads={:<2} {:>9.1} ms  {:>10.0} ops/s",
             r.name, r.n, r.threads, r.wall_ms, r.throughput
         );
     }

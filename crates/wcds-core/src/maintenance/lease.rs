@@ -1,0 +1,618 @@
+//! Region leases: the admission protocol behind concurrent mutations.
+//!
+//! PR 5's repair engine proved the paper's locality claim — a mutation's
+//! effects stay inside `ball(seeds ∪ flips, 3)` — which makes mutations
+//! whose disturbed regions do not meet *commute* (the local-computation
+//! framing of Kuhn–Moscibroda–Nieberg–Wattenhofer, arXiv:0803.2174).
+//! This module turns that theorem into a scheduler:
+//!
+//! * a mutation **claims** the grid cells that conservatively cover
+//!   everything its repair may read, by pure cell arithmetic on the
+//!   mutation site(s) — no graph walk is needed to claim
+//!   ([`claim_cells`]);
+//! * a [`LeaseTable`] admits claims **all-or-nothing**: a claim is
+//!   granted only when every one of its cells is free *and* no older
+//!   queued claim shares a cell with it; otherwise it queues. Cells are
+//!   kept in sorted order and the grant decision is atomic over the
+//!   whole claim, so there is no hold-and-wait and therefore no
+//!   deadlock; queue order per cell equals global ticket order, which
+//!   gives per-cell FIFO fairness and freedom from starvation (the
+//!   oldest waiter is at the head of every queue it is in, and nothing
+//!   admitted later may overtake it on a shared cell);
+//! * [`plan_waves`] turns a *batch* of claims (one drift tick) into
+//!   FIFO waves: wave `k` holds the claims whose every conflicting
+//!   predecessor sits in a wave `< k`. Applying the batch one wave at a
+//!   time is exactly what the live table would schedule if each
+//!   mutation arrived as its own request.
+//!
+//! The table is a **pure state machine** — no locks, no clocks, no I/O
+//! — so the production store (which wraps it in a mutex + condvar) and
+//! the `wcds-analyze` bounded-interleaving checker drive the *same*
+//! admission/commit code.
+//!
+//! Correctness is not delegated to the leases: batched deltas are
+//! applied by one coalesced worklist repair under exclusive access, and
+//! the maintained state is a pure function of the final positions, so
+//! any schedule the table admits yields state byte-identical to serial
+//! application in commit order. The leases buy scheduling (what may
+//! proceed together), fairness (FIFO), and honest accounting
+//! (waits / conflicts / peak concurrency).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use wcds_geom::Point;
+
+/// Grid-cell coordinate, matching `wcds_geom::GridIndex` cell keys:
+/// `(floor(x / cell), floor(y / cell))` with `cell` = the UDG radius.
+pub type CellKey = (i64, i64);
+
+/// Half-width, in cells, of the block a single mutation site claims.
+///
+/// A repair seeded at site `s` may read: the 3-hop dirty ball around
+/// the disturbed edges (≤ 3·r from `s`), each dirty anchor's own 3-hop
+/// contribution ball (+3·r), and the bridge rule's one-hop adjacency
+/// probes around those (+2·r) — ≤ 8·r in total. With cell size = r,
+/// a block of ±8 cells around the site covers every cell a repair
+/// confined to that footprint can touch. The claim is a conservative
+/// *scheduling* predicate: an under-claim could only cost precision
+/// (two mutations serialized that could have run together would be a
+/// missed speedup; exactness never depends on the claim).
+pub const CLAIM_RADIUS_CELLS: i64 = 8;
+
+/// What a mutation asks to lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// A sorted, deduplicated set of grid cells (moves and joins).
+    Cells(Vec<CellKey>),
+    /// A sorted, deduplicated set of mutation-**site** cells, each
+    /// standing for the ±[`CLAIM_RADIUS_CELLS`] block around it — the
+    /// same region [`claim_cells`] would materialize, kept implicit so
+    /// the admission hot path stays `O(sites²)` per conflict test
+    /// instead of `O(block area)` per claim. Semantically identical to
+    /// `Cells(claim_cells(sites, cell))` (property-tested below).
+    Blocks(Vec<CellKey>),
+    /// The whole plane — a leave compacts every id above the victim,
+    /// so it conflicts with everything.
+    All,
+}
+
+impl Scope {
+    /// Whether two scopes may not hold leases simultaneously.
+    ///
+    /// Two implicit blocks of half-width `R` intersect iff their site
+    /// cells are within Chebyshev distance `2R`; a block meets an
+    /// explicit cell iff the cell is within Chebyshev distance `R` of
+    /// the site. Near the grid's `i64` edge [`claim_cells`] saturates
+    /// while this test does not — the distance test is then (at worst)
+    /// more conservative, which a scheduling predicate may always be.
+    pub fn conflicts(&self, other: &Scope) -> bool {
+        match (self, other) {
+            (Scope::All, _) | (_, Scope::All) => true,
+            (Scope::Cells(a), Scope::Cells(b)) => sorted_cells_intersect(a, b),
+            (Scope::Blocks(a), Scope::Blocks(b)) => {
+                within_chebyshev(a, b, 2 * CLAIM_RADIUS_CELLS)
+            }
+            (Scope::Blocks(a), Scope::Cells(b)) | (Scope::Cells(b), Scope::Blocks(a)) => {
+                within_chebyshev(a, b, CLAIM_RADIUS_CELLS)
+            }
+        }
+    }
+}
+
+/// Whether any pair across the two cell lists is within Chebyshev
+/// distance `reach`. Lists are tiny (one entry per mutation site), so
+/// the quadratic sweep beats materializing and intersecting blocks.
+fn within_chebyshev(a: &[CellKey], b: &[CellKey], reach: i64) -> bool {
+    let r = reach.unsigned_abs();
+    a.iter().any(|&(ax, ay)| {
+        b.iter().any(|&(bx, by)| ax.abs_diff(bx) <= r && ay.abs_diff(by) <= r)
+    })
+}
+
+/// Two-pointer sweep over ascending cell lists.
+fn sorted_cells_intersect(mut a: &[CellKey], mut b: &[CellKey]) -> bool {
+    while let (Some((&x, rest_a)), Some((&y, rest_b))) = (a.split_first(), b.split_first()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => a = rest_a,
+            std::cmp::Ordering::Greater => b = rest_b,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// The cell containing `p` for cell size `cell` (the `GridIndex` key
+/// rule).
+pub fn cell_of(p: Point, cell: f64) -> CellKey {
+    // floor of a finite coordinate over a positive cell size;
+    // saturating f64→i64 is the grid-key rule shared with GridIndex
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+    }
+}
+
+/// The sorted union of ±[`CLAIM_RADIUS_CELLS`] cell blocks around each
+/// site. For a move, pass *both* the old and the new position — edges
+/// change at both ends of the hop.
+///
+/// This runs on every mutation admission (hundreds of cells per
+/// claim), so it stays allocation-lean: each site's block is emitted
+/// already sorted (row-major scan), and the per-site blocks are
+/// sort-merged flat rather than fed through a tree set.
+pub fn claim_cells(sites: &[Point], cell: f64) -> Vec<CellKey> {
+    let span = (2 * CLAIM_RADIUS_CELLS + 1) as usize;
+    let mut cells: Vec<CellKey> = Vec::with_capacity(sites.len() * span * span);
+    for &p in sites {
+        let (cx, cy) = cell_of(p, cell);
+        for dx in -CLAIM_RADIUS_CELLS..=CLAIM_RADIUS_CELLS {
+            for dy in -CLAIM_RADIUS_CELLS..=CLAIM_RADIUS_CELLS {
+                cells.push((cx.saturating_add(dx), cy.saturating_add(dy)));
+            }
+        }
+    }
+    // a single block is already sorted; overlapping multi-site blocks
+    // need the sort + dedup
+    if sites.len() > 1 {
+        cells.sort_unstable();
+        cells.dedup();
+    }
+    cells
+}
+
+/// The sorted, deduplicated cell keys of the sites themselves — the
+/// compact form [`Scope::Blocks`] carries. `Blocks(site_cells(sites))`
+/// schedules identically to `Cells(claim_cells(sites))` without ever
+/// materializing the `(2R+1)²` cells per site.
+pub fn site_cells(sites: &[Point], cell: f64) -> Vec<CellKey> {
+    let mut cells: Vec<CellKey> = sites.iter().map(|&p| cell_of(p, cell)).collect();
+    cells.sort_unstable();
+    cells.dedup();
+    cells
+}
+
+/// Admission verdict for one [`LeaseTable::acquire`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Every cell was free and no older waiter conflicts: the claim
+    /// holds its leases on return.
+    Granted,
+    /// The claim queued (FIFO) behind a holder or an older waiter.
+    Queued,
+}
+
+/// Ticket identifying one claim for the lifetime of its lease.
+pub type Ticket = u64;
+
+/// The lease table: tickets → scopes, a granted set, and one global
+/// FIFO of waiting tickets.
+///
+/// Per-cell FIFO queues are represented implicitly: because a queued
+/// claim enqueues on *all* its cells atomically, the per-cell queue
+/// order is exactly the global ticket order restricted to the claims
+/// touching that cell. "`t` is at the head of every queue it is in"
+/// is therefore "`no older waiting claim conflicts with t`", which is
+/// the grant predicate [`LeaseTable::grantable`] implements.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    next_ticket: Ticket,
+    scopes: HashMap<Ticket, Scope>,
+    granted: BTreeSet<Ticket>,
+    waiting: VecDeque<Ticket>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of claims currently holding leases.
+    pub fn in_flight(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// Number of claims currently queued.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether `t` currently holds its leases.
+    pub fn is_granted(&self, t: Ticket) -> bool {
+        self.granted.contains(&t)
+    }
+
+    /// Pure grant predicate: `scope` may be granted right now iff it
+    /// conflicts with no granted claim and with no *older* waiting
+    /// claim (`older_than` bounds the waiters considered, so the
+    /// promotion sweep can ask the question "as of ticket t").
+    fn grantable(&self, scope: &Scope, older_than: Ticket) -> bool {
+        self.granted
+            .iter()
+            .chain(self.waiting.iter().filter(|&&w| w < older_than))
+            .all(|t| self.scopes.get(t).is_none_or(|s| !s.conflicts(scope)))
+    }
+
+    /// Claims `scope`, all-or-nothing: either every lease is taken on
+    /// return (`Granted`) or none is and the ticket queues (`Queued`).
+    /// The returned ticket must eventually be passed to
+    /// [`LeaseTable::release`] (if granted, now or later) or
+    /// [`LeaseTable::abort`] (to renounce a queued claim).
+    pub fn acquire(&mut self, scope: Scope) -> (Ticket, Admission) {
+        let t = self.next_ticket;
+        self.next_ticket += 1;
+        let admitted = self.grantable(&scope, t);
+        self.scopes.insert(t, scope);
+        if admitted {
+            self.granted.insert(t);
+            (t, Admission::Granted)
+        } else {
+            self.waiting.push_back(t);
+            (t, Admission::Queued)
+        }
+    }
+
+    /// Releases a granted claim's leases and promotes every waiter the
+    /// release unblocks, in ticket order. Returns the newly granted
+    /// tickets (the production wrapper wakes their threads; the model
+    /// checker steps their actors).
+    pub fn release(&mut self, t: Ticket) -> Vec<Ticket> {
+        if !self.granted.remove(&t) {
+            return Vec::new();
+        }
+        self.scopes.remove(&t);
+        self.promote()
+    }
+
+    /// Withdraws a *queued* claim (a mutator bailing out before its
+    /// grant — e.g. its request was cancelled), then promotes: the
+    /// departed waiter may have been the only thing blocking a younger
+    /// one. Aborting a granted claim is just [`LeaseTable::release`].
+    pub fn abort(&mut self, t: Ticket) -> Vec<Ticket> {
+        if self.granted.contains(&t) {
+            return self.release(t);
+        }
+        self.waiting.retain(|&w| w != t);
+        self.scopes.remove(&t);
+        self.promote()
+    }
+
+    /// Grants every waiting claim whose conflicts have cleared, oldest
+    /// first. A claim is promoted only if it conflicts with no granted
+    /// claim and no older claim *still* waiting — scanning in ticket
+    /// order makes cascaded grants deterministic.
+    fn promote(&mut self) -> Vec<Ticket> {
+        let mut newly = Vec::new();
+        let mut rest: VecDeque<Ticket> = VecDeque::new();
+        while let Some(w) = self.waiting.pop_front() {
+            let ok = match self.scopes.get(&w) {
+                Some(scope) => {
+                    let blocked_by_rest = rest
+                        .iter()
+                        .any(|e| self.scopes.get(e).is_some_and(|s| s.conflicts(scope)));
+                    !blocked_by_rest && self.grantable_against_granted(scope)
+                }
+                None => false,
+            };
+            if ok {
+                self.granted.insert(w);
+                newly.push(w);
+            } else {
+                rest.push_back(w);
+            }
+        }
+        self.waiting = rest;
+        newly
+    }
+
+    fn grantable_against_granted(&self, scope: &Scope) -> bool {
+        self.granted
+            .iter()
+            .all(|t| self.scopes.get(t).is_none_or(|s| !s.conflicts(scope)))
+    }
+
+    /// Internal consistency, checked by the `wcds-analyze` lease
+    /// machine explorer after every step: granted and waiting sets are
+    /// disjoint, every ticket has a scope, no two granted scopes
+    /// conflict, and the wait queue is in ticket (FIFO) order.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in &self.waiting {
+            if self.granted.contains(w) {
+                return Err(format!("ticket {w} both granted and waiting"));
+            }
+        }
+        for t in self.granted.iter().chain(self.waiting.iter()) {
+            if !self.scopes.contains_key(t) {
+                return Err(format!("ticket {t} has no scope"));
+            }
+        }
+        let granted: Vec<&Ticket> = self.granted.iter().collect();
+        for (i, a) in granted.iter().enumerate() {
+            for b in granted.iter().skip(i + 1) {
+                let conflict = match (self.scopes.get(a), self.scopes.get(b)) {
+                    (Some(sa), Some(sb)) => sa.conflicts(sb),
+                    _ => false,
+                };
+                if conflict {
+                    return Err(format!("granted tickets {a} and {b} hold conflicting leases"));
+                }
+            }
+        }
+        let in_order = self
+            .waiting
+            .iter()
+            .zip(self.waiting.iter().skip(1))
+            .all(|(a, b)| a < b);
+        if !in_order {
+            return Err("wait queue out of FIFO (ticket) order".into());
+        }
+        Ok(())
+    }
+}
+
+/// The FIFO wave schedule for a batch of claims: `wave[i]` is the
+/// round in which claim `i` applies. A claim lands one wave after its
+/// latest-scheduled conflicting predecessor (or in wave 0 with none) —
+/// exactly the order the live [`LeaseTable`] would grant if each claim
+/// arrived as its own request, and the serial batch order restricted
+/// to each conflict chain is preserved.
+pub fn plan_waves(claims: &[Scope]) -> Vec<usize> {
+    let mut wave = vec![0usize; claims.len()];
+    for i in 0..claims.len() {
+        let mut w = 0usize;
+        for j in 0..i {
+            let conflict = match (claims.get(i), claims.get(j)) {
+                (Some(a), Some(b)) => a.conflicts(b),
+                _ => false,
+            };
+            if conflict {
+                w = w.max(wave.get(j).copied().unwrap_or(0) + 1);
+            }
+        }
+        if let Some(slot) = wave.get_mut(i) {
+            *slot = w;
+        }
+    }
+    wave
+}
+
+/// Scheduling summary of one planned batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Claim indices per wave, batch order within each wave.
+    pub waves: Vec<Vec<usize>>,
+    /// Claims scheduled behind a conflicting predecessor (they would
+    /// have waited on the live table).
+    pub waits: u64,
+    /// Conflicting (claim, earlier claim) pairs detected.
+    pub conflicts: u64,
+    /// Widest wave — the peak number of repairs the schedule lets
+    /// proceed together.
+    pub max_concurrency: usize,
+}
+
+/// Plans a batch: waves via [`plan_waves`] plus the conflict/wait
+/// accounting the store surfaces as counters.
+pub fn plan_batch(claims: &[Scope]) -> BatchPlan {
+    let wave = plan_waves(claims);
+    let rounds = wave.iter().copied().max().map_or(0, |m| m + 1);
+    let mut waves: Vec<Vec<usize>> = vec![Vec::new(); rounds];
+    for (i, &w) in wave.iter().enumerate() {
+        if let Some(slot) = waves.get_mut(w) {
+            slot.push(i);
+        }
+    }
+    let mut conflicts = 0u64;
+    for i in 0..claims.len() {
+        for j in 0..i {
+            let conflict = match (claims.get(i), claims.get(j)) {
+                (Some(a), Some(b)) => a.conflicts(b),
+                _ => false,
+            };
+            if conflict {
+                conflicts += 1;
+            }
+        }
+    }
+    let waits = wave.iter().filter(|&&w| w > 0).count() as u64;
+    let max_concurrency = waves.iter().map(Vec::len).max().unwrap_or(0);
+    BatchPlan { waves, waits, conflicts, max_concurrency }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cells(list: &[CellKey]) -> Scope {
+        let mut v = list.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        Scope::Cells(v)
+    }
+
+    #[test]
+    fn claim_blocks_cover_both_ends_of_a_move() {
+        let old = Point::new(0.5, 0.5);
+        let new = Point::new(3.4, 0.5);
+        let claim = claim_cells(&[old, new], 1.0);
+        let r = CLAIM_RADIUS_CELLS;
+        // both blocks present, overlapping region not double counted
+        assert!(claim.contains(&(0, 0)) && claim.contains(&(3, 0)));
+        assert!(claim.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        let lone = claim_cells(&[old], 1.0);
+        assert_eq!(lone.len() as i64, (2 * r + 1) * (2 * r + 1));
+        assert!(claim.len() > lone.len() && (claim.len() as i64) < 2 * (2 * r + 1) * (2 * r + 1));
+    }
+
+    #[test]
+    fn disjoint_claims_are_granted_together() {
+        let mut t = LeaseTable::new();
+        let (a, adm_a) = t.acquire(cells(&[(0, 0), (0, 1)]));
+        let (b, adm_b) = t.acquire(cells(&[(10, 10)]));
+        assert_eq!((adm_a, adm_b), (Admission::Granted, Admission::Granted));
+        assert_eq!(t.in_flight(), 2);
+        assert!(t.release(a).is_empty());
+        assert!(t.release(b).is_empty());
+        assert_eq!(t.in_flight(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overlapping_claims_queue_fifo_and_promote_in_order() {
+        let mut t = LeaseTable::new();
+        let (a, _) = t.acquire(cells(&[(0, 0)]));
+        let (b, adm_b) = t.acquire(cells(&[(0, 0), (1, 0)]));
+        let (c, adm_c) = t.acquire(cells(&[(1, 0)]));
+        assert_eq!(adm_b, Admission::Queued);
+        // c is disjoint from the *holder* but must not overtake b on (1, 0)
+        assert_eq!(adm_c, Admission::Queued);
+        t.check_invariants().unwrap();
+        let newly = t.release(a);
+        assert_eq!(newly, vec![b], "b first; c still conflicts with b");
+        let newly = t.release(b);
+        assert_eq!(newly, vec![c]);
+        assert!(t.release(c).is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_scope_serializes_against_everything() {
+        let mut t = LeaseTable::new();
+        let (a, _) = t.acquire(cells(&[(5, 5)]));
+        let (leave, adm) = t.acquire(Scope::All);
+        assert_eq!(adm, Admission::Queued);
+        let (b, adm_b) = t.acquire(cells(&[(-9, -9)]));
+        assert_eq!(adm_b, Admission::Queued, "nothing overtakes a queued leave");
+        assert_eq!(t.release(a), vec![leave]);
+        assert_eq!(t.release(leave), vec![b]);
+        assert!(t.release(b).is_empty());
+    }
+
+    #[test]
+    fn abort_of_a_queued_claim_unblocks_younger_waiters() {
+        let mut t = LeaseTable::new();
+        let (a, _) = t.acquire(cells(&[(0, 0)]));
+        let (b, _) = t.acquire(cells(&[(0, 0), (2, 2)]));
+        let (c, adm_c) = t.acquire(cells(&[(2, 2)]));
+        assert_eq!(adm_c, Admission::Queued, "c queues behind b on (2, 2)");
+        // b withdraws: c's only conflict is gone, and (2, 2) is free
+        assert_eq!(t.abort(b), vec![c]);
+        assert!(t.is_granted(c));
+        assert_eq!(t.release(a), Vec::<Ticket>::new());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn waves_match_per_cell_fifo_semantics() {
+        let claims = vec![
+            cells(&[(0, 0)]),          // wave 0
+            cells(&[(9, 9)]),          // wave 0 (disjoint)
+            cells(&[(0, 0), (9, 9)]),  // wave 1 (behind both)
+            cells(&[(9, 9)]),          // wave 2 (behind claim 2)
+            cells(&[(50, 50)]),        // wave 0
+        ];
+        assert_eq!(plan_waves(&claims), vec![0, 0, 1, 2, 0]);
+        let plan = plan_batch(&claims);
+        assert_eq!(plan.waves, vec![vec![0, 1, 4], vec![2], vec![3]]);
+        assert_eq!(plan.waits, 2);
+        // pairs (2,0) (2,1) (3,1) (3,2) — claim 3 meets 1 on (9,9) even
+        // though FIFO order already separates them
+        assert_eq!(plan.conflicts, 4);
+        assert_eq!(plan.max_concurrency, 3);
+    }
+
+    /// Property: a `Blocks` scope is indistinguishable from the
+    /// materialized `Cells` claim it stands for — across every pairing
+    /// (Blocks/Blocks, Blocks/Cells) over randomized move sites.
+    #[test]
+    fn block_scopes_schedule_exactly_like_materialized_claims() {
+        let mut rng_state = 0x6c62272e07bb0142u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let mut conflicts = 0usize;
+        let mut clears = 0usize;
+        for _case in 0..400 {
+            // two "moves": old + new site each, coordinates spread so
+            // both conflicting and disjoint block pairs occur
+            let site = |v: u64| Point::new((v % 64) as f64, ((v / 64) % 64) as f64);
+            let a_sites = [site(next()), site(next())];
+            let b_sites = [site(next()), site(next())];
+            let a_blocks = Scope::Blocks(site_cells(&a_sites, 1.0));
+            let b_blocks = Scope::Blocks(site_cells(&b_sites, 1.0));
+            let a_cells = Scope::Cells(claim_cells(&a_sites, 1.0));
+            let b_cells = Scope::Cells(claim_cells(&b_sites, 1.0));
+            let truth = a_cells.conflicts(&b_cells);
+            assert_eq!(a_blocks.conflicts(&b_blocks), truth, "blocks vs blocks");
+            assert_eq!(a_blocks.conflicts(&b_cells), truth, "blocks vs cells");
+            assert_eq!(a_cells.conflicts(&b_blocks), truth, "cells vs blocks");
+            assert!(a_blocks.conflicts(&Scope::All), "nothing escapes a leave");
+            if truth {
+                conflicts += 1;
+            } else {
+                clears += 1;
+            }
+        }
+        assert!(conflicts > 50 && clears > 50, "trace must exercise both verdicts");
+    }
+
+    /// Property: replaying a batch through the live table — acquire all
+    /// in order, then repeatedly release everything granted — grants
+    /// exactly one wave per round, in the order `plan_waves` computed.
+    #[test]
+    fn wave_plan_equals_live_table_simulation() {
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        for _case in 0..50 {
+            let n = (next() % 8 + 2) as usize;
+            let claims: Vec<Scope> = (0..n)
+                .map(|_| {
+                    let c = (next() % 4) as i64;
+                    let d = (next() % 4) as i64;
+                    cells(&[(c, d), (c + 1, d)])
+                })
+                .collect();
+            let wave = plan_waves(&claims);
+            let mut table = LeaseTable::new();
+            let tickets: Vec<(Ticket, Admission)> =
+                claims.iter().map(|c| table.acquire(c.clone())).collect();
+            let mut round = 0usize;
+            let mut granted_now: Vec<Ticket> = tickets
+                .iter()
+                .filter(|(_, a)| *a == Admission::Granted)
+                .map(|(t, _)| *t)
+                .collect();
+            while !granted_now.is_empty() {
+                for &t in &granted_now {
+                    let idx = tickets.iter().position(|(tt, _)| *tt == t).unwrap();
+                    assert_eq!(
+                        wave[idx], round,
+                        "claim {idx} granted in round {round}, planned wave {}",
+                        wave[idx]
+                    );
+                }
+                let mut newly = Vec::new();
+                for &t in &granted_now {
+                    newly.extend(table.release(t));
+                }
+                granted_now = newly;
+                round += 1;
+                table.check_invariants().unwrap();
+            }
+            assert_eq!(table.in_flight(), 0);
+            assert_eq!(table.queued(), 0);
+        }
+    }
+}

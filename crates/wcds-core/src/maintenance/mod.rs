@@ -40,6 +40,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use wcds_geom::Point;
 use wcds_graph::{DynamicUdg, Graph, NodeId};
 
+pub mod lease;
 pub(crate) mod region;
 pub use region::select_additional_dominators_in;
 
@@ -73,7 +74,19 @@ pub struct MaintainedWcds {
     /// Bridge → number of MIS nodes whose contribution set contains it.
     /// The key set *is* the additional-dominator set.
     bridge_refs: BTreeMap<NodeId, u32>,
+    /// Workers for repair-internal parallel sweeps (contribution-set
+    /// recomputation fans out per anchor above
+    /// [`PARALLEL_REPAIR_THRESHOLD`]). Results are identical for every
+    /// value — the per-anchor sets are computed read-only and merged in
+    /// ascending key order.
+    threads: usize,
 }
+
+/// Below this many refresh anchors a repair stays on the calling thread:
+/// typical single-mutation repairs touch a handful of MIS nodes and the
+/// spawn cost would dominate. Batched drift ticks routinely disturb
+/// hundreds of anchors and cross this comfortably.
+const PARALLEL_REPAIR_THRESHOLD: usize = 16;
 
 /// What one repair changed, how far from the disturbance, and how much
 /// of the graph it had to look at.
@@ -85,6 +98,12 @@ pub struct RepairReport {
     pub promoted: Vec<NodeId>,
     /// Nodes that stopped being dominators.
     pub demoted: Vec<NodeId>,
+    /// Nodes that stayed dominators but switched kind (MIS head ↔
+    /// bridge). The dominator *set* is unchanged for these, yet every
+    /// head-derived artifact (clusterheads, routing tables) is stale —
+    /// a cache consumer must treat a role swap exactly like a
+    /// promotion. See [`RepairReport::changed`].
+    pub role_changes: Vec<NodeId>,
     /// How far the repair's effects propagated (hop distance in the new
     /// graph), measured per repair stage: the farthest MIS flip from
     /// the disturbed edge endpoints, and the farthest dominator
@@ -110,10 +129,25 @@ pub struct RepairReport {
 }
 
 impl RepairReport {
-    /// Whether the repair changed any dominator status.
+    /// Whether the repair changed any dominator status — membership
+    /// (`promoted` / `demoted`) **or** kind (`role_changes`). This is
+    /// exactly `wcds_before != wcds_after` over the MIS/bridge
+    /// partition: a repair may swap a bridge into the MIS while a
+    /// nearby head drops to bridge, leaving the dominator *union*
+    /// intact — a union-only diff would call that "unchanged" and let
+    /// a cache patch routing state against the wrong head set.
     pub fn changed(&self) -> bool {
-        !self.promoted.is_empty() || !self.demoted.is_empty()
+        !self.promoted.is_empty()
+            || !self.demoted.is_empty()
+            || !self.role_changes.is_empty()
     }
+}
+
+/// Snapshot of the dominator partition a repair is diffed against,
+/// taken in the id space the repair will report in.
+struct Baseline {
+    mis: BTreeSet<NodeId>,
+    bridges: BTreeSet<NodeId>,
 }
 
 impl MaintainedWcds {
@@ -128,8 +162,9 @@ impl MaintainedWcds {
     /// initial construction. The from-scratch pass runs the same
     /// grid-partitioned MIS and per-anchor bridge selection as
     /// [`crate::partition::PartitionedTwo`], so a 100k-node deployment
-    /// comes up in seconds instead of minutes; every subsequent repair
-    /// is incremental and single-threaded regardless of `nthreads`. The
+    /// comes up in seconds instead of minutes; subsequent repairs are
+    /// incremental and fan their refresh sweeps out over the same
+    /// worker count (see [`MaintainedWcds::set_threads`]). The
     /// resulting state is identical for every `nthreads`.
     pub fn with_threads(points: Vec<Point>, radius: f64, nthreads: usize) -> Self {
         let udg = DynamicUdg::new(points, radius);
@@ -149,9 +184,21 @@ impl MaintainedWcds {
             }
             contrib.insert(u, set);
         }
-        let net = Self { udg, mis, contrib, bridge_refs };
+        let net = Self { udg, mis, contrib, bridge_refs, threads: nthreads.max(1) };
         net.debug_check_against_global();
         net
+    }
+
+    /// Sets the worker count for repair-internal parallel sweeps. Has no
+    /// effect on results — only on how many threads a large repair's
+    /// contribution recomputation fans out over.
+    pub fn set_threads(&mut self, nthreads: usize) {
+        self.threads = nthreads.max(1);
+    }
+
+    /// The repair worker count (see [`MaintainedWcds::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The current topology.
@@ -164,48 +211,36 @@ impl MaintainedWcds {
         self.udg.points()
     }
 
+    /// The unit-disk radius. Also the cell size of the topology's
+    /// spatial grid, and therefore the cell size region leases claim
+    /// against (see [`lease`]).
+    pub fn radius(&self) -> f64 {
+        self.udg.radius()
+    }
+
     /// The current WCDS.
     pub fn wcds(&self) -> Wcds {
         Wcds::new(self.mis.iter().copied().collect(), self.bridge_refs.keys().copied().collect())
     }
 
-    /// Moves the listed nodes and repairs the WCDS. Each move splices
-    /// the CSR in `O(Δ)`; the repair is seeded with the endpoints of the
-    /// *net* edge delta (a later move undoing an earlier one cancels).
+    /// Moves the listed nodes and repairs the WCDS. The whole batch is
+    /// spliced into the CSR in one row-merge pass
+    /// ([`DynamicUdg::move_nodes`]); the repair is seeded with the
+    /// endpoints of the *net* edge delta (a later move undoing an
+    /// earlier one cancels).
     ///
     /// # Panics
     ///
     /// Panics if a node id is out of range.
     pub fn apply_motion(&mut self, moves: &[(NodeId, Point)]) -> RepairReport {
-        let before = self.dominators();
-        let mut toggled: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-        for &(u, p) in moves {
-            let delta = self.udg.move_node(u, p);
-            for &e in delta.added.iter().chain(&delta.removed) {
-                if !toggled.remove(&e) {
-                    toggled.insert(e);
-                }
-            }
-        }
-        let mut edges_added = Vec::new();
-        let mut edges_removed = Vec::new();
-        let mut seeds: BTreeSet<NodeId> = BTreeSet::new();
-        for &(a, b) in &toggled {
-            if self.udg.graph().has_edge(a, b) {
-                edges_added.push((a, b));
-            } else {
-                edges_removed.push((a, b));
-            }
-            seeds.insert(a);
-            seeds.insert(b);
-        }
-        let seeds: Vec<NodeId> = seeds.into_iter().collect();
-        self.repair(&seeds, before, edges_added, edges_removed)
+        let before = self.baseline();
+        let delta = self.udg.move_nodes(moves);
+        self.repair(&delta.seeds, before, delta.added, delta.removed)
     }
 
     /// Adds a node (it receives the next id `n`) and repairs.
     pub fn apply_join(&mut self, p: Point) -> RepairReport {
-        let before = self.dominators();
+        let before = self.baseline();
         let (_, delta) = self.udg.add_node(p);
         self.repair(&delta.seeds, before, delta.added, Vec::new())
     }
@@ -241,7 +276,7 @@ impl MaintainedWcds {
             .collect();
         // status baseline in the new id space, before the leaver's own
         // contributions are released (mirrors what a reader saw last)
-        let before = self.dominators();
+        let before = self.baseline();
         for b in dropped.into_iter().flatten() {
             release_bridge(&mut self.bridge_refs, remap(b));
         }
@@ -254,7 +289,7 @@ impl MaintainedWcds {
     fn repair(
         &mut self,
         seeds: &[NodeId],
-        before: BTreeSet<NodeId>,
+        before: Baseline,
         edges_added: Vec<(NodeId, NodeId)>,
         edges_removed: Vec<(NodeId, NodeId)>,
     ) -> RepairReport {
@@ -263,41 +298,102 @@ impl MaintainedWcds {
         let mut dirty: BTreeSet<NodeId> = seeds.iter().copied().collect();
         dirty.extend(flipped.iter().copied());
         let ball = region::bounded_ball(g, dirty.iter().copied(), 3);
-        // refresh every current-MIS node in the ball, plus every old
-        // contribution key in it (covers nodes that just left the MIS)
-        let keys: BTreeSet<NodeId> = ball
-            .keys()
-            .copied()
-            .filter(|k| self.mis.contains(k) || self.contrib.contains_key(k))
-            .collect();
-        let mut scratch = region::BallScratch::new(g.node_count());
-        for &k in &keys {
-            let new_set = if self.mis.contains(&k) {
-                region::contributions_for_with(&mut scratch, g, &self.mis, k)
-            } else {
-                BTreeSet::new()
-            };
-            let old_set = self.contrib.remove(&k).unwrap_or_default();
-            if new_set == old_set {
-                if !old_set.is_empty() {
-                    self.contrib.insert(k, old_set);
+        if ball.len() * 2 >= g.node_count() {
+            // dense repair: the ball covers most of the graph, so the
+            // per-anchor diff/merge below degenerates to a global pass
+            // that still pays set-diff bookkeeping per key. Rebuild the
+            // contribution state wholesale with the constructor's
+            // partitioned sweep instead — per-anchor sets are a pure
+            // function of (graph, MIS, anchor), so anchors outside the
+            // ball recompute to their old values and the result is
+            // identical to the incremental path (debug-asserted below).
+            let mis_vec: Vec<NodeId> = self.mis.iter().copied().collect();
+            let per_anchor =
+                crate::partition::bridge_contributions(g, &mis_vec, self.threads);
+            self.contrib.clear();
+            self.bridge_refs.clear();
+            for (u, set) in per_anchor {
+                if set.is_empty() {
+                    continue;
                 }
-                continue;
+                for &b in &set {
+                    *self.bridge_refs.entry(b).or_insert(0) += 1;
+                }
+                self.contrib.insert(u, set);
             }
-            for &b in old_set.difference(&new_set) {
-                release_bridge(&mut self.bridge_refs, b);
+        } else {
+            // refresh every current-MIS node in the ball, plus every old
+            // contribution key in it (covers nodes that just left the MIS)
+            let keys: Vec<NodeId> = ball
+                .keys()
+                .copied()
+                .filter(|k| self.mis.contains(k) || self.contrib.contains_key(k))
+                .collect();
+            // per-anchor sets are a read-only function of (graph, MIS,
+            // anchor), so they can be computed on any number of workers; the
+            // refcount/contrib merge below stays serial in ascending key
+            // order, making the result thread-count-invariant
+            let workers =
+                if keys.len() >= PARALLEL_REPAIR_THRESHOLD { self.threads } else { 1 };
+            let mut new_sets: Vec<BTreeSet<NodeId>> = vec![BTreeSet::new(); keys.len()];
+            {
+                let mis = &self.mis;
+                let nodes = g.node_count();
+                wcds_graph::parallel::map_indices_with(
+                    workers,
+                    &mut new_sets,
+                    || region::BallScratch::new(nodes),
+                    |scratch, i| {
+                        let k = keys[i];
+                        if mis.contains(&k) {
+                            region::contributions_for_with(scratch, g, mis, k)
+                        } else {
+                            BTreeSet::new()
+                        }
+                    },
+                );
             }
-            for &b in new_set.difference(&old_set) {
-                *self.bridge_refs.entry(b).or_insert(0) += 1;
-            }
-            if !new_set.is_empty() {
-                self.contrib.insert(k, new_set);
+            for (&k, new_set) in keys.iter().zip(new_sets) {
+                let old_set = self.contrib.remove(&k).unwrap_or_default();
+                if new_set == old_set {
+                    if !old_set.is_empty() {
+                        self.contrib.insert(k, old_set);
+                    }
+                    continue;
+                }
+                for &b in old_set.difference(&new_set) {
+                    release_bridge(&mut self.bridge_refs, b);
+                }
+                for &b in new_set.difference(&old_set) {
+                    *self.bridge_refs.entry(b).or_insert(0) += 1;
+                }
+                if !new_set.is_empty() {
+                    self.contrib.insert(k, new_set);
+                }
             }
         }
 
         let after = self.dominators();
-        let promoted: Vec<NodeId> = after.difference(&before).copied().collect();
-        let demoted: Vec<NodeId> = before.difference(&after).copied().collect();
+        let before_union: BTreeSet<NodeId> =
+            before.mis.union(&before.bridges).copied().collect();
+        let promoted: Vec<NodeId> = after.difference(&before_union).copied().collect();
+        let demoted: Vec<NodeId> = before_union.difference(&after).copied().collect();
+        // dominators whose *kind* flipped while the union kept them: a
+        // bridge absorbed into the MIS as a nearby head drops to bridge
+        // is invisible to the union diff yet invalidates every
+        // head-derived artifact downstream
+        let bridges_after: BTreeSet<NodeId> = self.bridge_refs.keys().copied().collect();
+        let role_changes: Vec<NodeId> = before
+            .mis
+            .symmetric_difference(&self.mis)
+            .chain(before.bridges.symmetric_difference(&bridges_after))
+            .copied()
+            .filter(|u| {
+                promoted.binary_search(u).is_err() && demoted.binary_search(u).is_err()
+            })
+            .collect::<BTreeSet<NodeId>>()
+            .into_iter()
+            .collect();
         let affected: Vec<NodeId> = seeds.to_vec();
         let locality_radius = if affected.is_empty() {
             None
@@ -323,20 +419,24 @@ impl MaintainedWcds {
             // stage two: how far dominator-status changes sit from the
             // disturbance including those flips (a flipped MIS node is
             // itself part of the disturbance the bridge layer sees)
-            let status = if promoted.is_empty() && demoted.is_empty() {
+            let status = if promoted.is_empty() && demoted.is_empty() && role_changes.is_empty()
+            {
                 None
             } else {
-                let targets: BTreeSet<NodeId> =
-                    promoted.iter().chain(&demoted).copied().collect();
+                let targets: BTreeSet<NodeId> = promoted
+                    .iter()
+                    .chain(&demoted)
+                    .chain(&role_changes)
+                    .copied()
+                    .collect();
                 let from_dirty = region::distances_to_targets(
                     g,
                     dirty.iter().copied(),
                     &targets,
                     LOCALITY_SCAN_RADIUS,
                 );
-                promoted
+                targets
                     .iter()
-                    .chain(&demoted)
                     .map(|u| from_dirty.get(u).copied().unwrap_or(u32::MAX))
                     .max()
             };
@@ -349,6 +449,7 @@ impl MaintainedWcds {
             affected,
             promoted,
             demoted,
+            role_changes,
             locality_radius,
             edges_added,
             edges_removed,
@@ -360,6 +461,13 @@ impl MaintainedWcds {
     /// Current dominator set: MIS ∪ referenced bridges.
     fn dominators(&self) -> BTreeSet<NodeId> {
         self.mis.iter().chain(self.bridge_refs.keys()).copied().collect()
+    }
+
+    fn baseline(&self) -> Baseline {
+        Baseline {
+            mis: self.mis.clone(),
+            bridges: self.bridge_refs.keys().copied().collect(),
+        }
     }
 
     /// Debug-build oracle: incremental state must equal a from-scratch

@@ -307,7 +307,7 @@ mod tests {
         let g = udg.graph();
         for r in 0..4u32 {
             let ball = bounded_ball(g, [0, 17, 91], r);
-            let full = traversal::multi_source_bfs(g, [0, 17, 91].into_iter());
+            let full = traversal::multi_source_bfs(g, [0, 17, 91]);
             for u in g.nodes() {
                 match full[u] {
                     Some(d) if d <= r => assert_eq!(ball.get(&u), Some(&d)),

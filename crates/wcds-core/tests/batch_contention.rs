@@ -1,0 +1,299 @@
+//! Adversarial-contention property tests for the region-lease batch
+//! path (DESIGN.md §4.4).
+//!
+//! Two extreme workloads bound the scheduler's behavior:
+//!
+//! * **one 3-ball** — every move lands in the same cell neighborhood,
+//!   so every claim conflicts with every earlier claim: `plan_batch`
+//!   must fully serialize (one claim per wave, peak concurrency 1);
+//! * **maximally spread** — moves in clusters farther apart than two
+//!   claim blocks, so no claims conflict: one wave, peak concurrency
+//!   equal to the batch size.
+//!
+//! Both apply the batch exactly the way `Store::mutate_batch` does —
+//! one coalesced `apply_motion` per planned wave — and assert the
+//! final state is **byte-identical** to serial replay in batch order
+//! at every engine thread count (1/2/4/8), plus the from-scratch
+//! Algorithm II oracle. Runs under serial and `--features rayon`
+//! builds unchanged.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::maintenance::lease::{claim_cells, plan_batch, BatchPlan, Scope};
+use wcds_core::maintenance::MaintainedWcds;
+use wcds_geom::{deploy, Point};
+use wcds_graph::{io, NodeId, UnitDiskGraph};
+use wcds_rng::{ChaCha12Rng, Rng};
+
+const SEED: u64 = 42;
+const RADIUS: f64 = 1.0;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Claims for a move batch exactly as the store computes them: the
+/// ±`CLAIM_RADIUS_CELLS` blocks around both ends of each hop, at the
+/// pre-batch positions.
+fn claims_for(net: &MaintainedWcds, moves: &[(NodeId, Point)]) -> Vec<Scope> {
+    moves
+        .iter()
+        .map(|&(u, q)| Scope::Cells(claim_cells(&[net.points()[u], q], net.radius())))
+        .collect()
+}
+
+/// Applies `moves` the way `Store::mutate_batch` schedules a Move run:
+/// one coalesced `apply_motion` per planned wave, waves in FIFO order.
+fn apply_in_waves(net: &mut MaintainedWcds, moves: &[(NodeId, Point)], plan: &BatchPlan) {
+    for wave in &plan.waves {
+        let batch: Vec<(NodeId, Point)> = wave.iter().map(|&i| moves[i]).collect();
+        net.apply_motion(&batch);
+    }
+}
+
+/// The serial-replay oracle plus the from-scratch oracle: `net` must
+/// be byte-identical to one-at-a-time application in batch order on a
+/// fresh engine, and to Algorithm II on the final points.
+fn assert_matches_serial(
+    net: &MaintainedWcds,
+    initial: &[Point],
+    moves: &[(NodeId, Point)],
+    label: &str,
+) {
+    let mut serial = MaintainedWcds::new(initial.to_vec(), RADIUS);
+    for &(u, q) in moves {
+        serial.apply_motion(&[(u, q)]);
+    }
+    assert_eq!(net.graph(), serial.graph(), "{label}: CSR diverged from serial replay");
+    let (w, sw) = (net.wcds(), serial.wcds());
+    assert_eq!(w.mis_dominators(), sw.mis_dominators(), "{label}: MIS diverged");
+    assert_eq!(
+        w.additional_dominators(),
+        sw.additional_dominators(),
+        "{label}: bridges diverged"
+    );
+    assert_eq!(
+        io::to_text(net.graph(), Some(net.points())),
+        io::to_text(serial.graph(), Some(serial.points())),
+        "{label}: exported artifact not byte-identical to serial replay"
+    );
+
+    let scratch = UnitDiskGraph::build(net.points().to_vec(), RADIUS);
+    assert_eq!(net.graph(), scratch.graph(), "{label}: CSR diverged from scratch build");
+    let (mis, additional) = AlgorithmTwo::new().construct_parts(net.graph());
+    assert_eq!(w.mis_dominators(), &mis[..], "{label}: MIS diverged from Algorithm II");
+    assert_eq!(
+        w.additional_dominators(),
+        &additional[..],
+        "{label}: bridges diverged from Algorithm II"
+    );
+}
+
+/// Every move targets one 3-ball: total serialization, exact state.
+#[test]
+fn one_ball_batch_fully_serializes_and_matches_serial_replay() {
+    const N: usize = 150;
+    const SIDE: f64 = 6.0;
+    const MOVES: usize = 12;
+
+    let initial = deploy::uniform(N, SIDE, SIDE, SEED);
+    let mut rng = ChaCha12Rng::seed_from_u64(SEED ^ 0xba11);
+    let hot = Point::new(SIDE / 2.0, SIDE / 2.0);
+    let moves: Vec<(NodeId, Point)> = (0..MOVES)
+        .map(|_| {
+            let u = rng.gen_range(0..N);
+            // all destinations inside half a radius of the hot spot —
+            // one shared 3-ball, every pair of claims conflicts
+            let q = Point::new(
+                hot.x + (rng.gen::<f64>() - 0.5) * RADIUS,
+                hot.y + (rng.gen::<f64>() - 0.5) * RADIUS,
+            );
+            (u, q)
+        })
+        .collect();
+
+    for threads in THREAD_SWEEP {
+        let mut net = MaintainedWcds::with_threads(initial.clone(), RADIUS, threads);
+        let plan = plan_batch(&claims_for(&net, &moves));
+        assert_eq!(
+            plan.max_concurrency, 1,
+            "conflicting destinations must serialize completely"
+        );
+        assert_eq!(plan.waves.len(), MOVES, "one wave per claim under total conflict");
+        assert_eq!(plan.waits, MOVES as u64 - 1);
+        apply_in_waves(&mut net, &moves, &plan);
+        assert_matches_serial(&net, &initial, &moves, &format!("one-ball, {threads} threads"));
+    }
+}
+
+/// Moves in clusters farther apart than two claim blocks: one wave,
+/// full concurrency, exact state.
+#[test]
+fn spread_batch_runs_one_wave_and_matches_serial_replay() {
+    const CLUSTERS: usize = 8;
+    const PER_CLUSTER: usize = 16;
+    // cluster spacing: > 2·(2·CLAIM_RADIUS_CELLS + 1) cells keeps even
+    // worst-aligned ±8-cell claim blocks disjoint across clusters
+    const SPACING: f64 = 40.0;
+    const CLUSTER_SIDE: f64 = 3.0;
+
+    let mut initial = Vec::with_capacity(CLUSTERS * PER_CLUSTER);
+    for c in 0..CLUSTERS {
+        let blob = deploy::uniform(PER_CLUSTER, CLUSTER_SIDE, CLUSTER_SIDE, SEED + c as u64);
+        initial.extend(blob.iter().map(|p| Point::new(p.x + c as f64 * SPACING, p.y)));
+    }
+
+    let mut rng = ChaCha12Rng::seed_from_u64(SEED ^ 0x5bead);
+    let moves: Vec<(NodeId, Point)> = (0..CLUSTERS)
+        .map(|c| {
+            let u = c * PER_CLUSTER + rng.gen_range(0..PER_CLUSTER);
+            let p = initial[u];
+            // drift inside the home cluster so the claim stays local
+            let q = Point::new(
+                (p.x + (rng.gen::<f64>() - 0.5) * 0.8)
+                    .clamp(c as f64 * SPACING, c as f64 * SPACING + CLUSTER_SIDE),
+                (p.y + (rng.gen::<f64>() - 0.5) * 0.8).clamp(0.0, CLUSTER_SIDE),
+            );
+            (u, q)
+        })
+        .collect();
+
+    for threads in THREAD_SWEEP {
+        let mut net = MaintainedWcds::with_threads(initial.clone(), RADIUS, threads);
+        let plan = plan_batch(&claims_for(&net, &moves));
+        assert_eq!(plan.waves.len(), 1, "disjoint claims must share one wave");
+        assert_eq!(
+            plan.max_concurrency, CLUSTERS,
+            "every spread claim proceeds concurrently"
+        );
+        assert_eq!((plan.waits, plan.conflicts), (0u64, 0u64));
+        apply_in_waves(&mut net, &moves, &plan);
+        assert_matches_serial(&net, &initial, &moves, &format!("spread, {threads} threads"));
+    }
+}
+
+/// `RepairReport::changed()` is exactly "the WCDS partition changed":
+/// true iff the (MIS, bridges) pair differs across the mutation. The
+/// sharp direction is role swaps — a bridge absorbed into the MIS
+/// while a nearby head drops to bridge leaves the dominator *union*
+/// intact, and a union-only diff would report the repair as quiet.
+/// `Store::mutate{,_batch}` gate their bundle-patch fast path on
+/// `!changed()`, so a lying report ships routing tables derived from
+/// the wrong head set (the "WCDS does not dominate the graph" panic).
+#[test]
+fn report_changed_iff_wcds_partition_changed() {
+    const N: usize = 80;
+    const SIDE: f64 = 4.0;
+    const STEPS: usize = 300;
+    const BATCH: usize = 16;
+    const DRIFT: f64 = 0.15;
+    // this seed's drift trace provokes both sides: ~16 quiet
+    // (patchable) ticks and 2 union-preserving role swaps
+    const TRACE_SEED: u64 = 12;
+
+    let initial = deploy::uniform(N, SIDE, SIDE, SEED);
+    let mut net = MaintainedWcds::new(initial, RADIUS);
+    let mut rng = ChaCha12Rng::seed_from_u64(TRACE_SEED);
+    let mut role_swaps = 0usize;
+    let mut quiet = 0usize;
+    for step in 0..STEPS {
+        let before = net.wcds();
+        let n = net.graph().node_count();
+        let moves: Vec<(NodeId, Point)> = (0..BATCH)
+            .map(|_| {
+                let u = rng.gen_range(0..n);
+                let p = net.points()[u];
+                let q = Point::new(
+                    (p.x + (rng.gen::<f64>() - 0.5) * 2.0 * DRIFT).clamp(0.0, SIDE),
+                    (p.y + (rng.gen::<f64>() - 0.5) * 2.0 * DRIFT).clamp(0.0, SIDE),
+                );
+                (u, q)
+            })
+            .collect();
+        let report = net.apply_motion(&moves);
+        let after = net.wcds();
+        assert_eq!(
+            report.changed(),
+            before != after,
+            "step {step}: report says changed={}, partition equality says {}\n\
+             promoted={:?} demoted={:?} role_changes={:?}",
+            report.changed(),
+            before != after,
+            report.promoted,
+            report.demoted,
+            report.role_changes,
+        );
+        // a role swap keeps the union but moves nodes across the
+        // MIS/bridge line — the case the union-only diff missed
+        if !report.role_changes.is_empty() {
+            let union = |w: &wcds_core::wcds::Wcds| -> std::collections::BTreeSet<usize> {
+                w.mis_dominators().iter().chain(w.additional_dominators()).copied().collect()
+            };
+            if union(&before) == union(&after) {
+                role_swaps += 1;
+            }
+        }
+        if !report.changed() {
+            quiet += 1;
+        }
+    }
+    assert!(
+        role_swaps > 0,
+        "trace never exercised a union-preserving role swap — densify it"
+    );
+    assert!(quiet > 0, "trace never exercised the quiet (patchable) path");
+}
+
+/// A long randomized drift trace applied tick-by-tick through the wave
+/// scheduler stays exact against serial replay at every thread count.
+#[test]
+fn randomized_drift_ticks_stay_exact_across_thread_counts() {
+    const N: usize = 120;
+    const SIDE: f64 = 5.0;
+    const TICKS: usize = 12;
+    const BATCH: usize = 8;
+
+    let initial = deploy::uniform(N, SIDE, SIDE, SEED);
+    let mut rng = ChaCha12Rng::seed_from_u64(SEED ^ 0xd41f7);
+    let ticks: Vec<Vec<(NodeId, Point)>> = (0..TICKS)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| {
+                    let u = rng.gen_range(0..N);
+                    let q = Point::new(
+                        rng.gen::<f64>() * SIDE,
+                        rng.gen::<f64>() * SIDE,
+                    );
+                    (u, q)
+                })
+                .collect()
+        })
+        .collect();
+
+    // serial oracle: every move one at a time, in tick order
+    let mut serial = MaintainedWcds::new(initial.clone(), RADIUS);
+    for tick in &ticks {
+        for &(u, q) in tick {
+            serial.apply_motion(&[(u, q)]);
+        }
+    }
+
+    for threads in THREAD_SWEEP {
+        let mut net = MaintainedWcds::with_threads(initial.clone(), RADIUS, threads);
+        for tick in &ticks {
+            let plan = plan_batch(&claims_for(&net, tick));
+            apply_in_waves(&mut net, tick, &plan);
+        }
+        assert_eq!(net.graph(), serial.graph(), "{threads} threads: CSR diverged");
+        assert_eq!(
+            io::to_text(net.graph(), Some(net.points())),
+            io::to_text(serial.graph(), Some(serial.points())),
+            "{threads} threads: export diverged"
+        );
+        let (w, sw) = (net.wcds(), serial.wcds());
+        assert_eq!(w.mis_dominators(), sw.mis_dominators(), "{threads} threads: MIS");
+        assert_eq!(
+            w.additional_dominators(),
+            sw.additional_dominators(),
+            "{threads} threads: bridges"
+        );
+    }
+}

@@ -149,6 +149,66 @@ impl DynamicUdg {
         TopoDelta { added, removed, seeds }
     }
 
+    /// Moves several nodes at once, splicing the **net** edge delta into
+    /// the CSR with a single row-merge pass. Later moves of the same
+    /// node win; intra-batch toggles (a later move undoing an earlier
+    /// one) cancel. The resulting topology is identical to applying
+    /// [`DynamicUdg::move_node`] per entry, but the `O(n + |E|)` CSR
+    /// splice is paid once per batch instead of once per move.
+    ///
+    /// `seeds` lists the endpoints of the net-changed edges only — a
+    /// move that lands where it started (or whose edges all survive)
+    /// contributes nothing, matching what a delta-driven repair needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range or a position has a
+    /// non-finite coordinate.
+    pub fn move_nodes(&mut self, moves: &[(NodeId, Point)]) -> TopoDelta {
+        // first pass: settle every position (last write wins) while
+        // snapshotting each moved node's pre-batch adjacency row once
+        let mut old_rows: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for &(u, p) in moves {
+            assert!(u < self.points.len(), "move of out-of-range node {u}");
+            assert!(p.x.is_finite() && p.y.is_finite(), "non-finite position for node {u}");
+            old_rows.entry(u).or_insert_with(|| self.graph.adj(u).collect());
+            let old_pos = self.points.get(u).copied().unwrap_or(p);
+            self.index.relocate(u, old_pos, p);
+            if let Some(slot) = self.points.get_mut(u) {
+                *slot = p;
+            }
+        }
+        // second pass: diff each moved node's final-configuration row
+        // against its snapshot. An edge between two moved endpoints
+        // shows up in both diffs with the same verdict (both rows are
+        // probed against final positions), so dedup below suffices.
+        let mut added: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
+        for (&u, old_row) in &old_rows {
+            let pos = self.points.get(u).copied();
+            let Some(pos) = pos else { continue };
+            let new_row = self.probe(pos, Some(u));
+            let (gained, lost) = sorted_diff(&new_row, old_row);
+            added.extend(gained.into_iter().map(|v| canonical(u, v)));
+            removed.extend(lost.into_iter().map(|v| canonical(u, v)));
+        }
+        added.sort_unstable();
+        added.dedup();
+        removed.sort_unstable();
+        removed.dedup();
+        if added.is_empty() && removed.is_empty() {
+            return TopoDelta::default();
+        }
+        let mut seeds: Vec<NodeId> =
+            added.iter().chain(&removed).flat_map(|&(a, b)| [a, b]).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        self.graph = self.graph.spliced(self.points.len(), &added, &removed);
+        self.debug_check_against_rebuild();
+        TopoDelta { added, removed, seeds }
+    }
+
     /// Adds a node at `p`; it receives the next id `n`. Returns the id
     /// and the delta. Appending keeps every existing row's sorted order:
     /// the new id is the maximum, so it lands at row ends.

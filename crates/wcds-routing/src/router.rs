@@ -43,10 +43,21 @@ pub struct BackboneRouter {
     /// dominator → (neighbor dominator → interior gateway nodes of one
     /// shortest black path)
     dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
-    /// dominator → (destination dominator → next dominator)
-    next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>>,
+    /// Sorted dominator ids — the row/column index space of `next_hop`.
+    heads: Vec<NodeId>,
+    /// Flattened `heads.len()²` first-hop matrix: entry `s·k + d` holds
+    /// the head *index* of the next dominator from `heads[s]` toward
+    /// `heads[d]` ([`UNREACHABLE`] when no dominator-level path exists,
+    /// and on the diagonal). Dense on purpose: the table is rebuilt on
+    /// every bundle refresh, holds one `u32` per entry instead of a
+    /// tree node, and O(heads²) entries is already the routing-state
+    /// size this scheme carries by design.
+    next_hop: Vec<u32>,
     graph_edges: Graph,
 }
+
+/// `next_hop` sentinel: no dominator-level route.
+const UNREACHABLE: u32 = u32::MAX;
 
 impl BackboneRouter {
     /// Builds the router state from a WCDS of `g`.
@@ -78,11 +89,14 @@ impl BackboneRouter {
 
         // dominator adjacency through the spanner: radius-3 BFS from
         // each head, keeping heads at distance ≤ 3 with the path interior
-        let dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>> =
-            heads.iter().map(|&h| (h, head_links(&spanner, heads, h))).collect();
-        let next_dom = dominator_tables(&dom_links);
+        let mut scratch = LinkScratch::default();
+        let dom_links: BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>> = heads
+            .iter()
+            .map(|&h| (h, head_links(&mut scratch, &spanner, heads, h)))
+            .collect();
+        let (heads, next_hop) = dominator_tables(&dom_links);
 
-        Self { spanner, clusterhead, dom_links, next_dom, graph_edges: g.clone() }
+        Self { spanner, clusterhead, dom_links, heads, next_hop, graph_edges: g.clone() }
     }
 
     /// Rebuilds the router after a topology delta that did **not**
@@ -158,16 +172,17 @@ impl BackboneRouter {
             let s_endpoints =
                 s_added.iter().chain(&s_removed).flat_map(|&(a, b)| [a, b]);
             let dist = traversal::multi_source_bfs(&spanner, s_endpoints);
+            let mut scratch = LinkScratch::default();
             for &h in heads {
                 if dist[h].is_some_and(|d| d <= 3) {
-                    dom_links.insert(h, head_links(&spanner, heads, h));
+                    dom_links.insert(h, head_links(&mut scratch, &spanner, heads, h));
                 }
             }
         }
-        let next_dom = dominator_tables(&dom_links);
+        let (heads, next_hop) = dominator_tables(&dom_links);
 
         let patched =
-            Self { spanner, clusterhead, dom_links, next_dom, graph_edges: g.clone() };
+            Self { spanner, clusterhead, dom_links, heads, next_hop, graph_edges: g.clone() };
         debug_assert_eq!(patched, Self::build(g, wcds), "patched router diverged");
         patched
     }
@@ -189,12 +204,19 @@ impl BackboneRouter {
     /// Routing-table size (number of destination entries) at dominator
     /// `h`, or `None` if `h` is not a dominator.
     pub fn table_size(&self, h: NodeId) -> Option<usize> {
-        self.next_dom.get(&h).map(BTreeMap::len)
+        let hi = self.heads.binary_search(&h).ok()?;
+        let k = self.heads.len();
+        Some(
+            self.next_hop[hi * k..(hi + 1) * k]
+                .iter()
+                .filter(|&&hop| hop != UNREACHABLE)
+                .count(),
+        )
     }
 
     /// Total routing-state entries across all dominators.
     pub fn total_state(&self) -> usize {
-        self.next_dom.values().map(BTreeMap::len).sum::<usize>()
+        self.next_hop.iter().filter(|&&hop| hop != UNREACHABLE).count()
             + self.dom_links.values().map(|l| l.values().map(|g| g.len() + 1).sum::<usize>()).sum::<usize>()
     }
 
@@ -222,9 +244,16 @@ impl BackboneRouter {
             path.push(hs);
         }
         // dominator chain hs ⇝ ht
+        let ti = self.heads.binary_search(&ht).ok()?;
+        let k = self.heads.len();
         let mut cur = hs;
         while cur != ht {
-            let next = *self.next_dom.get(&cur)?.get(&ht)?;
+            let ci = self.heads.binary_search(&cur).ok()?;
+            let hop = self.next_hop[ci * k + ti];
+            if hop == UNREACHABLE {
+                return None;
+            }
+            let next = self.heads[hop as usize];
             for &gw in &self.dom_links[&cur][&next] {
                 path.push(gw);
             }
@@ -265,75 +294,122 @@ impl BackboneRouter {
     }
 }
 
+/// Reusable state for [`head_links`] — epoch-stamped visitation so the
+/// per-head radius-3 sweep never clears or reallocates its BFS arrays
+/// between heads. One scratch serves a whole `build` or `patched` pass.
+#[derive(Default)]
+struct LinkScratch {
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: std::collections::VecDeque<NodeId>,
+}
+
 /// One head's spanner links: every other head at spanner distance ≤ 3,
 /// with the interior gateway nodes of the bounded-BFS shortest path.
-fn head_links(spanner: &Graph, heads: &[NodeId], h: NodeId) -> BTreeMap<NodeId, Vec<NodeId>> {
-    let (dist, parents) = traversal::bfs_tree_bounded(spanner, h, 3);
-    let mut links = BTreeMap::new();
-    for &other in heads {
-        if other == h {
+///
+/// The BFS visits neighbors in adjacency order and keeps the first
+/// discovered parent, so the link paths are byte-identical to the
+/// previous `traversal::bfs_tree_bounded` + `path_from_parents` walk.
+fn head_links(
+    scratch: &mut LinkScratch,
+    spanner: &Graph,
+    heads: &[NodeId],
+    h: NodeId,
+) -> BTreeMap<NodeId, Vec<NodeId>> {
+    let n = spanner.node_count();
+    if scratch.stamp.len() < n {
+        scratch.stamp.resize(n, 0);
+        scratch.dist.resize(n, 0);
+        scratch.parent.resize(n, 0);
+    }
+    if scratch.epoch == u32::MAX {
+        scratch.stamp.iter_mut().for_each(|s| *s = 0);
+        scratch.epoch = 0;
+    }
+    scratch.epoch += 1;
+    let epoch = scratch.epoch;
+    scratch.queue.clear();
+    scratch.queue.push_back(h);
+    scratch.stamp[h] = epoch;
+    scratch.dist[h] = 0;
+    while let Some(u) = scratch.queue.pop_front() {
+        let d = scratch.dist[u];
+        if d == 3 {
             continue;
         }
-        if let Some(d) = dist[other] {
-            if d <= 3 {
-                let path =
-                    traversal::path_from_parents(&parents, h, other).expect("reachable");
-                links.insert(other, path[1..path.len() - 1].to_vec());
+        for v in spanner.adj(u) {
+            if scratch.stamp[v] != epoch {
+                scratch.stamp[v] = epoch;
+                scratch.dist[v] = d + 1;
+                scratch.parent[v] = u;
+                scratch.queue.push_back(v);
             }
         }
+    }
+    let mut links = BTreeMap::new();
+    for &other in heads {
+        if other == h || scratch.stamp[other] != epoch {
+            continue;
+        }
+        // interior gateways of the BFS path h ⇝ other (≤ 2 nodes)
+        let mut interior = Vec::new();
+        let mut cur = scratch.parent[other];
+        while cur != h {
+            interior.push(cur);
+            cur = scratch.parent[cur];
+        }
+        interior.reverse();
+        links.insert(other, interior);
     }
     links
 }
 
 /// Dominator-level routing tables: BFS on the dominator graph from each
 /// head, recording the first dominator hop toward every destination.
+/// Returns the sorted head list and the flat row-major first-hop matrix
+/// (`UNREACHABLE` off the backbone and on the diagonal).
 ///
 /// The dominator graph is indexed into dense arrays once, so the
-/// `O(|heads|²)` all-pairs sweep runs over integer adjacency lists
-/// instead of allocating tree sets per BFS step — this sweep is the
-/// dominant cost of a router patch, so it has to stay allocation-light.
-/// Neighbor lists preserve the sorted key order of `dom_links`, which
-/// keeps the BFS tie-breaking (and therefore every table entry)
-/// identical to a map-based walk.
+/// `O(|heads|²)` all-pairs sweep runs over integer adjacency lists and
+/// writes each BFS straight into its matrix row — zero allocation per
+/// head; this sweep runs on every bundle rebuild, so it has to stay
+/// allocation-light. Neighbor lists preserve the sorted key order of
+/// `dom_links`, which keeps the BFS tie-breaking (and therefore every
+/// table entry) identical to a map-based walk.
 fn dominator_tables(
     dom_links: &BTreeMap<NodeId, BTreeMap<NodeId, Vec<NodeId>>>,
-) -> BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> {
+) -> (Vec<NodeId>, Vec<u32>) {
     let heads: Vec<NodeId> = dom_links.keys().copied().collect();
-    let index_of = |v: NodeId| -> usize {
-        heads.binary_search(&v).expect("link target is a head")
+    let k = heads.len();
+    assert!(k < UNREACHABLE as usize, "head count overflows the hop matrix");
+    let index_of = |v: NodeId| -> u32 {
+        heads.binary_search(&v).expect("link target is a head") as u32
     };
-    let adj: Vec<Vec<usize>> = heads
+    let adj: Vec<Vec<u32>> = heads
         .iter()
         .map(|h| dom_links[h].keys().map(|&nb| index_of(nb)).collect())
         .collect();
 
-    let mut first_hop: Vec<Option<usize>> = vec![None; heads.len()];
+    let mut next_hop = vec![UNREACHABLE; k * k];
     let mut queue = std::collections::VecDeque::new();
-    let mut next_dom: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> = BTreeMap::new();
-    for (hi, &h) in heads.iter().enumerate() {
-        first_hop.iter_mut().for_each(|e| *e = None);
+    for hi in 0..k {
+        let row = &mut next_hop[hi * k..(hi + 1) * k];
         queue.clear();
-        queue.push_back(hi);
-        first_hop[hi] = Some(hi); // sentinel: the source is its own hop
+        queue.push_back(hi as u32);
+        row[hi] = hi as u32; // sentinel: the source is its own hop
         while let Some(cur) = queue.pop_front() {
-            for &nb in &adj[cur] {
-                if first_hop[nb].is_none() {
-                    first_hop[nb] =
-                        Some(if cur == hi { nb } else { first_hop[cur].expect("visited") });
+            for &nb in &adj[cur as usize] {
+                if row[nb as usize] == UNREACHABLE {
+                    row[nb as usize] = if cur as usize == hi { nb } else { row[cur as usize] };
                     queue.push_back(nb);
                 }
             }
         }
-        // heads[] is sorted, so this iteration feeds the map in order
-        let table: BTreeMap<NodeId, NodeId> = heads
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != hi)
-            .filter_map(|(j, &dst)| first_hop[j].map(|via| (dst, heads[via])))
-            .collect();
-        next_dom.insert(h, table);
+        row[hi] = UNREACHABLE; // the diagonal carries no entry
     }
-    next_dom
+    (heads, next_hop)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, Mutation, Request, Response, TopologyStats,
     WireError,
 };
-use crate::store::{BroadcastOutcome, HardenOutcome, RouteOutcome};
+use crate::store::{BatchOutcome, BroadcastOutcome, HardenOutcome, RouteOutcome};
 use std::fmt;
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -64,7 +64,10 @@ impl From<WireError> for ClientError {
 /// A blocking connection to a backbone server.
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
+    /// Read side is buffered so a response's length prefix and body
+    /// arrive in one syscall; writes go through [`io::BufReader::get_mut`]
+    /// straight to the (NODELAY) socket.
+    stream: io::BufReader<TcpStream>,
 }
 
 impl Client {
@@ -97,7 +100,7 @@ impl Client {
                     stream.set_read_timeout(Some(timeout))?;
                     stream.set_write_timeout(Some(timeout))?;
                     stream.set_nodelay(true)?;
-                    return Ok(Self { stream });
+                    return Ok(Self { stream: io::BufReader::with_capacity(4096, stream) });
                 }
                 Err(e) => last = Some(e),
             }
@@ -118,7 +121,7 @@ impl Client {
     /// `Ok(Response::Error { .. })` here; the typed helpers below remap
     /// them to [`ClientError::Server`].
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &req.encode())?;
+        write_frame(self.stream.get_mut(), &req.encode())?;
         match read_frame(&mut self.stream)? {
             FrameRead::Frame(body) => Ok(Response::decode(&body)?),
             FrameRead::Eof => Err(ClientError::Protocol("server closed before responding")),
@@ -276,6 +279,33 @@ impl Client {
         match self.call(&Request::Mutate { name: name.into(), mutation })? {
             Response::Mutated { epoch, promoted, demoted } => Ok((epoch, promoted, demoted)),
             _ => Err(ClientError::Protocol("expected Mutated")),
+        }
+    }
+
+    /// Ships a whole mutation batch (a drift tick) in one frame,
+    /// applied under a single region lease with coalesced repairs.
+    /// All-or-nothing: any invalid id rejects the batch server-side
+    /// before anything is applied. The returned outcome's epoch is the
+    /// batch's final position in the topology's mutation log — a batch
+    /// of `applied` mutations occupied epochs
+    /// `epoch − applied + 1 ..= epoch` — and `lease_wait_us` is the
+    /// admission queueing time, excluded from service time.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`]; server errors include `unsupported`
+    /// (static topology) and `out-of-range`.
+    pub fn mutate_batch(
+        &mut self,
+        name: &str,
+        mutations: &[Mutation],
+    ) -> Result<BatchOutcome, ClientError> {
+        let req = Request::MutateBatch { name: name.into(), mutations: mutations.to_vec() };
+        match self.call(&req)? {
+            Response::BatchMutated { epoch, applied, promoted, demoted, lease_wait_us } => {
+                Ok(BatchOutcome { epoch, applied, promoted, demoted, lease_wait_us })
+            }
+            _ => Err(ClientError::Protocol("expected BatchMutated")),
         }
     }
 

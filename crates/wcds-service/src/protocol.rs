@@ -107,6 +107,15 @@ pub enum Request {
     /// dominators covered by ≥ m dominators, induced core k-connected.
     /// Rebuilds the bundle eagerly and enables degraded-mode serving.
     Harden { name: String, k: u64, m: u64 },
+    /// Apply a whole vector of mutations in one frame (a drift tick).
+    /// The batch is admitted through the region-lease scheduler:
+    /// mutations on disjoint 3-balls coalesce into concurrent repair
+    /// waves, conflicting ones apply in FIFO order, and the final state
+    /// is byte-identical to applying the same mutations one
+    /// [`Request::Mutate`] at a time. Validation is all-or-nothing: an
+    /// out-of-range node id anywhere in the batch rejects the whole
+    /// frame before any mutation applies.
+    MutateBatch { name: String, mutations: Vec<Mutation> },
 }
 
 /// Machine-readable failure category in an error response.
@@ -188,6 +197,18 @@ pub struct TopologyStats {
     pub routes_unreachable: u64,
     /// Background heals that installed a fresh bundle.
     pub heals: u64,
+    /// Mutations that had to wait behind a conflicting earlier claim in
+    /// the region-lease scheduler (queued live admissions plus batch
+    /// mutations scheduled into a later repair wave).
+    pub lease_waits: u64,
+    /// Conflicting (claim, earlier-claim) pairs the lease scheduler
+    /// detected.
+    pub lease_conflicts: u64,
+    /// Mutations received through [`Request::MutateBatch`] frames.
+    pub batched_mutations: u64,
+    /// Peak number of repairs admitted concurrently (widest batch wave
+    /// or largest granted lease set observed).
+    pub concurrent_repairs_max: u64,
 }
 
 /// A server response.
@@ -284,6 +305,26 @@ pub enum Response {
     Degraded {
         /// How many nodes the source cannot currently reach.
         unreachable: u32,
+    },
+    /// Reply to [`Request::MutateBatch`]. Reports counts, not per-node
+    /// vectors — a drift tick over thousands of nodes should not echo
+    /// a proportional payload back.
+    BatchMutated {
+        /// Epoch after the whole batch; the batch's mutations occupy
+        /// epochs `epoch - applied + 1 ..= epoch` in lease-commit
+        /// order.
+        epoch: u64,
+        /// Mutations applied (the full batch; admission is
+        /// all-or-nothing).
+        applied: u64,
+        /// Nodes that became dominators over the whole batch.
+        promoted: u64,
+        /// Nodes that stopped being dominators over the whole batch.
+        demoted: u64,
+        /// Microseconds the batch spent queued behind conflicting
+        /// leases before its repairs ran — excluded from service time
+        /// by accounting clients.
+        lease_wait_us: u64,
     },
 }
 
@@ -449,6 +490,26 @@ impl Mutation {
     }
 }
 
+fn put_mutations(out: &mut Vec<u8>, mutations: &[Mutation]) {
+    put_u64(out, mutations.len() as u64);
+    for m in mutations {
+        m.encode_into(out);
+    }
+}
+
+fn read_mutations(r: &mut Reader<'_>) -> Result<Vec<Mutation>, WireError> {
+    let count = r.node()?;
+    // the smallest mutation (Leave) is 9 bytes; bound before allocating
+    if count > r.buf.len().saturating_sub(r.pos) / 9 {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(Mutation::decode_from(r)?);
+    }
+    Ok(out)
+}
+
 impl Request {
     /// Serialises the request into a frame body (version + tag + body).
     pub fn encode(&self) -> Vec<u8> {
@@ -508,6 +569,12 @@ impl Request {
                 put_u64(&mut out, *m);
                 out
             }
+            Request::MutateBatch { name, mutations } => {
+                let mut out = header(12);
+                put_str(&mut out, name);
+                put_mutations(&mut out, mutations);
+                out
+            }
         }
     }
 
@@ -532,6 +599,10 @@ impl Request {
             9 => Request::Drop { name: r.string()? },
             10 => Request::Shutdown,
             11 => Request::Harden { name: r.string()?, k: r.u64()?, m: r.u64()? },
+            12 => Request::MutateBatch {
+                name: r.string()?,
+                mutations: read_mutations(&mut r)?,
+            },
             tag => return Err(WireError::UnknownTag { what: "request", tag }),
         };
         r.finish()?;
@@ -585,6 +656,10 @@ impl TopologyStats {
             self.routes_degraded,
             self.routes_unreachable,
             self.heals,
+            self.lease_waits,
+            self.lease_conflicts,
+            self.batched_mutations,
+            self.concurrent_repairs_max,
         ] {
             put_u64(out, v);
         }
@@ -610,6 +685,10 @@ impl TopologyStats {
             routes_degraded: r.u64()?,
             routes_unreachable: r.u64()?,
             heals: r.u64()?,
+            lease_waits: r.u64()?,
+            lease_conflicts: r.u64()?,
+            batched_mutations: r.u64()?,
+            concurrent_repairs_max: r.u64()?,
             ..TopologyStats::default()
         };
         s.mobile = r.u8()? != 0;
@@ -691,6 +770,13 @@ impl Response {
                 put_u64(&mut out, u64::from(*unreachable));
                 out
             }
+            Response::BatchMutated { epoch, applied, promoted, demoted, lease_wait_us } => {
+                let mut out = header(14);
+                for v in [epoch, applied, promoted, demoted, lease_wait_us] {
+                    put_u64(&mut out, *v);
+                }
+                out
+            }
         }
     }
 
@@ -744,6 +830,13 @@ impl Response {
             13 => Response::Degraded {
                 unreachable: u32::try_from(r.u64()?).unwrap_or(u32::MAX),
             },
+            14 => Response::BatchMutated {
+                epoch: r.u64()?,
+                applied: r.u64()?,
+                promoted: r.u64()?,
+                demoted: r.u64()?,
+                lease_wait_us: r.u64()?,
+            },
             tag => return Err(WireError::UnknownTag { what: "response", tag }),
         };
         r.finish()?;
@@ -769,8 +862,13 @@ pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
         .ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidInput, WireError::FrameTooLarge(body.len()))
         })?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(body)?;
+    // one coalesced write: prefix and body leave in a single
+    // syscall/packet, so a NODELAY peer never wakes up for a bare
+    // 4-byte length and then sleeps again waiting for the body
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -911,6 +1009,16 @@ mod tests {
         roundtrip_request(Request::Drop { name: "n".into() });
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Harden { name: "net".into(), k: 2, m: 2 });
+        roundtrip_request(Request::MutateBatch {
+            name: "net".into(),
+            mutations: vec![
+                Mutation::Move { node: 4, x: 0.5, y: 1.5 },
+                Mutation::Join { x: -1.0, y: 2.0 },
+                Mutation::Leave { node: 2 },
+                Mutation::Move { node: 0, x: 3.25, y: -0.75 },
+            ],
+        });
+        roundtrip_request(Request::MutateBatch { name: "net".into(), mutations: vec![] });
     }
 
     #[test]
@@ -941,6 +1049,10 @@ mod tests {
             routes_degraded: 7,
             routes_unreachable: 1,
             heals: 3,
+            lease_waits: 9,
+            lease_conflicts: 14,
+            batched_mutations: 640,
+            concurrent_repairs_max: 6,
         }));
         roundtrip_response(Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] });
         roundtrip_response(Response::Topologies { names: vec!["a".into(), "b".into()] });
@@ -967,6 +1079,23 @@ mod tests {
         });
         roundtrip_response(Response::Degraded { unreachable: 17 });
         roundtrip_response(Response::Degraded { unreachable: 0 });
+        roundtrip_response(Response::BatchMutated {
+            epoch: 640,
+            applied: 16,
+            promoted: 2,
+            demoted: 1,
+            lease_wait_us: 350,
+        });
+    }
+
+    #[test]
+    fn mutate_batch_with_hostile_count_is_rejected_before_allocation() {
+        // declares 2^60 mutations but carries none: must come back as
+        // Truncated without attempting the allocation
+        let mut buf = vec![PROTOCOL_VERSION, 12];
+        put_str(&mut buf, "net");
+        put_u64(&mut buf, 1 << 60);
+        assert_eq!(Request::decode(&buf).unwrap_err(), WireError::Truncated);
     }
 
     #[test]
@@ -996,6 +1125,17 @@ mod tests {
         let buf = Response::Mutated { epoch: 2, promoted: vec![1, 5], demoted: vec![0] }.encode();
         for cut in 0..buf.len() {
             assert!(Response::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
+        }
+        let buf = Request::MutateBatch {
+            name: "drift".into(),
+            mutations: vec![
+                Mutation::Move { node: 1, x: 0.5, y: 0.5 },
+                Mutation::Join { x: 2.0, y: 2.0 },
+            ],
+        }
+        .encode();
+        for cut in 0..buf.len() {
+            assert!(Request::decode(&buf[..cut]).is_err(), "cut at {cut} decoded");
         }
     }
 

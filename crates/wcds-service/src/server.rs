@@ -224,7 +224,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+fn serve_connection(stream: TcpStream, shared: &Shared) {
     let timeout = shared.config.io_timeout;
     if stream.set_read_timeout(Some(timeout)).is_err()
         || stream.set_write_timeout(Some(timeout)).is_err()
@@ -232,12 +232,16 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     {
         return;
     }
+    // buffered reads pull a frame's length prefix and body out of one
+    // syscall; writes go straight to the (NODELAY) socket
+    let mut reader = io::BufReader::with_capacity(4096, &stream);
+    let mut writer = &stream;
     let mut idle: u32 = 0;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame(&mut reader) {
             Ok(FrameRead::Frame(frame)) => frame,
             Ok(FrameRead::Eof) => return, // clean EOF between frames
             Ok(FrameRead::IdleTimeout) => {
@@ -259,7 +263,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(req) => (handle(&shared.store, &req), false),
             Err(e) => (wire_error_response(&e), true),
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        if write_frame(&mut writer, &response.encode()).is_err() {
             return; // peer gone or write stalled
         }
         if close {
@@ -322,6 +326,16 @@ fn handle(store: &Store, req: &Request) -> Response {
             Ok((epoch, report)) => {
                 Response::Mutated { epoch, promoted: report.promoted, demoted: report.demoted }
             }
+            Err(e) => e.into(),
+        },
+        Request::MutateBatch { name, mutations } => match store.mutate_batch(name, mutations) {
+            Ok(out) => Response::BatchMutated {
+                epoch: out.epoch,
+                applied: out.applied,
+                promoted: out.promoted,
+                demoted: out.demoted,
+                lease_wait_us: out.lease_wait_us,
+            },
             Err(e) => e.into(),
         },
         Request::List => match store.list() {

@@ -1,24 +1,39 @@
-//! Sharded, epoch-cached topology store.
+//! Sharded, epoch-cached topology store with region-lease mutation
+//! scheduling.
 //!
 //! Named topologies live behind a fixed array of `RwLock` shards
 //! (selected by name hash), so requests for different topologies —
 //! and, for different names within one shard, everything except the
 //! brief map access — never contend. Each topology carries:
 //!
-//! * a **mutation epoch**: 0 at ingest, +1 per applied maintenance
-//!   mutation (join / leave / move, executed by
-//!   `wcds_core::maintenance::MaintainedWcds`);
-//! * a lazily built **artifact bundle** — Algorithm II WCDS, the
+//! * a **mutation epoch**: a per-topology atomic, 0 at ingest,
+//!   advanced once per applied maintenance mutation (join / leave /
+//!   move, executed by `wcds_core::maintenance::MaintainedWcds`) in
+//!   lease-commit order while the topology write lock is held;
+//! * a **published artifact bundle** — Algorithm II WCDS, the
 //!   weakly-induced spanner, clusterhead routing tables, and the
 //!   backbone broadcast plan (itself derived only on the first
-//!   broadcast query) — stamped with the epoch it was built at.
+//!   broadcast query) — stamped with the epoch it was built at and
+//!   held behind its own lock, so readers never block on a repair;
+//! * a **region-lease table** (`wcds_core::maintenance::lease`): a
+//!   mutation claims the grid cells conservatively covering
+//!   `ball(site, 3)` before touching the topology. Disjoint claims
+//!   are admitted concurrently; overlapping claims queue FIFO on a
+//!   condvar — crucially *without* holding the topology lock, so a
+//!   queued mutation blocks neither readers nor disjoint writers,
+//!   and the wait is accounted separately from service time.
 //!
 //! A query whose bundle stamp equals the current epoch is a **cache
-//! hit** and runs under the topology's read lock (queries on one
-//! topology proceed in parallel). A mutation bumps the epoch without
-//! touching the bundle; the next query observes the stale stamp,
-//! rebuilds under the write lock, and re-stamps. Hit / miss / rebuild
-//! counters are atomics so the read path never needs a write lock.
+//! hit** and touches only the published-bundle lock. A mutation
+//! advances the epoch; the next query observes the stale stamp,
+//! rebuilds under the topology write lock, and republishes.
+//! [`Store::mutate_batch`] applies a whole drift tick under one
+//! lease: its move-runs are planned into FIFO waves of pairwise
+//! disjoint claims and each wave is coalesced into a single
+//! `apply_motion` worklist pass (one cascade over the union of the
+//! disturbed regions, refresh sweeps fanned out on the parallel
+//! engine). Hit / miss / rebuild / lease counters are atomics so the
+//! read path never needs a write lock.
 
 use crate::protocol::{ErrorCode, Mutation, TopologyStats};
 use crate::rebuild::{read_check, write_check, EpochView, ReadDecision, WriteDecision};
@@ -27,8 +42,10 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 use wcds_core::algo2::AlgorithmTwo;
+use wcds_core::maintenance::lease::{plan_batch, site_cells, Admission, LeaseTable, Scope, Ticket};
 use wcds_core::maintenance::{MaintainedWcds, RepairReport};
 use wcds_core::resilient::{ResilientBackbone, ResilientParams};
 use wcds_core::Wcds;
@@ -164,29 +181,34 @@ impl Body {
 #[derive(Debug)]
 struct Topology {
     body: Body,
-    epoch: u64,
-    bundle: Option<Arc<Bundle>>,
     /// `Some` once the topology has been hardened: every bundle build
     /// then produces a (k, m)-resilient backbone instead of the plain
     /// Algorithm II construction.
     resilience: Option<ResilientParams>,
-    /// Whether a `Leave` has been applied since the cached bundle was
-    /// built. A leave renames every id above the victim, so the stale
-    /// bundle's id-keyed state is meaningless and degraded serving
-    /// must not touch it.
+    /// Whether a `Leave` has been applied since the published bundle
+    /// was built. A leave renames every id above the victim, so the
+    /// stale bundle's id-keyed state is meaningless and degraded
+    /// serving must not touch it. Written only under the topology
+    /// write lock.
     leave_since_bundle: bool,
 }
 
-/// The shim the `wcds-analyze` race checker model-checks: the store's
-/// cache decisions are exactly `rebuild::{read_check, write_check}`
-/// over this view.
-impl EpochView for Topology {
+/// A lock-free snapshot of the epoch / bundle-stamp pair: the shim the
+/// `wcds-analyze` race checker model-checks. The store's cache
+/// decisions are exactly `rebuild::{read_check, write_check}` over
+/// this view.
+struct CacheView {
+    epoch: u64,
+    stamp: Option<u64>,
+}
+
+impl EpochView for CacheView {
     fn current_epoch(&self) -> u64 {
         self.epoch
     }
 
     fn bundle_stamp(&self) -> Option<u64> {
-        self.bundle.as_ref().map(|b| b.epoch)
+        self.stamp
     }
 }
 
@@ -240,17 +262,43 @@ impl Topology {
     }
 
     /// Builds the artifact bundle from the current snapshot, from
-    /// scratch (no reuse of the stale bundle).
-    fn build_bundle(&self) -> Arc<Bundle> {
-        build_artifacts(self.body.graph(), &self.artifact_source(), self.epoch)
+    /// scratch (no reuse of the stale bundle), stamped `epoch`.
+    fn build_bundle(&self, epoch: u64) -> Arc<Bundle> {
+        build_artifacts(self.body.graph(), &self.artifact_source(), epoch)
     }
 }
 
-/// One stored topology: state behind its own `RwLock`, counters
-/// outside it.
+/// One stored topology: maintained state behind its own `RwLock`, the
+/// published bundle behind a second (so readers never block on a
+/// repair), the lease table behind a mutex + condvar, and counters
+/// outside all of them.
+///
+/// **Lock discipline:** no code path acquires one of this entry's
+/// locks while holding another. Writers snapshot `published` *before*
+/// taking the topology lock and publish *after* dropping it; lease
+/// admission happens entirely before the topology lock is touched.
+/// That ordering is what makes the nested-lock lint trivially clean
+/// and deadlock impossible by construction.
 #[derive(Debug)]
 struct Entry {
     topo: RwLock<Topology>,
+    /// Mutation epoch: 0 at ingest, advanced once per applied mutation
+    /// (in lease-commit order) while the topology write lock is held —
+    /// so it is frozen under that lock, and lock-free to read.
+    epoch: AtomicU64,
+    /// The published artifact bundle. Replaced only through
+    /// [`publish`], which never installs a bundle older than the
+    /// current one.
+    published: RwLock<Option<Arc<Bundle>>>,
+    /// Epoch stamp of the published bundle ([`NO_BUNDLE`] when none):
+    /// a mirror maintained under the `published` write lock so cache
+    /// checks need no lock at all.
+    stamp: AtomicU64,
+    /// Region-lease table scheduling mutation admission (see
+    /// [`wcds_core::maintenance::lease`]).
+    leases: Mutex<LeaseTable>,
+    /// Wakes queued claims when a lease release admits them.
+    lease_cv: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
     rebuilds: AtomicU64,
@@ -264,12 +312,32 @@ struct Entry {
     heals: AtomicU64,
     /// Guards against stacking heal threads: only one in flight.
     healing: AtomicBool,
+    /// Admissions that had to queue behind a conflicting claim (live
+    /// requests) plus batch mutations planned into a wave later than
+    /// the first.
+    lease_waits: AtomicU64,
+    /// Conflicting (claim, earlier-claim) pairs observed at admission
+    /// and wave-planning time.
+    lease_conflicts: AtomicU64,
+    /// Mutations received through [`Store::mutate_batch`].
+    batched_mutations: AtomicU64,
+    /// High-water mark of concurrently admitted repairs (live leases in
+    /// flight, or the widest batch wave).
+    concurrent_repairs_max: AtomicU64,
 }
+
+/// `stamp` value meaning "no bundle has ever been published".
+const NO_BUNDLE: u64 = u64::MAX;
 
 impl Entry {
     fn new(topo: Topology) -> Self {
         Self {
             topo: RwLock::new(topo),
+            epoch: AtomicU64::new(0),
+            published: RwLock::new(None),
+            stamp: AtomicU64::new(NO_BUNDLE),
+            leases: Mutex::new(LeaseTable::new()),
+            lease_cv: Condvar::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             rebuilds: AtomicU64::new(0),
@@ -278,7 +346,80 @@ impl Entry {
             routes_unreachable: AtomicU64::new(0),
             heals: AtomicU64::new(0),
             healing: AtomicBool::new(false),
+            lease_waits: AtomicU64::new(0),
+            lease_conflicts: AtomicU64::new(0),
+            batched_mutations: AtomicU64::new(0),
+            concurrent_repairs_max: AtomicU64::new(0),
         }
+    }
+
+    /// The lock-free cache view (see [`CacheView`]). Exact whenever the
+    /// caller holds the topology lock (the epoch is frozen there);
+    /// otherwise a snapshot that may lag a racing publish, which only
+    /// ever turns a would-be hit into a rebuild, never the reverse.
+    fn view(&self) -> CacheView {
+        let stamp = self.stamp.load(Ordering::Acquire);
+        CacheView {
+            epoch: self.epoch.load(Ordering::Acquire),
+            stamp: (stamp != NO_BUNDLE).then_some(stamp),
+        }
+    }
+}
+
+/// Installs `bundle` as the entry's published bundle unless a newer one
+/// (or a same-epoch replacement's successor) is already in place: the
+/// install is skipped when the current stamp is strictly newer, so
+/// out-of-order publishes from racing writers can never roll the cache
+/// back. Same-epoch replacement is deliberate — `harden` republishes
+/// the current epoch with resilient content.
+///
+/// The caller must hold **no** entry lock.
+fn publish(entry: &Entry, bundle: Arc<Bundle>) -> Result<(), StoreError> {
+    let mut p = write_guard(&entry.published)?;
+    if p.as_ref().is_none_or(|cur| cur.epoch <= bundle.epoch) {
+        entry.stamp.store(bundle.epoch, Ordering::Release);
+        *p = Some(bundle);
+    }
+    Ok(())
+}
+
+/// Claims `scope` on the entry's lease table. Disjoint claims are
+/// admitted immediately; a conflicting claim queues FIFO on the
+/// condvar until every older conflicting lease is released. Returns
+/// the ticket and the admission wait in microseconds — queueing, not
+/// service, reported separately so tail-latency numbers describe
+/// repair work.
+///
+/// Deadlock-free by construction: acquisition is all-or-nothing (a
+/// claim never holds some cells while waiting for others) and the
+/// caller holds no other lock.
+fn acquire_lease(entry: &Entry, scope: Scope) -> Result<(Ticket, u64), StoreError> {
+    let poisoned = || err(ErrorCode::Internal, "lease table poisoned by a panicked holder");
+    let mut table = entry.leases.lock().map_err(|_| poisoned())?;
+    let (ticket, admission) = table.acquire(scope);
+    if admission == Admission::Granted {
+        entry.concurrent_repairs_max.fetch_max(table.in_flight() as u64, Ordering::Relaxed);
+        return Ok((ticket, 0));
+    }
+    entry.lease_waits.fetch_add(1, Ordering::Relaxed);
+    entry.lease_conflicts.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    while !table.is_granted(ticket) {
+        table = entry.lease_cv.wait(table).map_err(|_| poisoned())?;
+    }
+    entry.concurrent_repairs_max.fetch_max(table.in_flight() as u64, Ordering::Relaxed);
+    Ok((ticket, u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX)))
+}
+
+/// Releases a lease and wakes the waiters the release admitted (the
+/// condvar is notified after the table lock is dropped).
+fn release_lease(entry: &Entry, ticket: Ticket) {
+    let admitted = match entry.leases.lock() {
+        Ok(mut table) => table.release(ticket),
+        Err(_) => return, // poisoned: the store is already failing Internal
+    };
+    if !admitted.is_empty() {
+        entry.lease_cv.notify_all();
     }
 }
 
@@ -332,9 +473,334 @@ pub struct HardenOutcome {
     pub epoch: u64,
 }
 
+/// Summary returned by [`Store::mutate_batch`] (maps onto
+/// `Response::BatchMutated`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Epoch after the whole batch: a batch of `applied` mutations
+    /// returning epoch `e` occupied epochs `e − applied + 1 ..= e`.
+    pub epoch: u64,
+    /// Mutations applied (the full batch on success).
+    pub applied: u64,
+    /// Total dominator promotions across the batch's repairs.
+    pub promoted: u64,
+    /// Total dominator demotions across the batch's repairs.
+    pub demoted: u64,
+    /// Time the batch spent queued for its lease, in microseconds —
+    /// admission wait, excluded from service time.
+    pub lease_wait_us: u64,
+}
+
 /// Saturating `usize → u32` for unreachable-node counts.
 fn narrow_count(n: usize) -> u32 {
     u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// The "topology is static" rejection shared by every mutation path.
+fn static_err(name: &str) -> StoreError {
+    err(
+        ErrorCode::Unsupported,
+        format!("topology `{name}` is static (ingested without positions)"),
+    )
+}
+
+fn oob_err(node: NodeId, n: usize) -> StoreError {
+    err(ErrorCode::OutOfRange, format!("node {node} ≥ n = {n}"))
+}
+
+/// Computes the conservative grid-cell claim for one mutation against a
+/// topology snapshot, validating what can be validated before the lease
+/// is taken (mobility, id range). Claims use cell radius arithmetic
+/// only — [`wcds_core::maintenance::lease::CLAIM_RADIUS_CELLS`] cells
+/// around every disturbed site, the grid cell being the radio radius —
+/// so no graph walk runs before admission, and the claim travels in
+/// site form ([`Scope::Blocks`]) so admission never materializes the
+/// block cells. A `Leave` claims [`Scope::All`]: id compaction renames
+/// every node above the victim, so nothing may be admitted
+/// concurrently with it.
+fn claim_for(name: &str, topo: &Topology, mutation: &Mutation) -> Result<Scope, StoreError> {
+    let Body::Mobile(m) = &topo.body else {
+        return Err(static_err(name));
+    };
+    let cell = m.radius();
+    match *mutation {
+        Mutation::Join { x, y } => Ok(Scope::Blocks(site_cells(&[Point::new(x, y)], cell))),
+        Mutation::Leave { node } => {
+            if node >= m.graph().node_count() {
+                return Err(oob_err(node, m.graph().node_count()));
+            }
+            Ok(Scope::All)
+        }
+        Mutation::Move { node, x, y } => {
+            let old = m
+                .points()
+                .get(node)
+                .copied()
+                .ok_or_else(|| oob_err(node, m.graph().node_count()))?;
+            Ok(Scope::Blocks(site_cells(&[old, Point::new(x, y)], cell)))
+        }
+    }
+}
+
+/// Validates a whole batch against a topology snapshot and computes
+/// each mutation's claim. All-or-nothing: any invalid id rejects the
+/// batch before anything is applied. Ids are interpreted in
+/// batch-application order — a `Leave` shifts later ids exactly as the
+/// serial replay would — by simulating the position vector on a local
+/// clone, never touching the real state.
+fn batch_claims(
+    name: &str,
+    topo: &Topology,
+    mutations: &[Mutation],
+) -> Result<Vec<Scope>, StoreError> {
+    let Body::Mobile(m) = &topo.body else {
+        return Err(static_err(name));
+    };
+    let cell = m.radius();
+    let mut pts: Vec<Point> = m.points().to_vec();
+    let mut claims = Vec::with_capacity(mutations.len());
+    for mu in mutations {
+        match *mu {
+            Mutation::Join { x, y } => {
+                let p = Point::new(x, y);
+                pts.push(p);
+                claims.push(Scope::Blocks(site_cells(&[p], cell)));
+            }
+            Mutation::Leave { node } => {
+                if node >= pts.len() {
+                    return Err(oob_err(node, pts.len()));
+                }
+                pts.remove(node);
+                claims.push(Scope::All);
+            }
+            Mutation::Move { node, x, y } => {
+                let p = Point::new(x, y);
+                let n = pts.len();
+                let slot = pts.get_mut(node).ok_or_else(|| oob_err(node, n))?;
+                let old = *slot;
+                *slot = p;
+                claims.push(Scope::Blocks(site_cells(&[old, p], cell)));
+            }
+        }
+    }
+    Ok(claims)
+}
+
+/// Folds per-mutation claims into the single batch-level lease scope.
+/// The store only emits site-form claims (`Blocks` / `All`), so the
+/// union stays in site form — one sorted, deduplicated site list per
+/// batch, never a materialized cell set. Explicit `Cells` claims (none
+/// today) are widened to the blocks around them, which is conservative
+/// and therefore safe for a scheduling predicate.
+fn union_scope(claims: &[Scope]) -> Scope {
+    let mut sites = Vec::new();
+    for c in claims {
+        match c {
+            Scope::All => return Scope::All,
+            Scope::Blocks(v) | Scope::Cells(v) => sites.extend_from_slice(v),
+        }
+    }
+    // sorted + deduped is the Scope list invariant
+    sites.sort_unstable();
+    sites.dedup();
+    Scope::Blocks(sites)
+}
+
+/// Splits a batch into maximal `Move` runs (coalesced into repair
+/// waves) and single `Join` / `Leave` barriers (membership changes
+/// alter the id space, so they serialize).
+fn segments(mutations: &[Mutation]) -> Vec<&[Mutation]> {
+    let mut out = Vec::new();
+    let mut rest = mutations;
+    while !rest.is_empty() {
+        let run = rest.iter().take_while(|m| matches!(m, Mutation::Move { .. })).count();
+        let take = run.max(1);
+        let Some((seg, tail)) = rest.get(..take).zip(rest.get(take..)) else {
+            break; // unreachable: take ≤ rest.len()
+        };
+        out.push(seg);
+        rest = tail;
+    }
+    out
+}
+
+/// Splices a fresh bundle out of `prior` after a dominator-preserving
+/// repair: WCDS carried over, router patched from the repair's net
+/// edge delta, broadcast plan reset to its lazy unset state.
+/// Byte-identical to a from-scratch build (release-asserted by the
+/// store tests).
+fn patch_bundle(g: &Graph, prior: &Bundle, report: &RepairReport, epoch: u64) -> Arc<Bundle> {
+    let wcds = prior.wcds.clone();
+    let router = prior.router.patched(g, &wcds, &report.edges_added, &report.edges_removed);
+    let spanner = router.spanner().clone();
+    let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
+    Arc::new(Bundle {
+        epoch,
+        wcds,
+        spanner,
+        router,
+        broadcastable,
+        resilient: None,
+        plan: OnceLock::new(),
+    })
+}
+
+/// Applies one mutation under the topology write lock (the caller
+/// already holds the lease). Returns the post-mutation epoch, the
+/// repair report, and — when the repair preserved every dominator and
+/// the previously published bundle was exactly one epoch behind — a
+/// patched bundle for the caller to publish after the lock is dropped.
+///
+/// The prior bundle is snapshotted *before* the topology lock is
+/// taken; a racing publish in between merely disables the patch (the
+/// `epoch + 1` filter fails) and the next query rebuilds lazily.
+fn apply_one(
+    entry: &Entry,
+    name: &str,
+    mutation: &Mutation,
+) -> Result<(u64, RepairReport, Option<Arc<Bundle>>), StoreError> {
+    let prior = read_guard(&entry.published)?.clone();
+    let mut topo = write_guard(&entry.topo)?;
+    let t = &mut *topo;
+    let resilience = t.resilience;
+    let n = t.body.graph().node_count();
+    let Body::Mobile(m) = &mut t.body else {
+        return Err(static_err(name));
+    };
+    let report = match *mutation {
+        Mutation::Join { x, y } => m.apply_join(Point::new(x, y)),
+        Mutation::Leave { node } => {
+            if node >= n {
+                return Err(oob_err(node, n));
+            }
+            m.apply_leave(node)
+        }
+        Mutation::Move { node, x, y } => {
+            if node >= n {
+                return Err(oob_err(node, n));
+            }
+            m.apply_motion(&[(node, Point::new(x, y))])
+        }
+    };
+    let epoch = entry.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+    let is_leave = matches!(*mutation, Mutation::Leave { .. });
+    if is_leave {
+        t.leave_since_bundle = true;
+    }
+    // a leave renames every id above the victim, which would invalidate
+    // all id-keyed router state — let it rebuild. Hardened bundles also
+    // rebuild: a plain repair report says nothing about the upper
+    // coverage layers or connectors.
+    let patch = prior
+        .filter(|b| {
+            b.epoch + 1 == epoch && resilience.is_none() && !report.changed() && !is_leave
+        })
+        .map(|b| patch_bundle(t.body.graph(), &b, &report, epoch));
+    Ok((epoch, report, patch))
+}
+
+/// Applies a validated batch under the topology write lock, walking
+/// its segments in order: each `Move` run is wave-planned for the
+/// admission counters and then coalesced into **one** `apply_motion`
+/// repair (one worklist pass over the union of the run's disturbed
+/// regions); `Join` / `Leave` segments apply singly. Maintains a
+/// running patched-bundle chain (dropped on dominator churn, a leave,
+/// or a hardened topology) so a quiet batch still leaves the cache
+/// hot.
+fn apply_batch(
+    entry: &Entry,
+    name: &str,
+    mutations: &[Mutation],
+    claims: &[Scope],
+) -> Result<(BatchOutcome, Option<Arc<Bundle>>), StoreError> {
+    let prior = read_guard(&entry.published)?.clone();
+    let mut topo = write_guard(&entry.topo)?;
+    let t = &mut *topo;
+    let resilience = t.resilience;
+    let Body::Mobile(m) = &mut t.body else {
+        return Err(static_err(name));
+    };
+    let mut epoch = entry.epoch.load(Ordering::Acquire);
+    // the chain invariant: `chain` is Some(b) only while b.epoch equals
+    // the running epoch, i.e. the bundle is exactly current
+    let mut chain = prior.filter(|b| b.epoch == epoch && resilience.is_none());
+    let mut promoted = 0u64;
+    let mut demoted = 0u64;
+    let mut leave_seen = false;
+    let mut off = 0usize;
+    for seg in segments(mutations) {
+        let seg_claims = claims.get(off..off + seg.len()).unwrap_or(&[]);
+        off += seg.len();
+        match seg.first() {
+            Some(Mutation::Move { .. }) => {
+                // the wave plan is *accounting*: what the live table
+                // would have admitted had each move arrived alone
+                // (waits, conflict pairs, peak admissible concurrency).
+                // Application does not serialize on it — the maintained
+                // state is a pure function of the final positions
+                // (release-asserted against serial replay), so the
+                // whole run coalesces into ONE worklist repair over the
+                // union of its disturbed regions
+                let plan = plan_batch(seg_claims);
+                entry.lease_waits.fetch_add(plan.waits, Ordering::Relaxed);
+                entry.lease_conflicts.fetch_add(plan.conflicts, Ordering::Relaxed);
+                entry
+                    .concurrent_repairs_max
+                    .fetch_max(plan.max_concurrency as u64, Ordering::Relaxed);
+                let mut moves = Vec::with_capacity(seg.len());
+                for mu in seg {
+                    if let Mutation::Move { node, x, y } = *mu {
+                        let n = m.graph().node_count();
+                        if node >= n {
+                            return Err(oob_err(node, n));
+                        }
+                        moves.push((node, Point::new(x, y)));
+                    }
+                }
+                let report = m.apply_motion(&moves);
+                let step = moves.len() as u64;
+                epoch = entry.epoch.fetch_add(step, Ordering::AcqRel) + step;
+                promoted += report.promoted.len() as u64;
+                demoted += report.demoted.len() as u64;
+                chain = chain
+                    .filter(|_| !report.changed())
+                    .map(|b| patch_bundle(m.graph(), &b, &report, epoch));
+            }
+            Some(&Mutation::Join { x, y }) => {
+                let report = m.apply_join(Point::new(x, y));
+                epoch = entry.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                promoted += report.promoted.len() as u64;
+                demoted += report.demoted.len() as u64;
+                chain = chain
+                    .filter(|_| !report.changed())
+                    .map(|b| patch_bundle(m.graph(), &b, &report, epoch));
+            }
+            Some(&Mutation::Leave { node }) => {
+                let n = m.graph().node_count();
+                if node >= n {
+                    return Err(oob_err(node, n));
+                }
+                let report = m.apply_leave(node);
+                epoch = entry.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                promoted += report.promoted.len() as u64;
+                demoted += report.demoted.len() as u64;
+                leave_seen = true;
+                chain = None; // id compaction invalidates id-keyed state
+            }
+            None => {}
+        }
+    }
+    if leave_seen {
+        t.leave_since_bundle = true;
+    }
+    let outcome = BatchOutcome {
+        epoch,
+        applied: mutations.len() as u64,
+        promoted,
+        demoted,
+        lease_wait_us: 0,
+    };
+    Ok((outcome, chain))
 }
 
 /// Serves a route over the **surviving backbone**: a BFS over the stale
@@ -447,8 +913,6 @@ impl Store {
         let mobile = matches!(body, Body::Mobile(_));
         let entry = Arc::new(Entry::new(Topology {
             body,
-            epoch: 0,
-            bundle: None,
             resilience: None,
             leave_since_bundle: false,
         }));
@@ -484,105 +948,147 @@ impl Store {
     /// `NotFound` for an unknown name.
     pub fn bundle(&self, name: &str) -> Result<(Arc<Bundle>, bool), StoreError> {
         let entry = self.entry(name)?;
+        // hit path: published-bundle read lock only — a repair holding
+        // the topology write lock never blocks this
         {
-            let topo = read_guard(&entry.topo)?;
-            if read_check(&*topo) == ReadDecision::Hit {
-                if let Some(b) = &topo.bundle {
+            let p = read_guard(&entry.published)?;
+            let view = CacheView {
+                epoch: entry.epoch.load(Ordering::Acquire),
+                stamp: p.as_ref().map(|b| b.epoch),
+            };
+            if read_check(&view) == ReadDecision::Hit {
+                if let Some(b) = &*p {
                     entry.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok((Arc::clone(b), true));
                 }
             }
         }
-        let mut topo = write_guard(&entry.topo)?;
-        // double-check: a racing query may have rebuilt while we waited
-        if write_check(&*topo) == WriteDecision::FreshAlready {
-            if let Some(b) = &topo.bundle {
-                entry.misses.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(b), false));
-            }
-        }
         entry.misses.fetch_add(1, Ordering::Relaxed);
-        entry.rebuilds.fetch_add(1, Ordering::Relaxed);
-        let bundle = topo.build_bundle();
-        topo.bundle = Some(Arc::clone(&bundle));
-        topo.leave_since_bundle = false;
-        Ok((bundle, false))
+        // rebuild path: serialized on the topology write lock, which
+        // freezes the epoch for the duration of the build
+        let built = {
+            let mut topo = write_guard(&entry.topo)?;
+            // double-check: a racing query may have republished while
+            // we waited for the lock
+            if write_check(&entry.view()) == WriteDecision::FreshAlready {
+                None
+            } else {
+                entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+                let b = topo.build_bundle(entry.epoch.load(Ordering::Acquire));
+                topo.leave_since_bundle = false;
+                Some(b)
+            }
+        };
+        match built {
+            Some(bundle) => {
+                publish(&entry, Arc::clone(&bundle))?;
+                Ok((bundle, false))
+            }
+            // the fresh stamp was set under the published write lock
+            // together with the bundle itself, so it is always there
+            None => read_guard(&entry.published)?
+                .as_ref()
+                .map(|b| (Arc::clone(b), false))
+                .ok_or_else(|| {
+                    err(ErrorCode::Internal, "fresh stamp with no published bundle")
+                }),
+        }
     }
 
-    /// Applies one maintenance mutation, bumping the epoch.
+    /// Applies one maintenance mutation, advancing the epoch.
+    ///
+    /// Admission goes through the entry's region-lease table first: the
+    /// mutation claims the grid cells conservatively covering its 3-hop
+    /// repair ball, proceeds immediately when no live claim overlaps,
+    /// and otherwise queues FIFO on the lease condvar — *without*
+    /// holding the topology lock, so a queued mutation blocks neither
+    /// readers nor disjoint mutations, and its wait is accounted as
+    /// queueing rather than service time.
     ///
     /// When the repair left every dominator in place (the common case
-    /// for small motions and absorbed joins) and the cached bundle was
-    /// fresh, the bundle is **patched in place** under the same write
-    /// lock: the WCDS is carried over, the router is spliced through
-    /// [`BackboneRouter::patched`] from the repair's net edge delta, and
-    /// the broadcast plan resets to its lazy unset state. The next
+    /// for small motions and absorbed joins) and the published bundle
+    /// was exactly one epoch behind, the bundle is **patched**: the
+    /// WCDS is carried over, the router is spliced through
+    /// [`BackboneRouter::patched`] from the repair's net edge delta,
+    /// and the broadcast plan resets to its lazy unset state. The next
     /// query is then a cache hit with artifacts byte-identical to a
-    /// from-scratch
-    /// rebuild. Otherwise (dominator churn, a leave's id compaction, or
-    /// an already-stale bundle) the stale bundle is left in place and
-    /// queries rebuild lazily on the epoch mismatch.
+    /// from-scratch rebuild. Otherwise (dominator churn, a leave's id
+    /// compaction, or an already-stale bundle) the published bundle is
+    /// left in place and queries rebuild lazily on the epoch mismatch.
     ///
     /// # Errors
     ///
     /// `NotFound`, `Unsupported` (static topology), or `OutOfRange`.
     pub fn mutate(&self, name: &str, mutation: &Mutation) -> Result<(u64, RepairReport), StoreError> {
         let entry = self.entry(name)?;
-        let mut topo = write_guard(&entry.topo)?;
-        let n = topo.body.graph().node_count();
-        let Body::Mobile(m) = &mut topo.body else {
-            return Err(err(
-                ErrorCode::Unsupported,
-                format!("topology `{name}` is static (ingested without positions)"),
-            ));
+        let scope = {
+            let topo = read_guard(&entry.topo)?;
+            claim_for(name, &topo, mutation)?
         };
-        let report = match *mutation {
-            Mutation::Join { x, y } => m.apply_join(Point::new(x, y)),
-            Mutation::Leave { node } => {
-                if node >= n {
-                    return Err(err(ErrorCode::OutOfRange, format!("node {node} ≥ n = {n}")));
-                }
-                m.apply_leave(node)
-            }
-            Mutation::Move { node, x, y } => {
-                if node >= n {
-                    return Err(err(ErrorCode::OutOfRange, format!("node {node} ≥ n = {n}")));
-                }
-                m.apply_motion(&[(node, Point::new(x, y))])
-            }
+        let (ticket, _wait_us) = acquire_lease(&entry, scope)?;
+        let applied = apply_one(&entry, name, mutation);
+        release_lease(&entry, ticket);
+        let (epoch, report, patch) = applied?;
+        if let Some(b) = patch {
+            publish(&entry, b)?;
+        }
+        Ok((epoch, report))
+    }
+
+    /// Applies a whole mutation batch (a drift tick) under **one**
+    /// region lease, coalescing its repairs.
+    ///
+    /// The batch is validated up front against a topology snapshot —
+    /// all-or-nothing, ids interpreted in batch order exactly as a
+    /// serial replay would — and claims one lease for the union of its
+    /// per-mutation scopes. Maximal `Move` runs are planned into FIFO
+    /// waves of pairwise-disjoint claims
+    /// ([`wcds_core::maintenance::lease::plan_batch`]) for the
+    /// admission counters (waits, conflict pairs, peak admissible
+    /// concurrency), then applied as **one** `apply_motion` call — a
+    /// single cascade worklist pass over the union of the run's
+    /// disturbed regions with the refresh sweeps fanned out on the
+    /// parallel engine. (The maintained state is a pure function of
+    /// the final positions, so one coalesced pass is byte-identical to
+    /// wave-by-wave or fully serial application.) `Join` / `Leave`
+    /// mutations are their own single-mutation barriers (they change
+    /// the id space). The epoch advances by each segment's size in
+    /// commit order, so a batch of `k` returning epoch `e` occupied
+    /// epochs `e − k + 1 ..= e`, and the final state is byte-identical
+    /// to applying the same mutations serially in that order.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`, `Unsupported` (static topology), or `OutOfRange`
+    /// (any invalid id in the batch; nothing is applied).
+    pub fn mutate_batch(
+        &self,
+        name: &str,
+        mutations: &[Mutation],
+    ) -> Result<BatchOutcome, StoreError> {
+        let entry = self.entry(name)?;
+        entry.batched_mutations.fetch_add(mutations.len() as u64, Ordering::Relaxed);
+        if mutations.is_empty() {
+            return Ok(BatchOutcome {
+                epoch: entry.epoch.load(Ordering::Acquire),
+                applied: 0,
+                promoted: 0,
+                demoted: 0,
+                lease_wait_us: 0,
+            });
+        }
+        let claims = {
+            let topo = read_guard(&entry.topo)?;
+            batch_claims(name, &topo, mutations)?
         };
-        topo.epoch += 1;
-        if matches!(*mutation, Mutation::Leave { .. }) {
-            topo.leave_since_bundle = true;
+        let (ticket, lease_wait_us) = acquire_lease(&entry, union_scope(&claims))?;
+        let applied = apply_batch(&entry, name, mutations, &claims);
+        release_lease(&entry, ticket);
+        let (outcome, patch) = applied?;
+        if let Some(b) = patch {
+            publish(&entry, b)?;
         }
-        let fresh = topo.bundle.as_ref().filter(|b| b.epoch + 1 == topo.epoch).map(Arc::clone);
-        if let Some(b) = fresh {
-            // a leave renames every id above the victim, which would
-            // invalidate all id-keyed router state — let it rebuild.
-            // Hardened bundles also rebuild: a plain repair report says
-            // nothing about the upper coverage layers or connectors.
-            if topo.resilience.is_none()
-                && !report.changed()
-                && !matches!(*mutation, Mutation::Leave { .. })
-            {
-                let g = topo.body.graph();
-                let wcds = b.wcds.clone();
-                let router =
-                    b.router.patched(g, &wcds, &report.edges_added, &report.edges_removed);
-                let spanner = router.spanner().clone();
-                let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
-                topo.bundle = Some(Arc::new(Bundle {
-                    epoch: topo.epoch,
-                    wcds,
-                    spanner,
-                    router,
-                    broadcastable,
-                    resilient: None,
-                    plan: OnceLock::new(),
-                }));
-            }
-        }
-        Ok((topo.epoch, report))
+        Ok(BatchOutcome { lease_wait_us, ..outcome })
     }
 
     /// Full statistics for one topology. Builds the bundle if stale, so
@@ -599,7 +1105,7 @@ impl Store {
         Ok(TopologyStats {
             nodes: topo.body.graph().node_count() as u64,
             edges: topo.body.graph().edge_count() as u64,
-            epoch: topo.epoch,
+            epoch: entry.epoch.load(Ordering::Acquire),
             mobile: matches!(topo.body, Body::Mobile(_)),
             cached,
             mis: bundle.wcds.mis_dominators().len() as u64,
@@ -615,6 +1121,10 @@ impl Store {
             routes_degraded: entry.routes_degraded.load(Ordering::Relaxed),
             routes_unreachable: entry.routes_unreachable.load(Ordering::Relaxed),
             heals: entry.heals.load(Ordering::Relaxed),
+            lease_waits: entry.lease_waits.load(Ordering::Relaxed),
+            lease_conflicts: entry.lease_conflicts.load(Ordering::Relaxed),
+            batched_mutations: entry.batched_mutations.load(Ordering::Relaxed),
+            concurrent_repairs_max: entry.concurrent_repairs_max.load(Ordering::Relaxed),
         })
     }
 
@@ -633,12 +1143,17 @@ impl Store {
         let params = ResilientParams::new(narrow(k), narrow(m))
             .map_err(|e| err(ErrorCode::OutOfRange, e.to_string()))?;
         let entry = self.entry(name)?;
-        let mut topo = write_guard(&entry.topo)?;
-        topo.resilience = Some(params);
-        entry.rebuilds.fetch_add(1, Ordering::Relaxed);
-        let bundle = topo.build_bundle();
-        topo.bundle = Some(Arc::clone(&bundle));
-        topo.leave_since_bundle = false;
+        let bundle = {
+            let mut topo = write_guard(&entry.topo)?;
+            topo.resilience = Some(params);
+            entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+            let b = topo.build_bundle(entry.epoch.load(Ordering::Acquire));
+            topo.leave_since_bundle = false;
+            b
+        };
+        // same-epoch replacement: publish swaps the plain bundle for
+        // the hardened one at the unchanged epoch
+        publish(&entry, Arc::clone(&bundle))?;
         match bundle.resilient {
             Some(s) => Ok(HardenOutcome {
                 k: u64::from(params.k),
@@ -681,6 +1196,10 @@ impl Store {
         to: NodeId,
     ) -> Result<RouteOutcome, StoreError> {
         let entry = self.entry(name)?;
+        // snapshot the published bundle *before* the topology lock (the
+        // one-lock-at-a-time discipline); the stamp comparison below
+        // rejects a snapshot made stale by a racing rebuild
+        let snap = read_guard(&entry.published)?.clone();
         let degraded = {
             let topo = read_guard(&entry.topo)?;
             let n = topo.body.graph().node_count();
@@ -689,12 +1208,16 @@ impl Store {
                     return Err(err(ErrorCode::OutOfRange, format!("node {u} ≥ n = {n}")));
                 }
             }
-            if read_check(&*topo) != ReadDecision::Hit
+            let view = entry.view();
+            if read_check(&view) != ReadDecision::Hit
                 && topo.resilience.is_some()
                 && !topo.leave_since_bundle
             {
-                topo.bundle
-                    .as_ref()
+                // stamp == snap.epoch proves the snapshot is the bundle
+                // currently published, whose id space the clear
+                // leave_since_bundle flag vouches for
+                snap.as_ref()
+                    .filter(|b| view.bundle_stamp() == Some(b.epoch))
                     .map(|b| surviving_backbone_route(topo.body.graph(), b, from, to))
             } else {
                 None
@@ -817,20 +1340,33 @@ impl Store {
             let entry = self.entry(name)?;
             let (epoch, graph, source) = {
                 let topo = read_guard(&entry.topo)?;
-                if read_check(&*topo) == ReadDecision::Hit {
+                // the epoch is stable here: mutations advance it only
+                // under the topology *write* lock
+                if read_check(&entry.view()) == ReadDecision::Hit {
                     return Ok(false); // someone else already rebuilt
                 }
-                (topo.epoch, topo.body.graph().clone(), topo.artifact_source())
+                (
+                    entry.epoch.load(Ordering::Acquire),
+                    topo.body.graph().clone(),
+                    topo.artifact_source(),
+                )
             };
             let bundle = build_artifacts(&graph, &source, epoch);
-            {
+            let installed = {
                 let mut topo = write_guard(&entry.topo)?;
-                if topo.epoch == epoch {
+                if entry.epoch.load(Ordering::Acquire) == epoch {
                     entry.rebuilds.fetch_add(1, Ordering::Relaxed);
-                    topo.bundle = Some(bundle);
                     topo.leave_since_bundle = false;
-                    return Ok(true);
+                    true
+                } else {
+                    false
                 }
+            };
+            if installed {
+                // a mutation slipping in between the lock drop and this
+                // publish simply outranks us (publish never rolls back)
+                publish(&entry, bundle)?;
+                return Ok(true);
             }
         }
         Ok(false)

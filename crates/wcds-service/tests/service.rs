@@ -287,3 +287,79 @@ fn stress_mixed_readers_and_mutators_match_serial_replay() {
     c.shutdown_server().unwrap();
     handle.join();
 }
+
+/// `MutateBatch` over the wire: all-or-nothing validation, commit-order
+/// epoch range accounting, lease counters, and a final state
+/// byte-identical to applying the same mutations one `Mutate` request
+/// at a time.
+#[test]
+fn mutate_batch_matches_serial_replay_and_is_atomic() {
+    let handle = Server::bind("127.0.0.1:0", Store::new(), ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut c = Client::connect_with_timeout(addr, Duration::from_secs(10)).unwrap();
+
+    let initial = payload(60, 4.0, 33);
+    c.create("batch", &initial).unwrap();
+    c.create("serial", &initial).unwrap();
+
+    // two moves into one hot region (a guaranteed lease conflict inside
+    // the batch), a join, a spread move, and a leave barrier
+    let mutations = vec![
+        Mutation::Move { node: 3, x: 2.0, y: 2.0 },
+        Mutation::Move { node: 7, x: 2.1, y: 2.1 },
+        Mutation::Join { x: 0.5, y: 3.5 },
+        Mutation::Move { node: 11, x: 3.8, y: 0.3 },
+        Mutation::Leave { node: 5 },
+        Mutation::Move { node: 0, x: 1.0, y: 1.0 },
+    ];
+
+    let out = c.mutate_batch("batch", &mutations).unwrap();
+    assert_eq!(out.applied, mutations.len() as u64);
+    // a batch of k starting at epoch 0 occupies epochs 1..=k
+    assert_eq!(out.epoch, mutations.len() as u64);
+
+    for m in &mutations {
+        c.mutate("serial", m.clone()).unwrap();
+    }
+    assert_eq!(
+        c.export("batch").unwrap(),
+        c.export("serial").unwrap(),
+        "batched application diverged from serial replay"
+    );
+
+    let batch_stats = c.stats("batch").unwrap();
+    let serial_stats = c.stats("serial").unwrap();
+    assert_eq!(batch_stats.epoch, serial_stats.epoch, "same epoch accounting");
+    assert_eq!(batch_stats.mis, serial_stats.mis);
+    assert_eq!(batch_stats.bridges, serial_stats.bridges);
+    assert_eq!(batch_stats.spanner_edges, serial_stats.spanner_edges);
+    assert_eq!(batch_stats.batched_mutations, mutations.len() as u64);
+    assert_eq!(serial_stats.batched_mutations, 0);
+    assert!(
+        batch_stats.lease_waits >= 1,
+        "the two hot-region moves must have planned a wait"
+    );
+    assert!(batch_stats.lease_conflicts >= 1);
+    assert!(batch_stats.concurrent_repairs_max >= 1);
+
+    // all-or-nothing: one out-of-range mutation rejects the whole
+    // batch with nothing applied
+    let before = c.export("batch").unwrap();
+    let bad = vec![
+        Mutation::Move { node: 1, x: 0.1, y: 0.1 },
+        Mutation::Move { node: 10_000, x: 0.2, y: 0.2 },
+    ];
+    assert!(matches!(
+        c.mutate_batch("batch", &bad),
+        Err(ClientError::Server { code: ErrorCode::OutOfRange, .. })
+    ));
+    assert_eq!(c.export("batch").unwrap(), before, "rejected batch must apply nothing");
+    assert_eq!(c.stats("batch").unwrap().epoch, out.epoch, "rejected batch must not bump");
+
+    // an empty batch is a no-op acknowledged at the current epoch
+    let empty = c.mutate_batch("batch", &[]).unwrap();
+    assert_eq!((empty.applied, empty.epoch), (0, out.epoch));
+
+    c.shutdown_server().unwrap();
+    handle.join();
+}
