@@ -1,0 +1,67 @@
+//! Fixture topology store — the clean tree.
+//!
+//! Same function set as the defective store, each shape corrected:
+//! `promote` and `demote` agree on the `topo` → `published` order (the
+//! edge exists, the cycle does not); `flush` snapshots the cache and
+//! drops its guard before the journal is touched; `refresh` reads the
+//! epoch in a scope and drains the channel lock-free.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, RwLock};
+
+pub struct Topology {
+    pub epoch: u64,
+}
+
+pub struct Store {
+    topo: RwLock<Topology>,
+    published: RwLock<Topology>,
+    cache: Mutex<Vec<u8>>,
+    events: Receiver<u64>,
+}
+
+impl Store {
+    pub fn mutate(&self, buf: &[u8]) -> u64 {
+        let sum = util::checksum(buf);
+        self.seal(sum)
+    }
+
+    fn seal(&self, sum: u64) -> u64 {
+        sum.rotate_left(1)
+    }
+
+    pub fn promote(&self, epoch: u64) {
+        let mut t = self.topo.write();
+        let mut p = self.published.write();
+        p.epoch = epoch;
+        t.epoch = epoch;
+    }
+
+    pub fn demote(&self, epoch: u64) {
+        let mut t = self.topo.write();
+        let mut p = self.published.write();
+        p.epoch = epoch;
+        t.epoch = epoch;
+    }
+
+    pub fn flush(&self, log: &util::Log) {
+        let snapshot = {
+            let c = self.cache.lock();
+            c.clone()
+        };
+        util::audit(log, &snapshot);
+    }
+
+    pub fn snapshot(&self) -> Vec<u8> {
+        let c = self.cache.lock();
+        c.clone()
+    }
+
+    pub fn refresh(&self) {
+        let epoch = {
+            let t = self.topo.read();
+            t.epoch
+        };
+        util::drain(&self.events, epoch);
+    }
+}

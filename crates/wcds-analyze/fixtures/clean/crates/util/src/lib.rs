@@ -1,0 +1,50 @@
+//! Fixture shared helpers — the clean tree.
+//!
+//! The same helpers as the defective tree, total and lock-disciplined:
+//! `header_tag` returns `Option`, `checksum` iterates, and `rotate`
+//! finishes the snapshot **before** taking `journal`, keeping every
+//! path on the one agreed `cache` → `journal` order.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Log {
+    journal: Mutex<Vec<Vec<u8>>>,
+}
+
+/// Total: an empty frame has no tag.
+pub fn header_tag(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+/// Iterator walk — no indexing to get wrong.
+pub fn checksum(buf: &[u8]) -> u64 {
+    let mut sum = 0u64;
+    for &b in buf {
+        sum = sum.wrapping_add(u64::from(b));
+    }
+    sum
+}
+
+/// Takes only `journal`; callers drop `cache` first.
+pub fn audit(log: &Log, entry: &[u8]) {
+    let mut j = log.journal.lock();
+    j.push(entry.to_vec());
+}
+
+/// Snapshot first (takes and releases `cache`), then `journal` — the
+/// same order `flush` uses via [`audit`].
+pub fn rotate(log: &Log, store: &store::Store) {
+    let bytes = store::Store::snapshot(store);
+    let mut j = log.journal.lock();
+    j.push(bytes);
+}
+
+/// Parks on the channel — safe because no caller holds a lock here.
+pub fn drain(rx: &Receiver<u64>, upto: u64) {
+    while let Ok(seq) = rx.recv() {
+        if seq >= upto {
+            break;
+        }
+    }
+}

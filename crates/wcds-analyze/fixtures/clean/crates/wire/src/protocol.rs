@@ -1,0 +1,41 @@
+//! Fixture wire protocol — the clean tree.
+//!
+//! Mirrors the defective tree shape for shape: `decode` totals over
+//! truncated frames via `Option`, and `read_frame` propagates IO
+//! errors instead of unwrapping. The analyzer must report nothing.
+
+use std::io::Read;
+
+pub enum Frame {
+    Ping,
+    Data(u8),
+}
+
+pub enum WireError {
+    Truncated,
+    UnknownTag(u8),
+    Io,
+}
+
+pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+    match util::header_tag(buf) {
+        Some(tag) => body_for(tag, buf),
+        None => Err(WireError::Truncated),
+    }
+}
+
+fn body_for(tag: u8, _buf: &[u8]) -> Result<Frame, WireError> {
+    match tag {
+        0 => Ok(Frame::Ping),
+        1 => Ok(Frame::Data(tag)),
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut hdr = [0u8; 2];
+    match r.read_exact(&mut hdr) {
+        Ok(()) => decode(&hdr),
+        Err(_) => Err(WireError::Io),
+    }
+}

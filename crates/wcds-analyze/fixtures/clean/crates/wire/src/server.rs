@@ -1,0 +1,46 @@
+//! Fixture connection pump — the clean tree.
+//!
+//! Same shapes as the defective pump, done right: the pending buffer
+//! is cloned inside a scope so the state guard dies **before** the
+//! socket write; `poll`'s statement-temporary guard dies at the `;`;
+//! `wait_ready` hands its guard to the condvar, which releases it
+//! while parked. Three negative controls for the hold-across-io
+//! analysis.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+pub struct ConnState {
+    pub pending: Vec<u8>,
+    pub ready: bool,
+}
+
+pub struct Conn {
+    state: Mutex<ConnState>,
+    cv: Condvar,
+}
+
+impl Conn {
+    pub fn pump(&self, out: &mut TcpStream) -> io::Result<()> {
+        let pending = {
+            let state = self.state.lock();
+            state.pending.clone()
+        };
+        out.write_all(&pending)?;
+        Ok(())
+    }
+
+    pub fn poll(&self, out: &mut TcpStream) -> io::Result<()> {
+        let depth = self.state.lock().pending.len();
+        out.write_all(&[depth.min(255) as u8])?;
+        Ok(())
+    }
+
+    pub fn wait_ready(&self) {
+        let mut g = self.state.lock();
+        while !g.ready {
+            g = self.cv.wait(g);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Fixture topology store — the defective tree.
+//!
+//! PLANTED (panic-reachability #2): `mutate` is a wire entry point and
+//! feeds the raw payload to [`util::checksum`], whose walk indexes one
+//! past the end.
+//!
+//! PLANTED (lock-order #1): `promote` takes `topo` then `published`;
+//! `demote` takes them in the opposite order — two peers promoting and
+//! demoting concurrently deadlock.
+//!
+//! PLANTED (lock-order #2, interprocedural): `flush` holds `cache`
+//! while [`util::audit`] takes `journal`; [`util::rotate`] holds
+//! `journal` while `Store::snapshot` takes `cache`.
+//!
+//! PLANTED (hold-across-io #2): `refresh` holds the `topo` read lock
+//! across [`util::drain`], which parks on a channel receive.
+
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, RwLock};
+
+pub struct Topology {
+    pub epoch: u64,
+}
+
+pub struct Store {
+    topo: RwLock<Topology>,
+    published: RwLock<Topology>,
+    cache: Mutex<Vec<u8>>,
+    events: Receiver<u64>,
+}
+
+impl Store {
+    pub fn mutate(&self, buf: &[u8]) -> u64 {
+        let sum = util::checksum(buf);
+        self.seal(sum)
+    }
+
+    fn seal(&self, sum: u64) -> u64 {
+        sum.rotate_left(1)
+    }
+
+    pub fn promote(&self, epoch: u64) {
+        let mut t = self.topo.write();
+        let mut p = self.published.write();
+        p.epoch = epoch;
+        t.epoch = epoch;
+    }
+
+    pub fn demote(&self, epoch: u64) {
+        let mut p = self.published.write();
+        let mut t = self.topo.write();
+        t.epoch = epoch;
+        p.epoch = epoch;
+    }
+
+    pub fn flush(&self, log: &util::Log) {
+        let c = self.cache.lock();
+        util::audit(log, &c);
+    }
+
+    pub fn snapshot(&self) -> Vec<u8> {
+        let c = self.cache.lock();
+        c.clone()
+    }
+
+    pub fn refresh(&self) {
+        let t = self.topo.read();
+        util::drain(&self.events, t.epoch);
+    }
+}

@@ -1,0 +1,54 @@
+//! Fixture shared helpers — the defective tree.
+//!
+//! The defects that live here are only *reachable* through the `wire`
+//! and `store` entry points; the analyzer must attribute them to this
+//! crate with a witness path that starts at the entry.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Log {
+    journal: Mutex<Vec<Vec<u8>>>,
+}
+
+/// PLANTED (panic-reachability #1): panics on an empty frame.
+pub fn header_tag(buf: &[u8]) -> u8 {
+    *buf.first().unwrap()
+}
+
+/// PLANTED (panic-reachability #2): `i <= buf.len()` walks one past
+/// the end — the final iteration indexes out of bounds.
+pub fn checksum(buf: &[u8]) -> u64 {
+    let mut sum = 0u64;
+    let mut i = 0;
+    while i <= buf.len() {
+        sum = sum.wrapping_add(buf[i] as u64);
+        i += 1;
+    }
+    sum
+}
+
+/// PLANTED (lock-order #2, callee side): takes `journal` — deadlocks
+/// against [`rotate`]'s `journal`-then-`cache` order when the caller
+/// already holds `cache`.
+pub fn audit(log: &Log, entry: &[u8]) {
+    let mut j = log.journal.lock();
+    j.push(entry.to_vec());
+}
+
+/// PLANTED (lock-order #2, reverse edge): holds `journal` while
+/// `Store::snapshot` takes `cache`.
+pub fn rotate(log: &Log, store: &store::Store) {
+    let mut j = log.journal.lock();
+    j.push(store::Store::snapshot(store));
+}
+
+/// PLANTED (hold-across-io #2, callee side): parks on the event
+/// channel — callers holding a lock stall every waiter.
+pub fn drain(rx: &Receiver<u64>, upto: u64) {
+    while let Ok(seq) = rx.recv() {
+        if seq >= upto {
+            break;
+        }
+    }
+}

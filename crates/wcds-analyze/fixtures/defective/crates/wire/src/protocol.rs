@@ -1,0 +1,43 @@
+//! Fixture wire protocol — the defective tree.
+//!
+//! PLANTED (panic-reachability #1): `decode` is a wire entry point and
+//! calls [`util::header_tag`], which unwraps on truncated frames — a
+//! one-byte hostile frame panics the worker.
+//!
+//! PLANTED (suppression control): `read_frame` unwraps too, behind a
+//! justified pragma — the golden test asserts it lands in
+//! `suppressed`, not `findings`.
+
+use std::io::Read;
+
+pub enum Frame {
+    Ping,
+    Data(u8),
+}
+
+pub enum WireError {
+    UnknownTag(u8),
+}
+
+pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+    let tag = util::header_tag(buf);
+    body_for(tag, buf)
+}
+
+fn body_for(tag: u8, _buf: &[u8]) -> Result<Frame, WireError> {
+    match tag {
+        0 => Ok(Frame::Ping),
+        1 => Ok(Frame::Data(tag)),
+        other => Err(WireError::UnknownTag(other)),
+    }
+}
+
+pub fn read_frame(r: &mut impl Read) -> Frame {
+    let mut hdr = [0u8; 2];
+    // analyze: allow(panic-site, "fixture control: proves a justified pragma reaches the suppressed list")
+    r.read_exact(&mut hdr).unwrap();
+    match decode(&hdr) {
+        Ok(f) => f,
+        Err(_) => Frame::Ping,
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture connection pump — the defective tree.
+//!
+//! PLANTED (hold-across-io #1): `pump` flushes the pending buffer to
+//! the peer **while still holding** the connection-state mutex — one
+//! slow reader stalls every thread that touches this connection.
+
+use std::io;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct ConnState {
+    pub pending: Vec<u8>,
+}
+
+pub struct Conn {
+    state: Mutex<ConnState>,
+}
+
+impl Conn {
+    pub fn pump(&self, out: &mut TcpStream) -> io::Result<()> {
+        let state = self.state.lock();
+        out.write_all(&state.pending)?;
+        Ok(())
+    }
+}

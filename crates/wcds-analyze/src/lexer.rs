@@ -74,8 +74,13 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                if let Some(p) = parse_pragma(&text, line) {
-                    pragmas.push(p);
+                // doc comments (`///`, `//!`) document the pragma
+                // syntax; only plain `//` comments suppress anything
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if !is_doc {
+                    if let Some(p) = parse_pragma(&text, line) {
+                        pragmas.push(p);
+                    }
                 }
                 blank(&mut masked, &mut line, &chars, start, i);
             }

@@ -1,6 +1,6 @@
 //! In-repo correctness gate for the service layer (DESIGN.md §9).
 //!
-//! Four engines, one verdict (`cargo run -p wcds-analyze -- check`):
+//! Five engines, one verdict (`cargo run -p wcds-analyze -- check`):
 //!
 //! * [`lints`] — lexical source lints over the wire-facing modules
 //!   (`wcds-service::{protocol, server, store, client}`,
@@ -9,6 +9,18 @@
 //!   store. Suppression requires a justified
 //!   `// analyze: allow(<lint>, "…")` pragma, and every suppression is
 //!   reported.
+//! * [`callgraph`] — the workspace-wide interprocedural analyzer: a
+//!   lightweight item parser ([`items`]) extracts every function's
+//!   call sites, lock acquisitions, blocking calls, and panic/index
+//!   sites; the resolved call graph then drives three analyses —
+//!   [`reach`] (panic-reachability from the wire entry points, in any
+//!   crate), and [`lockorder`] (acquired-while-held cycles and lock
+//!   guards live across blocking IO). Findings are emitted as JSON
+//!   (`artifacts/analyze_findings.json`) and gated against a
+//!   checked-in burn-down baseline
+//!   (`crates/wcds-analyze/analyze_baseline.json`); the planted-defect
+//!   fixture trees under `crates/wcds-analyze/fixtures/` prove the
+//!   analyzer catches what it claims.
 //! * [`races`] — an exhaustive bounded-interleaving checker
 //!   ([`wcds_sim::interleave`]) for the store's epoch-stamped
 //!   double-checked-rebuild protocol, driving the *actual* decision
@@ -29,8 +41,13 @@
 //! The crate is dependency-free (std + workspace crates) and runs as a
 //! CI job next to build/test/clippy.
 
+pub mod callgraph;
+pub mod items;
+pub mod json;
 pub mod leases;
 pub mod lexer;
 pub mod lints;
+pub mod lockorder;
 pub mod races;
+pub mod reach;
 pub mod totality;

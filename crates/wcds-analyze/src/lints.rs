@@ -34,9 +34,17 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The lint names a pragma may reference.
-pub const LINT_NAMES: [&str; 4] =
-    ["panic-site", "slice-index", "as-truncation", "nested-lock"];
+/// The lint names a pragma may reference. The last two belong to the
+/// interprocedural analyses ([`crate::lockorder`]); they share the
+/// pragma vocabulary so one escape hatch covers the whole gate.
+pub const LINT_NAMES: [&str; 6] = [
+    "panic-site",
+    "slice-index",
+    "as-truncation",
+    "nested-lock",
+    "lock-order",
+    "hold-across-io",
+];
 
 /// Files under the strict policy, relative to the repo root. The bool
 /// marks the one file that additionally runs the nested-lock lint.
@@ -122,10 +130,10 @@ impl LintReport {
 
 /// A raw (pre-suppression) hit inside one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct RawFinding {
-    line: usize,
-    lint: &'static str,
-    message: String,
+pub(crate) struct RawFinding {
+    pub(crate) line: usize,
+    pub(crate) lint: &'static str,
+    pub(crate) message: String,
 }
 
 /// Runs the strict policy over the repo at `root`.
@@ -249,7 +257,7 @@ fn apply_pragmas(
 // ---------------------------------------------------------------------
 // individual lints (all operate on one masked line)
 
-fn is_ident(c: char) -> bool {
+pub(crate) fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -278,7 +286,7 @@ fn next_non_ws(line: &str, from: usize) -> Option<char> {
     line[from..].chars().find(|c| !c.is_whitespace())
 }
 
-fn scan_panic_sites(line: &str, line_no: usize, out: &mut Vec<RawFinding>) {
+pub(crate) fn scan_panic_sites(line: &str, line_no: usize, out: &mut Vec<RawFinding>) {
     for method in ["unwrap", "expect"] {
         for at in word_positions(line, method) {
             if prev_non_ws(line, at) == Some('.')
@@ -315,7 +323,7 @@ const NON_INDEX_KEYWORDS: [&str; 22] = [
     "use", "pub", "fn",
 ];
 
-fn scan_slice_index(line: &str, line_no: usize, out: &mut Vec<RawFinding>) {
+pub(crate) fn scan_slice_index(line: &str, line_no: usize, out: &mut Vec<RawFinding>) {
     for (at, c) in line.char_indices() {
         if c != '[' {
             continue;
@@ -513,7 +521,7 @@ fn binding_name(masked: &str, i: usize) -> Option<String> {
 
 /// 1-based lines inside `#[cfg(test)] mod … { … }` regions of a
 /// masked file.
-fn test_region_lines(masked: &str) -> std::collections::BTreeSet<usize> {
+pub(crate) fn test_region_lines(masked: &str) -> std::collections::BTreeSet<usize> {
     let mut excluded = std::collections::BTreeSet::new();
     let mut from = 0usize;
     while let Some(off) = masked[from..].find("#[cfg(test)]") {
@@ -588,7 +596,56 @@ fn workspace_panic_sites(root: &Path) -> io::Result<usize> {
     Ok(count)
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+/// Every `// analyze: allow(…)` pragma in non-test workspace code,
+/// with file, line, lint, and justification — the raw material for the
+/// per-lint suppression budgets pinned in the gate test. Scans the
+/// same trees as [`workspace_panic_sites`] (every `crates/*/src` plus
+/// the root `src/`), so a new suppression *anywhere* shows up here.
+///
+/// # Errors
+///
+/// I/O failure walking a source tree.
+pub fn pragma_census(root: &Path) -> io::Result<Vec<Suppression>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let Ok(src) = fs::read_to_string(&path) else { continue };
+        let rel = path
+            .strip_prefix(root)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| path.to_string_lossy().into_owned());
+        let lexed = lex(&src);
+        let excluded = test_region_lines(&lexed.masked);
+        for p in lexed.pragmas {
+            if excluded.contains(&p.line) {
+                continue;
+            }
+            out.push(Suppression {
+                file: rel.clone(),
+                line: p.line,
+                lint: p.lint,
+                justification: p.justification,
+            });
+        }
+    }
+    Ok(out)
+}
+
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
         if path.is_dir() {

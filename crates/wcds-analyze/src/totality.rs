@@ -24,8 +24,11 @@
 //! deliberately not required — e.g. any non-zero bool byte decodes to
 //! `true` and re-encodes as `1`).
 
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use wcds_service::protocol::{Mutation, Request, Response, TopologyStats, PROTOCOL_VERSION};
+use wcds_service::protocol::{
+    Mutation, Request, Response, TopologyStats, WireError, PROTOCOL_VERSION,
+};
 
 /// Outcome of a totality run.
 #[derive(Debug, Default)]
@@ -190,6 +193,58 @@ fn candidates() -> Vec<Vec<u8>> {
     out
 }
 
+/// Verifies the seed corpus covers the **full** tag range of both
+/// message enums, by probing rather than by a hand-kept list.
+///
+/// Each decoder is fed a bare `[version, tag]` header for all 256
+/// tags. A decoder that answers anything but its own `UnknownTag`
+/// recognises the tag — so some canonical seed must encode exactly
+/// that tag, or a future variant was added without extending the
+/// corpus (and the truncation/mutation/splice sweeps silently lost
+/// coverage of its body shape).
+///
+/// # Errors
+///
+/// A recognised tag no seed encodes, or a seed tag the decoder
+/// rejects; returns the `(request, response)` tag counts on success.
+pub fn verify_seed_tag_coverage() -> Result<(usize, usize), String> {
+    let req_seed_tags: BTreeSet<u8> =
+        request_seeds().iter().filter_map(|r| r.encode().get(1).copied()).collect();
+    let resp_seed_tags: BTreeSet<u8> =
+        response_seeds().iter().filter_map(|r| r.encode().get(1).copied()).collect();
+    let (mut req_known, mut resp_known) = (0usize, 0usize);
+    for tag in 0..=255u8 {
+        let probe = [PROTOCOL_VERSION, tag];
+        let req_exists = !matches!(
+            Request::decode(&probe),
+            Err(WireError::UnknownTag { what: "request", .. })
+        );
+        let resp_exists = !matches!(
+            Response::decode(&probe),
+            Err(WireError::UnknownTag { what: "response", .. })
+        );
+        for (exists, seeded, what) in [
+            (req_exists, req_seed_tags.contains(&tag), "request"),
+            (resp_exists, resp_seed_tags.contains(&tag), "response"),
+        ] {
+            if exists && !seeded {
+                return Err(format!(
+                    "{what} tag {tag} is recognised by the decoder but no canonical \
+                     seed encodes it — extend the seed corpus"
+                ));
+            }
+            if !exists && seeded {
+                return Err(format!(
+                    "a seed encodes {what} tag {tag}, which the decoder rejects"
+                ));
+            }
+        }
+        req_known += usize::from(req_exists);
+        resp_known += usize::from(resp_exists);
+    }
+    Ok((req_known, resp_known))
+}
+
 /// Pushes every candidate through both decoders.
 ///
 /// # Errors
@@ -275,6 +330,19 @@ mod tests {
         // the canonical seeds at least must decode
         assert!(report.accepted >= 26, "only {} accepted", report.accepted);
         assert!(report.rejected > report.accepted);
+    }
+
+    #[test]
+    fn seeds_cover_every_recognised_tag() {
+        let (req, resp) = match verify_seed_tag_coverage() {
+            Ok(counts) => counts,
+            Err(e) => panic!("{e}"),
+        };
+        // the protocol today: request tags 0..=12, response tags
+        // 0..=14 — a new variant bumps these pins together with its
+        // canonical seed
+        assert_eq!(req, 13, "request tag count changed");
+        assert_eq!(resp, 15, "response tag count changed");
     }
 
     #[test]

@@ -1,11 +1,18 @@
 //! The acceptance gate: the real tree is clean, and the gate actually
-//! bites when a forbidden construct is injected.
+//! bites when a forbidden construct is injected — lexically (the
+//! injection tests) and interprocedurally (the planted-defect fixture
+//! trees under `fixtures/`).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use wcds_analyze::{leases, lints, races, totality};
+use wcds_analyze::{callgraph, leases, lints, races, reach, totality};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_root(tree: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(tree)
 }
 
 #[test]
@@ -117,6 +124,221 @@ fn an_injected_nested_lock_in_store_rs_is_caught() {
             .any(|v| v.lint == "nested-lock" && v.message.contains("topo")),
         "injected nested acquisition not reported: {violations:?}"
     );
+}
+
+/// The golden snapshot: every planted defect in the defective fixture
+/// tree is caught, attributed to the exact file, line, and analysis,
+/// and nothing else is reported.
+#[test]
+fn all_planted_fixture_defects_are_caught_and_attributed() {
+    let report = callgraph::analyze(&fixture_root("defective")).expect("fixture tree readable");
+    let got: Vec<(String, usize, &str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.analysis, f.kind))
+        .collect();
+    let want: Vec<(String, usize, &str, &str)> = vec![
+        // refresh holds `topo` across util::drain's channel recv
+        ("crates/store/src/store.rs".into(), 68, "hold-across-io", "held-across-blocking"),
+        // pump writes the socket under the connection-state mutex
+        ("crates/wire/src/server.rs".into(), 22, "hold-across-io", "held-across-blocking"),
+        // promote/demote disagree on the topo/published order
+        ("crates/store/src/store.rs".into(), 51, "lock-order", "lock-cycle"),
+        // flush→audit vs rotate→snapshot: cache⇄journal through calls
+        ("crates/store/src/store.rs".into(), 58, "lock-order", "lock-cycle"),
+        // decode → util::header_tag unwraps on a truncated frame
+        ("crates/util/src/lib.rs".into(), 16, "panic-reachability", "panic-site"),
+        // mutate → util::checksum walks one past the end
+        ("crates/util/src/lib.rs".into(), 25, "panic-reachability", "slice-index"),
+    ];
+    assert_eq!(got, want, "fixture findings diverged from the golden snapshot");
+
+    // defects planted in `util` must carry a witness path that starts
+    // at the *entry point* in another crate — attribution, not just
+    // detection
+    for f in report.findings.iter().filter(|f| f.analysis == "panic-reachability") {
+        assert!(
+            f.witness.first().is_some_and(|w| w.starts_with("entry ")),
+            "reachability witness must begin at the entry: {:?}",
+            f.witness
+        );
+        assert!(
+            f.witness.len() >= 2,
+            "cross-crate defect needs a multi-hop witness: {:?}",
+            f.witness
+        );
+    }
+    // both lock-cycle findings name the full cycle
+    let cycles: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == "lock-cycle")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(cycles.iter().any(|m| m.contains("published") && m.contains("topo")));
+    assert!(cycles.iter().any(|m| m.contains("cache") && m.contains("journal")));
+
+    // the justified-pragma escape hatch works inside fixtures too: the
+    // read_frame unwrap is suppressed, audited, and not a finding
+    assert_eq!(report.suppressed.len(), 1, "exactly one fixture suppression");
+    let s = &report.suppressed[0];
+    assert!(s.file.ends_with("wire/src/protocol.rs") && s.lint == "panic-site");
+}
+
+/// Negative control: the clean tree mirrors every defective shape
+/// (scoped guards, consistent lock order, condvar hand-off, totalised
+/// helpers) and must produce nothing at all.
+#[test]
+fn the_clean_fixture_tree_reports_nothing() {
+    let report = callgraph::analyze(&fixture_root("clean")).expect("fixture tree readable");
+    assert!(
+        report.findings.is_empty(),
+        "clean tree produced findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.analysis, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.suppressed.is_empty(), "clean tree needs no pragmas");
+    // same entry-point table drives both trees
+    assert_eq!(report.entries, 3, "decode, read_frame, and mutate match the entry table");
+}
+
+/// The real tree matches the checked-in burn-down baseline exactly —
+/// no new findings, no stale entries — and holds the structural
+/// invariants the analyses depend on.
+#[test]
+fn the_real_tree_matches_the_analyzer_baseline() {
+    let started = std::time::Instant::now();
+    let report = callgraph::analyze(&repo_root()).expect("workspace readable");
+    let baseline_text =
+        std::fs::read_to_string(repo_root().join("crates/wcds-analyze/analyze_baseline.json"))
+            .expect("checked-in baseline present");
+    let baseline = callgraph::parse_baseline(&baseline_text).expect("baseline parses");
+    let diff = callgraph::compare_baseline(&report, &baseline);
+    assert!(
+        diff.regressions.is_empty(),
+        "new findings above the baseline:\n{:#?}",
+        diff.regressions
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "baseline is stale (debt shrank) — rerun `wcds-analyze callgraph --write-baseline`:\n{:#?}",
+        diff.stale
+    );
+
+    // every wire entry point in the table exists in the tree — a
+    // rename would silently unroot the reachability analysis
+    assert_eq!(
+        report.entries,
+        reach::ENTRY_POINTS.len(),
+        "entry-point table out of sync with the source tree"
+    );
+    // the burn-down is slice-index debt only: every reachable panic
+    // site has been fixed or justified, and no lock-order cycle exists
+    assert!(
+        report.findings.iter().all(|f| f.kind == "slice-index"),
+        "non-slice-index findings appeared: {:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| f.kind != "slice-index")
+            .map(|f| format!("{}:{} [{}]", f.file, f.line, f.kind))
+            .collect::<Vec<_>>()
+    );
+    // the analyzer suppression set is pinned like the lexical one:
+    // the worker pool's receiver-sharing mutex, plus the justified
+    // slice-index pragmas (which suppress the reachability view of
+    // the same sites) — nothing else
+    let hold: Vec<_> =
+        report.suppressed.iter().filter(|s| s.lint == "hold-across-io").collect();
+    assert_eq!(hold.len(), 1, "hold-across-io suppressions changed: {hold:?}");
+    assert!(hold[0].file.ends_with("server.rs"));
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .filter(|s| s.lint != "hold-across-io")
+            .all(|s| s.lint == "slice-index"
+                && (s.file.ends_with("partition.rs") || s.file.ends_with("store.rs"))),
+        "unexpected analyzer suppression: {:?}",
+        report.suppressed
+    );
+    assert_eq!(report.suppressed.len(), 11, "suppression count moved: {:?}", report.suppressed);
+    // the whole interprocedural pass stays interactive — CI budget
+    let elapsed = started.elapsed();
+    assert!(elapsed.as_secs() < 10, "analyze took {elapsed:?}, budget is 10 s");
+}
+
+/// Per-lint pragma budgets over the whole workspace: a new suppression
+/// anywhere — strict files or not — fails this test with the full
+/// justification diff, forcing the budget (and the audit) to move in
+/// the same commit.
+#[test]
+fn workspace_pragma_budgets_are_pinned_per_lint() {
+    let census = lints::pragma_census(&repo_root()).expect("workspace readable");
+    let mut by_lint: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for s in &census {
+        by_lint
+            .entry(s.lint.as_str())
+            .or_default()
+            .push(format!("{}:{} — {}", s.file, s.line, s.justification));
+    }
+    // budgets count pragma *lines*, not suppressed findings — one
+    // partition.rs pragma covers three findings on its line
+    let budgets: &[(&str, usize)] = &[
+        ("panic-site", 0),
+        ("slice-index", 8),
+        ("as-truncation", 0),
+        ("nested-lock", 0),
+        ("lock-order", 0),
+        ("hold-across-io", 1),
+    ];
+    for &(lint, budget) in budgets {
+        let have = by_lint.get(lint).map_or(&[][..], Vec::as_slice);
+        assert_eq!(
+            have.len(),
+            budget,
+            "pragma budget for `{lint}` is {budget}, found {}:\n{}",
+            have.len(),
+            have.join("\n")
+        );
+    }
+    // no pragma outside the budgeted lint vocabulary
+    let total: usize = budgets.iter().map(|&(_, b)| b).sum();
+    assert_eq!(
+        census.len(),
+        total,
+        "a pragma with an unbudgeted lint name exists: {:?}",
+        census
+            .iter()
+            .filter(|s| !budgets.iter().any(|&(l, _)| l == s.lint))
+            .collect::<Vec<_>>()
+    );
+    // justifications are load-bearing prose, not placeholders
+    for s in &census {
+        assert!(
+            s.justification.trim().len() >= 15,
+            "suppression at {}:{} has a throwaway justification: {:?}",
+            s.file,
+            s.line,
+            s.justification
+        );
+    }
+}
+
+/// The seed corpus keeps pace with the protocol: every tag either
+/// decoder recognises has a canonical seed (probed, not hand-listed).
+#[test]
+fn totality_seeds_cover_the_full_tag_range() {
+    match totality::verify_seed_tag_coverage() {
+        Ok((req, resp)) => {
+            assert_eq!((req, resp), (13, 15), "protocol tag ranges moved — update the pins");
+        }
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[test]

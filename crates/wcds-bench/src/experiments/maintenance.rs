@@ -39,11 +39,11 @@ pub fn run_distributed(scale: Scale) -> Vec<Table> {
                 let old = net.points()[u];
                 let target =
                     Point::new((old.x + 0.45).min(side), (old.y + 0.31).min(side));
-                net.apply_motion(&[(u, target)])
+                net.apply_motion(&[(u, target)]).expect("repair quiesces")
             } else {
                 let moved = deploy::perturb(net.points(), region, 0.1, 3000 + step as u64);
                 let moves: Vec<(NodeId, Point)> = moved.iter().copied().enumerate().collect();
-                net.apply_motion(&moves)
+                net.apply_motion(&moves).expect("repair quiesces")
             };
             if net.mis_is_valid() {
                 valid += 1;

@@ -35,7 +35,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use wcds_geom::Point;
 use wcds_graph::{domination, Graph, NodeId, UnitDiskGraph};
-use wcds_sim::{Context, ProcId, Protocol, Schedule, SimReport, Simulator};
+use wcds_sim::{Context, ProcId, Protocol, Schedule, SimError, SimReport, Simulator};
 
 /// Messages of the maintenance protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -302,7 +302,7 @@ pub struct RepairRun {
 /// use wcds_geom::{deploy, Point};
 ///
 /// let mut net = DynamicBackbone::new(deploy::uniform(60, 4.0, 4.0, 1), 1.0);
-/// let repair = net.apply_motion(&[(0, Point::new(2.0, 2.0))]);
+/// let repair = net.apply_motion(&[(0, Point::new(2.0, 2.0))]).expect("quiesces");
 /// assert!(net.mis_is_valid());
 /// // untouched far-away regions never spoke
 /// assert!(repair.active_nodes.len() < 60);
@@ -356,11 +356,15 @@ impl DynamicBackbone {
     /// Moves the listed nodes and runs the repair protocol to
     /// quiescence (synchronous schedule).
     ///
+    /// # Errors
+    ///
+    /// Propagates the simulator error when the protocol fails to
+    /// quiesce within the event budget.
+    ///
     /// # Panics
     ///
-    /// Panics if a node id is out of range or the protocol fails to
-    /// quiesce within the event budget.
-    pub fn apply_motion(&mut self, moves: &[(NodeId, Point)]) -> RepairRun {
+    /// Panics if a node id is out of range.
+    pub fn apply_motion(&mut self, moves: &[(NodeId, Point)]) -> Result<RepairRun, SimError> {
         let mut points = self.udg.points().to_vec();
         for &(u, p) in moves {
             points[u] = p;
@@ -373,7 +377,7 @@ impl DynamicBackbone {
             .collect();
         self.udg = UnitDiskGraph::build(points, self.udg.radius());
         self.sim.set_topology(self.udg.graph());
-        let report = self.sim.run(Schedule::synchronous()).expect("repair quiesces");
+        let report = self.sim.run(Schedule::synchronous())?;
 
         let active_nodes: Vec<NodeId> = self
             .udg
@@ -396,7 +400,7 @@ impl DynamicBackbone {
             );
             active_nodes.iter().map(|&u| dist[u].unwrap_or(u32::MAX)).max()
         };
-        RepairRun { report, active_nodes, activity_radius }
+        Ok(RepairRun { report, active_nodes, activity_radius })
     }
 
     /// The full WCDS (MIS + deterministic bridges) over the current
@@ -420,7 +424,7 @@ mod tests {
         assert!(net.mis_is_valid());
         // a "motion" that moves nothing must produce zero messages
         let p0 = net.points()[0];
-        let repair = net.apply_motion(&[(0, p0)]);
+        let repair = net.apply_motion(&[(0, p0)]).expect("quiesces");
         assert_eq!(repair.report.messages.total(), 0);
         assert!(repair.active_nodes.is_empty());
     }
@@ -434,7 +438,7 @@ mod tests {
             let u = (step * 11) % 150;
             let old = net.points()[u];
             let target = Point::new((old.x + 0.5).min(6.0), (old.y + 0.2).min(6.0));
-            let repair = net.apply_motion(&[(u, target)]);
+            let repair = net.apply_motion(&[(u, target)]).expect("quiesces");
             assert!(net.mis_is_valid(), "step {step} broke the MIS");
             if let Some(r) = repair.activity_radius {
                 max_radius = max_radius.max(r);
@@ -456,7 +460,7 @@ mod tests {
         // must promote itself.
         let mut net = DynamicBackbone::new(deploy::chain(4, 0.9), 1.0);
         assert_eq!(net.mis(), vec![0, 2]);
-        let repair = net.apply_motion(&[(2, Point::new(100.0, 100.0))]);
+        let repair = net.apply_motion(&[(2, Point::new(100.0, 100.0))]).expect("quiesces");
         assert!(net.mis_is_valid());
         assert!(net.mis().contains(&3), "node 3 must self-promote; MIS = {:?}", net.mis());
         // node 2, isolated, must also dominate itself
@@ -470,7 +474,7 @@ mod tests {
         let pts = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
         let mut net = DynamicBackbone::new(pts, 1.0);
         assert_eq!(net.mis(), vec![0, 1]);
-        net.apply_motion(&[(1, Point::new(0.5, 0.0))]);
+        net.apply_motion(&[(1, Point::new(0.5, 0.0))]).expect("quiesces");
         assert!(net.mis_is_valid());
         assert_eq!(net.mis(), vec![0], "higher id must demote on collision");
     }
@@ -482,7 +486,7 @@ mod tests {
         for step in 0..15 {
             let moved = deploy::perturb(net.points(), region, 0.15, 700 + step);
             let moves: Vec<(NodeId, Point)> = moved.iter().copied().enumerate().collect();
-            net.apply_motion(&moves);
+            net.apply_motion(&moves).expect("quiesces");
             assert!(net.mis_is_valid(), "step {step}");
         }
     }
@@ -499,7 +503,7 @@ mod tests {
             .map(|(i, _)| i)
             .expect("non-empty");
         let old = net.points()[corner_node];
-        let repair = net.apply_motion(&[(corner_node, Point::new(old.x + 0.4, old.y))]);
+        let repair = net.apply_motion(&[(corner_node, Point::new(old.x + 0.4, old.y))]).expect("quiesces");
         for &active in &repair.active_nodes {
             let p = net.points()[active];
             assert!(
@@ -515,7 +519,7 @@ mod tests {
         for step in 0..8 {
             let u = (step * 17) % 120;
             let old = net.points()[u];
-            net.apply_motion(&[(u, Point::new((old.x + 0.6) % 5.5, old.y))]);
+            net.apply_motion(&[(u, Point::new((old.x + 0.6) % 5.5, old.y))]).expect("quiesces");
             if wcds_graph::traversal::is_connected(net.graph()) {
                 assert!(net.wcds().is_valid(net.graph()), "step {step}");
             }

@@ -308,7 +308,9 @@ fn lowpoint_dfs(g: &Graph) -> LowpointState {
 
         while let Some(&(u, i)) = stack.last() {
             if i < g.degree(u) {
-                stack.last_mut().expect("just peeked").1 += 1;
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
                 let v = g.neighbors(u)[i] as NodeId;
                 if disc[v] == usize::MAX {
                     parent[v] = Some(u);

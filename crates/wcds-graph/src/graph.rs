@@ -353,11 +353,12 @@ impl Graph {
             adds.sort_unstable();
             dels.sort_unstable();
         }
-        let edge_count = self
-            .edge_count
-            .checked_add(added.len())
-            .and_then(|c| c.checked_sub(removed.len()))
-            .expect("removed edges exceed the edge count");
+        debug_assert!(
+            self.edge_count + added.len() >= removed.len(),
+            "removed edges exceed the edge count"
+        );
+        let edge_count =
+            self.edge_count.saturating_add(added.len()).saturating_sub(removed.len());
         assert!(edge_count * 2 <= u32::MAX as usize, "graph too large for u32 CSR offsets");
 
         let mut offsets = Vec::with_capacity(n_new + 1);

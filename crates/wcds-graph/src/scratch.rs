@@ -110,11 +110,12 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so BinaryHeap (a max-heap) yields the minimum distance;
-        // distances are finite (asserted at insertion).
+        // distances are finite (asserted at insertion) — a NaN would
+        // only misorder the heap, never panic.
         other
             .dist
             .partial_cmp(&self.dist)
-            .expect("finite distances")
+            .unwrap_or(Ordering::Equal)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -212,9 +212,11 @@ where
     impl Eq for Cand {}
     impl Ord for Cand {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // weights are finite by construction; a NaN would only
+            // misorder candidates, never panic
             self.0
                 .partial_cmp(&other.0)
-                .expect("finite weights")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(self.1.cmp(&other.1))
                 .then(self.2.cmp(&other.2))
         }

@@ -79,7 +79,7 @@ pub fn bfs_tree_bounded(
     dist[source] = Some(0);
     q.push_back(source);
     while let Some(u) = q.pop_front() {
-        let du = dist[u].expect("queued nodes have distances");
+        let Some(du) = dist[u] else { continue }; // queued ⇒ distance set
         if du == radius {
             continue;
         }

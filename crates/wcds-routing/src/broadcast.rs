@@ -108,9 +108,15 @@ impl BroadcastPlan {
                         in_tree.insert(next);
                         frontier.push_back(next);
                         if d >= 2 {
-                            let path = traversal::path_from_parents(&parents, cur, next)
-                                .expect("reachable");
-                            forwarders.extend(&path[1..path.len() - 1]);
+                            // dist[next] ≤ 3 ⇒ the parent chain back
+                            // to `cur` exists in this bounded tree
+                            if let Some(path) =
+                                traversal::path_from_parents(&parents, cur, next)
+                            {
+                                forwarders.extend(&path[1..path.len() - 1]);
+                            } else {
+                                debug_assert!(false, "in-ball node lost its parent path");
+                            }
                         }
                     }
                 }

@@ -192,13 +192,12 @@ impl BackboneRouter {
         &self.spanner
     }
 
-    /// The clusterhead of node `u`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` is out of range.
+    /// The clusterhead of node `u`. Total: an out-of-range or
+    /// somehow-unassigned node is its own clusterhead (such a route
+    /// then reports unreachable rather than killing the worker).
     pub fn clusterhead(&self, u: NodeId) -> NodeId {
-        self.clusterhead[u].expect("validated at build time")
+        debug_assert!(u < self.clusterhead.len(), "node {u} out of range");
+        self.clusterhead.get(u).copied().flatten().unwrap_or(u)
     }
 
     /// Routing-table size (number of destination entries) at dominator
@@ -385,11 +384,19 @@ fn dominator_tables(
     let k = heads.len();
     assert!(k < UNREACHABLE as usize, "head count overflows the hop matrix");
     let index_of = |v: NodeId| -> u32 {
-        heads.binary_search(&v).expect("link target is a head") as u32
+        match heads.binary_search(&v) {
+            Ok(i) => i as u32,
+            Err(_) => {
+                debug_assert!(false, "link target {v} is not a head");
+                UNREACHABLE // dropped below; the entry stays unroutable
+            }
+        }
     };
     let adj: Vec<Vec<u32>> = heads
         .iter()
-        .map(|h| dom_links[h].keys().map(|&nb| index_of(nb)).collect())
+        .map(|h| {
+            dom_links[h].keys().map(|&nb| index_of(nb)).filter(|&ix| ix != UNREACHABLE).collect()
+        })
         .collect();
 
     let mut next_hop = vec![UNREACHABLE; k * k];

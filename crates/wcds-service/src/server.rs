@@ -210,6 +210,7 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
+            // analyze: allow(hold-across-io, "the queue mutex exists only to share this receiver; waiting on it IS the guarded operation, and the bounded timeout re-opens the race window every io_timeout")
             match guard.recv_timeout(shared.config.io_timeout) {
                 Ok(s) => Some(s),
                 Err(mpsc::RecvTimeoutError::Timeout) => None,

@@ -489,7 +489,10 @@ impl<P: Protocol> Simulator<P> {
         inspector(0, &self.nodes)
             .map_err(|message| SimError::InvariantViolated { time: 0, message })?;
         while let Some(Reverse((t, _, slot))) = heap.pop() {
-            let ev = slab[slot].take().expect("event scheduled once");
+            let Some(ev) = slab[slot].take() else {
+                debug_assert!(false, "event slot {slot} popped twice");
+                continue;
+            };
             now = t;
             events += 1;
             if events > max_events {

@@ -252,7 +252,8 @@ fn distributed_maintenance_survives_one_random_move() {
         assert!(net.mis_is_valid(), "case {case}: initial MIS invalid");
         let old = net.points()[victim];
         let target = Point::new((old.x + dx).max(0.0), (old.y + dy).max(0.0));
-        net.apply_motion(&[(victim, target)]);
+        net.apply_motion(&[(victim, target)])
+            .unwrap_or_else(|e| panic!("case {case}: repair did not quiesce: {e:?}"));
         assert!(net.mis_is_valid(), "case {case}: repair left an invalid MIS");
     }
 }

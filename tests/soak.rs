@@ -89,7 +89,8 @@ fn long_mobility_trace_stays_valid() {
     for step in 0..200u64 {
         let moved = deploy::perturb(net.points(), region, 0.08, 9000 + step);
         let moves: Vec<(usize, Point)> = moved.iter().copied().enumerate().collect();
-        net.apply_motion(&moves);
+        net.apply_motion(&moves)
+            .unwrap_or_else(|e| panic!("step {step}: repair did not quiesce: {e:?}"));
         assert!(net.mis_is_valid(), "step {step}");
     }
 }
