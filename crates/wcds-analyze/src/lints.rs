@@ -55,9 +55,16 @@ pub const LINT_NAMES: [&str; 6] = [
 /// grid-partition module is strict for the same reason: the service's
 /// mobile-ingest path runs it on every `create`, and its worker
 /// closures execute on spawned threads where a panic poisons the join.
-pub const STRICT_FILES: [(&str, bool); 10] = [
+pub const STRICT_FILES: [(&str, bool); 12] = [
     ("crates/wcds-service/src/protocol.rs", false),
     ("crates/wcds-service/src/server.rs", false),
+    // the readiness event loop multiplexes every connection on one
+    // thread — a panic there takes the whole serving plane down, not
+    // one worker, so it gets the same policy as the dispatcher
+    ("crates/wcds-service/src/eventloop.rs", false),
+    // the snapshot cell is the store's publication primitive; its
+    // reader path runs on every cache hit
+    ("crates/wcds-service/src/snapshot.rs", false),
     ("crates/wcds-service/src/store.rs", true),
     ("crates/wcds-service/src/client.rs", false),
     ("crates/wcds-graph/src/io.rs", false),

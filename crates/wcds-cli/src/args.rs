@@ -3,7 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
-use wcds_service::Mutation;
+use wcds_service::{Engine, Mutation};
 
 /// A CLI failure: bad arguments, I/O, or command-level errors.
 #[derive(Debug)]
@@ -144,15 +144,22 @@ pub enum Command {
     Serve {
         /// Listen address (`host:port`; port 0 picks a free port).
         addr: String,
-        /// Worker-pool size.
+        /// Worker-pool size (or executor-pool size for the event loop).
         workers: usize,
+        /// Serving engine.
+        engine: Engine,
     },
-    /// `wcds query` — one request against a running server.
+    /// `wcds query` — request(s) against a running server.
     Query {
         /// Server address.
         addr: String,
         /// The action to perform.
         action: QueryAction,
+        /// How many times to issue the request.
+        repeat: u64,
+        /// Send all repeats as one pipelined burst (one write, then
+        /// drain the responses in order) instead of round-tripping.
+        pipeline: bool,
     },
     /// `wcds help` / no arguments.
     Help,
@@ -243,8 +250,8 @@ USAGE:
   wcds compare   -i FILE
   wcds render    -i FILE [--algo ALGO] -o FILE.svg
   wcds simulate  -i FILE --algo algo1|algo2 [--async-seed K]
-  wcds serve     [--addr HOST:PORT] [--workers N]
-  wcds query     ACTION --addr HOST:PORT [action flags]
+  wcds serve     [--addr HOST:PORT] [--workers N] [--engine event-loop|worker-pool]
+  wcds query     ACTION --addr HOST:PORT [--repeat N] [--pipeline] [action flags]
   wcds help
 
 QUERY ACTIONS:
@@ -379,7 +386,16 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             if workers == 0 {
                 return Err(CliError("--workers must be at least 1".into()));
             }
-            Ok(Command::Serve { addr, workers })
+            let engine = match s.value_of("--engine") {
+                None | Some("event-loop") => Engine::EventLoop,
+                Some("worker-pool") => Engine::WorkerPool,
+                Some(other) => {
+                    return Err(CliError(format!(
+                        "unknown engine `{other}` (try event-loop or worker-pool)"
+                    )));
+                }
+            };
+            Ok(Command::Serve { addr, workers, engine })
         }
         "query" => {
             let action_name = rest
@@ -387,7 +403,15 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .ok_or_else(|| CliError(format!("query needs an action\n\n{USAGE}")))?;
             let addr = s.value_of("--addr").unwrap_or("127.0.0.1:7700").to_string();
             let action = parse_query_action(action_name, &mut s)?;
-            Ok(Command::Query { addr, action })
+            let repeat = match s.value_of("--repeat") {
+                Some(v) => parse_num(v, "--repeat")?,
+                None => 1,
+            };
+            if repeat == 0 {
+                return Err(CliError("--repeat must be at least 1".into()));
+            }
+            let pipeline = s.has_flag("--pipeline");
+            Ok(Command::Query { addr, action, repeat, pipeline })
         }
         other => Err(CliError(format!("unknown subcommand `{other}`\n\n{USAGE}"))),
     }
@@ -563,28 +587,37 @@ mod tests {
     fn serve_and_query_parse() {
         assert_eq!(
             parse(&argv("serve")).unwrap(),
-            Command::Serve { addr: "127.0.0.1:7700".into(), workers: 4 }
+            Command::Serve { addr: "127.0.0.1:7700".into(), workers: 4, engine: Engine::EventLoop }
         );
         assert_eq!(
             parse(&argv("serve --addr 0.0.0.0:9000 --workers 8")).unwrap(),
-            Command::Serve { addr: "0.0.0.0:9000".into(), workers: 8 }
+            Command::Serve { addr: "0.0.0.0:9000".into(), workers: 8, engine: Engine::EventLoop }
         );
         assert_eq!(
             parse(&argv("query ping --addr 127.0.0.1:7701")).unwrap(),
-            Command::Query { addr: "127.0.0.1:7701".into(), action: QueryAction::Ping }
+            Command::Query {
+                addr: "127.0.0.1:7701".into(),
+                action: QueryAction::Ping,
+                repeat: 1,
+                pipeline: false
+            }
         );
         assert_eq!(
             parse(&argv("query create --addr h:1 --name net -i f.graph")).unwrap(),
             Command::Query {
                 addr: "h:1".into(),
-                action: QueryAction::Create { name: "net".into(), input: "f.graph".into() }
+                action: QueryAction::Create { name: "net".into(), input: "f.graph".into() },
+                repeat: 1,
+                pipeline: false
             }
         );
         assert_eq!(
             parse(&argv("query route --name net --from 0 --to 9")).unwrap(),
             Command::Query {
                 addr: "127.0.0.1:7700".into(),
-                action: QueryAction::Route { name: "net".into(), from: 0, to: 9 }
+                action: QueryAction::Route { name: "net".into(), from: 0, to: 9 },
+                repeat: 1,
+                pipeline: false
             }
         );
         assert_eq!(
@@ -594,7 +627,9 @@ mod tests {
                 action: QueryAction::Mutate {
                     name: "net".into(),
                     mutation: Mutation::Join { x: 1.5, y: 2.5 }
-                }
+                },
+                repeat: 1,
+                pipeline: false
             }
         );
         assert_eq!(
@@ -604,7 +639,9 @@ mod tests {
                 action: QueryAction::Mutate {
                     name: "net".into(),
                     mutation: Mutation::Move { node: 4, x: 0.5, y: 0.25 }
-                }
+                },
+                repeat: 1,
+                pipeline: false
             }
         );
         assert_eq!(
@@ -614,7 +651,26 @@ mod tests {
                 action: QueryAction::Mutate {
                     name: "net".into(),
                     mutation: Mutation::Leave { node: 7 }
-                }
+                },
+                repeat: 1,
+                pipeline: false
+            }
+        );
+        assert_eq!(
+            parse(&argv("serve --engine worker-pool")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7700".into(),
+                workers: 4,
+                engine: Engine::WorkerPool
+            }
+        );
+        assert_eq!(
+            parse(&argv("query ping --repeat 32 --pipeline")).unwrap(),
+            Command::Query {
+                addr: "127.0.0.1:7700".into(),
+                action: QueryAction::Ping,
+                repeat: 32,
+                pipeline: true
             }
         );
     }
@@ -622,6 +678,8 @@ mod tests {
     #[test]
     fn serve_and_query_errors() {
         assert!(parse(&argv("serve --workers 0")).unwrap_err().0.contains("--workers"));
+        assert!(parse(&argv("serve --engine frob")).unwrap_err().0.contains("frob"));
+        assert!(parse(&argv("query ping --repeat 0")).unwrap_err().0.contains("--repeat"));
         assert!(parse(&argv("query")).unwrap_err().0.contains("action"));
         assert!(parse(&argv("query frob")).unwrap_err().0.contains("frob"));
         assert!(parse(&argv("query mutate --name n")).unwrap_err().0.contains("--join"));

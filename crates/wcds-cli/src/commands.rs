@@ -14,7 +14,8 @@ use wcds_graph::metrics::GraphMetrics;
 use wcds_graph::{domination, io, traversal, UnitDiskGraph};
 use wcds_routing::BackboneRouter;
 use wcds_service::{
-    BroadcastOutcome, Client, ClientError, RouteOutcome, Server, ServerConfig, Store,
+    BroadcastOutcome, Client, ClientError, Engine, Request, Response, RouteOutcome, Server,
+    ServerConfig, Store,
 };
 use wcds_sim::Schedule;
 
@@ -41,8 +42,10 @@ pub fn execute(cmd: Command) -> Result<String, CliError> {
         Command::Compare { input } => compare(&load(&input)?),
         Command::Render { input, algo, output } => render(&load(&input)?, algo, &output),
         Command::Simulate { input, algo, async_seed } => simulate(&load(&input)?, algo, async_seed),
-        Command::Serve { addr, workers } => serve(&addr, workers),
-        Command::Query { addr, action } => query(&addr, action),
+        Command::Serve { addr, workers, engine } => serve(&addr, workers, engine),
+        Command::Query { addr, action, repeat, pipeline } => {
+            query(&addr, action, repeat, pipeline)
+        }
     }
 }
 
@@ -290,22 +293,108 @@ fn simulate(doc: &GraphDocument, algo: Algo, async_seed: Option<u64>) -> Result<
     Ok(out)
 }
 
-fn serve(addr: &str, workers: usize) -> Result<String, CliError> {
-    let config = ServerConfig { workers, ..ServerConfig::default() };
+fn serve(addr: &str, workers: usize, engine: Engine) -> Result<String, CliError> {
+    let config = ServerConfig { workers, engine, ..ServerConfig::default() };
     let handle = Server::bind(addr, Store::new(), config)
         .map_err(|e| CliError(format!("cannot bind `{addr}`: {e}")))?;
     // announced before blocking so scripts know the server is up (and,
     // with port 0, which port it got)
-    println!("wcds-service listening on {} ({workers} workers)", handle.local_addr());
+    let engine_name = match engine {
+        Engine::EventLoop => "event-loop",
+        Engine::WorkerPool => "worker-pool",
+    };
+    println!(
+        "wcds-service listening on {} ({engine_name}, {workers} workers)",
+        handle.local_addr()
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let served = handle.join(); // blocks until a wire shutdown request
     Ok(format!("server stopped after {served} requests\n"))
 }
 
-fn query(addr: &str, action: QueryAction) -> Result<String, CliError> {
+fn query(
+    addr: &str,
+    action: QueryAction,
+    repeat: u64,
+    pipeline: bool,
+) -> Result<String, CliError> {
     let mut c = Client::connect(addr)
         .map_err(|e| CliError(format!("cannot connect to `{addr}`: {e}")))?;
+    if pipeline || repeat > 1 {
+        return query_repeated(&mut c, &action, repeat, pipeline);
+    }
+    query_once(&mut c, action)
+}
+
+/// Issues the action `repeat` times — as one pipelined burst when
+/// `--pipeline` is set, as sequential round trips otherwise — and
+/// reports the aggregate instead of `repeat` copies of the rendering.
+fn query_repeated(
+    c: &mut Client,
+    action: &QueryAction,
+    repeat: u64,
+    pipeline: bool,
+) -> Result<String, CliError> {
+    let n = usize::try_from(repeat).map_err(|_| CliError("--repeat too large".into()))?;
+    let req = to_request(action)?;
+    let start = std::time::Instant::now();
+    let responses: Vec<Response> = if pipeline {
+        c.pipeline(&vec![req; n])?
+    } else {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(c.request(&req)?);
+        }
+        out
+    };
+    let elapsed = start.elapsed();
+    let errors = responses.iter().filter(|r| matches!(r, Response::Error { .. })).count();
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        responses.len() as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    let mode = if pipeline { "pipelined" } else { "sequential" };
+    Ok(format!(
+        "{} responses ({mode}): {} ok, {errors} errors in {elapsed:.2?} ({rate:.0} req/s)\n",
+        responses.len(),
+        responses.len() - errors,
+    ))
+}
+
+/// Maps a parsed CLI action to its wire request (`--repeat`/
+/// `--pipeline` paths; the one-shot path uses the typed client API).
+fn to_request(action: &QueryAction) -> Result<Request, CliError> {
+    Ok(match action {
+        QueryAction::Ping => Request::Ping,
+        QueryAction::List => Request::List,
+        QueryAction::Shutdown => Request::Shutdown,
+        QueryAction::Create { name, input } => {
+            let payload = std::fs::read_to_string(input)
+                .map_err(|e| CliError(format!("cannot read `{input}`: {e}")))?;
+            Request::Create { name: name.clone(), payload }
+        }
+        QueryAction::Export { name, .. } => Request::Export { name: name.clone() },
+        QueryAction::Construct { name } => Request::Construct { name: name.clone() },
+        QueryAction::Route { name, from, to } => {
+            Request::Route { name: name.clone(), from: *from, to: *to }
+        }
+        QueryAction::Broadcast { name, source } => {
+            Request::Broadcast { name: name.clone(), source: *source }
+        }
+        QueryAction::Stats { name } => Request::Stats { name: name.clone() },
+        QueryAction::Mutate { name, mutation } => {
+            Request::Mutate { name: name.clone(), mutation: mutation.clone() }
+        }
+        QueryAction::Drop { name } => Request::Drop { name: name.clone() },
+        QueryAction::Harden { name, k, m } => {
+            Request::Harden { name: name.clone(), k: *k, m: *m }
+        }
+    })
+}
+
+fn query_once(c: &mut Client, action: QueryAction) -> Result<String, CliError> {
     match action {
         QueryAction::Ping => {
             c.ping()?;

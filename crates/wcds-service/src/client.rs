@@ -5,6 +5,11 @@
 //! number of requests may flow over one client — and every socket
 //! operation is bounded by a timeout so a dead server surfaces as a
 //! typed error instead of a hang.
+//!
+//! [`Client::pipeline`] amortizes round trips: it writes a whole batch
+//! of request frames in one burst and then drains exactly as many
+//! responses, in request order. The one-shot API is unchanged and the
+//! two styles may be mixed freely on the same connection.
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, Mutation, Request, Response, TopologyStats,
@@ -129,6 +134,49 @@ impl Client {
                 Err(ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "response timeout")))
             }
         }
+    }
+
+    /// Sends every request as one contiguous burst of frames, then
+    /// reads back exactly `reqs.len()` responses, in request order
+    /// (both serving engines answer a connection's frames in the order
+    /// they arrived).
+    ///
+    /// One buffered write replaces `reqs.len()` round trips; the
+    /// event-loop server drains the whole burst on a single readiness
+    /// wake. Note that a [`Request::Shutdown`] or a malformed frame
+    /// makes the server close the connection after answering it, so
+    /// requests queued behind one will fail with
+    /// [`ClientError::Protocol`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]. On error the connection state is
+    /// indeterminate (responses may remain unread); drop the client
+    /// rather than reusing it. Per-request server errors are returned
+    /// in place as `Response::Error`, not remapped.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        use std::io::Write;
+        let mut burst = Vec::new();
+        for req in reqs {
+            write_frame(&mut burst, &req.encode())?;
+        }
+        self.stream.get_mut().write_all(&burst)?;
+        let mut responses = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            match read_frame(&mut self.stream)? {
+                FrameRead::Frame(body) => responses.push(Response::decode(&body)?),
+                FrameRead::Eof => {
+                    return Err(ClientError::Protocol("server closed mid-pipeline"));
+                }
+                FrameRead::IdleTimeout => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "pipelined response timeout",
+                    )));
+                }
+            }
+        }
+        Ok(responses)
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {

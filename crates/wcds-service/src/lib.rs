@@ -9,16 +9,23 @@
 //!   [`protocol::WireError`], never a panic, and length prefixes are
 //!   validated before allocation.
 //! * [`store`] — a sharded, epoch-cached topology store. Named
-//!   topologies live behind striped `RwLock`s; each carries an epoch
-//!   counter bumped by every mutation and a lazily built artifact
-//!   bundle (Algorithm II WCDS + spanner + routing tables) stamped with
-//!   its build epoch. Reads hit the cache while the stamp matches;
-//!   mutations invalidate by bumping the epoch.
-//! * [`server`] — a multi-threaded TCP front end: one acceptor plus a
-//!   fixed worker pool, per-connection framing, socket timeouts so a
-//!   stalled client cannot wedge a worker, and graceful shutdown that
-//!   joins every thread.
-//! * [`client`] — a blocking client with one typed method per request.
+//!   topologies live in lock-free copy-on-write shards; each carries
+//!   an epoch counter bumped by every mutation and a lazily built
+//!   artifact bundle (Algorithm II WCDS + spanner + routing tables)
+//!   stamped with its build epoch and published through a lock-free
+//!   [`snapshot::SnapCell`]. Reads hit the cache while the stamp
+//!   matches — acquiring **zero** locks — and mutations invalidate by
+//!   bumping the epoch.
+//! * [`snapshot`] — the userspace-RCU snapshot cell behind the store's
+//!   publication protocol (one of the crate's two audited `unsafe`
+//!   islands, with the raw-syscall `sys` module).
+//! * [`server`] — the TCP front end, with two engines behind one
+//!   handle: the default **readiness event loop** (epoll via raw
+//!   syscalls, nonblocking sockets, per-connection incremental framing,
+//!   request pipelining, write backpressure) and the legacy blocking
+//!   **worker pool**, kept as the byte-identical replay oracle.
+//! * [`client`] — a blocking client with one typed method per request,
+//!   plus a pipelined mode (send N frames, drain N responses in order).
 //! * [`rebuild`] — the store's epoch / double-checked-rebuild decision
 //!   logic behind a shim trait, so the `wcds-analyze` race checker can
 //!   exhaustively model-check the exact code path the store runs.
@@ -44,14 +51,26 @@
 //! ```
 
 pub mod client;
+mod eventloop;
 pub mod protocol;
+// Audited unsafe island: dependency-free epoll/eventfd bindings need
+// raw `asm!` syscalls (DESIGN.md §8 — the service crate links no FFI).
+// Confined to `sys`; everything above it is safe code.
+#[allow(unsafe_code)]
+mod sys;
 pub mod rebuild;
 pub mod server;
+// Audited unsafe island: the userspace-RCU snapshot cell needs raw
+// pointer loads/frees for its lock-free reader path. `unsafe` is
+// permitted only here and in `sys`; every block carries a SAFETY
+// comment citing the grace-period invariant.
+#[allow(unsafe_code)]
+pub mod snapshot;
 pub mod store;
 
 pub use client::{Client, ClientError};
 pub use protocol::{ErrorCode, Mutation, Request, Response, TopologyStats, WireError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Engine, Server, ServerConfig, ServerHandle};
 pub use store::{
     BroadcastOutcome, HardenOutcome, ResilientSummary, RouteOutcome, Store, StoreError,
 };

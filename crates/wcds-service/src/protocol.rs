@@ -209,6 +209,17 @@ pub struct TopologyStats {
     /// Peak number of repairs admitted concurrently (widest batch wave
     /// or largest granted lease set observed).
     pub concurrent_repairs_max: u64,
+    /// Lock-free published-bundle snapshot loads for this topology
+    /// (every read that resolved through the atomic snapshot cell).
+    pub snapshot_reads: u64,
+    /// Deepest request pipeline observed on one connection (complete
+    /// frames decoded from a single readiness wake). Engine
+    /// diagnostics: 0 under the worker-pool engine.
+    pub pipeline_depth_max: u64,
+    /// Readiness-loop syscalls issued by the serving engine (epoll
+    /// waits + ctls, reads, writes, accepts). Engine diagnostics: 0
+    /// under the worker-pool engine.
+    pub syscalls: u64,
 }
 
 /// A server response.
@@ -660,6 +671,9 @@ impl TopologyStats {
             self.lease_conflicts,
             self.batched_mutations,
             self.concurrent_repairs_max,
+            self.snapshot_reads,
+            self.pipeline_depth_max,
+            self.syscalls,
         ] {
             put_u64(out, v);
         }
@@ -689,6 +703,9 @@ impl TopologyStats {
             lease_conflicts: r.u64()?,
             batched_mutations: r.u64()?,
             concurrent_repairs_max: r.u64()?,
+            snapshot_reads: r.u64()?,
+            pipeline_depth_max: r.u64()?,
+            syscalls: r.u64()?,
             ..TopologyStats::default()
         };
         s.mobile = r.u8()? != 0;
@@ -971,6 +988,90 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> FullRead {
     }
 }
 
+// ---------------------------------------------------------------------
+// incremental framing
+
+/// Incremental, nonblocking counterpart of [`read_frame`]: a
+/// per-connection framing state machine for readiness-driven servers.
+///
+/// Bytes arrive in whatever chunks the socket produced via
+/// [`FrameDecoder::feed`]; [`FrameDecoder::next_frame`] then yields
+/// complete frame bodies in arrival order — zero, one, or many per
+/// feed, which is what makes request pipelining work. The decoder
+/// enforces the same hostility rules as the blocking reader: an
+/// oversized length prefix is rejected with
+/// [`WireError::FrameTooLarge`] as soon as the four header bytes are
+/// present, before a single body byte is buffered.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Raw received bytes not yet consumed by a yielded frame.
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed (compacted lazily so a
+    /// pipelined burst doesn't memmove once per frame).
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes to the framing buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame body, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. After an error
+    /// the stream position is unknowable and the connection must be
+    /// dropped — exactly as with [`read_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] if the length prefix exceeds
+    /// [`MAX_FRAME_LEN`]; nothing past the prefix is buffered or
+    /// inspected in that case.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let Some(hdr) = self.buf.get(self.pos..self.pos.saturating_add(4)) else {
+            return Ok(None);
+        };
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(hdr); // the range above is exactly 4 bytes
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        let start = self.pos.saturating_add(4);
+        let Some(body) = self.buf.get(start..start.saturating_add(len)) else {
+            return Ok(None);
+        };
+        let frame = body.to_vec();
+        self.pos = start.saturating_add(len);
+        Ok(Some(frame))
+    }
+
+    /// True when consumed bytes of an incomplete frame (or an unread
+    /// header) are buffered — a quiet peer in this state is stalled
+    /// *mid-frame*, not idle, and should be dropped on timeout.
+    pub fn mid_frame(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Bytes currently buffered and not yet consumed by a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -1053,6 +1154,9 @@ mod tests {
             lease_conflicts: 14,
             batched_mutations: 640,
             concurrent_repairs_max: 6,
+            snapshot_reads: 77,
+            pipeline_depth_max: 32,
+            syscalls: 5120,
         }));
         roundtrip_response(Response::Mutated { epoch: 9, promoted: vec![3], demoted: vec![1, 2] });
         roundtrip_response(Response::Topologies { names: vec!["a".into(), "b".into()] });
@@ -1213,5 +1317,78 @@ mod tests {
         let mut cursor = std::io::Cursor::new(wire);
         let e = read_frame(&mut cursor).unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn incremental_decoder_yields_frames_across_arbitrary_splits() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        write_frame(&mut wire, &Request::Stats { name: "net".into() }.encode()).unwrap();
+        write_frame(&mut wire, &Request::List.encode()).unwrap();
+        for chunk in [1, 2, 3, 5, 7, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(body) = dec.next_frame().unwrap() {
+                    frames.push(body);
+                }
+            }
+            assert_eq!(frames.len(), 3, "chunk size {chunk}");
+            assert_eq!(Request::decode(&frames[0]).unwrap(), Request::Ping);
+            assert_eq!(
+                Request::decode(&frames[1]).unwrap(),
+                Request::Stats { name: "net".into() }
+            );
+            assert_eq!(Request::decode(&frames[2]).unwrap(), Request::List);
+            assert!(!dec.mid_frame(), "chunk size {chunk}: residue left");
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_pipelines_a_coalesced_burst_in_one_feed() {
+        let mut wire = Vec::new();
+        for _ in 0..32 {
+            write_frame(&mut wire, &Request::Ping.encode()).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut n = 0;
+        while let Some(body) = dec.next_frame().unwrap() {
+            assert_eq!(Request::decode(&body).unwrap(), Request::Ping);
+            n += 1;
+        }
+        assert_eq!(n, 32);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversize_header_before_body_arrives() {
+        let mut dec = FrameDecoder::new();
+        // header declares u32::MAX bytes; only the header is fed
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert_eq!(dec.next_frame().unwrap_err(), WireError::FrameTooLarge(u32::MAX as usize));
+        // the boundary case one past the cap is also rejected
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::try_from(MAX_FRAME_LEN + 1).unwrap().to_le_bytes());
+        assert_eq!(dec.next_frame().unwrap_err(), WireError::FrameTooLarge(MAX_FRAME_LEN + 1));
+        // exactly at the cap the header itself is fine — just incomplete
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::try_from(MAX_FRAME_LEN).unwrap().to_le_bytes());
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame());
+    }
+
+    #[test]
+    fn incremental_decoder_reports_mid_frame_for_partial_bodies() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[1, 2, 3, 4, 5]).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..wire.len() - 2]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(dec.mid_frame(), "a half-delivered body is a stalled frame");
+        dec.feed(&wire[wire.len() - 2..]);
+        assert_eq!(dec.next_frame().unwrap(), Some(vec![1, 2, 3, 4, 5]));
+        assert!(!dec.mid_frame());
     }
 }

@@ -1,7 +1,18 @@
-//! Multi-threaded TCP front end: one acceptor, a fixed worker pool,
-//! per-connection framing, graceful shutdown.
+//! TCP front end with two serving engines behind one handle.
 //!
-//! Threading model:
+//! [`Engine::EventLoop`] (the default on supported targets) serves
+//! every connection from a single **readiness event loop**: epoll via
+//! the raw-syscall bindings in `sys`, nonblocking sockets, incremental
+//! per-connection framing, request pipelining, and write backpressure.
+//! Slow or stalled peers cost a slab slot, not a thread. Requests that
+//! can be answered from a fresh published snapshot are handled inline
+//! on the loop (the lock-free store fast path); everything else is
+//! offloaded to a small executor pool and the response is spliced back
+//! in request order. See `eventloop.rs` and DESIGN.md §8.
+//!
+//! [`Engine::WorkerPool`] is the original blocking thread-per-
+//! connection model, kept as the byte-identical replay oracle and as
+//! the fallback where the raw epoll bindings are unavailable:
 //!
 //! * the **acceptor** thread owns the listener and hands accepted
 //!   streams to a channel;
@@ -10,11 +21,15 @@
 //!   request frames);
 //! * read/write **timeouts** bound every socket operation, so a stalled
 //!   client mid-frame is dropped instead of wedging its worker, and an
-//!   idle worker re-checks the shutdown flag every timeout tick;
-//! * **shutdown** (triggered by a [`Request::Shutdown`] frame or by
-//!   [`ServerHandle::shutdown`]) flips a shared flag, nudges the
-//!   acceptor awake with a loopback connection, and joins every thread;
-//!   the listener closes when the acceptor returns.
+//!   idle worker re-checks the shutdown flag every timeout tick.
+//!
+//! Both engines share **shutdown** semantics: a [`Request::Shutdown`]
+//! frame or [`ServerHandle::shutdown`] flips a shared flag, nudges the
+//! blocked acceptor (or parked event loop) awake with a loopback
+//! connection, and joins every thread; the listener closes when the
+//! serving thread returns. They also share [`handle`], the pure
+//! request→response dispatcher, so a request log replayed through
+//! either engine produces byte-identical responses.
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameRead, Request, Response, WireError,
@@ -28,38 +43,61 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which serving engine [`Server::bind`] starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Readiness-driven event loop (epoll, nonblocking sockets,
+    /// pipelining). The default; falls back to [`Engine::WorkerPool`]
+    /// on targets where the raw epoll bindings are unavailable.
+    #[default]
+    EventLoop,
+    /// Blocking thread-per-connection worker pool (the replay oracle).
+    WorkerPool,
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker-pool size.
+    /// Worker-pool size (worker pool) or executor-pool size (event
+    /// loop: threads running offloaded mutations and cache rebuilds).
     pub workers: usize,
-    /// Socket read/write timeout; also the shutdown-poll period.
+    /// Socket read/write timeout; also the shutdown-poll period and
+    /// the event loop's sweep tick.
     pub io_timeout: Duration,
     /// Consecutive idle timeout ticks before an open but silent
     /// connection is dropped (frees its worker for queued peers).
     pub idle_ticks: u32,
+    /// Serving engine.
+    pub engine: Engine,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, io_timeout: Duration::from_millis(100), idle_ticks: 300 }
+        Self {
+            workers: 4,
+            io_timeout: Duration::from_millis(100),
+            idle_ticks: 300,
+            engine: Engine::EventLoop,
+        }
     }
 }
 
-struct Shared {
-    store: Store,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
-    config: ServerConfig,
-    served: AtomicU64,
+pub(crate) struct Shared {
+    pub(crate) store: Store,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) config: ServerConfig,
+    pub(crate) served: AtomicU64,
 }
 
 impl Shared {
-    /// Flips the flag and nudges the blocked acceptor awake.
-    fn trigger_shutdown(&self) {
+    /// Flips the flag and nudges the blocked acceptor (or parked event
+    /// loop) awake.
+    pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // a throwaway loopback connection unblocks `accept()`; if it
-        // fails the acceptor still exits on its next successful accept
+        // a throwaway loopback connection unblocks `accept()` (worker
+        // pool) or creates listener readiness (event loop); if it fails
+        // the serving thread still exits on its next timeout tick
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
     }
 }
@@ -76,8 +114,8 @@ pub struct ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (port 0 picks a free port) and starts the acceptor
-    /// and worker threads over `store`.
+    /// Binds `addr` (port 0 picks a free port) and starts the serving
+    /// threads for the configured [`Engine`] over `store`.
     ///
     /// # Errors
     ///
@@ -96,6 +134,16 @@ impl Server {
             config: config.clone(),
             served: AtomicU64::new(0),
         });
+
+        if config.engine == Engine::EventLoop && crate::sys::supported() {
+            let (event_loop, executors) =
+                crate::eventloop::spawn(listener, Arc::clone(&shared))?;
+            return Ok(ServerHandle {
+                shared,
+                acceptor: Some(event_loop),
+                workers: executors,
+            });
+        }
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -273,7 +321,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn wire_error_response(e: &WireError) -> Response {
+pub(crate) fn wire_error_response(e: &WireError) -> Response {
     Response::Error { code: ErrorCode::BadPayload, message: format!("malformed request: {e}") }
 }
 
@@ -284,8 +332,10 @@ impl From<StoreError> for Response {
 }
 
 /// Executes one decoded request against the store. Pure
-/// request→response; all transport concerns live in the caller.
-fn handle(store: &Store, req: &Request) -> Response {
+/// request→response; all transport concerns live in the caller. Both
+/// engines dispatch through this one function, which is what makes
+/// their responses byte-identical on a replayed request log.
+pub(crate) fn handle(store: &Store, req: &Request) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::Create { name, payload } => match store.create(name, payload) {

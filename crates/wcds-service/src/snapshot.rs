@@ -1,0 +1,271 @@
+//! Lock-free epoch snapshot cell: the store's publication primitive.
+//!
+//! [`SnapCell`] holds an optional `Arc<T>` behind an atomic pointer.
+//! Readers ([`SnapCell::load`]) clone the `Arc` without taking any
+//! lock — the cache-hit serving path in `store.rs` rides on this, so a
+//! burst of route/broadcast/stats requests never contends on a
+//! `RwLock`. Writers ([`SnapCell::update`]) are serialized by a small
+//! mutex (publication is rare: one per rebuild/patch install) and swap
+//! the pointer atomically.
+//!
+//! # Reclamation protocol (userspace RCU, parity grace periods)
+//!
+//! The swapped-out `Arc` box cannot be freed while a reader is between
+//! "loaded the pointer" and "cloned the `Arc`". Readers therefore
+//! announce themselves on one of two *parity sides* chosen by the low
+//! bit of a generation counter:
+//!
+//! 1. reader: `g ← gen`; increment `enters` on side `g & 1`;
+//!    re-read `gen` — if the parity moved, back out (increment
+//!    `exits`) and retry; otherwise load + clone the pointer and
+//!    increment `exits`.
+//! 2. writer (mutex-held): install the new pointer with an atomic
+//!    `swap`, *then* flip `gen`, then spin until the **old** parity
+//!    side's `enters == exits`, then free the old box.
+//!
+//! Any reader that passed its parity recheck before the flip is
+//! counted on the old side, so the writer's drain waits for it; any
+//! reader that enters after the flip rechecks against the new parity
+//! and can only observe the new (valid) pointer. Two back-to-back
+//! updates reuse a parity side only after its drain completed, and the
+//! writer mutex serializes updates, so a side never carries readers
+//! from two different grace periods.
+//!
+//! This is one of the service crate's two audited `unsafe` islands —
+//! the other is the raw-syscall `sys` module; workspace policy denies
+//! `unsafe_code` everywhere else (DESIGN.md §9) — and every `unsafe`
+//! block below cites the protocol invariant that justifies it.
+
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One parity side of the reader-announcement protocol.
+#[derive(Default)]
+struct Side {
+    enters: AtomicUsize,
+    exits: AtomicUsize,
+}
+
+/// An atomically publishable `Option<Arc<T>>` with lock-free reads.
+pub struct SnapCell<T> {
+    /// Box-leaked `Arc<T>`; null encodes `None`.
+    ptr: AtomicPtr<Arc<T>>,
+    /// Generation counter; the low bit selects the reader parity side.
+    gen: AtomicUsize,
+    even: Side,
+    odd: Side,
+    /// Serializes writers; poisoning is survivable because the cell's
+    /// shared state is all atomics (a writer that panicked mid-update
+    /// has either fully installed the new pointer or not at all).
+    writer: Mutex<()>,
+    /// The cell owns an `Arc<T>`, so `Send`/`Sync` must require
+    /// `T: Send + Sync` exactly as `Arc` does.
+    marker: PhantomData<Arc<T>>,
+}
+
+impl<T> Default for SnapCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SnapCell<T> {
+    /// An empty cell (`load` returns `None`).
+    pub fn new() -> Self {
+        Self {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+            gen: AtomicUsize::new(0),
+            even: Side::default(),
+            odd: Side::default(),
+            writer: Mutex::new(()),
+            marker: PhantomData,
+        }
+    }
+
+    /// A cell already holding `value`.
+    pub fn with_value(value: Arc<T>) -> Self {
+        let cell = Self::new();
+        cell.ptr.store(Box::into_raw(Box::new(value)), Ordering::SeqCst);
+        cell
+    }
+
+    fn side(&self, parity: usize) -> &Side {
+        if parity & 1 == 0 {
+            &self.even
+        } else {
+            &self.odd
+        }
+    }
+
+    /// Clones the current snapshot without taking any lock.
+    ///
+    /// Wait-free in the absence of writers; under a concurrent
+    /// publication it retries at most once per generation flip.
+    pub fn load(&self) -> Option<Arc<T>> {
+        loop {
+            let g = self.gen.load(Ordering::SeqCst);
+            let side = self.side(g);
+            side.enters.fetch_add(1, Ordering::SeqCst);
+            if self.gen.load(Ordering::SeqCst) & 1 != g & 1 {
+                // a writer flipped parity between our gen read and our
+                // announcement: back out and re-announce on the side
+                // the drain isn't (or is no longer) waiting on
+                side.exits.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            let p = self.ptr.load(Ordering::SeqCst);
+            // SAFETY: `p` was installed by `with_value`/`update` from
+            // `Box::into_raw` (or is null). We are announced on the
+            // parity side that was current when `p` was loaded, and a
+            // writer frees a swapped-out box only after flipping
+            // parity and draining this side — which cannot complete
+            // until our `exits` increment below. So `p` is live here.
+            let out = unsafe { p.as_ref().cloned() };
+            side.exits.fetch_add(1, Ordering::SeqCst);
+            return out;
+        }
+    }
+
+    /// Read-modify-write under the writer mutex.
+    ///
+    /// `f` sees the current snapshot and returns
+    /// `(replacement, result)`: `None` keeps the current snapshot
+    /// untouched, `Some(next)` publishes `next` (which may itself be
+    /// `None` to clear the cell). Readers are never blocked; the old
+    /// snapshot is freed after the RCU grace period above.
+    pub fn update<R>(
+        &self,
+        f: impl FnOnce(Option<&Arc<T>>) -> (Option<Option<Arc<T>>>, R),
+    ) -> R {
+        let guard = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let cur_ptr = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: we hold the writer mutex, so no other writer can swap
+        // or free `cur_ptr` for the lifetime of this borrow; it was
+        // created by `Box::into_raw` (or is null).
+        let cur = unsafe { cur_ptr.as_ref() };
+        let (replace, out) = f(cur);
+        if let Some(next) = replace {
+            let new_ptr = match next {
+                Some(arc) => Box::into_raw(Box::new(arc)),
+                None => ptr::null_mut(),
+            };
+            let old = self.ptr.swap(new_ptr, Ordering::SeqCst);
+            // flip parity *after* the swap: late readers on the old
+            // parity can only have seen `old` (kept until drain) or
+            // `new_ptr` (live); post-flip readers recheck and land on
+            // the new side
+            let flipped = self.gen.fetch_add(1, Ordering::SeqCst);
+            let old_side = self.side(flipped);
+            while old_side.enters.load(Ordering::SeqCst)
+                != old_side.exits.load(Ordering::SeqCst)
+            {
+                std::hint::spin_loop();
+            }
+            if !old.is_null() {
+                // SAFETY: `old` came from `Box::into_raw`, was swapped
+                // out above, and every reader announced on its parity
+                // side has exited — no live reference remains.
+                drop(unsafe { Box::from_raw(old) });
+            }
+        }
+        drop(guard);
+        out
+    }
+
+    /// Publishes `value` unconditionally.
+    pub fn store(&self, value: Arc<T>) {
+        self.update(|_| (Some(Some(value)), ()));
+    }
+}
+
+impl<T> Drop for SnapCell<T> {
+    fn drop(&mut self) {
+        let p = self.ptr.load(Ordering::SeqCst);
+        if !p.is_null() {
+            // SAFETY: `&mut self` proves no reader or writer is live;
+            // the pointer came from `Box::into_raw`.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SnapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapCell").field("value", &self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    #[test]
+    fn empty_cell_loads_none_and_store_publishes() {
+        let cell: SnapCell<u64> = SnapCell::new();
+        assert_eq!(cell.load(), None);
+        cell.store(Arc::new(7));
+        assert_eq!(cell.load().as_deref(), Some(&7));
+        cell.store(Arc::new(8));
+        assert_eq!(cell.load().as_deref(), Some(&8));
+    }
+
+    #[test]
+    fn update_keep_leaves_the_snapshot_and_returns_the_result() {
+        let cell = SnapCell::with_value(Arc::new(5u64));
+        let seen = cell.update(|cur| (None, cur.map(|a| **a)));
+        assert_eq!(seen, Some(5));
+        assert_eq!(cell.load().as_deref(), Some(&5));
+        // clearing publishes None
+        cell.update(|_| (Some(None), ()));
+        assert_eq!(cell.load(), None);
+    }
+
+    #[test]
+    fn old_snapshots_are_freed_after_replacement() {
+        let first = Arc::new(1u64);
+        let cell = SnapCell::with_value(first.clone());
+        assert_eq!(Arc::strong_count(&first), 2);
+        cell.store(Arc::new(2));
+        // the cell's clone of `first` was dropped by the grace period
+        assert_eq!(Arc::strong_count(&first), 1);
+        drop(cell);
+    }
+
+    /// Readers hammer `load` while a writer republishes; every loaded
+    /// snapshot must be internally consistent (pair fields equal) —
+    /// a use-after-free or torn read shows up as a mismatch or crash,
+    /// and loom-free stress is the best a unit test can do here.
+    #[test]
+    fn concurrent_readers_never_observe_a_freed_or_torn_snapshot() {
+        const WRITES: u64 = 2_000;
+        let cell = Arc::new(SnapCell::with_value(Arc::new((0u64, 0u64))));
+        let loads = Arc::new(AtomicU64::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let loads = Arc::clone(&loads);
+            readers.push(thread::spawn(move || {
+                loop {
+                    let snap = cell.load().expect("never cleared in this test");
+                    assert_eq!(snap.0, snap.1, "torn or stale-freed snapshot");
+                    loads.fetch_add(1, Ordering::Relaxed);
+                    if snap.0 == WRITES {
+                        return;
+                    }
+                }
+            }));
+        }
+        for i in 1..=WRITES {
+            cell.store(Arc::new((i, i)));
+        }
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert!(loads.load(Ordering::Relaxed) >= 4);
+    }
+}

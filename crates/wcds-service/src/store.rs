@@ -1,10 +1,10 @@
 //! Sharded, epoch-cached topology store with region-lease mutation
 //! scheduling.
 //!
-//! Named topologies live behind a fixed array of `RwLock` shards
-//! (selected by name hash), so requests for different topologies —
-//! and, for different names within one shard, everything except the
-//! brief map access — never contend. Each topology carries:
+//! Named topologies live in a fixed array of copy-on-write shards
+//! (selected by name hash) behind lock-free [`SnapCell`] snapshots:
+//! lookups never contend with anything, and create/drop clone the
+//! small name map and publish the successor. Each topology carries:
 //!
 //! * a **mutation epoch**: a per-topology atomic, 0 at ingest,
 //!   advanced once per applied maintenance mutation (join / leave /
@@ -14,7 +14,8 @@
 //!   weakly-induced spanner, clusterhead routing tables, and the
 //!   backbone broadcast plan (itself derived only on the first
 //!   broadcast query) — stamped with the epoch it was built at and
-//!   held behind its own lock, so readers never block on a repair;
+//!   published through a lock-free [`SnapCell`] snapshot, so readers
+//!   never block on a repair and a cache hit takes **zero** locks;
 //! * a **region-lease table** (`wcds_core::maintenance::lease`): a
 //!   mutation claims the grid cells conservatively covering
 //!   `ball(site, 3)` before touching the topology. Disjoint claims
@@ -24,7 +25,9 @@
 //!   and the wait is accounted separately from service time.
 //!
 //! A query whose bundle stamp equals the current epoch is a **cache
-//! hit** and touches only the published-bundle lock. A mutation
+//! hit** and is served entirely from the atomic snapshot — no
+//! `RwLock` is acquired at all (release-asserted, counter-witnessed,
+//! by `cache_hit_reads_take_zero_rwlocks`). A mutation
 //! advances the epoch; the next query observes the stale stamp,
 //! rebuilds under the topology write lock, and republishes.
 //! [`Store::mutate_batch`] applies a whole drift tick under one
@@ -37,6 +40,7 @@
 
 use crate::protocol::{ErrorCode, Mutation, TopologyStats};
 use crate::rebuild::{read_check, write_check, EpochView, ReadDecision, WriteDecision};
+use crate::snapshot::SnapCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -80,15 +84,32 @@ fn err(code: ErrorCode, message: impl Into<String>) -> StoreError {
     StoreError { code, message: message.into() }
 }
 
+std::thread_local! {
+    /// Per-thread count of `RwLock` acquisitions made through
+    /// [`read_guard`] / [`write_guard`] — the lock-freedom witness for
+    /// the cache-hit serving path (asserted to stay flat across hits
+    /// by `cache_hit_reads_take_zero_rwlocks`). Thread-local so one
+    /// thread's measurement is immune to concurrent store activity —
+    /// background heals, parallel tests — on other threads.
+    static RWLOCK_ACQS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The calling thread's running count of store `RwLock` acquisitions.
+pub fn rwlock_acquisitions() -> u64 {
+    RWLOCK_ACQS.with(std::cell::Cell::get)
+}
+
 /// Acquires a read lock, mapping poisoning (a thread panicked while
 /// holding the write lock, so the protected state may be torn) to a
 /// typed `Internal` error instead of propagating the panic.
 fn read_guard<T>(lock: &RwLock<T>) -> Result<RwLockReadGuard<'_, T>, StoreError> {
+    RWLOCK_ACQS.with(|c| c.set(c.get() + 1));
     lock.read().map_err(|_| err(ErrorCode::Internal, "lock poisoned by a panicked writer"))
 }
 
 /// Write-lock counterpart of [`read_guard`].
 fn write_guard<T>(lock: &RwLock<T>) -> Result<RwLockWriteGuard<'_, T>, StoreError> {
+    RWLOCK_ACQS.with(|c| c.set(c.get() + 1));
     lock.write().map_err(|_| err(ErrorCode::Internal, "lock poisoned by a panicked writer"))
 }
 
@@ -98,6 +119,11 @@ fn write_guard<T>(lock: &RwLock<T>) -> Result<RwLockWriteGuard<'_, T>, StoreErro
 pub struct Bundle {
     /// Epoch of the topology snapshot this bundle was built from.
     pub epoch: u64,
+    /// The exact graph snapshot the bundle was built from (same
+    /// epoch). When the bundle is fresh this *is* the live graph, so
+    /// broadcast/stats can serve from it without touching the topology
+    /// lock.
+    pub graph: Arc<Graph>,
     /// The WCDS (Algorithm II construction, maintained under mutation).
     pub wcds: Wcds,
     /// The weakly-induced spanner.
@@ -244,6 +270,7 @@ fn build_artifacts(g: &Graph, source: &ArtifactSource, epoch: u64) -> Arc<Bundle
     let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
     Arc::new(Bundle {
         epoch,
+        graph: Arc::new(g.clone()),
         wcds,
         spanner,
         router,
@@ -269,9 +296,9 @@ impl Topology {
 }
 
 /// One stored topology: maintained state behind its own `RwLock`, the
-/// published bundle behind a second (so readers never block on a
-/// repair), the lease table behind a mutex + condvar, and counters
-/// outside all of them.
+/// published bundle in a lock-free [`SnapCell`] (so readers never
+/// block on a repair — or on anything), the lease table behind a
+/// mutex + condvar, and counters outside all of them.
 ///
 /// **Lock discipline:** no code path acquires one of this entry's
 /// locks while holding another. Writers snapshot `published` *before*
@@ -288,12 +315,25 @@ struct Entry {
     epoch: AtomicU64,
     /// The published artifact bundle. Replaced only through
     /// [`publish`], which never installs a bundle older than the
-    /// current one.
-    published: RwLock<Option<Arc<Bundle>>>,
+    /// current one. Lock-free to read: the cache-hit path clones the
+    /// `Arc` straight out of the cell.
+    published: SnapCell<Bundle>,
     /// Epoch stamp of the published bundle ([`NO_BUNDLE`] when none):
-    /// a mirror maintained under the `published` write lock so cache
-    /// checks need no lock at all.
+    /// an atomic mirror updated right after an install, so freshness
+    /// peeks need no snapshot load. May briefly *lag* the cell under a
+    /// publish race, which only ever turns a would-be hit into a
+    /// rebuild check — never the reverse.
     stamp: AtomicU64,
+    /// Whether the topology ingested with positions (immutable after
+    /// create; mirrored here so stats never needs the topology lock).
+    mobile: bool,
+    /// Hardening target mirrors (0 = not hardened), written under the
+    /// topology write lock in `harden`, read lock-free by stats.
+    hardened_k: AtomicU64,
+    hardened_m: AtomicU64,
+    /// Published-bundle snapshot loads ([`Entry::load_published`]):
+    /// every read that resolved through the lock-free cell.
+    snapshot_reads: AtomicU64,
     /// Region-lease table scheduling mutation admission (see
     /// [`wcds_core::maintenance::lease`]).
     leases: Mutex<LeaseTable>,
@@ -331,11 +371,16 @@ const NO_BUNDLE: u64 = u64::MAX;
 
 impl Entry {
     fn new(topo: Topology) -> Self {
+        let mobile = matches!(topo.body, Body::Mobile(_));
         Self {
             topo: RwLock::new(topo),
             epoch: AtomicU64::new(0),
-            published: RwLock::new(None),
+            published: SnapCell::new(),
             stamp: AtomicU64::new(NO_BUNDLE),
+            mobile,
+            hardened_k: AtomicU64::new(0),
+            hardened_m: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
             leases: Mutex::new(LeaseTable::new()),
             lease_cv: Condvar::new(),
             hits: AtomicU64::new(0),
@@ -364,6 +409,22 @@ impl Entry {
             stamp: (stamp != NO_BUNDLE).then_some(stamp),
         }
     }
+
+    /// Clones the published bundle out of the lock-free cell, counting
+    /// the load. Every serving path goes through here, so the
+    /// `snapshot_reads` statistic is engine-independent (both the
+    /// worker pool and the event loop execute this same code).
+    fn load_published(&self) -> Option<Arc<Bundle>> {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.published.load()
+    }
+
+    /// `true` when the published bundle is stamped with the current
+    /// epoch — a pure atomic peek, no snapshot load, no lock.
+    fn stamp_fresh(&self) -> bool {
+        let stamp = self.stamp.load(Ordering::Acquire);
+        stamp != NO_BUNDLE && stamp == self.epoch.load(Ordering::Acquire)
+    }
 }
 
 /// Installs `bundle` as the entry's published bundle unless a newer one
@@ -373,14 +434,24 @@ impl Entry {
 /// back. Same-epoch replacement is deliberate — `harden` republishes
 /// the current epoch with resilient content.
 ///
+/// The stamp mirror is updated *after* the swap, so it can lag the
+/// cell (never lead it): a reader that peeks a fresh stamp is
+/// guaranteed at least that epoch in the cell, while a lagging stamp
+/// merely sends one read down the rebuild check, which re-verifies.
+///
 /// The caller must hold **no** entry lock.
-fn publish(entry: &Entry, bundle: Arc<Bundle>) -> Result<(), StoreError> {
-    let mut p = write_guard(&entry.published)?;
-    if p.as_ref().is_none_or(|cur| cur.epoch <= bundle.epoch) {
-        entry.stamp.store(bundle.epoch, Ordering::Release);
-        *p = Some(bundle);
+fn publish(entry: &Entry, bundle: Arc<Bundle>) {
+    let epoch = bundle.epoch;
+    let installed = entry.published.update(|cur| {
+        if cur.is_none_or(|c| c.epoch <= epoch) {
+            (Some(Some(bundle)), true)
+        } else {
+            (None, false)
+        }
+    });
+    if installed {
+        entry.stamp.store(epoch, Ordering::Release);
     }
-    Ok(())
 }
 
 /// Claims `scope` on the entry's lease table. Disjoint claims are
@@ -636,6 +707,7 @@ fn patch_bundle(g: &Graph, prior: &Bundle, report: &RepairReport, epoch: u64) ->
     let broadcastable = traversal::is_connected(g) && wcds.is_valid(g);
     Arc::new(Bundle {
         epoch,
+        graph: Arc::new(g.clone()),
         wcds,
         spanner,
         router,
@@ -659,7 +731,7 @@ fn apply_one(
     name: &str,
     mutation: &Mutation,
 ) -> Result<(u64, RepairReport, Option<Arc<Bundle>>), StoreError> {
-    let prior = read_guard(&entry.published)?.clone();
+    let prior = entry.load_published();
     let mut topo = write_guard(&entry.topo)?;
     let t = &mut *topo;
     let resilience = t.resilience;
@@ -713,7 +785,7 @@ fn apply_batch(
     mutations: &[Mutation],
     claims: &[Scope],
 ) -> Result<(BatchOutcome, Option<Arc<Bundle>>), StoreError> {
-    let prior = read_guard(&entry.published)?.clone();
+    let prior = entry.load_published();
     let mut topo = write_guard(&entry.topo)?;
     let t = &mut *topo;
     let resilience = t.resilience;
@@ -859,13 +931,103 @@ fn surviving_backbone_route(
     RouteOutcome::Degraded { unreachable: narrow_count(g.node_count().saturating_sub(reached)) }
 }
 
-type Shard = RwLock<HashMap<String, Arc<Entry>>>;
+/// Serves a route wholly from a fresh published bundle — the zero-lock
+/// fast path. The caller proved `bundle.epoch` equals the current
+/// epoch, so the bundle's node-id space (and its graph snapshot) is
+/// the live one.
+fn route_fresh(
+    entry: &Entry,
+    bundle: &Bundle,
+    from: NodeId,
+    to: NodeId,
+) -> Result<RouteOutcome, StoreError> {
+    let n = bundle.graph.node_count();
+    for u in [from, to] {
+        if u >= n {
+            return Err(err(ErrorCode::OutOfRange, format!("node {u} ≥ n = {n}")));
+        }
+    }
+    entry.hits.fetch_add(1, Ordering::Relaxed);
+    match bundle.router.route(from, to) {
+        Some(path) => {
+            entry.routes_ok.fetch_add(1, Ordering::Relaxed);
+            Ok(RouteOutcome::Path(path))
+        }
+        None => {
+            // the spanner preserves component structure, so its
+            // component sizes are the graph's
+            let reached = traversal::bfs_distances(&bundle.spanner, from)
+                .iter()
+                .filter(|d| d.is_some())
+                .count();
+            entry.routes_unreachable.fetch_add(1, Ordering::Relaxed);
+            Ok(RouteOutcome::Degraded { unreachable: narrow_count(n.saturating_sub(reached)) })
+        }
+    }
+}
+
+/// Simulates a broadcast over `bundle` against graph `g`. On the
+/// zero-lock fast path `g` is the bundle's own graph snapshot; on the
+/// slow path it is the live graph under the topology read lock (and
+/// the bundle was just rebuilt against it).
+fn broadcast_from(
+    bundle: &Bundle,
+    g: &Graph,
+    source: NodeId,
+) -> Result<BroadcastOutcome, StoreError> {
+    if source >= g.node_count() {
+        return Err(err(
+            ErrorCode::OutOfRange,
+            format!("node {source} ≥ n = {}", g.node_count()),
+        ));
+    }
+    match bundle.plan() {
+        Some(plan) => {
+            let outcome = plan.simulate(g, source);
+            let informed = g.node_count() - outcome.uncovered.len();
+            Ok(BroadcastOutcome::Done {
+                forwarders: plan.forwarder_count() as u64,
+                informed: informed as u64,
+            })
+        }
+        None => {
+            let reached = traversal::bfs_distances(g, source)
+                .iter()
+                .filter(|d| d.is_some())
+                .count();
+            Ok(BroadcastOutcome::Degraded {
+                unreachable: narrow_count(g.node_count() - reached),
+            })
+        }
+    }
+}
+
+/// One shard of the name → entry map, copy-on-write behind a
+/// lock-free [`SnapCell`]: lookups clone an `Arc` and walk an
+/// immutable map; create/drop (rare) clone the small map and publish
+/// the successor under the cell's writer mutex.
+type Shard = SnapCell<HashMap<String, Arc<Entry>>>;
+
+/// Serving-engine diagnostics, shared across every clone of one store
+/// lineage and reported through `stats` (engine-level, not
+/// per-topology). The readiness event loop writes these; the
+/// worker-pool engine leaves them at zero.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Readiness-loop syscalls issued by the serving engine (epoll
+    /// waits + ctls, reads, writes, accepts, waker nudges).
+    pub syscalls: AtomicU64,
+    /// Deepest request pipeline observed on one connection: complete
+    /// frames decoded from a single readiness wake.
+    pub pipeline_depth_max: AtomicU64,
+}
 
 /// The sharded topology store. Cheap to clone (`Arc` inside); one
 /// instance is shared by every server worker.
 #[derive(Debug, Clone)]
 pub struct Store {
     shards: Arc<[Shard; SHARDS]>,
+    service: Arc<ServiceCounters>,
 }
 
 impl Default for Store {
@@ -877,7 +1039,29 @@ impl Default for Store {
 impl Store {
     /// An empty store.
     pub fn new() -> Self {
-        Self { shards: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))) }
+        Self {
+            shards: Arc::new(std::array::from_fn(|_| {
+                SnapCell::with_value(Arc::new(HashMap::new()))
+            })),
+            service: Arc::new(ServiceCounters::default()),
+        }
+    }
+
+    /// The engine-level serving counters (shared by every clone).
+    pub fn service(&self) -> &Arc<ServiceCounters> {
+        &self.service
+    }
+
+    /// Lock-free freshness peek: `true` when `name` exists and its
+    /// published bundle is stamped with the current epoch. The event
+    /// loop uses this to decide whether a read can be answered inline
+    /// on the loop thread; purely advisory — a racing mutation can
+    /// stale the entry right after, and the full request path
+    /// re-checks.
+    pub fn is_fresh(&self, name: &str) -> bool {
+        self.shard(name)
+            .load()
+            .is_some_and(|m| m.get(name).is_some_and(|e| e.stamp_fresh()))
     }
 
     fn shard(&self, name: &str) -> &Shard {
@@ -889,9 +1073,9 @@ impl Store {
     }
 
     fn entry(&self, name: &str) -> Result<Arc<Entry>, StoreError> {
-        read_guard(self.shard(name))?
-            .get(name)
-            .cloned()
+        self.shard(name)
+            .load()
+            .and_then(|m| m.get(name).cloned())
             .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
     }
 
@@ -916,11 +1100,18 @@ impl Store {
             resilience: None,
             leave_since_bundle: false,
         }));
-        let mut shard = write_guard(self.shard(name))?;
-        if shard.contains_key(name) {
+        let inserted = self.shard(name).update(|cur| {
+            if cur.is_some_and(|map| map.contains_key(name)) {
+                return (None, false);
+            }
+            let mut next: HashMap<String, Arc<Entry>> =
+                cur.map(|map| (**map).clone()).unwrap_or_default();
+            next.insert(name.to_string(), entry);
+            (Some(Some(Arc::new(next))), true)
+        });
+        if !inserted {
             return Err(err(ErrorCode::AlreadyExists, format!("topology `{name}` exists")));
         }
-        shard.insert(name.to_string(), entry);
         Ok((n, m, mobile))
     }
 
@@ -948,18 +1139,19 @@ impl Store {
     /// `NotFound` for an unknown name.
     pub fn bundle(&self, name: &str) -> Result<(Arc<Bundle>, bool), StoreError> {
         let entry = self.entry(name)?;
-        // hit path: published-bundle read lock only — a repair holding
-        // the topology write lock never blocks this
+        // hit path: one lock-free snapshot load — a repair holding the
+        // topology write lock never blocks this, and no lock of any
+        // kind is acquired
         {
-            let p = read_guard(&entry.published)?;
+            let p = entry.load_published();
             let view = CacheView {
                 epoch: entry.epoch.load(Ordering::Acquire),
                 stamp: p.as_ref().map(|b| b.epoch),
             };
             if read_check(&view) == ReadDecision::Hit {
-                if let Some(b) = &*p {
+                if let Some(b) = p {
                     entry.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(b), true));
+                    return Ok((b, true));
                 }
             }
         }
@@ -981,14 +1173,14 @@ impl Store {
         };
         match built {
             Some(bundle) => {
-                publish(&entry, Arc::clone(&bundle))?;
+                publish(&entry, Arc::clone(&bundle));
                 Ok((bundle, false))
             }
-            // the fresh stamp was set under the published write lock
-            // together with the bundle itself, so it is always there
-            None => read_guard(&entry.published)?
-                .as_ref()
-                .map(|b| (Arc::clone(b), false))
+            // a fresh stamp is stored only after its bundle was
+            // installed in the cell, so the load always finds one
+            None => entry
+                .load_published()
+                .map(|b| (b, false))
                 .ok_or_else(|| {
                     err(ErrorCode::Internal, "fresh stamp with no published bundle")
                 }),
@@ -1030,7 +1222,7 @@ impl Store {
         release_lease(&entry, ticket);
         let (epoch, report, patch) = applied?;
         if let Some(b) = patch {
-            publish(&entry, b)?;
+            publish(&entry, b);
         }
         Ok((epoch, report))
     }
@@ -1086,7 +1278,7 @@ impl Store {
         release_lease(&entry, ticket);
         let (outcome, patch) = applied?;
         if let Some(b) = patch {
-            publish(&entry, b)?;
+            publish(&entry, b);
         }
         Ok(BatchOutcome { lease_wait_us, ..outcome })
     }
@@ -1099,14 +1291,29 @@ impl Store {
     ///
     /// `NotFound` for an unknown name.
     pub fn stats(&self, name: &str) -> Result<TopologyStats, StoreError> {
-        let (bundle, cached) = self.bundle(name)?;
         let entry = self.entry(name)?;
-        let topo = read_guard(&entry.topo)?;
-        Ok(TopologyStats {
-            nodes: topo.body.graph().node_count() as u64,
-            edges: topo.body.graph().edge_count() as u64,
-            epoch: entry.epoch.load(Ordering::Acquire),
-            mobile: matches!(topo.body, Body::Mobile(_)),
+        let snap = entry.load_published();
+        if let Some(b) =
+            snap.as_ref().filter(|b| b.epoch == entry.epoch.load(Ordering::Acquire))
+        {
+            // fresh-snapshot fast path: every figure comes from the
+            // bundle, the entry's atomics, or their mirrors — zero
+            // locks
+            entry.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.stats_for(&entry, b, true));
+        }
+        let (bundle, cached) = self.bundle(name)?;
+        Ok(self.stats_for(&entry, &bundle, cached))
+    }
+
+    /// Assembles the stats row from a current-epoch bundle and the
+    /// entry's lock-free counters/mirrors.
+    fn stats_for(&self, entry: &Entry, bundle: &Bundle, cached: bool) -> TopologyStats {
+        TopologyStats {
+            nodes: bundle.graph.node_count() as u64,
+            edges: bundle.graph.edge_count() as u64,
+            epoch: bundle.epoch,
+            mobile: entry.mobile,
             cached,
             mis: bundle.wcds.mis_dominators().len() as u64,
             bridges: bundle.wcds.additional_dominators().len() as u64,
@@ -1114,8 +1321,8 @@ impl Store {
             cache_hits: entry.hits.load(Ordering::Relaxed),
             cache_misses: entry.misses.load(Ordering::Relaxed),
             rebuilds: entry.rebuilds.load(Ordering::Relaxed),
-            hardened_k: topo.resilience.map_or(0, |p| u64::from(p.k)),
-            hardened_m: topo.resilience.map_or(0, |p| u64::from(p.m)),
+            hardened_k: entry.hardened_k.load(Ordering::Relaxed),
+            hardened_m: entry.hardened_m.load(Ordering::Relaxed),
             achieved_k: bundle.resilient.map_or(0, |r| u64::from(r.achieved_k)),
             routes_ok: entry.routes_ok.load(Ordering::Relaxed),
             routes_degraded: entry.routes_degraded.load(Ordering::Relaxed),
@@ -1125,7 +1332,10 @@ impl Store {
             lease_conflicts: entry.lease_conflicts.load(Ordering::Relaxed),
             batched_mutations: entry.batched_mutations.load(Ordering::Relaxed),
             concurrent_repairs_max: entry.concurrent_repairs_max.load(Ordering::Relaxed),
-        })
+            snapshot_reads: entry.snapshot_reads.load(Ordering::Relaxed),
+            pipeline_depth_max: self.service.pipeline_depth_max.load(Ordering::Relaxed),
+            syscalls: self.service.syscalls.load(Ordering::Relaxed),
+        }
     }
 
     /// Upgrades the topology to a (k, m)-resilient backbone and builds
@@ -1146,6 +1356,10 @@ impl Store {
         let bundle = {
             let mut topo = write_guard(&entry.topo)?;
             topo.resilience = Some(params);
+            // lock-free stats mirrors, written under the same write
+            // lock that guards `resilience` itself
+            entry.hardened_k.store(u64::from(params.k), Ordering::Relaxed);
+            entry.hardened_m.store(u64::from(params.m), Ordering::Relaxed);
             entry.rebuilds.fetch_add(1, Ordering::Relaxed);
             let b = topo.build_bundle(entry.epoch.load(Ordering::Acquire));
             topo.leave_since_bundle = false;
@@ -1153,7 +1367,7 @@ impl Store {
         };
         // same-epoch replacement: publish swaps the plain bundle for
         // the hardened one at the unchanged epoch
-        publish(&entry, Arc::clone(&bundle))?;
+        publish(&entry, Arc::clone(&bundle));
         match bundle.resilient {
             Some(s) => Ok(HardenOutcome {
                 k: u64::from(params.k),
@@ -1199,7 +1413,14 @@ impl Store {
         // snapshot the published bundle *before* the topology lock (the
         // one-lock-at-a-time discipline); the stamp comparison below
         // rejects a snapshot made stale by a racing rebuild
-        let snap = read_guard(&entry.published)?.clone();
+        let snap = entry.load_published();
+        if let Some(b) =
+            snap.as_ref().filter(|b| b.epoch == entry.epoch.load(Ordering::Acquire))
+        {
+            // fresh-snapshot fast path: served wholly from the bundle,
+            // zero locks
+            return route_fresh(&entry, b, from, to);
+        }
         let degraded = {
             let topo = read_guard(&entry.topo)?;
             let n = topo.body.graph().node_count();
@@ -1272,35 +1493,19 @@ impl Store {
         name: &str,
         source: NodeId,
     ) -> Result<BroadcastOutcome, StoreError> {
-        let (bundle, _) = self.bundle(name)?;
         let entry = self.entry(name)?;
+        let snap = entry.load_published();
+        if let Some(b) =
+            snap.as_ref().filter(|b| b.epoch == entry.epoch.load(Ordering::Acquire))
+        {
+            // fresh-snapshot fast path: the bundle's graph snapshot is
+            // the live graph, so the simulation needs no lock
+            entry.hits.fetch_add(1, Ordering::Relaxed);
+            return broadcast_from(b, &b.graph, source);
+        }
+        let (bundle, _) = self.bundle(name)?;
         let topo = read_guard(&entry.topo)?;
-        let g = topo.body.graph();
-        if source >= g.node_count() {
-            return Err(err(
-                ErrorCode::OutOfRange,
-                format!("node {source} ≥ n = {}", g.node_count()),
-            ));
-        }
-        match bundle.plan() {
-            Some(plan) => {
-                let outcome = plan.simulate(g, source);
-                let informed = g.node_count() - outcome.uncovered.len();
-                Ok(BroadcastOutcome::Done {
-                    forwarders: plan.forwarder_count() as u64,
-                    informed: informed as u64,
-                })
-            }
-            None => {
-                let reached = traversal::bfs_distances(g, source)
-                    .iter()
-                    .filter(|d| d.is_some())
-                    .count();
-                Ok(BroadcastOutcome::Degraded {
-                    unreachable: narrow_count(g.node_count() - reached),
-                })
-            }
-        }
+        broadcast_from(&bundle, topo.body.graph(), source)
     }
 
     /// Spawns (at most one) background heal thread for `entry`.
@@ -1365,22 +1570,26 @@ impl Store {
             if installed {
                 // a mutation slipping in between the lock drop and this
                 // publish simply outranks us (publish never rolls back)
-                publish(&entry, bundle)?;
+                publish(&entry, bundle);
                 return Ok(true);
             }
         }
         Ok(false)
     }
 
-    /// Sorted names of all stored topologies.
+    /// Sorted names of all stored topologies. Lock-free (walks each
+    /// shard's immutable snapshot); kept fallible for wire-level
+    /// compatibility.
     ///
     /// # Errors
     ///
-    /// `Internal` if a shard lock is poisoned.
+    /// Infallible today.
     pub fn list(&self) -> Result<Vec<String>, StoreError> {
         let mut names = Vec::new();
         for s in self.shards.iter() {
-            names.extend(read_guard(s)?.keys().cloned());
+            if let Some(m) = s.load() {
+                names.extend(m.keys().cloned());
+            }
         }
         names.sort();
         Ok(names)
@@ -1392,9 +1601,16 @@ impl Store {
     ///
     /// `NotFound` for an unknown name.
     pub fn drop_topology(&self, name: &str) -> Result<(), StoreError> {
-        write_guard(self.shard(name))?
-            .remove(name)
-            .map(|_| ())
+        let removed = self.shard(name).update(|cur| match cur {
+            Some(map) if map.contains_key(name) => {
+                let mut next = (**map).clone();
+                next.remove(name);
+                (Some(Some(Arc::new(next))), true)
+            }
+            _ => (None, false),
+        });
+        removed
+            .then_some(())
             .ok_or_else(|| err(ErrorCode::NotFound, format!("no topology `{name}`")))
     }
 }
@@ -1791,5 +2007,33 @@ mod tests {
             BackboneRouter::build(&g, &oracle.merged_wcds()),
             "healed router diverged from oracle"
         );
+    }
+
+    /// Tentpole: the cache-hit serving path is provably lock-free —
+    /// route, broadcast, stats, and bundle on a fresh snapshot acquire
+    /// **zero** `RwLock`s (witnessed by the thread-local acquisition
+    /// counter threaded through `read_guard` / `write_guard`).
+    #[test]
+    fn cache_hit_reads_take_zero_rwlocks() {
+        let store = Store::new();
+        store.create("z", &payload(60, 4.0, 3)).unwrap();
+        // first stats call takes the miss path (locks allowed)
+        assert!(!store.stats("z").unwrap().cached);
+        let before = rwlock_acquisitions();
+        let s1 = store.stats("z").unwrap();
+        assert!(s1.cached);
+        let r = store.route("z", 0, 59).unwrap();
+        assert!(matches!(r, RouteOutcome::Path(_) | RouteOutcome::Degraded { .. }));
+        store.broadcast("z", 0).unwrap();
+        let (_b, hit) = store.bundle("z").unwrap();
+        assert!(hit);
+        assert_eq!(
+            rwlock_acquisitions(),
+            before,
+            "a cache-hit route/broadcast/stats/bundle acquired an RwLock"
+        );
+        // the snapshot-read counter moved: the hits were served through
+        // the lock-free cell
+        assert!(store.stats("z").unwrap().snapshot_reads > s1.snapshot_reads);
     }
 }

@@ -15,7 +15,7 @@
 use std::io::{self, Cursor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use wcds_service::protocol::{read_frame, FrameRead, Request, Response};
+use wcds_service::protocol::{read_frame, FrameDecoder, FrameRead, Request, Response, WireError};
 
 /// What a corpus entry must keep doing when replayed.
 enum Expect {
@@ -63,6 +63,70 @@ fn every_corpus_file_is_listed_and_vice_versa() {
             CORPUS.iter().any(|(name, _)| name == f),
             "corpus file {f} on disk but not replayed — add it to CORPUS"
         );
+    }
+}
+
+/// The event-loop server frames with [`FrameDecoder`], not
+/// [`read_frame`], so the frozen corpus must hold against it too — and
+/// against every adversarial delivery pattern: byte-by-byte, small
+/// prime-sized chunks (so length prefixes straddle reads), and one
+/// coalesced burst. The incremental decoder must agree with the
+/// blocking reader on every file: same frame bytes out, or the same
+/// class of typed rejection, regardless of how the stream is split.
+#[test]
+fn incremental_framing_survives_the_corpus_under_any_chunking() {
+    for &chunk in &[1usize, 2, 3, 7, usize::MAX] {
+        for (name, expect) in CORPUS {
+            let bytes = std::fs::read(corpus_dir().join(name))
+                .unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+            let mut dec = FrameDecoder::new();
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            let mut err: Option<WireError> = None;
+            'feed: for piece in bytes.chunks(chunk.min(bytes.len().max(1))) {
+                dec.feed(piece);
+                loop {
+                    let step = catch_unwind(AssertUnwindSafe(|| dec.next_frame()))
+                        .unwrap_or_else(|_| panic!("{name}/{chunk}: next_frame PANICKED"));
+                    match step {
+                        Ok(Some(frame)) => frames.push(frame),
+                        Ok(None) => break,
+                        Err(e) => {
+                            err = Some(e);
+                            break 'feed;
+                        }
+                    }
+                }
+            }
+            match expect {
+                // a truncated stream yields no frame and no error —
+                // the decoder just reports an unfinished frame, which
+                // the event loop's stall sweep turns into a drop
+                Expect::FrameErr(io::ErrorKind::UnexpectedEof) => {
+                    assert!(err.is_none(), "{name}/{chunk}: unexpected {err:?}");
+                    assert!(frames.is_empty(), "{name}/{chunk}: yielded a partial frame");
+                    assert!(dec.mid_frame(), "{name}/{chunk}: truncation went unnoticed");
+                }
+                // a hostile length prefix must be rejected before any
+                // body byte is buffered, whatever the chunking
+                Expect::FrameErr(_) => {
+                    assert!(
+                        matches!(err, Some(WireError::FrameTooLarge(_))),
+                        "{name}/{chunk}: expected FrameTooLarge, got {err:?} / {frames:?}"
+                    );
+                }
+                // hostile bodies still frame correctly: exactly the
+                // bytes read_frame sees, handed to the same decoders
+                Expect::BodyRejected => {
+                    assert!(err.is_none(), "{name}/{chunk}: framing error {err:?}");
+                    assert_eq!(frames.len(), 1, "{name}/{chunk}: frame count");
+                    let whole = match read_frame(&mut Cursor::new(&bytes)) {
+                        Ok(FrameRead::Frame(b)) => b,
+                        other => panic!("{name}: read_frame disagrees: {other:?}"),
+                    };
+                    assert_eq!(frames.first(), Some(&whole), "{name}/{chunk}: body bytes");
+                }
+            }
+        }
     }
 }
 

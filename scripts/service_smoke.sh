@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Service smoke test: start `wcds serve` on loopback, drive a scripted
 # ingest → construct → route → mutate → route → stats → shutdown
-# session through `wcds query`, and require a clean server exit.
+# session through `wcds query`, and require a clean server exit. The
+# session runs once per serving engine — the readiness event loop
+# (default) and the worker-pool oracle — and the event-loop leg also
+# exercises the pipelined client (`--repeat N --pipeline`).
 #
 # Usage: scripts/service_smoke.sh [--features rayon]
 # Extra arguments are passed to every `cargo run` (so the smoke runs
@@ -11,7 +14,6 @@ cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=("$@")
 PORT="${WCDS_SMOKE_PORT:-7741}"
-ADDR="127.0.0.1:${PORT}"
 GRAPH="$(mktemp -t wcds-smoke-XXXXXX.graph)"
 trap 'rm -f "${GRAPH}"; kill "${SERVER_PID:-}" 2>/dev/null || true' EXIT
 
@@ -24,36 +26,49 @@ cargo build --release "${CARGO_FLAGS[@]}" -p wcds-cli
 
 wcds generate --model uniform --n 60 --side 4 --seed 5 -o "${GRAPH}"
 
-wcds serve --addr "${ADDR}" --workers 4 &
-SERVER_PID=$!
+session() {
+  local engine="$1" addr="$2"
 
-# wait for the listener
-for _ in $(seq 1 100); do
-  if wcds query ping --addr "${ADDR}" >/dev/null 2>&1; then break; fi
-  sleep 0.1
-done
+  wcds serve --addr "${addr}" --workers 4 --engine "${engine}" &
+  SERVER_PID=$!
 
-wcds query ping      --addr "${ADDR}"
-wcds query create    --addr "${ADDR}" --name net -i "${GRAPH}"
-wcds query construct --addr "${ADDR}" --name net
-wcds query route     --addr "${ADDR}" --name net --from 0 --to 59
-wcds query mutate    --addr "${ADDR}" --name net --join 2.0,2.0
-wcds query route     --addr "${ADDR}" --name net --from 0 --to 60
-wcds query mutate    --addr "${ADDR}" --name net --move 5,1.5,1.5
-wcds query stats     --addr "${ADDR}" --name net
+  # wait for the listener
+  for _ in $(seq 1 100); do
+    if wcds query ping --addr "${addr}" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
 
-# failure-storm smoke: harden to a (2,2)-resilient backbone, park a
-# node out of radio range (a crash through the mutation API), and
-# require routing + stats to keep answering in degraded mode
-wcds query harden    --addr "${ADDR}" --name net --k 2 --m 2
-wcds query mutate    --addr "${ADDR}" --name net --move 7,900.0,900.0
-wcds query route     --addr "${ADDR}" --name net --from 0 --to 59
-wcds query stats     --addr "${ADDR}" --name net
-wcds query export    --addr "${ADDR}" --name net | head -n 1
-wcds query shutdown  --addr "${ADDR}"
+  wcds query ping      --addr "${addr}"
+  wcds query create    --addr "${addr}" --name net -i "${GRAPH}"
+  wcds query construct --addr "${addr}" --name net
+  wcds query route     --addr "${addr}" --name net --from 0 --to 59
+  wcds query mutate    --addr "${addr}" --name net --join 2.0,2.0
+  wcds query route     --addr "${addr}" --name net --from 0 --to 60
+  wcds query mutate    --addr "${addr}" --name net --move 5,1.5,1.5
+  wcds query stats     --addr "${addr}" --name net
 
-# graceful exit: serve must return 0 on its own (join() proved no
-# worker leaked; a hang here fails CI via the step timeout)
-wait "${SERVER_PID}"
-SERVER_PID=""
-echo "service smoke OK (${CARGO_FLAGS[*]:-serial})"
+  if [ "${engine}" = "event-loop" ]; then
+    # pipelined burst: 32 routes in one write, drained in order
+    wcds query route --addr "${addr}" --name net --from 0 --to 59 \
+      --repeat 32 --pipeline
+  fi
+
+  # failure-storm smoke: harden to a (2,2)-resilient backbone, park a
+  # node out of radio range (a crash through the mutation API), and
+  # require routing + stats to keep answering in degraded mode
+  wcds query harden    --addr "${addr}" --name net --k 2 --m 2
+  wcds query mutate    --addr "${addr}" --name net --move 7,900.0,900.0
+  wcds query route     --addr "${addr}" --name net --from 0 --to 59
+  wcds query stats     --addr "${addr}" --name net
+  wcds query export    --addr "${addr}" --name net | head -n 1
+  wcds query shutdown  --addr "${addr}"
+
+  # graceful exit: serve must return 0 on its own (join() proved no
+  # worker leaked; a hang here fails CI via the step timeout)
+  wait "${SERVER_PID}"
+  SERVER_PID=""
+  echo "service smoke OK (${engine}, ${CARGO_FLAGS[*]:-serial})"
+}
+
+session event-loop  "127.0.0.1:${PORT}"
+session worker-pool "127.0.0.1:$((PORT + 1))"
